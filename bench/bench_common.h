@@ -1,0 +1,61 @@
+// Shared helpers for the figure-reproduction benchmark harnesses.
+//
+// Scale knobs come from the environment so a single binary serves both the
+// quick default run and larger sweeps:
+//   AIQL_BENCH_RATE     events per host per hour   (default 2000)
+//   AIQL_BENCH_CLIENTS  number of client hosts     (default 5)
+//   AIQL_BENCH_HOURS    monitored duration (hours) (default 6)
+
+#ifndef AIQL_BENCH_BENCH_COMMON_H_
+#define AIQL_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "simulator/scenario.h"
+
+namespace aiql_bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline aiql::ScenarioOptions BenchScenarioOptions() {
+  aiql::ScenarioOptions options;
+  options.num_clients = static_cast<int>(EnvDouble("AIQL_BENCH_CLIENTS", 5));
+  options.events_per_host_per_hour = EnvDouble("AIQL_BENCH_RATE", 2000);
+  options.duration = static_cast<aiql::Duration>(
+      EnvDouble("AIQL_BENCH_HOURS", 6) * aiql::kHour);
+  options.seed = static_cast<uint64_t>(EnvDouble("AIQL_BENCH_SEED", 42));
+  return options;
+}
+
+/// Wall-clock of one call, in microseconds.
+template <typename Fn>
+int64_t TimeUs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+inline double Log10Seconds(int64_t micros) {
+  double seconds = static_cast<double>(micros) / 1e6;
+  if (seconds <= 0) seconds = 1e-6;
+  return std::log10(seconds);
+}
+
+inline std::string FormatSeconds(int64_t micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", static_cast<double>(micros) / 1e6);
+  return buf;
+}
+
+}  // namespace aiql_bench
+
+#endif  // AIQL_BENCH_BENCH_COMMON_H_

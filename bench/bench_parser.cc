@@ -1,0 +1,95 @@
+// Language front-end micro-benchmarks: AIQL lexing/parsing/analysis and the
+// AIQL -> SQL / Cypher translators. Parsing sits on the interactive path of
+// every investigation query, so it must stay in the microsecond range.
+//
+//   $ ./build/bench/bench_parser
+
+#include <benchmark/benchmark.h>
+
+#include "graph/cypher_gen.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "sql/translator.h"
+
+using namespace aiql;
+
+namespace {
+
+const char* kSimpleQuery =
+    "(at \"05/10/2018\") agentid = 7 "
+    "proc p[\"%cmd.exe\"] read file f return distinct p, f";
+
+const char* kComplexQuery = R"(
+  (at "05/10/2018")
+  agentid = 7
+  proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+  proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+  proc p4["%sbblv.exe"] read file f1 as evt3
+  proc p4 read || write ip i1[dstip = "66.77.88.129"] as evt4
+  with evt1 before evt2, evt2 before evt3, evt3 before evt4
+  return distinct p1, p2, p3, f1, p4, i1
+)";
+
+const char* kAnomalyQuery = R"(
+  (at "05/10/2018") agentid = 7
+  window = 1 min, step = 10 sec
+  proc p write ip i[dstip = "66.77.88.129"] as evt
+  return p, avg(evt.amount) as amt
+  group by p
+  having amt > 2 * (amt + amt[1] + amt[2]) / 3
+)";
+
+void BM_ParseSimple(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = ParseAiql(kSimpleQuery);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_ParseSimple);
+
+void BM_ParseComplex(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = ParseAiql(kComplexQuery);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_ParseComplex);
+
+void BM_ParseAnomaly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = ParseAiql(kAnomalyQuery);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_ParseAnomaly);
+
+void BM_Analyze(benchmark::State& state) {
+  auto parsed = ParseAiql(kComplexQuery);
+  for (auto _ : state) {
+    auto analyzed = AnalyzeMultievent(*parsed->multievent, parsed->kind);
+    benchmark::DoNotOptimize(analyzed.ok());
+  }
+}
+BENCHMARK(BM_Analyze);
+
+void BM_TranslateSql(benchmark::State& state) {
+  auto parsed = ParseAiql(kComplexQuery);
+  for (auto _ : state) {
+    auto sql = TranslateToSql(*parsed, SqlSchemaMode::kNormalized);
+    benchmark::DoNotOptimize(sql.ok());
+  }
+}
+BENCHMARK(BM_TranslateSql);
+
+void BM_TranslateCypher(benchmark::State& state) {
+  auto parsed = ParseAiql(kComplexQuery);
+  for (auto _ : state) {
+    auto cypher = TranslateToCypher(*parsed);
+    benchmark::DoNotOptimize(cypher.ok());
+  }
+}
+BENCHMARK(BM_TranslateCypher);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+// Interactive AIQL shell — the reproduction's stand-in for the paper's web
+// UI (Fig. 3): a query input box, an execution-status area, a result table,
+// and syntax checking for query debugging.
+//
+//   $ ./build/examples/aiql_shell              # demo scenario, interactive
+//   $ echo 'proc p read file f return distinct p limit 5' |
+//       ./build/examples/aiql_shell
+//
+// Commands:
+//   .help              this text
+//   .stats             database statistics
+//   .check  <query>    syntax/semantic check only
+//   .explain <query>   show the execution plan
+//   .sql    <query>    show the equivalent SQL (normalized schema)
+//   .cypher <query>    show the equivalent Cypher
+//   .quit              exit
+// Anything else is executed as an AIQL query (single line or until an
+// empty line when the first line does not contain 'return').
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/string_utils.h"
+#include "engine/aiql_engine.h"
+#include "graph/cypher_gen.h"
+#include "query/parser.h"
+#include "simulator/scenario.h"
+#include "sql/translator.h"
+
+using namespace aiql;
+
+namespace {
+
+void PrintStats(const AuditDatabase& db) {
+  const DatabaseStats& stats = db.stats();
+  std::printf("raw events      : %llu\n",
+              static_cast<unsigned long long>(stats.raw_events));
+  std::printf("stored events   : %llu  (dedup ratio %.2fx)\n",
+              static_cast<unsigned long long>(stats.total_events),
+              stats.total_events > 0
+                  ? static_cast<double>(stats.raw_events) /
+                        static_cast<double>(stats.total_events)
+                  : 0.0);
+  std::printf("partitions      : %llu\n",
+              static_cast<unsigned long long>(stats.total_partitions));
+  std::printf("processes/files/connections: %zu / %zu / %zu\n",
+              db.entities().processes().size(), db.entities().files().size(),
+              db.entities().networks().size());
+  if (stats.total_events > 0) {
+    std::printf("time range      : %s .. %s\n",
+                FormatTimestamp(stats.min_ts).c_str(),
+                FormatTimestamp(stats.max_ts).c_str());
+  }
+}
+
+void Execute(AiqlEngine* engine, const std::string& query) {
+  auto result = engine->Execute(query);
+  if (!result.ok()) {
+    std::printf("!! %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", result->table.ToString(40).c_str());
+  std::printf("-- %zu rows in %s (parse %s, plan %s, exec %s); "
+              "%llu events scanned on %llu partitions, %d threads\n",
+              result->table.num_rows(),
+              FormatDuration(result->stats.total_time()).c_str(),
+              FormatDuration(result->stats.parse_time).c_str(),
+              FormatDuration(result->stats.plan_time).c_str(),
+              FormatDuration(result->stats.exec_time).c_str(),
+              static_cast<unsigned long long>(result->stats.events_scanned),
+              static_cast<unsigned long long>(
+                  result->stats.partitions_scanned),
+              result->stats.threads_used);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("AIQL shell — attack investigation over system monitoring "
+              "data\n");
+  std::printf("loading the demo enterprise scenario...\n");
+  ScenarioOptions options;
+  options.num_clients = 4;
+  if (argc > 1) options.events_per_host_per_hour = std::stod(argv[1]);
+  DemoScenarioData data = GenerateDemoScenario(options);
+  auto db = IngestRecords(data.records, StorageOptions{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  PrintStats(*db);
+  std::printf("attack ground truth: web=%u client=%u dc=%u db=%u "
+              "attacker=%s\ntype .help for commands\n\n",
+              data.truth.web_server, data.truth.client,
+              data.truth.domain_controller, data.truth.database_server,
+              data.truth.attacker_ip.c_str());
+
+  AiqlEngine engine(&*db);
+  std::string line;
+  while (true) {
+    std::printf("aiql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(TrimString(line));
+    if (trimmed.empty()) continue;
+
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".help") {
+      std::printf(".stats | .check <q> | .explain <q> | .sql <q> | "
+                  ".cypher <q> | .quit\n");
+      continue;
+    }
+    if (trimmed == ".stats") {
+      PrintStats(*db);
+      continue;
+    }
+    auto run_sub = [&](const char* cmd) -> std::string {
+      return std::string(TrimString(trimmed.substr(std::strlen(cmd))));
+    };
+    if (StartsWith(trimmed, ".check ")) {
+      auto kind = engine.Check(run_sub(".check "));
+      if (kind.ok()) {
+        std::printf("ok: valid %s query\n", QueryKindToString(*kind));
+      } else {
+        std::printf("!! %s\n", kind.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, ".explain ")) {
+      auto plan = engine.Explain(run_sub(".explain "));
+      std::printf("%s\n", plan.ok() ? plan->c_str()
+                                    : plan.status().ToString().c_str());
+      continue;
+    }
+    if (StartsWith(trimmed, ".sql ")) {
+      auto parsed = ParseAiql(run_sub(".sql "));
+      if (!parsed.ok()) {
+        std::printf("!! %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      auto sql = TranslateToSql(*parsed, SqlSchemaMode::kNormalized);
+      std::printf("%s\n", sql.ok() ? sql->sql.c_str()
+                                   : sql.status().ToString().c_str());
+      continue;
+    }
+    if (StartsWith(trimmed, ".cypher ")) {
+      auto parsed = ParseAiql(run_sub(".cypher "));
+      if (!parsed.ok()) {
+        std::printf("!! %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      auto cypher = TranslateToCypher(*parsed);
+      std::printf("%s\n", cypher.ok()
+                              ? cypher->cypher.c_str()
+                              : cypher.status().ToString().c_str());
+      continue;
+    }
+
+    // Multi-line query entry: keep reading until 'return' has been seen.
+    std::string query = trimmed;
+    while (ToLower(query).find("return") == std::string::npos) {
+      std::printf("  ... ");
+      std::fflush(stdout);
+      std::string more;
+      if (!std::getline(std::cin, more)) break;
+      if (TrimString(more).empty()) break;
+      query += "\n" + more;
+    }
+    Execute(&engine, query);
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The live end-to-end investigation of paper §3, step a5: starting from an
+// anomaly alert, iteratively drill into the data exfiltration on the
+// database server — the workflow a security analyst runs in the web UI.
+//
+//   $ ./build/examples/investigate_exfiltration
+
+#include <cstdio>
+#include <string>
+
+#include "engine/aiql_engine.h"
+#include "simulator/scenario.h"
+
+using namespace aiql;
+
+namespace {
+
+void RunStep(AiqlEngine* engine, const char* narrative,
+             const std::string& query) {
+  std::printf("\n=== %s\n", narrative);
+  std::printf("--- AIQL query:\n%s\n", query.c_str());
+  auto result = engine->Execute(query);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- results (%zu rows, %s):\n%s",
+              result->table.num_rows(),
+              FormatDuration(result->stats.total_time()).c_str(),
+              result->table.ToString(10).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating the monitored enterprise (background noise + the "
+              "demo APT attack)...\n");
+  ScenarioOptions options;
+  options.num_clients = 4;
+  options.events_per_host_per_hour = 2000;
+  DemoScenarioData data = GenerateDemoScenario(options);
+  auto db = IngestRecords(data.records, StorageOptions{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ingested %llu raw events -> %llu stored events on %llu "
+              "partitions\n",
+              static_cast<unsigned long long>(db->stats().raw_events),
+              static_cast<unsigned long long>(db->stats().total_events),
+              static_cast<unsigned long long>(db->stats().total_partitions));
+
+  AiqlEngine engine(&*db);
+  const std::string dbagent = std::to_string(data.truth.database_server);
+  const std::string attacker = data.truth.attacker_ip;
+
+  RunStep(&engine,
+          "Step 1 — no prior knowledge: an anomaly query looks for processes "
+          "on the database server moving unusual volumes off-host",
+          "(at \"05/10/2018\")\nagentid = " + dbagent +
+              "\nwindow = 1 min, step = 10 sec\n"
+              "proc p write ip i[dstip = \"" + attacker + "\"] as evt\n"
+              "return p, avg(evt.amount) as amt\ngroup by p\n"
+              "having amt > 2 * (amt + amt[1] + amt[2]) / 3");
+
+  RunStep(&engine,
+          "Step 2 — powershell.exe flagged; which files did it read?",
+          "(at \"05/10/2018\")\nagentid = " + dbagent +
+              "\nproc p[\"%powershell.exe\"] read file f as e\n"
+              "return distinct p, f");
+
+  RunStep(&engine,
+          "Step 3 — a database dump 'db.bak'; which process created it?",
+          "(at \"05/10/2018\")\nagentid = " + dbagent +
+              "\nproc p write file f[\"%db.bak%\"] as e\n"
+              "return distinct p, f");
+
+  RunStep(&engine,
+          "Step 4 — sqlservr.exe is legitimate; confirm powershell connected "
+          "to the suspicious address *before* the data transfer",
+          "(at \"05/10/2018\")\nagentid = " + dbagent +
+              "\nproc p[\"%powershell%\"] connect ip i[dstip = \"" + attacker +
+              "\"] as e1\nproc p write ip i as e2\nwith e1 before e2\n"
+              "return distinct p, i");
+
+  RunStep(&engine,
+          "Step 5 — the confirmed exfiltration chain in one multievent query",
+          "(at \"05/10/2018\")\nagentid = " + dbagent +
+              "\nproc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as e1\n"
+              "proc p3[\"%sqlservr.exe\"] write file f1[\"%db.bak%\"] as e2\n"
+              "proc p4[\"%powershell%\"] read file f1 as e3\n"
+              "proc p4 write ip i1[dstip = \"" + attacker + "\"] as e4\n"
+              "with e1 before e2, e2 before e3, e3 before e4\n"
+              "return distinct p1, p2, p3, f1, p4, i1");
+
+  std::printf("\nInvestigation of step a5 complete: data exfiltration "
+              "confirmed.\n");
+  return 0;
+}

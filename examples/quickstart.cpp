@@ -1,0 +1,78 @@
+// Quickstart: build a tiny audit database, run the paper's Query 1 (data
+// exfiltration from a database server), and print the result.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/aiql_engine.h"
+#include "storage/database.h"
+
+using namespace aiql;
+
+namespace {
+
+EventRecord Make(AgentId agent, OpType op, Timestamp start, ProcessRef subj,
+                 ObjectRef obj, uint64_t amount = 0) {
+  EventRecord r;
+  r.agent_id = agent;
+  r.op = op;
+  r.start_ts = start;
+  r.end_ts = start + kSecond;
+  r.amount = amount;
+  r.subject = std::move(subj);
+  r.object = std::move(obj);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Ingest system monitoring data (normally streamed by the agents).
+  AuditDatabase db;
+  Timestamp t = *MakeTimestamp(2018, 5, 10, 10, 0, 0);
+
+  ProcessRef cmd{7, 100, "C:\\Windows\\System32\\cmd.exe", "system"};
+  ProcessRef osql{7, 101, "C:\\Tools\\osql.exe", "system"};
+  ProcessRef sqlservr{7, 102, "C:\\SQL\\sqlservr.exe", "system"};
+  ProcessRef sbblv{7, 103, "C:\\Temp\\sbblv.exe", "system"};
+  FileRef dump{7, "C:\\Temp\\backup1.dmp"};
+  NetworkRef exfil{7, "10.0.0.7", "66.77.88.129", 49152, 443, "tcp"};
+
+  (void)db.Append(Make(7, OpType::kStart, t, cmd, osql));
+  (void)db.Append(Make(7, OpType::kWrite, t + 2 * kMinute, sqlservr, dump,
+                       1 << 20));
+  (void)db.Append(Make(7, OpType::kRead, t + 5 * kMinute, sbblv, dump,
+                       1 << 20));
+  (void)db.Append(Make(7, OpType::kWrite, t + 6 * kMinute, sbblv, exfil,
+                       900000));
+  db.Seal();
+
+  // 2. Ask AIQL who exfiltrated the database dump (paper §2.2.1, Query 1).
+  AiqlEngine engine(&db);
+  auto result = engine.Execute(R"(
+    (at "05/10/2018")
+    agentid = 7
+    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+    proc p4["%sbblv.exe"] read file f1 as evt3
+    proc p4 read || write ip i1[dstip = "66.77.88.129"] as evt4
+    with evt1 before evt2, evt2 before evt3, evt3 before evt4
+    return distinct p1, p2, p3, f1, p4, i1
+  )");
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Data exfiltration from the database server:\n%s\n",
+              result->table.ToString().c_str());
+  std::printf("execution: %s  (events scanned: %llu, matched: %llu)\n",
+              FormatDuration(result->stats.exec_time).c_str(),
+              static_cast<unsigned long long>(result->stats.events_scanned),
+              static_cast<unsigned long long>(result->stats.events_matched));
+  std::printf("\nplan:\n%s", result->plan.c_str());
+  return 0;
+}

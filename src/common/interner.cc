@@ -1,0 +1,19 @@
+#include "common/interner.h"
+
+namespace aiql {
+
+StringId StringInterner::Intern(std::string_view text) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  StringId id = static_cast<StringId>(strings_.size());
+  strings_.emplace_back(text);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+StringId StringInterner::Lookup(std::string_view text) const {
+  auto it = ids_.find(text);
+  return it == ids_.end() ? kInvalidStringId : it->second;
+}
+
+}  // namespace aiql

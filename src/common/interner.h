@@ -1,0 +1,59 @@
+// String interning pool.
+//
+// Entity attributes (executable paths, file names, IP addresses, user names)
+// are heavily repeated in audit data. Interning maps each distinct string to
+// a dense uint32 id so events can store 4-byte ids and the engine can
+// evaluate a LIKE predicate once per *distinct* string rather than once per
+// event — one of the paper's "in-memory index" storage optimizations.
+
+#ifndef AIQL_COMMON_INTERNER_H_
+#define AIQL_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace aiql {
+
+/// Dense id of an interned string. kInvalidStringId means "absent".
+using StringId = uint32_t;
+inline constexpr StringId kInvalidStringId = UINT32_MAX;
+
+/// Append-only string pool with stable ids. Not thread-safe; ingestion is
+/// single-writer (readers take const refs after load).
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  /// Returns the id for `text`, interning it on first sight.
+  StringId Intern(std::string_view text);
+
+  /// Returns the id for `text` or kInvalidStringId if never interned.
+  StringId Lookup(std::string_view text) const;
+
+  /// The string for an id. Precondition: id < size().
+  std::string_view Get(StringId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Applies `fn(id, text)` to every interned string; used to evaluate LIKE
+  /// predicates over the distinct-value domain.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (StringId id = 0; id < strings_.size(); ++id) {
+      fn(id, std::string_view(strings_[id]));
+    }
+  }
+
+ private:
+  // deque keeps string storage stable so string_view keys stay valid.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, StringId> ids_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_INTERNER_H_

@@ -1,0 +1,144 @@
+#include "common/like_matcher.h"
+
+#include <cctype>
+
+#include "common/string_utils.h"
+
+namespace aiql {
+
+namespace {
+
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool ContainsIgnoreCasePrecomputed(std::string_view haystack_any_case,
+                                   std::string_view lowered_needle) {
+  if (lowered_needle.empty()) return true;
+  if (haystack_any_case.size() < lowered_needle.size()) return false;
+  const size_t limit = haystack_any_case.size() - lowered_needle.size();
+  for (size_t i = 0; i <= limit; ++i) {
+    size_t j = 0;
+    while (j < lowered_needle.size() &&
+           LowerChar(haystack_any_case[i + j]) == lowered_needle[j]) {
+      ++j;
+    }
+    if (j == lowered_needle.size()) return true;
+  }
+  return false;
+}
+
+bool EqualsLowered(std::string_view any_case, std::string_view lowered) {
+  if (any_case.size() != lowered.size()) return false;
+  for (size_t i = 0; i < any_case.size(); ++i) {
+    if (LowerChar(any_case[i]) != lowered[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LikeMatcher::LikeMatcher(std::string_view pattern)
+    : pattern_(pattern), lowered_(ToLower(pattern)) {
+  bool has_underscore = lowered_.find('_') != std::string::npos;
+  size_t pct_count = 0;
+  for (char c : lowered_) {
+    if (c == '%') ++pct_count;
+  }
+  if (has_underscore) {
+    kind_ = Kind::kGeneric;
+    return;
+  }
+  if (pct_count == 0) {
+    kind_ = Kind::kLiteral;
+    literal_ = lowered_;
+    return;
+  }
+  // Only '%' wildcards from here on.
+  bool leading = lowered_.front() == '%';
+  bool trailing = lowered_.back() == '%';
+  std::string_view body(lowered_);
+  if (leading) body.remove_prefix(1);
+  if (trailing && !body.empty()) body.remove_suffix(1);
+  if (body.find('%') != std::string_view::npos) {
+    kind_ = Kind::kGeneric;  // interior '%' beyond the simple shapes
+    return;
+  }
+  literal_ = std::string(body);
+  if (literal_.empty()) {
+    kind_ = Kind::kMatchAll;
+  } else if (leading && trailing) {
+    kind_ = Kind::kSubstring;
+  } else if (leading) {
+    kind_ = Kind::kSuffix;
+  } else if (trailing) {
+    kind_ = Kind::kPrefix;
+  } else {
+    kind_ = Kind::kGeneric;  // unreachable: pct_count>0 implies an edge '%'
+  }
+}
+
+bool LikeMatcher::Matches(std::string_view text) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return EqualsLowered(text, literal_);
+    case Kind::kMatchAll:
+      return true;
+    case Kind::kPrefix:
+      return text.size() >= literal_.size() &&
+             EqualsLowered(text.substr(0, literal_.size()), literal_);
+    case Kind::kSuffix:
+      return text.size() >= literal_.size() &&
+             EqualsLowered(text.substr(text.size() - literal_.size()),
+                           literal_);
+    case Kind::kSubstring:
+      return ContainsIgnoreCasePrecomputed(text, literal_);
+    case Kind::kGeneric:
+      return GenericMatch(lowered_, text);
+  }
+  return false;
+}
+
+// Iterative two-pointer LIKE matching with backtracking to the last '%'.
+// Runs in O(|pattern| * |text|) worst case, linear in practice.
+bool LikeMatcher::GenericMatch(std::string_view pattern,
+                               std::string_view text) {
+  size_t p = 0, t = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == LowerChar(text[t]))) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+int LikeMatcher::SpecificityRank() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return 0;
+    case Kind::kPrefix:
+    case Kind::kSuffix:
+      return 1;
+    case Kind::kSubstring:
+      return 2;
+    case Kind::kGeneric:
+      return 3;
+    case Kind::kMatchAll:
+      return 4;
+  }
+  return 4;
+}
+
+}  // namespace aiql

@@ -1,0 +1,60 @@
+// SQL-LIKE wildcard matching.
+//
+// AIQL entity constraints such as proc p1["%cmd.exe"] use SQL LIKE syntax:
+// '%' matches any run of characters (including empty), '_' matches exactly
+// one character. Matching is case-insensitive to mirror how analysts query
+// Windows paths. LikeMatcher pre-compiles a pattern so that matching against
+// many interned strings is cheap (literal fast paths for patterns without
+// wildcards, prefix/suffix/substring specializations, and a linear-time
+// two-pointer general matcher).
+
+#ifndef AIQL_COMMON_LIKE_MATCHER_H_
+#define AIQL_COMMON_LIKE_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aiql {
+
+/// Compiled LIKE pattern.
+class LikeMatcher {
+ public:
+  /// Compiles `pattern`. Always succeeds (every string is a valid pattern).
+  explicit LikeMatcher(std::string_view pattern);
+
+  /// True if `text` matches the pattern.
+  bool Matches(std::string_view text) const;
+
+  /// The original pattern text.
+  const std::string& pattern() const { return pattern_; }
+
+  /// True if the pattern contains no wildcards (pure equality).
+  bool is_literal() const { return kind_ == Kind::kLiteral; }
+
+  /// Rough selectivity proxy: literal < prefix/suffix < substring < generic.
+  /// Lower values mean "expected to match fewer strings". Used by the
+  /// pruning-power estimator as a tie-breaker.
+  int SpecificityRank() const;
+
+ private:
+  enum class Kind {
+    kLiteral,     // no wildcards
+    kPrefix,      // lit%
+    kSuffix,      // %lit
+    kSubstring,   // %lit%
+    kMatchAll,    // % or empty-of-% runs
+    kGeneric,     // anything else (may include '_')
+  };
+
+  static bool GenericMatch(std::string_view pattern, std::string_view text);
+
+  std::string pattern_;       // original
+  std::string lowered_;       // lower-cased pattern
+  std::string literal_;       // payload for specialized kinds
+  Kind kind_ = Kind::kGeneric;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_LIKE_MATCHER_H_

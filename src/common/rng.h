@@ -1,0 +1,72 @@
+// Deterministic pseudo-random generator for the workload simulator.
+//
+// All experiments must be reproducible, so the simulator never touches
+// std::random_device or wall-clock seeds; every stream derives from an
+// explicit 64-bit seed via SplitMix64 (public-domain algorithm).
+
+#ifndef AIQL_COMMON_RNG_H_
+#define AIQL_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aiql {
+
+/// SplitMix64 deterministic RNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks an index from unnormalized weights. Returns 0 if weights empty.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return 0;
+    double r = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child stream (for per-host determinism that is
+  /// stable under reordering of generation).
+  Rng Fork(uint64_t salt) const {
+    Rng child(state_ ^ (salt * 0xD1B54A32D192ED03ULL + 0x9E3779B97F4A7C15ULL));
+    child.Next();
+    return child;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_RNG_H_

@@ -1,0 +1,171 @@
+// Status / Result error-handling primitives (RocksDB / Arrow idiom).
+//
+// Library code returns Status (or Result<T>) instead of throwing exceptions.
+// The RETURN_IF_ERROR / ASSIGN_OR_RETURN macros keep call sites compact.
+
+#ifndef AIQL_COMMON_STATUS_H_
+#define AIQL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aiql {
+
+/// Broad error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller passed something malformed
+  kParseError,       ///< AIQL / SQL text failed to parse
+  kSemanticError,    ///< query parsed but is semantically invalid
+  kNotFound,         ///< entity / attribute / file does not exist
+  kAlreadyExists,    ///< duplicate registration
+  kOutOfRange,       ///< index / timestamp outside valid bounds
+  kIOError,          ///< filesystem-level failure
+  kCorruption,       ///< persistent data failed validation
+  kUnimplemented,    ///< feature intentionally not supported
+  kInternal,         ///< invariant violation (bug)
+};
+
+/// Human-readable name for a StatusCode ("Ok", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Cheap value type describing the outcome of an operation.
+///
+/// An ok Status carries no message and no allocation. Error statuses carry a
+/// code plus a message intended for the analyst (parser errors include
+/// line/column context).
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status (Arrow's Result /
+/// absl::StatusOr). Accessing the value of an error result is a programming
+/// error caught by assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (ok result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Must not be an ok status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from ok Status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from ok Status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Error status; Status::OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // ok iff value_ present
+};
+
+// Propagates errors to the caller. `expr` must evaluate to a Status.
+#define AIQL_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::aiql::Status _aiql_status = (expr);            \
+    if (!_aiql_status.ok()) return _aiql_status;     \
+  } while (false)
+
+// Token-pasting helpers for unique temporary names.
+#define AIQL_MACRO_CONCAT_INNER(x, y) x##y
+#define AIQL_MACRO_CONCAT(x, y) AIQL_MACRO_CONCAT_INNER(x, y)
+
+// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise moves the
+// value into `lhs` (which may be a declaration: `auto v`).
+#define AIQL_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  AIQL_ASSIGN_OR_RETURN_IMPL(AIQL_MACRO_CONCAT(_aiql_res_, __LINE__), \
+                             lhs, rexpr)
+
+#define AIQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_STATUS_H_

@@ -1,0 +1,104 @@
+#include "common/string_utils.h"
+
+#include <cctype>
+
+namespace aiql {
+
+std::vector<std::string_view> SplitString(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view TrimString(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+size_t CountWords(std::string_view text) {
+  size_t count = 0;
+  bool in_word = false;
+  for (char c : text) {
+    bool space = std::isspace(static_cast<unsigned char>(c));
+    if (!space && !in_word) ++count;
+    in_word = !space;
+  }
+  return count;
+}
+
+size_t CountNonSpaceChars(std::string_view text) {
+  size_t count = 0;
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) ++count;
+  }
+  return count;
+}
+
+std::string SqlQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '\'';
+  for (char c : text) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace aiql

@@ -1,0 +1,43 @@
+// Small string helpers shared across modules.
+
+#ifndef AIQL_COMMON_STRING_UTILS_H_
+#define AIQL_COMMON_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aiql {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> SplitString(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimString(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `text` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Counts whitespace-separated words (used for query conciseness metrics).
+size_t CountWords(std::string_view text);
+
+/// Counts non-whitespace characters (paper excludes spaces).
+size_t CountNonSpaceChars(std::string_view text);
+
+/// Escapes a string for embedding in single-quoted SQL ('' doubling).
+std::string SqlQuote(std::string_view text);
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_STRING_UTILS_H_

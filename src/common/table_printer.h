@@ -1,0 +1,38 @@
+// Fixed-width text table rendering for the REPL shell, examples, and the
+// benchmark harnesses (which print paper-style result tables).
+
+#ifndef AIQL_COMMON_TABLE_PRINTER_H_
+#define AIQL_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace aiql {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with +---+ borders, e.g.
+  ///   +------+-------+
+  ///   | proc | bytes |
+  ///   +------+-------+
+  ///   | cmd  | 4096  |
+  ///   +------+-------+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,65 @@
+// Fixed-size thread pool used for partition-parallel scan execution.
+//
+// The AIQL engine partitions per-pattern data queries along the temporal and
+// spatial dimensions and executes the sub-queries in parallel (paper §2.3).
+// This pool provides the execution substrate; it is deliberately simple:
+// a lock-protected FIFO queue and Wait()-style join via futures.
+
+#ifndef AIQL_COMMON_THREAD_POOL_H_
+#define AIQL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aiql {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; returns a future for its completion.
+  template <typename Fn>
+  std::future<void> Submit(Fn&& task) {
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(task));
+    std::future<void> future = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// complete. fn must be safe to invoke concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_THREAD_POOL_H_

@@ -1,0 +1,215 @@
+#include "common/time_utils.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/string_utils.h"
+
+namespace aiql {
+
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 13> kDays = {0,  31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month];
+}
+
+// Days since 1970-01-01 for a UTC calendar date (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(year + (*m <= 2));
+}
+
+Result<int> ParseIntField(std::string_view text) {
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("invalid numeric field '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+// Parses "mm/dd/yyyy".
+Result<Timestamp> ParseDate(std::string_view text) {
+  auto parts = SplitString(text, '/');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("expected mm/dd/yyyy date, got '" +
+                                   std::string(text) + "'");
+  }
+  AIQL_ASSIGN_OR_RETURN(int month, ParseIntField(parts[0]));
+  AIQL_ASSIGN_OR_RETURN(int day, ParseIntField(parts[1]));
+  AIQL_ASSIGN_OR_RETURN(int year, ParseIntField(parts[2]));
+  return MakeTimestamp(year, month, day);
+}
+
+// Parses "HH:MM:SS".
+Result<Duration> ParseClock(std::string_view text) {
+  auto parts = SplitString(text, ':');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("expected HH:MM:SS time, got '" +
+                                   std::string(text) + "'");
+  }
+  AIQL_ASSIGN_OR_RETURN(int hour, ParseIntField(parts[0]));
+  AIQL_ASSIGN_OR_RETURN(int minute, ParseIntField(parts[1]));
+  AIQL_ASSIGN_OR_RETURN(int second, ParseIntField(parts[2]));
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59) {
+    return Status::OutOfRange("clock field out of range in '" +
+                              std::string(text) + "'");
+  }
+  return hour * kHour + minute * kMinute + second * kSecond;
+}
+
+}  // namespace
+
+Result<Timestamp> MakeTimestamp(int year, int month, int day, int hour,
+                                int minute, int second, int64_t micros) {
+  if (year < 1970 || year > 9999) {
+    return Status::OutOfRange("year out of range: " + std::to_string(year));
+  }
+  if (month < 1 || month > 12) {
+    return Status::OutOfRange("month out of range: " + std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::OutOfRange("day out of range: " + std::to_string(day));
+  }
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59 || micros < 0 || micros >= kSecond) {
+    return Status::OutOfRange("time-of-day component out of range");
+  }
+  int64_t days = DaysFromCivil(year, month, day);
+  return days * kDay + hour * kHour + minute * kMinute + second * kSecond +
+         micros;
+}
+
+Result<Timestamp> ParseTimestamp(std::string_view text) {
+  std::string_view trimmed = TrimString(text);
+  // "HH:MM:SS mm/dd/yyyy" or "mm/dd/yyyy".
+  size_t space = trimmed.find(' ');
+  if (space == std::string_view::npos) {
+    return ParseDate(trimmed);
+  }
+  AIQL_ASSIGN_OR_RETURN(Duration clock, ParseClock(trimmed.substr(0, space)));
+  AIQL_ASSIGN_OR_RETURN(
+      Timestamp date,
+      ParseDate(TrimString(trimmed.substr(space + 1))));
+  return date + clock;
+}
+
+Result<TimeRange> ParseTimePoint(std::string_view text) {
+  std::string_view trimmed = TrimString(text);
+  AIQL_ASSIGN_OR_RETURN(Timestamp start, ParseTimestamp(trimmed));
+  // Date-only points cover the whole day.
+  if (trimmed.find(' ') == std::string_view::npos) {
+    return TimeRange{start, start + kDay};
+  }
+  return TimeRange{start, start + 1};
+}
+
+Result<Duration> ParseDuration(std::string_view text) {
+  std::string_view trimmed = TrimString(text);
+  size_t i = 0;
+  while (i < trimmed.size() &&
+         (std::isdigit(static_cast<unsigned char>(trimmed[i])) ||
+          trimmed[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) {
+    return Status::InvalidArgument("duration must start with a number: '" +
+                                   std::string(trimmed) + "'");
+  }
+  double magnitude = 0;
+  try {
+    magnitude = std::stod(std::string(trimmed.substr(0, i)));
+  } catch (...) {
+    return Status::InvalidArgument("invalid duration magnitude in '" +
+                                   std::string(trimmed) + "'");
+  }
+  std::string unit = ToLower(std::string(TrimString(trimmed.substr(i))));
+  Duration scale;
+  if (unit.empty() || unit == "s" || unit == "sec" || unit == "secs" ||
+      unit == "second" || unit == "seconds") {
+    scale = kSecond;
+  } else if (unit == "us" || unit == "usec" || unit == "micros") {
+    scale = kMicrosecond;
+  } else if (unit == "ms" || unit == "msec" || unit == "millis") {
+    scale = kMillisecond;
+  } else if (unit == "min" || unit == "mins" || unit == "minute" ||
+             unit == "minutes" || unit == "m") {
+    scale = kMinute;
+  } else if (unit == "h" || unit == "hour" || unit == "hours" ||
+             unit == "hr") {
+    scale = kHour;
+  } else if (unit == "d" || unit == "day" || unit == "days") {
+    scale = kDay;
+  } else {
+    return Status::InvalidArgument("unknown duration unit '" + unit + "'");
+  }
+  return static_cast<Duration>(magnitude * static_cast<double>(scale));
+}
+
+std::string FormatTimestamp(Timestamp ts) {
+  int64_t days = ts / kDay;
+  int64_t rem = ts % kDay;
+  if (rem < 0) {
+    rem += kDay;
+    days -= 1;
+  }
+  int year, month, day;
+  CivilFromDays(days, &year, &month, &day);
+  int hour = static_cast<int>(rem / kHour);
+  rem %= kHour;
+  int minute = static_cast<int>(rem / kMinute);
+  rem %= kMinute;
+  int second = static_cast<int>(rem / kSecond);
+  int millis = static_cast<int>((rem % kSecond) / kMillisecond);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d", year,
+                month, day, hour, minute, second, millis);
+  return buf;
+}
+
+std::string FormatDuration(Duration d) {
+  char buf[40];
+  double v = static_cast<double>(d);
+  if (d >= kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", v / kMinute);
+  } else if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v / kSecond);
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", v / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ld us", static_cast<long>(d));
+  }
+  return buf;
+}
+
+}  // namespace aiql

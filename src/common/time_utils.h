@@ -1,0 +1,78 @@
+// Timestamp representation and parsing for AIQL time windows.
+//
+// System monitoring data is timestamped with microsecond precision. AIQL
+// time-window clauses accept calendar dates ("05/10/2018"), date-times
+// ("10:30:00 05/10/2018"), and durations ("1 min", "10 sec").
+// All calendar math is UTC-based so results are host-independent.
+
+#ifndef AIQL_COMMON_TIME_UTILS_H_
+#define AIQL_COMMON_TIME_UTILS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace aiql {
+
+/// Microseconds since the UNIX epoch (UTC).
+using Timestamp = int64_t;
+
+/// Microsecond duration.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+/// Inclusive-exclusive time interval [start, end).
+struct TimeRange {
+  Timestamp start = INT64_MIN;
+  Timestamp end = INT64_MAX;
+
+  bool Contains(Timestamp t) const { return t >= start && t < end; }
+  bool Overlaps(const TimeRange& other) const {
+    return start < other.end && other.start < end;
+  }
+  /// Intersection of two ranges; may be empty (start >= end).
+  TimeRange Intersect(const TimeRange& other) const {
+    return TimeRange{start > other.start ? start : other.start,
+                     end < other.end ? end : other.end};
+  }
+  bool empty() const { return start >= end; }
+
+  bool operator==(const TimeRange& other) const = default;
+};
+
+/// Builds a timestamp from UTC calendar components. Month is 1-12,
+/// day is 1-31. Validates ranges (including leap-year day counts).
+Result<Timestamp> MakeTimestamp(int year, int month, int day, int hour = 0,
+                                int minute = 0, int second = 0,
+                                int64_t micros = 0);
+
+/// Parses "mm/dd/yyyy" or "HH:MM:SS mm/dd/yyyy" into a timestamp.
+Result<Timestamp> ParseTimestamp(std::string_view text);
+
+/// Parses "(at "mm/dd/yyyy")"-style point into the whole-day range, i.e.
+/// [00:00:00, 24:00:00) of that date; a full date-time maps to a
+/// one-microsecond range starting at that instant.
+Result<TimeRange> ParseTimePoint(std::string_view text);
+
+/// Parses a duration such as "10 sec", "1 min", "2 hour", "1 day", "500 ms".
+/// Units: us|usec, ms|msec, s|sec|second(s), min|minute(s), h|hour(s),
+/// d|day(s). A bare number is interpreted as seconds.
+Result<Duration> ParseDuration(std::string_view text);
+
+/// Formats as "YYYY-MM-DD HH:MM:SS.mmm" (UTC).
+std::string FormatTimestamp(Timestamp ts);
+
+/// Formats a duration compactly, e.g. "1.50 s", "250 ms", "3.2 min".
+std::string FormatDuration(Duration d);
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_TIME_UTILS_H_

@@ -1,0 +1,95 @@
+#include "engine/aiql_engine.h"
+
+#include <chrono>
+#include <thread>
+
+#include "engine/anomaly.h"
+#include "engine/dependency.h"
+#include "engine/executor.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace aiql {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+AiqlEngine::AiqlEngine(const AuditDatabase* db, EngineOptions options)
+    : db_(db), options_(options) {
+  if (options_.enable_parallelism) {
+    size_t threads = options_.num_threads != 0
+                         ? options_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+AiqlEngine::~AiqlEngine() = default;
+
+Result<QueryResult> AiqlEngine::Execute(std::string_view text) {
+  auto parse_start = Clock::now();
+  AIQL_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseAiql(text));
+  Duration parse_time = std::chrono::duration_cast<std::chrono::microseconds>(
+                            Clock::now() - parse_start)
+                            .count();
+  AIQL_ASSIGN_OR_RETURN(QueryResult result, Dispatch(parsed));
+  result.stats.parse_time = parse_time;
+  return result;
+}
+
+Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
+  switch (parsed.kind) {
+    case QueryKind::kMultievent: {
+      AIQL_ASSIGN_OR_RETURN(
+          AnalyzedQuery analyzed,
+          AnalyzeMultievent(*parsed.multievent, parsed.kind));
+      MultieventExecutor executor(db_, options_, pool_.get());
+      return executor.Execute(analyzed);
+    }
+    case QueryKind::kAnomaly: {
+      AIQL_ASSIGN_OR_RETURN(
+          AnalyzedQuery analyzed,
+          AnalyzeMultievent(*parsed.multievent, parsed.kind));
+      AnomalyExecutor executor(db_, options_, pool_.get());
+      return executor.Execute(analyzed);
+    }
+    case QueryKind::kDependency: {
+      AIQL_ASSIGN_OR_RETURN(auto rewritten,
+                            RewriteDependency(*parsed.dependency));
+      AIQL_ASSIGN_OR_RETURN(
+          AnalyzedQuery analyzed,
+          AnalyzeMultievent(*rewritten, QueryKind::kMultievent));
+      MultieventExecutor executor(db_, options_, pool_.get());
+      AIQL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(analyzed));
+      result.plan = "dependency query rewritten to multievent:\n" +
+                    result.plan;
+      return result;
+    }
+  }
+  return Status::Internal("unknown query kind");
+}
+
+Result<QueryKind> AiqlEngine::Check(std::string_view text) const {
+  AIQL_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseAiql(text));
+  switch (parsed.kind) {
+    case QueryKind::kDependency: {
+      AIQL_ASSIGN_OR_RETURN(auto rewritten,
+                            RewriteDependency(*parsed.dependency));
+      AIQL_RETURN_IF_ERROR(
+          AnalyzeMultievent(*rewritten, QueryKind::kMultievent).status());
+      break;
+    }
+    default:
+      AIQL_RETURN_IF_ERROR(
+          AnalyzeMultievent(*parsed.multievent, parsed.kind).status());
+  }
+  return parsed.kind;
+}
+
+Result<std::string> AiqlEngine::Explain(std::string_view text) {
+  AIQL_ASSIGN_OR_RETURN(QueryResult result, Execute(text));
+  return result.plan;
+}
+
+}  // namespace aiql

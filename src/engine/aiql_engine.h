@@ -1,0 +1,52 @@
+// AiqlEngine — the public query-system facade (the paper's Figure 1):
+// language parser -> query optimization -> executors, over the optimized
+// storage. This is the entry point examples and the REPL shell use.
+
+#ifndef AIQL_ENGINE_AIQL_ENGINE_H_
+#define AIQL_ENGINE_AIQL_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/result.h"
+#include "engine/scheduler.h"
+#include "query/ast.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Executes AIQL queries (multievent, dependency, anomaly) against a sealed
+/// AuditDatabase. Thread-safe for concurrent Execute calls after
+/// construction (the database is immutable and the pool is internally
+/// synchronized).
+class AiqlEngine {
+ public:
+  /// `db` must outlive the engine and be sealed.
+  explicit AiqlEngine(const AuditDatabase* db, EngineOptions options = {});
+  ~AiqlEngine();
+
+  /// Parses, analyzes, optimizes, and executes `text`.
+  Result<QueryResult> Execute(std::string_view text);
+
+  /// Syntax/semantic check only (the web UI's query debugging feature):
+  /// returns OK plus the query kind without executing.
+  Result<QueryKind> Check(std::string_view text) const;
+
+  /// Returns the execution plan without running the query.
+  Result<std::string> Explain(std::string_view text);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Result<QueryResult> Dispatch(const ParsedQuery& parsed);
+
+  const AuditDatabase* db_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_AIQL_ENGINE_H_

@@ -1,0 +1,38 @@
+// Anomaly query executor (paper §2.2.3 / §2.3).
+//
+// The engine partitions the pattern's matching events into sliding windows
+// by timestamp, computes the aggregate results per group, and enforces the
+// having filter — which may reference historical aggregate results
+// (`amt[1]` = the aggregate one window earlier), enabling frequency-based
+// anomaly models such as moving averages.
+
+#ifndef AIQL_ENGINE_ANOMALY_H_
+#define AIQL_ENGINE_ANOMALY_H_
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/result.h"
+#include "engine/scheduler.h"
+#include "query/analyzer.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Executes an analyzed anomaly query (single pattern + window spec).
+/// Result columns: "window_start", then the return items.
+class AnomalyExecutor {
+ public:
+  AnomalyExecutor(const AuditDatabase* db, EngineOptions options,
+                  ThreadPool* pool = nullptr);
+
+  Result<QueryResult> Execute(const AnalyzedQuery& analyzed);
+
+ private:
+  const AuditDatabase* db_;
+  EngineOptions options_;
+  ThreadPool* pool_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_ANOMALY_H_

@@ -1,0 +1,352 @@
+#include "engine/data_query.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+namespace aiql {
+
+void EntitySet::IntersectWith(const EntitySet& other) {
+  size_t n = std::min(bits_.size(), other.bits_.size());
+  for (size_t i = 0; i < n; ++i) {
+    bits_[i] &= other.bits_[i];
+  }
+  for (size_t i = n; i < bits_.size(); ++i) {
+    bits_[i] = 0;
+  }
+}
+
+size_t EntitySet::Count() const {
+  size_t count = 0;
+  for (uint64_t word : bits_) {
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+std::vector<EntityId> EntitySet::ToVector() const {
+  std::vector<EntityId> out;
+  for (size_t w = 0; w < bits_.size(); ++w) {
+    uint64_t word = bits_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out.push_back(static_cast<EntityId>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// An attribute value pulled out of a stored entity.
+struct AttrValue {
+  bool is_string = true;
+  std::string_view str;
+  int64_t num = 0;
+};
+
+AttrValue GetEntityAttr(const EntityStore& store, EntityType type,
+                        EntityId id, const std::string& attr) {
+  AttrValue out;
+  switch (type) {
+    case EntityType::kProcess: {
+      const ProcessEntity& p = store.processes()[id];
+      if (attr == "exe_name") {
+        out.str = store.exe_names().Get(p.exe_name);
+      } else if (attr == "user") {
+        out.str = store.users().Get(p.user);
+      } else if (attr == "pid") {
+        out.is_string = false;
+        out.num = p.pid;
+      } else {  // agentid
+        out.is_string = false;
+        out.num = p.agent_id;
+      }
+      break;
+    }
+    case EntityType::kFile: {
+      const FileEntity& f = store.files()[id];
+      if (attr == "path") {
+        out.str = store.paths().Get(f.path);
+      } else {  // agentid
+        out.is_string = false;
+        out.num = f.agent_id;
+      }
+      break;
+    }
+    case EntityType::kNetwork: {
+      const NetworkEntity& n = store.networks()[id];
+      if (attr == "dst_ip") {
+        out.str = store.ips().Get(n.dst_ip);
+      } else if (attr == "src_ip") {
+        out.str = store.ips().Get(n.src_ip);
+      } else if (attr == "protocol") {
+        out.str = store.protocols().Get(n.protocol);
+      } else if (attr == "dst_port") {
+        out.is_string = false;
+        out.num = n.dst_port;
+      } else if (attr == "src_port") {
+        out.is_string = false;
+        out.num = n.src_port;
+      } else {  // agentid
+        out.is_string = false;
+        out.num = n.agent_id;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool EvalStringPredicate(const CompiledPredicate& pred,
+                         std::string_view text) {
+  switch (pred.op) {
+    case CmpOp::kEq:
+    case CmpOp::kLike:
+    case CmpOp::kIn: {
+      for (const LikeMatcher& matcher : pred.matchers) {
+        if (matcher.Matches(text)) return true;
+      }
+      return false;
+    }
+    case CmpOp::kNe: {
+      for (const LikeMatcher& matcher : pred.matchers) {
+        if (matcher.Matches(text)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // analyzer rejects ordered comparisons on strings
+  }
+}
+
+bool EvalIntPredicate(const CompiledPredicate& pred, int64_t value) {
+  switch (pred.op) {
+    case CmpOp::kEq:
+      return value == pred.ints[0];
+    case CmpOp::kNe:
+      return value != pred.ints[0];
+    case CmpOp::kLt:
+      return value < pred.ints[0];
+    case CmpOp::kLe:
+      return value <= pred.ints[0];
+    case CmpOp::kGt:
+      return value > pred.ints[0];
+    case CmpOp::kGe:
+      return value >= pred.ints[0];
+    case CmpOp::kIn:
+      return std::find(pred.ints.begin(), pred.ints.end(), value) !=
+             pred.ints.end();
+    default:
+      return false;
+  }
+}
+
+bool EvalPredicate(const EntityStore& store, EntityType type, EntityId id,
+                   const CompiledPredicate& pred) {
+  AttrValue value = GetEntityAttr(store, type, id, pred.attr);
+  return value.is_string ? EvalStringPredicate(pred, value.str)
+                         : EvalIntPredicate(pred, value.num);
+}
+
+Result<CompiledPredicate> CompileConstraint(EntityType type,
+                                            const AttrConstraint& constraint) {
+  AIQL_ASSIGN_OR_RETURN(AttrInfo info,
+                        ResolveEntityAttr(type, constraint.attr));
+  CompiledPredicate pred;
+  pred.attr = info.canonical;
+  pred.op = constraint.op;
+  pred.kind = info.kind;
+  for (const ValueLiteral& value : constraint.values) {
+    if (info.kind == AttrKind::kString) {
+      // '=' against a wildcard-free string is exact (case-insensitive)
+      // equality; with wildcards (or explicit LIKE / bare-string shorthand)
+      // it is a LIKE match.
+      pred.matchers.emplace_back(value.str);
+    } else {
+      pred.ints.push_back(value.i);
+    }
+  }
+  return pred;
+}
+
+// True if `pred` constrains the attribute that has a postings index.
+bool IsIndexedAttr(EntityType type, const CompiledPredicate& pred) {
+  switch (type) {
+    case EntityType::kProcess:
+      return pred.attr == "exe_name";
+    case EntityType::kFile:
+      return pred.attr == "path";
+    case EntityType::kNetwork:
+      return pred.attr == "dst_ip" || pred.attr == "src_ip";
+  }
+  return false;
+}
+
+bool IsPositiveMatch(const CompiledPredicate& pred) {
+  return pred.op == CmpOp::kEq || pred.op == CmpOp::kLike ||
+         pred.op == CmpOp::kIn;
+}
+
+// Seeds candidate ids from the attribute index for an indexed predicate.
+std::vector<EntityId> SeedFromIndex(const EntityStore& store, EntityType type,
+                                    const CompiledPredicate& pred) {
+  std::vector<EntityId> seed;
+  for (const LikeMatcher& matcher : pred.matchers) {
+    std::vector<EntityId> ids;
+    switch (type) {
+      case EntityType::kProcess:
+        ids = store.FindProcessesByExe(matcher);
+        break;
+      case EntityType::kFile:
+        ids = store.FindFilesByPath(matcher);
+        break;
+      case EntityType::kNetwork:
+        ids = store.FindNetworksByIp(matcher, pred.attr == "src_ip");
+        break;
+    }
+    seed.insert(seed.end(), ids.begin(), ids.end());
+  }
+  std::sort(seed.begin(), seed.end());
+  seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
+  return seed;
+}
+
+// Builds the candidate set for a filter with at least one predicate.
+void ResolveCandidates(const EntityStore& store, EntityFilter* filter) {
+  const size_t universe = store.NumEntities(filter->type);
+  // Prefer an indexed, positively-matching predicate as the seed.
+  const CompiledPredicate* indexed = nullptr;
+  for (const CompiledPredicate& pred : filter->predicates) {
+    if (IsIndexedAttr(filter->type, pred) && IsPositiveMatch(pred)) {
+      indexed = &pred;
+      break;
+    }
+  }
+  EntitySet set(universe);
+  if (indexed != nullptr) {
+    for (EntityId id : SeedFromIndex(store, filter->type, *indexed)) {
+      bool pass = true;
+      for (const CompiledPredicate& pred : filter->predicates) {
+        if (&pred == indexed) continue;
+        if (!EvalPredicate(store, filter->type, id, pred)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) set.Add(id);
+    }
+  } else {
+    for (EntityId id = 0; id < universe; ++id) {
+      bool pass = true;
+      for (const CompiledPredicate& pred : filter->predicates) {
+        if (!EvalPredicate(store, filter->type, id, pred)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) set.Add(id);
+    }
+  }
+  filter->candidates = std::move(set);
+}
+
+// Collects exe-name string ids matched by the subject's exe predicates.
+std::vector<StringId> MatchExeIds(const EntityStore& store,
+                                  const EntityFilter& filter) {
+  std::vector<const CompiledPredicate*> exe_preds;
+  for (const CompiledPredicate& pred : filter.predicates) {
+    if (pred.attr == "exe_name" && IsPositiveMatch(pred)) {
+      exe_preds.push_back(&pred);
+    }
+  }
+  std::vector<StringId> out;
+  if (exe_preds.empty()) return out;
+  store.exe_names().ForEach([&](StringId id, std::string_view text) {
+    for (const CompiledPredicate* pred : exe_preds) {
+      if (!EvalStringPredicate(*pred, text)) return;
+    }
+    out.push_back(id);
+  });
+  return out;
+}
+
+}  // namespace
+
+bool FilterAccepts(const EntityFilter& filter, EntityId id) {
+  return !filter.candidates.has_value() || filter.candidates->Contains(id);
+}
+
+bool EntityMatchesPredicates(const EntityStore& store, EntityType type,
+                             EntityId id,
+                             const std::vector<CompiledPredicate>& preds) {
+  for (const CompiledPredicate& pred : preds) {
+    if (!EvalPredicate(store, type, id, pred)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<CompiledPattern>> CompilePatterns(
+    const AnalyzedQuery& analyzed, const AuditDatabase& db) {
+  const MultieventQueryAst& ast = *analyzed.ast;
+  const EntityStore& store = db.entities();
+
+  // Merge constraints of shared variables across all their occurrences: the
+  // constraints written on any occurrence of `f1` apply to every pattern
+  // that mentions `f1`.
+  std::unordered_map<std::string, std::vector<const AttrConstraint*>>
+      merged_constraints;
+  for (const EventPatternAst& pattern : ast.patterns) {
+    for (const EntityDeclAst* decl : {&pattern.subject, &pattern.object}) {
+      if (decl->var.empty()) continue;
+      auto& list = merged_constraints[decl->var];
+      for (const AttrConstraint& constraint : decl->constraints) {
+        list.push_back(&constraint);
+      }
+    }
+  }
+
+  std::vector<CompiledPattern> compiled;
+  compiled.reserve(ast.patterns.size());
+  for (int i = 0; i < static_cast<int>(ast.patterns.size()); ++i) {
+    const EventPatternAst& pattern = ast.patterns[i];
+    CompiledPattern cp;
+    cp.index = i;
+    cp.event_var = analyzed.event_vars[i];
+    for (OpType op : pattern.ops) {
+      cp.op_mask |= OpBit(op);
+    }
+    cp.time_range = analyzed.time_window;
+
+    auto compile_side = [&](const EntityDeclAst& decl,
+                            EntityFilter* filter) -> Status {
+      filter->type = decl.type;
+      std::vector<const AttrConstraint*> constraints;
+      if (!decl.var.empty()) {
+        constraints = merged_constraints[decl.var];
+      } else {
+        for (const AttrConstraint& constraint : decl.constraints) {
+          constraints.push_back(&constraint);
+        }
+      }
+      for (const AttrConstraint* constraint : constraints) {
+        AIQL_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                              CompileConstraint(decl.type, *constraint));
+        filter->predicates.push_back(std::move(pred));
+      }
+      filter->has_constraints = !filter->predicates.empty();
+      if (filter->has_constraints) {
+        ResolveCandidates(store, filter);
+      }
+      return Status::OK();
+    };
+    AIQL_RETURN_IF_ERROR(compile_side(pattern.subject, &cp.subject));
+    AIQL_RETURN_IF_ERROR(compile_side(pattern.object, &cp.object));
+    cp.subject.matched_exe_ids = MatchExeIds(store, cp.subject);
+    compiled.push_back(std::move(cp));
+  }
+  return compiled;
+}
+
+}  // namespace aiql

@@ -1,0 +1,98 @@
+// Compiled per-pattern data queries (paper §2.3).
+//
+// The engine synthesizes one data query per event pattern instead of weaving
+// all joins into a single monolithic plan. A compiled pattern carries the
+// operation mask, the resolved time range, the agent filter, and candidate
+// entity bitsets for the subject/object sides (resolved once against the
+// entity store's attribute indexes).
+
+#ifndef AIQL_ENGINE_DATA_QUERY_H_
+#define AIQL_ENGINE_DATA_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/like_matcher.h"
+#include "common/status.h"
+#include "query/analyzer.h"
+#include "query/ast.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Dense bitset over entity ids of one type.
+class EntitySet {
+ public:
+  explicit EntitySet(size_t universe) : bits_((universe + 63) / 64, 0) {}
+
+  void Add(EntityId id) { bits_[id >> 6] |= 1ULL << (id & 63); }
+  bool Contains(EntityId id) const {
+    size_t word = id >> 6;
+    return word < bits_.size() && (bits_[word] >> (id & 63)) & 1;
+  }
+  /// Keeps only ids also present in `other`.
+  void IntersectWith(const EntitySet& other);
+  size_t Count() const;
+  /// Materializes the member ids in ascending order.
+  std::vector<EntityId> ToVector() const;
+
+ private:
+  std::vector<uint64_t> bits_;
+};
+
+/// One compiled attribute predicate against a stored entity.
+struct CompiledPredicate {
+  std::string attr;  ///< canonical name
+  CmpOp op = CmpOp::kEq;
+  AttrKind kind = AttrKind::kString;
+  std::vector<LikeMatcher> matchers;  ///< string predicates (LIKE / = / !=)
+  std::vector<int64_t> ints;          ///< numeric operands
+};
+
+/// Compiled filter over one entity side of a pattern.
+struct EntityFilter {
+  EntityType type = EntityType::kProcess;
+  std::vector<CompiledPredicate> predicates;
+  /// Candidate ids (resolved from indexes + predicates); nullopt = all.
+  std::optional<EntitySet> candidates;
+  /// Exe-name string ids matched by subject exe predicates (estimator input;
+  /// empty when the subject has no exe_name constraint).
+  std::vector<StringId> matched_exe_ids;
+  bool has_constraints = false;
+};
+
+/// Fully compiled event pattern.
+struct CompiledPattern {
+  int index = 0;                 ///< position in the query
+  std::string event_var;
+  OpMask op_mask = 0;
+  EntityFilter subject;          ///< always process-typed
+  EntityFilter object;
+  TimeRange time_range{INT64_MIN, INT64_MAX};  ///< global window (refined
+                                               ///< later by temporal pruning)
+  /// Estimated matching events (filled by the scheduler).
+  double estimated_cardinality = 0;
+};
+
+/// Compiles all patterns of an analyzed query against a database: resolves
+/// constraint predicates, merges constraints of shared entity variables
+/// across their occurrences, and materializes candidate entity sets.
+Result<std::vector<CompiledPattern>> CompilePatterns(
+    const AnalyzedQuery& analyzed, const AuditDatabase& db);
+
+/// Evaluates whether entity `id` of `type` passes `filter`'s candidate set.
+bool FilterAccepts(const EntityFilter& filter, EntityId id);
+
+/// Evaluates `preds` directly against a stored entity — the per-row Filter
+/// cost of engines without candidate-set indexes. The graph baseline uses
+/// this to model Neo4j label scans and expand-filters (Neo4j cannot use
+/// property indexes for the regex predicates LIKE patterns translate to).
+bool EntityMatchesPredicates(const EntityStore& store, EntityType type,
+                             EntityId id,
+                             const std::vector<CompiledPredicate>& preds);
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_DATA_QUERY_H_

@@ -1,0 +1,71 @@
+#include "engine/dependency.h"
+
+#include "query/analyzer.h"
+
+namespace aiql {
+
+Result<std::unique_ptr<MultieventQueryAst>> RewriteDependency(
+    const DependencyQueryAst& dep) {
+  AIQL_RETURN_IF_ERROR(ValidateDependency(dep));
+
+  auto query = std::make_unique<MultieventQueryAst>();
+  query->globals.time_window = dep.globals.time_window;
+  query->globals.attrs = dep.globals.attrs;
+  query->distinct = dep.distinct;
+  query->return_items = dep.return_items;
+  query->order_by = dep.order_by;
+  query->limit = dep.limit;
+
+  // Name anonymous nodes so consecutive edges share a variable (the join
+  // that makes the path connected). '$' names cannot clash with user text.
+  int anon_counter = 0;
+  auto named = [&](const EntityDeclAst& decl) {
+    EntityDeclAst out = decl;
+    if (out.var.empty()) {
+      out.var = "$node" + std::to_string(++anon_counter);
+    }
+    return out;
+  };
+
+  EntityDeclAst previous = named(dep.start);
+  std::vector<std::string> event_vars;
+  for (size_t i = 0; i < dep.edges.size(); ++i) {
+    const DependencyEdgeAst& edge = dep.edges[i];
+    EntityDeclAst target = named(edge.target);
+
+    EventPatternAst pattern;
+    pattern.line = edge.line;
+    pattern.column = edge.column;
+    pattern.ops = edge.ops;
+    // The arrow points from the event's subject to its object.
+    if (edge.arrow_forward) {
+      pattern.subject = previous;
+      pattern.object = target;
+    } else {
+      pattern.subject = target;
+      pattern.object = previous;
+    }
+    pattern.event_var = "$dep" + std::to_string(i + 1);
+    event_vars.push_back(pattern.event_var);
+    query->patterns.push_back(std::move(pattern));
+
+    // Constraints of a node apply once; later occurrences only need the
+    // variable for the join (CompilePatterns merges per-variable constraints
+    // across occurrences anyway, but dropping them keeps the rewritten AST
+    // small).
+    previous = target;
+    previous.constraints.clear();
+  }
+
+  // Chain temporal order: forward -> earlier edges happen earlier.
+  for (size_t i = 0; i + 1 < event_vars.size(); ++i) {
+    TemporalRelAst rel;
+    rel.left = event_vars[i];
+    rel.right = event_vars[i + 1];
+    rel.before = dep.forward;
+    query->temporal_rels.push_back(std::move(rel));
+  }
+  return query;
+}
+
+}  // namespace aiql

@@ -1,0 +1,27 @@
+// Dependency query rewriting (paper §2.3).
+//
+// A dependency query declares an event path; the parser-level AST is
+// compiled into a semantically equivalent multievent query: each edge
+// becomes an event pattern (the arrow identifies the subject side), node
+// variables shared between consecutive edges become implicit attribute
+// relationships, and `forward:`/`backward:` fixes the temporal order of the
+// chain (forward = left events occur earlier).
+
+#ifndef AIQL_ENGINE_DEPENDENCY_H_
+#define AIQL_ENGINE_DEPENDENCY_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace aiql {
+
+/// Compiles a dependency query into an equivalent multievent query.
+/// Anonymous path nodes receive internal names so consecutive edges join.
+Result<std::unique_ptr<MultieventQueryAst>> RewriteDependency(
+    const DependencyQueryAst& dep);
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_DEPENDENCY_H_

@@ -1,0 +1,443 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_utils.h"
+#include "engine/projector.h"
+#include "query/attributes.h"
+
+namespace aiql {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Duration ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+/// Matched events of one pattern plus timestamp envelope for pruning.
+struct PatternMatches {
+  std::vector<Event> events;
+  Timestamp min_start = INT64_MAX;
+  Timestamp max_start = INT64_MIN;
+  Timestamp min_end = INT64_MAX;
+  Timestamp max_end = INT64_MIN;
+
+  void Note(const Event& event) {
+    min_start = std::min(min_start, event.start_ts);
+    max_start = std::max(max_start, event.start_ts);
+    min_end = std::min(min_end, event.end_ts);
+    max_end = std::max(max_end, event.end_ts);
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const std::vector<EntityId>& key) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (EntityId id : key) {
+      h = (h ^ id) * 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+MultieventExecutor::MultieventExecutor(const AuditDatabase* db,
+                                       EngineOptions options,
+                                       ThreadPool* pool)
+    : db_(db), options_(options), pool_(pool) {
+  if (options_.enable_parallelism && pool_ == nullptr) {
+    size_t threads = options_.num_threads != 0
+                         ? options_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+Result<QueryResult> MultieventExecutor::Execute(
+    const AnalyzedQuery& analyzed) {
+  const MultieventQueryAst& ast = *analyzed.ast;
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  stats.patterns = static_cast<int>(ast.patterns.size());
+  stats.threads_used =
+      options_.enable_parallelism && pool_ != nullptr
+          ? static_cast<int>(pool_->num_threads())
+          : 1;
+
+  auto plan_start = Clock::now();
+  AIQL_ASSIGN_OR_RETURN(std::vector<CompiledPattern> patterns,
+                        CompilePatterns(analyzed, *db_));
+  std::vector<size_t> order = SchedulePatterns(
+      &patterns, *db_, analyzed.agent_filter, options_);
+  stats.plan_time = ElapsedUs(plan_start);
+
+  // Render the plan for Explain / debugging.
+  {
+    std::string plan = "multievent plan (scan order by pruning power):\n";
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      const CompiledPattern& p = patterns[order[rank]];
+      plan += "  " + std::to_string(rank + 1) + ". pattern #" +
+              std::to_string(p.index + 1) + " [" + p.event_var +
+              "] est=" + std::to_string(static_cast<int64_t>(
+                             p.estimated_cardinality)) +
+              "\n";
+    }
+    result.plan = std::move(plan);
+  }
+
+  auto exec_start = Clock::now();
+
+  // --- scan phase -----------------------------------------------------------
+  const int num_patterns = static_cast<int>(patterns.size());
+  std::vector<PatternMatches> matches(num_patterns);
+  // Entity bindings from already-scanned patterns: var -> matched ids.
+  std::unordered_map<std::string, EntitySet> bindings;
+  std::vector<bool> scanned(num_patterns, false);
+  bool empty_result = false;
+
+  for (size_t rank = 0; rank < order.size() && !empty_result; ++rank) {
+    CompiledPattern& pattern = patterns[order[rank]];
+    const EventPatternAst& pattern_ast = ast.patterns[pattern.index];
+
+    // Semi-join pruning: intersect candidate sets with bindings of shared
+    // variables scanned earlier.
+    if (options_.enable_semi_join) {
+      auto apply_binding = [&](const EntityDeclAst& decl,
+                               EntityFilter* filter) {
+        if (decl.var.empty()) return;
+        auto it = bindings.find(decl.var);
+        if (it == bindings.end()) return;
+        if (filter->candidates.has_value()) {
+          filter->candidates->IntersectWith(it->second);
+        } else {
+          filter->candidates = it->second;
+        }
+      };
+      apply_binding(pattern_ast.subject, &pattern.subject);
+      apply_binding(pattern_ast.object, &pattern.object);
+    }
+
+    // Temporal pruning: tighten this pattern's scan range using the
+    // envelopes of already-scanned patterns.
+    if (options_.enable_temporal_pruning) {
+      for (const TemporalRelAst& rel : ast.temporal_rels) {
+        int left = analyzed.event_index.at(rel.left);
+        int right = analyzed.event_index.at(rel.right);
+        if (!rel.before) std::swap(left, right);
+        // Now: event[left] before event[right].
+        if (right == pattern.index && scanned[left] &&
+            !matches[left].events.empty()) {
+          // This pattern must start at/after some left event's end.
+          pattern.time_range.start =
+              std::max(pattern.time_range.start, matches[left].min_end);
+        }
+        if (left == pattern.index && scanned[right] &&
+            !matches[right].events.empty()) {
+          // This pattern must end at/before some right event's start, so it
+          // must start before the latest right start as well.
+          pattern.time_range.end =
+              std::min(pattern.time_range.end, matches[right].max_start + 1);
+        }
+      }
+    }
+
+    // Empty candidate sets cannot match anything: skip the scan (and the
+    // whole query) outright.
+    if ((pattern.subject.candidates.has_value() &&
+         pattern.subject.candidates->Count() == 0) ||
+        (pattern.object.candidates.has_value() &&
+         pattern.object.candidates->Count() == 0)) {
+      scanned[pattern.index] = true;
+      empty_result = true;
+      break;
+    }
+
+    // Subject == object inside a single pattern (e.g. `proc p connect proc
+    // p`) requires an identity check during the scan.
+    bool same_var_both_sides =
+        !pattern_ast.subject.var.empty() &&
+        pattern_ast.subject.var == pattern_ast.object.var;
+
+    // Partition-parallel scan.
+    auto partitions =
+        db_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
+    stats.partitions_scanned += partitions.size();
+    std::vector<std::vector<Event>> local_matches(partitions.size());
+    std::vector<uint64_t> local_scanned(partitions.size(), 0);
+
+    auto scan_partition = [&](size_t pi) {
+      const EventPartition& partition = *partitions[pi].second;
+      const std::vector<Event>& events = partition.events();
+      size_t begin = partition.LowerBound(pattern.time_range.start);
+      uint64_t scanned_count = 0;
+      for (size_t i = begin; i < events.size(); ++i) {
+        const Event& event = events[i];
+        if (event.start_ts >= pattern.time_range.end) break;
+        ++scanned_count;
+        if (!OpMaskContains(pattern.op_mask, event.op)) continue;
+        if (event.object_type != pattern.object.type) continue;
+        if (analyzed.agent_filter.has_value()) {
+          // Partition selection already filters agents when partitioning is
+          // on; flat storage needs the per-event check.
+          const auto& agents = *analyzed.agent_filter;
+          if (std::find(agents.begin(), agents.end(), event.agent_id) ==
+              agents.end()) {
+            continue;
+          }
+        }
+        if (!FilterAccepts(pattern.subject, event.subject)) continue;
+        if (!FilterAccepts(pattern.object, event.object)) continue;
+        if (same_var_both_sides && event.subject != event.object) continue;
+        local_matches[pi].push_back(event);
+      }
+      local_scanned[pi] = scanned_count;
+    };
+
+    if (options_.enable_parallelism && pool_ != nullptr &&
+        partitions.size() > 1) {
+      pool_->ParallelFor(partitions.size(), scan_partition);
+    } else {
+      for (size_t pi = 0; pi < partitions.size(); ++pi) scan_partition(pi);
+    }
+
+    PatternMatches& pm = matches[pattern.index];
+    for (size_t pi = 0; pi < partitions.size(); ++pi) {
+      stats.events_scanned += local_scanned[pi];
+      for (const Event& event : local_matches[pi]) {
+        pm.Note(event);
+        pm.events.push_back(event);
+      }
+    }
+    stats.events_matched += pm.events.size();
+    scanned[pattern.index] = true;
+    if (pm.events.empty()) {
+      empty_result = true;
+      break;
+    }
+
+    // Record bindings for semi-join pruning of later scans.
+    if (options_.enable_semi_join) {
+      auto record_binding = [&](const EntityDeclAst& decl, bool is_subject) {
+        if (decl.var.empty()) return;
+        size_t universe = db_->entities().NumEntities(decl.type);
+        EntitySet set(universe);
+        for (const Event& event : pm.events) {
+          set.Add(is_subject ? event.subject : event.object);
+        }
+        auto [it, inserted] = bindings.emplace(decl.var, set);
+        if (!inserted) it->second.IntersectWith(set);
+      };
+      record_binding(pattern_ast.subject, true);
+      record_binding(pattern_ast.object, false);
+    }
+  }
+
+  // --- join phase ------------------------------------------------------------
+  Projector projector(db_->entities(), analyzed);
+
+  // Column names follow the return items (alias > rendered expression).
+  for (const ReturnItemAst& item : ast.return_items) {
+    if (!item.alias.empty()) {
+      result.table.columns.push_back(item.alias);
+    } else if (const auto* ref = std::get_if<AttrRefAst>(&item.expr)) {
+      result.table.columns.push_back(ref->ToString());
+    } else {
+      const auto& agg = std::get<AggCallAst>(item.expr);
+      result.table.columns.push_back(std::string(AggFuncToString(agg.func)) +
+                                     "(...)");
+    }
+  }
+
+  if (empty_result) {
+    stats.exec_time = ElapsedUs(exec_start);
+    return result;
+  }
+
+  // Join specs per rank: for each rank, the list of (side-is-subject)
+  // whose var already appeared
+  // in earlier-ranked patterns — these form the hash key.
+  std::vector<std::vector<bool>> key_sides(num_patterns);
+  std::unordered_map<std::string, std::pair<size_t, bool>> first_binding;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const EventPatternAst& pattern_ast = ast.patterns[patterns[order[rank]].index];
+    auto note_side = [&](const EntityDeclAst& decl, bool is_subject) {
+      if (decl.var.empty()) return;
+      if (first_binding.count(decl.var) > 0) {
+        key_sides[rank].push_back(is_subject);
+      } else {
+        first_binding.emplace(decl.var, std::make_pair(rank, is_subject));
+      }
+    };
+    note_side(pattern_ast.subject, true);
+    note_side(pattern_ast.object, false);
+  }
+
+  // Hash indexes for ranks joining on shared variables.
+  using JoinIndex =
+      std::unordered_map<std::vector<EntityId>, std::vector<const Event*>,
+                         JoinKeyHash>;
+  // var -> (rank, is_subject) of its first binding; used to derive keys from
+  // the current partial assignment.
+  std::vector<JoinIndex> join_indexes(num_patterns);
+  std::vector<std::vector<std::pair<size_t, bool>>> key_sources(num_patterns);
+  for (size_t rank = 1; rank < order.size(); ++rank) {
+    const CompiledPattern& pattern = patterns[order[rank]];
+    const EventPatternAst& pattern_ast = ast.patterns[pattern.index];
+    std::vector<std::string> key_vars;
+    auto consider = [&](const EntityDeclAst& decl, bool is_subject) {
+      if (decl.var.empty()) return;
+      auto it = first_binding.find(decl.var);
+      if (it == first_binding.end() || it->second.first >= rank) return;
+      // Guard against duplicate var on both sides (key once).
+      for (const std::string& existing : key_vars) {
+        if (existing == decl.var) return;
+      }
+      key_vars.push_back(decl.var);
+      key_sides[rank].push_back(is_subject);  // rebuilt below, reset first
+      key_sources[rank].push_back(it->second);
+    };
+    key_sides[rank].clear();
+    consider(pattern_ast.subject, true);
+    consider(pattern_ast.object, false);
+
+    JoinIndex& index = join_indexes[rank];
+    for (const Event& event : matches[pattern.index].events) {
+      std::vector<EntityId> key;
+      key.reserve(key_sides[rank].size());
+      for (bool is_subject : key_sides[rank]) {
+        key.push_back(is_subject ? event.subject : event.object);
+      }
+      index[key].push_back(&event);
+    }
+  }
+
+  std::unordered_set<std::string> distinct_rows;
+  std::vector<const Event*> assignment(num_patterns, nullptr);
+  bool limit_reached = false;
+
+  // Emits one completed assignment through projection + distinct + limit.
+  auto emit = [&] {
+    std::vector<Value> row;
+    row.reserve(ast.return_items.size());
+    for (const ReturnItemAst& item : ast.return_items) {
+      const auto& ref = std::get<AttrRefAst>(item.expr);
+      row.push_back(projector.Resolve(ref, assignment));
+    }
+    if (ast.distinct) {
+      std::string key;
+      for (const Value& value : row) {
+        key += ValueToString(value);
+        key += '\x1f';
+      }
+      if (!distinct_rows.insert(key).second) return;
+    }
+    result.table.rows.push_back(std::move(row));
+    // With `order by`, every row must be produced before sorting; the limit
+    // is applied afterwards.
+    if (ast.order_by.empty() && ast.limit.has_value() &&
+        result.table.rows.size() >= static_cast<size_t>(*ast.limit)) {
+      limit_reached = true;
+    }
+  };
+
+  // Checks all relations between `pattern_index` and already-assigned
+  // patterns (by join rank).
+  auto relations_ok = [&](int pattern_index) {
+    for (const TemporalRelAst& rel : ast.temporal_rels) {
+      int left = analyzed.event_index.at(rel.left);
+      int right = analyzed.event_index.at(rel.right);
+      int other = left == pattern_index ? right
+                  : right == pattern_index ? left
+                                           : -1;
+      if (other < 0 || assignment[other] == nullptr) continue;
+      const Event* a = assignment[left];
+      const Event* b = assignment[right];
+      Duration within = rel.within;
+      bool holds = rel.before ? TemporalHolds(*a, *b, within)
+                              : TemporalHolds(*b, *a, within);
+      if (!holds) return false;
+    }
+    for (const AttrRelAst& rel : ast.attr_rels) {
+      // Evaluate once both referenced patterns are assigned; attribute the
+      // check to the later assignment.
+      auto pattern_of = [&](const AttrRefAst& ref) -> int {
+        auto event_it = analyzed.event_index.find(ref.var);
+        if (event_it != analyzed.event_index.end()) return event_it->second;
+        return analyzed.entity_occurrences.at(ref.var).front().pattern;
+      };
+      int lp = pattern_of(rel.left);
+      int rp = pattern_of(rel.right);
+      if (assignment[lp] == nullptr || assignment[rp] == nullptr) continue;
+      if (lp != pattern_index && rp != pattern_index) continue;
+      Value left = projector.Resolve(rel.left, assignment);
+      Value right = projector.Resolve(rel.right, assignment);
+      if (!CompareValues(left, rel.op, right)) return false;
+    }
+    return true;
+  };
+
+  // Backtracking join in scheduled order.
+  auto join = [&](auto&& self, size_t rank) -> void {
+    if (limit_reached) return;
+    if (rank == order.size()) {
+      emit();
+      return;
+    }
+    const CompiledPattern& pattern = patterns[order[rank]];
+    int pattern_index = pattern.index;
+    auto try_event = [&](const Event* event) {
+      if (limit_reached) return;
+      ++stats.join_candidates;
+      assignment[pattern_index] = event;
+      if (relations_ok(pattern_index)) self(self, rank + 1);
+      assignment[pattern_index] = nullptr;
+    };
+    if (rank == 0 || key_sides[rank].empty()) {
+      for (const Event& event : matches[pattern_index].events) {
+        try_event(&event);
+        if (limit_reached) return;
+      }
+      return;
+    }
+    // Derive the key from already-assigned first bindings.
+    std::vector<EntityId> key;
+    key.reserve(key_sources[rank].size());
+    for (const auto& [src_rank, src_is_subject] : key_sources[rank]) {
+      const Event* src = assignment[patterns[order[src_rank]].index];
+      key.push_back(src_is_subject ? src->subject : src->object);
+    }
+    auto it = join_indexes[rank].find(key);
+    if (it == join_indexes[rank].end()) return;
+    for (const Event* event : it->second) {
+      try_event(event);
+      if (limit_reached) return;
+    }
+  };
+  join(join, 0);
+
+  if (!ast.order_by.empty()) {
+    AIQL_ASSIGN_OR_RETURN(auto keys,
+                          ResolveOrderColumns(ast.order_by,
+                                              ast.return_items));
+    OrderResultRows(&result.table, keys);
+    if (ast.limit.has_value() &&
+        result.table.rows.size() > static_cast<size_t>(*ast.limit)) {
+      result.table.rows.resize(static_cast<size_t>(*ast.limit));
+    }
+  }
+
+  stats.exec_time = ElapsedUs(exec_start);
+  return result;
+}
+
+}  // namespace aiql

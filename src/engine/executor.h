@@ -1,0 +1,48 @@
+// Multievent query executor (paper §2.3).
+//
+// Execution proceeds in two phases:
+//  1. Scan phase — one data query per event pattern, executed in the
+//     scheduler's pruning-power order. Each scan runs partition-parallel
+//     (key insight #2). Bindings from completed scans prune later ones:
+//     shared entity variables restrict candidate sets (semi-join), and
+//     `before`/`after` relations tighten time ranges (temporal pruning).
+//  2. Join phase — matched events are combined with hash-indexed
+//     backtracking honoring shared variables, explicit attribute relations,
+//     and temporal relations; results are projected into a ResultTable.
+
+#ifndef AIQL_ENGINE_EXECUTOR_H_
+#define AIQL_ENGINE_EXECUTOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/data_query.h"
+#include "engine/result.h"
+#include "engine/scheduler.h"
+#include "query/analyzer.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Executes analyzed multievent queries against a sealed database.
+class MultieventExecutor {
+ public:
+  /// `pool` may be null (a private pool is created when parallelism is on).
+  MultieventExecutor(const AuditDatabase* db, EngineOptions options,
+                     ThreadPool* pool = nullptr);
+
+  /// Runs the query; returns the result table plus execution statistics and
+  /// a rendered plan.
+  Result<QueryResult> Execute(const AnalyzedQuery& analyzed);
+
+ private:
+  const AuditDatabase* db_;
+  EngineOptions options_;
+  ThreadPool* pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_EXECUTOR_H_

@@ -1,0 +1,125 @@
+#include "engine/result.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table_printer.h"
+
+namespace aiql {
+
+std::string ValueToString(const Value& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) return *s;
+  if (const auto* i = std::get_if<int64_t>(&value)) return std::to_string(*i);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", std::get<double>(value));
+  return buf;
+}
+
+std::string ResultTable::ToString(size_t max_rows) const {
+  TablePrinter printer(columns);
+  size_t shown = std::min(max_rows, rows.size());
+  for (size_t i = 0; i < shown; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[i].size());
+    for (const Value& value : rows[i]) {
+      cells.push_back(ValueToString(value));
+    }
+    printer.AddRow(std::move(cells));
+  }
+  std::string out = printer.ToString();
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+void ResultTable::SortRows() {
+  auto render = [](const std::vector<Value>& row) {
+    std::string key;
+    for (const Value& value : row) {
+      key += ValueToString(value);
+      key += '\x1f';
+    }
+    return key;
+  };
+  std::sort(rows.begin(), rows.end(),
+            [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+              return render(a) < render(b);
+            });
+}
+
+Result<std::vector<std::pair<size_t, bool>>> ResolveOrderColumns(
+    const std::vector<OrderItemAst>& order_by,
+    const std::vector<ReturnItemAst>& return_items, size_t column_offset) {
+  std::vector<std::pair<size_t, bool>> keys;
+  for (const OrderItemAst& item : order_by) {
+    bool found = false;
+    for (size_t i = 0; i < return_items.size(); ++i) {
+      const ReturnItemAst& ret = return_items[i];
+      bool alias_match = !ret.alias.empty() && ret.alias == item.ref.var &&
+                         item.ref.attr.empty();
+      bool expr_match = false;
+      if (const auto* ref = std::get_if<AttrRefAst>(&ret.expr)) {
+        expr_match = ref->var == item.ref.var && ref->attr == item.ref.attr;
+      }
+      if (alias_match || expr_match) {
+        keys.emplace_back(column_offset + i, item.desc);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::SemanticError("order by '" + item.ref.ToString() +
+                                   "' does not match any return item");
+    }
+  }
+  return keys;
+}
+
+void OrderResultRows(ResultTable* table,
+                     const std::vector<std::pair<size_t, bool>>& keys) {
+  if (keys.empty()) return;
+  auto compare_values = [](const Value& a, const Value& b) {
+    bool a_str = std::holds_alternative<std::string>(a);
+    bool b_str = std::holds_alternative<std::string>(b);
+    if (a_str && b_str) {
+      return std::get<std::string>(a).compare(std::get<std::string>(b));
+    }
+    auto num = [](const Value& v) {
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        return static_cast<double>(*i);
+      }
+      if (const auto* d = std::get_if<double>(&v)) return *d;
+      return 0.0;
+    };
+    double l = num(a), r = num(b);
+    return l < r ? -1 : (l > r ? 1 : 0);
+  };
+  std::stable_sort(
+      table->rows.begin(), table->rows.end(),
+      [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+        for (const auto& [column, desc] : keys) {
+          if (column >= a.size() || column >= b.size()) continue;
+          int cmp = compare_values(a[column], b[column]);
+          if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+        }
+        return false;
+      });
+}
+
+bool ResultTable::operator==(const ResultTable& other) const {
+  if (columns != other.columns || rows.size() != other.rows.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != other.rows[i].size()) return false;
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (ValueToString(rows[i][j]) != ValueToString(other.rows[i][j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace aiql

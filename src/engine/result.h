@@ -1,0 +1,81 @@
+// Query result representation shared by the AIQL engine and the baseline
+// engines (so differential tests can compare outputs directly).
+
+#ifndef AIQL_ENGINE_RESULT_H_
+#define AIQL_ENGINE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_utils.h"
+#include "query/ast.h"
+
+namespace aiql {
+
+/// One result cell: string, integer, or floating point.
+using Value = std::variant<std::string, int64_t, double>;
+
+/// Renders a value for display ("42", "3.14", "cmd.exe").
+std::string ValueToString(const Value& value);
+
+/// Tabular query output.
+struct ResultTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Renders as an aligned ASCII table (for the shell / examples).
+  std::string ToString(size_t max_rows = 50) const;
+
+  /// Sorts rows lexicographically by rendered cells — canonical order for
+  /// cross-engine comparison in tests.
+  void SortRows();
+
+  bool operator==(const ResultTable& other) const;
+};
+
+/// Execution statistics reported with every query (the web UI's execution
+/// status area shows these).
+struct QueryStats {
+  Duration parse_time = 0;
+  Duration plan_time = 0;
+  Duration exec_time = 0;
+  uint64_t events_scanned = 0;     ///< events inspected across all scans
+  uint64_t events_matched = 0;     ///< events matching some pattern
+  uint64_t partitions_scanned = 0;
+  uint64_t join_candidates = 0;    ///< tuples considered during the join
+  int patterns = 0;
+  int threads_used = 1;
+
+  Duration total_time() const { return parse_time + plan_time + exec_time; }
+};
+
+/// Resolves `order by` items against the return items: each order item must
+/// match a return item's alias or its var/attr expression. Returns (column
+/// index, descending) pairs.
+Result<std::vector<std::pair<size_t, bool>>> ResolveOrderColumns(
+    const std::vector<OrderItemAst>& order_by,
+    const std::vector<ReturnItemAst>& return_items,
+    size_t column_offset = 0);
+
+/// Stable-sorts rows by the given (column, descending) keys; numbers compare
+/// numerically, strings lexicographically.
+void OrderResultRows(ResultTable* table,
+                     const std::vector<std::pair<size_t, bool>>& keys);
+
+/// Full outcome of executing one query.
+struct QueryResult {
+  ResultTable table;
+  QueryStats stats;
+  std::string plan;  ///< human-readable execution plan (Explain output)
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_RESULT_H_

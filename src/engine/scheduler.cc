@@ -1,0 +1,76 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aiql {
+
+double EstimateCardinality(
+    const CompiledPattern& pattern, const AuditDatabase& db,
+    const std::optional<std::vector<AgentId>>& agents) {
+  auto partitions = db.SelectPartitions(pattern.time_range, agents);
+
+  double op_events = 0;       // events with a matching operation
+  double subject_events = 0;  // events whose subject exe matches
+  bool use_exe_counts = !pattern.subject.matched_exe_ids.empty();
+  for (const auto& [key, partition] : partitions) {
+    op_events += static_cast<double>(partition->OpMaskCount(pattern.op_mask));
+    if (use_exe_counts) {
+      for (StringId exe : pattern.subject.matched_exe_ids) {
+        subject_events += static_cast<double>(partition->SubjectExeCount(exe));
+      }
+    }
+  }
+
+  double estimate = op_events;
+  if (use_exe_counts) {
+    estimate = std::min(estimate, subject_events);
+  } else if (pattern.subject.candidates.has_value()) {
+    // Non-exe subject constraints: scale by candidate fraction.
+    size_t universe = db.entities().NumEntities(EntityType::kProcess);
+    double fraction =
+        universe == 0 ? 0.0
+                      : static_cast<double>(
+                            pattern.subject.candidates->Count()) /
+                            static_cast<double>(universe);
+    estimate *= fraction;
+  }
+  if (pattern.object.candidates.has_value()) {
+    size_t universe = db.entities().NumEntities(pattern.object.type);
+    double fraction =
+        universe == 0
+            ? 0.0
+            : static_cast<double>(pattern.object.candidates->Count()) /
+                  static_cast<double>(universe);
+    estimate *= fraction;
+  }
+  return estimate;
+}
+
+std::vector<size_t> SchedulePatterns(
+    std::vector<CompiledPattern>* patterns, const AuditDatabase& db,
+    const std::optional<std::vector<AgentId>>& agents,
+    const EngineOptions& options) {
+  for (CompiledPattern& pattern : *patterns) {
+    pattern.estimated_cardinality = EstimateCardinality(pattern, db, agents);
+  }
+  std::vector<size_t> order(patterns->size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!options.enable_reordering) return order;
+
+  auto constraint_count = [&](size_t i) {
+    return (*patterns)[i].subject.predicates.size() +
+           (*patterns)[i].object.predicates.size();
+  };
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ca = (*patterns)[a].estimated_cardinality;
+    double cb = (*patterns)[b].estimated_cardinality;
+    if (ca != cb) return ca < cb;
+    // Tie-break: more constraints first (higher pruning power), then the
+    // original order for determinism.
+    return constraint_count(a) > constraint_count(b);
+  });
+  return order;
+}
+
+}  // namespace aiql

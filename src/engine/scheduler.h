@@ -1,0 +1,54 @@
+// Pruning-power scheduling (paper §2.3, key insight #1).
+//
+// For a query with multiple event patterns, the engine prioritizes the
+// search of patterns with higher pruning power — i.e. the smallest expected
+// number of matching events — so that the bindings they produce prune later,
+// less selective scans (semi-join reduction). Cardinality is estimated from
+// partition statistics: per-operation counts and per-subject-executable
+// event counts, scaled by candidate-set selectivity on the object side.
+
+#ifndef AIQL_ENGINE_SCHEDULER_H_
+#define AIQL_ENGINE_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/data_query.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Engine knobs; defaults enable every optimization. The ablation benchmark
+/// toggles them individually.
+struct EngineOptions {
+  /// Reorder patterns by estimated pruning power (insight #1).
+  bool enable_reordering = true;
+  /// Partition-parallel scan execution (insight #2). 0 threads = hardware
+  /// concurrency.
+  bool enable_parallelism = true;
+  size_t num_threads = 0;
+  /// Semi-join pruning: bindings from already-executed patterns restrict
+  /// the candidate sets of later scans.
+  bool enable_semi_join = true;
+  /// Temporal pruning: `before`/`after` relations tighten later scans'
+  /// time ranges using matched events' timestamps.
+  bool enable_temporal_pruning = true;
+};
+
+/// Estimates the number of events matching `pattern` within the partitions
+/// selected by its time range and `agents`.
+double EstimateCardinality(const CompiledPattern& pattern,
+                           const AuditDatabase& db,
+                           const std::optional<std::vector<AgentId>>& agents);
+
+/// Fills estimated_cardinality on each pattern and returns the execution
+/// order (indexes into `patterns`): ascending estimate when reordering is
+/// on, original order otherwise.
+std::vector<size_t> SchedulePatterns(
+    std::vector<CompiledPattern>* patterns, const AuditDatabase& db,
+    const std::optional<std::vector<AgentId>>& agents,
+    const EngineOptions& options);
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_SCHEDULER_H_

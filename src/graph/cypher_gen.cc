@@ -1,0 +1,255 @@
+#include "graph/cypher_gen.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_utils.h"
+#include "engine/dependency.h"
+#include "query/analyzer.h"
+#include "query/attributes.h"
+
+namespace aiql {
+
+namespace {
+
+const char* NodeLabel(EntityType type) {
+  switch (type) {
+    case EntityType::kProcess:
+      return "Process";
+    case EntityType::kFile:
+      return "File";
+    case EntityType::kNetwork:
+      return "Connection";
+  }
+  return "?";
+}
+
+// SQL LIKE -> case-insensitive Cypher regex: % -> .*, _ -> ., rest escaped.
+std::string LikeToRegex(const std::string& pattern) {
+  std::string out = "(?i)";
+  for (char c : pattern) {
+    if (c == '%') {
+      out += ".*";
+    } else if (c == '_') {
+      out += '.';
+    } else if (std::string(".\\+*?[^]$(){}=!<>|:-#").find(c) !=
+               std::string::npos) {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string CypherString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+class CypherTranslator {
+ public:
+  CypherTranslator(const MultieventQueryAst& ast,
+                   const AnalyzedQuery& analyzed)
+      : ast_(ast), analyzed_(analyzed) {}
+
+  Result<CypherTranslation> Run() {
+    if (ast_.is_anomaly()) {
+      return Status::Unimplemented(
+          "anomaly queries are not translated to Cypher");
+    }
+    // MATCH clause: one relationship pattern per event.
+    std::vector<std::string> matches;
+    for (int i = 0; i < static_cast<int>(ast_.patterns.size()); ++i) {
+      const EventPatternAst& pattern = ast_.patterns[i];
+      std::string subj = NodeRef(pattern.subject);
+      std::string obj = NodeRef(pattern.object);
+      std::string rel = "e" + std::to_string(i + 1);
+      matches.push_back("(" + subj + ")-[" + rel + ":EVENT]->(" + obj + ")");
+      EmitPatternPredicates(pattern, rel, i);
+    }
+    EmitRelations();
+
+    std::string cypher = "MATCH " + JoinStrings(matches, ",\n      ");
+    if (!predicates_.empty()) {
+      cypher += "\nWHERE " + JoinStrings(predicates_, "\n  AND ");
+    }
+    cypher += "\nRETURN ";
+    if (ast_.distinct) cypher += "DISTINCT ";
+    std::vector<std::string> items;
+    for (const ReturnItemAst& item : ast_.return_items) {
+      const auto* ref = std::get_if<AttrRefAst>(&item.expr);
+      if (ref == nullptr) {
+        return Status::Unimplemented("aggregates not translated to Cypher");
+      }
+      AIQL_ASSIGN_OR_RETURN(std::string expr, RefCypher(*ref));
+      if (!item.alias.empty()) expr += " AS " + item.alias;
+      items.push_back(std::move(expr));
+    }
+    cypher += JoinStrings(items, ", ");
+    if (ast_.limit.has_value()) {
+      cypher += "\nLIMIT " + std::to_string(*ast_.limit);
+    }
+    cypher += ";";
+
+    CypherTranslation out;
+    out.metrics.constraints = constraint_count_;
+    out.metrics.words = CountWords(cypher);
+    out.metrics.chars = CountNonSpaceChars(cypher);
+    out.cypher = std::move(cypher);
+    return out;
+  }
+
+ private:
+  void AddPredicate(std::string text) {
+    predicates_.push_back(std::move(text));
+    ++constraint_count_;
+  }
+
+  // Node reference: first occurrence gets the label, later ones only the
+  // variable (Cypher node reuse == the implicit attribute relationship).
+  std::string NodeRef(const EntityDeclAst& decl) {
+    std::string var = decl.var;
+    if (var.empty()) var = "n" + std::to_string(++anon_counter_);
+    bool first = seen_.insert(var).second;
+    if (first) var_type_[var] = decl.type;
+    for (const AttrConstraint& constraint : decl.constraints) {
+      EmitConstraint(var, decl.type, constraint);
+    }
+    if (first) {
+      return var + ":" + NodeLabel(decl.type);
+    }
+    return var;
+  }
+
+  void EmitConstraint(const std::string& var, EntityType type,
+                      const AttrConstraint& constraint) {
+    auto info = ResolveEntityAttr(type, constraint.attr);
+    std::string attr = info.ok() ? info->canonical : constraint.attr;
+    std::string ref = var + "." + attr;
+    if (constraint.op == CmpOp::kIn) {
+      std::string list;
+      for (size_t i = 0; i < constraint.values.size(); ++i) {
+        if (i > 0) list += ", ";
+        list += RenderValue(constraint.values[i]);
+      }
+      AddPredicate(ref + " IN [" + list + "]");
+      return;
+    }
+    const ValueLiteral& value = constraint.values.front();
+    bool is_string = value.kind == ValueLiteral::Kind::kString;
+    if (is_string &&
+        (constraint.op == CmpOp::kLike || constraint.op == CmpOp::kEq)) {
+      AddPredicate(ref + " =~ " + CypherString(LikeToRegex(value.str)));
+      return;
+    }
+    const char* op = CmpOpToString(constraint.op);
+    AddPredicate(ref + " " + op + " " + RenderValue(value));
+  }
+
+  std::string RenderValue(const ValueLiteral& value) {
+    if (value.kind == ValueLiteral::Kind::kString) {
+      return CypherString(value.str);
+    }
+    return value.kind == ValueLiteral::Kind::kInt ? std::to_string(value.i)
+                                                  : std::to_string(value.f);
+  }
+
+  void EmitPatternPredicates(const EventPatternAst& pattern,
+                             const std::string& rel, int index) {
+    (void)index;
+    if (pattern.ops.size() == 1) {
+      AddPredicate(rel + ".op = '" +
+                   OpTypeToString(pattern.ops.front()) + "'");
+    } else {
+      std::string list;
+      for (size_t k = 0; k < pattern.ops.size(); ++k) {
+        if (k > 0) list += ", ";
+        list += std::string("'") + OpTypeToString(pattern.ops[k]) + "'";
+      }
+      AddPredicate(rel + ".op IN [" + list + "]");
+    }
+    for (const AttrConstraint& g : ast_.globals.attrs) {
+      AddPredicate(rel + ".agentid = " + RenderValue(g.values.front()));
+    }
+    if (ast_.globals.time_window.has_value()) {
+      const TimeRange& w = *ast_.globals.time_window;
+      AddPredicate(rel + ".start_ts >= " + std::to_string(w.start));
+      AddPredicate(rel + ".start_ts < " + std::to_string(w.end));
+    }
+  }
+
+  void EmitRelations() {
+    for (const TemporalRelAst& temporal : ast_.temporal_rels) {
+      int left = analyzed_.event_index.at(temporal.left);
+      int right = analyzed_.event_index.at(temporal.right);
+      if (!temporal.before) std::swap(left, right);
+      std::string l = "e" + std::to_string(left + 1);
+      std::string r = "e" + std::to_string(right + 1);
+      AddPredicate(l + ".end_ts <= " + r + ".start_ts");
+      if (temporal.within > 0) {
+        AddPredicate(r + ".start_ts - " + l + ".end_ts <= " +
+                     std::to_string(temporal.within));
+      }
+    }
+    for (const AttrRelAst& rel : ast_.attr_rels) {
+      auto left = RefCypher(rel.left);
+      auto right = RefCypher(rel.right);
+      if (left.ok() && right.ok()) {
+        AddPredicate(*left + " " + CmpOpToString(rel.op) + " " + *right);
+      }
+    }
+  }
+
+  Result<std::string> RefCypher(const AttrRefAst& ref) {
+    auto event_it = analyzed_.event_index.find(ref.var);
+    if (event_it != analyzed_.event_index.end()) {
+      AIQL_ASSIGN_OR_RETURN(
+          AttrInfo info,
+          ResolveEventAttr(ref.attr.empty() ? "amount" : ref.attr));
+      std::string attr = info.canonical == "start_time" ? "start_ts"
+                         : info.canonical == "end_time" ? "end_ts"
+                                                        : info.canonical;
+      return "e" + std::to_string(event_it->second + 1) + "." + attr;
+    }
+    auto type_it = var_type_.find(ref.var);
+    if (type_it == var_type_.end()) {
+      return Status::SemanticError("unknown variable '" + ref.var + "'");
+    }
+    AIQL_ASSIGN_OR_RETURN(AttrInfo info,
+                          ResolveEntityAttr(type_it->second, ref.attr));
+    return ref.var + "." + info.canonical;
+  }
+
+  const MultieventQueryAst& ast_;
+  const AnalyzedQuery& analyzed_;
+  std::vector<std::string> predicates_;
+  size_t constraint_count_ = 0;
+  int anon_counter_ = 0;
+  std::unordered_set<std::string> seen_;
+  std::unordered_map<std::string, EntityType> var_type_;
+};
+
+}  // namespace
+
+Result<CypherTranslation> TranslateToCypher(const ParsedQuery& query) {
+  if (query.kind == QueryKind::kDependency) {
+    AIQL_ASSIGN_OR_RETURN(auto rewritten,
+                          RewriteDependency(*query.dependency));
+    AIQL_ASSIGN_OR_RETURN(
+        AnalyzedQuery analyzed,
+        AnalyzeMultievent(*rewritten, QueryKind::kMultievent));
+    return CypherTranslator(*rewritten, analyzed).Run();
+  }
+  AIQL_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                        AnalyzeMultievent(*query.multievent, query.kind));
+  return CypherTranslator(*query.multievent, analyzed).Run();
+}
+
+}  // namespace aiql

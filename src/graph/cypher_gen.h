@@ -1,0 +1,32 @@
+// AIQL -> Cypher translation (conciseness comparison, paper §3).
+//
+// Generates the Cypher a Neo4j analyst would write for the same behavior:
+// one MATCH relationship per event pattern, WHERE predicates for entity
+// constraints (LIKE patterns become case-insensitive regexes), operation
+// and global constraints repeated per relationship, and explicit timestamp
+// comparisons for temporal relationships.
+
+#ifndef AIQL_GRAPH_CYPHER_GEN_H_
+#define AIQL_GRAPH_CYPHER_GEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/metrics.h"
+
+namespace aiql {
+
+/// A generated Cypher statement plus its conciseness metrics.
+struct CypherTranslation {
+  std::string cypher;
+  QueryTextMetrics metrics;
+};
+
+/// Translates a multievent or dependency AIQL query to Cypher. Anomaly
+/// queries are not translated (the Fig. 5 catalog is multievent-only).
+Result<CypherTranslation> TranslateToCypher(const ParsedQuery& query);
+
+}  // namespace aiql
+
+#endif  // AIQL_GRAPH_CYPHER_GEN_H_

@@ -1,0 +1,42 @@
+// Traversal-based pattern matching — the Neo4j/Cypher execution stand-in.
+//
+// Patterns are matched in *query order* by backtracking edge expansion:
+// the first pattern enumerates candidate edges (seeded from a node-property
+// index when a side is constrained, like Neo4j's label/property indexes);
+// subsequent patterns expand adjacency from nodes bound by shared
+// variables, or fall back to full edge scans. Temporal and attribute
+// relationships are checked per partial assignment. Single-threaded, no
+// join reordering, no semi-join pruning — the evaluated Neo4j behavior
+// ("runs generally slower than PostgreSQL since it lacks support for
+// efficient joins", paper §3).
+
+#ifndef AIQL_GRAPH_GRAPH_EXECUTOR_H_
+#define AIQL_GRAPH_GRAPH_EXECUTOR_H_
+
+#include "common/status.h"
+#include "engine/result.h"
+#include "graph/graph_store.h"
+#include "query/analyzer.h"
+#include "query/ast.h"
+
+namespace aiql {
+
+/// Executes multievent queries (and dependency queries rewritten to
+/// multievent form) by graph traversal. Anomaly queries are unsupported
+/// (return kUnimplemented), matching the catalogs used in Fig. 5.
+class GraphExecutor {
+ public:
+  explicit GraphExecutor(const GraphStore* graph) : graph_(graph) {}
+
+  Result<QueryResult> Execute(const AnalyzedQuery& analyzed);
+
+  /// Parses + analyzes + executes AIQL text (rewriting dependency queries).
+  Result<QueryResult> ExecuteAiql(std::string_view text);
+
+ private:
+  const GraphStore* graph_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_GRAPH_GRAPH_EXECUTOR_H_

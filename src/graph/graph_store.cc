@@ -1,0 +1,29 @@
+#include "graph/graph_store.h"
+
+namespace aiql {
+
+GraphStore::GraphStore(const AuditDatabase* db) : db_(db) {
+  const EntityStore& es = db->entities();
+  file_base_ = static_cast<NodeId>(es.processes().size());
+  net_base_ = file_base_ + static_cast<NodeId>(es.files().size());
+  num_nodes_ = net_base_ + es.networks().size();
+
+  out_.resize(num_nodes_);
+  in_.resize(num_nodes_);
+
+  for (const auto& [key, partition] :
+       db->SelectPartitions(TimeRange{INT64_MIN, INT64_MAX}, std::nullopt)) {
+    for (const Event& event : partition->events()) {
+      GraphEdge edge;
+      edge.event = event;
+      edge.subject = NodeOf(EntityType::kProcess, event.subject);
+      edge.object = NodeOf(event.object_type, event.object);
+      uint32_t index = static_cast<uint32_t>(edges_.size());
+      out_[edge.subject].push_back(index);
+      in_[edge.object].push_back(index);
+      edges_.push_back(edge);
+    }
+  }
+}
+
+}  // namespace aiql

@@ -1,0 +1,85 @@
+// Property-graph view of the audit data — the Neo4j stand-in substrate.
+//
+// Entities become nodes, events become edges carrying (op, timestamps,
+// amount, agent). Nodes keep adjacency lists in both directions. As in
+// Neo4j, node properties can be index-looked-up (we reuse the entity
+// store's attribute postings), but edge pattern matching proceeds by
+// traversal/expansion — there is no hash-join machinery, which is exactly
+// the weakness the paper's Fig. 5 exposes on multi-step behaviors.
+
+#ifndef AIQL_GRAPH_GRAPH_STORE_H_
+#define AIQL_GRAPH_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Dense graph node id: processes, then files, then networks.
+using NodeId = uint32_t;
+
+/// One event edge (subject node -> object node).
+struct GraphEdge {
+  Event event;      ///< the original event (timestamps, op, amount, ...)
+  NodeId subject = 0;
+  NodeId object = 0;
+};
+
+/// Immutable property graph built from a sealed database.
+class GraphStore {
+ public:
+  explicit GraphStore(const AuditDatabase* db);
+
+  const AuditDatabase& db() const { return *db_; }
+  const EntityStore& entities() const { return db_->entities(); }
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  NodeId NodeOf(EntityType type, EntityId id) const {
+    switch (type) {
+      case EntityType::kProcess:
+        return id;
+      case EntityType::kFile:
+        return file_base_ + id;
+      case EntityType::kNetwork:
+        return net_base_ + id;
+    }
+    return 0;
+  }
+  EntityType NodeType(NodeId node) const {
+    if (node >= net_base_) return EntityType::kNetwork;
+    if (node >= file_base_) return EntityType::kFile;
+    return EntityType::kProcess;
+  }
+  EntityId NodeEntity(NodeId node) const {
+    if (node >= net_base_) return node - net_base_;
+    if (node >= file_base_) return node - file_base_;
+    return node;
+  }
+
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+  /// Edge indexes leaving `node` (node is the subject).
+  const std::vector<uint32_t>& OutEdges(NodeId node) const {
+    return out_[node];
+  }
+  /// Edge indexes entering `node` (node is the object).
+  const std::vector<uint32_t>& InEdges(NodeId node) const {
+    return in_[node];
+  }
+
+ private:
+  const AuditDatabase* db_;
+  NodeId file_base_ = 0;
+  NodeId net_base_ = 0;
+  size_t num_nodes_ = 0;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<std::vector<uint32_t>> in_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_GRAPH_GRAPH_STORE_H_

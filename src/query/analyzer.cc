@@ -1,0 +1,398 @@
+#include "query/analyzer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_utils.h"
+
+namespace aiql {
+
+namespace {
+
+constexpr int kMaxHistoryIndex = 64;
+
+Status LocError(int line, int column, std::string msg) {
+  return Status::SemanticError("line " + std::to_string(line) + ", col " +
+                               std::to_string(column) + ": " +
+                               std::move(msg));
+}
+
+// Operations legal for each object entity type.
+bool OpValidForObject(OpType op, EntityType object_type) {
+  switch (object_type) {
+    case EntityType::kProcess:
+      return op == OpType::kStart || op == OpType::kEnd ||
+             op == OpType::kConnect;
+    case EntityType::kFile:
+      return op == OpType::kRead || op == OpType::kWrite ||
+             op == OpType::kExecute || op == OpType::kDelete ||
+             op == OpType::kRename;
+    case EntityType::kNetwork:
+      return op == OpType::kRead || op == OpType::kWrite ||
+             op == OpType::kConnect || op == OpType::kAccept;
+  }
+  return false;
+}
+
+// Checks one entity constraint: attribute exists, value types line up,
+// LIKE only applies to strings.
+Status ValidateConstraint(EntityType type, const AttrConstraint& constraint) {
+  auto info = ResolveEntityAttr(type, constraint.attr);
+  if (!info.ok()) {
+    return LocError(constraint.line, constraint.column,
+                    info.status().message());
+  }
+  if (constraint.values.empty()) {
+    return LocError(constraint.line, constraint.column,
+                    "constraint has no value");
+  }
+  for (const ValueLiteral& value : constraint.values) {
+    bool is_string = value.kind == ValueLiteral::Kind::kString;
+    if (info->kind == AttrKind::kString && !is_string) {
+      return LocError(constraint.line, constraint.column,
+                      "attribute '" + info->canonical +
+                          "' is a string; got a numeric value");
+    }
+    if (info->kind == AttrKind::kInt && is_string) {
+      return LocError(constraint.line, constraint.column,
+                      "attribute '" + info->canonical +
+                          "' is numeric; got a string value");
+    }
+  }
+  if (constraint.op == CmpOp::kLike && info->kind != AttrKind::kString) {
+    return LocError(constraint.line, constraint.column,
+                    "LIKE requires a string attribute");
+  }
+  if ((constraint.op == CmpOp::kLt || constraint.op == CmpOp::kLe ||
+       constraint.op == CmpOp::kGt || constraint.op == CmpOp::kGe) &&
+      info->kind != AttrKind::kInt) {
+    return LocError(constraint.line, constraint.column,
+                    "ordered comparison requires a numeric attribute");
+  }
+  return Status::OK();
+}
+
+Status ValidateEntityDecl(const EntityDeclAst& decl) {
+  for (const AttrConstraint& constraint : decl.constraints) {
+    AIQL_RETURN_IF_ERROR(ValidateConstraint(decl.type, constraint));
+  }
+  return Status::OK();
+}
+
+// Resolves the global constraints: only agentid is meaningful globally.
+Status ResolveGlobals(const GlobalConstraints& globals,
+                      AnalyzedQuery* analyzed) {
+  if (globals.time_window.has_value()) {
+    analyzed->time_window = *globals.time_window;
+  }
+  for (const AttrConstraint& constraint : globals.attrs) {
+    if (constraint.attr != "agentid" && constraint.attr != "agent_id") {
+      return LocError(constraint.line, constraint.column,
+                      "unsupported global constraint '" + constraint.attr +
+                          "' (only agentid)");
+    }
+    if (constraint.op != CmpOp::kEq && constraint.op != CmpOp::kIn) {
+      return LocError(constraint.line, constraint.column,
+                      "global agentid supports '=' or 'in' only");
+    }
+    std::vector<AgentId> agents;
+    for (const ValueLiteral& value : constraint.values) {
+      if (value.kind == ValueLiteral::Kind::kString) {
+        return LocError(constraint.line, constraint.column,
+                        "agentid must be numeric");
+      }
+      agents.push_back(static_cast<AgentId>(value.i));
+    }
+    if (!analyzed->agent_filter.has_value()) {
+      analyzed->agent_filter = std::move(agents);
+    } else {
+      // Conjunction of global constraints: intersect candidate sets.
+      std::vector<AgentId> merged;
+      for (AgentId agent : *analyzed->agent_filter) {
+        if (std::find(agents.begin(), agents.end(), agent) != agents.end()) {
+          merged.push_back(agent);
+        }
+      }
+      analyzed->agent_filter = std::move(merged);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AnalyzedQuery> AnalyzeMultievent(const MultieventQueryAst& ast,
+                                        QueryKind kind) {
+  AnalyzedQuery analyzed;
+  analyzed.ast = &ast;
+  analyzed.kind = kind;
+
+  if (ast.patterns.empty()) {
+    return Status::SemanticError("query declares no event patterns");
+  }
+
+  AIQL_RETURN_IF_ERROR(ResolveGlobals(ast.globals, &analyzed));
+
+  // --- patterns: types, ops, constraints, variable tables -------------------
+  std::unordered_set<std::string> used_event_vars;
+  int auto_counter = 0;
+  for (int i = 0; i < static_cast<int>(ast.patterns.size()); ++i) {
+    const EventPatternAst& pattern = ast.patterns[i];
+    if (pattern.subject.type != EntityType::kProcess) {
+      return LocError(pattern.subject.line, pattern.subject.column,
+                      "event subjects must be processes");
+    }
+    if (pattern.ops.empty()) {
+      return LocError(pattern.line, pattern.column,
+                      "event pattern has no operation");
+    }
+    for (OpType op : pattern.ops) {
+      if (!OpValidForObject(op, pattern.object.type)) {
+        return LocError(
+            pattern.line, pattern.column,
+            std::string("operation '") + OpTypeToString(op) +
+                "' is not valid for object type '" +
+                EntityTypeToString(pattern.object.type) + "'");
+      }
+    }
+    AIQL_RETURN_IF_ERROR(ValidateEntityDecl(pattern.subject));
+    AIQL_RETURN_IF_ERROR(ValidateEntityDecl(pattern.object));
+
+    // Event variable.
+    // Auto-assigned names start with '$' so they can never be referenced
+    // from query text (the lexer rejects '$' in identifiers).
+    std::string event_var = pattern.event_var;
+    if (event_var.empty()) {
+      event_var = "$evt" + std::to_string(++auto_counter);
+    }
+    if (!used_event_vars.insert(event_var).second) {
+      return LocError(pattern.line, pattern.column,
+                      "duplicate event name '" + event_var + "'");
+    }
+    analyzed.event_vars.push_back(event_var);
+    analyzed.event_index[event_var] = i;
+
+    // Entity variables (subject + object).
+    auto note_var = [&](const EntityDeclAst& decl,
+                        bool is_subject) -> Status {
+      if (decl.var.empty()) return Status::OK();
+      auto [it, inserted] =
+          analyzed.entity_types.emplace(decl.var, decl.type);
+      if (!inserted && it->second != decl.type) {
+        return LocError(decl.line, decl.column,
+                        "variable '" + decl.var + "' was previously a '" +
+                            EntityTypeToString(it->second) +
+                            "' but is redeclared as '" +
+                            EntityTypeToString(decl.type) + "'");
+      }
+      analyzed.entity_occurrences[decl.var].push_back(
+          VarOccurrence{i, is_subject});
+      return Status::OK();
+    };
+    AIQL_RETURN_IF_ERROR(note_var(pattern.subject, /*is_subject=*/true));
+    AIQL_RETURN_IF_ERROR(note_var(pattern.object, /*is_subject=*/false));
+  }
+
+  // Entity variables must not collide with event variables.
+  for (const auto& [var, occurrences] : analyzed.entity_occurrences) {
+    if (analyzed.event_index.count(var) > 0) {
+      return Status::SemanticError("name '" + var +
+                                   "' is used for both an entity and an "
+                                   "event");
+    }
+  }
+
+  // --- temporal relationships ----------------------------------------------
+  for (const TemporalRelAst& rel : ast.temporal_rels) {
+    if (analyzed.event_index.count(rel.left) == 0) {
+      return LocError(rel.line, rel.column,
+                      "unknown event '" + rel.left + "' in 'with' clause");
+    }
+    if (analyzed.event_index.count(rel.right) == 0) {
+      return LocError(rel.line, rel.column,
+                      "unknown event '" + rel.right + "' in 'with' clause");
+    }
+    if (rel.left == rel.right) {
+      return LocError(rel.line, rel.column,
+                      "temporal relation relates '" + rel.left +
+                          "' to itself");
+    }
+    if (rel.within < 0) {
+      return LocError(rel.line, rel.column,
+                      "temporal bound must be non-negative");
+    }
+  }
+
+  // --- attribute relationships ----------------------------------------------
+  auto resolve_rel_ref = [&](const AttrRefAst& ref) -> Result<AttrInfo> {
+    auto entity_it = analyzed.entity_types.find(ref.var);
+    if (entity_it != analyzed.entity_types.end()) {
+      auto info = ResolveEntityAttr(entity_it->second, ref.attr);
+      if (!info.ok()) {
+        return LocError(ref.line, ref.column, info.status().message());
+      }
+      return info;
+    }
+    if (analyzed.event_index.count(ref.var) > 0) {
+      auto info = ResolveEventAttr(ref.attr.empty() ? "amount" : ref.attr);
+      if (!info.ok()) {
+        return LocError(ref.line, ref.column, info.status().message());
+      }
+      return info;
+    }
+    return LocError(ref.line, ref.column,
+                    "unknown variable '" + ref.var + "'");
+  };
+  for (const AttrRelAst& rel : ast.attr_rels) {
+    AIQL_ASSIGN_OR_RETURN(AttrInfo left, resolve_rel_ref(rel.left));
+    AIQL_ASSIGN_OR_RETURN(AttrInfo right, resolve_rel_ref(rel.right));
+    if (left.kind != right.kind) {
+      return LocError(rel.left.line, rel.left.column,
+                      "attribute relation compares a string with a number");
+    }
+    if (rel.op == CmpOp::kLike || rel.op == CmpOp::kIn) {
+      return LocError(rel.left.line, rel.left.column,
+                      "attribute relations support =, !=, <, <=, >, >=");
+    }
+  }
+
+  // --- return / group by / having ------------------------------------------
+  bool is_anomaly = kind == QueryKind::kAnomaly || ast.is_anomaly();
+  bool has_aggregate = false;
+  std::unordered_set<std::string> agg_aliases;
+  for (const ReturnItemAst& item : ast.return_items) {
+    if (const auto* ref = std::get_if<AttrRefAst>(&item.expr)) {
+      AIQL_RETURN_IF_ERROR(resolve_rel_ref(*ref).status());
+    } else {
+      const AggCallAst& agg = std::get<AggCallAst>(item.expr);
+      has_aggregate = true;
+      if (!is_anomaly) {
+        return Status::SemanticError(
+            "aggregate '" + std::string(AggFuncToString(agg.func)) +
+            "' requires a sliding window (anomaly query)");
+      }
+      if (!agg.star) {
+        if (analyzed.event_index.count(agg.arg.var) == 0) {
+          return LocError(agg.arg.line, agg.arg.column,
+                          "aggregate argument must reference an event "
+                          "variable");
+        }
+        auto info =
+            ResolveEventAttr(agg.arg.attr.empty() ? "amount" : agg.arg.attr);
+        if (!info.ok()) {
+          return LocError(agg.arg.line, agg.arg.column,
+                          info.status().message());
+        }
+        if (info->kind != AttrKind::kInt) {
+          return LocError(agg.arg.line, agg.arg.column,
+                          "aggregates require a numeric event attribute");
+        }
+      } else if (agg.func != AggFunc::kCount) {
+        return Status::SemanticError("only count(*) may aggregate '*'");
+      }
+      if (!item.alias.empty()) agg_aliases.insert(item.alias);
+    }
+  }
+
+  if (is_anomaly) {
+    if (ast.patterns.size() != 1) {
+      return Status::SemanticError(
+          "anomaly queries aggregate over a single event pattern; found " +
+          std::to_string(ast.patterns.size()));
+    }
+    if (!has_aggregate) {
+      return Status::SemanticError(
+          "anomaly query returns no aggregate; add e.g. avg(evt.amount)");
+    }
+  }
+
+  for (const AttrRefAst& ref : ast.group_by) {
+    if (!is_anomaly) {
+      return Status::SemanticError("group by requires a sliding window");
+    }
+    AIQL_RETURN_IF_ERROR(resolve_rel_ref(ref).status());
+  }
+
+  // Order-by items must reference return items (by alias or expression).
+  for (const OrderItemAst& item : ast.order_by) {
+    bool found = false;
+    for (const ReturnItemAst& ret : ast.return_items) {
+      if (!ret.alias.empty() && ret.alias == item.ref.var &&
+          item.ref.attr.empty()) {
+        found = true;
+        break;
+      }
+      if (const auto* ref = std::get_if<AttrRefAst>(&ret.expr)) {
+        if (ref->var == item.ref.var && ref->attr == item.ref.attr) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      return LocError(item.ref.line, item.ref.column,
+                      "order by '" + item.ref.ToString() +
+                          "' does not match any return item");
+    }
+  }
+
+  if (ast.having != nullptr) {
+    if (!is_anomaly) {
+      return Status::SemanticError("having requires a sliding window");
+    }
+    // Walk the expression tree validating aggregate references.
+    std::vector<const HavingExpr*> stack{ast.having.get()};
+    while (!stack.empty()) {
+      const HavingExpr* node = stack.back();
+      stack.pop_back();
+      if (node == nullptr) continue;
+      if (node->kind == HavingExpr::Kind::kAggRef) {
+        if (agg_aliases.count(node->agg_alias) == 0) {
+          return Status::SemanticError(
+              "having references '" + node->agg_alias +
+              "', which is not an aggregate alias from the return clause");
+        }
+        if (node->history < 0 || node->history > kMaxHistoryIndex) {
+          return Status::SemanticError(
+              "history index out of range in having clause");
+        }
+      }
+      stack.push_back(node->lhs.get());
+      stack.push_back(node->rhs.get());
+    }
+  }
+
+  return analyzed;
+}
+
+Status ValidateDependency(const DependencyQueryAst& ast) {
+  AIQL_RETURN_IF_ERROR(ValidateEntityDecl(ast.start));
+  const EntityDeclAst* previous = &ast.start;
+  for (const DependencyEdgeAst& edge : ast.edges) {
+    AIQL_RETURN_IF_ERROR(ValidateEntityDecl(edge.target));
+    // The arrow points subject -> object; the subject side must be a process.
+    const EntityDeclAst& subject =
+        edge.arrow_forward ? *previous : edge.target;
+    const EntityDeclAst& object = edge.arrow_forward ? edge.target : *previous;
+    if (subject.type != EntityType::kProcess) {
+      return LocError(edge.line, edge.column,
+                      "the subject side of a dependency edge must be a "
+                      "process");
+    }
+    if (edge.ops.empty()) {
+      return LocError(edge.line, edge.column, "edge has no operation");
+    }
+    for (OpType op : edge.ops) {
+      if (!OpValidForObject(op, object.type)) {
+        return LocError(edge.line, edge.column,
+                        std::string("operation '") + OpTypeToString(op) +
+                            "' is not valid for object type '" +
+                            EntityTypeToString(object.type) + "'");
+      }
+    }
+    previous = &edge.target;
+  }
+  return Status::OK();
+}
+
+}  // namespace aiql

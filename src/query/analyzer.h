@@ -1,0 +1,62 @@
+// Semantic analysis for parsed AIQL queries.
+//
+// The analyzer validates a MultieventQueryAst (dependency queries are first
+// rewritten to multievent form by the engine) and produces the binding
+// tables the executor consumes: event-variable indexes, shared entity
+// variables (the implicit attribute relationships of §2.2.1), the resolved
+// time window, and the spatial (agent) filter.
+
+#ifndef AIQL_QUERY_ANALYZER_H_
+#define AIQL_QUERY_ANALYZER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/attributes.h"
+
+namespace aiql {
+
+/// One occurrence of an entity variable inside a pattern.
+struct VarOccurrence {
+  int pattern = 0;
+  bool is_subject = true;
+};
+
+/// The validated, bound form of a multievent (or anomaly) query.
+struct AnalyzedQuery {
+  const MultieventQueryAst* ast = nullptr;  ///< borrowed; caller keeps alive
+  QueryKind kind = QueryKind::kMultievent;
+
+  /// Event variable name of each pattern (auto-assigned when omitted).
+  std::vector<std::string> event_vars;
+  /// Event variable name -> pattern index.
+  std::unordered_map<std::string, int> event_index;
+  /// Entity variable -> all its occurrences (>=2 occurrences means the
+  /// patterns join on that entity — an implicit attribute relationship).
+  std::unordered_map<std::string, std::vector<VarOccurrence>>
+      entity_occurrences;
+  /// Entity variable -> its (consistent) entity type.
+  std::unordered_map<std::string, EntityType> entity_types;
+
+  /// Resolved global time window (whole time line when unconstrained).
+  TimeRange time_window{INT64_MIN, INT64_MAX};
+  /// Global agent filter (nullopt = all agents).
+  std::optional<std::vector<AgentId>> agent_filter;
+};
+
+/// Validates `ast` and builds the binding tables. `kind` is the parser's
+/// classification (multievent or anomaly).
+Result<AnalyzedQuery> AnalyzeMultievent(const MultieventQueryAst& ast,
+                                        QueryKind kind);
+
+/// Validates a dependency query's declarations (entity types, ops,
+/// constraints). Path rewriting itself lives in the engine.
+Status ValidateDependency(const DependencyQueryAst& ast);
+
+}  // namespace aiql
+
+#endif  // AIQL_QUERY_ANALYZER_H_

@@ -1,0 +1,245 @@
+// Abstract syntax tree for the AIQL language (paper §2.2).
+//
+// Three query forms share one AST family:
+//  * multievent queries  — event patterns + global constraints + `with`
+//    temporal/attribute relationships + `return`;
+//  * dependency queries  — `forward:`/`backward:` event paths, compiled by
+//    the engine into equivalent multievent queries;
+//  * anomaly queries     — a multievent body plus a sliding-window spec,
+//    aggregate return items, `group by`, and a `having` filter that may
+//    access historical window aggregates (`amt[1]`).
+
+#ifndef AIQL_QUERY_AST_H_
+#define AIQL_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Comparison operators usable in constraints and relationships.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kLike, kIn };
+
+const char* CmpOpToString(CmpOp op);
+
+/// A literal constraint value.
+struct ValueLiteral {
+  enum class Kind { kString, kInt, kFloat };
+  Kind kind = Kind::kString;
+  std::string str;
+  int64_t i = 0;
+  double f = 0;
+
+  static ValueLiteral String(std::string s) {
+    ValueLiteral v;
+    v.kind = Kind::kString;
+    v.str = std::move(s);
+    return v;
+  }
+  static ValueLiteral Int(int64_t i) {
+    ValueLiteral v;
+    v.kind = Kind::kInt;
+    v.i = i;
+    v.f = static_cast<double>(i);
+    return v;
+  }
+  static ValueLiteral Float(double f) {
+    ValueLiteral v;
+    v.kind = Kind::kFloat;
+    v.f = f;
+    v.i = static_cast<int64_t>(f);
+    return v;
+  }
+  /// Renders the literal as it would appear in query text.
+  std::string ToString() const;
+};
+
+/// One attribute constraint inside an entity declaration, e.g.
+/// `exe_name = "%cmd.exe"` or the bare-string shorthand `"%cmd.exe"`
+/// (attr empty => the entity type's default attribute, matched with LIKE).
+struct AttrConstraint {
+  std::string attr;  ///< empty = default attribute of the entity type
+  CmpOp op = CmpOp::kEq;
+  std::vector<ValueLiteral> values;  ///< one value unless op == kIn
+  int line = 0;
+  int column = 0;
+};
+
+/// An entity declaration, e.g. `proc p1["%cmd.exe", pid = 4]`.
+struct EntityDeclAst {
+  EntityType type = EntityType::kProcess;
+  std::string var;  ///< empty when anonymous (analyzer assigns a name)
+  std::vector<AttrConstraint> constraints;
+  int line = 0;
+  int column = 0;
+};
+
+/// One event pattern, e.g. `proc p1["%cmd"] read || write file f1[...] as e1`.
+struct EventPatternAst {
+  EntityDeclAst subject;
+  std::vector<OpType> ops;  ///< disjunction (`read || write`)
+  EntityDeclAst object;
+  std::string event_var;  ///< empty when unnamed (analyzer assigns "evtN")
+  int line = 0;
+  int column = 0;
+};
+
+/// Reference to `var` or `var.attr` (attr empty => context-aware default).
+struct AttrRefAst {
+  std::string var;
+  std::string attr;
+  int line = 0;
+  int column = 0;
+
+  std::string ToString() const {
+    return attr.empty() ? var : var + "." + attr;
+  }
+};
+
+/// Temporal relationship `e1 before e2` / `e2 after e1`, optionally bounded:
+/// `e1 before[2 min] e2` requires e2 to start within 2 minutes of e1 ending.
+struct TemporalRelAst {
+  std::string left;
+  std::string right;
+  bool before = true;
+  Duration within = 0;  ///< 0 = unbounded
+  int line = 0;
+  int column = 0;
+};
+
+/// Explicit attribute relationship in the `with` clause, e.g.
+/// `p1.pid = p4.pid`.
+struct AttrRelAst {
+  AttrRefAst left;
+  CmpOp op = CmpOp::kEq;
+  AttrRefAst right;
+};
+
+/// Aggregation functions for anomaly queries.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc func);
+
+/// An aggregate call, e.g. `avg(evt.amount)` or `count(*)`.
+struct AggCallAst {
+  AggFunc func = AggFunc::kCount;
+  bool star = false;     ///< count(*)
+  AttrRefAst arg;        ///< unused when star
+};
+
+/// One item of the return clause.
+struct ReturnItemAst {
+  std::variant<AttrRefAst, AggCallAst> expr;
+  std::string alias;  ///< from `as`, may be empty
+
+  bool is_aggregate() const {
+    return std::holds_alternative<AggCallAst>(expr);
+  }
+};
+
+/// Expression tree for `having`. Aggregate references resolve against return
+/// aliases; `history` selects the aggregate of an earlier window
+/// (`amt[2]` = the value two windows ago; 0/absent = current window).
+struct HavingExpr {
+  enum class Kind {
+    kNumber,
+    kAggRef,    ///< alias + history index
+    kArith,     ///< lhs op rhs with op in {+,-,*,/}
+    kCompare,   ///< lhs cmp rhs
+    kAnd,
+    kOr,
+    kNot,
+  };
+  Kind kind = Kind::kNumber;
+  double number = 0;
+  std::string agg_alias;
+  int history = 0;
+  char arith_op = '+';
+  CmpOp cmp = CmpOp::kEq;
+  std::unique_ptr<HavingExpr> lhs;
+  std::unique_ptr<HavingExpr> rhs;
+};
+
+/// One `order by` item: references a return item by alias or by the same
+/// var/attr expression; `desc` flips the direction.
+struct OrderItemAst {
+  AttrRefAst ref;
+  bool desc = false;
+};
+
+/// Sliding-window specification: `window = 1 min, step = 10 sec`.
+struct WindowSpec {
+  Duration length = kMinute;
+  Duration step = 10 * kSecond;
+};
+
+/// Global constraints that scope the whole query.
+struct GlobalConstraints {
+  std::optional<TimeRange> time_window;      ///< from `(at ...)`/`(from..to)`
+  std::vector<AttrConstraint> attrs;         ///< e.g. `agentid = 1`
+};
+
+/// Multievent query AST; also carries anomaly-query extensions (window /
+/// group by / having), which are null for plain multievent queries.
+struct MultieventQueryAst {
+  GlobalConstraints globals;
+  std::vector<EventPatternAst> patterns;
+  std::vector<TemporalRelAst> temporal_rels;
+  std::vector<AttrRelAst> attr_rels;
+  bool distinct = false;
+  std::vector<ReturnItemAst> return_items;
+  std::vector<AttrRefAst> group_by;
+  std::unique_ptr<HavingExpr> having;
+  std::optional<WindowSpec> window;
+  std::vector<OrderItemAst> order_by;
+  std::optional<int64_t> limit;
+
+  /// An anomaly query is a multievent body with a sliding-window spec.
+  bool is_anomaly() const { return window.has_value(); }
+};
+
+/// One edge of a dependency path. The arrow points from the event's subject
+/// to its object: `a ->[write] b` == (a write b); `a <-[read] b` == (b read
+/// a).
+struct DependencyEdgeAst {
+  bool arrow_forward = true;  ///< true: previous node is the subject
+  std::vector<OpType> ops;
+  EntityDeclAst target;
+  int line = 0;
+  int column = 0;
+};
+
+/// Dependency query: `forward:`/`backward:` start node + edges + return.
+struct DependencyQueryAst {
+  GlobalConstraints globals;
+  bool forward = true;
+  EntityDeclAst start;
+  std::vector<DependencyEdgeAst> edges;
+  bool distinct = false;
+  std::vector<ReturnItemAst> return_items;
+  std::vector<OrderItemAst> order_by;
+  std::optional<int64_t> limit;
+};
+
+/// Discriminated query kind (reported by the parser).
+enum class QueryKind { kMultievent, kDependency, kAnomaly };
+
+const char* QueryKindToString(QueryKind kind);
+
+/// A parsed query: the original text plus its AST.
+struct ParsedQuery {
+  QueryKind kind = QueryKind::kMultievent;
+  std::string text;
+  std::unique_ptr<MultieventQueryAst> multievent;  ///< set unless dependency
+  std::unique_ptr<DependencyQueryAst> dependency;  ///< set when dependency
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_QUERY_AST_H_

@@ -1,0 +1,85 @@
+#include "query/attributes.h"
+
+#include "common/string_utils.h"
+
+namespace aiql {
+
+const char* DefaultEntityAttr(EntityType type) {
+  switch (type) {
+    case EntityType::kProcess:
+      return "exe_name";
+    case EntityType::kFile:
+      return "path";
+    case EntityType::kNetwork:
+      return "dst_ip";
+  }
+  return "?";
+}
+
+Result<AttrInfo> ResolveEntityAttr(EntityType type, std::string_view name) {
+  std::string lowered = ToLower(name);
+  if (lowered.empty()) lowered = DefaultEntityAttr(type);
+  if (lowered == "agentid" || lowered == "agent_id") {
+    return AttrInfo{"agentid", AttrKind::kInt};
+  }
+  switch (type) {
+    case EntityType::kProcess:
+      if (lowered == "exe_name" || lowered == "exename" || lowered == "name" ||
+          lowered == "exe") {
+        return AttrInfo{"exe_name", AttrKind::kString};
+      }
+      if (lowered == "pid") return AttrInfo{"pid", AttrKind::kInt};
+      if (lowered == "user" || lowered == "username") {
+        return AttrInfo{"user", AttrKind::kString};
+      }
+      break;
+    case EntityType::kFile:
+      if (lowered == "path" || lowered == "name" || lowered == "filename") {
+        return AttrInfo{"path", AttrKind::kString};
+      }
+      break;
+    case EntityType::kNetwork:
+      if (lowered == "dst_ip" || lowered == "dstip" || lowered == "dip") {
+        return AttrInfo{"dst_ip", AttrKind::kString};
+      }
+      if (lowered == "src_ip" || lowered == "srcip" || lowered == "sip") {
+        return AttrInfo{"src_ip", AttrKind::kString};
+      }
+      if (lowered == "dst_port" || lowered == "dstport" || lowered == "dport") {
+        return AttrInfo{"dst_port", AttrKind::kInt};
+      }
+      if (lowered == "src_port" || lowered == "srcport" || lowered == "sport") {
+        return AttrInfo{"src_port", AttrKind::kInt};
+      }
+      if (lowered == "protocol" || lowered == "proto") {
+        return AttrInfo{"protocol", AttrKind::kString};
+      }
+      break;
+  }
+  return Status::SemanticError("entity type '" +
+                               std::string(EntityTypeToString(type)) +
+                               "' has no attribute '" + lowered + "'");
+}
+
+Result<AttrInfo> ResolveEventAttr(std::string_view name) {
+  std::string lowered = ToLower(name);
+  if (lowered == "amount" || lowered == "bytes") {
+    return AttrInfo{"amount", AttrKind::kInt};
+  }
+  if (lowered == "start_time" || lowered == "starttime" ||
+      lowered == "start_ts") {
+    return AttrInfo{"start_time", AttrKind::kInt};
+  }
+  if (lowered == "end_time" || lowered == "endtime" || lowered == "end_ts") {
+    return AttrInfo{"end_time", AttrKind::kInt};
+  }
+  if (lowered == "agentid" || lowered == "agent_id") {
+    return AttrInfo{"agentid", AttrKind::kInt};
+  }
+  if (lowered == "op" || lowered == "operation") {
+    return AttrInfo{"op", AttrKind::kString};
+  }
+  return Status::SemanticError("events have no attribute '" + lowered + "'");
+}
+
+}  // namespace aiql

@@ -1,0 +1,44 @@
+// Canonical attribute model shared by the analyzer, engine, and the SQL /
+// Cypher translators.
+//
+// Each entity type exposes a fixed attribute set; bare-string constraints and
+// bare-variable returns resolve to the type's *default* attribute (the
+// paper's context-aware syntax shortcut: p1 -> p1.exe_name, f1 -> f1.name,
+// i1 -> i1.dst_ip).
+
+#ifndef AIQL_QUERY_ATTRIBUTES_H_
+#define AIQL_QUERY_ATTRIBUTES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Value domain of an attribute.
+enum class AttrKind { kString, kInt };
+
+/// Canonical attribute descriptor.
+struct AttrInfo {
+  std::string canonical;  ///< canonical snake_case name
+  AttrKind kind = AttrKind::kString;
+};
+
+/// Canonical default attribute of an entity type:
+/// proc -> "exe_name", file -> "path", ip -> "dst_ip".
+const char* DefaultEntityAttr(EntityType type);
+
+/// Resolves an entity attribute name (empty = default). Accepts aliases
+/// (exename/name for exe_name; name for file path; dstip for dst_ip; ...).
+/// Every entity type also exposes "agentid" (int).
+Result<AttrInfo> ResolveEntityAttr(EntityType type, std::string_view name);
+
+/// Resolves an event attribute: amount (int), start_time (int), end_time
+/// (int), agentid (int), op (string).
+Result<AttrInfo> ResolveEventAttr(std::string_view name);
+
+}  // namespace aiql
+
+#endif  // AIQL_QUERY_ATTRIBUTES_H_

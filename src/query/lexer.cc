@@ -1,0 +1,299 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace aiql {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kOrOr:
+      return "'||'";
+    case TokenKind::kArrowRight:
+      return "'->'";
+    case TokenKind::kArrowLeft:
+      return "'<-'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      AIQL_ASSIGN_OR_RETURN(Token token, NextToken());
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.line = line_;
+    end.column = column_;
+    tokens.push_back(std::move(end));
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status ErrorHere(std::string msg) const {
+    return Status::ParseError("line " + std::to_string(line_) + ", col " +
+                              std::to_string(column_) + ": " + std::move(msg));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token MakeToken(TokenKind kind, int line, int column) const {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  }
+
+  Result<Token> NextToken() {
+    int line = line_;
+    int column = column_;
+    char c = Peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdent(line, column);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(line, column);
+    }
+    if (c == '"') {
+      return LexString(line, column);
+    }
+
+    Advance();
+    switch (c) {
+      case '(':
+        return MakeToken(TokenKind::kLParen, line, column);
+      case ')':
+        return MakeToken(TokenKind::kRParen, line, column);
+      case '[':
+        return MakeToken(TokenKind::kLBracket, line, column);
+      case ']':
+        return MakeToken(TokenKind::kRBracket, line, column);
+      case ',':
+        return MakeToken(TokenKind::kComma, line, column);
+      case '.':
+        return MakeToken(TokenKind::kDot, line, column);
+      case ':':
+        return MakeToken(TokenKind::kColon, line, column);
+      case '+':
+        return MakeToken(TokenKind::kPlus, line, column);
+      case '*':
+        return MakeToken(TokenKind::kStar, line, column);
+      case '/':
+        return MakeToken(TokenKind::kSlash, line, column);
+      case '=':
+        return MakeToken(TokenKind::kEq, line, column);
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          return MakeToken(TokenKind::kNe, line, column);
+        }
+        return ErrorHere("unexpected '!'");
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          return MakeToken(TokenKind::kOrOr, line, column);
+        }
+        return ErrorHere("unexpected '|' (did you mean '||'?)");
+      case '-':
+        if (Peek() == '>') {
+          Advance();
+          return MakeToken(TokenKind::kArrowRight, line, column);
+        }
+        return MakeToken(TokenKind::kMinus, line, column);
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          return MakeToken(TokenKind::kLe, line, column);
+        }
+        // '<-' is the dependency arrow unless it is a comparison against a
+        // negative number ("< -5"), which keeps both syntaxes available.
+        if (Peek() == '-' &&
+            !std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+          Advance();
+          return MakeToken(TokenKind::kArrowLeft, line, column);
+        }
+        return MakeToken(TokenKind::kLt, line, column);
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          return MakeToken(TokenKind::kGe, line, column);
+        }
+        return MakeToken(TokenKind::kGt, line, column);
+      default:
+        return ErrorHere(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Token> LexIdent(int line, int column) {
+    std::string text;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        text += Advance();
+      } else {
+        break;
+      }
+    }
+    Token t = MakeToken(TokenKind::kIdent, line, column);
+    t.text = std::move(text);
+    return t;
+  }
+
+  Result<Token> LexNumber(int line, int column) {
+    std::string text;
+    bool has_dot = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        text += Advance();
+      } else if (c == '.' && !has_dot &&
+                 std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        has_dot = true;
+        text += Advance();
+      } else {
+        break;
+      }
+    }
+    Token t = MakeToken(TokenKind::kNumber, line, column);
+    t.text = text;
+    t.number = std::stod(text);
+    t.number_is_integer = !has_dot;
+    return t;
+  }
+
+  Result<Token> LexString(int line, int column) {
+    Advance();  // opening quote
+    std::string text;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("line " + std::to_string(line) + ", col " +
+                                  std::to_string(column) +
+                                  ": unterminated string literal");
+      }
+      char c = Advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (AtEnd()) {
+          return ErrorHere("dangling escape at end of input");
+        }
+        char escaped = Advance();
+        switch (escaped) {
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          case '\\':
+            text += '\\';
+            break;
+          case '"':
+            text += '"';
+            break;
+          default:
+            // Keep unknown escapes verbatim: Windows paths like "C:\Users"
+            // are common in constraints.
+            text += '\\';
+            text += escaped;
+        }
+        continue;
+      }
+      text += c;
+    }
+    Token t = MakeToken(TokenKind::kString, line, column);
+    t.text = std::move(text);
+    return t;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> LexQuery(std::string_view text) {
+  return LexerImpl(text).Run();
+}
+
+}  // namespace aiql

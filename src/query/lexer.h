@@ -1,0 +1,27 @@
+// Hand-written lexer for the AIQL language.
+//
+// The deployed system built its grammar with ANTLR 4 (paper §2.2); this
+// reproduction uses a hand-rolled lexer + recursive-descent parser to stay
+// dependency-free while providing the same diagnostics (line/column errors
+// for the web UI's syntax checking feature).
+
+#ifndef AIQL_QUERY_LEXER_H_
+#define AIQL_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/token.h"
+
+namespace aiql {
+
+/// Tokenizes AIQL text. `//` comments run to end of line. Strings use
+/// double quotes with backslash escapes. Returns a ParseError with
+/// line/column context on malformed input.
+Result<std::vector<Token>> LexQuery(std::string_view text);
+
+}  // namespace aiql
+
+#endif  // AIQL_QUERY_LEXER_H_

@@ -1,0 +1,57 @@
+#include "query/metrics.h"
+
+#include "common/string_utils.h"
+
+namespace aiql {
+
+namespace {
+
+size_t CountHavingComparisons(const HavingExpr* node) {
+  if (node == nullptr) return 0;
+  size_t count = node->kind == HavingExpr::Kind::kCompare ? 1 : 0;
+  return count + CountHavingComparisons(node->lhs.get()) +
+         CountHavingComparisons(node->rhs.get());
+}
+
+size_t CountGlobalConstraints(const GlobalConstraints& globals) {
+  size_t count = globals.attrs.size();
+  if (globals.time_window.has_value()) count += 1;
+  return count;
+}
+
+size_t CountEntityConstraints(const EntityDeclAst& decl) {
+  return decl.constraints.size();
+}
+
+}  // namespace
+
+QueryTextMetrics ComputeAiqlMetrics(const ParsedQuery& query) {
+  QueryTextMetrics metrics;
+  metrics.words = CountWords(query.text);
+  metrics.chars = CountNonSpaceChars(query.text);
+
+  if (query.dependency != nullptr) {
+    const DependencyQueryAst& dep = *query.dependency;
+    metrics.constraints += CountGlobalConstraints(dep.globals);
+    metrics.constraints += CountEntityConstraints(dep.start);
+    for (const DependencyEdgeAst& edge : dep.edges) {
+      metrics.constraints += 1;  // the edge itself (op + direction)
+      metrics.constraints += CountEntityConstraints(edge.target);
+    }
+    return metrics;
+  }
+
+  const MultieventQueryAst& ast = *query.multievent;
+  metrics.constraints += CountGlobalConstraints(ast.globals);
+  if (ast.window.has_value()) metrics.constraints += 1;
+  for (const EventPatternAst& pattern : ast.patterns) {
+    metrics.constraints += CountEntityConstraints(pattern.subject);
+    metrics.constraints += CountEntityConstraints(pattern.object);
+  }
+  metrics.constraints += ast.temporal_rels.size();
+  metrics.constraints += ast.attr_rels.size();
+  metrics.constraints += CountHavingComparisons(ast.having.get());
+  return metrics;
+}
+
+}  // namespace aiql

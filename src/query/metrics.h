@@ -1,0 +1,33 @@
+// Query conciseness metrics (paper §3, post-demo evaluation).
+//
+// The paper reports that semantically equivalent SQL contains >= 3.0x more
+// constraints, 3.5x more words, and 5.2x more characters (excluding spaces)
+// than the AIQL originals. These helpers compute the three metrics for AIQL
+// text/ASTs; the SQL and Cypher translators compute theirs at generation
+// time.
+
+#ifndef AIQL_QUERY_METRICS_H_
+#define AIQL_QUERY_METRICS_H_
+
+#include <cstddef>
+
+#include "query/ast.h"
+
+namespace aiql {
+
+/// The three conciseness metrics.
+struct QueryTextMetrics {
+  size_t constraints = 0;
+  size_t words = 0;
+  size_t chars = 0;  ///< excluding whitespace
+};
+
+/// Computes metrics for a parsed AIQL query. Constraints counted: entity
+/// attribute constraints, global constraints (time window, agentid, window
+/// spec), temporal and attribute relationships, dependency edges, and
+/// having-clause comparisons.
+QueryTextMetrics ComputeAiqlMetrics(const ParsedQuery& query);
+
+}  // namespace aiql
+
+#endif  // AIQL_QUERY_METRICS_H_

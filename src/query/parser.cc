@@ -1,0 +1,776 @@
+#include "query/parser.h"
+
+#include <unordered_set>
+
+#include "common/string_utils.h"
+#include "query/lexer.h"
+
+namespace aiql {
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kLike:
+      return "like";
+    case CmpOp::kIn:
+      return "in";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+const char* QueryKindToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kMultievent:
+      return "multievent";
+    case QueryKind::kDependency:
+      return "dependency";
+    case QueryKind::kAnomaly:
+      return "anomaly";
+  }
+  return "?";
+}
+
+std::string ValueLiteral::ToString() const {
+  switch (kind) {
+    case Kind::kString:
+      return "\"" + str + "\"";
+    case Kind::kInt:
+      return std::to_string(i);
+    case Kind::kFloat: {
+      std::string s = std::to_string(f);
+      return s;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsOpKeyword(const std::string& text) {
+  return ParseOpType(text).ok();
+}
+
+bool IsEntityKeyword(const std::string& text) {
+  std::string lowered = ToLower(text);
+  return lowered == "proc" || lowered == "process" || lowered == "file" ||
+         lowered == "ip" || lowered == "conn" || lowered == "connection";
+}
+
+bool IsAggKeyword(const std::string& text) {
+  std::string lowered = ToLower(text);
+  return lowered == "count" || lowered == "sum" || lowered == "avg" ||
+         lowered == "min" || lowered == "max";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ParsedQuery> Run() {
+    AIQL_ASSIGN_OR_RETURN(tokens_, LexQuery(text_));
+
+    GlobalConstraints globals;
+    std::optional<WindowSpec> window;
+    AIQL_RETURN_IF_ERROR(ParseGlobals(&globals, &window));
+
+    ParsedQuery query;
+    query.text = std::string(text_);
+
+    if (PeekKeyword("forward") || PeekKeyword("backward")) {
+      AIQL_ASSIGN_OR_RETURN(auto dep, ParseDependencyBody());
+      if (window.has_value()) {
+        return ErrorAt(Peek(),
+                       "window specifications are not valid in dependency "
+                       "queries");
+      }
+      dep->globals = std::move(globals);
+      query.kind = QueryKind::kDependency;
+      query.dependency = std::move(dep);
+    } else {
+      AIQL_ASSIGN_OR_RETURN(auto multi, ParseMultieventBody());
+      multi->globals = std::move(globals);
+      multi->window = window;
+      query.kind =
+          multi->is_anomaly() ? QueryKind::kAnomaly : QueryKind::kMultievent;
+      query.multievent = std::move(multi);
+    }
+    AIQL_RETURN_IF_ERROR(ExpectEnd());
+    return query;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // kEnd sentinel
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ErrorAt(const Token& token, std::string msg) const {
+    std::string got = token.kind == TokenKind::kIdent ||
+                              token.kind == TokenKind::kString ||
+                              token.kind == TokenKind::kNumber
+                          ? "'" + token.text + "'"
+                          : TokenKindToString(token.kind);
+    return Status::ParseError("line " + std::to_string(token.line) +
+                              ", col " + std::to_string(token.column) + ": " +
+                              std::move(msg) + " (got " + got + ")");
+  }
+
+  Result<Token> ExpectToken(TokenKind kind, std::string_view what) {
+    if (!Check(kind)) {
+      return ErrorAt(Peek(), "expected " + std::string(what));
+    }
+    return Advance();
+  }
+
+  Result<Token> ExpectIdent(std::string_view what) {
+    return ExpectToken(TokenKind::kIdent, what);
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return ErrorAt(Peek(), "expected '" + std::string(kw) + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    if (!Check(TokenKind::kEnd)) {
+      return ErrorAt(Peek(), "unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  // --- globals -------------------------------------------------------------
+
+  Status ParseGlobals(GlobalConstraints* globals,
+                      std::optional<WindowSpec>* window) {
+    while (true) {
+      if (Check(TokenKind::kLParen)) {
+        AIQL_RETURN_IF_ERROR(ParseTimeGlobal(globals));
+        continue;
+      }
+      if (PeekKeyword("window") && Peek(1).kind == TokenKind::kEq) {
+        AIQL_RETURN_IF_ERROR(ParseWindowSpec(window));
+        continue;
+      }
+      // `IDENT = value` is a global attribute constraint, but only when the
+      // IDENT is not the start of an event pattern / dependency body.
+      if (Check(TokenKind::kIdent) && !IsEntityKeyword(Peek().text) &&
+          !PeekKeyword("forward") && !PeekKeyword("backward") &&
+          Peek(1).kind == TokenKind::kEq) {
+        Token name = Advance();
+        Advance();  // '='
+        AIQL_ASSIGN_OR_RETURN(ValueLiteral value, ParseValue());
+        AttrConstraint constraint;
+        constraint.attr = ToLower(name.text);
+        constraint.op = CmpOp::kEq;
+        constraint.values.push_back(std::move(value));
+        constraint.line = name.line;
+        constraint.column = name.column;
+        globals->attrs.push_back(std::move(constraint));
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTimeGlobal(GlobalConstraints* globals) {
+    Advance();  // '('
+    TimeRange range;
+    if (MatchKeyword("at")) {
+      AIQL_ASSIGN_OR_RETURN(Token point,
+                            ExpectToken(TokenKind::kString, "a time string"));
+      auto parsed = ParseTimePoint(point.text);
+      if (!parsed.ok()) return ErrorAt(point, parsed.status().message());
+      range = *parsed;
+    } else if (MatchKeyword("from")) {
+      AIQL_ASSIGN_OR_RETURN(Token from,
+                            ExpectToken(TokenKind::kString, "a time string"));
+      AIQL_RETURN_IF_ERROR(ExpectKeyword("to"));
+      AIQL_ASSIGN_OR_RETURN(Token to,
+                            ExpectToken(TokenKind::kString, "a time string"));
+      auto from_parsed = ParseTimePoint(from.text);
+      if (!from_parsed.ok()) return ErrorAt(from, from_parsed.status().message());
+      auto to_parsed = ParseTimePoint(to.text);
+      if (!to_parsed.ok()) return ErrorAt(to, to_parsed.status().message());
+      range = TimeRange{from_parsed->start, to_parsed->end};
+      if (range.empty()) {
+        return ErrorAt(from, "time window is empty ('from' not before 'to')");
+      }
+    } else {
+      return ErrorAt(Peek(), "expected 'at' or 'from' in time window");
+    }
+    AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'").status());
+    if (globals->time_window.has_value()) {
+      range = globals->time_window->Intersect(range);
+    }
+    globals->time_window = range;
+    return Status::OK();
+  }
+
+  Status ParseWindowSpec(std::optional<WindowSpec>* window) {
+    Advance();  // 'window'
+    Advance();  // '='
+    WindowSpec spec;
+    AIQL_ASSIGN_OR_RETURN(spec.length, ParseDurationTokens());
+    AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kComma, "','").status());
+    AIQL_RETURN_IF_ERROR(ExpectKeyword("step"));
+    AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kEq, "'='").status());
+    AIQL_ASSIGN_OR_RETURN(spec.step, ParseDurationTokens());
+    if (spec.length <= 0 || spec.step <= 0) {
+      return ErrorAt(Peek(), "window and step must be positive");
+    }
+    *window = spec;
+    return Status::OK();
+  }
+
+  // `NUMBER unit?` or a quoted duration string.
+  Result<Duration> ParseDurationTokens() {
+    if (Check(TokenKind::kString)) {
+      Token s = Advance();
+      auto parsed = ParseDuration(s.text);
+      if (!parsed.ok()) return ErrorAt(s, parsed.status().message());
+      return *parsed;
+    }
+    AIQL_ASSIGN_OR_RETURN(Token num,
+                          ExpectToken(TokenKind::kNumber, "a duration"));
+    std::string spec = num.text;
+    if (Check(TokenKind::kIdent)) {
+      spec += " " + Advance().text;
+    }
+    auto parsed = ParseDuration(spec);
+    if (!parsed.ok()) return ErrorAt(num, parsed.status().message());
+    return *parsed;
+  }
+
+  // --- values & constraints ------------------------------------------------
+
+  Result<ValueLiteral> ParseValue() {
+    if (Check(TokenKind::kString)) {
+      return ValueLiteral::String(Advance().text);
+    }
+    bool negative = Match(TokenKind::kMinus);
+    if (Check(TokenKind::kNumber)) {
+      Token num = Advance();
+      if (num.number_is_integer) {
+        int64_t v = static_cast<int64_t>(num.number);
+        return ValueLiteral::Int(negative ? -v : v);
+      }
+      return ValueLiteral::Float(negative ? -num.number : num.number);
+    }
+    return ErrorAt(Peek(), "expected a string or numeric value");
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        Advance();
+        return CmpOp::kEq;
+      case TokenKind::kNe:
+        Advance();
+        return CmpOp::kNe;
+      case TokenKind::kLt:
+        Advance();
+        return CmpOp::kLt;
+      case TokenKind::kLe:
+        Advance();
+        return CmpOp::kLe;
+      case TokenKind::kGt:
+        Advance();
+        return CmpOp::kGt;
+      case TokenKind::kGe:
+        Advance();
+        return CmpOp::kGe;
+      case TokenKind::kIdent:
+        if (MatchKeyword("like")) return CmpOp::kLike;
+        if (MatchKeyword("in")) return CmpOp::kIn;
+        break;
+      default:
+        break;
+    }
+    return ErrorAt(Peek(), "expected a comparison operator");
+  }
+
+  Result<AttrConstraint> ParseConstraint() {
+    AttrConstraint constraint;
+    constraint.line = Peek().line;
+    constraint.column = Peek().column;
+    if (Check(TokenKind::kString)) {
+      // Bare string: default attribute matched with LIKE.
+      constraint.op = CmpOp::kLike;
+      constraint.values.push_back(ValueLiteral::String(Advance().text));
+      return constraint;
+    }
+    AIQL_ASSIGN_OR_RETURN(Token attr, ExpectIdent("an attribute name"));
+    constraint.attr = ToLower(attr.text);
+    AIQL_ASSIGN_OR_RETURN(constraint.op, ParseCmpOp());
+    if (constraint.op == CmpOp::kIn) {
+      AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'('").status());
+      do {
+        AIQL_ASSIGN_OR_RETURN(ValueLiteral v, ParseValue());
+        constraint.values.push_back(std::move(v));
+      } while (Match(TokenKind::kComma));
+      AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'").status());
+    } else {
+      AIQL_ASSIGN_OR_RETURN(ValueLiteral v, ParseValue());
+      constraint.values.push_back(std::move(v));
+    }
+    return constraint;
+  }
+
+  Result<EntityDeclAst> ParseEntityDecl() {
+    AIQL_ASSIGN_OR_RETURN(
+        Token type_token,
+        ExpectIdent("an entity type ('proc', 'file', or 'ip')"));
+    EntityDeclAst decl;
+    decl.line = type_token.line;
+    decl.column = type_token.column;
+    std::string lowered = ToLower(type_token.text);
+    if (lowered == "proc" || lowered == "process") {
+      decl.type = EntityType::kProcess;
+    } else if (lowered == "file") {
+      decl.type = EntityType::kFile;
+    } else if (lowered == "ip" || lowered == "conn" ||
+               lowered == "connection") {
+      decl.type = EntityType::kNetwork;
+    } else {
+      return ErrorAt(type_token, "unknown entity type '" + type_token.text +
+                                     "' (expected proc, file, or ip)");
+    }
+    // Optional variable: an identifier that is not an operation keyword.
+    if (Check(TokenKind::kIdent) && !IsOpKeyword(Peek().text) &&
+        !PeekKeyword("as") && !PeekKeyword("return") && !PeekKeyword("with")) {
+      decl.var = Advance().text;
+    }
+    if (Match(TokenKind::kLBracket)) {
+      if (!Check(TokenKind::kRBracket)) {
+        do {
+          AIQL_ASSIGN_OR_RETURN(AttrConstraint c, ParseConstraint());
+          decl.constraints.push_back(std::move(c));
+        } while (Match(TokenKind::kComma));
+      }
+      AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kRBracket, "']'").status());
+    }
+    return decl;
+  }
+
+  Result<std::vector<OpType>> ParseOps() {
+    std::vector<OpType> ops;
+    do {
+      AIQL_ASSIGN_OR_RETURN(Token op_token, ExpectIdent("an operation"));
+      auto op = ParseOpType(op_token.text);
+      if (!op.ok()) return ErrorAt(op_token, op.status().message());
+      ops.push_back(*op);
+    } while (Match(TokenKind::kOrOr));
+    return ops;
+  }
+
+  // --- multievent body -----------------------------------------------------
+
+  Result<std::unique_ptr<MultieventQueryAst>> ParseMultieventBody() {
+    auto query = std::make_unique<MultieventQueryAst>();
+    // Event patterns until 'with' / 'return'.
+    while (!PeekKeyword("with") && !PeekKeyword("return")) {
+      if (Check(TokenKind::kEnd)) {
+        return ErrorAt(Peek(), "expected an event pattern or 'return'");
+      }
+      AIQL_ASSIGN_OR_RETURN(EventPatternAst pattern, ParseEventPattern());
+      query->patterns.push_back(std::move(pattern));
+    }
+    if (query->patterns.empty()) {
+      return ErrorAt(Peek(), "query declares no event patterns");
+    }
+    if (MatchKeyword("with")) {
+      AIQL_RETURN_IF_ERROR(ParseWithClause(query.get()));
+    }
+    AIQL_RETURN_IF_ERROR(ParseReturnClause(&query->distinct,
+                                           &query->return_items));
+    if (PeekKeyword("group")) {
+      Advance();
+      AIQL_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        AIQL_ASSIGN_OR_RETURN(AttrRefAst ref, ParseAttrRef());
+        query->group_by.push_back(std::move(ref));
+      } while (Match(TokenKind::kComma));
+    }
+    if (MatchKeyword("having")) {
+      AIQL_ASSIGN_OR_RETURN(query->having, ParseHavingOr());
+    }
+    AIQL_RETURN_IF_ERROR(ParseOptionalOrderBy(&query->order_by));
+    AIQL_RETURN_IF_ERROR(ParseOptionalLimit(&query->limit));
+    return query;
+  }
+
+  Status ParseOptionalOrderBy(std::vector<OrderItemAst>* order_by) {
+    if (!PeekKeyword("order") && !PeekKeyword("sort")) return Status::OK();
+    Advance();
+    AIQL_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      OrderItemAst item;
+      AIQL_ASSIGN_OR_RETURN(item.ref, ParseAttrRef());
+      if (MatchKeyword("desc")) {
+        item.desc = true;
+      } else {
+        MatchKeyword("asc");
+      }
+      order_by->push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Result<EventPatternAst> ParseEventPattern() {
+    EventPatternAst pattern;
+    pattern.line = Peek().line;
+    pattern.column = Peek().column;
+    AIQL_ASSIGN_OR_RETURN(pattern.subject, ParseEntityDecl());
+    AIQL_ASSIGN_OR_RETURN(pattern.ops, ParseOps());
+    AIQL_ASSIGN_OR_RETURN(pattern.object, ParseEntityDecl());
+    if (MatchKeyword("as")) {
+      AIQL_ASSIGN_OR_RETURN(Token name, ExpectIdent("an event name"));
+      pattern.event_var = name.text;
+    }
+    return pattern;
+  }
+
+  Status ParseWithClause(MultieventQueryAst* query) {
+    do {
+      // Temporal relation: IDENT before/after [dur] IDENT — recognizable by
+      // the before/after keyword right after a bare identifier.
+      if (Check(TokenKind::kIdent) &&
+          (PeekKeyword("before", 1) || PeekKeyword("after", 1))) {
+        TemporalRelAst rel;
+        rel.line = Peek().line;
+        rel.column = Peek().column;
+        rel.left = Advance().text;
+        rel.before = EqualsIgnoreCase(Advance().text, "before");
+        if (Match(TokenKind::kLBracket)) {
+          AIQL_ASSIGN_OR_RETURN(rel.within, ParseDurationTokens());
+          AIQL_RETURN_IF_ERROR(
+              ExpectToken(TokenKind::kRBracket, "']'").status());
+        }
+        AIQL_ASSIGN_OR_RETURN(Token right, ExpectIdent("an event name"));
+        rel.right = right.text;
+        query->temporal_rels.push_back(std::move(rel));
+        continue;
+      }
+      // Attribute relation: attr_ref cmp attr_ref.
+      AttrRelAst rel;
+      AIQL_ASSIGN_OR_RETURN(rel.left, ParseAttrRef());
+      AIQL_ASSIGN_OR_RETURN(rel.op, ParseCmpOp());
+      AIQL_ASSIGN_OR_RETURN(rel.right, ParseAttrRef());
+      query->attr_rels.push_back(std::move(rel));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Result<AttrRefAst> ParseAttrRef() {
+    AIQL_ASSIGN_OR_RETURN(Token var, ExpectIdent("a variable reference"));
+    AttrRefAst ref;
+    ref.var = var.text;
+    ref.line = var.line;
+    ref.column = var.column;
+    if (Match(TokenKind::kDot)) {
+      AIQL_ASSIGN_OR_RETURN(Token attr, ExpectIdent("an attribute name"));
+      ref.attr = ToLower(attr.text);
+    }
+    return ref;
+  }
+
+  Status ParseReturnClause(bool* distinct,
+                           std::vector<ReturnItemAst>* items) {
+    AIQL_RETURN_IF_ERROR(ExpectKeyword("return"));
+    *distinct = MatchKeyword("distinct");
+    do {
+      ReturnItemAst item;
+      if (Check(TokenKind::kIdent) && IsAggKeyword(Peek().text) &&
+          Peek(1).kind == TokenKind::kLParen) {
+        AIQL_ASSIGN_OR_RETURN(AggCallAst agg, ParseAggCall());
+        item.expr = std::move(agg);
+      } else {
+        AIQL_ASSIGN_OR_RETURN(AttrRefAst ref, ParseAttrRef());
+        item.expr = std::move(ref);
+      }
+      if (MatchKeyword("as")) {
+        AIQL_ASSIGN_OR_RETURN(Token alias, ExpectIdent("an alias"));
+        item.alias = alias.text;
+      }
+      items->push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+    if (items->empty()) {
+      return ErrorAt(Peek(), "return clause lists no items");
+    }
+    return Status::OK();
+  }
+
+  Result<AggCallAst> ParseAggCall() {
+    Token func = Advance();
+    AggCallAst agg;
+    std::string lowered = ToLower(func.text);
+    if (lowered == "count") {
+      agg.func = AggFunc::kCount;
+    } else if (lowered == "sum") {
+      agg.func = AggFunc::kSum;
+    } else if (lowered == "avg") {
+      agg.func = AggFunc::kAvg;
+    } else if (lowered == "min") {
+      agg.func = AggFunc::kMin;
+    } else {
+      agg.func = AggFunc::kMax;
+    }
+    Advance();  // '('
+    if (Match(TokenKind::kStar)) {
+      agg.star = true;
+    } else {
+      AIQL_ASSIGN_OR_RETURN(agg.arg, ParseAttrRef());
+    }
+    AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'").status());
+    return agg;
+  }
+
+  Status ParseOptionalLimit(std::optional<int64_t>* limit) {
+    if (!MatchKeyword("limit")) return Status::OK();
+    AIQL_ASSIGN_OR_RETURN(Token num,
+                          ExpectToken(TokenKind::kNumber, "a limit count"));
+    if (!num.number_is_integer || num.number < 1) {
+      return ErrorAt(num, "limit must be a positive integer");
+    }
+    *limit = static_cast<int64_t>(num.number);
+    return Status::OK();
+  }
+
+  // --- having expression ---------------------------------------------------
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingOr() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseHavingAnd());
+    while (PeekKeyword("or")) {
+      Advance();
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseHavingAnd());
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingAnd() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseHavingNot());
+    while (PeekKeyword("and")) {
+      Advance();
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseHavingNot());
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingNot() {
+    if (MatchKeyword("not")) {
+      AIQL_ASSIGN_OR_RETURN(auto operand, ParseHavingNot());
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kNot;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    return ParseHavingCompare();
+  }
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingCompare() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseHavingAdd());
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe: {
+        AIQL_ASSIGN_OR_RETURN(CmpOp cmp, ParseCmpOp());
+        AIQL_ASSIGN_OR_RETURN(auto rhs, ParseHavingAdd());
+        auto node = std::make_unique<HavingExpr>();
+        node->kind = HavingExpr::Kind::kCompare;
+        node->cmp = cmp;
+        node->lhs = std::move(lhs);
+        node->rhs = std::move(rhs);
+        return node;
+      }
+      default:
+        return lhs;
+    }
+  }
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingAdd() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseHavingMul());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      char op = Check(TokenKind::kPlus) ? '+' : '-';
+      Advance();
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseHavingMul());
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kArith;
+      node->arith_op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingMul() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseHavingUnary());
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      char op = Check(TokenKind::kStar) ? '*' : '/';
+      Advance();
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseHavingUnary());
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kArith;
+      node->arith_op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingUnary() {
+    if (Match(TokenKind::kMinus)) {
+      AIQL_ASSIGN_OR_RETURN(auto operand, ParseHavingUnary());
+      auto zero = std::make_unique<HavingExpr>();
+      zero->kind = HavingExpr::Kind::kNumber;
+      zero->number = 0;
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kArith;
+      node->arith_op = '-';
+      node->lhs = std::move(zero);
+      node->rhs = std::move(operand);
+      return node;
+    }
+    return ParseHavingPrimary();
+  }
+
+  Result<std::unique_ptr<HavingExpr>> ParseHavingPrimary() {
+    if (Check(TokenKind::kNumber)) {
+      Token num = Advance();
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kNumber;
+      node->number = num.number;
+      return node;
+    }
+    if (Check(TokenKind::kLParen)) {
+      Advance();
+      AIQL_ASSIGN_OR_RETURN(auto inner, ParseHavingOr());
+      AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'").status());
+      return inner;
+    }
+    if (Check(TokenKind::kIdent)) {
+      Token name = Advance();
+      auto node = std::make_unique<HavingExpr>();
+      node->kind = HavingExpr::Kind::kAggRef;
+      node->agg_alias = name.text;
+      node->history = 0;
+      if (Match(TokenKind::kLBracket)) {
+        AIQL_ASSIGN_OR_RETURN(
+            Token idx, ExpectToken(TokenKind::kNumber, "a history index"));
+        if (!idx.number_is_integer || idx.number < 0) {
+          return ErrorAt(idx, "history index must be a non-negative integer");
+        }
+        node->history = static_cast<int>(idx.number);
+        AIQL_RETURN_IF_ERROR(
+            ExpectToken(TokenKind::kRBracket, "']'").status());
+      }
+      return node;
+    }
+    return ErrorAt(Peek(), "expected a number, aggregate reference, or '('");
+  }
+
+  // --- dependency body -----------------------------------------------------
+
+  Result<std::unique_ptr<DependencyQueryAst>> ParseDependencyBody() {
+    auto query = std::make_unique<DependencyQueryAst>();
+    query->forward = EqualsIgnoreCase(Advance().text, "forward");
+    AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kColon, "':'").status());
+    AIQL_ASSIGN_OR_RETURN(query->start, ParseEntityDecl());
+    while (Check(TokenKind::kArrowRight) || Check(TokenKind::kArrowLeft)) {
+      DependencyEdgeAst edge;
+      edge.line = Peek().line;
+      edge.column = Peek().column;
+      edge.arrow_forward = Check(TokenKind::kArrowRight);
+      Advance();
+      AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kLBracket, "'['").status());
+      AIQL_ASSIGN_OR_RETURN(edge.ops, ParseOps());
+      AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kRBracket, "']'").status());
+      AIQL_ASSIGN_OR_RETURN(edge.target, ParseEntityDecl());
+      query->edges.push_back(std::move(edge));
+    }
+    if (query->edges.empty()) {
+      return ErrorAt(Peek(),
+                     "dependency query needs at least one '->' or '<-' edge");
+    }
+    AIQL_RETURN_IF_ERROR(ParseReturnClause(&query->distinct,
+                                           &query->return_items));
+    AIQL_RETURN_IF_ERROR(ParseOptionalOrderBy(&query->order_by));
+    AIQL_RETURN_IF_ERROR(ParseOptionalLimit(&query->limit));
+    return query;
+  }
+
+  std::string_view text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseAiql(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace aiql

@@ -1,0 +1,48 @@
+// Recursive-descent parser for the AIQL language.
+//
+// Grammar overview (keywords case-insensitive):
+//
+//   query        := global* ( multievent_body | dependency_body )
+//   global       := '(' 'at' STRING ')'
+//                 | '(' 'from' STRING 'to' STRING ')'
+//                 | IDENT '=' value                    // e.g. agentid = 1
+//                 | 'window' '=' duration ',' 'step' '=' duration
+//   multievent_body := event_pattern+ with_clause? return_clause
+//                      group_clause? having_clause? limit_clause?
+//   event_pattern := entity_decl op ('||' op)* entity_decl ('as' IDENT)?
+//   entity_decl  := ('proc'|'file'|'ip') IDENT? ('[' constraints? ']')?
+//   constraints  := constraint (',' constraint)*
+//   constraint   := STRING                             // default attr LIKE
+//                 | IDENT cmp value
+//                 | IDENT 'in' '(' value (',' value)* ')'
+//   with_clause  := 'with' relation (',' relation)*
+//   relation     := IDENT ('before'|'after') ('[' duration ']')? IDENT
+//                 | attr_ref cmp attr_ref
+//   return_clause := 'return' 'distinct'? item (',' item)*
+//   item         := (attr_ref | agg '(' (attr_ref|'*') ')') ('as' IDENT)?
+//   group_clause := 'group' 'by' attr_ref (',' attr_ref)*
+//   having_clause := 'having' bool_expr                // arithmetic + cmp +
+//                                                      // and/or/not + hist[k]
+//   dependency_body := ('forward'|'backward') ':' entity_decl dep_edge+
+//                      return_clause limit_clause?
+//   dep_edge     := ('->'|'<-') '[' op ('||' op)* ']' entity_decl
+//
+// Durations are `NUMBER unit` (e.g. `1 min`) or a quoted string ("10 sec").
+
+#ifndef AIQL_QUERY_PARSER_H_
+#define AIQL_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace aiql {
+
+/// Parses AIQL text into an AST. Errors carry line/column context suitable
+/// for the UI's syntax checker.
+Result<ParsedQuery> ParseAiql(std::string_view text);
+
+}  // namespace aiql
+
+#endif  // AIQL_QUERY_PARSER_H_

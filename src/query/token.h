@@ -1,0 +1,55 @@
+// Token definitions for the AIQL lexer.
+
+#ifndef AIQL_QUERY_TOKEN_H_
+#define AIQL_QUERY_TOKEN_H_
+
+#include <string>
+
+namespace aiql {
+
+/// Lexical token kinds. Keywords are lexed as kIdent and matched
+/// case-insensitively by the parser, which keeps the keyword set open
+/// (attribute names are free-form identifiers).
+enum class TokenKind {
+  kIdent,       ///< identifiers and keywords
+  kString,      ///< double-quoted string literal (unescaped payload)
+  kNumber,      ///< unsigned numeric literal (parser applies unary minus)
+  kLParen,      ///< (
+  kRParen,      ///< )
+  kLBracket,    ///< [
+  kRBracket,    ///< ]
+  kComma,       ///< ,
+  kDot,         ///< .
+  kColon,       ///< :
+  kEq,          ///< =
+  kNe,          ///< !=
+  kLt,          ///< <
+  kLe,          ///< <=
+  kGt,          ///< >
+  kGe,          ///< >=
+  kOrOr,        ///< ||
+  kArrowRight,  ///< ->
+  kArrowLeft,   ///< <-
+  kPlus,        ///< +
+  kMinus,       ///< -
+  kStar,        ///< *
+  kSlash,       ///< /
+  kEnd,         ///< end of input
+};
+
+/// Printable name of a token kind (for diagnostics).
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexed token with its source location (1-based).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  ///< identifier text or unescaped string payload
+  double number = 0; ///< value for kNumber
+  bool number_is_integer = true;
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_QUERY_TOKEN_H_

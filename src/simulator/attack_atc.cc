@@ -1,0 +1,177 @@
+#include "simulator/attack_atc.h"
+
+namespace aiql {
+
+namespace {
+
+EventRecord Make(AgentId agent, OpType op, Timestamp t, Duration len,
+                 ProcessRef subject, ObjectRef object, uint64_t amount = 0) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = op;
+  record.start_ts = t;
+  record.end_ts = t + len;
+  record.amount = amount;
+  record.subject = std::move(subject);
+  record.object = std::move(object);
+  return record;
+}
+
+}  // namespace
+
+AtcAttackTruth InjectAtcAttack(const Enterprise& enterprise, Timestamp start,
+                               std::vector<EventRecord>* out) {
+  const Host& client = enterprise.client0();
+  const Host& server = enterprise.database_server();
+
+  AtcAttackTruth truth;
+  truth.start = start;
+  truth.attacker_ip = enterprise.attacker_ip;
+  truth.c2_ip = "45.55.66.77";
+  truth.client = client.agent_id;
+  truth.server = server.agent_id;
+
+  const AgentId ca = client.agent_id;
+  const AgentId sa = server.agent_id;
+  std::string user = "alice";
+  Timestamp t = start;
+  auto emit = [&](EventRecord record) { out->push_back(std::move(record)); };
+
+  // ---- c1: phishing attachment executed -----------------------------------
+  ProcessRef outlook{ca, 1100, "C:\\Office\\outlook.exe", user};
+  ProcessRef explorer{ca, 1101, "C:\\Windows\\explorer.exe", user};
+  FileRef attachment{ca, "C:\\Users\\" + user +
+                             "\\Downloads\\invoice_2018.doc.exe"};
+  ProcessRef trojan{ca, 6100,
+                    "C:\\Users\\" + user + "\\Downloads\\invoice_2018.doc.exe",
+                    user};
+  emit(Make(ca, OpType::kWrite, t, 2 * kSecond, outlook, attachment, 94208));
+  emit(Make(ca, OpType::kExecute, t + kMinute, kSecond, explorer,
+            attachment));
+  emit(Make(ca, OpType::kStart, t + kMinute + kSecond, kSecond, explorer,
+            trojan));
+
+  // ---- c2: foothold & reconnaissance ----------------------------------------
+  t += 5 * kMinute;
+  FileRef dropper_dll{ca, "C:\\Users\\" + user +
+                              "\\AppData\\Roaming\\winhlp\\mslib64.dll"};
+  ProcessRef rundll{ca, 6101, "C:\\Windows\\System32\\rundll32.exe", user};
+  NetworkRef c2{ca, client.ip, truth.c2_ip, 50100, 443, "tcp"};
+  emit(Make(ca, OpType::kWrite, t, kSecond, trojan, dropper_dll, 229376));
+  emit(Make(ca, OpType::kStart, t + 10 * kSecond, kSecond, trojan, rundll));
+  emit(Make(ca, OpType::kConnect, t + 30 * kSecond, kSecond, rundll, c2));
+  // Beaconing: small periodic writes to C2 for an hour.
+  for (int beacon = 0; beacon < 60; ++beacon) {
+    emit(Make(ca, OpType::kWrite, t + kMinute + beacon * kMinute, kSecond,
+              rundll, c2, 256));
+  }
+  // Host enumeration.
+  ProcessRef net_exe{ca, 6102, "C:\\Windows\\System32\\net.exe", user};
+  ProcessRef ipconfig{ca, 6103, "C:\\Windows\\System32\\ipconfig.exe", user};
+  ProcessRef whoami{ca, 6104, "C:\\Windows\\System32\\whoami.exe", user};
+  emit(Make(ca, OpType::kStart, t + 2 * kMinute, kSecond, rundll, net_exe));
+  emit(Make(ca, OpType::kStart, t + 3 * kMinute, kSecond, rundll, ipconfig));
+  emit(Make(ca, OpType::kStart, t + 4 * kMinute, kSecond, rundll, whoami));
+  // Browser credential theft.
+  FileRef chrome_creds{ca, "C:\\Users\\" + user +
+                               "\\AppData\\Local\\Google\\Login Data"};
+  emit(Make(ca, OpType::kRead, t + 6 * kMinute, kSecond, rundll,
+            chrome_creds, 32768));
+  // Scheduled-task persistence.
+  ProcessRef schtasks{ca, 6105, "C:\\Windows\\System32\\schtasks.exe", user};
+  FileRef task_file{ca, "C:\\Windows\\System32\\Tasks\\WinHelp64"};
+  emit(Make(ca, OpType::kStart, t + 7 * kMinute, kSecond, rundll, schtasks));
+  emit(Make(ca, OpType::kWrite, t + 7 * kMinute + 5 * kSecond, kSecond,
+            schtasks, task_file, 2048));
+  // Recon results staged and shipped to C2.
+  FileRef recon{ca, "C:\\Users\\" + user + "\\AppData\\Roaming\\winhlp\\sysinfo.dat"};
+  emit(Make(ca, OpType::kWrite, t + 8 * kMinute, kSecond, rundll, recon,
+            16384));
+  emit(Make(ca, OpType::kRead, t + 9 * kMinute, kSecond, rundll, recon,
+            16384));
+  emit(Make(ca, OpType::kWrite, t + 10 * kMinute, 2 * kSecond, rundll, c2,
+            16384));
+
+  // ---- c3: lateral movement to the server ------------------------------------
+  t += 40 * kMinute;
+  ProcessRef srv_svc{sa, 902, "C:\\Windows\\System32\\svchost.exe",
+                     "system"};
+  emit(Make(ca, OpType::kConnect, t, kSecond, rundll, srv_svc));
+  ProcessRef remote_cmd{sa, 7200, "C:\\Windows\\System32\\cmd.exe",
+                        "system"};
+  emit(Make(sa, OpType::kStart, t + 20 * kSecond, kSecond, srv_svc,
+            remote_cmd));
+
+  // ---- c4: credential dumping & persistence on the server ---------------------
+  t += 5 * kMinute;
+  ProcessRef procdump{sa, 7201, "C:\\Windows\\Temp\\procdump64.exe",
+                      "system"};
+  ProcessRef mimikatz{sa, 7202, "C:\\Windows\\Temp\\mk64.exe", "system"};
+  FileRef lsass_dmp{sa, "C:\\Windows\\Temp\\lsass_srv.dmp"};
+  FileRef sam_copy{sa, "C:\\Windows\\Temp\\sam.save"};
+  emit(Make(sa, OpType::kStart, t, kSecond, remote_cmd, procdump));
+  emit(Make(sa, OpType::kWrite, t + 30 * kSecond, 4 * kSecond, procdump,
+            lsass_dmp, 52428800));
+  emit(Make(sa, OpType::kStart, t + kMinute, kSecond, remote_cmd, mimikatz));
+  emit(Make(sa, OpType::kRead, t + kMinute + 20 * kSecond, 2 * kSecond,
+            mimikatz, lsass_dmp, 52428800));
+  emit(Make(sa, OpType::kWrite, t + 2 * kMinute, kSecond, mimikatz,
+            sam_copy, 65536));
+  // Backdoor account + run-key persistence.
+  ProcessRef srv_net{sa, 7203, "C:\\Windows\\System32\\net.exe", "system"};
+  FileRef sam_hive{sa, "C:\\Windows\\System32\\config\\SAM"};
+  emit(Make(sa, OpType::kStart, t + 3 * kMinute, kSecond, remote_cmd,
+            srv_net));
+  emit(Make(sa, OpType::kWrite, t + 3 * kMinute + 10 * kSecond, kSecond,
+            srv_net, sam_hive, 4096));
+  ProcessRef reg{sa, 7204, "C:\\Windows\\System32\\reg.exe", "system"};
+  FileRef run_key{sa, "C:\\Windows\\System32\\config\\SOFTWARE"};
+  FileRef backdoor{sa, "C:\\ProgramData\\svchost_.exe"};
+  emit(Make(sa, OpType::kWrite, t + 4 * kMinute, kSecond, remote_cmd,
+            backdoor, 311296));
+  emit(Make(sa, OpType::kStart, t + 4 * kMinute + 30 * kSecond, kSecond,
+            remote_cmd, reg));
+  emit(Make(sa, OpType::kWrite, t + 4 * kMinute + 40 * kSecond, kSecond, reg,
+            run_key, 1024));
+  // Log clearing.
+  ProcessRef wevtutil{sa, 7205, "C:\\Windows\\System32\\wevtutil.exe",
+                      "system"};
+  FileRef seclog{sa, "C:\\Windows\\System32\\winevt\\security.evtx"};
+  emit(Make(sa, OpType::kStart, t + 5 * kMinute, kSecond, remote_cmd,
+            wevtutil));
+  emit(Make(sa, OpType::kDelete, t + 5 * kMinute + 10 * kSecond, kSecond,
+            wevtutil, seclog));
+
+  // ---- c5: staging & exfiltration ----------------------------------------------
+  t += 30 * kMinute;
+  ProcessRef sevenzip{sa, 7206, "C:\\Windows\\Temp\\7z.exe", "system"};
+  FileRef master_mdf{sa, "C:\\SQLData\\master.mdf"};
+  FileRef archive{sa, "C:\\Windows\\Temp\\upd.7z"};
+  NetworkRef exfil{sa, server.ip, truth.attacker_ip, 40400, 443, "tcp"};
+  emit(Make(sa, OpType::kStart, t, kSecond, remote_cmd, sevenzip));
+  emit(Make(sa, OpType::kRead, t + 20 * kSecond, 20 * kSecond, sevenzip,
+            master_mdf, 1073741824));
+  emit(Make(sa, OpType::kWrite, t + kMinute, 30 * kSecond, sevenzip, archive,
+            268435456));
+  // Split transfer: repeated sends to the attacker.
+  ProcessRef ps{sa, 7207, "C:\\Windows\\System32\\powershell.exe", "system"};
+  emit(Make(sa, OpType::kStart, t + 2 * kMinute, kSecond, remote_cmd, ps));
+  emit(Make(sa, OpType::kConnect, t + 2 * kMinute + 30 * kSecond, kSecond,
+            ps, exfil));
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    Timestamp bt = t + 3 * kMinute + chunk * 30 * kSecond;
+    emit(Make(sa, OpType::kRead, bt, 5 * kSecond, ps, archive, 33554432));
+    emit(Make(sa, OpType::kWrite, bt + 6 * kSecond, 15 * kSecond, ps, exfil,
+              33554432));
+  }
+  // Cleanup: delete the archive and the dump, final beacon.
+  Timestamp cleanup = t + 10 * kMinute;
+  emit(Make(sa, OpType::kDelete, cleanup, kSecond, ps, archive));
+  emit(Make(sa, OpType::kDelete, cleanup + 10 * kSecond, kSecond, ps,
+            lsass_dmp));
+  emit(Make(ca, OpType::kWrite, cleanup + kMinute, kSecond, rundll, c2,
+            512));
+  return truth;
+}
+
+}  // namespace aiql

@@ -1,0 +1,42 @@
+// The second APT case study (the ATC'18 paper's evaluation attack, used for
+// Fig. 5's 26-query investigation, ids c1-* .. c5-*).
+//
+// Five phases on the simulated enterprise:
+//  c1 Initial compromise — phishing attachment executed on a client.
+//  c2 Foothold & reconnaissance — dropper, C2 beaconing, host enumeration,
+//     scheduled-task persistence, browser-credential theft.
+//  c3 Lateral movement — remote session from the client to the database
+//     server, remote shell spawned.
+//  c4 Credential dumping & persistence on the server — procdump/mimikatz,
+//     backdoor account, run-key persistence, log clearing.
+//  c5 Staging & exfiltration — archive staging of database files, split
+//     transfer to the attacker, cleanup.
+
+#ifndef AIQL_SIMULATOR_ATTACK_ATC_H_
+#define AIQL_SIMULATOR_ATTACK_ATC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "simulator/topology.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Ground-truth markers for the ATC attack.
+struct AtcAttackTruth {
+  Timestamp start = 0;
+  std::string attacker_ip;
+  std::string c2_ip;          ///< command-and-control address
+  AgentId client = 0;         ///< initially compromised client
+  AgentId server = 0;         ///< lateral-movement target (database server)
+};
+
+/// Injects the attack into `out` starting at `start` (unfolds over ~3h).
+AtcAttackTruth InjectAtcAttack(const Enterprise& enterprise, Timestamp start,
+                               std::vector<EventRecord>* out);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_ATTACK_ATC_H_

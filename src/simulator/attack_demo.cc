@@ -1,0 +1,170 @@
+#include "simulator/attack_demo.h"
+
+namespace aiql {
+
+namespace {
+
+EventRecord Make(AgentId agent, OpType op, Timestamp t, Duration len,
+                 ProcessRef subject, ObjectRef object, uint64_t amount = 0) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = op;
+  record.start_ts = t;
+  record.end_ts = t + len;
+  record.amount = amount;
+  record.subject = std::move(subject);
+  record.object = std::move(object);
+  return record;
+}
+
+}  // namespace
+
+DemoAttackTruth InjectDemoAttack(const Enterprise& enterprise,
+                                 Timestamp start,
+                                 std::vector<EventRecord>* out) {
+  const Host& web = enterprise.web_server();
+  const Host& client = enterprise.client0();
+  const Host& dc = enterprise.domain_controller();
+  const Host& db = enterprise.database_server();
+  const std::string& attacker = enterprise.attacker_ip;
+
+  DemoAttackTruth truth;
+  truth.start = start;
+  truth.attacker_ip = attacker;
+  truth.web_server = web.agent_id;
+  truth.client = client.agent_id;
+  truth.domain_controller = dc.agent_id;
+  truth.database_server = db.agent_id;
+
+  Timestamp t = start;
+  auto emit = [&](EventRecord record) { out->push_back(std::move(record)); };
+
+  // ---- a1: initial compromise of the IRC server ---------------------------
+  ProcessRef ircd{web.agent_id, 704, "/opt/unrealircd/unrealircd", "ircd"};
+  ProcessRef sh{web.agent_id, 7100, "/bin/sh", "ircd"};
+  ProcessRef telnetd{web.agent_id, 7101, "/usr/sbin/telnetd", "ircd"};
+  NetworkRef exploit_conn{web.agent_id, attacker, web.ip, 31337, 6667,
+                          "tcp"};
+  NetworkRef telnet_back{web.agent_id, web.ip, attacker, 40001, 4444, "tcp"};
+
+  emit(Make(web.agent_id, OpType::kAccept, t, kSecond, ircd, exploit_conn));
+  emit(Make(web.agent_id, OpType::kStart, t + 2 * kSecond, kSecond, ircd,
+            sh));
+  emit(Make(web.agent_id, OpType::kStart, t + 4 * kSecond, kSecond, sh,
+            telnetd));
+  emit(Make(web.agent_id, OpType::kWrite, t + 6 * kSecond, kSecond, telnetd,
+            telnet_back, 2048));
+
+  // ---- a2: malware upload + infection of a client --------------------------
+  t += 5 * kMinute;
+  FileRef dropper{web.agent_id, "/tmp/.X11/malnet.bin"};
+  ProcessRef malware{web.agent_id, 7102, "/tmp/.X11/malnet.bin", "ircd"};
+  emit(Make(web.agent_id, OpType::kWrite, t, 3 * kSecond, telnetd, dropper,
+            524288));
+  emit(Make(web.agent_id, OpType::kExecute, t + 10 * kSecond, kSecond, sh,
+            dropper));
+  emit(Make(web.agent_id, OpType::kStart, t + 11 * kSecond, kSecond, sh,
+            malware));
+  // Cross-host session: the malware reaches a client service.
+  ProcessRef client_svc{client.agent_id, 1100 + client.agent_id * 40,
+                        "C:\\Windows\\System32\\svchost.exe", "system"};
+  emit(Make(web.agent_id, OpType::kConnect, t + 30 * kSecond, kSecond,
+            malware, client_svc));
+  FileRef client_dropper{client.agent_id, "C:\\Windows\\Temp\\malnet.exe"};
+  ProcessRef client_malware{client.agent_id, 4100,
+                            "C:\\Windows\\Temp\\malnet.exe", "system"};
+  emit(Make(client.agent_id, OpType::kWrite, t + 45 * kSecond, 2 * kSecond,
+            client_svc, client_dropper, 524288));
+  emit(Make(client.agent_id, OpType::kExecute, t + 60 * kSecond, kSecond,
+            client_svc, client_dropper));
+  emit(Make(client.agent_id, OpType::kStart, t + 61 * kSecond, kSecond,
+            client_svc, client_malware));
+
+  // ---- a3: privilege escalation + memory dumping ---------------------------
+  t += 10 * kMinute;
+  ProcessRef cve{client.agent_id, 4101, "C:\\Windows\\Temp\\cve-2015-1701.exe",
+                 "system"};
+  ProcessRef mimikatz{client.agent_id, 4102,
+                      "C:\\Windows\\Temp\\mimikatz.exe", "system"};
+  ProcessRef kiwi{client.agent_id, 4103, "C:\\Windows\\Temp\\kiwi.exe",
+                  "system"};
+  FileRef lsass_mem{client.agent_id, "C:\\Windows\\Temp\\lsass.dmp"};
+  FileRef creds{client.agent_id, "C:\\Windows\\Temp\\creds.txt"};
+  emit(Make(client.agent_id, OpType::kStart, t, kSecond, client_malware,
+            cve));
+  emit(Make(client.agent_id, OpType::kStart, t + 20 * kSecond, kSecond, cve,
+            mimikatz));
+  emit(Make(client.agent_id, OpType::kWrite, t + 40 * kSecond, 5 * kSecond,
+            mimikatz, lsass_mem, 41943040));
+  emit(Make(client.agent_id, OpType::kStart, t + 50 * kSecond, kSecond, cve,
+            kiwi));
+  emit(Make(client.agent_id, OpType::kRead, t + 60 * kSecond, 2 * kSecond,
+            kiwi, lsass_mem, 41943040));
+  emit(Make(client.agent_id, OpType::kWrite, t + 70 * kSecond, kSecond, kiwi,
+            creds, 4096));
+
+  // ---- a4: domain controller penetration + password dumping ----------------
+  t += 15 * kMinute;
+  ProcessRef dc_svc{dc.agent_id, 601, "C:\\Windows\\System32\\svchost.exe",
+                    "system"};
+  emit(Make(client.agent_id, OpType::kConnect, t, kSecond, client_malware,
+            dc_svc));
+  ProcessRef pwdump{dc.agent_id, 5100, "C:\\Windows\\Temp\\PwDump7.exe",
+                    "system"};
+  ProcessRef wce{dc.agent_id, 5101, "C:\\Windows\\Temp\\WCE.exe", "system"};
+  FileRef ntds{dc.agent_id, "C:\\Windows\\NTDS\\ntds.dit"};
+  FileRef pwdump_out{dc.agent_id, "C:\\Windows\\Temp\\alluser.pw"};
+  NetworkRef dc_exfil{dc.agent_id, dc.ip, attacker, 40100, 4444, "tcp"};
+  emit(Make(dc.agent_id, OpType::kStart, t + 30 * kSecond, kSecond, dc_svc,
+            pwdump));
+  emit(Make(dc.agent_id, OpType::kRead, t + 40 * kSecond, 3 * kSecond,
+            pwdump, ntds, 8388608));
+  emit(Make(dc.agent_id, OpType::kWrite, t + 50 * kSecond, kSecond, pwdump,
+            pwdump_out, 65536));
+  emit(Make(dc.agent_id, OpType::kStart, t + 70 * kSecond, kSecond, dc_svc,
+            wce));
+  emit(Make(dc.agent_id, OpType::kRead, t + 80 * kSecond, kSecond, wce,
+            pwdump_out, 65536));
+  emit(Make(dc.agent_id, OpType::kWrite, t + 90 * kSecond, 2 * kSecond, wce,
+            dc_exfil, 65536));
+
+  // ---- a5: data exfiltration from the database server -----------------------
+  t += 20 * kMinute;
+  ProcessRef db_svc{db.agent_id, 902, "C:\\Windows\\System32\\svchost.exe",
+                    "system"};
+  ProcessRef cmd{db.agent_id, 5200, "C:\\Windows\\System32\\cmd.exe",
+                 "system"};
+  ProcessRef osql{db.agent_id, 5201, "C:\\SQL\\Tools\\osql.exe", "system"};
+  ProcessRef sqlservr{db.agent_id, 900, "C:\\SQL\\MSSQL\\Binn\\sqlservr.exe",
+                      "system"};
+  ProcessRef powershell{db.agent_id, 5202,
+                        "C:\\Windows\\System32\\powershell.exe", "system"};
+  FileRef dbbak{db.agent_id, "C:\\SQLBackup\\db.bak"};
+  NetworkRef exfil{db.agent_id, db.ip, attacker, 40200, 443, "tcp"};
+
+  emit(Make(client.agent_id, OpType::kConnect, t, kSecond, client_malware,
+            db_svc));
+  emit(Make(db.agent_id, OpType::kStart, t + 30 * kSecond, kSecond, db_svc,
+            cmd));
+  emit(Make(db.agent_id, OpType::kStart, t + 60 * kSecond, kSecond, cmd,
+            osql));
+  emit(Make(db.agent_id, OpType::kWrite, t + 2 * kMinute, 30 * kSecond,
+            sqlservr, dbbak, 2147483648ULL));
+  emit(Make(db.agent_id, OpType::kStart, t + 3 * kMinute, kSecond, cmd,
+            powershell));
+  // powershell connects to the attacker before the data transfer (§3).
+  emit(Make(db.agent_id, OpType::kConnect, t + 4 * kMinute, kSecond,
+            powershell, exfil));
+  truth.exfil_start = t + 5 * kMinute;
+  // Repeated large reads + sends: the anomaly query's frequency spike.
+  for (int burst = 0; burst < 12; ++burst) {
+    Timestamp bt = truth.exfil_start + burst * 20 * kSecond;
+    emit(Make(db.agent_id, OpType::kRead, bt, 5 * kSecond, powershell, dbbak,
+              134217728));
+    emit(Make(db.agent_id, OpType::kWrite, bt + 6 * kSecond, 10 * kSecond,
+              powershell, exfil, 134217728));
+  }
+  return truth;
+}
+
+}  // namespace aiql

@@ -1,0 +1,46 @@
+// The demo APT attack (paper §3, steps a1-a5).
+//
+//  a1 Initial compromise — UnrealIRCd RCE on the web server spawns a shell
+//     and a telnet session back to the attacker.
+//  a2 Malware infection — the attacker uploads a malware dropper that
+//     infects a Windows client across the intranet.
+//  a3 Privilege escalation — CVE-2015-1701 exploit, then Mimikatz/Kiwi
+//     memory dumping on the client.
+//  a4 User credentials — penetration of the domain controller, password
+//     dumping with PwDump7 / WCE.
+//  a5 Data exfiltration — on the database server, an OSQL-driven dump is
+//     written by sqlservr (db.bak), read by powershell, and shipped to the
+//     attacker's address in repeated large transfers (the anomaly query's
+//     target).
+
+#ifndef AIQL_SIMULATOR_ATTACK_DEMO_H_
+#define AIQL_SIMULATOR_ATTACK_DEMO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "simulator/topology.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Ground-truth markers for tests and examples.
+struct DemoAttackTruth {
+  Timestamp start = 0;             ///< a1 begins
+  Timestamp exfil_start = 0;       ///< first large transfer (a5)
+  std::string attacker_ip;
+  AgentId web_server = 0;
+  AgentId client = 0;
+  AgentId domain_controller = 0;
+  AgentId database_server = 0;
+};
+
+/// Injects the attack into `out` starting at `start` (unfolds over ~2h).
+DemoAttackTruth InjectDemoAttack(const Enterprise& enterprise,
+                                 Timestamp start,
+                                 std::vector<EventRecord>* out);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_ATTACK_DEMO_H_

@@ -1,0 +1,333 @@
+#include "simulator/background.h"
+
+#include <algorithm>
+
+namespace aiql {
+
+namespace {
+
+/// A small pool of long-running processes on one host.
+struct ProcPool {
+  std::vector<ProcessRef> procs;
+
+  const ProcessRef& Pick(Rng* rng) const {
+    return procs[rng->Uniform(procs.size())];
+  }
+};
+
+ProcessRef MakeProc(AgentId agent, uint32_t pid, std::string exe,
+                    std::string user) {
+  return ProcessRef{agent, pid, std::move(exe), std::move(user)};
+}
+
+const char* kWebsites[] = {"93.184.216.34", "142.250.72.14", "151.101.1.69",
+                           "104.16.132.229", "13.107.42.14"};
+
+std::string ClientUser(AgentId agent) {
+  static const char* kUsers[] = {"alice", "bob",   "carol", "dave",
+                                 "erin",  "frank", "grace", "heidi"};
+  return kUsers[agent % 8];
+}
+
+EventRecord Record(AgentId agent, OpType op, Timestamp t, ProcessRef subject,
+                   ObjectRef object, uint64_t amount, Rng* rng) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = op;
+  record.start_ts = t;
+  record.end_ts = t + static_cast<Duration>(rng->Uniform(900) + 100) *
+                          kMillisecond;
+  record.amount = amount;
+  record.subject = std::move(subject);
+  record.object = std::move(object);
+  return record;
+}
+
+void GenerateClientHost(const Host& host,
+                        Timestamp start, Timestamp end, size_t count,
+                        Rng* rng, std::vector<EventRecord>* out) {
+  const AgentId agent = host.agent_id;
+  std::string user = ClientUser(agent);
+  uint32_t pid = 1000 + agent * 1000;
+  ProcessRef explorer = MakeProc(agent, pid + 1, "C:\\Windows\\explorer.exe",
+                                 user);
+  // Applications churn through process instances over the day (pid reuse
+  // sessions), so the entity store sees realistic process cardinality
+  // rather than one long-lived instance per application.
+  auto session_proc = [&](uint32_t slot, const char* exe,
+                          const std::string& owner, Rng* rng) {
+    uint32_t session = static_cast<uint32_t>(rng->Uniform(24));
+    return MakeProc(agent, pid + slot * 32 + session, exe, owner);
+  };
+  ProcessRef svchost = MakeProc(agent, pid + 6,
+                                "C:\\Windows\\System32\\svchost.exe",
+                                "system");
+  ProcPool launch_targets{{
+      MakeProc(agent, pid + 2, "C:\\Program Files\\Google\\chrome.exe",
+               user),
+      MakeProc(agent, pid + 3, "C:\\Office\\winword.exe", user),
+      MakeProc(agent, pid + 4, "C:\\Office\\excel.exe", user),
+      MakeProc(agent, pid + 5, "C:\\Office\\outlook.exe", user),
+  }};
+  Duration span = end - start;
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t = start + rng->Uniform(static_cast<uint64_t>(span));
+    size_t behavior = rng->WeightedIndex({4, 3, 2, 1, 1, 0.5});
+    switch (behavior) {
+      case 0: {  // browsing
+        NetworkRef net{agent, host.ip, kWebsites[rng->Uniform(5)],
+                       static_cast<uint16_t>(49000 + rng->Uniform(8000)),
+                       443, "tcp"};
+        OpType op = rng->Chance(0.5) ? OpType::kWrite : OpType::kRead;
+        out->push_back(Record(
+            agent, op, t,
+            session_proc(2, "C:\\Program Files\\Google\\chrome.exe", user,
+                         rng),
+            net, 200 + rng->Uniform(40000), rng));
+        break;
+      }
+      case 1: {  // document work
+        FileRef doc{agent, "C:\\Users\\" + user + "\\Documents\\doc" +
+                               std::to_string(rng->Uniform(240)) + ".docx"};
+        ProcessRef office =
+            rng->Chance(0.5)
+                ? session_proc(3, "C:\\Office\\winword.exe", user, rng)
+                : session_proc(4, "C:\\Office\\excel.exe", user, rng);
+        OpType op = rng->Chance(0.4) ? OpType::kWrite : OpType::kRead;
+        out->push_back(
+            Record(agent, op, t, office, doc, 1000 + rng->Uniform(90000),
+                   rng));
+        break;
+      }
+      case 2: {  // mail
+        NetworkRef mail{agent, host.ip, "10.10.0.3", 52000, 993, "tcp"};
+        out->push_back(Record(
+            agent,
+            rng->Chance(0.5) ? OpType::kRead : OpType::kWrite, t,
+            session_proc(5, "C:\\Office\\outlook.exe", user, rng), mail,
+            500 + rng->Uniform(20000), rng));
+        break;
+      }
+      case 3: {  // app launches
+        out->push_back(Record(agent, OpType::kStart, t, explorer,
+                              launch_targets.Pick(rng), 0, rng));
+        break;
+      }
+      case 4: {  // system services touching system files
+        FileRef sys{agent, "C:\\Windows\\System32\\cfg" +
+                               std::to_string(rng->Uniform(220)) + ".dll"};
+        out->push_back(Record(agent, OpType::kRead, t, svchost, sys,
+                              256 + rng->Uniform(4096), rng));
+        break;
+      }
+      default: {  // auth to the domain controller
+        NetworkRef auth{agent, host.ip, "10.10.0.3", 53000, 88, "tcp"};
+        out->push_back(Record(agent, OpType::kWrite, t, svchost, auth,
+                              128 + rng->Uniform(512), rng));
+        break;
+      }
+    }
+  }
+}
+
+void GenerateWebServer(const Enterprise& enterprise, const Host& host,
+                       Timestamp start, Timestamp end, size_t count,
+                       Rng* rng, std::vector<EventRecord>* out) {
+  const AgentId agent = host.agent_id;
+  ProcessRef apache = MakeProc(agent, 700, "/usr/sbin/apache2", "www-data");
+  ProcessRef sshd = MakeProc(agent, 701, "/usr/sbin/sshd", "root");
+  ProcessRef cron = MakeProc(agent, 702, "/usr/sbin/cron", "root");
+  ProcessRef bash = MakeProc(agent, 703, "/bin/bash", "admin");
+  ProcessRef ircd = MakeProc(agent, 704, "/opt/unrealircd/unrealircd",
+                             "ircd");
+  Duration span = end - start;
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t = start + rng->Uniform(static_cast<uint64_t>(span));
+    size_t behavior = rng->WeightedIndex({5, 3, 1, 1, 0.5});
+    switch (behavior) {
+      case 0: {  // serve a page: accept + read file + write socket
+        const Host& client =
+            enterprise.hosts[4 + rng->Uniform(enterprise.hosts.size() - 4)];
+        NetworkRef conn{agent, client.ip, host.ip,
+                        static_cast<uint16_t>(40000 + rng->Uniform(9000)),
+                        80, "tcp"};
+        out->push_back(Record(agent, OpType::kAccept, t, apache, conn, 0,
+                              rng));
+        FileRef page{agent, "/var/www/html/page" +
+                                std::to_string(rng->Uniform(400)) + ".html"};
+        out->push_back(Record(agent, OpType::kRead, t + 10 * kMillisecond,
+                              apache, page, 2000 + rng->Uniform(30000),
+                              rng));
+        out->push_back(Record(agent, OpType::kWrite, t + 20 * kMillisecond,
+                              apache, conn, 2000 + rng->Uniform(30000),
+                              rng));
+        break;
+      }
+      case 1: {  // logging
+        FileRef log{agent, "/var/log/apache2/access.log"};
+        out->push_back(Record(agent, OpType::kWrite, t, apache, log,
+                              80 + rng->Uniform(400), rng));
+        break;
+      }
+      case 2: {  // admin ssh session
+        out->push_back(Record(agent, OpType::kStart, t, sshd, bash, 0, rng));
+        FileRef conf{agent, "/etc/app/conf" +
+                                std::to_string(rng->Uniform(10)) + ".yaml"};
+        out->push_back(Record(agent, OpType::kRead, t + kSecond, bash, conf,
+                              100 + rng->Uniform(2000), rng));
+        break;
+      }
+      case 3: {  // cron job
+        ProcessRef sh = MakeProc(agent, 800 + static_cast<uint32_t>(
+                                                  rng->Uniform(20)),
+                                 "/bin/sh", "root");
+        out->push_back(Record(agent, OpType::kStart, t, cron, sh, 0, rng));
+        FileRef log{agent, "/var/log/cron.log"};
+        out->push_back(Record(agent, OpType::kWrite, t + kSecond, sh, log,
+                              64 + rng->Uniform(128), rng));
+        break;
+      }
+      default: {  // benign IRC traffic
+        NetworkRef conn{agent, "10.10.1.9", host.ip, 51000, 6667, "tcp"};
+        out->push_back(Record(agent, OpType::kAccept, t, ircd, conn, 0,
+                              rng));
+        break;
+      }
+    }
+  }
+}
+
+void GenerateDatabaseServer(const Enterprise& enterprise, const Host& host,
+                            Timestamp start, Timestamp end, size_t count,
+                            Rng* rng, std::vector<EventRecord>* out) {
+  const AgentId agent = host.agent_id;
+  ProcessRef sqlservr = MakeProc(agent, 900,
+                                 "C:\\SQL\\MSSQL\\Binn\\sqlservr.exe",
+                                 "system");
+  ProcessRef agentproc = MakeProc(agent, 901, "C:\\SQL\\sqlagent.exe",
+                                  "system");
+  Duration span = end - start;
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t = start + rng->Uniform(static_cast<uint64_t>(span));
+    size_t behavior = rng->WeightedIndex({5, 2, 1, 1});
+    switch (behavior) {
+      case 0: {  // data file I/O
+        FileRef mdf{agent, rng->Chance(0.7) ? "C:\\SQLData\\master.mdf"
+                                            : "C:\\SQLData\\tempdb.ldf"};
+        out->push_back(Record(agent,
+                              rng->Chance(0.5) ? OpType::kRead
+                                               : OpType::kWrite,
+                              t, sqlservr, mdf,
+                              4096 + rng->Uniform(1 << 18), rng));
+        break;
+      }
+      case 1: {  // query traffic from the web server
+        NetworkRef conn{agent, enterprise.web_server().ip, host.ip,
+                        static_cast<uint16_t>(45000 + rng->Uniform(2000)),
+                        1433, "tcp"};
+        out->push_back(Record(agent, OpType::kAccept, t, sqlservr, conn, 0,
+                              rng));
+        out->push_back(Record(agent, OpType::kWrite, t + 5 * kMillisecond,
+                              sqlservr, conn, 500 + rng->Uniform(100000),
+                              rng));
+        break;
+      }
+      case 2: {  // scheduled maintenance
+        out->push_back(
+            Record(agent, OpType::kStart, t, agentproc, sqlservr, 0, rng));
+        break;
+      }
+      default: {  // nightly backup
+        FileRef bak{agent, "C:\\SQLBackup\\nightly" +
+                               std::to_string(rng->Uniform(7)) + ".bak"};
+        out->push_back(Record(agent, OpType::kWrite, t, sqlservr, bak,
+                              (1 << 20) + rng->Uniform(1 << 22), rng));
+        break;
+      }
+    }
+  }
+}
+
+void GenerateDomainController(const Enterprise& enterprise, const Host& host,
+                              Timestamp start, Timestamp end, size_t count,
+                              Rng* rng, std::vector<EventRecord>* out) {
+  const AgentId agent = host.agent_id;
+  ProcessRef lsass = MakeProc(agent, 600, "C:\\Windows\\System32\\lsass.exe",
+                              "system");
+  ProcessRef svchost = MakeProc(agent, 601,
+                                "C:\\Windows\\System32\\svchost.exe",
+                                "system");
+  Duration span = end - start;
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t = start + rng->Uniform(static_cast<uint64_t>(span));
+    if (rng->Chance(0.6)) {
+      const Host& client =
+          enterprise.hosts[4 + rng->Uniform(enterprise.hosts.size() - 4)];
+      NetworkRef conn{agent, client.ip, host.ip,
+                      static_cast<uint16_t>(50000 + rng->Uniform(5000)), 88,
+                      "tcp"};
+      out->push_back(Record(agent, OpType::kAccept, t, lsass, conn, 0, rng));
+    } else if (rng->Chance(0.5)) {
+      FileRef ntds{agent, "C:\\Windows\\NTDS\\ntds.dit"};
+      out->push_back(Record(agent, OpType::kRead, t, lsass, ntds,
+                            512 + rng->Uniform(8192), rng));
+    } else {
+      FileRef log{agent, "C:\\Windows\\System32\\winevt\\security.evtx"};
+      out->push_back(Record(agent, OpType::kWrite, t, svchost, log,
+                            256 + rng->Uniform(1024), rng));
+    }
+  }
+}
+
+void GenerateRouter(const Host& host, Timestamp start, Timestamp end,
+                    size_t count, Rng* rng, std::vector<EventRecord>* out) {
+  const AgentId agent = host.agent_id;
+  ProcessRef routerd = MakeProc(agent, 500, "/usr/sbin/routerd", "root");
+  Duration span = end - start;
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t = start + rng->Uniform(static_cast<uint64_t>(span));
+    FileRef log{agent, "/var/log/router/flow.log"};
+    out->push_back(Record(agent, OpType::kWrite, t, routerd, log,
+                          64 + rng->Uniform(256), rng));
+  }
+}
+
+}  // namespace
+
+void GenerateBackground(const Enterprise& enterprise, Timestamp start,
+                        Timestamp end, const BackgroundOptions& options,
+                        std::vector<EventRecord>* out) {
+  double hours = static_cast<double>(end - start) / kHour;
+  size_t per_host =
+      static_cast<size_t>(options.events_per_host_per_hour * hours);
+  Rng root(options.seed);
+  for (const Host& host : enterprise.hosts) {
+    Rng rng = root.Fork(host.agent_id);
+    switch (host.role) {
+      case HostRole::kWindowsClient:
+        GenerateClientHost(host, start, end, per_host, &rng, out);
+        break;
+      case HostRole::kLinuxWebServer:
+        GenerateWebServer(enterprise, host, start, end, per_host, &rng, out);
+        break;
+      case HostRole::kDatabaseServer:
+        GenerateDatabaseServer(enterprise, host, start, end, per_host, &rng,
+                               out);
+        break;
+      case HostRole::kDomainController:
+        GenerateDomainController(enterprise, host, start, end, per_host,
+                                 &rng, out);
+        break;
+      case HostRole::kRouter:
+        GenerateRouter(host, start, end, per_host / 4, &rng, out);
+        break;
+    }
+  }
+  // Ingest in global time order (agents stream roughly in order).
+  std::sort(out->begin(), out->end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return a.start_ts < b.start_ts;
+            });
+}
+
+}  // namespace aiql

@@ -1,0 +1,35 @@
+// Benign background activity generator.
+//
+// Emits per-role system activity — process trees, file I/O, network
+// sessions — at a configurable rate so attack traces are needles in a
+// realistic haystack. Generation is fully deterministic under a seed
+// (independent per-host RNG streams).
+
+#ifndef AIQL_SIMULATOR_BACKGROUND_H_
+#define AIQL_SIMULATOR_BACKGROUND_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_utils.h"
+#include "simulator/topology.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Background workload parameters.
+struct BackgroundOptions {
+  /// Average benign events per host per hour.
+  double events_per_host_per_hour = 2000;
+  uint64_t seed = 0x5EED;
+};
+
+/// Generates background records for all hosts across [start, end) and
+/// appends them to `out`. Records are roughly time-ordered per host.
+void GenerateBackground(const Enterprise& enterprise, Timestamp start,
+                        Timestamp end, const BackgroundOptions& options,
+                        std::vector<EventRecord>* out);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_BACKGROUND_H_

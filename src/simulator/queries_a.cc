@@ -1,0 +1,146 @@
+#include "simulator/queries_a.h"
+
+namespace aiql {
+
+namespace {
+const std::string kDate = "(at \"05/10/2018\")\n";
+}  // namespace
+
+std::vector<CatalogQuery> DemoInvestigationQueries(
+    const DemoAttackTruth& truth) {
+  const std::string web = std::to_string(truth.web_server);
+  const std::string client = std::to_string(truth.client);
+  const std::string dc = std::to_string(truth.domain_controller);
+  const std::string db = std::to_string(truth.database_server);
+  const std::string attacker = truth.attacker_ip;
+
+  std::vector<CatalogQuery> queries;
+  auto add = [&](std::string id, std::string description, std::string text,
+                 size_t min_rows = 1) {
+    queries.push_back(CatalogQuery{std::move(id), std::move(description),
+                                   std::move(text), min_rows});
+  };
+
+  // ---- a1: initial compromise ------------------------------------------------
+  add("a1-1", "inbound connections from the suspicious external address",
+      kDate + "agentid = " + web +
+          "\nproc p accept ip i[src_ip = \"" + attacker +
+          "\"] as e\nreturn distinct p, i");
+  add("a1-2", "processes spawned by the IRC daemon",
+      kDate + "agentid = " + web +
+          "\nproc p1[\"%unrealircd%\"] start proc p2 as e1\n"
+          "return distinct p1, p2");
+  add("a1-3", "shell chain spawned from the IRC daemon",
+      kDate + "agentid = " + web +
+          "\nproc p1[\"%unrealircd%\"] start proc p2[\"%/bin/sh%\"] as e1\n"
+          "proc p2 start proc p3 as e2\n"
+          "with e1 before e2\n"
+          "return distinct p1, p2, p3");
+  add("a1-4", "telnet session back to the attacker",
+      kDate + "agentid = " + web +
+          "\nproc p[\"%telnetd%\"] write ip i[dst_ip = \"" + attacker +
+          "\"] as e\nreturn distinct p, i, e.amount");
+
+  // ---- a2: malware infection ---------------------------------------------------
+  add("a2-1", "files dropped through the telnet session",
+      kDate + "agentid = " + web +
+          "\nproc p[\"%telnetd%\"] write file f as e\n"
+          "return distinct p, f");
+  add("a2-2", "malware execution and cross-host propagation",
+      kDate +
+          "proc p1[\"%/bin/sh%\", agentid = " + web +
+          "] execute file f1[\"%malnet%\"] as e1\n"
+          "proc p2[\"%malnet%\", agentid = " + web +
+          "] connect proc p3[agentid = " + client + "] as e2\n"
+          "proc p3 write file f2[\"%malnet%\"] as e3\n"
+          "with e1 before e2, e2 before e3\n"
+          "return distinct f1, p2, p3, f2");
+  add("a2-3", "forward tracking of the dropped malware binary",
+      kDate +
+          "forward: proc p1[\"%telnetd%\", agentid = " + web +
+          "] ->[write] file f1[\"%malnet%\"]\n"
+          "<-[execute] proc p2[\"%/bin/sh%\"]\n"
+          "return p1, f1, p2");
+
+  // ---- a3: privilege escalation --------------------------------------------------
+  add("a3-1", "who started the memory dumping tool",
+      kDate + "agentid = " + client +
+          "\nproc p1 start proc p2[\"%mimikatz%\"] as e\n"
+          "return distinct p1, p2");
+  add("a3-2", "memory dumps written by mimikatz",
+      kDate + "agentid = " + client +
+          "\nproc p[\"%mimikatz%\"] write file f as e\n"
+          "return distinct p, f, e.amount");
+  add("a3-3", "full escalation chain on the client",
+      kDate + "agentid = " + client +
+          "\nproc p1[\"%malnet.exe%\"] start proc p2[\"%cve-2015-1701%\"] as "
+          "e1\n"
+          "proc p2 start proc p3[\"%kiwi%\"] as e2\n"
+          "proc p3 read file f1[\"%lsass.dmp%\"] as e3\n"
+          "proc p3 write file f2[\"%creds%\"] as e4\n"
+          "with e1 before e2, e2 before e3, e3 before e4\n"
+          "return distinct p1, p2, p3, f1, f2");
+
+  // ---- a4: user credentials ---------------------------------------------------------
+  add("a4-1", "cross-host sessions from the client malware to the DC",
+      kDate + "proc p1[\"%malnet%\", agentid = " + client +
+          "] connect proc p2[agentid = " + dc +
+          "] as e\nreturn distinct p1, p2");
+  add("a4-2", "password dumping tools started on the DC",
+      kDate + "agentid = " + dc +
+          "\nproc p1 start proc p2[\"%PwDump7%\"] as e\n"
+          "return distinct p1, p2");
+  add("a4-3", "files touched by the password dumper",
+      kDate + "agentid = " + dc +
+          "\nproc p[\"%pwdump7%\"] read || write file f as e\n"
+          "return distinct p, f");
+  add("a4-4", "credential exfiltration chain on the DC",
+      kDate + "agentid = " + dc +
+          "\nproc p1[\"%PwDump7%\"] write file f1[\"%alluser.pw%\"] as e1\n"
+          "proc p2[\"%WCE%\"] read file f1 as e2\n"
+          "proc p2 write ip i[dst_ip = \"" + attacker +
+          "\"] as e3\n"
+          "with e1 before e2, e2 before e3\n"
+          "return distinct p1, f1, p2, i");
+
+  // ---- a5: data exfiltration -----------------------------------------------------------
+  add("a5-1",
+      "anomaly: processes on the DB server moving unusually large volumes "
+      "to the suspicious address",
+      kDate + "agentid = " + db +
+          "\nwindow = 1 min, step = 10 sec\n"
+          "proc p write ip i[dst_ip = \"" + attacker +
+          "\"] as evt\n"
+          "return p, avg(evt.amount) as amt\n"
+          "group by p\n"
+          "having amt > 2 * (amt + amt[1] + amt[2]) / 3");
+  add("a5-2", "files read by the transferring process",
+      kDate + "agentid = " + db +
+          "\nproc p[\"%powershell%\"] read file f as e\n"
+          "return distinct p, f");
+  add("a5-3", "which process created the database dump",
+      kDate + "agentid = " + db +
+          "\nproc p write file f[\"%db.bak%\"] as e\n"
+          "return distinct p, f");
+  add("a5-4", "connection to the attacker before the transfer",
+      kDate + "agentid = " + db +
+          "\nproc p[\"%powershell%\"] connect ip i[dst_ip = \"" + attacker +
+          "\"] as e1\n"
+          "proc p write ip i as e2\n"
+          "with e1 before e2\n"
+          "return distinct p, i");
+  add("a5-5", "full exfiltration chain on the database server",
+      kDate + "agentid = " + db +
+          "\nproc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as e1\n"
+          "proc p3[\"%sqlservr.exe\"] write file f1[\"%db.bak%\"] as e2\n"
+          "proc p4[\"%powershell%\"] read file f1 as e3\n"
+          "proc p4 connect ip i1[dst_ip = \"" + attacker +
+          "\"] as e4\n"
+          "proc p4 write ip i1 as e5\n"
+          "with e1 before e2, e2 before e3, e4 before e5, e3 before e5\n"
+          "return distinct p1, p2, p3, f1, p4, i1");
+
+  return queries;
+}
+
+}  // namespace aiql

@@ -1,0 +1,169 @@
+#include "simulator/queries_c.h"
+
+namespace aiql {
+
+namespace {
+const std::string kDate = "(at \"05/10/2018\")\n";
+}  // namespace
+
+std::vector<CatalogQuery> AtcInvestigationQueries(
+    const AtcAttackTruth& truth) {
+  const std::string client = std::to_string(truth.client);
+  const std::string server = std::to_string(truth.server);
+  const std::string attacker = truth.attacker_ip;
+  const std::string c2 = truth.c2_ip;
+
+  std::vector<CatalogQuery> queries;
+  auto add = [&](std::string id, std::string description, std::string text,
+                 size_t min_rows = 1) {
+    queries.push_back(CatalogQuery{std::move(id), std::move(description),
+                                   std::move(text), min_rows});
+  };
+
+  // ---- c1: initial compromise -------------------------------------------------
+  add("c1-1", "phishing attachment written by the mail client and executed",
+      kDate + "agentid = " + client +
+          "\nproc p1[\"%outlook%\"] write file f1[\"%invoice%\"] as e1\n"
+          "proc p2[\"%explorer%\"] execute file f1 as e2\n"
+          "with e1 before e2\n"
+          "return distinct p1, f1, p2");
+
+  // ---- c2: foothold & reconnaissance --------------------------------------------
+  add("c2-1", "processes spawned by the trojan",
+      kDate + "agentid = " + client +
+          "\nproc p1[\"%invoice_2018%\"] start proc p2 as e\n"
+          "return distinct p1, p2");
+  add("c2-2", "payload DLL dropped by the trojan",
+      kDate + "agentid = " + client +
+          "\nproc p1[\"%invoice_2018%\"] write file f[\"%mslib64.dll%\"] as "
+          "e\nreturn distinct p1, f");
+  add("c2-3", "command-and-control connections",
+      kDate + "agentid = " + client +
+          "\nproc p[\"%rundll32%\"] connect ip i[dst_ip = \"" + c2 +
+          "\"] as e\nreturn distinct p, i");
+  add("c2-4", "beaconing traffic to the C2 address",
+      kDate + "agentid = " + client +
+          "\nproc p[\"%rundll32%\"] write ip i[dst_ip = \"" + c2 +
+          "\"] as e\nreturn distinct p, i");
+  add("c2-5", "host enumeration tooling launched by the implant",
+      kDate + "agentid = " + client +
+          "\nproc p1[\"%rundll32%\"] start proc p2[\"%net.exe\"] as e\n"
+          "return distinct p1, p2");
+  add("c2-6", "browser credential store access",
+      kDate + "agentid = " + client +
+          "\nproc p[\"%rundll32%\"] read file f[\"%Login Data%\"] as e\n"
+          "return distinct p, f");
+  add("c2-7", "scheduled-task persistence",
+      kDate + "agentid = " + client +
+          "\nproc p1[\"%rundll32%\"] start proc p2[\"%schtasks%\"] as e1\n"
+          "proc p2 write file f[\"%Tasks%\"] as e2\n"
+          "with e1 before e2\n"
+          "return distinct p1, p2, f");
+  add("c2-8", "recon results staged and shipped to C2",
+      kDate + "agentid = " + client +
+          "\nproc p[\"%rundll32%\"] write file f[\"%sysinfo.dat%\"] as e1\n"
+          "proc p read file f as e2\n"
+          "proc p write ip i[dst_ip = \"" + c2 +
+          "\"] as e3\n"
+          "with e1 before e2, e2 before e3\n"
+          "return distinct p, f, i");
+
+  // ---- c3: lateral movement --------------------------------------------------------
+  add("c3-1", "cross-host session from the implant to the server",
+      kDate + "proc p1[\"%rundll32%\", agentid = " + client +
+          "] connect proc p2[agentid = " + server +
+          "] as e\nreturn distinct p1, p2");
+  add("c3-2", "remote shell spawned on the server",
+      kDate + "agentid = " + server +
+          "\nproc p1[\"%svchost%\"] start proc p2[\"%cmd.exe\"] as e\n"
+          "return distinct p1, p2");
+
+  // ---- c4: credential dumping & persistence ------------------------------------------
+  add("c4-1", "process dumper launched from the remote shell",
+      kDate + "agentid = " + server +
+          "\nproc p1[\"%cmd.exe\"] start proc p2[\"%procdump%\"] as e\n"
+          "return distinct p1, p2");
+  add("c4-2", "LSASS memory dump written",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%procdump%\"] write file f[\"%lsass%\"] as e\n"
+          "return distinct p, f, e.amount");
+  add("c4-3", "credential tool reading the memory dump",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%mk64%\"] read file f[\"%lsass%\"] as e\n"
+          "return distinct p, f");
+  add("c4-4", "dump-then-harvest chain",
+      kDate + "agentid = " + server +
+          "\nproc p1[\"%procdump%\"] write file f[\"%lsass%\"] as e1\n"
+          "proc p2[\"%mk64%\"] read file f as e2\n"
+          "with e1 before e2\n"
+          "return distinct p1, f, p2");
+  add("c4-5", "SAM hive modification (backdoor account)",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%net.exe\"] write file f[\"%config\\SAM%\"] as e\n"
+          "return distinct p, f");
+  add("c4-6", "backdoor binary dropped",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%cmd.exe\"] write file f[\"%svchost_.exe%\"] as e\n"
+          "return distinct p, f");
+  add("c4-7", "run-key persistence via reg.exe",
+      kDate + "agentid = " + server +
+          "\nproc p1[\"%cmd.exe\"] start proc p2[\"%reg.exe\"] as e1\n"
+          "proc p2 write file f[\"%SOFTWARE%\"] as e2\n"
+          "with e1 before e2\n"
+          "return distinct p2, f");
+  add("c4-8", "security log cleared",
+      kDate + "agentid = " + server +
+          "\nproc p1 start proc p2[\"%wevtutil%\"] as e1\n"
+          "proc p2 delete file f[\"%security.evtx%\"] as e2\n"
+          "with e1 before e2\n"
+          "return distinct p1, p2, f");
+
+  // ---- c5: staging & exfiltration ------------------------------------------------------
+  add("c5-1", "database files staged into an archive",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%7z.exe\"] read file f1[\"%master.mdf%\"] as e1\n"
+          "proc p write file f2[\"%upd.7z%\"] as e2\n"
+          "with e1 before e2\n"
+          "return distinct p, f1, f2");
+  add("c5-2", "connection to the attacker's drop host",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%powershell%\"] connect ip i[dst_ip = \"" + attacker +
+          "\"] as e\nreturn distinct p, i");
+  add("c5-3", "split transfer of the staged archive",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%powershell%\"] read file f[\"%upd.7z%\"] as e1\n"
+          "proc p write ip i[dst_ip = \"" + attacker +
+          "\"] as e2\n"
+          "with e1 before e2\n"
+          "return distinct p, f, i");
+  add("c5-4", "exfiltrated volumes per transfer",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%powershell%\"] write ip i[dst_ip = \"" + attacker +
+          "\"] as e\nreturn distinct p, i, e.amount");
+  add("c5-5", "cleanup: files deleted by the exfiltration process",
+      kDate + "agentid = " + server +
+          "\nproc p[\"%powershell%\"] delete file f as e\n"
+          "return distinct p, f");
+  add("c5-6", "full staging-to-exfiltration chain",
+      kDate + "agentid = " + server +
+          "\nproc p1[\"%cmd.exe\"] start proc p2[\"%7z.exe\"] as e1\n"
+          "proc p2 write file f1[\"%upd.7z%\"] as e2\n"
+          "proc p3[\"%powershell%\"] read file f1 as e3\n"
+          "proc p3 write ip i[dst_ip = \"" + attacker +
+          "\"] as e4\n"
+          "proc p3 delete file f1 as e5\n"
+          "with e1 before e2, e2 before e3, e3 before e4, e4 before e5\n"
+          "return distinct p1, p2, f1, p3, i");
+  add("c5-7", "end-to-end provenance from the implant to the exfiltration",
+      kDate +
+          "forward: proc p1[\"%rundll32%\", agentid = " + client +
+          "] ->[connect] proc p2[agentid = " + server +
+          "]\n->[start] proc p3[\"%cmd.exe\"]\n"
+          "->[start] proc p4[\"%powershell%\"]\n"
+          "->[write] ip i[dst_ip = \"" + attacker +
+          "\"]\nreturn p1, p2, p3, p4, i");
+
+  return queries;
+}
+
+}  // namespace aiql

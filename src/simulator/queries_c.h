@@ -1,0 +1,23 @@
+// Investigation query catalog for the ATC case-study attack (paper Fig. 5).
+//
+// 26 queries grouped by attack phase exactly as the figure's x-axis:
+// c1-1, c2-1..c2-8, c3-1..c3-2, c4-1..c4-8, c5-1..c5-7. All are multievent
+// or dependency queries (the three baseline engines can all evaluate them).
+
+#ifndef AIQL_SIMULATOR_QUERIES_C_H_
+#define AIQL_SIMULATOR_QUERIES_C_H_
+
+#include <vector>
+
+#include "simulator/attack_atc.h"
+#include "simulator/queries_a.h"  // CatalogQuery
+
+namespace aiql {
+
+/// The 26 investigation queries for the ATC case-study attack.
+std::vector<CatalogQuery> AtcInvestigationQueries(
+    const AtcAttackTruth& truth);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_QUERIES_C_H_

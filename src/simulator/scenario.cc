@@ -1,0 +1,67 @@
+#include "simulator/scenario.h"
+
+#include <algorithm>
+
+namespace aiql {
+
+namespace {
+
+Timestamp DayStart(const ScenarioOptions& options) {
+  auto ts = MakeTimestamp(options.year, options.month, options.day);
+  return ts.ok() ? *ts : 0;
+}
+
+void SortRecords(std::vector<EventRecord>* records) {
+  std::stable_sort(records->begin(), records->end(),
+                   [](const EventRecord& a, const EventRecord& b) {
+                     return a.start_ts < b.start_ts;
+                   });
+}
+
+}  // namespace
+
+DemoScenarioData GenerateDemoScenario(const ScenarioOptions& options) {
+  DemoScenarioData data;
+  data.enterprise = BuildEnterprise(options.num_clients);
+  Timestamp start = DayStart(options);
+  data.window = TimeRange{start, start + options.duration};
+
+  BackgroundOptions background;
+  background.events_per_host_per_hour = options.events_per_host_per_hour;
+  background.seed = options.seed;
+  GenerateBackground(data.enterprise, data.window.start, data.window.end,
+                     background, &data.records);
+  data.truth = InjectDemoAttack(data.enterprise,
+                                start + options.attack_offset, &data.records);
+  SortRecords(&data.records);
+  return data;
+}
+
+AtcScenarioData GenerateAtcScenario(const ScenarioOptions& options) {
+  AtcScenarioData data;
+  data.enterprise = BuildEnterprise(options.num_clients);
+  Timestamp start = DayStart(options);
+  data.window = TimeRange{start, start + options.duration};
+
+  BackgroundOptions background;
+  background.events_per_host_per_hour = options.events_per_host_per_hour;
+  background.seed = options.seed + 1;
+  GenerateBackground(data.enterprise, data.window.start, data.window.end,
+                     background, &data.records);
+  data.truth = InjectAtcAttack(data.enterprise,
+                               start + options.attack_offset, &data.records);
+  SortRecords(&data.records);
+  return data;
+}
+
+Result<AuditDatabase> IngestRecords(const std::vector<EventRecord>& records,
+                                    const StorageOptions& storage) {
+  AuditDatabase db(storage);
+  for (const EventRecord& record : records) {
+    AIQL_RETURN_IF_ERROR(db.Append(record));
+  }
+  db.Seal();
+  return db;
+}
+
+}  // namespace aiql

@@ -1,0 +1,59 @@
+// Scenario assembly: enterprise + background noise + attack -> records,
+// plus ingestion into an AuditDatabase under chosen storage options.
+
+#ifndef AIQL_SIMULATOR_SCENARIO_H_
+#define AIQL_SIMULATOR_SCENARIO_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "simulator/attack_atc.h"
+#include "simulator/attack_demo.h"
+#include "simulator/background.h"
+#include "simulator/topology.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Knobs for scenario generation. Defaults suit unit tests; benchmarks
+/// scale events_per_host_per_hour / num_clients up.
+struct ScenarioOptions {
+  int num_clients = 4;
+  /// Monitored day (the catalogs' `(at "05/10/2018")` window).
+  int year = 2018, month = 5, day = 10;
+  Duration duration = 6 * kHour;
+  double events_per_host_per_hour = 2000;
+  uint64_t seed = 42;
+  /// Attack injection offset from the window start.
+  Duration attack_offset = 2 * kHour;
+};
+
+/// Generated scenario with the demo attack (a1-a5).
+struct DemoScenarioData {
+  Enterprise enterprise;
+  DemoAttackTruth truth;
+  std::vector<EventRecord> records;  ///< time-ordered
+  TimeRange window;
+};
+
+/// Generated scenario with the ATC case-study attack (c1-c5).
+struct AtcScenarioData {
+  Enterprise enterprise;
+  AtcAttackTruth truth;
+  std::vector<EventRecord> records;
+  TimeRange window;
+};
+
+/// Builds background + demo attack records (deterministic under options).
+DemoScenarioData GenerateDemoScenario(const ScenarioOptions& options);
+
+/// Builds background + ATC attack records.
+AtcScenarioData GenerateAtcScenario(const ScenarioOptions& options);
+
+/// Ingests records into a database under `storage` and seals it.
+Result<AuditDatabase> IngestRecords(const std::vector<EventRecord>& records,
+                                    const StorageOptions& storage);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_SCENARIO_H_

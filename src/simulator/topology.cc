@@ -1,0 +1,45 @@
+#include "simulator/topology.h"
+
+namespace aiql {
+
+const char* HostRoleToString(HostRole role) {
+  switch (role) {
+    case HostRole::kWindowsClient:
+      return "windows-client";
+    case HostRole::kLinuxWebServer:
+      return "linux-web-server";
+    case HostRole::kDatabaseServer:
+      return "database-server";
+    case HostRole::kDomainController:
+      return "domain-controller";
+    case HostRole::kRouter:
+      return "router";
+  }
+  return "?";
+}
+
+Enterprise BuildEnterprise(int num_clients) {
+  Enterprise enterprise;
+  enterprise.attacker_ip = "66.77.88.129";  // the paper's obfuscated XXX.129
+
+  auto add = [&](std::string name, std::string ip, HostRole role) {
+    Host host;
+    host.agent_id = static_cast<AgentId>(enterprise.hosts.size() + 1);
+    host.name = std::move(name);
+    host.ip = std::move(ip);
+    host.role = role;
+    enterprise.hosts.push_back(std::move(host));
+  };
+
+  add("web-01", "10.10.0.1", HostRole::kLinuxWebServer);
+  add("router-01", "10.10.0.2", HostRole::kRouter);
+  add("dc-01", "10.10.0.3", HostRole::kDomainController);
+  add("db-01", "10.10.0.4", HostRole::kDatabaseServer);
+  for (int i = 0; i < num_clients; ++i) {
+    add("client-" + std::to_string(i + 1),
+        "10.10.1." + std::to_string(i + 1), HostRole::kWindowsClient);
+  }
+  return enterprise;
+}
+
+}  // namespace aiql

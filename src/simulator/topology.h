@@ -1,0 +1,66 @@
+// Simulated enterprise topology (paper Fig. 2).
+//
+// The demo environment contains Windows clients, a Linux web server, a
+// database server, a Windows domain controller, and a router, with the
+// attacker outside. Agents (data collectors) run on every host.
+
+#ifndef AIQL_SIMULATOR_TOPOLOGY_H_
+#define AIQL_SIMULATOR_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Host roles in the simulated enterprise.
+enum class HostRole {
+  kWindowsClient,
+  kLinuxWebServer,
+  kDatabaseServer,
+  kDomainController,
+  kRouter,
+};
+
+const char* HostRoleToString(HostRole role);
+
+/// One monitored host.
+struct Host {
+  AgentId agent_id = 0;
+  std::string name;
+  std::string ip;
+  HostRole role = HostRole::kWindowsClient;
+
+  bool is_windows() const {
+    return role == HostRole::kWindowsClient ||
+           role == HostRole::kDatabaseServer ||
+           role == HostRole::kDomainController;
+  }
+};
+
+/// The enterprise: fixed infrastructure hosts (agents 1-4) plus
+/// `num_clients` Windows clients (agents 5+), and the attacker's external
+/// address.
+struct Enterprise {
+  std::vector<Host> hosts;
+  std::string attacker_ip;
+
+  const Host& web_server() const { return hosts[0]; }       // agent 1
+  const Host& client0() const { return hosts[4]; }          // agent 5
+  const Host& domain_controller() const { return hosts[2]; }  // agent 3
+  const Host& database_server() const { return hosts[3]; }  // agent 4
+  const Host& router() const { return hosts[1]; }           // agent 2
+
+  const Host& HostByAgent(AgentId agent) const {
+    return hosts[agent - 1];
+  }
+};
+
+/// Builds the topology: agent 1 = Linux web server, 2 = router, 3 = domain
+/// controller, 4 = database server, 5..4+num_clients = Windows clients.
+Enterprise BuildEnterprise(int num_clients);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_TOPOLOGY_H_

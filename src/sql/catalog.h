@@ -1,0 +1,103 @@
+// Relational catalogs exposing the audit store to the SQL baseline engine.
+//
+// Two modes reproduce the paper's two baselines:
+//  * OptimizedCatalog — "PostgreSQL w/ our optimized storage" (Fig. 4):
+//    normalized entity/event tables over the partitioned store; scans honor
+//    time/agent pushdown (partition pruning, as PostgreSQL constraint
+//    exclusion would).
+//  * FlatCatalog — "PostgreSQL w/o our optimized storage" (Fig. 5): one
+//    denormalized audit_log table of strings; every scan is a full scan and
+//    every entity reference is a string comparison.
+
+#ifndef AIQL_SQL_CATALOG_H_
+#define AIQL_SQL_CATALOG_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_utils.h"
+#include "sql/sql_value.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Scan-time pushdown hints the executor extracts from single-table
+/// predicates (a real DBMS would do the same via indexes / partitioning).
+struct ScanHints {
+  TimeRange time{INT64_MIN, INT64_MAX};          ///< on the table's time column
+  std::optional<std::vector<AgentId>> agents;    ///< on agentid equality
+};
+
+/// Row-producing catalog interface.
+class SqlCatalog {
+ public:
+  virtual ~SqlCatalog() = default;
+
+  /// Column names of `table` (lower-case), or NotFound.
+  virtual Result<std::vector<std::string>> GetSchema(
+      const std::string& table) const = 0;
+
+  /// Streams rows of `table`. `hints` may prune partitions; correctness must
+  /// not depend on them (the executor re-checks all predicates).
+  virtual Status Scan(
+      const std::string& table, const ScanHints& hints,
+      const std::function<void(std::vector<SqlValue>&&)>& fn) const = 0;
+
+  /// True when scans can exploit the hints (the optimized storage).
+  virtual bool supports_pruning() const = 0;
+};
+
+/// Normalized tables over the partitioned AuditDatabase:
+///   process(id, agentid, pid, exe_name, username)
+///   file(id, agentid, path)
+///   network(id, agentid, src_ip, src_port, dst_ip, dst_port, protocol)
+///   events(id, agentid, subject_id, op, object_type, object_id,
+///          start_ts, end_ts, amount)
+class OptimizedCatalog : public SqlCatalog {
+ public:
+  explicit OptimizedCatalog(const AuditDatabase* db) : db_(db) {}
+
+  Result<std::vector<std::string>> GetSchema(
+      const std::string& table) const override;
+  Status Scan(const std::string& table, const ScanHints& hints,
+              const std::function<void(std::vector<SqlValue>&&)>& fn)
+      const override;
+  bool supports_pruning() const override { return true; }
+
+ private:
+  const AuditDatabase* db_;
+};
+
+/// One denormalized table:
+///   audit_log(agentid, op, start_ts, end_ts, amount,
+///             subject_pid, subject_exe, subject_user,
+///             object_type, object_agentid, object_pid, object_exe,
+///             object_user, file_path,
+///             src_ip, src_port, dst_ip, dst_port, protocol)
+/// Rows are produced on the fly from the backing store; every scan is a
+/// full scan that re-materializes every denormalized string row (the cost
+/// profile of reading a raw log table without the optimized storage).
+class FlatCatalog : public SqlCatalog {
+ public:
+  explicit FlatCatalog(const AuditDatabase* db);
+
+  Result<std::vector<std::string>> GetSchema(
+      const std::string& table) const override;
+  Status Scan(const std::string& table, const ScanHints& hints,
+              const std::function<void(std::vector<SqlValue>&&)>& fn)
+      const override;
+  bool supports_pruning() const override { return false; }
+
+  size_t num_rows() const { return num_rows_; }
+
+ private:
+  const AuditDatabase* db_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SQL_CATALOG_H_

@@ -1,0 +1,89 @@
+// AST for the mini-SQL dialect the baseline engine executes.
+//
+// Supported surface (enough for every query the AIQL->SQL translator
+// emits, mirroring what an analyst would run in PostgreSQL):
+//   SELECT [DISTINCT] expr [AS alias], ...
+//   FROM table alias [, table alias ...]
+//        [LEFT JOIN table_or_subquery alias ON expr ...]
+//   WHERE expr  [GROUP BY expr, ...]  [HAVING expr]  [LIMIT n]
+// Table refs may be base tables, derived tables `(SELECT ...) alias`, or
+// the table function windows(start, end, length, step) -> (idx, wstart).
+
+#ifndef AIQL_SQL_SQL_AST_H_
+#define AIQL_SQL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/sql_value.h"
+
+namespace aiql {
+
+struct SqlSelect;
+
+/// Expression node.
+struct SqlExpr {
+  enum class Kind {
+    kLiteral,    ///< value
+    kColumn,     ///< alias.column (alias may be empty)
+    kBinary,     ///< op in {+,-,*,/,=,<>,<,<=,>,>=,AND,OR}
+    kLike,       ///< lhs LIKE pattern-literal
+    kIn,         ///< lhs IN (literal list)
+    kNot,        ///< NOT lhs
+    kFunc,       ///< COALESCE(args...) or aggregate COUNT/SUM/AVG/MIN/MAX
+    kStar,       ///< '*' inside COUNT(*)
+  };
+  Kind kind = Kind::kLiteral;
+  SqlValue literal;
+  std::string table_alias;  ///< kColumn
+  std::string column;       ///< kColumn
+  std::string op;           ///< kBinary operator / kFunc name (upper-cased)
+  std::unique_ptr<SqlExpr> lhs;
+  std::unique_ptr<SqlExpr> rhs;
+  std::vector<std::unique_ptr<SqlExpr>> args;  ///< kFunc / kIn list
+
+  bool is_aggregate_call() const {
+    return kind == Kind::kFunc &&
+           (op == "COUNT" || op == "SUM" || op == "AVG" || op == "MIN" ||
+            op == "MAX");
+  }
+};
+
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+/// One FROM item.
+struct SqlTableRef {
+  enum class Kind { kBase, kSubquery, kWindows };
+  Kind kind = Kind::kBase;
+  std::string table;  ///< base table name (lower-cased)
+  std::string alias;
+  std::unique_ptr<SqlSelect> subquery;
+  /// windows(start, end, length, step) literal arguments (microseconds).
+  int64_t win_start = 0, win_end = 0, win_length = 0, win_step = 0;
+  /// True when joined with LEFT JOIN ... ON join_cond (else comma/cross).
+  bool left_join = false;
+  SqlExprPtr join_cond;
+};
+
+/// One SELECT-list item.
+struct SqlSelectItem {
+  SqlExprPtr expr;
+  std::string alias;
+};
+
+/// A (possibly nested) SELECT statement.
+struct SqlSelect {
+  bool distinct = false;
+  std::vector<SqlSelectItem> items;
+  std::vector<SqlTableRef> from;
+  SqlExprPtr where;
+  std::vector<SqlExprPtr> group_by;
+  SqlExprPtr having;
+  std::optional<int64_t> limit;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SQL_SQL_AST_H_

@@ -1,0 +1,733 @@
+#include "sql/sql_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/like_matcher.h"
+#include "sql/sql_parser.h"
+
+namespace aiql {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Materialized intermediate relation.
+struct Relation {
+  // Column identity: (table alias, column name).
+  std::vector<std::pair<std::string, std::string>> columns;
+  std::vector<std::vector<SqlValue>> rows;
+  // Lazily-built lookup: "alias.name" and bare "name" -> column index
+  // (first match wins, mirroring the linear-scan resolution order).
+  mutable std::unordered_map<std::string, int> column_index_;
+
+  int FindColumn(const std::string& alias, const std::string& name) const {
+    if (column_index_.empty() && !columns.empty()) {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        column_index_.try_emplace(columns[i].first + "." + columns[i].second,
+                                  static_cast<int>(i));
+        column_index_.try_emplace(columns[i].second, static_cast<int>(i));
+      }
+    }
+    auto it = column_index_.find(alias.empty() ? name
+                                               : alias + "." + name);
+    return it == column_index_.end() ? -1 : it->second;
+  }
+};
+
+/// Splits an expression on AND into conjuncts.
+void SplitConjuncts(const SqlExpr* expr, std::vector<const SqlExpr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == SqlExpr::Kind::kBinary && expr->op == "AND") {
+    SplitConjuncts(expr->lhs.get(), out);
+    SplitConjuncts(expr->rhs.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// Collects the table aliases an expression references.
+void CollectAliases(const SqlExpr* expr,
+                    std::unordered_set<std::string>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == SqlExpr::Kind::kColumn) out->insert(expr->table_alias);
+  CollectAliases(expr->lhs.get(), out);
+  CollectAliases(expr->rhs.get(), out);
+  for (const auto& arg : expr->args) CollectAliases(arg.get(), out);
+}
+
+bool ContainsAggregate(const SqlExpr* expr) {
+  if (expr == nullptr) return false;
+  if (expr->is_aggregate_call()) return true;
+  if (ContainsAggregate(expr->lhs.get()) ||
+      ContainsAggregate(expr->rhs.get())) {
+    return true;
+  }
+  for (const auto& arg : expr->args) {
+    if (ContainsAggregate(arg.get())) return true;
+  }
+  return false;
+}
+
+void CollectAggregates(const SqlExpr* expr,
+                       std::vector<const SqlExpr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->is_aggregate_call()) {
+    out->push_back(expr);
+    return;  // aggregates do not nest
+  }
+  CollectAggregates(expr->lhs.get(), out);
+  CollectAggregates(expr->rhs.get(), out);
+  for (const auto& arg : expr->args) CollectAggregates(arg.get(), out);
+}
+
+/// Zero-copy view over one row or a (left, right) pair during a join —
+/// join predicates are evaluated without materializing the combined row.
+struct RowView {
+  const std::vector<SqlValue>* left = nullptr;
+  const std::vector<SqlValue>* right = nullptr;
+
+  const SqlValue& at(size_t i) const {
+    if (i < left->size()) return (*left)[i];
+    return (*right)[i - left->size()];
+  }
+};
+
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  void Add(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    ++count;
+    sum += v;
+  }
+  SqlValue Finalize(const std::string& func) const {
+    if (func == "COUNT") return static_cast<int64_t>(count);
+    if (count == 0) return SqlValue{};  // SQL aggregates of empty are NULL
+    if (func == "SUM") return sum;
+    if (func == "AVG") return sum / static_cast<double>(count);
+    if (func == "MIN") return min;
+    return max;  // MAX
+  }
+};
+
+class ExecContext {
+ public:
+  explicit ExecContext(const SqlCatalog* catalog) : catalog_(catalog) {}
+
+  uint64_t rows_scanned = 0;
+  uint64_t join_candidates = 0;
+
+  Result<Relation> ExecuteSelect(const SqlSelect& select);
+
+ private:
+  // --- expression evaluation ----------------------------------------------
+
+  SqlValue Eval(const SqlExpr& expr, const Relation& rel,
+                const RowView& row,
+                const std::unordered_map<const SqlExpr*, SqlValue>* aggs =
+                    nullptr,
+                const std::unordered_map<std::string, const SqlExpr*>*
+                    select_aliases = nullptr) {
+    switch (expr.kind) {
+      case SqlExpr::Kind::kLiteral:
+        return expr.literal;
+      case SqlExpr::Kind::kColumn: {
+        int idx = rel.FindColumn(expr.table_alias, expr.column);
+        if (idx >= 0) return row.at(static_cast<size_t>(idx));
+        // HAVING may reference select-list aliases (e.g. HAVING n > 5).
+        if (expr.table_alias.empty() && select_aliases != nullptr) {
+          auto it = select_aliases->find(expr.column);
+          if (it != select_aliases->end() && it->second != &expr) {
+            return Eval(*it->second, rel, row, aggs, select_aliases);
+          }
+        }
+        return SqlValue{};
+      }
+      case SqlExpr::Kind::kStar:
+        return int64_t{1};
+      case SqlExpr::Kind::kNot: {
+        SqlValue v = Eval(*expr.lhs, rel, row, aggs, select_aliases);
+        if (SqlIsNull(v)) return SqlValue{};
+        return static_cast<int64_t>(SqlValueToDouble(v) == 0 ? 1 : 0);
+      }
+      case SqlExpr::Kind::kLike: {
+        SqlValue v = Eval(*expr.lhs, rel, row, aggs, select_aliases);
+        if (SqlIsNull(v)) return SqlValue{};
+        const std::string& pattern = std::get<std::string>(expr.literal);
+        return static_cast<int64_t>(
+            GetMatcher(pattern).Matches(SqlValueToString(v)) ? 1 : 0);
+      }
+      case SqlExpr::Kind::kIn: {
+        SqlValue v = Eval(*expr.lhs, rel, row, aggs, select_aliases);
+        if (SqlIsNull(v)) return SqlValue{};
+        for (const auto& arg : expr.args) {
+          SqlValue candidate = Eval(*arg, rel, row, aggs, select_aliases);
+          if (!SqlIsNull(candidate) && SqlCompare(v, candidate) == 0) {
+            return int64_t{1};
+          }
+        }
+        return int64_t{0};
+      }
+      case SqlExpr::Kind::kFunc: {
+        if (expr.is_aggregate_call()) {
+          if (aggs != nullptr) {
+            auto it = aggs->find(&expr);
+            if (it != aggs->end()) return it->second;
+          }
+          return SqlValue{};
+        }
+        if (expr.op == "COALESCE") {
+          for (const auto& arg : expr.args) {
+            SqlValue v = Eval(*arg, rel, row, aggs, select_aliases);
+            if (!SqlIsNull(v)) return v;
+          }
+          return SqlValue{};
+        }
+        if (expr.op == "ABS" && expr.args.size() == 1) {
+          SqlValue v = Eval(*expr.args[0], rel, row, aggs, select_aliases);
+          if (SqlIsNull(v)) return v;
+          return std::abs(SqlValueToDouble(v));
+        }
+        return SqlValue{};
+      }
+      case SqlExpr::Kind::kBinary: {
+        SqlValue l = Eval(*expr.lhs, rel, row, aggs, select_aliases);
+        SqlValue r = Eval(*expr.rhs, rel, row, aggs, select_aliases);
+        const std::string& op = expr.op;
+        if (op == "AND") {
+          bool lt = !SqlIsNull(l) && SqlValueToDouble(l) != 0;
+          bool rt = !SqlIsNull(r) && SqlValueToDouble(r) != 0;
+          return static_cast<int64_t>(lt && rt ? 1 : 0);
+        }
+        if (op == "OR") {
+          bool lt = !SqlIsNull(l) && SqlValueToDouble(l) != 0;
+          bool rt = !SqlIsNull(r) && SqlValueToDouble(r) != 0;
+          return static_cast<int64_t>(lt || rt ? 1 : 0);
+        }
+        if (SqlIsNull(l) || SqlIsNull(r)) return SqlValue{};
+        if (op == "+" || op == "-" || op == "*" || op == "/") {
+          double a = SqlValueToDouble(l), b = SqlValueToDouble(r);
+          double v = op == "+"   ? a + b
+                     : op == "-" ? a - b
+                     : op == "*" ? a * b
+                                 : (b == 0 ? 0 : a / b);
+          bool ints = std::holds_alternative<int64_t>(l) &&
+                      std::holds_alternative<int64_t>(r) && op != "/";
+          if (ints) return static_cast<int64_t>(v);
+          return v;
+        }
+        int cmp = SqlCompare(l, r);
+        bool verdict = op == "="    ? cmp == 0
+                       : op == "<>" ? cmp != 0
+                       : op == "<"  ? cmp < 0
+                       : op == "<=" ? cmp <= 0
+                       : op == ">"  ? cmp > 0
+                                    : cmp >= 0;  // ">="
+        return static_cast<int64_t>(verdict ? 1 : 0);
+      }
+    }
+    return SqlValue{};
+  }
+
+  SqlValue Eval(const SqlExpr& expr, const Relation& rel,
+                const std::vector<SqlValue>& row,
+                const std::unordered_map<const SqlExpr*, SqlValue>* aggs =
+                    nullptr,
+                const std::unordered_map<std::string, const SqlExpr*>*
+                    select_aliases = nullptr) {
+    RowView view{&row, nullptr};
+    return Eval(expr, rel, view, aggs, select_aliases);
+  }
+
+  bool Truthy(const SqlValue& v) const {
+    return !SqlIsNull(v) && SqlValueToDouble(v) != 0;
+  }
+
+  const LikeMatcher& GetMatcher(const std::string& pattern) {
+    auto it = matchers_.find(pattern);
+    if (it == matchers_.end()) {
+      it = matchers_.emplace(pattern, LikeMatcher(pattern)).first;
+    }
+    return it->second;
+  }
+
+  // --- scans ---------------------------------------------------------------
+
+  // Extracts time/agent pushdown hints from this table's local predicates.
+  ScanHints ExtractHints(const std::string& alias,
+                         const std::vector<const SqlExpr*>& local_preds) {
+    ScanHints hints;
+    if (!catalog_->supports_pruning()) return hints;
+    for (const SqlExpr* pred : local_preds) {
+      if (pred->kind != SqlExpr::Kind::kBinary) continue;
+      const SqlExpr* col = pred->lhs.get();
+      const SqlExpr* lit = pred->rhs.get();
+      if (col == nullptr || lit == nullptr) continue;
+      if (col->kind != SqlExpr::Kind::kColumn ||
+          lit->kind != SqlExpr::Kind::kLiteral) {
+        continue;
+      }
+      if (!col->table_alias.empty() && col->table_alias != alias) continue;
+      if (!std::holds_alternative<int64_t>(lit->literal)) continue;
+      int64_t value = std::get<int64_t>(lit->literal);
+      if (col->column == "start_ts") {
+        if (pred->op == ">=") {
+          hints.time.start = std::max(hints.time.start, value);
+        } else if (pred->op == ">") {
+          hints.time.start = std::max(hints.time.start, value + 1);
+        } else if (pred->op == "<") {
+          hints.time.end = std::min(hints.time.end, value);
+        } else if (pred->op == "<=") {
+          hints.time.end = std::min(hints.time.end, value + 1);
+        }
+      } else if (col->column == "agentid" && pred->op == "=") {
+        if (!hints.agents.has_value()) {
+          hints.agents = std::vector<AgentId>{static_cast<AgentId>(value)};
+        }
+      }
+    }
+    return hints;
+  }
+
+  Result<Relation> ScanRef(const SqlTableRef& ref,
+                           const std::vector<const SqlExpr*>& local_preds) {
+    Relation rel;
+    switch (ref.kind) {
+      case SqlTableRef::Kind::kSubquery: {
+        AIQL_ASSIGN_OR_RETURN(Relation sub, ExecuteSelect(*ref.subquery));
+        rel.columns.reserve(sub.columns.size());
+        for (const auto& [alias, name] : sub.columns) {
+          rel.columns.emplace_back(ref.alias, name);
+        }
+        rel.rows = std::move(sub.rows);
+        break;
+      }
+      case SqlTableRef::Kind::kWindows: {
+        rel.columns = {{ref.alias, "idx"}, {ref.alias, "wstart"}};
+        if (ref.win_step <= 0 || ref.win_length <= 0) {
+          return Status::InvalidArgument("windows() needs positive sizes");
+        }
+        for (int64_t idx = 0, start = ref.win_start; start < ref.win_end;
+             ++idx, start += ref.win_step) {
+          rel.rows.push_back({SqlValue(idx), SqlValue(start)});
+        }
+        break;
+      }
+      case SqlTableRef::Kind::kBase: {
+        AIQL_ASSIGN_OR_RETURN(std::vector<std::string> schema,
+                              catalog_->GetSchema(ref.table));
+        rel.columns.reserve(schema.size());
+        for (const std::string& column : schema) {
+          rel.columns.emplace_back(ref.alias, column);
+        }
+        ScanHints hints = ExtractHints(ref.alias, local_preds);
+        AIQL_RETURN_IF_ERROR(catalog_->Scan(
+            ref.table, hints, [&](std::vector<SqlValue>&& row) {
+              ++rows_scanned;
+              rel.rows.push_back(std::move(row));
+            }));
+        // Scan counted raw rows; local filtering happens below.
+        break;
+      }
+    }
+    // Apply local predicates.
+    if (!local_preds.empty()) {
+      std::vector<std::vector<SqlValue>> kept;
+      kept.reserve(rel.rows.size());
+      for (auto& row : rel.rows) {
+        bool pass = true;
+        for (const SqlExpr* pred : local_preds) {
+          if (!Truthy(Eval(*pred, rel, row))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) kept.push_back(std::move(row));
+      }
+      rel.rows = std::move(kept);
+    }
+    return rel;
+  }
+
+  // --- join ----------------------------------------------------------------
+
+  // Joins `right` into `left` (inner or left-outer) using `preds`, hashing
+  // on available equality column pairs.
+  Relation Join(Relation&& left, Relation&& right, bool left_outer,
+                const std::vector<const SqlExpr*>& preds) {
+    Relation out;
+    out.columns = left.columns;
+    out.columns.insert(out.columns.end(), right.columns.begin(),
+                       right.columns.end());
+
+    // Find equi-join column pairs: pred `a.col = b.col` with one side in
+    // left, the other in right.
+    std::vector<std::pair<int, int>> key_pairs;  // (left idx, right idx)
+    std::vector<const SqlExpr*> residual;
+    for (const SqlExpr* pred : preds) {
+      bool used = false;
+      if (pred->kind == SqlExpr::Kind::kBinary && pred->op == "=" &&
+          pred->lhs->kind == SqlExpr::Kind::kColumn &&
+          pred->rhs->kind == SqlExpr::Kind::kColumn) {
+        int l1 = left.FindColumn(pred->lhs->table_alias, pred->lhs->column);
+        int r1 = right.FindColumn(pred->rhs->table_alias, pred->rhs->column);
+        int l2 = left.FindColumn(pred->rhs->table_alias, pred->rhs->column);
+        int r2 = right.FindColumn(pred->lhs->table_alias, pred->lhs->column);
+        if (l1 >= 0 && r1 >= 0) {
+          key_pairs.emplace_back(l1, r1);
+          used = true;
+        } else if (l2 >= 0 && r2 >= 0) {
+          key_pairs.emplace_back(l2, r2);
+          used = true;
+        }
+      }
+      if (!used) residual.push_back(pred);
+    }
+
+    auto residual_ok = [&](const std::vector<SqlValue>& lrow,
+                           const std::vector<SqlValue>& rrow) {
+      RowView view{&lrow, &rrow};
+      for (const SqlExpr* pred : residual) {
+        if (!Truthy(Eval(*pred, out, view))) return false;
+      }
+      return true;
+    };
+    auto key_of = [](const std::vector<SqlValue>& row,
+                     const std::vector<int>& idxs) {
+      std::string key;
+      for (int idx : idxs) {
+        key += SqlValueToString(row[idx]);
+        key += '\x1f';
+      }
+      return key;
+    };
+
+    if (!key_pairs.empty()) {
+      std::vector<int> left_keys, right_keys;
+      for (const auto& [l, r] : key_pairs) {
+        left_keys.push_back(l);
+        right_keys.push_back(r);
+      }
+      std::unordered_map<std::string, std::vector<const std::vector<SqlValue>*>>
+          hash;
+      for (const auto& row : right.rows) {
+        hash[key_of(row, right_keys)].push_back(&row);
+      }
+      for (const auto& lrow : left.rows) {
+        auto it = hash.find(key_of(lrow, left_keys));
+        bool matched = false;
+        if (it != hash.end()) {
+          for (const auto* rrow : it->second) {
+            ++join_candidates;
+            if (residual_ok(lrow, *rrow)) {
+              matched = true;
+              std::vector<SqlValue> row = lrow;
+              row.insert(row.end(), rrow->begin(), rrow->end());
+              out.rows.push_back(std::move(row));
+            }
+          }
+        }
+        if (!matched && left_outer) {
+          std::vector<SqlValue> row = lrow;
+          row.resize(out.columns.size());  // null-extend
+          out.rows.push_back(std::move(row));
+        }
+      }
+    } else {
+      // Nested loop.
+      for (const auto& lrow : left.rows) {
+        bool matched = false;
+        for (const auto& rrow : right.rows) {
+          ++join_candidates;
+          if (residual_ok(lrow, rrow)) {
+            matched = true;
+            std::vector<SqlValue> row = lrow;
+            row.insert(row.end(), rrow.begin(), rrow.end());
+            out.rows.push_back(std::move(row));
+          }
+        }
+        if (!matched && left_outer) {
+          std::vector<SqlValue> row = lrow;
+          row.resize(out.columns.size());
+          out.rows.push_back(std::move(row));
+        }
+      }
+    }
+    return out;
+  }
+
+  const SqlCatalog* catalog_;
+  std::unordered_map<std::string, LikeMatcher> matchers_;
+};
+
+Result<Relation> ExecContext::ExecuteSelect(const SqlSelect& select) {
+  if (select.from.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+
+  // Conjuncts of WHERE, tracked for earliest-possible application.
+  std::vector<const SqlExpr*> where_conjuncts;
+  SplitConjuncts(select.where.get(), &where_conjuncts);
+  std::vector<bool> applied(where_conjuncts.size(), false);
+
+  auto alias_of_ref = [](const SqlTableRef& ref) { return ref.alias; };
+
+  std::unordered_set<std::string> bound;
+  Relation current;
+
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    const SqlTableRef& ref = select.from[i];
+
+    // Local predicates: ON conjuncts (left join) or WHERE conjuncts (inner)
+    // that reference only this alias and no aggregate.
+    std::vector<const SqlExpr*> on_conjuncts;
+    if (ref.left_join) SplitConjuncts(ref.join_cond.get(), &on_conjuncts);
+
+    std::vector<const SqlExpr*> local;
+    if (ref.left_join) {
+      for (const SqlExpr* pred : on_conjuncts) {
+        std::unordered_set<std::string> aliases;
+        CollectAliases(pred, &aliases);
+        if (aliases.size() == 1 && aliases.count(ref.alias) > 0) {
+          local.push_back(pred);
+        }
+      }
+    } else {
+      for (size_t c = 0; c < where_conjuncts.size(); ++c) {
+        if (applied[c] || ContainsAggregate(where_conjuncts[c])) continue;
+        std::unordered_set<std::string> aliases;
+        CollectAliases(where_conjuncts[c], &aliases);
+        if (aliases.size() == 1 && aliases.count(ref.alias) > 0) {
+          local.push_back(where_conjuncts[c]);
+          applied[c] = true;
+        }
+      }
+    }
+
+    AIQL_ASSIGN_OR_RETURN(Relation scanned, ScanRef(ref, local));
+
+    if (i == 0) {
+      current = std::move(scanned);
+      bound.insert(alias_of_ref(ref));
+      continue;
+    }
+
+    // Join predicates applicable now.
+    std::vector<const SqlExpr*> join_preds;
+    if (ref.left_join) {
+      for (const SqlExpr* pred : on_conjuncts) {
+        std::unordered_set<std::string> aliases;
+        CollectAliases(pred, &aliases);
+        bool only_local = aliases.size() == 1 && aliases.count(ref.alias) > 0;
+        if (!only_local) join_preds.push_back(pred);
+      }
+    } else {
+      for (size_t c = 0; c < where_conjuncts.size(); ++c) {
+        if (applied[c] || ContainsAggregate(where_conjuncts[c])) continue;
+        std::unordered_set<std::string> aliases;
+        CollectAliases(where_conjuncts[c], &aliases);
+        bool ready = true;
+        bool touches_new = false;
+        for (const std::string& alias : aliases) {
+          if (alias == ref.alias) {
+            touches_new = true;
+          } else if (bound.count(alias) == 0 && !alias.empty()) {
+            ready = false;
+          }
+        }
+        if (ready && touches_new) {
+          join_preds.push_back(where_conjuncts[c]);
+          applied[c] = true;
+        }
+      }
+    }
+    current = Join(std::move(current), std::move(scanned), ref.left_join,
+                   join_preds);
+    bound.insert(alias_of_ref(ref));
+  }
+
+  // Remaining WHERE conjuncts (cross-alias with empty aliases etc.).
+  for (size_t c = 0; c < where_conjuncts.size(); ++c) {
+    if (applied[c] || ContainsAggregate(where_conjuncts[c])) continue;
+    std::vector<std::vector<SqlValue>> kept;
+    for (auto& row : current.rows) {
+      if (Truthy(Eval(*where_conjuncts[c], current, row))) {
+        kept.push_back(std::move(row));
+      }
+    }
+    current.rows = std::move(kept);
+    applied[c] = true;
+  }
+
+  // --- grouping / aggregation ------------------------------------------------
+  bool grouped = !select.group_by.empty();
+  std::vector<const SqlExpr*> agg_nodes;
+  for (const SqlSelectItem& item : select.items) {
+    CollectAggregates(item.expr.get(), &agg_nodes);
+  }
+  CollectAggregates(select.having.get(), &agg_nodes);
+  grouped = grouped || !agg_nodes.empty();
+
+  Relation output;
+  // Output columns.
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    const SqlSelectItem& item = select.items[i];
+    std::string name = item.alias;
+    if (name.empty() && item.expr->kind == SqlExpr::Kind::kColumn) {
+      name = item.expr->column;
+    }
+    if (name.empty()) name = "col" + std::to_string(i + 1);
+    output.columns.emplace_back("", name);
+  }
+
+  if (grouped) {
+    struct Group {
+      std::vector<SqlValue> representative;
+      std::vector<AggState> states;
+    };
+    std::unordered_map<std::string, Group> groups;
+    std::vector<std::string> group_order;
+    for (const auto& row : current.rows) {
+      std::string key;
+      for (const auto& expr : select.group_by) {
+        key += SqlValueToString(Eval(*expr, current, row));
+        key += '\x1f';
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.representative = row;
+        it->second.states.resize(agg_nodes.size());
+        group_order.push_back(key);
+      }
+      for (size_t a = 0; a < agg_nodes.size(); ++a) {
+        const SqlExpr* agg = agg_nodes[a];
+        if (agg->args.empty() ||
+            agg->args[0]->kind == SqlExpr::Kind::kStar) {
+          it->second.states[a].Add(1);
+        } else {
+          SqlValue v = Eval(*agg->args[0], current, row);
+          if (!SqlIsNull(v)) it->second.states[a].Add(SqlValueToDouble(v));
+        }
+      }
+    }
+    // Ungrouped aggregation over empty input still yields one row
+    // (COUNT(*) = 0, other aggregates NULL), per standard SQL.
+    if (select.group_by.empty() && groups.empty()) {
+      Group& group = groups[""];
+      group.representative.assign(current.columns.size(), SqlValue{});
+      group.states.resize(agg_nodes.size());
+      group_order.push_back("");
+    }
+    std::unordered_map<std::string, const SqlExpr*> select_aliases;
+    for (const SqlSelectItem& item : select.items) {
+      if (!item.alias.empty()) select_aliases[item.alias] = item.expr.get();
+    }
+    for (const std::string& key : group_order) {
+      Group& group = groups[key];
+      std::unordered_map<const SqlExpr*, SqlValue> agg_values;
+      for (size_t a = 0; a < agg_nodes.size(); ++a) {
+        agg_values[agg_nodes[a]] = group.states[a].Finalize(agg_nodes[a]->op);
+      }
+      if (select.having != nullptr &&
+          !Truthy(Eval(*select.having, current, group.representative,
+                       &agg_values, &select_aliases))) {
+        continue;
+      }
+      std::vector<SqlValue> row;
+      row.reserve(select.items.size());
+      for (const SqlSelectItem& item : select.items) {
+        row.push_back(
+            Eval(*item.expr, current, group.representative, &agg_values));
+      }
+      output.rows.push_back(std::move(row));
+    }
+  } else {
+    for (const auto& row : current.rows) {
+      std::vector<SqlValue> out_row;
+      out_row.reserve(select.items.size());
+      for (const SqlSelectItem& item : select.items) {
+        out_row.push_back(Eval(*item.expr, current, row));
+      }
+      output.rows.push_back(std::move(out_row));
+    }
+  }
+
+  if (select.distinct) {
+    std::unordered_set<std::string> seen;
+    std::vector<std::vector<SqlValue>> kept;
+    for (auto& row : output.rows) {
+      std::string key;
+      for (const SqlValue& v : row) {
+        key += SqlValueToString(v);
+        key += '\x1f';
+      }
+      if (seen.insert(key).second) kept.push_back(std::move(row));
+    }
+    output.rows = std::move(kept);
+  }
+  if (select.limit.has_value() &&
+      output.rows.size() > static_cast<size_t>(*select.limit)) {
+    output.rows.resize(static_cast<size_t>(*select.limit));
+  }
+  return output;
+}
+
+}  // namespace
+
+Result<QueryResult> SqlExecutor::Execute(std::string_view sql) {
+  auto parse_start = Clock::now();
+  AIQL_ASSIGN_OR_RETURN(auto select, ParseSql(sql));
+  auto exec_start = Clock::now();
+
+  ExecContext context(catalog_);
+  AIQL_ASSIGN_OR_RETURN(Relation rel, context.ExecuteSelect(*select));
+
+  QueryResult result;
+  result.stats.parse_time =
+      std::chrono::duration_cast<std::chrono::microseconds>(exec_start -
+                                                            parse_start)
+          .count();
+  result.stats.exec_time =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            exec_start)
+          .count();
+  result.stats.events_scanned = context.rows_scanned;
+  result.stats.join_candidates = context.join_candidates;
+  result.plan = "generic left-deep join in FROM order (single-threaded)";
+
+  result.table.columns.reserve(rel.columns.size());
+  for (const auto& [alias, name] : rel.columns) {
+    result.table.columns.push_back(name);
+  }
+  result.table.rows.reserve(rel.rows.size());
+  for (auto& row : rel.rows) {
+    std::vector<Value> out;
+    out.reserve(row.size());
+    for (SqlValue& v : row) {
+      if (SqlIsNull(v)) {
+        out.emplace_back(std::string("NULL"));
+      } else if (auto* i = std::get_if<int64_t>(&v)) {
+        out.emplace_back(*i);
+      } else if (auto* d = std::get_if<double>(&v)) {
+        out.emplace_back(*d);
+      } else {
+        out.emplace_back(std::move(std::get<std::string>(v)));
+      }
+    }
+    result.table.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace aiql

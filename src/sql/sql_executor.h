@@ -1,0 +1,38 @@
+// Generic relational executor — the PostgreSQL stand-in baseline.
+//
+// Deliberately semantics-agnostic (the paper's point): it parses the SQL
+// text, pushes single-table predicates into scans, prunes partitions from
+// time/agent predicates when the storage supports it, and joins the FROM
+// list left-to-right in *query order* with hash joins on available equality
+// predicates. It has none of AIQL's domain optimizations: no pattern
+// reordering by pruning power, no partition-parallel scans (single thread),
+// no semi-join or temporal pruning across event patterns.
+
+#ifndef AIQL_SQL_SQL_EXECUTOR_H_
+#define AIQL_SQL_SQL_EXECUTOR_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/result.h"
+#include "sql/catalog.h"
+#include "sql/sql_ast.h"
+
+namespace aiql {
+
+/// Executes mini-SQL SELECT statements against a catalog.
+class SqlExecutor {
+ public:
+  explicit SqlExecutor(const SqlCatalog* catalog) : catalog_(catalog) {}
+
+  /// Parses and runs `sql`; returns rows plus stats (rows scanned, join
+  /// candidates, timings).
+  Result<QueryResult> Execute(std::string_view sql);
+
+ private:
+  const SqlCatalog* catalog_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SQL_SQL_EXECUTOR_H_

@@ -1,0 +1,553 @@
+#include "sql/sql_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_utils.h"
+
+namespace aiql {
+
+namespace {
+
+enum class SqlTok {
+  kIdent,
+  kString,  // single-quoted
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTok kind = SqlTok::kEnd;
+  std::string text;
+  double number = 0;
+  bool number_is_integer = true;
+  int line = 1;
+  int column = 1;
+};
+
+class SqlLexer {
+ public:
+  explicit SqlLexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<SqlToken>> Run() {
+    std::vector<SqlToken> tokens;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) break;
+      AIQL_ASSIGN_OR_RETURN(SqlToken token, Next());
+      tokens.push_back(std::move(token));
+    }
+    SqlToken end;
+    end.kind = SqlTok::kEnd;
+    end.line = line_;
+    end.column = col_;
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      } else if (Peek() == '-' && Peek(1) == '-') {  // SQL comment
+        while (pos_ < text_.size() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+  Status Error(std::string msg) const {
+    return Status::ParseError("SQL line " + std::to_string(line_) + ", col " +
+                              std::to_string(col_) + ": " + std::move(msg));
+  }
+
+  Result<SqlToken> Next() {
+    SqlToken t;
+    t.line = line_;
+    t.column = col_;
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (std::isalnum(static_cast<unsigned char>(Peek())) ||
+             Peek() == '_') {
+        t.text += Advance();
+      }
+      t.kind = SqlTok::kIdent;
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool has_dot = false;
+      while (std::isdigit(static_cast<unsigned char>(Peek())) ||
+             (Peek() == '.' && !has_dot &&
+              std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        if (Peek() == '.') has_dot = true;
+        t.text += Advance();
+      }
+      t.kind = SqlTok::kNumber;
+      t.number = std::stod(t.text);
+      t.number_is_integer = !has_dot;
+      return t;
+    }
+    if (c == '\'') {
+      Advance();
+      while (true) {
+        if (pos_ >= text_.size()) return Error("unterminated string");
+        char ch = Advance();
+        if (ch == '\'') {
+          if (Peek() == '\'') {  // '' escape
+            t.text += '\'';
+            Advance();
+            continue;
+          }
+          break;
+        }
+        t.text += ch;
+      }
+      t.kind = SqlTok::kString;
+      return t;
+    }
+    Advance();
+    switch (c) {
+      case '(':
+        t.kind = SqlTok::kLParen;
+        return t;
+      case ')':
+        t.kind = SqlTok::kRParen;
+        return t;
+      case ',':
+        t.kind = SqlTok::kComma;
+        return t;
+      case '.':
+        t.kind = SqlTok::kDot;
+        return t;
+      case '*':
+        t.kind = SqlTok::kStar;
+        return t;
+      case '+':
+        t.kind = SqlTok::kPlus;
+        return t;
+      case '-':
+        t.kind = SqlTok::kMinus;
+        return t;
+      case '/':
+        t.kind = SqlTok::kSlash;
+        return t;
+      case ';':
+        t.kind = SqlTok::kSemicolon;
+        return t;
+      case '=':
+        t.kind = SqlTok::kEq;
+        return t;
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = SqlTok::kLe;
+        } else if (Peek() == '>') {
+          Advance();
+          t.kind = SqlTok::kNe;
+        } else {
+          t.kind = SqlTok::kLt;
+        }
+        return t;
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = SqlTok::kGe;
+        } else {
+          t.kind = SqlTok::kGt;
+        }
+        return t;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = SqlTok::kNe;
+          return t;
+        }
+        return Error("unexpected '!'");
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<SqlSelect>> Run() {
+    AIQL_ASSIGN_OR_RETURN(tokens_, SqlLexer(text_).Run());
+    AIQL_ASSIGN_OR_RETURN(auto select, ParseSelect());
+    Match(SqlTok::kSemicolon);
+    if (!Check(SqlTok::kEnd)) {
+      return Error("unexpected trailing input");
+    }
+    return select;
+  }
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const SqlToken& Advance() {
+    return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+  }
+  bool Check(SqlTok kind) const { return Peek().kind == kind; }
+  bool Match(SqlTok kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  bool PeekKw(std::string_view kw, size_t ahead = 0) const {
+    return Peek(ahead).kind == SqlTok::kIdent &&
+           EqualsIgnoreCase(Peek(ahead).text, kw);
+  }
+  bool MatchKw(std::string_view kw) {
+    if (!PeekKw(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Error(std::string msg) const {
+    const SqlToken& t = Peek();
+    return Status::ParseError("SQL line " + std::to_string(t.line) +
+                              ", col " + std::to_string(t.column) + ": " +
+                              std::move(msg) + " (got '" + t.text + "')");
+  }
+  Status ExpectKw(std::string_view kw) {
+    if (!MatchKw(kw)) return Error("expected '" + std::string(kw) + "'");
+    return Status::OK();
+  }
+  Status Expect(SqlTok kind, std::string_view what) {
+    if (!Match(kind)) return Error("expected " + std::string(what));
+    return Status::OK();
+  }
+
+  bool IsReserved(const std::string& word) const {
+    static const char* kReserved[] = {
+        "select", "from",  "where", "group", "by",    "having", "limit",
+        "and",    "or",    "not",   "like",  "in",    "as",     "distinct",
+        "left",   "join",  "on",    "order", "union", "inner"};
+    for (const char* kw : kReserved) {
+      if (EqualsIgnoreCase(word, kw)) return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<SqlSelect>> ParseSelect() {
+    AIQL_RETURN_IF_ERROR(ExpectKw("select"));
+    auto select = std::make_unique<SqlSelect>();
+    select->distinct = MatchKw("distinct");
+    do {
+      SqlSelectItem item;
+      AIQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKw("as")) {
+        if (!Check(SqlTok::kIdent)) return Error("expected an alias");
+        item.alias = ToLower(Advance().text);
+      }
+      select->items.push_back(std::move(item));
+    } while (Match(SqlTok::kComma));
+
+    AIQL_RETURN_IF_ERROR(ExpectKw("from"));
+    AIQL_ASSIGN_OR_RETURN(SqlTableRef first, ParseTableRef());
+    select->from.push_back(std::move(first));
+    while (true) {
+      if (Match(SqlTok::kComma)) {
+        AIQL_ASSIGN_OR_RETURN(SqlTableRef ref, ParseTableRef());
+        select->from.push_back(std::move(ref));
+        continue;
+      }
+      if (PeekKw("left")) {
+        Advance();
+        AIQL_RETURN_IF_ERROR(ExpectKw("join"));
+        AIQL_ASSIGN_OR_RETURN(SqlTableRef ref, ParseTableRef());
+        ref.left_join = true;
+        AIQL_RETURN_IF_ERROR(ExpectKw("on"));
+        AIQL_ASSIGN_OR_RETURN(ref.join_cond, ParseExpr());
+        select->from.push_back(std::move(ref));
+        continue;
+      }
+      break;
+    }
+
+    if (MatchKw("where")) {
+      AIQL_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+    if (MatchKw("group")) {
+      AIQL_RETURN_IF_ERROR(ExpectKw("by"));
+      do {
+        AIQL_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        select->group_by.push_back(std::move(expr));
+      } while (Match(SqlTok::kComma));
+    }
+    if (MatchKw("having")) {
+      AIQL_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+    if (MatchKw("limit")) {
+      if (!Check(SqlTok::kNumber)) return Error("expected a limit count");
+      select->limit = static_cast<int64_t>(Advance().number);
+    }
+    return select;
+  }
+
+  Result<SqlTableRef> ParseTableRef() {
+    SqlTableRef ref;
+    if (Match(SqlTok::kLParen)) {
+      AIQL_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+      AIQL_RETURN_IF_ERROR(Expect(SqlTok::kRParen, "')'"));
+      ref.kind = SqlTableRef::Kind::kSubquery;
+    } else if (PeekKw("windows") && Peek(1).kind == SqlTok::kLParen) {
+      Advance();
+      Advance();
+      int64_t args[4];
+      for (int i = 0; i < 4; ++i) {
+        bool neg = Match(SqlTok::kMinus);
+        if (!Check(SqlTok::kNumber)) {
+          return Error("windows() expects four integer arguments");
+        }
+        args[i] = static_cast<int64_t>(Advance().number) * (neg ? -1 : 1);
+        if (i < 3) AIQL_RETURN_IF_ERROR(Expect(SqlTok::kComma, "','"));
+      }
+      AIQL_RETURN_IF_ERROR(Expect(SqlTok::kRParen, "')'"));
+      ref.kind = SqlTableRef::Kind::kWindows;
+      ref.win_start = args[0];
+      ref.win_end = args[1];
+      ref.win_length = args[2];
+      ref.win_step = args[3];
+    } else {
+      if (!Check(SqlTok::kIdent)) return Error("expected a table name");
+      ref.table = ToLower(Advance().text);
+      ref.kind = SqlTableRef::Kind::kBase;
+    }
+    if (Check(SqlTok::kIdent) && !IsReserved(Peek().text)) {
+      ref.alias = ToLower(Advance().text);
+    } else if (ref.kind == SqlTableRef::Kind::kBase) {
+      ref.alias = ref.table;
+    } else {
+      return Error("derived tables require an alias");
+    }
+    return ref;
+  }
+
+  // Expression precedence: OR < AND < NOT < cmp < add < mul < unary.
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  SqlExprPtr MakeBinary(std::string op, SqlExprPtr lhs, SqlExprPtr rhs) {
+    auto node = std::make_unique<SqlExpr>();
+    node->kind = SqlExpr::Kind::kBinary;
+    node->op = std::move(op);
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<SqlExprPtr> ParseOr() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (MatchKw("or")) {
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+    while (MatchKw("and")) {
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    if (MatchKw("not")) {
+      AIQL_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExpr::Kind::kNot;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    return ParseCmp();
+  }
+
+  Result<SqlExprPtr> ParseCmp() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseAdd());
+    std::string op;
+    if (Match(SqlTok::kEq)) {
+      op = "=";
+    } else if (Match(SqlTok::kNe)) {
+      op = "<>";
+    } else if (Match(SqlTok::kLe)) {
+      op = "<=";
+    } else if (Match(SqlTok::kLt)) {
+      op = "<";
+    } else if (Match(SqlTok::kGe)) {
+      op = ">=";
+    } else if (Match(SqlTok::kGt)) {
+      op = ">";
+    } else if (PeekKw("like")) {
+      Advance();
+      if (!Check(SqlTok::kString)) {
+        return Error("LIKE expects a string literal");
+      }
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExpr::Kind::kLike;
+      node->lhs = std::move(lhs);
+      node->literal = SqlValue(Advance().text);
+      return node;
+    } else if (PeekKw("in")) {
+      Advance();
+      AIQL_RETURN_IF_ERROR(Expect(SqlTok::kLParen, "'('"));
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExpr::Kind::kIn;
+      node->lhs = std::move(lhs);
+      do {
+        AIQL_ASSIGN_OR_RETURN(auto arg, ParseAdd());
+        node->args.push_back(std::move(arg));
+      } while (Match(SqlTok::kComma));
+      AIQL_RETURN_IF_ERROR(Expect(SqlTok::kRParen, "')'"));
+      return node;
+    } else {
+      return lhs;
+    }
+    AIQL_ASSIGN_OR_RETURN(auto rhs, ParseAdd());
+    return MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+  }
+
+  Result<SqlExprPtr> ParseAdd() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseMul());
+    while (Check(SqlTok::kPlus) || Check(SqlTok::kMinus)) {
+      std::string op = Check(SqlTok::kPlus) ? "+" : "-";
+      Advance();
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseMul());
+      lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SqlExprPtr> ParseMul() {
+    AIQL_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (Check(SqlTok::kStar) || Check(SqlTok::kSlash)) {
+      std::string op = Check(SqlTok::kStar) ? "*" : "/";
+      Advance();
+      AIQL_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SqlExprPtr> ParseUnary() {
+    if (Match(SqlTok::kMinus)) {
+      AIQL_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      auto zero = std::make_unique<SqlExpr>();
+      zero->kind = SqlExpr::Kind::kLiteral;
+      zero->literal = SqlValue(int64_t{0});
+      return MakeBinary("-", std::move(zero), std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    if (Check(SqlTok::kNumber)) {
+      const SqlToken& t = Advance();
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExpr::Kind::kLiteral;
+      node->literal = t.number_is_integer
+                          ? SqlValue(static_cast<int64_t>(t.number))
+                          : SqlValue(t.number);
+      return node;
+    }
+    if (Check(SqlTok::kString)) {
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExpr::Kind::kLiteral;
+      node->literal = SqlValue(Advance().text);
+      return node;
+    }
+    if (Match(SqlTok::kLParen)) {
+      AIQL_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      AIQL_RETURN_IF_ERROR(Expect(SqlTok::kRParen, "')'"));
+      return inner;
+    }
+    if (Check(SqlTok::kStar)) {
+      Advance();
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExpr::Kind::kStar;
+      return node;
+    }
+    if (Check(SqlTok::kIdent)) {
+      std::string name = Advance().text;
+      if (Match(SqlTok::kLParen)) {  // function call
+        auto node = std::make_unique<SqlExpr>();
+        node->kind = SqlExpr::Kind::kFunc;
+        node->op = ToLower(name);
+        for (char& c : node->op) {
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+        if (!Check(SqlTok::kRParen)) {
+          do {
+            AIQL_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+            node->args.push_back(std::move(arg));
+          } while (Match(SqlTok::kComma));
+        }
+        AIQL_RETURN_IF_ERROR(Expect(SqlTok::kRParen, "')'"));
+        return node;
+      }
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExpr::Kind::kColumn;
+      if (Match(SqlTok::kDot)) {
+        node->table_alias = ToLower(name);
+        if (!Check(SqlTok::kIdent)) return Error("expected a column name");
+        node->column = ToLower(Advance().text);
+      } else {
+        node->column = ToLower(name);
+      }
+      return node;
+    }
+    return Error("expected an expression");
+  }
+
+  std::string_view text_;
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SqlSelect>> ParseSql(std::string_view text) {
+  return SqlParser(text).Run();
+}
+
+}  // namespace aiql

@@ -1,0 +1,24 @@
+// Parser for the mini-SQL dialect (see sql_ast.h for the grammar surface).
+//
+// The baseline engine parses the SQL text the translator generates — the
+// same text whose conciseness is compared against AIQL — rather than
+// executing a hand-built plan, so the baseline measures the full
+// parse+plan+execute path like a real DBMS client session would.
+
+#ifndef AIQL_SQL_SQL_PARSER_H_
+#define AIQL_SQL_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/sql_ast.h"
+
+namespace aiql {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+Result<std::unique_ptr<SqlSelect>> ParseSql(std::string_view text);
+
+}  // namespace aiql
+
+#endif  // AIQL_SQL_SQL_PARSER_H_

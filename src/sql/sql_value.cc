@@ -1,0 +1,35 @@
+#include "sql/sql_value.h"
+
+#include <cstdio>
+
+namespace aiql {
+
+std::string SqlValueToString(const SqlValue& v) {
+  if (SqlIsNull(v)) return "NULL";
+  if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", *d);
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+double SqlValueToDouble(const SqlValue& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return 0;
+}
+
+int SqlCompare(const SqlValue& a, const SqlValue& b) {
+  bool a_str = std::holds_alternative<std::string>(a);
+  bool b_str = std::holds_alternative<std::string>(b);
+  if (a_str && b_str) {
+    return std::get<std::string>(a).compare(std::get<std::string>(b));
+  }
+  double l = SqlValueToDouble(a);
+  double r = SqlValueToDouble(b);
+  return l < r ? -1 : (l > r ? 1 : 0);
+}
+
+}  // namespace aiql

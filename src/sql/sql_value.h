@@ -1,0 +1,33 @@
+// SQL value type with NULL (needed for LEFT JOIN / COALESCE in the
+// generated anomaly SQL).
+
+#ifndef AIQL_SQL_SQL_VALUE_H_
+#define AIQL_SQL_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace aiql {
+
+/// NULL, integer, double, or string.
+using SqlValue = std::variant<std::monostate, int64_t, double, std::string>;
+
+inline bool SqlIsNull(const SqlValue& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// Renders for display; NULL renders as "NULL".
+std::string SqlValueToString(const SqlValue& v);
+
+/// Numeric coercion (NULL/strings -> 0).
+double SqlValueToDouble(const SqlValue& v);
+
+/// Three-way comparison (-1/0/1); strings compare lexicographically, numbers
+/// numerically, mixed numeric widths coerce to double. Caller must handle
+/// NULL first (SQL NULL never compares equal).
+int SqlCompare(const SqlValue& a, const SqlValue& b);
+
+}  // namespace aiql
+
+#endif  // AIQL_SQL_SQL_VALUE_H_

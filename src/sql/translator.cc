@@ -1,0 +1,615 @@
+#include "sql/translator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_utils.h"
+#include "engine/dependency.h"
+#include "query/analyzer.h"
+#include "query/attributes.h"
+
+namespace aiql {
+
+namespace {
+
+// Canonical attr -> normalized-schema column.
+std::string NormalizedColumn(EntityType type, const std::string& canonical) {
+  if (canonical == "user") return "username";
+  (void)type;
+  return canonical;  // exe_name, pid, agentid, path, dst_ip, ...
+}
+
+// Canonical attr -> flat-schema column for a given side.
+std::string FlatColumn(EntityType type, bool is_subject,
+                       const std::string& canonical) {
+  if (type == EntityType::kProcess) {
+    if (is_subject) {
+      if (canonical == "exe_name") return "subject_exe";
+      if (canonical == "pid") return "subject_pid";
+      if (canonical == "user") return "subject_user";
+      return "agentid";  // subject agent == event agent
+    }
+    if (canonical == "exe_name") return "object_exe";
+    if (canonical == "pid") return "object_pid";
+    if (canonical == "user") return "object_user";
+    return "object_agentid";
+  }
+  if (type == EntityType::kFile) {
+    if (canonical == "path") return "file_path";
+    return "agentid";
+  }
+  // network
+  if (canonical == "agentid") return "agentid";
+  return canonical;  // src_ip, src_port, dst_ip, dst_port, protocol
+}
+
+// Identity columns used for flat-schema entity joins.
+std::vector<std::string> FlatIdentityColumns(EntityType type,
+                                             bool is_subject) {
+  switch (type) {
+    case EntityType::kProcess:
+      if (is_subject) {
+        return {"agentid", "subject_pid", "subject_exe", "subject_user"};
+      }
+      return {"object_agentid", "object_pid", "object_exe", "object_user"};
+    case EntityType::kFile:
+      return {"agentid", "file_path"};
+    case EntityType::kNetwork:
+      return {"agentid", "src_ip", "src_port", "dst_ip", "dst_port",
+              "protocol"};
+  }
+  return {};
+}
+
+std::string SanitizeAlias(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out = "v_" + out;
+  }
+  return ToLower(out);
+}
+
+/// Shared translation machinery.
+class Translator {
+ public:
+  Translator(const MultieventQueryAst& ast, const AnalyzedQuery& analyzed,
+             SqlSchemaMode mode)
+      : ast_(ast), analyzed_(analyzed), mode_(mode) {}
+
+  Result<SqlTranslation> Run() {
+    if (ast_.is_anomaly()) return TranslateAnomaly();
+    return TranslateMultievent();
+  }
+
+ private:
+  bool flat() const { return mode_ == SqlSchemaMode::kFlat; }
+
+  std::string EventAlias(int pattern) const {
+    return (flat() ? "l" : "e") + std::to_string(pattern + 1);
+  }
+
+  // --- predicate emission ----------------------------------------------------
+
+  void AddConjunct(std::string text) {
+    conjuncts_.push_back(std::move(text));
+    ++constraint_count_;
+  }
+
+  std::string ValueSql(const ValueLiteral& value) const {
+    if (value.kind == ValueLiteral::Kind::kString) {
+      return SqlQuote(value.str);
+    }
+    if (value.kind == ValueLiteral::Kind::kInt) {
+      return std::to_string(value.i);
+    }
+    return std::to_string(value.f);
+  }
+
+  // Emits one entity constraint as a conjunct on `column_ref`.
+  Status EmitConstraint(const std::string& column_ref, AttrKind kind,
+                        const AttrConstraint& constraint) {
+    const char* cmp = nullptr;
+    switch (constraint.op) {
+      case CmpOp::kEq:
+        cmp = "=";
+        break;
+      case CmpOp::kNe:
+        cmp = "<>";
+        break;
+      case CmpOp::kLt:
+        cmp = "<";
+        break;
+      case CmpOp::kLe:
+        cmp = "<=";
+        break;
+      case CmpOp::kGt:
+        cmp = ">";
+        break;
+      case CmpOp::kGe:
+        cmp = ">=";
+        break;
+      case CmpOp::kLike:
+        cmp = "LIKE";
+        break;
+      case CmpOp::kIn:
+        cmp = "IN";
+        break;
+    }
+    if (constraint.op == CmpOp::kIn) {
+      std::string list;
+      for (size_t i = 0; i < constraint.values.size(); ++i) {
+        if (i > 0) list += ", ";
+        list += ValueSql(constraint.values[i]);
+      }
+      AddConjunct(column_ref + " IN (" + list + ")");
+      return Status::OK();
+    }
+    const ValueLiteral& value = constraint.values.front();
+    if (kind == AttrKind::kString) {
+      // Case-insensitive semantics: '=' on strings becomes LIKE.
+      if (constraint.op == CmpOp::kEq || constraint.op == CmpOp::kLike) {
+        AddConjunct(column_ref + " LIKE " + ValueSql(value));
+      } else if (constraint.op == CmpOp::kNe) {
+        AddConjunct("NOT " + column_ref + " LIKE " + ValueSql(value));
+      } else {
+        return Status::SemanticError("unsupported string comparison");
+      }
+      return Status::OK();
+    }
+    AddConjunct(column_ref + " " + cmp + " " + ValueSql(value));
+    return Status::OK();
+  }
+
+  // Column reference for an entity attribute at a given occurrence.
+  std::string EntityColumnRef(const std::string& var, EntityType type,
+                              int pattern, bool is_subject,
+                              const std::string& canonical) const {
+    if (flat()) {
+      return EventAlias(pattern) + "." +
+             FlatColumn(type, is_subject, canonical);
+    }
+    return entity_alias_.at(var) + "." + NormalizedColumn(type, canonical);
+  }
+
+  // --- FROM / entity alias management (normalized mode) ----------------------
+
+  Status PreparePatternSources() {
+    // Every pattern contributes an events/audit_log alias; normalized mode
+    // additionally joins entity tables (one alias per entity variable).
+    for (int i = 0; i < static_cast<int>(ast_.patterns.size()); ++i) {
+      const EventPatternAst& pattern = ast_.patterns[i];
+      from_.push_back((flat() ? std::string("audit_log ") : std::string(
+                                                                "events ")) +
+                      EventAlias(i));
+      AIQL_RETURN_IF_ERROR(PrepareSide(pattern.subject, i, true));
+      AIQL_RETURN_IF_ERROR(PrepareSide(pattern.object, i, false));
+      // Operation + object-type predicates.
+      std::string alias = EventAlias(i);
+      if (pattern.ops.size() == 1) {
+        AddConjunct(alias + ".op = '" +
+                    OpTypeToString(pattern.ops.front()) + "'");
+      } else {
+        std::string list;
+        for (size_t k = 0; k < pattern.ops.size(); ++k) {
+          if (k > 0) list += ", ";
+          list += std::string("'") + OpTypeToString(pattern.ops[k]) + "'";
+        }
+        AddConjunct(alias + ".op IN (" + list + ")");
+      }
+      AddConjunct(alias + ".object_type = '" +
+                  EntityTypeToString(pattern.object.type) + "'");
+      // Global constraints apply to every event alias.
+      for (const AttrConstraint& g : ast_.globals.attrs) {
+        AIQL_RETURN_IF_ERROR(
+            EmitConstraint(alias + ".agentid", AttrKind::kInt, g));
+      }
+      if (ast_.globals.time_window.has_value()) {
+        const TimeRange& w = *ast_.globals.time_window;
+        AddConjunct(alias + ".start_ts >= " + std::to_string(w.start));
+        AddConjunct(alias + ".start_ts < " + std::to_string(w.end));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Registers one pattern side: entity alias + link predicate (normalized),
+  // constraints, and identity joins for repeated variables.
+  Status PrepareSide(const EntityDeclAst& decl, int pattern,
+                     bool is_subject) {
+    std::string var = decl.var;
+    if (var.empty()) {
+      var = "$anon" + std::to_string(pattern) + (is_subject ? "s" : "o");
+    }
+    bool first_occurrence = seen_vars_.count(var) == 0;
+
+    if (!flat()) {
+      if (first_occurrence) {
+        std::string alias = SanitizeAlias(var);
+        // Avoid collisions with event aliases / other vars.
+        while (used_aliases_.count(alias) > 0) alias += "_";
+        used_aliases_.insert(alias);
+        entity_alias_[var] = alias;
+        const char* table = decl.type == EntityType::kProcess ? "process"
+                            : decl.type == EntityType::kFile  ? "file"
+                                                              : "network";
+        from_.push_back(std::string(table) + " " + alias);
+      }
+      // Link the entity alias to this event alias.
+      AddConjunct(entity_alias_[var] + ".id = " + EventAlias(pattern) +
+                  (is_subject ? ".subject_id" : ".object_id"));
+    } else if (!first_occurrence) {
+      // Flat mode: identity equality with the first occurrence.
+      const auto& [first_pattern, first_subject] = first_occurrence_.at(var);
+      std::vector<std::string> here =
+          FlatIdentityColumns(decl.type, is_subject);
+      std::vector<std::string> there =
+          FlatIdentityColumns(decl.type, first_subject);
+      for (size_t c = 0; c < here.size(); ++c) {
+        AddConjunct(EventAlias(pattern) + "." + here[c] + " = " +
+                    EventAlias(first_pattern) + "." + there[c]);
+      }
+    }
+    if (first_occurrence) {
+      seen_vars_.insert(var);
+      first_occurrence_[var] = {pattern, is_subject};
+      var_type_[var] = decl.type;
+    }
+
+    // Constraints written at this occurrence.
+    for (const AttrConstraint& constraint : decl.constraints) {
+      AIQL_ASSIGN_OR_RETURN(AttrInfo info,
+                            ResolveEntityAttr(decl.type, constraint.attr));
+      std::string column =
+          EntityColumnRef(var, decl.type, pattern, is_subject,
+                          info.canonical);
+      AIQL_RETURN_IF_ERROR(EmitConstraint(column, info.kind, constraint));
+    }
+    return Status::OK();
+  }
+
+  // --- shared helpers ---------------------------------------------------------
+
+  // SQL column expression for a return/group/relation reference.
+  Result<std::string> RefSql(const AttrRefAst& ref) {
+    auto event_it = analyzed_.event_index.find(ref.var);
+    if (event_it != analyzed_.event_index.end()) {
+      AIQL_ASSIGN_OR_RETURN(
+          AttrInfo info,
+          ResolveEventAttr(ref.attr.empty() ? "amount" : ref.attr));
+      std::string column = info.canonical == "start_time" ? "start_ts"
+                           : info.canonical == "end_time" ? "end_ts"
+                                                          : info.canonical;
+      return EventAlias(event_it->second) + "." + column;
+    }
+    auto type_it = var_type_.find(ref.var);
+    if (type_it == var_type_.end()) {
+      return Status::SemanticError("unknown variable '" + ref.var + "'");
+    }
+    EntityType type = type_it->second;
+    AIQL_ASSIGN_OR_RETURN(AttrInfo info, ResolveEntityAttr(type, ref.attr));
+    const auto& [pattern, is_subject] = first_occurrence_.at(ref.var);
+    return EntityColumnRef(ref.var, type, pattern, is_subject,
+                           info.canonical);
+  }
+
+  Status EmitRelations() {
+    for (const TemporalRelAst& rel : ast_.temporal_rels) {
+      int left = analyzed_.event_index.at(rel.left);
+      int right = analyzed_.event_index.at(rel.right);
+      if (!rel.before) std::swap(left, right);
+      AddConjunct(EventAlias(left) + ".end_ts <= " + EventAlias(right) +
+                  ".start_ts");
+      if (rel.within > 0) {
+        AddConjunct(EventAlias(right) + ".start_ts - " + EventAlias(left) +
+                    ".end_ts <= " + std::to_string(rel.within));
+      }
+    }
+    for (const AttrRelAst& rel : ast_.attr_rels) {
+      AIQL_ASSIGN_OR_RETURN(std::string left, RefSql(rel.left));
+      AIQL_ASSIGN_OR_RETURN(std::string right, RefSql(rel.right));
+      AddConjunct(left + " " + CmpOpToString(rel.op) + " " + right);
+    }
+    return Status::OK();
+  }
+
+  std::string BuildSelect(const std::string& select_list) const {
+    std::string sql = "SELECT ";
+    if (ast_.distinct) sql += "DISTINCT ";
+    sql += select_list + "\nFROM " + JoinStrings(from_, ", ");
+    if (!conjuncts_.empty()) {
+      sql += "\nWHERE " + JoinStrings(conjuncts_, "\n  AND ");
+    }
+    return sql;
+  }
+
+  SqlTranslation Finish(std::string sql) const {
+    SqlTranslation out;
+    out.metrics.constraints = constraint_count_;
+    out.metrics.words = CountWords(sql);
+    out.metrics.chars = CountNonSpaceChars(sql);
+    out.sql = std::move(sql);
+    return out;
+  }
+
+  // --- multievent ---------------------------------------------------------------
+
+  Result<SqlTranslation> TranslateMultievent() {
+    AIQL_RETURN_IF_ERROR(PreparePatternSources());
+    AIQL_RETURN_IF_ERROR(EmitRelations());
+
+    std::vector<std::string> items;
+    for (const ReturnItemAst& item : ast_.return_items) {
+      const auto* ref = std::get_if<AttrRefAst>(&item.expr);
+      if (ref == nullptr) {
+        return Status::SemanticError(
+            "aggregates are only valid in anomaly queries");
+      }
+      AIQL_ASSIGN_OR_RETURN(std::string column, RefSql(*ref));
+      std::string alias =
+          item.alias.empty() ? SanitizeAlias(ref->ToString()) : item.alias;
+      items.push_back(column + " AS " + alias);
+    }
+    std::string sql = BuildSelect(JoinStrings(items, ", "));
+    if (ast_.limit.has_value()) {
+      sql += "\nLIMIT " + std::to_string(*ast_.limit);
+    }
+    sql += ";";
+    return Finish(std::move(sql));
+  }
+
+  // --- anomaly --------------------------------------------------------------------
+
+  // Collects (alias, max history depth) references in the having clause.
+  static void CollectHistory(const HavingExpr* node,
+                             std::unordered_map<std::string, int>* depths,
+                             int* max_depth) {
+    if (node == nullptr) return;
+    if (node->kind == HavingExpr::Kind::kAggRef && node->history > 0) {
+      auto& depth = (*depths)[node->agg_alias];
+      depth = std::max(depth, node->history);
+      *max_depth = std::max(*max_depth, node->history);
+    }
+    CollectHistory(node->lhs.get(), depths, max_depth);
+    CollectHistory(node->rhs.get(), depths, max_depth);
+  }
+
+  // Renders the having expression against the outer derived tables:
+  // amt -> a.amt, amt[k] -> COALESCE(h<k>.amt, 0).
+  static std::string HavingSql(const HavingExpr& node) {
+    switch (node.kind) {
+      case HavingExpr::Kind::kNumber: {
+        if (node.number == static_cast<int64_t>(node.number)) {
+          return std::to_string(static_cast<int64_t>(node.number));
+        }
+        return std::to_string(node.number);
+      }
+      case HavingExpr::Kind::kAggRef:
+        if (node.history == 0) return "a." + node.agg_alias;
+        return "COALESCE(h" + std::to_string(node.history) + "." +
+               node.agg_alias + ", 0)";
+      case HavingExpr::Kind::kArith:
+        return "(" + HavingSql(*node.lhs) + " " + node.arith_op + " " +
+               HavingSql(*node.rhs) + ")";
+      case HavingExpr::Kind::kCompare: {
+        std::string op = node.cmp == CmpOp::kNe
+                             ? "<>"
+                             : CmpOpToString(node.cmp);
+        return "(" + HavingSql(*node.lhs) + " " + op + " " +
+               HavingSql(*node.rhs) + ")";
+      }
+      case HavingExpr::Kind::kAnd:
+        return "(" + HavingSql(*node.lhs) + " AND " + HavingSql(*node.rhs) +
+               ")";
+      case HavingExpr::Kind::kOr:
+        return "(" + HavingSql(*node.lhs) + " OR " + HavingSql(*node.rhs) +
+               ")";
+      case HavingExpr::Kind::kNot:
+        return "(NOT " + HavingSql(*node.lhs) + ")";
+    }
+    return "1";
+  }
+
+  static size_t CountComparisons(const HavingExpr* node) {
+    if (node == nullptr) return 0;
+    return (node->kind == HavingExpr::Kind::kCompare ? 1 : 0) +
+           CountComparisons(node->lhs.get()) +
+           CountComparisons(node->rhs.get());
+  }
+
+  Result<SqlTranslation> TranslateAnomaly() {
+    if (!ast_.globals.time_window.has_value()) {
+      return Status::SemanticError(
+          "SQL translation of anomaly queries requires an explicit time "
+          "window (the windows() anchor)");
+    }
+    const TimeRange& window = *ast_.globals.time_window;
+    const WindowSpec& spec = *ast_.window;
+
+    AIQL_RETURN_IF_ERROR(PreparePatternSources());
+    // Window membership predicates on the single pattern's event alias.
+    std::string alias = EventAlias(0);
+    from_.insert(from_.begin(),
+                 "windows(" + std::to_string(window.start) + ", " +
+                     std::to_string(window.end) + ", " +
+                     std::to_string(spec.length) + ", " +
+                     std::to_string(spec.step) + ") w");
+    AddConjunct(alias + ".start_ts >= w.wstart");
+    AddConjunct(alias + ".start_ts < w.wstart + " +
+                std::to_string(spec.length));
+
+    // Inner select: window index + group keys + aggregates.
+    std::vector<std::string> inner_items = {"w.idx AS widx",
+                                            "w.wstart AS wstart"};
+    std::vector<std::string> group_exprs = {"w.idx", "w.wstart"};
+    std::vector<std::string> group_out;  // outer projections per group ref
+    for (size_t g = 0; g < ast_.group_by.size(); ++g) {
+      const AttrRefAst& ref = ast_.group_by[g];
+      AIQL_ASSIGN_OR_RETURN(std::string display, RefSql(ref));
+      // Group identity: entity id for bare refs (normalized mode), identity
+      // columns in flat mode.
+      std::vector<std::string> identity;
+      if (ref.attr.empty() && analyzed_.event_index.count(ref.var) == 0) {
+        if (!flat()) {
+          identity.push_back(entity_alias_.at(ref.var) + ".id");
+        } else {
+          const auto& [pattern, is_subject] = first_occurrence_.at(ref.var);
+          for (const std::string& column :
+               FlatIdentityColumns(var_type_.at(ref.var), is_subject)) {
+            identity.push_back(EventAlias(pattern) + "." + column);
+          }
+        }
+      } else {
+        identity.push_back(display);
+      }
+      for (size_t k = 0; k < identity.size(); ++k) {
+        std::string out_name =
+            "gid" + std::to_string(g) + "_" + std::to_string(k);
+        inner_items.push_back(identity[k] + " AS " + out_name);
+        group_exprs.push_back(identity[k]);
+        gid_columns_.push_back(out_name);
+      }
+      std::string display_name = "g" + std::to_string(g);
+      inner_items.push_back(display + " AS " + display_name);
+      group_exprs.push_back(display);
+      group_out.push_back(display_name);
+    }
+
+    // Aggregate items.
+    size_t agg_counter = 0;
+    std::vector<std::string> outer_items = {"a.wstart AS window_start"};
+    size_t group_cursor = 0;
+    for (const ReturnItemAst& item : ast_.return_items) {
+      if (const auto* agg = std::get_if<AggCallAst>(&item.expr)) {
+        std::string func = AggFuncToString(*&agg->func);
+        for (char& c : func) {
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+        std::string arg = "*";
+        if (!agg->star) {
+          AIQL_ASSIGN_OR_RETURN(arg, RefSql(agg->arg));
+        }
+        std::string name = item.alias.empty()
+                               ? "agg" + std::to_string(agg_counter++)
+                               : item.alias;
+        inner_items.push_back(func + "(" + arg + ") AS " + name);
+        outer_items.push_back("a." + name + " AS " + name);
+      } else {
+        const auto& ref = std::get<AttrRefAst>(item.expr);
+        // Matched to a group-by item (validated by the engine too).
+        bool found = false;
+        for (size_t g = 0; g < ast_.group_by.size(); ++g) {
+          if (ast_.group_by[g].var == ref.var &&
+              ast_.group_by[g].attr == ref.attr) {
+            std::string name = item.alias.empty()
+                                   ? SanitizeAlias(ref.ToString())
+                                   : item.alias;
+            outer_items.push_back("a." + group_out[g] + " AS " + name);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::SemanticError("return item '" + ref.ToString() +
+                                       "' is not in group by");
+        }
+        ++group_cursor;
+      }
+    }
+    (void)group_cursor;
+
+    std::string inner = BuildSelect(JoinStrings(inner_items, ", "));
+    inner += "\nGROUP BY " + JoinStrings(group_exprs, ", ");
+
+    // Outer query with history self-joins.
+    std::unordered_map<std::string, int> history;
+    int max_depth = 0;
+    CollectHistory(ast_.having.get(), &history, &max_depth);
+
+    std::string sql = "SELECT " + JoinStrings(outer_items, ", ") +
+                      "\nFROM (" + inner + ") a";
+    std::unordered_set<int> depths;
+    CollectDepths(ast_.having.get(), &depths);
+    for (int depth : SortedDepths(depths)) {
+      std::string h = "h" + std::to_string(depth);
+      sql += "\nLEFT JOIN (" + inner + ") " + h + " ON ";
+      std::vector<std::string> ons;
+      for (const std::string& gid : gid_columns_) {
+        ons.push_back(h + "." + gid + " = a." + gid);
+      }
+      ons.push_back(h + ".widx = a.widx - " + std::to_string(depth));
+      sql += JoinStrings(ons, " AND ");
+      constraint_count_ += ons.size();
+    }
+    std::vector<std::string> outer_where;
+    if (max_depth > 0) {
+      outer_where.push_back("a.widx >= " + std::to_string(max_depth));
+      ++constraint_count_;
+    }
+    if (ast_.having != nullptr) {
+      outer_where.push_back(HavingSql(*ast_.having));
+      constraint_count_ += CountComparisons(ast_.having.get());
+    }
+    if (!outer_where.empty()) {
+      sql += "\nWHERE " + JoinStrings(outer_where, " AND ");
+    }
+    if (ast_.limit.has_value()) {
+      sql += "\nLIMIT " + std::to_string(*ast_.limit);
+    }
+    sql += ";";
+    return Finish(std::move(sql));
+  }
+
+  static void CollectDepths(const HavingExpr* node,
+                            std::unordered_set<int>* out) {
+    if (node == nullptr) return;
+    if (node->kind == HavingExpr::Kind::kAggRef && node->history > 0) {
+      out->insert(node->history);
+    }
+    CollectDepths(node->lhs.get(), out);
+    CollectDepths(node->rhs.get(), out);
+  }
+  static std::vector<int> SortedDepths(const std::unordered_set<int>& set) {
+    std::vector<int> out(set.begin(), set.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  const MultieventQueryAst& ast_;
+  const AnalyzedQuery& analyzed_;
+  SqlSchemaMode mode_;
+
+  std::vector<std::string> from_;
+  std::vector<std::string> conjuncts_;
+  size_t constraint_count_ = 0;
+
+  std::unordered_set<std::string> seen_vars_;
+  std::unordered_map<std::string, std::pair<int, bool>> first_occurrence_;
+  std::unordered_map<std::string, EntityType> var_type_;
+  std::unordered_map<std::string, std::string> entity_alias_;
+  std::unordered_set<std::string> used_aliases_;
+  std::vector<std::string> gid_columns_;
+};
+
+}  // namespace
+
+Result<SqlTranslation> TranslateToSql(const ParsedQuery& query,
+                                      SqlSchemaMode mode) {
+  if (query.kind == QueryKind::kDependency) {
+    AIQL_ASSIGN_OR_RETURN(auto rewritten,
+                          RewriteDependency(*query.dependency));
+    AIQL_ASSIGN_OR_RETURN(
+        AnalyzedQuery analyzed,
+        AnalyzeMultievent(*rewritten, QueryKind::kMultievent));
+    return Translator(*rewritten, analyzed, mode).Run();
+  }
+  AIQL_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                        AnalyzeMultievent(*query.multievent, query.kind));
+  return Translator(*query.multievent, analyzed, mode).Run();
+}
+
+}  // namespace aiql

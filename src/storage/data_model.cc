@@ -1,0 +1,63 @@
+#include "storage/data_model.h"
+
+#include "common/string_utils.h"
+
+namespace aiql {
+
+const char* EntityTypeToString(EntityType type) {
+  switch (type) {
+    case EntityType::kProcess:
+      return "proc";
+    case EntityType::kFile:
+      return "file";
+    case EntityType::kNetwork:
+      return "ip";
+  }
+  return "?";
+}
+
+const char* OpTypeToString(OpType op) {
+  switch (op) {
+    case OpType::kStart:
+      return "start";
+    case OpType::kEnd:
+      return "end";
+    case OpType::kRead:
+      return "read";
+    case OpType::kWrite:
+      return "write";
+    case OpType::kExecute:
+      return "execute";
+    case OpType::kDelete:
+      return "delete";
+    case OpType::kRename:
+      return "rename";
+    case OpType::kConnect:
+      return "connect";
+    case OpType::kAccept:
+      return "accept";
+  }
+  return "?";
+}
+
+Result<OpType> ParseOpType(std::string_view text) {
+  std::string lowered = ToLower(TrimString(text));
+  if (lowered == "start" || lowered == "fork") return OpType::kStart;
+  if (lowered == "end" || lowered == "terminate") return OpType::kEnd;
+  if (lowered == "read") return OpType::kRead;
+  if (lowered == "write") return OpType::kWrite;
+  if (lowered == "execute" || lowered == "exec") return OpType::kExecute;
+  if (lowered == "delete" || lowered == "unlink") return OpType::kDelete;
+  if (lowered == "rename") return OpType::kRename;
+  if (lowered == "connect") return OpType::kConnect;
+  if (lowered == "accept") return OpType::kAccept;
+  return Status::InvalidArgument("unknown operation '" + lowered + "'");
+}
+
+EntityType ObjectRefType(const ObjectRef& ref) {
+  if (std::holds_alternative<ProcessRef>(ref)) return EntityType::kProcess;
+  if (std::holds_alternative<FileRef>(ref)) return EntityType::kFile;
+  return EntityType::kNetwork;
+}
+
+}  // namespace aiql

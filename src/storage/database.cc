@@ -1,0 +1,151 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace aiql {
+
+AuditDatabase::AuditDatabase(StorageOptions options)
+    : options_(options) {
+  if (options_.partition_duration <= 0) options_.partition_duration = kHour;
+  if (options_.batch_commit_size == 0) options_.batch_commit_size = 1;
+}
+
+Status AuditDatabase::Append(EventRecord record) {
+  if (sealed_) {
+    return Status::InvalidArgument("database is sealed");
+  }
+  if (record.end_ts == 0) record.end_ts = record.start_ts;
+  if (record.end_ts < record.start_ts) {
+    return Status::InvalidArgument("event ends before it starts");
+  }
+  if (record.subject.exe_name.empty()) {
+    return Status::InvalidArgument("event subject has no executable name");
+  }
+  pending_.push_back(std::move(record));
+  if (pending_.size() >= options_.batch_commit_size) Flush();
+  return Status::OK();
+}
+
+Status AuditDatabase::AppendBatch(std::vector<EventRecord> records) {
+  for (EventRecord& record : records) {
+    AIQL_RETURN_IF_ERROR(Append(std::move(record)));
+  }
+  return Status::OK();
+}
+
+void AuditDatabase::Flush() {
+  for (const EventRecord& record : pending_) {
+    // Records were validated in Append; commit failures are impossible here.
+    CommitRecord(record);
+  }
+  pending_.clear();
+}
+
+Status AuditDatabase::CommitRecord(const EventRecord& record) {
+  EntityId subject = entities_.InternProcess(record.subject);
+  auto [object_type, object] = entities_.InternObject(record.object);
+
+  Event event;
+  event.start_ts = record.start_ts;
+  event.end_ts = record.end_ts;
+  event.amount = record.amount;
+  event.subject = subject;
+  event.object = object;
+  event.agent_id = record.agent_id;
+  event.merge_count = 1;
+  event.op = record.op;
+  event.object_type = object_type;
+
+  int64_t bucket = 0;
+  AgentId agent = 0;
+  if (options_.enable_partitioning) {
+    bucket = record.start_ts / options_.partition_duration;
+    if (record.start_ts < 0 &&
+        record.start_ts % options_.partition_duration != 0) {
+      bucket -= 1;  // floor division for negative timestamps
+    }
+    agent = record.agent_id;
+  }
+  EventPartition* partition = GetOrCreatePartition(bucket, agent);
+  StringId exe = entities_.processes()[subject].exe_name;
+  bool merged = partition->AppendWithExe(event, exe, options_.dedup_window);
+
+  stats_.raw_events += 1;
+  if (!merged) {
+    stats_.total_events += 1;
+    stats_.op_counts[static_cast<size_t>(event.op)] += 1;
+  }
+  if (event.start_ts < stats_.min_ts) stats_.min_ts = event.start_ts;
+  if (event.end_ts > stats_.max_ts) stats_.max_ts = event.end_ts;
+  return Status::OK();
+}
+
+EventPartition* AuditDatabase::GetOrCreatePartition(int64_t bucket,
+                                                    AgentId agent) {
+  auto key = std::make_pair(bucket, agent);
+  auto it = partitions_.find(key);
+  if (it == partitions_.end()) {
+    it = partitions_.emplace(key, std::make_unique<EventPartition>()).first;
+    stats_.total_partitions += 1;
+  }
+  return it->second.get();
+}
+
+void AuditDatabase::Seal() {
+  Flush();
+  for (auto& [key, partition] : partitions_) {
+    partition->Seal();
+  }
+  sealed_ = true;
+}
+
+void AuditDatabase::RestoreSealedState() {
+  stats_ = DatabaseStats{};
+  stats_.total_partitions = partitions_.size();
+  for (auto& [key, partition] : partitions_) {
+    partition->RebuildStats(entities_.processes());
+    partition->Seal();
+    stats_.total_events += partition->size();
+    stats_.raw_events += partition->raw_event_count();
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      stats_.op_counts[op] += partition->OpCount(static_cast<OpType>(op));
+    }
+    if (partition->size() > 0) {
+      stats_.min_ts = std::min(stats_.min_ts, partition->min_ts());
+      stats_.max_ts = std::max(stats_.max_ts, partition->max_ts());
+    }
+  }
+  sealed_ = true;
+}
+
+std::vector<std::pair<PartitionKey, const EventPartition*>>
+AuditDatabase::SelectPartitions(
+    const TimeRange& range,
+    const std::optional<std::vector<AgentId>>& agents) const {
+  std::vector<std::pair<PartitionKey, const EventPartition*>> out;
+  for (const auto& [key, partition] : partitions_) {
+    const auto& [bucket, agent] = key;
+    if (agents.has_value() && options_.enable_partitioning) {
+      bool found = std::find(agents->begin(), agents->end(), agent) !=
+                   agents->end();
+      if (!found) continue;
+    }
+    if (partition->size() == 0) continue;
+    TimeRange span{partition->min_ts(), partition->max_ts() + 1};
+    if (!range.Overlaps(span)) continue;
+    out.emplace_back(PartitionKey{bucket, agent}, partition.get());
+  }
+  return out;
+}
+
+void AuditDatabase::ForEachPartition(
+    const TimeRange& range,
+    const std::optional<std::vector<AgentId>>& agents,
+    const std::function<void(const PartitionKey&, const EventPartition&)>& fn)
+    const {
+  for (const auto& [key, partition] : SelectPartitions(range, agents)) {
+    fn(key, *partition);
+  }
+}
+
+}  // namespace aiql

@@ -1,0 +1,128 @@
+// AuditDatabase: the optimized domain-specific store (paper §2.1).
+//
+// Combines the deduplicated EntityStore with time x agent partitions, batch
+// commit, and database-wide statistics. After ingestion the database is
+// sealed; queries then run against immutable state (safe for the engine's
+// parallel partition scans).
+
+#ifndef AIQL_STORAGE_DATABASE_H_
+#define AIQL_STORAGE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_utils.h"
+#include "storage/data_model.h"
+#include "storage/entity_store.h"
+#include "storage/partition.h"
+
+namespace aiql {
+
+/// Tuning knobs for the store; defaults mirror the deployed system's
+/// hourly time partitions and short merge window.
+struct StorageOptions {
+  /// Width of a time bucket. Events are partitioned by
+  /// (start_ts / partition_duration, agent_id).
+  Duration partition_duration = kHour;
+
+  /// Merge window for event deduplication; 0 disables merging.
+  Duration dedup_window = 3 * kSecond;
+
+  /// If false, all events land in a single partition regardless of time or
+  /// agent (ablation: storage without spatial/temporal partitioning).
+  bool enable_partitioning = true;
+
+  /// Records buffered before a batch commit to the partitions.
+  size_t batch_commit_size = 8192;
+};
+
+/// Aggregate counters describing the whole database.
+struct DatabaseStats {
+  uint64_t total_events = 0;      ///< stored (post-dedup) events
+  uint64_t raw_events = 0;        ///< raw events ingested
+  uint64_t total_partitions = 0;
+  std::array<uint64_t, kNumOpTypes> op_counts{};
+  Timestamp min_ts = INT64_MAX;
+  Timestamp max_ts = INT64_MIN;
+};
+
+/// The storage engine. Write path: Append/AppendBatch -> Flush -> Seal.
+/// Read path (after Seal): SelectPartitions / ForEachPartition + entities().
+class AuditDatabase {
+ public:
+  explicit AuditDatabase(StorageOptions options = {});
+
+  AuditDatabase(const AuditDatabase&) = delete;
+  AuditDatabase& operator=(const AuditDatabase&) = delete;
+  AuditDatabase(AuditDatabase&&) = default;
+  AuditDatabase& operator=(AuditDatabase&&) = default;
+
+  // --- write path ----------------------------------------------------------
+
+  /// Buffers one record; commits the buffer when it reaches
+  /// batch_commit_size. Returns an error for malformed records (e.g.
+  /// end before start).
+  Status Append(EventRecord record);
+
+  /// Buffers many records.
+  Status AppendBatch(std::vector<EventRecord> records);
+
+  /// Commits any buffered records.
+  void Flush();
+
+  /// Flushes, sorts every partition, and freezes the database.
+  void Seal();
+
+  bool sealed() const { return sealed_; }
+
+  // --- read path -----------------------------------------------------------
+
+  const EntityStore& entities() const { return entities_; }
+  const StorageOptions& options() const { return options_; }
+  const DatabaseStats& stats() const { return stats_; }
+
+  /// Partitions overlapping `range`, optionally restricted to `agents`
+  /// (nullopt = all agents). Ordered by (bucket, agent).
+  std::vector<std::pair<PartitionKey, const EventPartition*>> SelectPartitions(
+      const TimeRange& range,
+      const std::optional<std::vector<AgentId>>& agents) const;
+
+  /// Convenience: applies `fn` to each selected partition.
+  void ForEachPartition(
+      const TimeRange& range,
+      const std::optional<std::vector<AgentId>>& agents,
+      const std::function<void(const PartitionKey&, const EventPartition&)>&
+          fn) const;
+
+  /// All partitions (snapshot serialization).
+  const std::map<std::pair<int64_t, AgentId>,
+                 std::unique_ptr<EventPartition>>&
+  partitions() const {
+    return partitions_;
+  }
+
+  /// Mutable access used by snapshot loading.
+  EntityStore* mutable_entities() { return &entities_; }
+  EventPartition* GetOrCreatePartition(int64_t bucket, AgentId agent);
+  void RestoreSealedState();
+
+ private:
+  Status CommitRecord(const EventRecord& record);
+
+  StorageOptions options_;
+  EntityStore entities_;
+  // Ordered map gives deterministic partition iteration order.
+  std::map<std::pair<int64_t, AgentId>, std::unique_ptr<EventPartition>>
+      partitions_;
+  std::vector<EventRecord> pending_;
+  DatabaseStats stats_;
+  bool sealed_ = false;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_STORAGE_DATABASE_H_

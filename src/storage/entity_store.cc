@@ -1,0 +1,153 @@
+#include "storage/entity_store.h"
+
+namespace aiql {
+
+namespace {
+
+// Appends `id` to postings[value], growing the outer vector on demand.
+void AddPosting(std::vector<std::vector<EntityId>>* postings, StringId value,
+                EntityId id) {
+  if (postings->size() <= value) postings->resize(value + 1);
+  (*postings)[value].push_back(id);
+}
+
+}  // namespace
+
+EntityId EntityStore::InternProcess(const ProcessRef& ref) {
+  StringId exe = exe_names_.Intern(ref.exe_name);
+  StringId user = users_.Intern(ref.user);
+  ProcessKey key{ref.agent_id, ref.pid, exe, user};
+  auto it = process_ids_.find(key);
+  if (it != process_ids_.end()) return it->second;
+  EntityId id = static_cast<EntityId>(processes_.size());
+  processes_.push_back(ProcessEntity{ref.agent_id, ref.pid, exe, user});
+  process_ids_.emplace(key, id);
+  AddPosting(&procs_by_exe_, exe, id);
+  return id;
+}
+
+EntityId EntityStore::InternFile(const FileRef& ref) {
+  StringId path = paths_.Intern(ref.path);
+  FileKey key{ref.agent_id, path};
+  auto it = file_ids_.find(key);
+  if (it != file_ids_.end()) return it->second;
+  EntityId id = static_cast<EntityId>(files_.size());
+  files_.push_back(FileEntity{ref.agent_id, path});
+  file_ids_.emplace(key, id);
+  AddPosting(&files_by_path_, path, id);
+  return id;
+}
+
+EntityId EntityStore::InternNetwork(const NetworkRef& ref) {
+  StringId src = ips_.Intern(ref.src_ip);
+  StringId dst = ips_.Intern(ref.dst_ip);
+  StringId proto = protocols_.Intern(ref.protocol);
+  NetworkKey key{ref.agent_id, src, dst, ref.src_port, ref.dst_port, proto};
+  auto it = network_ids_.find(key);
+  if (it != network_ids_.end()) return it->second;
+  EntityId id = static_cast<EntityId>(networks_.size());
+  networks_.push_back(NetworkEntity{ref.agent_id, src, dst, ref.src_port,
+                                    ref.dst_port, proto});
+  network_ids_.emplace(key, id);
+  AddPosting(&nets_by_dst_, dst, id);
+  AddPosting(&nets_by_src_, src, id);
+  return id;
+}
+
+std::pair<EntityType, EntityId> EntityStore::InternObject(
+    const ObjectRef& ref) {
+  if (const auto* proc = std::get_if<ProcessRef>(&ref)) {
+    return {EntityType::kProcess, InternProcess(*proc)};
+  }
+  if (const auto* file = std::get_if<FileRef>(&ref)) {
+    return {EntityType::kFile, InternFile(*file)};
+  }
+  return {EntityType::kNetwork, InternNetwork(std::get<NetworkRef>(ref))};
+}
+
+size_t EntityStore::NumEntities(EntityType type) const {
+  switch (type) {
+    case EntityType::kProcess:
+      return processes_.size();
+    case EntityType::kFile:
+      return files_.size();
+    case EntityType::kNetwork:
+      return networks_.size();
+  }
+  return 0;
+}
+
+std::string EntityStore::EntityName(EntityType type, EntityId id) const {
+  switch (type) {
+    case EntityType::kProcess: {
+      const ProcessEntity& p = processes_[id];
+      return std::string(exe_names_.Get(p.exe_name));
+    }
+    case EntityType::kFile: {
+      const FileEntity& f = files_[id];
+      return std::string(paths_.Get(f.path));
+    }
+    case EntityType::kNetwork: {
+      const NetworkEntity& n = networks_[id];
+      std::string out(ips_.Get(n.src_ip));
+      out += ':';
+      out += std::to_string(n.src_port);
+      out += "->";
+      out += ips_.Get(n.dst_ip);
+      out += ':';
+      out += std::to_string(n.dst_port);
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::vector<EntityId> EntityStore::FindProcessesByExe(
+    const LikeMatcher& matcher) const {
+  std::vector<EntityId> out;
+  exe_names_.ForEach([&](StringId id, std::string_view text) {
+    if (id < procs_by_exe_.size() && matcher.Matches(text)) {
+      out.insert(out.end(), procs_by_exe_[id].begin(),
+                 procs_by_exe_[id].end());
+    }
+  });
+  return out;
+}
+
+std::vector<EntityId> EntityStore::FindFilesByPath(
+    const LikeMatcher& matcher) const {
+  std::vector<EntityId> out;
+  paths_.ForEach([&](StringId id, std::string_view text) {
+    if (id < files_by_path_.size() && matcher.Matches(text)) {
+      out.insert(out.end(), files_by_path_[id].begin(),
+                 files_by_path_[id].end());
+    }
+  });
+  return out;
+}
+
+std::vector<EntityId> EntityStore::FindNetworksByIp(const LikeMatcher& matcher,
+                                                    bool use_src) const {
+  const auto& postings = use_src ? nets_by_src_ : nets_by_dst_;
+  std::vector<EntityId> out;
+  ips_.ForEach([&](StringId id, std::string_view text) {
+    if (id < postings.size() && matcher.Matches(text)) {
+      out.insert(out.end(), postings[id].begin(), postings[id].end());
+    }
+  });
+  return out;
+}
+
+size_t EntityStore::DistinctDefaultAttrValues(EntityType type) const {
+  switch (type) {
+    case EntityType::kProcess:
+      return exe_names_.size();
+    case EntityType::kFile:
+      return paths_.size();
+    case EntityType::kNetwork:
+      return ips_.size();
+  }
+  return 0;
+}
+
+}  // namespace aiql

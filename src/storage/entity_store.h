@@ -1,0 +1,145 @@
+// Deduplicated entity storage with in-memory attribute indexes.
+//
+// One of the paper's storage optimizations is data deduplication plus
+// in-memory indexes: each distinct process/file/network entity is stored
+// once, attribute strings are interned, and postings lists map attribute
+// values to the entities carrying them. The query engine evaluates a LIKE
+// predicate once per *distinct* attribute value and expands the matches via
+// the postings lists, instead of re-matching per event.
+
+#ifndef AIQL_STORAGE_ENTITY_STORE_H_
+#define AIQL_STORAGE_ENTITY_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/like_matcher.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Append-only, deduplicated store of all entities seen during ingestion.
+/// Single-writer during ingestion; read-only (thread-safe) afterwards.
+class EntityStore {
+ public:
+  EntityStore() = default;
+
+  // --- ingestion -----------------------------------------------------------
+
+  /// Returns the id of the process entity, creating it on first sight.
+  EntityId InternProcess(const ProcessRef& ref);
+  /// Returns the id of the file entity, creating it on first sight.
+  EntityId InternFile(const FileRef& ref);
+  /// Returns the id of the network entity, creating it on first sight.
+  EntityId InternNetwork(const NetworkRef& ref);
+
+  /// Interns the object side of a raw record; returns (type, id).
+  std::pair<EntityType, EntityId> InternObject(const ObjectRef& ref);
+
+  // --- read access ---------------------------------------------------------
+
+  const std::vector<ProcessEntity>& processes() const { return processes_; }
+  const std::vector<FileEntity>& files() const { return files_; }
+  const std::vector<NetworkEntity>& networks() const { return networks_; }
+
+  const StringInterner& exe_names() const { return exe_names_; }
+  const StringInterner& users() const { return users_; }
+  const StringInterner& paths() const { return paths_; }
+  const StringInterner& ips() const { return ips_; }
+  const StringInterner& protocols() const { return protocols_; }
+
+  size_t NumEntities(EntityType type) const;
+
+  /// Display name of an entity: exe name / path / "src:port->dst:port".
+  std::string EntityName(EntityType type, EntityId id) const;
+
+  // --- attribute indexes ---------------------------------------------------
+
+  /// Process ids whose exe_name string matches `matcher`.
+  std::vector<EntityId> FindProcessesByExe(const LikeMatcher& matcher) const;
+  /// File ids whose path matches `matcher` (across all agents).
+  std::vector<EntityId> FindFilesByPath(const LikeMatcher& matcher) const;
+  /// Network ids whose dst_ip (or src_ip when `use_src`) matches.
+  std::vector<EntityId> FindNetworksByIp(const LikeMatcher& matcher,
+                                         bool use_src) const;
+
+  /// Number of distinct interned strings whose expansion would be scanned by
+  /// a predicate on `type`'s default attribute (for cost accounting).
+  size_t DistinctDefaultAttrValues(EntityType type) const;
+
+ private:
+  struct ProcessKey {
+    AgentId agent_id;
+    uint32_t pid;
+    StringId exe_name;
+    StringId user;
+    bool operator==(const ProcessKey&) const = default;
+  };
+  struct ProcessKeyHash {
+    size_t operator()(const ProcessKey& k) const {
+      uint64_t h = k.agent_id;
+      h = h * 0x9E3779B97F4A7C15ULL + k.pid;
+      h = h * 0x9E3779B97F4A7C15ULL + k.exe_name;
+      h = h * 0x9E3779B97F4A7C15ULL + k.user;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct FileKey {
+    AgentId agent_id;
+    StringId path;
+    bool operator==(const FileKey&) const = default;
+  };
+  struct FileKeyHash {
+    size_t operator()(const FileKey& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.agent_id) << 32) | k.path;
+      h *= 0x9E3779B97F4A7C15ULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  struct NetworkKey {
+    AgentId agent_id;
+    StringId src_ip;
+    StringId dst_ip;
+    uint16_t src_port;
+    uint16_t dst_port;
+    StringId protocol;
+    bool operator==(const NetworkKey&) const = default;
+  };
+  struct NetworkKeyHash {
+    size_t operator()(const NetworkKey& k) const {
+      uint64_t h = k.agent_id;
+      h = h * 0x9E3779B97F4A7C15ULL + k.src_ip;
+      h = h * 0x9E3779B97F4A7C15ULL + k.dst_ip;
+      h = h * 0x9E3779B97F4A7C15ULL + k.src_port;
+      h = h * 0x9E3779B97F4A7C15ULL + k.dst_port;
+      h = h * 0x9E3779B97F4A7C15ULL + k.protocol;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  StringInterner exe_names_;
+  StringInterner users_;
+  StringInterner paths_;
+  StringInterner ips_;
+  StringInterner protocols_;
+
+  std::vector<ProcessEntity> processes_;
+  std::vector<FileEntity> files_;
+  std::vector<NetworkEntity> networks_;
+
+  std::unordered_map<ProcessKey, EntityId, ProcessKeyHash> process_ids_;
+  std::unordered_map<FileKey, EntityId, FileKeyHash> file_ids_;
+  std::unordered_map<NetworkKey, EntityId, NetworkKeyHash> network_ids_;
+
+  // Postings: attribute value id -> entity ids carrying that value.
+  std::vector<std::vector<EntityId>> procs_by_exe_;   // index: exe StringId
+  std::vector<std::vector<EntityId>> files_by_path_;  // index: path StringId
+  std::vector<std::vector<EntityId>> nets_by_dst_;    // index: ip StringId
+  std::vector<std::vector<EntityId>> nets_by_src_;    // index: ip StringId
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_STORAGE_ENTITY_STORE_H_

@@ -1,0 +1,46 @@
+// Text audit-log format — the transport between collection agents and the
+// storage tier.
+//
+// The deployed system streams records from auditd/ETW/DTrace agents; this
+// reproduction defines a line-oriented text format so logs can be exported,
+// shipped, inspected, and replayed:
+//
+//   start_us \t end_us \t agent \t op \t amount \t subj_pid \t subj_exe \t
+//   subj_user \t obj_kind \t <object fields...>
+//
+// Object fields by kind:
+//   proc: agent \t pid \t exe \t user
+//   file: agent \t path
+//   net : agent \t src_ip \t src_port \t dst_ip \t dst_port \t protocol
+//
+// String fields escape backslash, tab, and newline (\\, \t, \n). Lines
+// starting with '#' are comments. The reader reports line-numbered errors.
+
+#ifndef AIQL_STORAGE_LOG_FORMAT_H_
+#define AIQL_STORAGE_LOG_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Serializes one record to a log line (no trailing newline).
+std::string FormatLogLine(const EventRecord& record);
+
+/// Parses one log line (comments/blank lines are the caller's concern).
+Result<EventRecord> ParseLogLine(std::string_view line);
+
+/// Writes all records to `path` (overwrites). Includes a header comment.
+Status WriteAuditLog(const std::vector<EventRecord>& records,
+                     const std::string& path);
+
+/// Reads an audit log written by WriteAuditLog (or an agent). Skips blank
+/// lines and '#' comments; fails with the offending line number otherwise.
+Result<std::vector<EventRecord>> ReadAuditLog(const std::string& path);
+
+}  // namespace aiql
+
+#endif  // AIQL_STORAGE_LOG_FORMAT_H_

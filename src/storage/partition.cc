@@ -1,0 +1,94 @@
+#include "storage/partition.h"
+
+#include <algorithm>
+
+namespace aiql {
+
+bool EventPartition::Append(const Event& event, Duration dedup_window) {
+  return AppendWithExe(event, kInvalidStringId, dedup_window);
+}
+
+bool EventPartition::AppendWithExe(const Event& event, StringId subject_exe,
+                                   Duration dedup_window) {
+  raw_count_ += 1;
+  if (dedup_window > 0) {
+    MergeKey key{event.subject, event.object, event.op, event.object_type};
+    auto it = merge_tail_.find(key);
+    if (it != merge_tail_.end()) {
+      Event& tail = events_[it->second];
+      if (event.start_ts >= tail.start_ts &&
+          event.start_ts - tail.end_ts <= dedup_window) {
+        tail.end_ts = std::max(tail.end_ts, event.end_ts);
+        tail.amount += event.amount;
+        tail.merge_count += event.merge_count;
+        if (tail.end_ts > max_ts_) max_ts_ = tail.end_ts;
+        return true;
+      }
+      it->second = events_.size();
+      events_.push_back(event);
+      AccountEvent(event, subject_exe);
+      return false;
+    }
+    merge_tail_.emplace(key, events_.size());
+  }
+  events_.push_back(event);
+  AccountEvent(event, subject_exe);
+  return false;
+}
+
+void EventPartition::AccountEvent(const Event& event, StringId subject_exe) {
+  if (event.start_ts < min_ts_) min_ts_ = event.start_ts;
+  if (event.end_ts > max_ts_) max_ts_ = event.end_ts;
+  op_counts_[static_cast<size_t>(event.op)] += 1;
+  if (subject_exe != kInvalidStringId) {
+    subject_exe_counts_[subject_exe] += 1;
+  }
+}
+
+void EventPartition::Seal() {
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) {
+              if (a.start_ts != b.start_ts) return a.start_ts < b.start_ts;
+              return a.end_ts < b.end_ts;
+            });
+  merge_tail_.clear();
+  sealed_ = true;
+}
+
+uint64_t EventPartition::OpMaskCount(OpMask mask) const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    if (mask & (1u << i)) total += op_counts_[i];
+  }
+  return total;
+}
+
+uint64_t EventPartition::SubjectExeCount(StringId exe) const {
+  auto it = subject_exe_counts_.find(exe);
+  return it == subject_exe_counts_.end() ? 0 : it->second;
+}
+
+size_t EventPartition::LowerBound(Timestamp t) const {
+  auto it = std::lower_bound(
+      events_.begin(), events_.end(), t,
+      [](const Event& e, Timestamp ts) { return e.start_ts < ts; });
+  return static_cast<size_t>(it - events_.begin());
+}
+
+void EventPartition::RebuildStats(
+    const std::vector<ProcessEntity>& processes) {
+  op_counts_.fill(0);
+  subject_exe_counts_.clear();
+  min_ts_ = INT64_MAX;
+  max_ts_ = INT64_MIN;
+  raw_count_ = 0;
+  for (const Event& event : events_) {
+    raw_count_ += event.merge_count;
+    StringId exe = event.subject < processes.size()
+                       ? processes[event.subject].exe_name
+                       : kInvalidStringId;
+    AccountEvent(event, exe);
+  }
+}
+
+}  // namespace aiql

@@ -1,0 +1,123 @@
+// Time x agent event partitions ("hypertable" storage, paper §2.1).
+//
+// Events are bucketed by (time bucket, agent id). Each partition keeps its
+// events sorted by start timestamp once sealed, plus lightweight statistics
+// (per-operation counts, per-subject-exe counts) that feed the engine's
+// pruning-power estimator. Partitions are the unit of parallel scanning.
+
+#ifndef AIQL_STORAGE_PARTITION_H_
+#define AIQL_STORAGE_PARTITION_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Identifies one partition: `bucket` is start_ts / partition_duration.
+struct PartitionKey {
+  int64_t bucket = 0;
+  AgentId agent_id = 0;
+
+  bool operator==(const PartitionKey&) const = default;
+};
+
+struct PartitionKeyHash {
+  size_t operator()(const PartitionKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.bucket) * 0x9E3779B97F4A7C15ULL +
+                 k.agent_id;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
+/// One partition's events and statistics.
+class EventPartition {
+ public:
+  EventPartition() { op_counts_.fill(0); }
+
+  /// Appends an event, attempting merge-deduplication: a raw event with the
+  /// same (subject, op, object_type, object) whose start falls within
+  /// `dedup_window` of the previous occurrence's end is merged into it
+  /// (interval extended, amounts summed, merge_count incremented).
+  /// Pass dedup_window = 0 to disable merging. Returns true if merged.
+  bool Append(const Event& event, Duration dedup_window);
+
+  /// Sorts events by (start_ts, end_ts) and freezes the partition.
+  void Seal();
+
+  bool sealed() const { return sealed_; }
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  Timestamp min_ts() const { return min_ts_; }
+  Timestamp max_ts() const { return max_ts_; }
+
+  /// Events whose operation is `op`.
+  uint64_t OpCount(OpType op) const {
+    return op_counts_[static_cast<size_t>(op)];
+  }
+  /// Events whose operation is in `mask`.
+  uint64_t OpMaskCount(OpMask mask) const;
+
+  /// Events whose subject process has the given exe-name string id.
+  uint64_t SubjectExeCount(StringId exe) const;
+
+  /// Map of subject exe-name id -> event count (for the estimator).
+  const std::unordered_map<StringId, uint64_t>& subject_exe_counts() const {
+    return subject_exe_counts_;
+  }
+
+  /// Index of the first event with start_ts >= t (partition must be sealed).
+  size_t LowerBound(Timestamp t) const;
+
+  /// Raw (pre-dedup) events represented, i.e. sum of merge counts.
+  uint64_t raw_event_count() const { return raw_count_; }
+
+  /// Internal mutable access used by snapshot loading.
+  std::vector<Event>* mutable_events() { return &events_; }
+  /// Recomputes statistics from `events_` (after snapshot load).
+  void RebuildStats(const std::vector<ProcessEntity>& processes);
+
+ private:
+  struct MergeKey {
+    EntityId subject;
+    EntityId object;
+    OpType op;
+    EntityType object_type;
+    bool operator==(const MergeKey&) const = default;
+  };
+  struct MergeKeyHash {
+    size_t operator()(const MergeKey& k) const {
+      uint64_t h = k.subject;
+      h = h * 0x9E3779B97F4A7C15ULL + k.object;
+      h = h * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(k.op);
+      h = h * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(k.object_type);
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  void AccountEvent(const Event& event, StringId subject_exe);
+
+  std::vector<Event> events_;
+  bool sealed_ = false;
+  Timestamp min_ts_ = INT64_MAX;
+  Timestamp max_ts_ = INT64_MIN;
+  uint64_t raw_count_ = 0;
+  std::array<uint64_t, kNumOpTypes> op_counts_;
+  std::unordered_map<StringId, uint64_t> subject_exe_counts_;
+  // Last event index per merge key (cleared on Seal()).
+  std::unordered_map<MergeKey, size_t, MergeKeyHash> merge_tail_;
+  // Exe id of each event's subject, tracked during ingest for stats; the
+  // database passes it in via AppendWithExe.
+  friend class AuditDatabase;
+  bool AppendWithExe(const Event& event, StringId subject_exe,
+                     Duration dedup_window);
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_STORAGE_PARTITION_H_

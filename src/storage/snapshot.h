@@ -1,0 +1,30 @@
+// Binary snapshot persistence for AuditDatabase.
+//
+// The deployed system keeps 0.5-1 year of monitoring data on disk; here we
+// persist a sealed database as a single versioned binary snapshot (interners,
+// entity tables, partitioned events) and can reload it with statistics and
+// indexes rebuilt. The format is little-endian, length-prefixed, and guarded
+// by magic + version + a trailing checksum.
+
+#ifndef AIQL_STORAGE_SNAPSHOT_H_
+#define AIQL_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Serializes a sealed database to `path`. Fails if the database is not
+/// sealed or on I/O errors.
+Status SaveSnapshot(const AuditDatabase& db, const std::string& path);
+
+/// Loads a snapshot previously written by SaveSnapshot. Returns a sealed
+/// database. Detects truncation, bad magic, version mismatch, and checksum
+/// corruption.
+Result<AuditDatabase> LoadSnapshot(const std::string& path);
+
+}  // namespace aiql
+
+#endif  // AIQL_STORAGE_SNAPSHOT_H_

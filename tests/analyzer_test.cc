@@ -1,0 +1,211 @@
+// Unit tests for AIQL semantic analysis.
+
+#include "query/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace aiql {
+namespace {
+
+Result<AnalyzedQuery> Analyze(const ParsedQuery& parsed) {
+  return AnalyzeMultievent(*parsed.multievent, parsed.kind);
+}
+
+TEST(AnalyzerTest, SharedEntityVariablesDetected) {
+  auto parsed = ParseAiql(
+      "proc p3 write file f1[\"%backup1.dmp\"] as e1 "
+      "proc p4 read file f1 as e2 "
+      "return p3, p4");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto analyzed = Analyze(*parsed);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  // f1 occurs as object of both patterns: an implicit join.
+  const auto& occ = analyzed->entity_occurrences.at("f1");
+  ASSERT_EQ(occ.size(), 2u);
+  EXPECT_EQ(occ[0].pattern, 0);
+  EXPECT_FALSE(occ[0].is_subject);
+  EXPECT_EQ(occ[1].pattern, 1);
+  EXPECT_EQ(analyzed->entity_types.at("f1"), EntityType::kFile);
+}
+
+TEST(AnalyzerTest, AutoNamesUnnamedEvents) {
+  auto parsed = ParseAiql(
+      "proc p read file f proc p write ip i return p");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto analyzed = Analyze(*parsed);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  ASSERT_EQ(analyzed->event_vars.size(), 2u);
+  EXPECT_NE(analyzed->event_vars[0], analyzed->event_vars[1]);
+  EXPECT_EQ(analyzed->event_index.size(), 2u);
+}
+
+TEST(AnalyzerTest, GlobalAgentFilterResolved) {
+  auto parsed = ParseAiql("agentid = 7 proc p read file f return p");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_TRUE(analyzed->agent_filter.has_value());
+  EXPECT_EQ(*analyzed->agent_filter, std::vector<AgentId>{7});
+}
+
+TEST(AnalyzerTest, ContradictoryAgentFiltersIntersectToEmpty) {
+  auto parsed =
+      ParseAiql("agentid = 1 agentid = 2 proc p read file f return p");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_TRUE(analyzed->agent_filter.has_value());
+  EXPECT_TRUE(analyzed->agent_filter->empty());
+}
+
+TEST(AnalyzerTest, RejectsVariableTypeConflicts) {
+  auto parsed = ParseAiql(
+      "proc x read file f as e1 proc p write file x as e2 return p");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_EQ(analyzed.status().code(), StatusCode::kSemanticError);
+  EXPECT_NE(analyzed.status().message().find("redeclared"),
+            std::string::npos);
+}
+
+TEST(AnalyzerTest, RejectsDuplicateEventNames) {
+  auto parsed = ParseAiql(
+      "proc p read file f as e1 proc p write file f as e1 return p");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(Analyze(*parsed).ok());
+}
+
+TEST(AnalyzerTest, RejectsUnknownEventInTemporalRelation) {
+  auto parsed = ParseAiql(
+      "proc p read file f as e1 with e1 before ghost return p");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_NE(analyzed.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(AnalyzerTest, RejectsSelfTemporalRelation) {
+  auto parsed = ParseAiql(
+      "proc p read file f as e1 with e1 before e1 return p");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(Analyze(*parsed).ok());
+}
+
+TEST(AnalyzerTest, RejectsInvalidOpForObjectType) {
+  // 'start' against a file object is meaningless.
+  auto parsed = ParseAiql("proc p start file f return p");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_NE(analyzed.status().message().find("not valid"), std::string::npos);
+}
+
+TEST(AnalyzerTest, RejectsUnknownAttribute) {
+  auto parsed = ParseAiql("proc p[color = \"red\"] read file f return p");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_NE(analyzed.status().message().find("color"), std::string::npos);
+}
+
+TEST(AnalyzerTest, RejectsTypeMismatchedConstraintValues) {
+  auto parsed = ParseAiql("proc p[pid = \"abc\"] read file f return p");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(Analyze(*parsed).ok());
+
+  auto parsed2 = ParseAiql("proc p[exe_name = 42] read file f return p");
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_FALSE(Analyze(*parsed2).ok());
+}
+
+TEST(AnalyzerTest, RejectsAggregateWithoutWindow) {
+  auto parsed = ParseAiql(
+      "proc p write ip i as evt return p, avg(evt.amount) as amt");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_NE(analyzed.status().message().find("window"), std::string::npos);
+}
+
+TEST(AnalyzerTest, RejectsAnomalyWithMultiplePatterns) {
+  auto parsed = ParseAiql(
+      "window = 1 min, step = 10 sec "
+      "proc p write ip i as e1 proc p read file f as e2 "
+      "return p, sum(e1.amount) as s");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_NE(analyzed.status().message().find("single event pattern"),
+            std::string::npos);
+}
+
+TEST(AnalyzerTest, RejectsHavingOnUnknownAlias) {
+  auto parsed = ParseAiql(
+      "window = 1 min, step = 10 sec "
+      "proc p write ip i as evt "
+      "return p, avg(evt.amount) as amt "
+      "group by p having bogus > 1");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_NE(analyzed.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(AnalyzerTest, AcceptsValidAnomalyQuery) {
+  auto parsed = ParseAiql(
+      "window = 1 min, step = 10 sec "
+      "proc p write ip i as evt "
+      "return p, avg(evt.amount) as amt, count(*) as n "
+      "group by p having amt > 2 * (amt + amt[1] + amt[2]) / 3 and n > 0");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto analyzed = Analyze(*parsed);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_EQ(analyzed->kind, QueryKind::kAnomaly);
+}
+
+TEST(AnalyzerTest, RejectsEntityEventNameCollision) {
+  auto parsed = ParseAiql(
+      "proc x read file f as x return f");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_NE(analyzed.status().message().find("both"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ValidatesDependencyDeclarations) {
+  auto parsed = ParseAiql(
+      "forward: proc p1 ->[write] file f1 <-[read] proc p2 ->[connect] "
+      "proc p3 return p1, p3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateDependency(*parsed->dependency).ok());
+}
+
+TEST(AnalyzerTest, RejectsDependencyWithFileSubject) {
+  // f1 ->[read] p2 puts a file on the subject side.
+  auto parsed = ParseAiql(
+      "forward: proc p1 ->[write] file f1 ->[read] proc p2 return p1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto status = ValidateDependency(*parsed->dependency);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("process"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ReturnShortcutsResolveAgainstDefaults) {
+  auto parsed = ParseAiql(
+      "proc p read file f as e return p, f, p.pid, e.amount");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(*parsed);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+}
+
+TEST(AnalyzerTest, RejectsUnknownReturnVariable) {
+  auto parsed = ParseAiql("proc p read file f return ghost");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(Analyze(*parsed).ok());
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,142 @@
+// Property tests for the anomaly engine's window math: seed-parameterized
+// random event streams checked against a brute-force reference evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "engine/aiql_engine.h"
+#include "storage/database.h"
+
+namespace aiql {
+namespace {
+
+Timestamp T0() { return *MakeTimestamp(2018, 5, 10); }
+
+class AnomalyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnomalyPropertyTest, SumsMatchBruteForceWindows) {
+  Rng rng(GetParam());
+  StorageOptions options;
+  options.dedup_window = 0;
+  AuditDatabase db(options);
+
+  // Random events from 3 processes over one hour.
+  struct Sample {
+    Timestamp ts;
+    int proc;
+    uint64_t amount;
+  };
+  std::vector<Sample> samples;
+  for (int i = 0; i < 300; ++i) {
+    Sample sample;
+    sample.ts = T0() + static_cast<Duration>(rng.Uniform(3600)) * kSecond;
+    sample.proc = static_cast<int>(rng.Uniform(3));
+    sample.amount = 1 + rng.Uniform(1000);
+    samples.push_back(sample);
+
+    EventRecord record;
+    record.agent_id = 1;
+    record.op = OpType::kWrite;
+    record.start_ts = sample.ts;
+    record.end_ts = sample.ts + kMillisecond;
+    record.amount = sample.amount;
+    record.subject = ProcessRef{1, static_cast<uint32_t>(100 + sample.proc),
+                                "proc" + std::to_string(sample.proc), "u"};
+    record.object = NetworkRef{1, "10.0.0.1", "9.9.9.9", 1000, 443, "tcp"};
+    ASSERT_TRUE(db.Append(record).ok());
+  }
+  db.Seal();
+
+  const Duration window = 2 * kMinute;
+  const Duration step = 30 * kSecond;
+
+  AiqlEngine engine(&db);
+  auto result = engine.Execute(R"(
+    (at "05/10/2018")
+    window = 2 min, step = 30 sec
+    proc p write ip i as evt
+    return p, sum(evt.amount) as total, count(*) as n
+    group by p
+    having n > 0
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Brute force: (window_start, proc) -> (sum, count).
+  std::map<std::pair<int64_t, std::string>, std::pair<uint64_t, uint64_t>>
+      expected;
+  for (const Sample& sample : samples) {
+    for (int64_t j = 0;; ++j) {
+      Timestamp wstart = T0() + j * step;
+      if (wstart > sample.ts) break;
+      if (sample.ts < wstart + window) {
+        auto& slot = expected[{wstart, "proc" + std::to_string(sample.proc)}];
+        slot.first += sample.amount;
+        slot.second += 1;
+      }
+    }
+  }
+
+  ASSERT_EQ(result->table.num_rows(), expected.size());
+  for (const auto& row : result->table.rows) {
+    int64_t wstart = std::get<int64_t>(row[0]);
+    std::string proc = ValueToString(row[1]);
+    double total = std::get<double>(row[2]);
+    double count = std::get<double>(row[3]);
+    auto it = expected.find({wstart, proc});
+    ASSERT_NE(it, expected.end())
+        << "unexpected window " << wstart << " for " << proc;
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(it->second.first));
+    EXPECT_DOUBLE_EQ(count, static_cast<double>(it->second.second));
+  }
+}
+
+TEST_P(AnomalyPropertyTest, HistoryReferencesEarlierWindowExactly) {
+  Rng rng(GetParam() * 7919);
+  StorageOptions options;
+  options.dedup_window = 0;
+  AuditDatabase db(options);
+  // One event per minute with known amounts.
+  std::vector<uint64_t> amounts;
+  for (int i = 0; i < 30; ++i) {
+    uint64_t amount = 10 + rng.Uniform(90);
+    amounts.push_back(amount);
+    EventRecord record;
+    record.agent_id = 1;
+    record.op = OpType::kWrite;
+    record.start_ts = T0() + i * kMinute;
+    record.end_ts = record.start_ts + kSecond;
+    record.amount = amount;
+    record.subject = ProcessRef{1, 100, "sender", "u"};
+    record.object = NetworkRef{1, "10.0.0.1", "9.9.9.9", 1000, 443, "tcp"};
+    ASSERT_TRUE(db.Append(record).ok());
+  }
+  db.Seal();
+
+  // Tumbling 1-minute windows: having sum > sum[1] selects exactly the
+  // windows whose amount exceeds the previous minute's.
+  AiqlEngine engine(&db);
+  auto result = engine.Execute(R"(
+    (at "05/10/2018")
+    window = 1 min, step = 1 min
+    proc p write ip i as evt
+    return p, sum(evt.amount) as s
+    group by p
+    having s > s[1]
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  size_t expected = 0;
+  for (size_t i = 1; i < amounts.size(); ++i) {
+    if (amounts[i] > amounts[i - 1]) ++expected;
+  }
+  EXPECT_EQ(result->table.num_rows(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnomalyPropertyTest,
+                         ::testing::Values(1, 7, 42, 1337));
+
+}  // namespace
+}  // namespace aiql

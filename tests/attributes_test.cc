@@ -1,0 +1,85 @@
+// Unit tests for canonical attribute resolution (context-aware shortcuts
+// and aliases).
+
+#include "query/attributes.h"
+
+#include <gtest/gtest.h>
+
+namespace aiql {
+namespace {
+
+TEST(AttributesTest, DefaultsMatchPaperShortcuts) {
+  // p1 -> p1.exe_name, f1 -> f1.name/path, i1 -> i1.dst_ip (paper §2.2.1).
+  EXPECT_STREQ(DefaultEntityAttr(EntityType::kProcess), "exe_name");
+  EXPECT_STREQ(DefaultEntityAttr(EntityType::kFile), "path");
+  EXPECT_STREQ(DefaultEntityAttr(EntityType::kNetwork), "dst_ip");
+}
+
+TEST(AttributesTest, EmptyNameResolvesToDefault) {
+  auto info = ResolveEntityAttr(EntityType::kProcess, "");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->canonical, "exe_name");
+  EXPECT_EQ(info->kind, AttrKind::kString);
+}
+
+TEST(AttributesTest, ProcessAliases) {
+  for (const char* alias : {"exe_name", "exename", "name", "exe"}) {
+    auto info = ResolveEntityAttr(EntityType::kProcess, alias);
+    ASSERT_TRUE(info.ok()) << alias;
+    EXPECT_EQ(info->canonical, "exe_name");
+  }
+  EXPECT_EQ(ResolveEntityAttr(EntityType::kProcess, "pid")->kind,
+            AttrKind::kInt);
+  EXPECT_EQ(ResolveEntityAttr(EntityType::kProcess, "username")->canonical,
+            "user");
+}
+
+TEST(AttributesTest, NetworkAliases) {
+  EXPECT_EQ(ResolveEntityAttr(EntityType::kNetwork, "dstip")->canonical,
+            "dst_ip");
+  EXPECT_EQ(ResolveEntityAttr(EntityType::kNetwork, "sip")->canonical,
+            "src_ip");
+  EXPECT_EQ(ResolveEntityAttr(EntityType::kNetwork, "dport")->canonical,
+            "dst_port");
+  EXPECT_EQ(ResolveEntityAttr(EntityType::kNetwork, "proto")->canonical,
+            "protocol");
+  EXPECT_EQ(ResolveEntityAttr(EntityType::kNetwork, "dport")->kind,
+            AttrKind::kInt);
+}
+
+TEST(AttributesTest, AgentidOnEveryType) {
+  for (EntityType type : {EntityType::kProcess, EntityType::kFile,
+                          EntityType::kNetwork}) {
+    auto info = ResolveEntityAttr(type, "agentid");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->canonical, "agentid");
+    EXPECT_EQ(info->kind, AttrKind::kInt);
+  }
+}
+
+TEST(AttributesTest, CaseInsensitiveResolution) {
+  EXPECT_TRUE(ResolveEntityAttr(EntityType::kProcess, "EXE_NAME").ok());
+  EXPECT_TRUE(ResolveEntityAttr(EntityType::kNetwork, "DstIp").ok());
+}
+
+TEST(AttributesTest, WrongTypeAttributesRejected) {
+  EXPECT_FALSE(ResolveEntityAttr(EntityType::kFile, "exe_name").ok());
+  EXPECT_FALSE(ResolveEntityAttr(EntityType::kProcess, "dst_ip").ok());
+  EXPECT_FALSE(ResolveEntityAttr(EntityType::kNetwork, "path").ok());
+  auto error = ResolveEntityAttr(EntityType::kFile, "color");
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kSemanticError);
+  EXPECT_NE(error.status().message().find("color"), std::string::npos);
+}
+
+TEST(AttributesTest, EventAttributes) {
+  EXPECT_EQ(ResolveEventAttr("amount")->kind, AttrKind::kInt);
+  EXPECT_EQ(ResolveEventAttr("bytes")->canonical, "amount");
+  EXPECT_EQ(ResolveEventAttr("starttime")->canonical, "start_time");
+  EXPECT_EQ(ResolveEventAttr("end_ts")->canonical, "end_time");
+  EXPECT_EQ(ResolveEventAttr("op")->kind, AttrKind::kString);
+  EXPECT_FALSE(ResolveEventAttr("nonsense").ok());
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,163 @@
+// Tests for string utilities, interner, RNG, thread pool, and table printer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/string_utils.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace aiql {
+namespace {
+
+TEST(StringUtilsTest, Split) {
+  auto parts = SplitString("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(TrimString("  x  "), "x");
+  EXPECT_EQ(TrimString("\t\n"), "");
+  EXPECT_EQ(TrimString("abc"), "abc");
+}
+
+TEST(StringUtilsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("CmD.ExE"), "cmd.exe");
+  EXPECT_TRUE(EqualsIgnoreCase("ABC", "abc"));
+  EXPECT_FALSE(EqualsIgnoreCase("ab", "abc"));
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+}
+
+TEST(StringUtilsTest, CountWordsAndChars) {
+  EXPECT_EQ(CountWords("proc p1 start proc p2"), 5u);
+  EXPECT_EQ(CountWords("  leading and  trailing  "), 3u);
+  EXPECT_EQ(CountWords(""), 0u);
+  EXPECT_EQ(CountNonSpaceChars("a b\tc\n"), 3u);
+}
+
+TEST(StringUtilsTest, SqlQuote) {
+  EXPECT_EQ(SqlQuote("abc"), "'abc'");
+  EXPECT_EQ(SqlQuote("o'neil"), "'o''neil'");
+}
+
+TEST(InternerTest, DedupAndLookup) {
+  StringInterner interner;
+  StringId a = interner.Intern("cmd.exe");
+  StringId b = interner.Intern("powershell.exe");
+  StringId a2 = interner.Intern("cmd.exe");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Get(a), "cmd.exe");
+  EXPECT_EQ(interner.Lookup("cmd.exe"), a);
+  EXPECT_EQ(interner.Lookup("missing"), kInvalidStringId);
+}
+
+TEST(InternerTest, StableAcrossGrowth) {
+  StringInterner interner;
+  std::vector<StringId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(interner.Intern("str" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Get(ids[i]), "str" + std::to_string(i));
+    EXPECT_EQ(interner.Intern("str" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(1);
+  EXPECT_EQ(c1.Next(), c2.Next());
+  Rng c3 = parent.Fork(2);
+  EXPECT_NE(c1.Next(), c3.Next());
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"proc", "bytes"});
+  table.AddRow({"cmd.exe", "42"});
+  table.AddRow({"x", "123456"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| proc    | bytes  |"), std::string::npos);
+  EXPECT_NE(out.find("| cmd.exe | 42     |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, PadsMissingCellsAndDropsExtra) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"only"});
+  table.AddRow({"x", "y", "ignored"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+  EXPECT_EQ(out.find("ignored"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,159 @@
+// Unit tests for pattern compilation: entity sets, predicate compilation,
+// candidate resolution, and cross-occurrence constraint merging.
+
+#include "engine/data_query.h"
+
+#include <gtest/gtest.h>
+
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "storage/database.h"
+
+namespace aiql {
+namespace {
+
+TEST(EntitySetTest, AddContainsIntersect) {
+  EntitySet a(200), b(200);
+  a.Add(3);
+  a.Add(64);
+  a.Add(199);
+  EXPECT_TRUE(a.Contains(3));
+  EXPECT_TRUE(a.Contains(64));
+  EXPECT_FALSE(a.Contains(4));
+  EXPECT_EQ(a.Count(), 3u);
+
+  b.Add(64);
+  b.Add(100);
+  a.IntersectWith(b);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Contains(64));
+  EXPECT_FALSE(a.Contains(3));
+}
+
+TEST(EntitySetTest, ToVectorAscending) {
+  EntitySet set(300);
+  set.Add(255);
+  set.Add(0);
+  set.Add(63);
+  set.Add(64);
+  EXPECT_EQ(set.ToVector(), (std::vector<EntityId>{0, 63, 64, 255}));
+}
+
+TEST(EntitySetTest, IntersectDifferentUniverses) {
+  EntitySet small(10), big(1000);
+  small.Add(5);
+  big.Add(5);
+  big.Add(900);
+  big.IntersectWith(small);
+  EXPECT_TRUE(big.Contains(5));
+  EXPECT_FALSE(big.Contains(900));
+}
+
+class CompileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<AuditDatabase>();
+    Timestamp t = *MakeTimestamp(2018, 5, 10);
+    auto add = [&](AgentId agent, uint32_t pid, const char* exe,
+                   const char* user, const char* path) {
+      EventRecord record;
+      record.agent_id = agent;
+      record.op = OpType::kWrite;
+      record.start_ts = t;
+      record.end_ts = t + kSecond;
+      record.subject = ProcessRef{agent, pid, exe, user};
+      record.object = FileRef{agent, path};
+      ASSERT_TRUE(db_->Append(record).ok());
+      t += kMinute;
+    };
+    add(1, 10, "C:\\apps\\alpha.exe", "alice", "/data/a.txt");
+    add(1, 11, "C:\\apps\\beta.exe", "bob", "/data/b.txt");
+    add(2, 12, "C:\\apps\\alpha.exe", "alice", "/data/c.txt");
+    add(2, 13, "C:\\tools\\gamma.exe", "carol", "/logs/d.log");
+    db_->Seal();
+  }
+
+  std::vector<CompiledPattern> Compile(const std::string& text) {
+    auto parsed = ParseAiql(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    parsed_ = std::move(parsed).value();
+    auto analyzed = AnalyzeMultievent(*parsed_.multievent, parsed_.kind);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    analyzed_ = std::move(analyzed).value();
+    auto compiled = CompilePatterns(analyzed_, *db_);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    return std::move(compiled).value();
+  }
+
+  std::unique_ptr<AuditDatabase> db_;
+  ParsedQuery parsed_;
+  AnalyzedQuery analyzed_;
+};
+
+TEST_F(CompileTest, ResolvesCandidatesFromIndex) {
+  auto patterns = Compile("proc p[\"%alpha%\"] write file f return p");
+  ASSERT_EQ(patterns.size(), 1u);
+  ASSERT_TRUE(patterns[0].subject.candidates.has_value());
+  EXPECT_EQ(patterns[0].subject.candidates->Count(), 2u);  // two alpha procs
+  EXPECT_FALSE(patterns[0].object.candidates.has_value());  // unconstrained
+  EXPECT_EQ(patterns[0].subject.matched_exe_ids.size(), 1u);
+}
+
+TEST_F(CompileTest, CombinesPredicatesConjunctively) {
+  auto patterns = Compile(
+      "proc p[\"%alpha%\", agentid = 2] write file f return p");
+  ASSERT_TRUE(patterns[0].subject.candidates.has_value());
+  EXPECT_EQ(patterns[0].subject.candidates->Count(), 1u);  // alpha on agent 2
+}
+
+TEST_F(CompileTest, NumericAndInPredicates) {
+  auto patterns = Compile(
+      "proc p[pid in (10, 13)] write file f return p");
+  ASSERT_TRUE(patterns[0].subject.candidates.has_value());
+  EXPECT_EQ(patterns[0].subject.candidates->Count(), 2u);
+
+  auto ge = Compile("proc p[pid >= 12] write file f return p");
+  EXPECT_EQ(ge[0].subject.candidates->Count(), 2u);  // pids 12, 13
+}
+
+TEST_F(CompileTest, NegationPredicate) {
+  auto patterns = Compile(
+      "proc p[exe_name != \"C:\\\\apps\\\\alpha.exe\"] write file f "
+      "return p");
+  ASSERT_TRUE(patterns[0].subject.candidates.has_value());
+  EXPECT_EQ(patterns[0].subject.candidates->Count(), 2u);  // beta + gamma
+}
+
+TEST_F(CompileTest, SharedVariableConstraintsMergeAcrossOccurrences) {
+  auto patterns = Compile(
+      "proc p[\"%alpha%\"] write file f1 as e1 "
+      "proc p[agentid = 1] write file f2 as e2 "
+      "return p");
+  // Both occurrences of p carry the merged constraints: alpha AND agent 1.
+  ASSERT_EQ(patterns.size(), 2u);
+  for (const auto& pattern : patterns) {
+    ASSERT_TRUE(pattern.subject.candidates.has_value());
+    EXPECT_EQ(pattern.subject.candidates->Count(), 1u);
+  }
+}
+
+TEST_F(CompileTest, FileObjectCandidates) {
+  auto patterns = Compile("proc p write file f[\"/data/%\"] return f");
+  ASSERT_TRUE(patterns[0].object.candidates.has_value());
+  EXPECT_EQ(patterns[0].object.candidates->Count(), 3u);
+}
+
+TEST_F(CompileTest, EntityMatchesPredicatesAgreesWithCandidates) {
+  auto patterns = Compile("proc p[\"%alpha%\"] write file f return p");
+  const EntityFilter& filter = patterns[0].subject;
+  const EntityStore& store = db_->entities();
+  for (EntityId id = 0; id < store.processes().size(); ++id) {
+    EXPECT_EQ(filter.candidates->Contains(id),
+              EntityMatchesPredicates(store, EntityType::kProcess, id,
+                                      filter.predicates))
+        << "entity " << id;
+  }
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,126 @@
+// Unit tests for dependency -> multievent query rewriting.
+
+#include "engine/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace aiql {
+namespace {
+
+Result<std::unique_ptr<MultieventQueryAst>> Rewrite(const std::string& text) {
+  auto parsed = ParseAiql(text);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->kind != QueryKind::kDependency) {
+    return Status::InvalidArgument("not a dependency query");
+  }
+  return RewriteDependency(*parsed->dependency);
+}
+
+TEST(DependencyRewriteTest, ForwardChainStructure) {
+  auto rewritten = Rewrite(
+      "forward: proc p1[\"%cp%\"] ->[write] file f1[\"%stealer%\"] "
+      "<-[read] proc p2[\"%apache%\"] ->[connect] proc p3 "
+      "return p1, p3");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  const MultieventQueryAst& ast = **rewritten;
+
+  ASSERT_EQ(ast.patterns.size(), 3u);
+  // Edge 1: p1 -> f1 (arrow forward: previous node is subject).
+  EXPECT_EQ(ast.patterns[0].subject.var, "p1");
+  EXPECT_EQ(ast.patterns[0].object.var, "f1");
+  EXPECT_EQ(ast.patterns[0].ops, std::vector<OpType>{OpType::kWrite});
+  // Edge 2: f1 <- p2 (arrow backward: target is the subject).
+  EXPECT_EQ(ast.patterns[1].subject.var, "p2");
+  EXPECT_EQ(ast.patterns[1].object.var, "f1");
+  EXPECT_EQ(ast.patterns[1].ops, std::vector<OpType>{OpType::kRead});
+  // Edge 3: p2 -> p3.
+  EXPECT_EQ(ast.patterns[2].subject.var, "p2");
+  EXPECT_EQ(ast.patterns[2].object.var, "p3");
+
+  // Forward: chained before-relations.
+  ASSERT_EQ(ast.temporal_rels.size(), 2u);
+  EXPECT_TRUE(ast.temporal_rels[0].before);
+  EXPECT_EQ(ast.temporal_rels[0].left, ast.patterns[0].event_var);
+  EXPECT_EQ(ast.temporal_rels[0].right, ast.patterns[1].event_var);
+}
+
+TEST(DependencyRewriteTest, BackwardChainReversesTime) {
+  auto rewritten = Rewrite(
+      "backward: file f[\"%creds%\"] <-[write] proc p1 <-[start] proc p2 "
+      "return p1, p2");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  const MultieventQueryAst& ast = **rewritten;
+  ASSERT_EQ(ast.patterns.size(), 2u);
+  // Edges: f <-[write] p1 == (p1 write f); p1 <-[start] p2 == (p2 start p1).
+  EXPECT_EQ(ast.patterns[0].subject.var, "p1");
+  EXPECT_EQ(ast.patterns[0].object.var, "f");
+  EXPECT_EQ(ast.patterns[1].subject.var, "p2");
+  EXPECT_EQ(ast.patterns[1].object.var, "p1");
+  // Backward: each successive event happens earlier (e1 after e2).
+  ASSERT_EQ(ast.temporal_rels.size(), 1u);
+  EXPECT_FALSE(ast.temporal_rels[0].before);
+}
+
+TEST(DependencyRewriteTest, AnonymousNodesGetJoinableNames) {
+  auto rewritten = Rewrite(
+      "forward: proc[\"%sh%\"] ->[write] file ->[connect] proc p3 "
+      "return p3");
+  // 'file' anonymous in the middle: wait — connect edge from a file is
+  // invalid; the validator must reject this shape.
+  ASSERT_FALSE(rewritten.ok());
+}
+
+TEST(DependencyRewriteTest, AnonymousIntermediateProcessJoins) {
+  auto rewritten = Rewrite(
+      "forward: proc p0[\"%sh%\"] ->[start] proc ->[write] file f "
+      "return p0, f");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  const MultieventQueryAst& ast = **rewritten;
+  ASSERT_EQ(ast.patterns.size(), 2u);
+  // The anonymous middle process received an internal name shared between
+  // pattern 0's object and pattern 1's subject (that's the join).
+  EXPECT_FALSE(ast.patterns[0].object.var.empty());
+  EXPECT_EQ(ast.patterns[0].object.var, ast.patterns[1].subject.var);
+  EXPECT_EQ(ast.patterns[0].object.var[0], '$');  // not user-addressable
+}
+
+TEST(DependencyRewriteTest, PreservesGlobalsReturnsAndLimit) {
+  auto rewritten = Rewrite(
+      "(at \"05/10/2018\") agentid = 3 "
+      "forward: proc p ->[write] file f return distinct p, f limit 5");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  const MultieventQueryAst& ast = **rewritten;
+  EXPECT_TRUE(ast.globals.time_window.has_value());
+  ASSERT_EQ(ast.globals.attrs.size(), 1u);
+  EXPECT_TRUE(ast.distinct);
+  EXPECT_EQ(ast.return_items.size(), 2u);
+  EXPECT_EQ(ast.limit, 5);
+}
+
+TEST(DependencyRewriteTest, RewrittenQueryPassesAnalysis) {
+  auto rewritten = Rewrite(
+      "forward: proc p1[\"%a%\"] ->[write] file f1 <-[read] proc p2 "
+      "->[write] ip i1[dstip = \"1.2.3.4\"] return p1, p2, i1");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  auto analyzed = AnalyzeMultievent(**rewritten, QueryKind::kMultievent);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  // f1 is shared by patterns 0 and 1; p2 by patterns 1 and 2.
+  EXPECT_EQ(analyzed->entity_occurrences.at("f1").size(), 2u);
+  EXPECT_EQ(analyzed->entity_occurrences.at("p2").size(), 2u);
+}
+
+TEST(DependencyRewriteTest, ConstraintsAttachOnlyAtFirstOccurrence) {
+  auto rewritten = Rewrite(
+      "forward: proc p1 ->[write] file f1[\"%x%\"] <-[read] proc p2 "
+      "return p2");
+  ASSERT_TRUE(rewritten.ok());
+  const MultieventQueryAst& ast = **rewritten;
+  EXPECT_EQ(ast.patterns[0].object.constraints.size(), 1u);
+  EXPECT_TRUE(ast.patterns[1].object.constraints.empty());
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,133 @@
+// End-to-end integration: scenario -> snapshot -> reload -> identical query
+// results across storage round-trips and engine configurations; plus
+// seed-parameterized differential checks between the AIQL engine and the
+// SQL baseline on the full demo catalog.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine/aiql_engine.h"
+#include "query/parser.h"
+#include "simulator/queries_a.h"
+#include "simulator/scenario.h"
+#include "sql/catalog.h"
+#include "sql/sql_executor.h"
+#include "sql/translator.h"
+#include "storage/snapshot.h"
+
+namespace aiql {
+namespace {
+
+ScenarioOptions TinyScenario(uint64_t seed) {
+  ScenarioOptions options;
+  options.num_clients = 2;
+  options.duration = 3 * kHour;
+  options.events_per_host_per_hour = 250;
+  options.seed = seed;
+  return options;
+}
+
+TEST(EndToEndTest, SnapshotRoundTripPreservesQueryResults) {
+  DemoScenarioData data = GenerateDemoScenario(TinyScenario(3));
+  auto db = IngestRecords(data.records, StorageOptions{});
+  ASSERT_TRUE(db.ok());
+
+  std::string path = "/tmp/aiql_e2e_snapshot.snap";
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+  auto reloaded = LoadSnapshot(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  AiqlEngine original(&*db);
+  AiqlEngine restored(&*reloaded);
+  for (const CatalogQuery& query : DemoInvestigationQueries(data.truth)) {
+    auto a = original.Execute(query.text);
+    auto b = restored.Execute(query.text);
+    ASSERT_TRUE(a.ok()) << query.id;
+    ASSERT_TRUE(b.ok()) << query.id;
+    a->table.SortRows();
+    b->table.SortRows();
+    EXPECT_EQ(a->table, b->table) << query.id;
+  }
+}
+
+// Property-style sweep: for several seeds, the AIQL engine and the SQL
+// baseline agree on every demo-catalog query (multievent, dependency, and
+// anomaly alike).
+class DifferentialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSweep, AiqlAndSqlAgreeOnTheWholeCatalog) {
+  DemoScenarioData data = GenerateDemoScenario(TinyScenario(GetParam()));
+  auto db = IngestRecords(data.records, StorageOptions{});
+  ASSERT_TRUE(db.ok());
+  AiqlEngine engine(&*db);
+  OptimizedCatalog catalog(&*db);
+  SqlExecutor sql(&catalog);
+
+  for (const CatalogQuery& query : DemoInvestigationQueries(data.truth)) {
+    auto aiql_result = engine.Execute(query.text);
+    ASSERT_TRUE(aiql_result.ok())
+        << query.id << ": " << aiql_result.status().ToString();
+
+    auto parsed = ParseAiql(query.text);
+    ASSERT_TRUE(parsed.ok());
+    auto translated = TranslateToSql(*parsed, SqlSchemaMode::kNormalized);
+    ASSERT_TRUE(translated.ok())
+        << query.id << ": " << translated.status().ToString();
+    auto sql_result = sql.Execute(translated->sql);
+    ASSERT_TRUE(sql_result.ok())
+        << query.id << ": " << sql_result.status().ToString();
+
+    aiql_result->table.SortRows();
+    sql_result->table.SortRows();
+    ASSERT_EQ(sql_result->table.num_rows(), aiql_result->table.num_rows())
+        << query.id << "\n" << translated->sql;
+    for (size_t r = 0; r < sql_result->table.rows.size(); ++r) {
+      for (size_t c = 0; c < sql_result->table.rows[r].size(); ++c) {
+        EXPECT_EQ(ValueToString(sql_result->table.rows[r][c]),
+                  ValueToString(aiql_result->table.rows[r][c]))
+            << query.id << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Values(17, 23, 99));
+
+// Engine-variant sweep over the catalog: all optimization combinations
+// return identical results (the invariant behind the ablation benchmark).
+class VariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantSweep, AllEngineVariantsAgree) {
+  DemoScenarioData data = GenerateDemoScenario(TinyScenario(5));
+  auto db = IngestRecords(data.records, StorageOptions{});
+  ASSERT_TRUE(db.ok());
+
+  int mask = GetParam();
+  EngineOptions variant;
+  variant.enable_reordering = (mask & 1) != 0;
+  variant.enable_semi_join = (mask & 2) != 0;
+  variant.enable_temporal_pruning = (mask & 4) != 0;
+  variant.enable_parallelism = (mask & 8) != 0;
+
+  AiqlEngine reference(&*db);  // everything on
+  AiqlEngine subject(&*db, variant);
+  for (const CatalogQuery& query : DemoInvestigationQueries(data.truth)) {
+    auto expected = reference.Execute(query.text);
+    auto actual = subject.Execute(query.text);
+    ASSERT_TRUE(expected.ok()) << query.id;
+    ASSERT_TRUE(actual.ok()) << query.id;
+    expected->table.SortRows();
+    actual->table.SortRows();
+    EXPECT_EQ(actual->table, expected->table)
+        << query.id << " with mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, VariantSweep,
+                         ::testing::Values(0, 1, 2, 4, 8, 5, 10, 15));
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,518 @@
+// Integration tests for the AIQL engine: multievent execution, joins,
+// temporal relations, dependency rewriting, and anomaly windows — over a
+// hand-built database with known ground truth.
+
+#include "engine/aiql_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time_utils.h"
+#include "storage/database.h"
+
+namespace aiql {
+namespace {
+
+// Base timestamp: 2018-05-10 00:00:00 UTC.
+Timestamp T0() { return *MakeTimestamp(2018, 5, 10); }
+
+ProcessRef Proc(AgentId agent, uint32_t pid, std::string exe,
+                std::string user = "system") {
+  return ProcessRef{agent, pid, std::move(exe), std::move(user)};
+}
+
+EventRecord MakeEvent(AgentId agent, OpType op, Timestamp start,
+                      ProcessRef subject, ObjectRef object,
+                      uint64_t amount = 0, Duration len = kSecond) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = op;
+  record.start_ts = start;
+  record.end_ts = start + len;
+  record.amount = amount;
+  record.subject = std::move(subject);
+  record.object = std::move(object);
+  return record;
+}
+
+// Builds the exfiltration scenario of paper Query 1 on agent 7 plus benign
+// noise on agents 7 and 8.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StorageOptions options;
+    options.partition_duration = kHour;
+    options.dedup_window = 0;  // keep events exactly as written
+    db_ = std::make_unique<AuditDatabase>(options);
+
+    Timestamp t = T0() + 10 * kHour;
+    auto cmd = Proc(7, 100, "C:\\Windows\\System32\\cmd.exe");
+    auto osql = Proc(7, 101, "C:\\Tools\\osql.exe");
+    auto sqlservr = Proc(7, 102, "C:\\SQL\\sqlservr.exe");
+    auto sbblv = Proc(7, 103, "C:\\Temp\\sbblv.exe");
+    FileRef dump{7, "C:\\Temp\\backup1.dmp"};
+    NetworkRef exfil{7, "10.0.0.7", "172.16.0.129", 49152, 443, "tcp"};
+
+    // The attack chain, in order.
+    ASSERT_OK(db_->Append(
+        MakeEvent(7, OpType::kStart, t, cmd, osql)));  // evt1
+    ASSERT_OK(db_->Append(MakeEvent(7, OpType::kWrite, t + 2 * kMinute,
+                                    sqlservr, dump, 1 << 20)));  // evt2
+    ASSERT_OK(db_->Append(MakeEvent(7, OpType::kRead, t + 5 * kMinute, sbblv,
+                                    dump, 1 << 20)));  // evt3
+    ASSERT_OK(db_->Append(MakeEvent(7, OpType::kWrite, t + 6 * kMinute, sbblv,
+                                    exfil, 900000)));  // evt4
+
+    // Benign noise: same ops, wrong processes / files / hosts.
+    auto chrome = Proc(7, 110, "C:\\Program Files\\chrome.exe", "alice");
+    auto winword = Proc(8, 111, "C:\\Office\\winword.exe", "bob");
+    FileRef doc{8, "C:\\Users\\bob\\report.docx"};
+    NetworkRef web{7, "10.0.0.7", "93.184.216.34", 50000, 443, "tcp"};
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(db_->Append(MakeEvent(7, OpType::kWrite, t + i * kSecond,
+                                      chrome, web, 1000 + i)));
+      ASSERT_OK(db_->Append(MakeEvent(8, OpType::kWrite,
+                                      t + i * kSecond + kMinute, winword, doc,
+                                      500)));
+      ASSERT_OK(db_->Append(MakeEvent(8, OpType::kRead,
+                                      t + i * kSecond + 2 * kMinute, winword,
+                                      doc, 500)));
+    }
+    db_->Seal();
+    engine_ = std::make_unique<AiqlEngine>(db_.get());
+  }
+
+  static void ASSERT_OK(const Status& status) {
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  QueryResult MustExecute(const std::string& text) {
+    auto result = engine_->Execute(text);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  std::unique_ptr<AuditDatabase> db_;
+  std::unique_ptr<AiqlEngine> engine_;
+};
+
+TEST_F(EngineTest, SinglePatternWithConstraint) {
+  QueryResult result = MustExecute(
+      "proc p[\"%sbblv.exe\"] read file f return p, f");
+  ASSERT_EQ(result.table.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(result.table.rows[0][0]), "C:\\Temp\\sbblv.exe");
+  EXPECT_EQ(ValueToString(result.table.rows[0][1]), "C:\\Temp\\backup1.dmp");
+}
+
+TEST_F(EngineTest, PaperQuery1FindsExactlyTheAttackChain) {
+  QueryResult result = MustExecute(R"(
+    (at "05/10/2018")
+    agentid = 7
+    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+    proc p4["%sbblv.exe"] read file f1 as evt3
+    proc p4 read || write ip i1[dstip = "172.16.0.129"] as evt4
+    with evt1 before evt2, evt2 before evt3, evt3 before evt4
+    return distinct p1, p2, p3, f1, p4, i1
+  )");
+  ASSERT_EQ(result.table.num_rows(), 1u);
+  const auto& row = result.table.rows[0];
+  EXPECT_EQ(ValueToString(row[0]), "C:\\Windows\\System32\\cmd.exe");
+  EXPECT_EQ(ValueToString(row[1]), "C:\\Tools\\osql.exe");
+  EXPECT_EQ(ValueToString(row[2]), "C:\\SQL\\sqlservr.exe");
+  EXPECT_EQ(ValueToString(row[3]), "C:\\Temp\\backup1.dmp");
+  EXPECT_EQ(ValueToString(row[4]), "C:\\Temp\\sbblv.exe");
+  EXPECT_EQ(ValueToString(row[5]), "172.16.0.129");
+  EXPECT_EQ(result.stats.patterns, 4);
+}
+
+TEST_F(EngineTest, SharedFileVariableJoins) {
+  // Who read the file that sqlservr wrote?
+  QueryResult result = MustExecute(
+      "agentid = 7 "
+      "proc p3[\"%sqlservr.exe\"] write file f1 as e1 "
+      "proc p4 read file f1 as e2 "
+      "return distinct p4, f1");
+  ASSERT_EQ(result.table.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(result.table.rows[0][0]), "C:\\Temp\\sbblv.exe");
+}
+
+TEST_F(EngineTest, TemporalOrderFiltersOutWrongChains) {
+  // Reversed temporal order: nothing matches.
+  QueryResult result = MustExecute(
+      "agentid = 7 "
+      "proc p3[\"%sqlservr.exe\"] write file f1 as e1 "
+      "proc p4[\"%sbblv.exe\"] read file f1 as e2 "
+      "with e2 before e1 "
+      "return p3, p4");
+  EXPECT_EQ(result.table.num_rows(), 0u);
+}
+
+TEST_F(EngineTest, TemporalBoundEnforced) {
+  // sbblv read happens 3 minutes after the write; a 1-minute bound fails,
+  // a 10-minute bound succeeds.
+  QueryResult narrow = MustExecute(
+      "agentid = 7 "
+      "proc a[\"%sqlservr.exe\"] write file f as e1 "
+      "proc b[\"%sbblv.exe\"] read file f as e2 "
+      "with e1 before[1 min] e2 return a, b");
+  EXPECT_EQ(narrow.table.num_rows(), 0u);
+
+  QueryResult wide = MustExecute(
+      "agentid = 7 "
+      "proc a[\"%sqlservr.exe\"] write file f as e1 "
+      "proc b[\"%sbblv.exe\"] read file f as e2 "
+      "with e1 before[10 min] e2 return a, b");
+  EXPECT_EQ(wide.table.num_rows(), 1u);
+}
+
+TEST_F(EngineTest, AgentFilterIsSpatial) {
+  QueryResult on7 = MustExecute(
+      "agentid = 7 proc p read file f return distinct p");
+  EXPECT_EQ(on7.table.num_rows(), 1u);  // only sbblv reads files on agent 7
+
+  QueryResult on8 = MustExecute(
+      "agentid = 8 proc p read file f return distinct p");
+  EXPECT_EQ(on8.table.num_rows(), 1u);  // winword
+  EXPECT_EQ(ValueToString(on8.table.rows[0][0]), "C:\\Office\\winword.exe");
+}
+
+TEST_F(EngineTest, TimeWindowExcludesOutside) {
+  QueryResult result = MustExecute(
+      "(at \"05/11/2018\") proc p read file f return p");
+  EXPECT_EQ(result.table.num_rows(), 0u);
+}
+
+TEST_F(EngineTest, DistinctCollapsesDuplicates) {
+  QueryResult all = MustExecute(
+      "agentid = 8 proc p write file f return p");
+  EXPECT_EQ(all.table.num_rows(), 50u);
+  QueryResult distinct = MustExecute(
+      "agentid = 8 proc p write file f return distinct p");
+  EXPECT_EQ(distinct.table.num_rows(), 1u);
+}
+
+TEST_F(EngineTest, LimitStopsEarly) {
+  QueryResult result = MustExecute(
+      "agentid = 8 proc p write file f return p limit 7");
+  EXPECT_EQ(result.table.num_rows(), 7u);
+}
+
+TEST_F(EngineTest, ReturnShortcutsAndExplicitAttrs) {
+  QueryResult result = MustExecute(
+      "proc p[\"%sbblv.exe\"] write ip i as e "
+      "return p, p.pid, p.user, i.dst_port, e.amount");
+  ASSERT_EQ(result.table.num_rows(), 1u);
+  const auto& row = result.table.rows[0];
+  EXPECT_EQ(ValueToString(row[0]), "C:\\Temp\\sbblv.exe");
+  EXPECT_EQ(ValueToString(row[1]), "103");
+  EXPECT_EQ(ValueToString(row[2]), "system");
+  EXPECT_EQ(ValueToString(row[3]), "443");
+  EXPECT_EQ(ValueToString(row[4]), "900000");
+}
+
+TEST_F(EngineTest, ExplicitAttributeRelation) {
+  // Join on user instead of process identity.
+  QueryResult result = MustExecute(
+      "proc a write file f1 as e1 proc b read file f2 as e2 "
+      "with a.user = b.user, a.pid != b.pid "
+      "return distinct a, b");
+  // chrome (alice) has no read; winword (bob) writes and reads but the
+  // pid != pid kills the self pair; sqlservr/sbblv share user "system".
+  bool found_pair = false;
+  for (const auto& row : result.table.rows) {
+    if (ValueToString(row[0]) == "C:\\SQL\\sqlservr.exe" &&
+        ValueToString(row[1]) == "C:\\Temp\\sbblv.exe") {
+      found_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST_F(EngineTest, StatsArePopulated) {
+  QueryResult result = MustExecute(
+      "agentid = 7 proc p[\"%sbblv.exe\"] read file f return p");
+  EXPECT_GT(result.stats.events_scanned, 0u);
+  EXPECT_GT(result.stats.partitions_scanned, 0u);
+  EXPECT_EQ(result.stats.events_matched, 1u);
+  EXPECT_GE(result.stats.exec_time, 0);
+  EXPECT_FALSE(result.plan.empty());
+}
+
+TEST_F(EngineTest, CheckValidatesWithoutExecuting) {
+  EXPECT_TRUE(engine_->Check("proc p read file f return p").ok());
+  EXPECT_FALSE(engine_->Check("proc p read file f").ok());
+  EXPECT_FALSE(engine_->Check("proc p frob file f return p").ok());
+  auto kind = engine_->Check(
+      "forward: proc p ->[write] file f return p");
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, QueryKind::kDependency);
+}
+
+// --- dependency queries -----------------------------------------------------
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<AuditDatabase>();
+    Timestamp t = T0();
+    // Host 1: cp writes the malicious script under /var/www.
+    auto cp = Proc(1, 200, "/bin/cp", "root");
+    FileRef stealer1{1, "/var/www/html/info_stealer.sh"};
+    // Host 1: apache reads it and serves it to host 2's wget.
+    auto apache = Proc(1, 201, "/usr/sbin/apache2", "www-data");
+    auto wget = Proc(2, 300, "/usr/bin/wget", "user");
+    FileRef stealer2{2, "/home/user/info_stealer.sh"};
+
+    ASSERT_TRUE(db_->Append(MakeEvent(1, OpType::kWrite, t + 1 * kMinute, cp,
+                                      stealer1, 4096))
+                    .ok());
+    ASSERT_TRUE(db_->Append(MakeEvent(1, OpType::kRead, t + 2 * kMinute,
+                                      apache, stealer1, 4096))
+                    .ok());
+    // Cross-host session: apache (host 1) -> wget (host 2).
+    ASSERT_TRUE(db_->Append(MakeEvent(1, OpType::kConnect, t + 3 * kMinute,
+                                      apache, wget))
+                    .ok());
+    ASSERT_TRUE(db_->Append(MakeEvent(2, OpType::kWrite, t + 4 * kMinute,
+                                      wget, stealer2, 4096))
+                    .ok());
+    // Noise: unrelated apache reads.
+    FileRef index{1, "/var/www/html/index.html"};
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(db_->Append(MakeEvent(1, OpType::kRead,
+                                        t + 10 * kMinute + i * kSecond,
+                                        apache, index, 1024))
+                      .ok());
+    }
+    db_->Seal();
+    engine_ = std::make_unique<AiqlEngine>(db_.get());
+  }
+
+  std::unique_ptr<AuditDatabase> db_;
+  std::unique_ptr<AiqlEngine> engine_;
+};
+
+TEST_F(DependencyTest, PaperQuery2ForwardTracking) {
+  auto result = engine_->Execute(R"(
+    (at "05/10/2018")
+    forward: proc p1["%/bin/cp%", agentid = 1] ->[write] file
+        f1["/var/www/%info_stealer%"]
+    <-[read] proc p2["%apache%"]
+    ->[connect] proc p3[agentid = 2]
+    ->[write] file f2["%info_stealer%"]
+    return f1, p1, p2, p3, f2
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows(), 1u);
+  const auto& row = result->table.rows[0];
+  EXPECT_EQ(ValueToString(row[0]), "/var/www/html/info_stealer.sh");
+  EXPECT_EQ(ValueToString(row[1]), "/bin/cp");
+  EXPECT_EQ(ValueToString(row[2]), "/usr/sbin/apache2");
+  EXPECT_EQ(ValueToString(row[3]), "/usr/bin/wget");  // cross-host target
+  EXPECT_EQ(ValueToString(row[4]), "/home/user/info_stealer.sh");
+}
+
+TEST_F(DependencyTest, ForwardOrderRejectsBackwardChains) {
+  // Reverse the direction: demand the connect happen before the cp write.
+  auto result = engine_->Execute(
+      "backward: proc p1[\"%/bin/cp%\"] ->[write] file "
+      "f1[\"%info_stealer%\"] <-[read] proc p2[\"%apache%\"] "
+      "return p1, p2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows(), 0u);
+}
+
+TEST_F(DependencyTest, BackwardTrackingFindsOrigin) {
+  // Start from the file on host 2 and walk provenance backwards.
+  auto result = engine_->Execute(
+      "backward: file f2[\"%info_stealer%\", agentid = 2] "
+      "<-[write] proc p3[agentid = 2] "
+      "<-[connect] proc p2[\"%apache%\"] "
+      "return p3, p2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(result->table.rows[0][0]), "/usr/bin/wget");
+  EXPECT_EQ(ValueToString(result->table.rows[0][1]), "/usr/sbin/apache2");
+}
+
+// --- anomaly queries ---------------------------------------------------------
+
+class AnomalyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<AuditDatabase>();
+    Timestamp t = T0();
+    auto sbblv = Proc(7, 103, "sbblv.exe");
+    auto chrome = Proc(7, 110, "chrome.exe", "alice");
+    NetworkRef exfil{7, "10.0.0.7", "172.16.0.129", 49152, 443, "tcp"};
+    NetworkRef web{7, "10.0.0.7", "93.184.216.34", 50000, 443, "tcp"};
+
+    // chrome: steady 1 KB/s the whole time (no anomaly).
+    for (int s = 0; s < 600; s += 5) {
+      ASSERT_TRUE(db_->Append(MakeEvent(7, OpType::kWrite, t + s * kSecond,
+                                        chrome, web, 1000))
+                      .ok());
+    }
+    // sbblv: quiet trickle for 5 min, then a burst in minute 6-7.
+    for (int s = 0; s < 300; s += 30) {
+      ASSERT_TRUE(db_->Append(MakeEvent(7, OpType::kWrite, t + s * kSecond,
+                                        sbblv, exfil, 100))
+                      .ok());
+    }
+    for (int s = 360; s < 420; s += 5) {
+      ASSERT_TRUE(db_->Append(MakeEvent(7, OpType::kWrite, t + s * kSecond,
+                                        sbblv, exfil, 500000))
+                      .ok());
+    }
+    db_->Seal();
+    engine_ = std::make_unique<AiqlEngine>(db_.get());
+  }
+
+  std::unique_ptr<AuditDatabase> db_;
+  std::unique_ptr<AiqlEngine> engine_;
+};
+
+TEST_F(AnomalyTest, PaperQuery3FlagsOnlyTheBurstProcess) {
+  auto result = engine_->Execute(R"(
+    (at "05/10/2018")
+    agentid = 7
+    window = 1 min, step = 10 sec
+    proc p write ip i[dstip = "172.16.0.129"] as evt
+    return p, avg(evt.amount) as amt
+    group by p
+    having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->table.num_rows(), 0u);
+  for (const auto& row : result->table.rows) {
+    EXPECT_EQ(ValueToString(row[1]), "sbblv.exe");  // col 0 = window_start
+  }
+}
+
+TEST_F(AnomalyTest, MovingAverageIgnoresSteadyTraffic) {
+  // Without the dstip filter chrome also enters the aggregation, but its
+  // steady rate never trips the moving-average spike condition.
+  auto result = engine_->Execute(R"(
+    agentid = 7
+    window = 1 min, step = 10 sec
+    proc p write ip i as evt
+    return p, avg(evt.amount) as amt
+    group by p
+    having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& row : result->table.rows) {
+    EXPECT_NE(ValueToString(row[1]), "chrome.exe");
+  }
+}
+
+TEST_F(AnomalyTest, CountAndSumAggregates) {
+  auto result = engine_->Execute(R"(
+    agentid = 7
+    window = 10 min, step = 10 min
+    proc p write ip i as evt
+    return p, count(*) as n, sum(evt.amount) as total
+    group by p
+    having n > 0
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Two groups (chrome, sbblv), one 10-minute window each.
+  ASSERT_EQ(result->table.num_rows(), 2u);
+  int64_t chrome_total = 0, sbblv_total = 0;
+  for (const auto& row : result->table.rows) {
+    double total = std::stod(ValueToString(row[3]));
+    if (ValueToString(row[1]) == "chrome.exe") {
+      chrome_total = static_cast<int64_t>(total);
+    } else {
+      sbblv_total = static_cast<int64_t>(total);
+    }
+  }
+  EXPECT_EQ(chrome_total, 120 * 1000);
+  EXPECT_EQ(sbblv_total, 10 * 100 + 12 * 500000);
+}
+
+TEST_F(AnomalyTest, HavingHistoryComparesToEarlierWindows) {
+  // amt > amt[3]: strictly growing traffic only. sbblv's burst qualifies.
+  auto result = engine_->Execute(R"(
+    agentid = 7
+    window = 1 min, step = 1 min
+    proc p write ip i[dstip = "172.16.0.129"] as evt
+    return p, sum(evt.amount) as amt
+    group by p
+    having amt > amt[3] + 1000
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->table.num_rows(), 1u);
+}
+
+TEST_F(AnomalyTest, EmptyWhenNothingMatches) {
+  auto result = engine_->Execute(R"(
+    window = 1 min, step = 30 sec
+    proc p["%nonexistent%"] write ip i as evt
+    return p, sum(evt.amount) as s
+    group by p
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows(), 0u);
+}
+
+// --- optimization-equivalence (property) -------------------------------------
+
+struct EngineVariant {
+  const char* name;
+  EngineOptions options;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_F(EngineTest, EmptyCandidateSetSkipsScan) {
+  // A constraint matching no entity short-circuits the whole query without
+  // scanning any events.
+  QueryResult result = MustExecute(
+      "proc p[\"%no_such_binary_xyz%\"] write file f return p");
+  EXPECT_EQ(result.table.num_rows(), 0u);
+  EXPECT_EQ(result.stats.events_scanned, 0u);
+}
+
+TEST_F(EngineTest, OptimizationsDoNotChangeResults) {
+  const std::string queries[] = {
+      "agentid = 7 proc p read file f return distinct p, f",
+      R"((at "05/10/2018") agentid = 7
+         proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+         proc p3["%sqlservr.exe"] write file f1 as e2
+         proc p4 read file f1 as e3
+         with e1 before e2, e2 before e3
+         return distinct p1, p2, p3, p4, f1)",
+      "proc a write file f as e1 proc b read file f as e2 "
+      "with e1 before e2 return distinct a, b, f",
+  };
+  EngineOptions all_off;
+  all_off.enable_reordering = false;
+  all_off.enable_parallelism = false;
+  all_off.enable_semi_join = false;
+  all_off.enable_temporal_pruning = false;
+  EngineOptions no_reorder = EngineOptions{};
+  no_reorder.enable_reordering = false;
+  EngineOptions sequential = EngineOptions{};
+  sequential.enable_parallelism = false;
+
+  AiqlEngine baseline(db_.get(), all_off);
+  AiqlEngine no_reorder_engine(db_.get(), no_reorder);
+  AiqlEngine sequential_engine(db_.get(), sequential);
+
+  for (const std::string& query : queries) {
+    auto expected = baseline.Execute(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    expected->table.SortRows();
+    for (AiqlEngine* engine :
+         {engine_.get(), &no_reorder_engine, &sequential_engine}) {
+      auto actual = engine->Execute(query);
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      actual->table.SortRows();
+      EXPECT_EQ(actual->table, expected->table) << "query: " << query;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aiql

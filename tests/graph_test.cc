@@ -1,0 +1,154 @@
+// Tests for the graph (Neo4j stand-in) baseline: store construction, the
+// Cypher generator, and differential equivalence with the AIQL engine.
+
+#include <gtest/gtest.h>
+
+#include "engine/aiql_engine.h"
+#include "graph/cypher_gen.h"
+#include "graph/graph_executor.h"
+#include "graph/graph_store.h"
+#include "query/parser.h"
+#include "simulator/scenario.h"
+
+namespace aiql {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioOptions options;
+    options.num_clients = 2;
+    options.duration = 3 * kHour;
+    options.events_per_host_per_hour = 300;
+    options.seed = 11;
+    data_ = new DemoScenarioData(GenerateDemoScenario(options));
+    auto db = IngestRecords(data_->records, StorageOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = new AuditDatabase(std::move(db).value());
+    graph_ = new GraphStore(db_);
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete db_;
+    delete data_;
+    graph_ = nullptr;
+    db_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static DemoScenarioData* data_;
+  static AuditDatabase* db_;
+  static GraphStore* graph_;
+};
+
+DemoScenarioData* GraphTest::data_ = nullptr;
+AuditDatabase* GraphTest::db_ = nullptr;
+GraphStore* GraphTest::graph_ = nullptr;
+
+TEST_F(GraphTest, StoreMirrorsDatabase) {
+  const EntityStore& es = db_->entities();
+  EXPECT_EQ(graph_->num_nodes(), es.processes().size() + es.files().size() +
+                                     es.networks().size());
+  EXPECT_EQ(graph_->num_edges(), db_->stats().total_events);
+
+  // Node id mapping round-trips.
+  NodeId file_node = graph_->NodeOf(EntityType::kFile, 3);
+  EXPECT_EQ(graph_->NodeType(file_node), EntityType::kFile);
+  EXPECT_EQ(graph_->NodeEntity(file_node), 3u);
+}
+
+TEST_F(GraphTest, AdjacencyIsConsistent) {
+  size_t out_total = 0, in_total = 0;
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    out_total += graph_->OutEdges(n).size();
+    in_total += graph_->InEdges(n).size();
+  }
+  EXPECT_EQ(out_total, graph_->num_edges());
+  EXPECT_EQ(in_total, graph_->num_edges());
+}
+
+TEST_F(GraphTest, DifferentialAgainstAiqlEngine) {
+  const std::string queries[] = {
+      "(at \"05/10/2018\") agentid = 1 "
+      "proc p[\"%telnetd%\"] write file f return distinct p, f",
+      "(at \"05/10/2018\") agentid = 1 "
+      "proc p1[\"%unrealircd%\"] start proc p2 as e1 "
+      "proc p2 start proc p3 as e2 with e1 before e2 "
+      "return distinct p1, p2, p3",
+      "(at \"05/10/2018\") "
+      "proc p1[\"%malnet%\", agentid = 1] connect proc p3[agentid = 5] as e "
+      "return distinct p1, p3",
+      "(at \"05/10/2018\") agentid = 4 "
+      "proc p[\"%powershell%\"] read file f as e1 "
+      "proc p write ip i as e2 with e1 before e2 "
+      "return distinct p, f, i",
+  };
+  AiqlEngine engine(db_);
+  GraphExecutor graph_executor(graph_);
+  for (const std::string& query : queries) {
+    auto expected = engine.Execute(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto actual = graph_executor.ExecuteAiql(query);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    expected->table.SortRows();
+    actual->table.SortRows();
+    EXPECT_EQ(actual->table, expected->table) << query;
+  }
+}
+
+TEST_F(GraphTest, DependencyQueriesWork) {
+  GraphExecutor executor(graph_);
+  auto result = executor.ExecuteAiql(
+      "(at \"05/10/2018\") "
+      "forward: proc p1[\"%telnetd%\", agentid = 1] ->[write] file "
+      "f1[\"%malnet%\"] <-[execute] proc p2[\"%/bin/sh%\"] "
+      "return p1, f1, p2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->table.num_rows(), 1u);
+}
+
+TEST_F(GraphTest, AnomalyQueriesUnsupported) {
+  GraphExecutor executor(graph_);
+  auto result = executor.ExecuteAiql(
+      "window = 1 min, step = 10 sec proc p write ip i as e "
+      "return p, avg(e.amount) as amt group by p");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(GraphTest, CypherGenerationShape) {
+  auto parsed = ParseAiql(
+      "(at \"05/10/2018\") agentid = 4 "
+      "proc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as e1 "
+      "proc p3[\"%sqlservr%\"] write file f1[\"%db.bak%\"] as e2 "
+      "with e1 before e2 return distinct p1, p2, p3, f1");
+  ASSERT_TRUE(parsed.ok());
+  auto cypher = TranslateToCypher(*parsed);
+  ASSERT_TRUE(cypher.ok()) << cypher.status().ToString();
+  EXPECT_NE(cypher->cypher.find("MATCH (p1:Process)-[e1:EVENT]->"),
+            std::string::npos);
+  // The regex dot-escape is itself backslash-escaped inside the Cypher
+  // string literal: '(?i).*cmd\\.exe'.
+  EXPECT_NE(cypher->cypher.find("(?i).*cmd\\\\.exe"), std::string::npos);
+  EXPECT_NE(cypher->cypher.find("e1.end_ts <= e2.start_ts"),
+            std::string::npos);
+  EXPECT_NE(cypher->cypher.find("RETURN DISTINCT"), std::string::npos);
+  EXPECT_GT(cypher->metrics.constraints, 10u);
+}
+
+TEST_F(GraphTest, CypherLessConciseThanAiql) {
+  auto parsed = ParseAiql(
+      "(at \"05/10/2018\") agentid = 4 "
+      "proc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as e1 "
+      "proc p3[\"%sqlservr%\"] write file f1[\"%db.bak%\"] as e2 "
+      "with e1 before e2 return distinct p1, p2, p3, f1");
+  ASSERT_TRUE(parsed.ok());
+  QueryTextMetrics aiql_metrics = ComputeAiqlMetrics(*parsed);
+  auto cypher = TranslateToCypher(*parsed);
+  ASSERT_TRUE(cypher.ok());
+  EXPECT_GT(cypher->metrics.words, aiql_metrics.words);
+  EXPECT_GT(cypher->metrics.chars, aiql_metrics.chars);
+}
+
+}  // namespace
+}  // namespace aiql

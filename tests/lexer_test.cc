@@ -1,0 +1,108 @@
+// Unit tests for the AIQL lexer.
+
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace aiql {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = LexQuery("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndSymbols) {
+  auto tokens = LexQuery("proc p1[\"%cmd.exe\"] start proc p2 as evt1");
+  ASSERT_TRUE(tokens.ok());
+  auto kinds = Kinds(*tokens);
+  std::vector<TokenKind> expected = {
+      TokenKind::kIdent, TokenKind::kIdent, TokenKind::kLBracket,
+      TokenKind::kString, TokenKind::kRBracket, TokenKind::kIdent,
+      TokenKind::kIdent, TokenKind::kIdent, TokenKind::kIdent,
+      TokenKind::kIdent, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_EQ((*tokens)[3].text, "%cmd.exe");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = LexQuery("agentid = 5 // SQL database server\nreturn p");
+  ASSERT_TRUE(tokens.ok());
+  // agentid, =, 5, return, p, end
+  EXPECT_EQ(tokens->size(), 6u);
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = LexQuery("42 3.14");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_TRUE((*tokens)[0].number_is_integer);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 42);
+  EXPECT_FALSE((*tokens)[1].number_is_integer);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 3.14);
+}
+
+TEST(LexerTest, ArrowsVersusComparisons) {
+  auto tokens = LexQuery("-> <- <= >= < > != = ||");
+  ASSERT_TRUE(tokens.ok());
+  auto kinds = Kinds(*tokens);
+  std::vector<TokenKind> expected = {
+      TokenKind::kArrowRight, TokenKind::kArrowLeft, TokenKind::kLe,
+      TokenKind::kGe,         TokenKind::kLt,        TokenKind::kGt,
+      TokenKind::kNe,         TokenKind::kEq,        TokenKind::kOrOr,
+      TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, LessThanNegativeNumberIsNotArrow) {
+  auto tokens = LexQuery("amt < -5");
+  ASSERT_TRUE(tokens.ok());
+  auto kinds = Kinds(*tokens);
+  std::vector<TokenKind> expected = {TokenKind::kIdent, TokenKind::kLt,
+                                     TokenKind::kMinus, TokenKind::kNumber,
+                                     TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = LexQuery(R"("a\"b" "tab\there" "C:\Users")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a\"b");
+  EXPECT_EQ((*tokens)[1].text, "tab\there");
+  EXPECT_EQ((*tokens)[2].text, "C:\\Users");  // unknown escape kept verbatim
+}
+
+TEST(LexerTest, UnterminatedStringReportsLocation) {
+  auto tokens = LexQuery("proc p[\"oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+  EXPECT_NE(tokens.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(tokens.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = LexQuery("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(LexQuery("a # b").ok());
+  EXPECT_FALSE(LexQuery("a ! b").ok());
+  EXPECT_FALSE(LexQuery("a | b").ok());
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,148 @@
+// Unit + property tests for the SQL-LIKE matcher.
+//
+// The property suite cross-checks the optimized matcher against a simple
+// reference recursive implementation on generated patterns and inputs.
+
+#include "common/like_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aiql {
+namespace {
+
+TEST(LikeMatcherTest, LiteralMatchesExactCaseInsensitive) {
+  LikeMatcher m("cmd.exe");
+  EXPECT_TRUE(m.is_literal());
+  EXPECT_TRUE(m.Matches("cmd.exe"));
+  EXPECT_TRUE(m.Matches("CMD.EXE"));
+  EXPECT_FALSE(m.Matches("cmd.exe2"));
+  EXPECT_FALSE(m.Matches("acmd.exe"));
+  EXPECT_FALSE(m.Matches(""));
+}
+
+TEST(LikeMatcherTest, SuffixPattern) {
+  LikeMatcher m("%cmd.exe");
+  EXPECT_FALSE(m.is_literal());
+  EXPECT_TRUE(m.Matches("cmd.exe"));
+  EXPECT_TRUE(m.Matches("C:\\Windows\\System32\\cmd.exe"));
+  EXPECT_FALSE(m.Matches("cmd.exe.bak"));
+}
+
+TEST(LikeMatcherTest, PrefixPattern) {
+  LikeMatcher m("/var/www/%");
+  EXPECT_TRUE(m.Matches("/var/www/html/index.html"));
+  EXPECT_TRUE(m.Matches("/var/www/"));
+  EXPECT_FALSE(m.Matches("/var/log/app.log"));
+}
+
+TEST(LikeMatcherTest, SubstringPattern) {
+  LikeMatcher m("%info_stealer%");
+  // '_' inside a generic pattern matches any single char, so this also
+  // matches "info-stealer"; both behaviours verified.
+  EXPECT_TRUE(m.Matches("/var/www/uploads/info_stealer.sh"));
+  EXPECT_TRUE(m.Matches("info-stealer"));
+  EXPECT_FALSE(m.Matches("stealer_info"));
+}
+
+TEST(LikeMatcherTest, MatchAll) {
+  LikeMatcher m("%");
+  EXPECT_TRUE(m.Matches(""));
+  EXPECT_TRUE(m.Matches("anything"));
+}
+
+TEST(LikeMatcherTest, UnderscoreMatchesSingleChar) {
+  LikeMatcher m("a_c");
+  EXPECT_TRUE(m.Matches("abc"));
+  EXPECT_TRUE(m.Matches("aXc"));
+  EXPECT_FALSE(m.Matches("ac"));
+  EXPECT_FALSE(m.Matches("abbc"));
+}
+
+TEST(LikeMatcherTest, InteriorPercent) {
+  LikeMatcher m("backup%.dmp");
+  EXPECT_TRUE(m.Matches("backup1.dmp"));
+  EXPECT_TRUE(m.Matches("backup.dmp"));
+  EXPECT_FALSE(m.Matches("backup1.dm"));
+}
+
+TEST(LikeMatcherTest, MultiplePercents) {
+  LikeMatcher m("%win%sys%");
+  EXPECT_TRUE(m.Matches("C:\\Windows\\System32"));
+  EXPECT_FALSE(m.Matches("system windows"));  // order matters
+}
+
+TEST(LikeMatcherTest, EmptyPattern) {
+  LikeMatcher m("");
+  EXPECT_TRUE(m.Matches(""));
+  EXPECT_FALSE(m.Matches("x"));
+}
+
+TEST(LikeMatcherTest, SpecificityRankOrdering) {
+  EXPECT_LT(LikeMatcher("cmd.exe").SpecificityRank(),
+            LikeMatcher("%cmd.exe").SpecificityRank());
+  EXPECT_LT(LikeMatcher("%cmd.exe").SpecificityRank(),
+            LikeMatcher("%cmd%").SpecificityRank());
+  EXPECT_LT(LikeMatcher("%cmd%").SpecificityRank(),
+            LikeMatcher("%").SpecificityRank());
+}
+
+// Reference implementation: straightforward recursion on lowered strings.
+bool RefMatch(const std::string& p, size_t pi, const std::string& t,
+              size_t ti) {
+  if (pi == p.size()) return ti == t.size();
+  if (p[pi] == '%') {
+    for (size_t skip = 0; ti + skip <= t.size(); ++skip) {
+      if (RefMatch(p, pi + 1, t, ti + skip)) return true;
+    }
+    return false;
+  }
+  if (ti == t.size()) return false;
+  if (p[pi] == '_' || std::tolower(static_cast<unsigned char>(p[pi])) ==
+                          std::tolower(static_cast<unsigned char>(t[ti]))) {
+    return RefMatch(p, pi + 1, t, ti + 1);
+  }
+  return false;
+}
+
+class LikePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LikePropertyTest, AgreesWithReferenceImplementation) {
+  Rng rng(GetParam());
+  const std::string alphabet = "abX.\\/";
+  for (int iter = 0; iter < 400; ++iter) {
+    // Random pattern over alphabet + wildcards, length 0..10.
+    std::string pattern;
+    size_t plen = rng.Uniform(11);
+    for (size_t i = 0; i < plen; ++i) {
+      int pick = static_cast<int>(rng.Uniform(8));
+      if (pick == 0) {
+        pattern += '%';
+      } else if (pick == 1) {
+        pattern += '_';
+      } else {
+        pattern += alphabet[rng.Uniform(alphabet.size())];
+      }
+    }
+    std::string text;
+    size_t tlen = rng.Uniform(13);
+    for (size_t i = 0; i < tlen; ++i) {
+      text += alphabet[rng.Uniform(alphabet.size())];
+    }
+    LikeMatcher matcher(pattern);
+    bool expected = RefMatch(pattern, 0, text, 0);
+    EXPECT_EQ(matcher.Matches(text), expected)
+        << "pattern='" << pattern << "' text='" << text << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace aiql

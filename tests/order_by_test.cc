@@ -1,0 +1,126 @@
+// Tests for the `order by` return-clause extension (the web UI's result
+// sorting, §3) across the multievent, anomaly, and dependency paths.
+
+#include <gtest/gtest.h>
+
+#include "engine/aiql_engine.h"
+#include "storage/database.h"
+
+namespace aiql {
+namespace {
+
+Timestamp T0() { return *MakeTimestamp(2018, 5, 10); }
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StorageOptions options;
+    options.dedup_window = 0;
+    db_ = std::make_unique<AuditDatabase>(options);
+    const char* exes[] = {"zeta.exe", "alpha.exe", "mid.exe"};
+    uint64_t amounts[] = {300, 100, 200};
+    for (int i = 0; i < 3; ++i) {
+      EventRecord record;
+      record.agent_id = 1;
+      record.op = OpType::kWrite;
+      record.start_ts = T0() + i * kMinute;
+      record.end_ts = record.start_ts + kSecond;
+      record.amount = amounts[i];
+      record.subject = ProcessRef{1, static_cast<uint32_t>(10 + i), exes[i],
+                                  "u"};
+      record.object = NetworkRef{1, "10.0.0.1", "9.9.9.9", 1000, 443, "tcp"};
+      ASSERT_TRUE(db_->Append(record).ok());
+    }
+    db_->Seal();
+    engine_ = std::make_unique<AiqlEngine>(db_.get());
+  }
+
+  std::vector<std::string> Column(const std::string& query, size_t col) {
+    auto result = engine_->Execute(query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::string> out;
+    if (result.ok()) {
+      for (const auto& row : result->table.rows) {
+        out.push_back(ValueToString(row[col]));
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<AuditDatabase> db_;
+  std::unique_ptr<AiqlEngine> engine_;
+};
+
+TEST_F(OrderByTest, AscendingByStringColumn) {
+  auto names = Column("proc p write ip i return p order by p", 0);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"alpha.exe", "mid.exe", "zeta.exe"}));
+}
+
+TEST_F(OrderByTest, DescendingByEventAttribute) {
+  auto amounts = Column(
+      "proc p write ip i as e return p, e.amount order by e.amount desc", 1);
+  EXPECT_EQ(amounts, (std::vector<std::string>{"300", "200", "100"}));
+}
+
+TEST_F(OrderByTest, OrderByAlias) {
+  auto amounts = Column(
+      "proc p write ip i as e return p, e.amount as vol order by vol", 1);
+  EXPECT_EQ(amounts, (std::vector<std::string>{"100", "200", "300"}));
+}
+
+TEST_F(OrderByTest, LimitAppliesAfterOrdering) {
+  auto names = Column(
+      "proc p write ip i return p order by p limit 1", 0);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "alpha.exe");  // smallest after sort, not first found
+}
+
+TEST_F(OrderByTest, SortKeywordIsAnAlias) {
+  auto names = Column("proc p write ip i return p sort by p desc", 0);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"zeta.exe", "mid.exe", "alpha.exe"}));
+}
+
+TEST_F(OrderByTest, AnomalyRowsOrderable) {
+  auto result = engine_->Execute(
+      "(at \"05/10/2018\") window = 10 min, step = 10 min "
+      "proc p write ip i as evt "
+      "return p, sum(evt.amount) as s group by p order by s desc");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows(), 3u);
+  // Columns: window_start, p, s — ordered by s descending.
+  EXPECT_EQ(ValueToString(result->table.rows[0][1]), "zeta.exe");
+  EXPECT_EQ(ValueToString(result->table.rows[2][1]), "alpha.exe");
+}
+
+TEST_F(OrderByTest, DependencyQueriesOrderable) {
+  auto result = engine_->Execute(
+      "forward: proc p ->[write] ip i[dstip = \"9.9.9.9\"] "
+      "return p, i order by p desc");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows(), 3u);
+  EXPECT_EQ(ValueToString(result->table.rows[0][0]), "zeta.exe");
+}
+
+TEST_F(OrderByTest, UnknownOrderColumnRejected) {
+  auto result = engine_->Execute(
+      "proc p write ip i return p order by ghost");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSemanticError);
+  EXPECT_NE(result.status().message().find("ghost"), std::string::npos);
+}
+
+TEST_F(OrderByTest, MultiKeyOrdering) {
+  auto result = engine_->Execute(
+      "proc p write ip i as e return i, e.amount "
+      "order by i, e.amount desc");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // All rows share the same dst_ip; secondary key sorts amounts descending.
+  ASSERT_EQ(result->table.num_rows(), 3u);
+  EXPECT_EQ(ValueToString(result->table.rows[0][1]), "300");
+  EXPECT_EQ(ValueToString(result->table.rows[2][1]), "100");
+}
+
+}  // namespace
+}  // namespace aiql

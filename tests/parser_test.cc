@@ -1,0 +1,256 @@
+// Unit tests for the AIQL parser, including the three example queries from
+// the paper (§2.2.1-2.2.3) with concrete dates.
+
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/analyzer.h"
+
+namespace aiql {
+namespace {
+
+// Query 1 (paper §2.2.1): data exfiltration from database server.
+constexpr const char* kQuery1 = R"(
+  (at "05/10/2018") // time window
+  agentid = 7 // SQL database server
+  proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+  proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+  proc p4["%sbblv.exe"] read file f1 as evt3
+  proc p4 read || write ip i1[dstip = "172.16.0.129"] as evt4
+  with evt1 before evt2, evt2 before evt3, evt3 before evt4
+  return distinct p1, p2, p3, f1, p4, i1
+)";
+
+// Query 2 (paper §2.2.2): forward tracking for malware ramification.
+constexpr const char* kQuery2 = R"(
+  (at "05/10/2018")
+  forward: proc p1["%/bin/cp%", agentid = 1] ->[write] file
+      f1["/var/www/%info_stealer%"]
+  <-[read] proc p2["%apache%"]
+  ->[connect] proc p3[agentid = 2] // tracking across hosts
+  ->[write] file f2["%info_stealer%"]
+  return f1, p1, p2, p3, f2
+)";
+
+// Query 3 (paper §2.2.3): large data transfer from database server.
+constexpr const char* kQuery3 = R"(
+  (at "05/10/2018")
+  agentid = 7
+  window = 1 min, step = 10 sec
+  proc p write ip i[dstip = "172.16.0.129"] as evt
+  return p, avg(evt.amount) as amt
+  group by p
+  having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+)";
+
+TEST(ParserTest, Query1MultieventStructure) {
+  auto parsed = ParseAiql(kQuery1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, QueryKind::kMultievent);
+  ASSERT_NE(parsed->multievent, nullptr);
+  const MultieventQueryAst& ast = *parsed->multievent;
+
+  ASSERT_TRUE(ast.globals.time_window.has_value());
+  ASSERT_EQ(ast.globals.attrs.size(), 1u);
+  EXPECT_EQ(ast.globals.attrs[0].attr, "agentid");
+  EXPECT_EQ(ast.globals.attrs[0].values[0].i, 7);
+
+  ASSERT_EQ(ast.patterns.size(), 4u);
+  EXPECT_EQ(ast.patterns[0].subject.var, "p1");
+  EXPECT_EQ(ast.patterns[0].subject.constraints[0].values[0].str,
+            "%cmd.exe");
+  EXPECT_EQ(ast.patterns[0].ops, std::vector<OpType>{OpType::kStart});
+  EXPECT_EQ(ast.patterns[0].object.var, "p2");
+  EXPECT_EQ(ast.patterns[0].event_var, "evt1");
+
+  // Pattern 4: read || write on a network object with a named attribute.
+  const EventPatternAst& p4 = ast.patterns[3];
+  EXPECT_EQ(p4.ops, (std::vector<OpType>{OpType::kRead, OpType::kWrite}));
+  EXPECT_EQ(p4.object.type, EntityType::kNetwork);
+  ASSERT_EQ(p4.object.constraints.size(), 1u);
+  EXPECT_EQ(p4.object.constraints[0].attr, "dstip");
+
+  ASSERT_EQ(ast.temporal_rels.size(), 3u);
+  EXPECT_EQ(ast.temporal_rels[0].left, "evt1");
+  EXPECT_EQ(ast.temporal_rels[0].right, "evt2");
+  EXPECT_TRUE(ast.temporal_rels[0].before);
+
+  EXPECT_TRUE(ast.distinct);
+  EXPECT_EQ(ast.return_items.size(), 6u);
+  EXPECT_FALSE(ast.is_anomaly());
+}
+
+TEST(ParserTest, Query2DependencyStructure) {
+  auto parsed = ParseAiql(kQuery2);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, QueryKind::kDependency);
+  ASSERT_NE(parsed->dependency, nullptr);
+  const DependencyQueryAst& dep = *parsed->dependency;
+
+  EXPECT_TRUE(dep.forward);
+  EXPECT_EQ(dep.start.var, "p1");
+  ASSERT_EQ(dep.start.constraints.size(), 2u);
+  EXPECT_EQ(dep.start.constraints[1].attr, "agentid");
+
+  ASSERT_EQ(dep.edges.size(), 4u);
+  EXPECT_TRUE(dep.edges[0].arrow_forward);
+  EXPECT_EQ(dep.edges[0].ops, std::vector<OpType>{OpType::kWrite});
+  EXPECT_EQ(dep.edges[0].target.var, "f1");
+  EXPECT_FALSE(dep.edges[1].arrow_forward);  // <-[read]
+  EXPECT_EQ(dep.edges[1].target.var, "p2");
+  EXPECT_EQ(dep.edges[2].ops, std::vector<OpType>{OpType::kConnect});
+  EXPECT_EQ(dep.edges[3].target.var, "f2");
+
+  EXPECT_EQ(dep.return_items.size(), 5u);
+}
+
+TEST(ParserTest, Query3AnomalyStructure) {
+  auto parsed = ParseAiql(kQuery3);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, QueryKind::kAnomaly);
+  const MultieventQueryAst& ast = *parsed->multievent;
+
+  ASSERT_TRUE(ast.window.has_value());
+  EXPECT_EQ(ast.window->length, kMinute);
+  EXPECT_EQ(ast.window->step, 10 * kSecond);
+
+  ASSERT_EQ(ast.patterns.size(), 1u);
+  EXPECT_EQ(ast.patterns[0].event_var, "evt");
+
+  ASSERT_EQ(ast.return_items.size(), 2u);
+  EXPECT_TRUE(ast.return_items[1].is_aggregate());
+  EXPECT_EQ(ast.return_items[1].alias, "amt");
+  const auto& agg = std::get<AggCallAst>(ast.return_items[1].expr);
+  EXPECT_EQ(agg.func, AggFunc::kAvg);
+  EXPECT_EQ(agg.arg.var, "evt");
+  EXPECT_EQ(agg.arg.attr, "amount");
+
+  ASSERT_EQ(ast.group_by.size(), 1u);
+  EXPECT_EQ(ast.group_by[0].var, "p");
+  ASSERT_NE(ast.having, nullptr);
+  EXPECT_EQ(ast.having->kind, HavingExpr::Kind::kCompare);
+}
+
+TEST(ParserTest, AnonymousEntitiesAndEvents) {
+  // Fully anonymous subject/object and unnamed event parse fine; the
+  // analyzer later rejects the dangling `evt1` reference.
+  auto parsed = ParseAiql("proc[\"%cmd%\"] read file return evt1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto analyzed = AnalyzeMultievent(*parsed->multievent, parsed->kind);
+  EXPECT_FALSE(analyzed.ok());
+
+  auto parsed2 = ParseAiql("proc p[\"%cmd%\"] read file f return p, f");
+  ASSERT_TRUE(parsed2.ok()) << parsed2.status().ToString();
+  EXPECT_EQ(parsed2->multievent->patterns[0].event_var, "");
+}
+
+TEST(ParserTest, FromToTimeWindow) {
+  auto parsed = ParseAiql(
+      "(from \"05/10/2018\" to \"05/11/2018\") proc p read file f "
+      "return p");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& window = parsed->multievent->globals.time_window;
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->end - window->start, 2 * kDay);  // both days inclusive
+}
+
+TEST(ParserTest, TemporalRelationWithBound) {
+  auto parsed = ParseAiql(
+      "proc p read file f as e1 proc p write ip i as e2 "
+      "with e1 before[2 min] e2 return p");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->multievent->temporal_rels.size(), 1u);
+  EXPECT_EQ(parsed->multievent->temporal_rels[0].within, 2 * kMinute);
+}
+
+TEST(ParserTest, AttributeRelationInWith) {
+  auto parsed = ParseAiql(
+      "proc p1 read file f1 as e1 proc p2 write file f2 as e2 "
+      "with p1.pid = p2.pid return p1, p2");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->multievent->attr_rels.size(), 1u);
+  EXPECT_EQ(parsed->multievent->attr_rels[0].left.var, "p1");
+  EXPECT_EQ(parsed->multievent->attr_rels[0].right.attr, "pid");
+}
+
+TEST(ParserTest, InConstraint) {
+  auto parsed = ParseAiql(
+      "proc p[pid in (1, 2, 3)] read file f return p");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& c = parsed->multievent->patterns[0].subject.constraints[0];
+  EXPECT_EQ(c.op, CmpOp::kIn);
+  EXPECT_EQ(c.values.size(), 3u);
+}
+
+TEST(ParserTest, LimitClause) {
+  auto parsed = ParseAiql("proc p read file f return p limit 10");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->multievent->limit, 10);
+}
+
+TEST(ParserTest, ErrorsCarryLineAndColumn) {
+  auto parsed = ParseAiql("proc p1[\"%cmd%\"] frobnicate proc p2 return p1");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("frobnicate"), std::string::npos);
+}
+
+TEST(ParserTest, MissingReturnIsAnError) {
+  auto parsed = ParseAiql("proc p read file f");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, EmptyQueryIsAnError) {
+  EXPECT_FALSE(ParseAiql("").ok());
+  EXPECT_FALSE(ParseAiql("// just a comment").ok());
+}
+
+TEST(ParserTest, TrailingGarbageIsAnError) {
+  auto parsed = ParseAiql("proc p read file f return p extra tokens");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, DependencyNeedsEdges) {
+  auto parsed = ParseAiql("forward: proc p1 return p1");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("edge"), std::string::npos);
+}
+
+TEST(ParserTest, WindowInDependencyRejected) {
+  auto parsed = ParseAiql(
+      "window = 1 min, step = 10 sec forward: proc p ->[write] file f "
+      "return p");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, BackwardDependency) {
+  auto parsed = ParseAiql(
+      "backward: file f[\"%passwd%\"] <-[write] proc p1 return p1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->dependency->forward);
+  EXPECT_FALSE(parsed->dependency->edges[0].arrow_forward);
+}
+
+TEST(ParserTest, GlobalAgentInList) {
+  auto parsed = ParseAiql(
+      "agentid in (1, 2) proc p read file f return p");
+  // Global constraints use IDENT '=' only; 'in' global goes through the
+  // constraint path? It should fail to parse as a global and then fail as a
+  // pattern -> error either way is acceptable; assert it does not crash.
+  (void)parsed;
+  SUCCEED();
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  auto parsed = ParseAiql(
+      "PROC p READ file f AS e1 WITH e1 BEFORE e1x RETURN DISTINCT p");
+  // e1x unknown — parser accepts, analyzer rejects; parse itself must work.
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->multievent->distinct);
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,114 @@
+// Unit tests for result tables, value rendering, and query text metrics.
+
+#include <gtest/gtest.h>
+
+#include "engine/result.h"
+#include "query/metrics.h"
+#include "query/parser.h"
+
+namespace aiql {
+namespace {
+
+TEST(ValueTest, Rendering) {
+  EXPECT_EQ(ValueToString(Value(std::string("cmd.exe"))), "cmd.exe");
+  EXPECT_EQ(ValueToString(Value(int64_t{42})), "42");
+  EXPECT_EQ(ValueToString(Value(3.5)), "3.5");
+}
+
+TEST(ResultTableTest, SortRowsIsCanonical) {
+  ResultTable table;
+  table.columns = {"a", "b"};
+  table.rows.push_back({Value(std::string("z")), Value(int64_t{1})});
+  table.rows.push_back({Value(std::string("a")), Value(int64_t{2})});
+  table.rows.push_back({Value(std::string("m")), Value(int64_t{3})});
+  table.SortRows();
+  EXPECT_EQ(ValueToString(table.rows[0][0]), "a");
+  EXPECT_EQ(ValueToString(table.rows[1][0]), "m");
+  EXPECT_EQ(ValueToString(table.rows[2][0]), "z");
+}
+
+TEST(ResultTableTest, EqualityComparesRenderedCells) {
+  ResultTable a, b;
+  a.columns = b.columns = {"x"};
+  a.rows.push_back({Value(int64_t{5})});
+  b.rows.push_back({Value(int64_t{5})});
+  EXPECT_TRUE(a == b);
+  b.rows[0][0] = Value(int64_t{6});
+  EXPECT_FALSE(a == b);
+  b.rows[0][0] = Value(int64_t{5});
+  b.columns = {"y"};
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ResultTableTest, ToStringTruncates) {
+  ResultTable table;
+  table.columns = {"n"};
+  for (int i = 0; i < 100; ++i) {
+    table.rows.push_back({Value(int64_t{i})});
+  }
+  std::string out = table.ToString(10);
+  EXPECT_NE(out.find("90 more rows"), std::string::npos);
+}
+
+TEST(QueryStatsTest, TotalSumsPhases) {
+  QueryStats stats;
+  stats.parse_time = 10;
+  stats.plan_time = 20;
+  stats.exec_time = 30;
+  EXPECT_EQ(stats.total_time(), 60);
+}
+
+TEST(MetricsTest, CountsMultieventConstraints) {
+  auto parsed = ParseAiql(R"(
+    (at "05/10/2018")
+    agentid = 7
+    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+    proc p3["%sqlservr%"] write file f1["%backup%"] as e2
+    with e1 before e2, p1.pid != p3.pid
+    return distinct p1, p2
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  QueryTextMetrics metrics = ComputeAiqlMetrics(*parsed);
+  // time window + agentid + 4 entity constraints + 1 temporal + 1 attr rel.
+  EXPECT_EQ(metrics.constraints, 8u);
+  EXPECT_GT(metrics.words, 20u);
+  EXPECT_GT(metrics.chars, 100u);
+}
+
+TEST(MetricsTest, CountsAnomalyExtensions) {
+  auto parsed = ParseAiql(R"(
+    agentid = 7
+    window = 1 min, step = 10 sec
+    proc p write ip i[dstip = "1.2.3.4"] as evt
+    return p, avg(evt.amount) as amt
+    group by p
+    having amt > 1 and amt > amt[1]
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  QueryTextMetrics metrics = ComputeAiqlMetrics(*parsed);
+  // agentid + window spec + 1 entity constraint + 2 having comparisons.
+  EXPECT_EQ(metrics.constraints, 5u);
+}
+
+TEST(MetricsTest, CountsDependencyEdges) {
+  auto parsed = ParseAiql(
+      "(at \"05/10/2018\") "
+      "forward: proc p1[\"%cp%\", agentid = 1] ->[write] file f1[\"%x%\"] "
+      "<-[read] proc p2 return p1, p2");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  QueryTextMetrics metrics = ComputeAiqlMetrics(*parsed);
+  // time window + 3 entity constraints (incl. agentid) + 2 edges.
+  EXPECT_EQ(metrics.constraints, 6u);
+}
+
+TEST(MetricsTest, WordsAndCharsMatchManualCount) {
+  auto parsed = ParseAiql("proc p read file f return p");
+  ASSERT_TRUE(parsed.ok());
+  QueryTextMetrics metrics = ComputeAiqlMetrics(*parsed);
+  EXPECT_EQ(metrics.words, 7u);
+  // "proc"(4) "p"(1) "read"(4) "file"(4) "f"(1) "return"(6) "p"(1) = 21.
+  EXPECT_EQ(metrics.chars, 21u);
+}
+
+}  // namespace
+}  // namespace aiql

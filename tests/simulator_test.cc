@@ -1,0 +1,180 @@
+// Integration tests: the simulated enterprise scenarios, attack injection,
+// and the full investigation query catalogs (every query must parse,
+// analyze, execute, and find its attack traces in the noise).
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "engine/aiql_engine.h"
+#include "query/parser.h"
+#include "simulator/queries_a.h"
+#include "simulator/queries_c.h"
+#include "simulator/scenario.h"
+
+namespace aiql {
+namespace {
+
+ScenarioOptions SmallScenario() {
+  ScenarioOptions options;
+  options.num_clients = 3;
+  options.duration = 4 * kHour;
+  options.events_per_host_per_hour = 400;
+  options.seed = 7;
+  return options;
+}
+
+TEST(ScenarioTest, DeterministicUnderSeed) {
+  DemoScenarioData a = GenerateDemoScenario(SmallScenario());
+  DemoScenarioData b = GenerateDemoScenario(SmallScenario());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); i += 97) {
+    EXPECT_EQ(a.records[i].start_ts, b.records[i].start_ts);
+    EXPECT_EQ(a.records[i].agent_id, b.records[i].agent_id);
+    EXPECT_EQ(a.records[i].subject.exe_name, b.records[i].subject.exe_name);
+  }
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  ScenarioOptions options = SmallScenario();
+  DemoScenarioData a = GenerateDemoScenario(options);
+  options.seed = 8;
+  DemoScenarioData b = GenerateDemoScenario(options);
+  bool any_difference = a.records.size() != b.records.size();
+  for (size_t i = 0; !any_difference && i < a.records.size(); ++i) {
+    any_difference = a.records[i].start_ts != b.records[i].start_ts;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScenarioTest, RecordsAreTimeOrderedAndInWindow) {
+  DemoScenarioData data = GenerateDemoScenario(SmallScenario());
+  ASSERT_GT(data.records.size(), 1000u);
+  for (size_t i = 1; i < data.records.size(); ++i) {
+    EXPECT_LE(data.records[i - 1].start_ts, data.records[i].start_ts);
+  }
+  // The attack is inside the monitoring window.
+  EXPECT_TRUE(data.window.Contains(data.truth.start));
+  EXPECT_TRUE(data.window.Contains(data.truth.exfil_start));
+}
+
+TEST(ScenarioTest, IngestAndStats) {
+  DemoScenarioData data = GenerateDemoScenario(SmallScenario());
+  auto db = IngestRecords(data.records, StorageOptions{});
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(db->sealed());
+  EXPECT_EQ(db->stats().raw_events, data.records.size());
+  EXPECT_LE(db->stats().total_events, db->stats().raw_events);
+  EXPECT_GT(db->stats().total_partitions, 4u);  // time x agent spread
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioOptions options = SmallScenario();
+    demo_ = new DemoScenarioData(GenerateDemoScenario(options));
+    atc_ = new AtcScenarioData(GenerateAtcScenario(options));
+    StorageOptions storage;
+    auto demo_db = IngestRecords(demo_->records, storage);
+    auto atc_db = IngestRecords(atc_->records, storage);
+    ASSERT_TRUE(demo_db.ok()) << demo_db.status().ToString();
+    ASSERT_TRUE(atc_db.ok()) << atc_db.status().ToString();
+    demo_db_ = new AuditDatabase(std::move(demo_db).value());
+    atc_db_ = new AuditDatabase(std::move(atc_db).value());
+  }
+  static void TearDownTestSuite() {
+    delete demo_;
+    delete atc_;
+    delete demo_db_;
+    delete atc_db_;
+    demo_ = nullptr;
+    atc_ = nullptr;
+    demo_db_ = nullptr;
+    atc_db_ = nullptr;
+  }
+
+  static DemoScenarioData* demo_;
+  static AtcScenarioData* atc_;
+  static AuditDatabase* demo_db_;
+  static AuditDatabase* atc_db_;
+};
+
+DemoScenarioData* CatalogTest::demo_ = nullptr;
+AtcScenarioData* CatalogTest::atc_ = nullptr;
+AuditDatabase* CatalogTest::demo_db_ = nullptr;
+AuditDatabase* CatalogTest::atc_db_ = nullptr;
+
+TEST_F(CatalogTest, DemoCatalogHasNineteenUniqueIds) {
+  auto queries = DemoInvestigationQueries(demo_->truth);
+  EXPECT_EQ(queries.size(), 19u);
+  std::unordered_set<std::string> ids;
+  for (const CatalogQuery& query : queries) {
+    EXPECT_TRUE(ids.insert(query.id).second) << "duplicate " << query.id;
+    EXPECT_FALSE(query.description.empty());
+  }
+}
+
+TEST_F(CatalogTest, AtcCatalogHasTwentySixUniqueIds) {
+  auto queries = AtcInvestigationQueries(atc_->truth);
+  EXPECT_EQ(queries.size(), 26u);
+  std::unordered_set<std::string> ids;
+  for (const CatalogQuery& query : queries) {
+    EXPECT_TRUE(ids.insert(query.id).second) << "duplicate " << query.id;
+  }
+}
+
+TEST_F(CatalogTest, EveryDemoQueryParsesAndFindsTheAttack) {
+  AiqlEngine engine(demo_db_);
+  for (const CatalogQuery& query : DemoInvestigationQueries(demo_->truth)) {
+    auto result = engine.Execute(query.text);
+    ASSERT_TRUE(result.ok())
+        << query.id << ": " << result.status().ToString() << "\n"
+        << query.text;
+    EXPECT_GE(result->table.num_rows(), query.min_expected_rows)
+        << query.id << " found nothing:\n"
+        << query.text;
+  }
+}
+
+TEST_F(CatalogTest, EveryAtcQueryParsesAndFindsTheAttack) {
+  AiqlEngine engine(atc_db_);
+  for (const CatalogQuery& query : AtcInvestigationQueries(atc_->truth)) {
+    auto result = engine.Execute(query.text);
+    ASSERT_TRUE(result.ok())
+        << query.id << ": " << result.status().ToString() << "\n"
+        << query.text;
+    EXPECT_GE(result->table.num_rows(), query.min_expected_rows)
+        << query.id << " found nothing:\n"
+        << query.text;
+  }
+}
+
+TEST_F(CatalogTest, AnomalyQueryFlagsOnlyPowershell) {
+  AiqlEngine engine(demo_db_);
+  auto queries = DemoInvestigationQueries(demo_->truth);
+  const CatalogQuery* anomaly = nullptr;
+  for (const CatalogQuery& query : queries) {
+    if (query.id == "a5-1") anomaly = &query;
+  }
+  ASSERT_NE(anomaly, nullptr);
+  auto result = engine.Execute(anomaly->text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->table.num_rows(), 0u);
+  for (const auto& row : result->table.rows) {
+    EXPECT_NE(ValueToString(row[1]).find("powershell"), std::string::npos);
+  }
+}
+
+TEST_F(CatalogTest, QueriesAreSelective) {
+  // Investigation queries must pinpoint the attack, not dump the database:
+  // every demo query returns far fewer rows than the event count.
+  AiqlEngine engine(demo_db_);
+  for (const CatalogQuery& query : DemoInvestigationQueries(demo_->truth)) {
+    auto result = engine.Execute(query.text);
+    ASSERT_TRUE(result.ok()) << query.id;
+    EXPECT_LT(result->table.num_rows(), 100u) << query.id;
+  }
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,167 @@
+// Edge-case tests for the mini-SQL engine: NULL semantics, COALESCE,
+// arithmetic typing, IN lists, DISTINCT/LIMIT, windows() validation, and
+// error reporting.
+
+#include <gtest/gtest.h>
+
+#include "sql/catalog.h"
+#include "sql/sql_executor.h"
+#include "storage/database.h"
+
+namespace aiql {
+namespace {
+
+class SqlEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StorageOptions options;
+    options.dedup_window = 0;
+    db_ = std::make_unique<AuditDatabase>(options);
+    Timestamp t = *MakeTimestamp(2018, 5, 10);
+    for (int i = 0; i < 10; ++i) {
+      EventRecord record;
+      record.agent_id = 1 + (i % 2);
+      record.op = i % 3 == 0 ? OpType::kRead : OpType::kWrite;
+      record.start_ts = t + i * kMinute;
+      record.end_ts = record.start_ts + kSecond;
+      record.amount = 100 * (i + 1);
+      record.subject = ProcessRef{record.agent_id, 10u + (i % 3),
+                                  "proc" + std::to_string(i % 3), "u"};
+      record.object = FileRef{record.agent_id, "/f" + std::to_string(i % 4)};
+      ASSERT_TRUE(db_->Append(record).ok());
+    }
+    db_->Seal();
+    catalog_ = std::make_unique<OptimizedCatalog>(db_.get());
+    executor_ = std::make_unique<SqlExecutor>(catalog_.get());
+  }
+
+  ResultTable Run(const std::string& sql) {
+    auto result = executor_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(result)->table : ResultTable{};
+  }
+
+  std::unique_ptr<AuditDatabase> db_;
+  std::unique_ptr<OptimizedCatalog> catalog_;
+  std::unique_ptr<SqlExecutor> executor_;
+};
+
+TEST_F(SqlEdgeTest, ArithmeticKeepsIntegerTypeExceptDivision) {
+  ResultTable t = Run("SELECT e.amount + 1, e.amount / 3 FROM events e "
+                      "WHERE e.amount = 100");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(t.rows[0][0]), "101");
+  // Division always produces a double.
+  EXPECT_EQ(ValueToString(t.rows[0][1]), "33.33");
+}
+
+TEST_F(SqlEdgeTest, InListAndBetweenStyleRanges) {
+  ResultTable t = Run(
+      "SELECT p.pid FROM process p WHERE p.pid IN (10, 12) "
+      "AND p.pid >= 10 AND p.pid <= 12");
+  // pids are 10,11,12 across agents; IN keeps 10 and 12 (per agent).
+  for (const auto& row : t.rows) {
+    EXPECT_NE(ValueToString(row[0]), "11");
+  }
+  EXPECT_GE(t.num_rows(), 2u);
+}
+
+TEST_F(SqlEdgeTest, NullComparisonsAreFalse) {
+  // COALESCE(NULL-producing column) — b.pid is null for unmatched rows.
+  ResultTable t = Run(
+      "SELECT a.pid, COALESCE(b.pid, 0) FROM "
+      "(SELECT p.pid AS pid FROM process p) a "
+      "LEFT JOIN (SELECT p.pid AS pid FROM process p WHERE p.pid > 999) b "
+      "ON b.pid = a.pid WHERE COALESCE(b.pid, 0) = 0");
+  // No process has pid > 999, so every row is null-extended and kept.
+  EXPECT_GT(t.num_rows(), 0u);
+  for (const auto& row : t.rows) {
+    EXPECT_EQ(ValueToString(row[1]), "0");
+  }
+}
+
+TEST_F(SqlEdgeTest, DistinctAndLimitCompose) {
+  ResultTable all = Run("SELECT DISTINCT s.exe_name FROM events e, process s "
+                        "WHERE s.id = e.subject_id");
+  EXPECT_LE(all.num_rows(), 6u);  // 3 names x up to 2 agents
+  ResultTable limited = Run(
+      "SELECT DISTINCT s.exe_name FROM events e, process s "
+      "WHERE s.id = e.subject_id LIMIT 2");
+  EXPECT_EQ(limited.num_rows(), 2u);
+}
+
+TEST_F(SqlEdgeTest, CountDistinguishesStarAndColumn) {
+  ResultTable t = Run(
+      "SELECT COUNT(*) AS all_rows, SUM(e.amount) AS total FROM events e");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(t.rows[0][0]), "10");
+  EXPECT_EQ(ValueToString(t.rows[0][1]), "5500");
+}
+
+TEST_F(SqlEdgeTest, AggregatesOfEmptyInputAreNullCountZero) {
+  ResultTable t = Run(
+      "SELECT COUNT(*) AS n, MAX(e.amount) AS biggest FROM events e "
+      "WHERE e.amount > 99999");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(t.rows[0][0]), "0");
+  EXPECT_EQ(ValueToString(t.rows[0][1]), "NULL");
+}
+
+TEST_F(SqlEdgeTest, OrAndNotPrecedence) {
+  ResultTable t = Run(
+      "SELECT e.amount FROM events e "
+      "WHERE NOT e.op = 'read' AND (e.amount = 200 OR e.amount = 300)");
+  // amount 200 (i=1, write) and 300 (i=2, write); i=3 is read.
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(SqlEdgeTest, WindowsFunctionValidation) {
+  auto bad = executor_->Execute(
+      "SELECT w.idx FROM windows(0, 100, 0, 10) w");
+  EXPECT_FALSE(bad.ok());
+  auto missing_alias = executor_->Execute(
+      "SELECT idx FROM windows(0, 100, 10, 10)");
+  EXPECT_FALSE(missing_alias.ok());
+}
+
+TEST_F(SqlEdgeTest, UnknownTableAndEmptyFromAreErrors) {
+  EXPECT_FALSE(executor_->Execute("SELECT x FROM nonexistent t").ok());
+  EXPECT_FALSE(executor_->Execute("SELECT 1").ok());  // no FROM clause
+}
+
+TEST_F(SqlEdgeTest, UnknownColumnYieldsNullNotCrash) {
+  ResultTable t = Run("SELECT e.bogus_column FROM events e LIMIT 1");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(t.rows[0][0]), "NULL");
+}
+
+TEST_F(SqlEdgeTest, LikeIsCaseInsensitive) {
+  // Documented divergence from stock PostgreSQL: LIKE behaves like ILIKE to
+  // match AIQL semantics.
+  ResultTable t = Run(
+      "SELECT DISTINCT p.exe_name FROM process p "
+      "WHERE p.exe_name LIKE 'PROC0'");
+  EXPECT_GE(t.num_rows(), 1u);
+}
+
+TEST_F(SqlEdgeTest, GroupByMultipleKeys) {
+  ResultTable t = Run(
+      "SELECT e.agentid, e.op, COUNT(*) AS n FROM events e "
+      "GROUP BY e.agentid, e.op");
+  // agents {1,2} x ops {read,write} = up to 4 groups.
+  EXPECT_GE(t.num_rows(), 3u);
+  EXPECT_LE(t.num_rows(), 4u);
+}
+
+TEST_F(SqlEdgeTest, SubqueryColumnsAddressableByAlias) {
+  ResultTable t = Run(
+      "SELECT sub.n FROM "
+      "(SELECT e.agentid AS a, COUNT(*) AS n FROM events e "
+      " GROUP BY e.agentid) sub "
+      "WHERE sub.a = 1");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(ValueToString(t.rows[0][0]), "5");
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,102 @@
+// Unit tests for Status / Result error handling.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aiql {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "unexpected token");
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::SemanticError("x").code(), StatusCode::kSemanticError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  AIQL_ASSIGN_OR_RETURN(int halved, HalveEven(v));
+  AIQL_ASSIGN_OR_RETURN(int quartered, HalveEven(halved));
+  *out = quartered;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesAndAssigns) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  Status s = UseAssignOrReturn(6, &out);  // 6/2=3 is odd -> error
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+Status FailFast(bool fail) {
+  AIQL_RETURN_IF_ERROR(fail ? Status::IOError("disk") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailFast(false).ok());
+  EXPECT_EQ(FailFast(true).code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,298 @@
+// Unit tests for the storage engine: entity dedup, event merge-dedup,
+// partitioning, statistics, scan selection, and snapshot persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/database.h"
+#include "storage/snapshot.h"
+
+namespace aiql {
+namespace {
+
+Timestamp T0() { return *MakeTimestamp(2018, 5, 10); }
+
+EventRecord Rec(AgentId agent, OpType op, Timestamp start, uint64_t amount,
+                std::string exe, ObjectRef object) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = op;
+  record.start_ts = start;
+  record.end_ts = start + kSecond;
+  record.amount = amount;
+  record.subject = ProcessRef{agent, 100, std::move(exe), "root"};
+  record.object = std::move(object);
+  return record;
+}
+
+TEST(EntityStoreTest, DeduplicatesEntities) {
+  EntityStore store;
+  ProcessRef p1{1, 100, "cmd.exe", "root"};
+  EXPECT_EQ(store.InternProcess(p1), store.InternProcess(p1));
+  EXPECT_EQ(store.processes().size(), 1u);
+  // Different pid -> different entity.
+  ProcessRef p2{1, 101, "cmd.exe", "root"};
+  EXPECT_NE(store.InternProcess(p1), store.InternProcess(p2));
+  // Same path on another agent -> different file entity.
+  EXPECT_NE(store.InternFile(FileRef{1, "/etc/passwd"}),
+            store.InternFile(FileRef{2, "/etc/passwd"}));
+  EXPECT_EQ(store.paths().size(), 1u);  // but the string is interned once
+}
+
+TEST(EntityStoreTest, AttributeIndexLookups) {
+  EntityStore store;
+  store.InternProcess(ProcessRef{1, 1, "C:\\Windows\\cmd.exe", "root"});
+  store.InternProcess(ProcessRef{1, 2, "C:\\Windows\\powershell.exe", "x"});
+  store.InternProcess(ProcessRef{2, 3, "C:\\Windows\\cmd.exe", "y"});
+  auto matches = store.FindProcessesByExe(LikeMatcher("%cmd.exe"));
+  EXPECT_EQ(matches.size(), 2u);
+  auto none = store.FindProcessesByExe(LikeMatcher("%bash%"));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(DedupTest, MergesRepeatedEventsWithinWindow) {
+  StorageOptions options;
+  options.dedup_window = 3 * kSecond;
+  AuditDatabase db(options);
+  FileRef file{1, "/var/log/app.log"};
+  // Ten 1-second writes back-to-back: merge into one event.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        db.Append(Rec(1, OpType::kWrite, T0() + i * kSecond, 100, "a", file))
+            .ok());
+  }
+  db.Seal();
+  EXPECT_EQ(db.stats().raw_events, 10u);
+  EXPECT_EQ(db.stats().total_events, 1u);
+  const auto& partition = *db.partitions().begin()->second;
+  ASSERT_EQ(partition.size(), 1u);
+  EXPECT_EQ(partition.events()[0].amount, 1000u);  // amounts accumulate
+  EXPECT_EQ(partition.events()[0].merge_count, 10u);
+  EXPECT_EQ(partition.events()[0].end_ts, T0() + 9 * kSecond + kSecond);
+}
+
+TEST(DedupTest, GapBeyondWindowSplitsEvents) {
+  StorageOptions options;
+  options.dedup_window = 2 * kSecond;
+  AuditDatabase db(options);
+  FileRef file{1, "/tmp/x"};
+  ASSERT_TRUE(db.Append(Rec(1, OpType::kWrite, T0(), 10, "a", file)).ok());
+  ASSERT_TRUE(
+      db.Append(Rec(1, OpType::kWrite, T0() + 10 * kSecond, 10, "a", file))
+          .ok());
+  db.Seal();
+  EXPECT_EQ(db.stats().total_events, 2u);
+}
+
+TEST(DedupTest, DifferentKeysNeverMerge) {
+  StorageOptions options;
+  options.dedup_window = 10 * kSecond;
+  AuditDatabase db(options);
+  ASSERT_TRUE(
+      db.Append(Rec(1, OpType::kWrite, T0(), 1, "a", FileRef{1, "/f1"}))
+          .ok());
+  ASSERT_TRUE(
+      db.Append(Rec(1, OpType::kWrite, T0() + kSecond, 1, "a",
+                    FileRef{1, "/f2"}))
+          .ok());
+  ASSERT_TRUE(db.Append(Rec(1, OpType::kRead, T0() + 2 * kSecond, 1, "a",
+                            FileRef{1, "/f1"}))
+                  .ok());
+  db.Seal();
+  EXPECT_EQ(db.stats().total_events, 3u);
+}
+
+TEST(PartitionTest, TimeAndAgentPartitioning) {
+  StorageOptions options;
+  options.partition_duration = kHour;
+  options.dedup_window = 0;
+  AuditDatabase db(options);
+  // Two agents x three hours.
+  for (AgentId agent : {1u, 2u}) {
+    for (int hour = 0; hour < 3; ++hour) {
+      ASSERT_TRUE(db.Append(Rec(agent, OpType::kWrite, T0() + hour * kHour,
+                                1, "a", FileRef{agent, "/f"}))
+                      .ok());
+    }
+  }
+  db.Seal();
+  EXPECT_EQ(db.stats().total_partitions, 6u);
+
+  // Agent pruning.
+  auto only_agent1 =
+      db.SelectPartitions(TimeRange{INT64_MIN, INT64_MAX},
+                          std::vector<AgentId>{1});
+  EXPECT_EQ(only_agent1.size(), 3u);
+  // Time pruning.
+  auto first_hour = db.SelectPartitions(
+      TimeRange{T0(), T0() + kHour}, std::nullopt);
+  EXPECT_EQ(first_hour.size(), 2u);
+}
+
+TEST(PartitionTest, DisabledPartitioningUsesOneBucket) {
+  StorageOptions options;
+  options.enable_partitioning = false;
+  AuditDatabase db(options);
+  for (AgentId agent : {1u, 2u, 3u}) {
+    ASSERT_TRUE(db.Append(Rec(agent, OpType::kWrite,
+                              T0() + agent * 2 * kHour, 1, "a",
+                              FileRef{agent, "/f"}))
+                    .ok());
+  }
+  db.Seal();
+  EXPECT_EQ(db.stats().total_partitions, 1u);
+}
+
+TEST(PartitionTest, SealedPartitionIsSortedAndSearchable) {
+  StorageOptions options;
+  options.dedup_window = 0;
+  AuditDatabase db(options);
+  // Out-of-order arrival within one partition.
+  for (int i : {5, 1, 3, 2, 4}) {
+    ASSERT_TRUE(db.Append(Rec(1, OpType::kWrite, T0() + i * kMinute, 1, "a",
+                              FileRef{1, "/f"}))
+                    .ok());
+  }
+  db.Seal();
+  const auto& partition = *db.partitions().begin()->second;
+  for (size_t i = 1; i < partition.size(); ++i) {
+    EXPECT_LE(partition.events()[i - 1].start_ts,
+              partition.events()[i].start_ts);
+  }
+  EXPECT_EQ(partition.LowerBound(T0() + 3 * kMinute), 2u);
+  EXPECT_EQ(partition.LowerBound(T0() + 10 * kMinute), 5u);
+}
+
+TEST(StorageTest, RejectsMalformedRecords) {
+  AuditDatabase db;
+  EventRecord bad = Rec(1, OpType::kWrite, T0(), 1, "a", FileRef{1, "/f"});
+  bad.end_ts = bad.start_ts - 1;
+  EXPECT_FALSE(db.Append(bad).ok());
+
+  EventRecord no_exe = Rec(1, OpType::kWrite, T0(), 1, "", FileRef{1, "/f"});
+  EXPECT_FALSE(db.Append(no_exe).ok());
+
+  db.Seal();
+  EXPECT_FALSE(
+      db.Append(Rec(1, OpType::kWrite, T0(), 1, "a", FileRef{1, "/f"})).ok());
+}
+
+TEST(StorageTest, OpStatisticsTracked) {
+  StorageOptions options;
+  options.dedup_window = 0;
+  AuditDatabase db(options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.Append(Rec(1, OpType::kRead, T0() + i * kMinute, 1,
+                              "reader", FileRef{1, "/f"}))
+                    .ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.Append(Rec(1, OpType::kWrite, T0() + i * kMinute, 1,
+                              "writer", FileRef{1, "/f"}))
+                    .ok());
+  }
+  db.Seal();
+  EXPECT_EQ(db.stats().op_counts[static_cast<int>(OpType::kRead)], 5u);
+  EXPECT_EQ(db.stats().op_counts[static_cast<int>(OpType::kWrite)], 3u);
+  const auto& partition = *db.partitions().begin()->second;
+  StringId reader = db.entities().exe_names().Lookup("reader");
+  ASSERT_NE(reader, kInvalidStringId);
+  EXPECT_EQ(partition.SubjectExeCount(reader), 5u);
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string("/tmp/aiql_snapshot_test_") +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".snap";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  StorageOptions options;
+  options.partition_duration = 30 * kMinute;
+  AuditDatabase db(options);
+  for (int i = 0; i < 200; ++i) {
+    AgentId agent = 1 + (i % 3);
+    ASSERT_TRUE(db.Append(Rec(agent, i % 2 == 0 ? OpType::kRead
+                                                : OpType::kWrite,
+                              T0() + i * kMinute, 10 + i,
+                              "proc" + std::to_string(i % 7),
+                              FileRef{agent, "/data/f" +
+                                                 std::to_string(i % 11)}))
+                    .ok());
+  }
+  db.Seal();
+  ASSERT_TRUE(SaveSnapshot(db, path_).ok());
+
+  auto loaded = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->stats().total_events, db.stats().total_events);
+  EXPECT_EQ(loaded->stats().total_partitions, db.stats().total_partitions);
+  EXPECT_EQ(loaded->entities().processes().size(),
+            db.entities().processes().size());
+  EXPECT_EQ(loaded->entities().files().size(), db.entities().files().size());
+  EXPECT_TRUE(loaded->sealed());
+
+  // Spot-check event equality partition by partition.
+  auto orig_it = db.partitions().begin();
+  auto load_it = loaded->partitions().begin();
+  for (; orig_it != db.partitions().end(); ++orig_it, ++load_it) {
+    ASSERT_EQ(orig_it->first, load_it->first);
+    ASSERT_EQ(orig_it->second->size(), load_it->second->size());
+    for (size_t i = 0; i < orig_it->second->size(); ++i) {
+      const Event& a = orig_it->second->events()[i];
+      const Event& b = load_it->second->events()[i];
+      EXPECT_EQ(a.start_ts, b.start_ts);
+      EXPECT_EQ(a.subject, b.subject);
+      EXPECT_EQ(a.object, b.object);
+      EXPECT_EQ(a.amount, b.amount);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, RefusesUnsealedDatabase) {
+  AuditDatabase db;
+  ASSERT_TRUE(
+      db.Append(Rec(1, OpType::kWrite, T0(), 1, "a", FileRef{1, "/f"})).ok());
+  EXPECT_FALSE(SaveSnapshot(db, path_).ok());
+}
+
+TEST_F(SnapshotTest, DetectsCorruption) {
+  AuditDatabase db;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Append(Rec(1, OpType::kWrite, T0() + i * kMinute, 1, "a",
+                              FileRef{1, "/f"}))
+                    .ok());
+  }
+  db.Seal();
+  ASSERT_TRUE(SaveSnapshot(db, path_).ok());
+
+  // Flip one byte in the middle.
+  FILE* file = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 100, SEEK_SET);
+  int c = std::fgetc(file);
+  std::fseek(file, 100, SEEK_SET);
+  std::fputc(c ^ 0xFF, file);
+  std::fclose(file);
+
+  auto loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SnapshotTest, RejectsMissingAndForeignFiles) {
+  EXPECT_EQ(LoadSnapshot("/tmp/does_not_exist.snap").status().code(),
+            StatusCode::kIOError);
+  FILE* file = std::fopen(path_.c_str(), "wb");
+  std::fputs("this is not a snapshot", file);
+  std::fclose(file);
+  EXPECT_EQ(LoadSnapshot(path_).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,114 @@
+// Unit tests for timestamp / duration parsing and formatting.
+
+#include "common/time_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace aiql {
+namespace {
+
+TEST(TimeUtilsTest, EpochIsZero) {
+  auto ts = MakeTimestamp(1970, 1, 1);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 0);
+}
+
+TEST(TimeUtilsTest, KnownDate) {
+  // 2018-05-10 00:00:00 UTC == 1525910400 seconds since epoch.
+  auto ts = MakeTimestamp(2018, 5, 10);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 1525910400LL * kSecond);
+}
+
+TEST(TimeUtilsTest, TimeOfDayComponents) {
+  auto base = MakeTimestamp(2018, 5, 10);
+  auto ts = MakeTimestamp(2018, 5, 10, 10, 30, 15);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, *base + 10 * kHour + 30 * kMinute + 15 * kSecond);
+}
+
+TEST(TimeUtilsTest, RejectsInvalidCalendarDates) {
+  EXPECT_FALSE(MakeTimestamp(2018, 13, 1).ok());
+  EXPECT_FALSE(MakeTimestamp(2018, 0, 1).ok());
+  EXPECT_FALSE(MakeTimestamp(2018, 2, 29).ok());  // 2018 not a leap year
+  EXPECT_TRUE(MakeTimestamp(2020, 2, 29).ok());   // 2020 is
+  EXPECT_FALSE(MakeTimestamp(2018, 4, 31).ok());
+  EXPECT_FALSE(MakeTimestamp(1969, 1, 1).ok());
+  EXPECT_FALSE(MakeTimestamp(2018, 1, 1, 24, 0, 0).ok());
+}
+
+TEST(TimeUtilsTest, ParseDateOnly) {
+  auto ts = ParseTimestamp("05/10/2018");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, *MakeTimestamp(2018, 5, 10));
+}
+
+TEST(TimeUtilsTest, ParseDateTime) {
+  auto ts = ParseTimestamp("10:30:15 05/10/2018");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, *MakeTimestamp(2018, 5, 10, 10, 30, 15));
+}
+
+TEST(TimeUtilsTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseTimestamp("").ok());
+  EXPECT_FALSE(ParseTimestamp("yesterday").ok());
+  EXPECT_FALSE(ParseTimestamp("13/45/2018").ok());
+  EXPECT_FALSE(ParseTimestamp("25:00:00 05/10/2018").ok());
+  EXPECT_FALSE(ParseTimestamp("05-10-2018").ok());
+}
+
+TEST(TimeUtilsTest, TimePointDateCoversWholeDay) {
+  auto range = ParseTimePoint("05/10/2018");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->start, *MakeTimestamp(2018, 5, 10));
+  EXPECT_EQ(range->end - range->start, kDay);
+}
+
+TEST(TimeUtilsTest, TimePointInstantIsOneMicro) {
+  auto range = ParseTimePoint("01:02:03 05/10/2018");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->end - range->start, 1);
+}
+
+TEST(TimeUtilsTest, ParseDurations) {
+  EXPECT_EQ(*ParseDuration("10 sec"), 10 * kSecond);
+  EXPECT_EQ(*ParseDuration("1 min"), kMinute);
+  EXPECT_EQ(*ParseDuration("2 hour"), 2 * kHour);
+  EXPECT_EQ(*ParseDuration("1 day"), kDay);
+  EXPECT_EQ(*ParseDuration("500 ms"), 500 * kMillisecond);
+  EXPECT_EQ(*ParseDuration("42"), 42 * kSecond);  // bare number = seconds
+  EXPECT_EQ(*ParseDuration("1.5 min"), 90 * kSecond);
+}
+
+TEST(TimeUtilsTest, ParseDurationRejectsGarbage) {
+  EXPECT_FALSE(ParseDuration("min").ok());
+  EXPECT_FALSE(ParseDuration("10 fortnights").ok());
+  EXPECT_FALSE(ParseDuration("").ok());
+}
+
+TEST(TimeUtilsTest, FormatRoundTrip) {
+  Timestamp ts = *MakeTimestamp(2018, 5, 10, 1, 2, 3);
+  EXPECT_EQ(FormatTimestamp(ts), "2018-05-10 01:02:03.000");
+}
+
+TEST(TimeRangeTest, ContainsAndOverlaps) {
+  TimeRange r{100, 200};
+  EXPECT_TRUE(r.Contains(100));
+  EXPECT_TRUE(r.Contains(199));
+  EXPECT_FALSE(r.Contains(200));
+  EXPECT_TRUE(r.Overlaps(TimeRange{150, 250}));
+  EXPECT_TRUE(r.Overlaps(TimeRange{0, 101}));
+  EXPECT_FALSE(r.Overlaps(TimeRange{200, 300}));
+  EXPECT_FALSE(r.Overlaps(TimeRange{0, 100}));
+}
+
+TEST(TimeRangeTest, Intersect) {
+  TimeRange r{100, 200};
+  TimeRange i = r.Intersect(TimeRange{150, 400});
+  EXPECT_EQ(i.start, 150);
+  EXPECT_EQ(i.end, 200);
+  EXPECT_TRUE(r.Intersect(TimeRange{300, 400}).empty());
+}
+
+}  // namespace
+}  // namespace aiql
