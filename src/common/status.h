@@ -1,7 +1,8 @@
 // Status / Result error-handling primitives (RocksDB / Arrow idiom).
 //
 // Library code returns Status (or Result<T>) instead of throwing exceptions.
-// The RETURN_IF_ERROR / ASSIGN_OR_RETURN macros keep call sites compact.
+// The AIQL_RETURN_IF_ERROR / AIQL_ASSIGN_OR_RETURN macros keep call sites
+// compact.
 
 #ifndef AIQL_COMMON_STATUS_H_
 #define AIQL_COMMON_STATUS_H_

@@ -9,6 +9,7 @@
 #ifndef AIQL_ENGINE_DATA_QUERY_H_
 #define AIQL_ENGINE_DATA_QUERY_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>

@@ -11,6 +11,7 @@
 #define AIQL_ENGINE_SCHEDULER_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "engine/data_query.h"

@@ -12,6 +12,7 @@
 #ifndef AIQL_QUERY_AST_H_
 #define AIQL_QUERY_AST_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>

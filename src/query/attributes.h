@@ -3,7 +3,7 @@
 //
 // Each entity type exposes a fixed attribute set; bare-string constraints and
 // bare-variable returns resolve to the type's *default* attribute (the
-// paper's context-aware syntax shortcut: p1 -> p1.exe_name, f1 -> f1.name,
+// paper's context-aware syntax shortcut: p1 -> p1.exe_name, f1 -> f1.path,
 // i1 -> i1.dst_ip).
 
 #ifndef AIQL_QUERY_ATTRIBUTES_H_

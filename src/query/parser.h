@@ -8,7 +8,8 @@
 //                 | IDENT '=' value                    // e.g. agentid = 1
 //                 | 'window' '=' duration ',' 'step' '=' duration
 //   multievent_body := event_pattern+ with_clause? return_clause
-//                      group_clause? having_clause? limit_clause?
+//                      group_clause? having_clause? order_clause?
+//                      limit_clause?
 //   event_pattern := entity_decl op ('||' op)* entity_decl ('as' IDENT)?
 //   entity_decl  := ('proc'|'file'|'ip') IDENT? ('[' constraints? ']')?
 //   constraints  := constraint (',' constraint)*
@@ -23,8 +24,10 @@
 //   group_clause := 'group' 'by' attr_ref (',' attr_ref)*
 //   having_clause := 'having' bool_expr                // arithmetic + cmp +
 //                                                      // and/or/not + hist[k]
+//   order_clause := ('order'|'sort') 'by' attr_ref ('asc'|'desc')?
+//                   (',' attr_ref ('asc'|'desc')?)*
 //   dependency_body := ('forward'|'backward') ':' entity_decl dep_edge+
-//                      return_clause limit_clause?
+//                      return_clause order_clause? limit_clause?
 //   dep_edge     := ('->'|'<-') '[' op ('||' op)* ']' entity_decl
 //
 // Durations are `NUMBER unit` (e.g. `1 min`) or a quoted string ("10 sec").

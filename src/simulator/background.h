@@ -8,6 +8,7 @@
 #ifndef AIQL_SIMULATOR_BACKGROUND_H_
 #define AIQL_SIMULATOR_BACKGROUND_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"

@@ -5,7 +5,7 @@
 // investigation ("a process transferring large data to a suspicious
 // external IP from the database server"). The figure's x-axis lists these
 // 19 ids; the running text counts 19 multievent + 1 anomaly — we follow the
-// figure (documented in EXPERIMENTS.md).
+// figure.
 //
 // Queries are parameterized by the scenario ground truth (agent ids,
 // attacker address) and assume the default scenario date (05/10/2018).

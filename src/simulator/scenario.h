@@ -4,6 +4,7 @@
 #ifndef AIQL_SIMULATOR_SCENARIO_H_
 #define AIQL_SIMULATOR_SCENARIO_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"

@@ -8,6 +8,8 @@
 #ifndef AIQL_STORAGE_DATABASE_H_
 #define AIQL_STORAGE_DATABASE_H_
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
