@@ -1,0 +1,396 @@
+// Machine-readable benchmark runner: executes the fig4 + fig5 AIQL query
+// suites and the storage micro-bench at a pinned seed/rate and writes one
+// JSON document (see README.md "Benchmark JSON schema"). With --baseline it
+// embeds per-query before/after speedups against a previous run's JSON, so
+// every perf PR records its trajectory in a single checked-in file.
+//
+//   $ ./build/bench/bench_runner --label before --out /tmp/before.json
+//   $ ./build/bench/bench_runner --label after
+//         --baseline /tmp/before.json --out BENCH_PR2.json
+//
+// Scale knobs are the usual AIQL_BENCH_* environment variables (see
+// bench_common.h) plus AIQL_BENCH_REPEAT (per-query repetitions, best-of).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/aiql_engine.h"
+#include "query/parser.h"
+#include "simulator/queries_a.h"
+#include "simulator/queries_c.h"
+#include "simulator/scenario.h"
+
+using namespace aiql;
+using namespace aiql_bench;
+
+namespace {
+
+struct QueryRun {
+  std::string suite;
+  std::string id;
+  int64_t wall_us = 0;
+  size_t rows = 0;
+  uint64_t events_scanned = 0;
+  uint64_t events_matched = 0;
+  uint64_t partitions_scanned = 0;
+  int patterns = 0;
+  bool op_selective = false;  ///< every pattern constrains <= 2 operations
+  bool failed = false;        ///< some repetition returned an error
+  std::optional<int64_t> baseline_us;
+};
+
+struct StorageRun {
+  int64_t ingest_us = 0;
+  int64_t scan_us = 0;
+  uint64_t raw_events = 0;
+  uint64_t stored_events = 0;
+  uint64_t partitions = 0;
+  uint64_t scan_checksum = 0;  ///< keeps the scan loop observable
+};
+
+/// Classifies a query from its AST: pattern count and op selectivity.
+void ClassifyQuery(const std::string& text, QueryRun* run) {
+  auto parsed = ParseAiql(text);
+  if (!parsed.ok() || parsed->multievent == nullptr) return;
+  const MultieventQueryAst& ast = *parsed->multievent;
+  run->patterns = static_cast<int>(ast.patterns.size());
+  run->op_selective = !ast.patterns.empty();
+  for (const EventPatternAst& pattern : ast.patterns) {
+    if (pattern.ops.size() > 2) run->op_selective = false;
+  }
+}
+
+/// Best-of-N wall time for one query; stats come from the fastest run.
+QueryRun RunQuery(AiqlEngine* engine, const std::string& suite,
+                  const CatalogQuery& query, int repeat) {
+  QueryRun run;
+  run.suite = suite;
+  run.id = query.id;
+  run.wall_us = INT64_MAX;
+  for (int i = 0; i < repeat; ++i) {
+    QueryStats stats;
+    size_t rows = 0;
+    int64_t us = TimeUs([&] {
+      auto result = engine->Execute(query.text);
+      if (result.ok()) {
+        rows = result->table.num_rows();
+        stats = result->stats;
+      } else {
+        // A broken query must not masquerade as a fast successful run.
+        run.failed = true;
+        std::fprintf(stderr, "  %s %s FAILED: %s\n", suite.c_str(),
+                     query.id.c_str(), result.status().ToString().c_str());
+      }
+    });
+    if (us < run.wall_us) {
+      run.wall_us = us;
+      run.rows = rows;
+      run.events_scanned = stats.events_scanned;
+      run.events_matched = stats.events_matched;
+      run.partitions_scanned = stats.partitions_scanned;
+    }
+  }
+  ClassifyQuery(query.text, &run);
+  return run;
+}
+
+StorageRun RunStorageBench(const std::vector<EventRecord>& records) {
+  StorageRun run;
+  AuditDatabase db{StorageOptions{}};
+  run.ingest_us = TimeUs([&] {
+    for (const EventRecord& record : records) {
+      (void)db.Append(record);
+    }
+    db.Seal();
+  });
+  run.raw_events = db.stats().raw_events;
+  run.stored_events = db.stats().total_events;
+  run.partitions = db.stats().total_partitions;
+  uint64_t sum = 0;
+  run.scan_us = TimeUs([&] {
+    db.ForEachPartition(TimeRange{INT64_MIN, INT64_MAX}, std::nullopt,
+                        [&](const PartitionKey&, const EventPartition& p) {
+                          for (const Event& event : p.events()) {
+                            sum += event.amount;
+                          }
+                        });
+  });
+  run.scan_checksum = sum;
+  return run;
+}
+
+/// Minimal extraction of (suite/id -> wall_us) pairs from a previous run's
+/// JSON. Only understands the schema this binary writes.
+std::map<std::string, int64_t> ParseBaseline(const std::string& path) {
+  std::map<std::string, int64_t> out;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "warning: cannot open baseline '%s'\n", path.c_str());
+    return out;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  auto find_string = [&](const std::string& key, size_t from,
+                         std::string* value) -> size_t {
+    size_t pos = text.find("\"" + key + "\":", from);
+    if (pos == std::string::npos) return std::string::npos;
+    size_t open = text.find('"', pos + key.size() + 3);
+    if (open == std::string::npos) return std::string::npos;
+    size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) return std::string::npos;
+    *value = text.substr(open + 1, close - open - 1);
+    return close;
+  };
+
+  size_t pos = text.find("\"queries\":");
+  while (pos != std::string::npos) {
+    std::string suite, id;
+    size_t after_suite = find_string("suite", pos, &suite);
+    if (after_suite == std::string::npos) break;
+    size_t after_id = find_string("id", after_suite, &id);
+    if (after_id == std::string::npos) break;
+    size_t wall = text.find("\"wall_us\":", after_id);
+    if (wall == std::string::npos) break;
+    out[suite + "/" + id] = std::strtoll(text.c_str() + wall + 10, nullptr, 10);
+    pos = after_id;
+  }
+  return out;
+}
+
+/// Escapes a string for embedding in a JSON document (quotes, backslashes,
+/// control characters). Labels come from the command line, so don't trust
+/// them to be JSON-clean.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double Geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void WriteJson(FILE* out, const std::string& label,
+               const ScenarioOptions& options, int repeat,
+               const std::vector<QueryRun>& runs, const StorageRun& storage,
+               bool has_baseline) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
+  std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
+  std::fprintf(out,
+               "  \"config\": {\"seed\": %llu, \"clients\": %d, "
+               "\"rate_per_host_per_hour\": %.0f, \"hours\": %.1f, "
+               "\"repeat\": %d},\n",
+               static_cast<unsigned long long>(options.seed),
+               options.num_clients, options.events_per_host_per_hour,
+               static_cast<double>(options.duration) / kHour, repeat);
+  std::fprintf(out,
+               "  \"storage\": {\"ingest_us\": %lld, \"scan_us\": %lld, "
+               "\"raw_events\": %llu, \"stored_events\": %llu, "
+               "\"partitions\": %llu, \"scan_checksum\": %llu},\n",
+               static_cast<long long>(storage.ingest_us),
+               static_cast<long long>(storage.scan_us),
+               static_cast<unsigned long long>(storage.raw_events),
+               static_cast<unsigned long long>(storage.stored_events),
+               static_cast<unsigned long long>(storage.partitions),
+               static_cast<unsigned long long>(storage.scan_checksum));
+
+  std::fprintf(out, "  \"queries\": [\n");
+  int64_t total_us = 0, baseline_total_us = 0;
+  std::vector<double> speedups, selective_speedups;
+  double worst_regression_pct = 0;
+  std::string worst_regression_id;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const QueryRun& run = runs[i];
+    total_us += run.wall_us;
+    std::fprintf(out,
+                 "    {\"suite\": \"%s\", \"id\": \"%s\", \"wall_us\": %lld, "
+                 "\"rows\": %zu, \"events_scanned\": %llu, "
+                 "\"events_matched\": %llu, \"partitions_scanned\": %llu, "
+                 "\"patterns\": %d, \"op_selective\": %s",
+                 run.suite.c_str(), run.id.c_str(),
+                 static_cast<long long>(run.wall_us), run.rows,
+                 static_cast<unsigned long long>(run.events_scanned),
+                 static_cast<unsigned long long>(run.events_matched),
+                 static_cast<unsigned long long>(run.partitions_scanned),
+                 run.patterns, run.op_selective ? "true" : "false");
+    if (run.failed) std::fprintf(out, ", \"failed\": true");
+    if (run.baseline_us.has_value()) {
+      baseline_total_us += *run.baseline_us;
+      double speedup = static_cast<double>(*run.baseline_us) /
+                       static_cast<double>(std::max<int64_t>(run.wall_us, 1));
+      speedups.push_back(speedup);
+      if (run.op_selective && run.patterns >= 2) {
+        selective_speedups.push_back(speedup);
+      }
+      double regression_pct = (1.0 / speedup - 1.0) * 100.0;
+      if (regression_pct > worst_regression_pct) {
+        worst_regression_pct = regression_pct;
+        worst_regression_id = run.suite + "/" + run.id;
+      }
+      std::fprintf(out, ", \"baseline_wall_us\": %lld, \"speedup\": %.3f",
+                   static_cast<long long>(*run.baseline_us), speedup);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+
+  std::fprintf(out, "  \"summary\": {\"total_us\": %lld",
+               static_cast<long long>(total_us));
+  if (has_baseline) {
+    std::fprintf(out,
+                 ", \"baseline_total_us\": %lld, "
+                 "\"geomean_speedup\": %.3f, "
+                 "\"op_selective_multi_pattern_geomean_speedup\": %.3f, "
+                 "\"worst_regression_pct\": %.1f, "
+                 "\"worst_regression_query\": \"%s\"",
+                 static_cast<long long>(baseline_total_us), Geomean(speedups),
+                 Geomean(selective_speedups), worst_regression_pct,
+                 worst_regression_id.c_str());
+  }
+  std::fprintf(out, "}\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "bench_out.json";
+  std::string baseline_path;
+  std::string label = "run";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (const char* v = next()) out_path = v;
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      if (const char* v = next()) baseline_path = v;
+    } else if (std::strcmp(argv[i], "--label") == 0) {
+      if (const char* v = next()) label = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out file.json] [--baseline file.json] "
+                   "[--label name]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  ScenarioOptions options = BenchScenarioOptions();
+  int repeat =
+      std::max(1, static_cast<int>(EnvDouble("AIQL_BENCH_REPEAT", 3)));
+
+  std::fprintf(stderr,
+               "bench_runner: clients=%d rate=%.0f hours=%.1f seed=%llu "
+               "repeat=%d\n",
+               options.num_clients, options.events_per_host_per_hour,
+               static_cast<double>(options.duration) / kHour,
+               static_cast<unsigned long long>(options.seed), repeat);
+
+  std::vector<QueryRun> runs;
+
+  // fig4: the 19 demo-attack investigation queries.
+  DemoScenarioData demo = GenerateDemoScenario(options);
+  auto demo_db = IngestRecords(demo.records, StorageOptions{});
+  if (!demo_db.ok()) {
+    std::fprintf(stderr, "demo ingest failed: %s\n",
+                 demo_db.status().ToString().c_str());
+    return 1;
+  }
+  {
+    AiqlEngine engine(&*demo_db);
+    for (const CatalogQuery& query : DemoInvestigationQueries(demo.truth)) {
+      runs.push_back(RunQuery(&engine, "fig4", query, repeat));
+      std::fprintf(stderr, "  fig4 %-6s %8lld us  rows=%zu\n",
+                   runs.back().id.c_str(),
+                   static_cast<long long>(runs.back().wall_us),
+                   runs.back().rows);
+    }
+  }
+
+  // fig5: the 26 ATC case-study queries (AIQL engine only — the SQL/graph
+  // baselines are cross-engine comparisons, not scan-path trajectory).
+  AtcScenarioData atc = GenerateAtcScenario(options);
+  auto atc_db = IngestRecords(atc.records, StorageOptions{});
+  if (!atc_db.ok()) {
+    std::fprintf(stderr, "atc ingest failed: %s\n",
+                 atc_db.status().ToString().c_str());
+    return 1;
+  }
+  {
+    AiqlEngine engine(&*atc_db);
+    for (const CatalogQuery& query : AtcInvestigationQueries(atc.truth)) {
+      runs.push_back(RunQuery(&engine, "fig5", query, repeat));
+      std::fprintf(stderr, "  fig5 %-6s %8lld us  rows=%zu\n",
+                   runs.back().id.c_str(),
+                   static_cast<long long>(runs.back().wall_us),
+                   runs.back().rows);
+    }
+  }
+
+  // storage micro-bench: ingest + full scan on the demo record stream.
+  StorageRun storage = RunStorageBench(demo.records);
+
+  bool has_baseline = false;
+  if (!baseline_path.empty()) {
+    auto baseline = ParseBaseline(baseline_path);
+    for (QueryRun& run : runs) {
+      auto it = baseline.find(run.suite + "/" + run.id);
+      if (it != baseline.end()) {
+        run.baseline_us = it->second;
+        has_baseline = true;
+      }
+    }
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
+    return 1;
+  }
+  WriteJson(out, label, options, repeat, runs, storage, has_baseline);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  int failures = 0;
+  for (const QueryRun& run : runs) {
+    if (run.failed) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d quer%s failed to execute\n", failures,
+                 failures == 1 ? "y" : "ies");
+    return 1;
+  }
+  return 0;
+}

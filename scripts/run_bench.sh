@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the scan-path benchmark suite at the pinned configuration and writes
+# a BENCH_*.json trajectory file (schema in README.md).
+#
+#   scripts/run_bench.sh [--baseline prev.json] [--out BENCH_PRn.json] \
+#                        [--label after]
+#
+# The configuration is pinned so numbers stay comparable across PRs on the
+# same machine; override AIQL_BENCH_* in the environment only for local
+# experiments (never for checked-in files).
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+RUNNER="${BUILD_DIR}/bench/bench_runner"
+
+if [[ ! -x "${RUNNER}" ]]; then
+  echo "error: ${RUNNER} not built (cmake --build ${BUILD_DIR} --target bench_runner)" >&2
+  exit 1
+fi
+
+export AIQL_BENCH_SEED="${AIQL_BENCH_SEED:-42}"
+export AIQL_BENCH_CLIENTS="${AIQL_BENCH_CLIENTS:-5}"
+export AIQL_BENCH_RATE="${AIQL_BENCH_RATE:-20000}"
+export AIQL_BENCH_HOURS="${AIQL_BENCH_HOURS:-6}"
+export AIQL_BENCH_REPEAT="${AIQL_BENCH_REPEAT:-5}"
+
+exec "${RUNNER}" "$@"

@@ -6,14 +6,17 @@
 
 namespace aiql {
 
-void EntitySet::IntersectWith(const EntitySet& other) {
+size_t EntitySet::IntersectWith(const EntitySet& other) {
   size_t n = std::min(bits_.size(), other.bits_.size());
+  size_t count = 0;
   for (size_t i = 0; i < n; ++i) {
     bits_[i] &= other.bits_[i];
+    count += static_cast<size_t>(std::popcount(bits_[i]));
   }
   for (size_t i = n; i < bits_.size(); ++i) {
     bits_[i] = 0;
   }
+  return count;
 }
 
 size_t EntitySet::Count() const {

@@ -33,8 +33,10 @@ class EntitySet {
     size_t word = id >> 6;
     return word < bits_.size() && (bits_[word] >> (id & 63)) & 1;
   }
-  /// Keeps only ids also present in `other`.
-  void IntersectWith(const EntitySet& other);
+  /// Keeps only ids also present in `other`. Returns the surviving member
+  /// count, fused into the same word-at-a-time pass (popcount, no bit loop)
+  /// so callers need no separate Count() scan.
+  size_t IntersectWith(const EntitySet& other);
   size_t Count() const;
   /// Materializes the member ids in ascending order.
   std::vector<EntityId> ToVector() const;

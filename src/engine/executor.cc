@@ -6,8 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "common/string_utils.h"
 #include "engine/projector.h"
+#include "engine/scan.h"
 #include "query/attributes.h"
 
 namespace aiql {
@@ -22,9 +22,11 @@ Duration ElapsedUs(Clock::time_point since) {
       .count();
 }
 
-/// Matched events of one pattern plus timestamp envelope for pruning.
+/// Matched events of one pattern plus timestamp envelope for pruning. The
+/// events are pointers into sealed partitions — the scan path never copies
+/// an Event.
 struct PatternMatches {
-  std::vector<Event> events;
+  std::vector<const Event*> events;
   Timestamp min_start = INT64_MAX;
   Timestamp max_start = INT64_MIN;
   Timestamp min_end = INT64_MAX;
@@ -43,6 +45,24 @@ struct JoinKeyHash {
     uint64_t h = 1469598103934665603ULL;
     for (EntityId id : key) {
       h = (h ^ id) * 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// DISTINCT dedup key: the projected row itself, hashed value-wise — no
+/// per-row string materialization.
+struct RowHash {
+  size_t operator()(const std::vector<Value>& row) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (const Value& value : row) {
+      h = (h ^ value.index()) * 1099511628211ULL;
+      size_t vh = std::visit(
+          [](const auto& v) {
+            return std::hash<std::decay_t<decltype(v)>>{}(v);
+          },
+          value);
+      h = (h ^ vh) * 1099511628211ULL;
     }
     return static_cast<size_t>(h);
   }
@@ -104,6 +124,18 @@ Result<QueryResult> MultieventExecutor::Execute(
   std::unordered_map<std::string, EntitySet> bindings;
   std::vector<bool> scanned(num_patterns, false);
   bool empty_result = false;
+
+  // Agent filter as a hash set, built once per query. When partitioning is
+  // on, SelectPartitions already restricts agents, so no per-event check is
+  // needed at all; the flat-storage ablation still needs it.
+  const AgentFilterSet* agent_filter = nullptr;
+  std::optional<AgentFilterSet> agent_filter_storage;
+  if (analyzed.agent_filter.has_value() &&
+      !db_->options().enable_partitioning) {
+    agent_filter_storage.emplace(analyzed.agent_filter->begin(),
+                                 analyzed.agent_filter->end());
+    agent_filter = &*agent_filter_storage;
+  }
 
   for (size_t rank = 0; rank < order.size() && !empty_result; ++rank) {
     CompiledPattern& pattern = patterns[order[rank]];
@@ -168,39 +200,18 @@ Result<QueryResult> MultieventExecutor::Execute(
         !pattern_ast.subject.var.empty() &&
         pattern_ast.subject.var == pattern_ast.object.var;
 
-    // Partition-parallel scan.
+    // Partition-parallel scan (zero-copy: pointers into sealed partitions).
     auto partitions =
         db_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
     stats.partitions_scanned += partitions.size();
-    std::vector<std::vector<Event>> local_matches(partitions.size());
+    std::vector<std::vector<const Event*>> local_matches(partitions.size());
     std::vector<uint64_t> local_scanned(partitions.size(), 0);
 
     auto scan_partition = [&](size_t pi) {
-      const EventPartition& partition = *partitions[pi].second;
-      const std::vector<Event>& events = partition.events();
-      size_t begin = partition.LowerBound(pattern.time_range.start);
-      uint64_t scanned_count = 0;
-      for (size_t i = begin; i < events.size(); ++i) {
-        const Event& event = events[i];
-        if (event.start_ts >= pattern.time_range.end) break;
-        ++scanned_count;
-        if (!OpMaskContains(pattern.op_mask, event.op)) continue;
-        if (event.object_type != pattern.object.type) continue;
-        if (analyzed.agent_filter.has_value()) {
-          // Partition selection already filters agents when partitioning is
-          // on; flat storage needs the per-event check.
-          const auto& agents = *analyzed.agent_filter;
-          if (std::find(agents.begin(), agents.end(), event.agent_id) ==
-              agents.end()) {
-            continue;
-          }
-        }
-        if (!FilterAccepts(pattern.subject, event.subject)) continue;
-        if (!FilterAccepts(pattern.object, event.object)) continue;
-        if (same_var_both_sides && event.subject != event.object) continue;
-        local_matches[pi].push_back(event);
-      }
-      local_scanned[pi] = scanned_count;
+      local_scanned[pi] =
+          ScanPartition(*partitions[pi].second, pattern, pattern.time_range,
+                        agent_filter, same_var_both_sides,
+                        &local_matches[pi]);
     };
 
     if (options_.enable_parallelism && pool_ != nullptr &&
@@ -210,12 +221,23 @@ Result<QueryResult> MultieventExecutor::Execute(
       for (size_t pi = 0; pi < partitions.size(); ++pi) scan_partition(pi);
     }
 
+    // Merge without re-pushing: note the envelopes, then move the first
+    // chunk wholesale and bulk-append the rest.
     PatternMatches& pm = matches[pattern.index];
+    size_t total_matches = 0;
     for (size_t pi = 0; pi < partitions.size(); ++pi) {
       stats.events_scanned += local_scanned[pi];
-      for (const Event& event : local_matches[pi]) {
-        pm.Note(event);
-        pm.events.push_back(event);
+      total_matches += local_matches[pi].size();
+      for (const Event* event : local_matches[pi]) pm.Note(*event);
+    }
+    for (size_t pi = 0; pi < partitions.size(); ++pi) {
+      if (local_matches[pi].empty()) continue;
+      if (pm.events.empty()) {
+        pm.events = std::move(local_matches[pi]);
+        pm.events.reserve(total_matches);
+      } else {
+        pm.events.insert(pm.events.end(), local_matches[pi].begin(),
+                         local_matches[pi].end());
       }
     }
     stats.events_matched += pm.events.size();
@@ -225,17 +247,28 @@ Result<QueryResult> MultieventExecutor::Execute(
       break;
     }
 
-    // Record bindings for semi-join pruning of later scans.
+    // Record bindings for semi-join pruning of later scans. First binding of
+    // a var is built in place inside the map (no universe-sized bitset copy);
+    // later occurrences intersect into it.
     if (options_.enable_semi_join) {
       auto record_binding = [&](const EntityDeclAst& decl, bool is_subject) {
         if (decl.var.empty()) return;
         size_t universe = db_->entities().NumEntities(decl.type);
-        EntitySet set(universe);
-        for (const Event& event : pm.events) {
-          set.Add(is_subject ? event.subject : event.object);
+        auto [it, inserted] = bindings.try_emplace(decl.var, universe);
+        if (inserted) {
+          for (const Event* event : pm.events) {
+            it->second.Add(is_subject ? event->subject : event->object);
+          }
+        } else {
+          EntitySet set(universe);
+          for (const Event* event : pm.events) {
+            set.Add(is_subject ? event->subject : event->object);
+          }
+          // The fused intersect-count spots an emptied binding for free: no
+          // entity satisfies every occurrence of the var, so the join can
+          // never produce a row.
+          if (it->second.IntersectWith(set) == 0) empty_result = true;
         }
-        auto [it, inserted] = bindings.emplace(decl.var, set);
-        if (!inserted) it->second.IntersectWith(set);
       };
       record_binding(pattern_ast.subject, true);
       record_binding(pattern_ast.object, false);
@@ -311,17 +344,17 @@ Result<QueryResult> MultieventExecutor::Execute(
     consider(pattern_ast.object, false);
 
     JoinIndex& index = join_indexes[rank];
-    for (const Event& event : matches[pattern.index].events) {
+    for (const Event* event : matches[pattern.index].events) {
       std::vector<EntityId> key;
       key.reserve(key_sides[rank].size());
       for (bool is_subject : key_sides[rank]) {
-        key.push_back(is_subject ? event.subject : event.object);
+        key.push_back(is_subject ? event->subject : event->object);
       }
-      index[key].push_back(&event);
+      index[key].push_back(event);
     }
   }
 
-  std::unordered_set<std::string> distinct_rows;
+  std::unordered_set<std::vector<Value>, RowHash> distinct_rows;
   std::vector<const Event*> assignment(num_patterns, nullptr);
   bool limit_reached = false;
 
@@ -333,14 +366,7 @@ Result<QueryResult> MultieventExecutor::Execute(
       const auto& ref = std::get<AttrRefAst>(item.expr);
       row.push_back(projector.Resolve(ref, assignment));
     }
-    if (ast.distinct) {
-      std::string key;
-      for (const Value& value : row) {
-        key += ValueToString(value);
-        key += '\x1f';
-      }
-      if (!distinct_rows.insert(key).second) return;
-    }
+    if (ast.distinct && !distinct_rows.insert(row).second) return;
     result.table.rows.push_back(std::move(row));
     // With `order by`, every row must be produced before sorting; the limit
     // is applied afterwards.
@@ -403,8 +429,8 @@ Result<QueryResult> MultieventExecutor::Execute(
       assignment[pattern_index] = nullptr;
     };
     if (rank == 0 || key_sides[rank].empty()) {
-      for (const Event& event : matches[pattern_index].events) {
-        try_event(&event);
+      for (const Event* event : matches[pattern_index].events) {
+        try_event(event);
         if (limit_reached) return;
       }
       return;

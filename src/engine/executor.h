@@ -3,10 +3,12 @@
 // Execution proceeds in two phases:
 //  1. Scan phase — one data query per event pattern, executed in the
 //     scheduler's pruning-power order. Each scan runs partition-parallel
-//     (key insight #2). Bindings from completed scans prune later ones:
-//     shared entity variables restrict candidate sets (semi-join), and
+//     (key insight #2) over the sealed columnar view / posting lists (see
+//     engine/scan.h) and yields pointers into partition storage — no Event
+//     is copied. Bindings from completed scans prune later ones: shared
+//     entity variables restrict candidate sets (semi-join), and
 //     `before`/`after` relations tighten time ranges (temporal pruning).
-//  2. Join phase — matched events are combined with hash-indexed
+//  2. Join phase — the matched event refs are combined with hash-indexed
 //     backtracking honoring shared variables, explicit attribute relations,
 //     and temporal relations; results are projected into a ResultTable.
 

@@ -1,0 +1,116 @@
+#include "engine/scan.h"
+
+#include <algorithm>
+
+namespace aiql {
+
+namespace {
+
+/// A cursor over one op's time-clipped posting positions.
+struct PostingCursor {
+  const uint32_t* it = nullptr;
+  const uint32_t* end = nullptr;
+};
+
+}  // namespace
+
+uint64_t ScanPartition(const EventPartition& partition,
+                       const CompiledPattern& pattern, const TimeRange& range,
+                       const AgentFilterSet* agent_filter,
+                       bool same_var_both_sides,
+                       std::vector<const Event*>* out) {
+  const EventColumns& cols = partition.columns();
+  const std::vector<Event>& events = partition.events();
+
+  // Unsealed partitions have no columns/postings; fall back to the row
+  // store rather than silently matching nothing (the engine contract says
+  // sealed, but the scheduler tolerates unsealed the same way).
+  if (!partition.sealed()) {
+    uint64_t inspected = 0;
+    for (const Event& event : events) {
+      if (!range.Contains(event.start_ts)) continue;
+      ++inspected;
+      if (!OpMaskContains(pattern.op_mask, event.op)) continue;
+      if (event.object_type != pattern.object.type) continue;
+      if (agent_filter != nullptr &&
+          agent_filter->count(event.agent_id) == 0) {
+        continue;
+      }
+      if (!FilterAccepts(pattern.subject, event.subject)) continue;
+      if (!FilterAccepts(pattern.object, event.object)) continue;
+      if (same_var_both_sides && event.subject != event.object) continue;
+      out->push_back(&event);
+    }
+    return inspected;
+  }
+
+  size_t row_begin = partition.LowerBound(range.start);
+  size_t row_end = partition.LowerBound(range.end);
+  if (row_begin >= row_end) return 0;
+  size_t range_rows = row_end - row_begin;
+
+  // Every filter below reads columns only; the row store is touched once per
+  // match, to take the event's address.
+  auto test = [&](size_t i) {
+    if (cols.object_type[i] != pattern.object.type) return;
+    if (agent_filter != nullptr && agent_filter->count(cols.agent_id[i]) == 0)
+      return;
+    if (!FilterAccepts(pattern.subject, cols.subject[i])) return;
+    if (!FilterAccepts(pattern.object, cols.object[i])) return;
+    if (same_var_both_sides && cols.subject[i] != cols.object[i]) return;
+    out->push_back(&events[i]);
+  };
+
+  // Gather the time-clipped posting cursors for the ops in the mask; their
+  // combined length is the exact number of op-matching events in range.
+  PostingCursor cursors[kNumOpTypes];
+  int num_cursors = 0;
+  uint64_t posting_rows = 0;
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    if (!OpMaskContains(pattern.op_mask, static_cast<OpType>(op))) continue;
+    auto [lo, hi] = partition.PostingRange(static_cast<OpType>(op), range);
+    if (lo == hi) continue;
+    const uint32_t* base = partition.posting(static_cast<OpType>(op))
+                               .indexes.data();
+    cursors[num_cursors++] = PostingCursor{base + lo, base + hi};
+    posting_rows += hi - lo;
+  }
+  if (posting_rows == 0) return 0;
+  out->reserve(out->size() + static_cast<size_t>(posting_rows));
+
+  // Posting path pays one indirection per op-matching event; the columnar
+  // path streams every row in range but tests the op from a dense column.
+  // Prefer postings when they skip at least half the range.
+  if (posting_rows * 2 <= range_rows) {
+    if (num_cursors == 1) {
+      for (const uint32_t* it = cursors[0].it; it != cursors[0].end; ++it) {
+        test(*it);
+      }
+    } else {
+      // K-way merge (k <= kNumOpTypes) by event index keeps the output in
+      // ascending index order, matching the row scan exactly.
+      while (true) {
+        int best = -1;
+        uint32_t best_index = UINT32_MAX;
+        for (int c = 0; c < num_cursors; ++c) {
+          if (cursors[c].it != cursors[c].end && *cursors[c].it < best_index) {
+            best = c;
+            best_index = *cursors[c].it;
+          }
+        }
+        if (best < 0) break;
+        test(best_index);
+        ++cursors[best].it;
+      }
+    }
+    return posting_rows;
+  }
+
+  for (size_t i = row_begin; i < row_end; ++i) {
+    if (!OpMaskContains(pattern.op_mask, cols.op[i])) continue;
+    test(i);
+  }
+  return range_rows;
+}
+
+}  // namespace aiql

@@ -1,0 +1,43 @@
+// Zero-copy partition scan for compiled event patterns (paper §2.3).
+//
+// One scan inspects a sealed partition and appends pointers to the matching
+// events — no Event is copied anywhere on the scan path; the pointers alias
+// `partition.events()` and stay valid for the life of the partition. Two
+// strategies share the same match predicate:
+//   * posting path — when the pattern's op mask selects few events, iterate
+//     the per-operation posting lists (time-clipped via their zone maps),
+//     merging multiple lists in ascending index order;
+//   * columnar path — otherwise, walk the time-clipped row range over the
+//     structure-of-arrays columns, touching only the columns tested.
+// Both produce matches in ascending event-index order, identical to the
+// historical row scan.
+
+#ifndef AIQL_ENGINE_SCAN_H_
+#define AIQL_ENGINE_SCAN_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "engine/data_query.h"
+#include "storage/partition.h"
+
+namespace aiql {
+
+/// Agent filter materialized once per query (O(1) membership instead of the
+/// O(|agents|) std::find the row scan used per event).
+using AgentFilterSet = std::unordered_set<AgentId>;
+
+/// Scans `partition` for events matching `pattern` within `range` and
+/// appends pointers into `partition.events()` to `*out`. `agent_filter` may
+/// be null (no per-event agent check); `same_var_both_sides` additionally
+/// requires subject == object. Returns the number of events inspected.
+/// The partition must be sealed.
+uint64_t ScanPartition(const EventPartition& partition,
+                       const CompiledPattern& pattern, const TimeRange& range,
+                       const AgentFilterSet* agent_filter,
+                       bool same_var_both_sides,
+                       std::vector<const Event*>* out);
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_SCAN_H_

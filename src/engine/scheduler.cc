@@ -10,11 +10,16 @@ double EstimateCardinality(
     const std::optional<std::vector<AgentId>>& agents) {
   auto partitions = db.SelectPartitions(pattern.time_range, agents);
 
-  double op_events = 0;       // events with a matching operation
+  double op_events = 0;       // events with a matching operation, in range
   double subject_events = 0;  // events whose subject exe matches
   bool use_exe_counts = !pattern.subject.matched_exe_ids.empty();
   for (const auto& [key, partition] : partitions) {
-    op_events += static_cast<double>(partition->OpMaskCount(pattern.op_mask));
+    // Posting lists give the exact op count inside the pattern's time range
+    // (zone-map clipped), sharper than the whole-partition OpMaskCount.
+    op_events += static_cast<double>(
+        partition->sealed()
+            ? partition->OpCountInRange(pattern.op_mask, pattern.time_range)
+            : partition->OpMaskCount(pattern.op_mask));
     if (use_exe_counts) {
       for (StringId exe : pattern.subject.matched_exe_ids) {
         subject_events += static_cast<double>(partition->SubjectExeCount(exe));

@@ -4,8 +4,9 @@
 // search of patterns with higher pruning power — i.e. the smallest expected
 // number of matching events — so that the bindings they produce prune later,
 // less selective scans (semi-join reduction). Cardinality is estimated from
-// partition statistics: per-operation counts and per-subject-executable
-// event counts, scaled by candidate-set selectivity on the object side.
+// partition statistics: exact time-clipped per-operation posting-list
+// counts (OpCountInRange) and per-subject-executable event counts, scaled
+// by candidate-set selectivity on the object side.
 
 #ifndef AIQL_ENGINE_SCHEDULER_H_
 #define AIQL_ENGINE_SCHEDULER_H_

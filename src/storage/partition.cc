@@ -52,7 +52,95 @@ void EventPartition::Seal() {
               return a.end_ts < b.end_ts;
             });
   merge_tail_.clear();
+  BuildSealArtifacts();
   sealed_ = true;
+}
+
+void EventColumns::Clear() {
+  start_ts.clear();
+  end_ts.clear();
+  subject.clear();
+  object.clear();
+  agent_id.clear();
+  amount.clear();
+  op.clear();
+  object_type.clear();
+}
+
+void EventColumns::Reserve(size_t n) {
+  start_ts.reserve(n);
+  end_ts.reserve(n);
+  subject.reserve(n);
+  object.reserve(n);
+  agent_id.reserve(n);
+  amount.reserve(n);
+  op.reserve(n);
+  object_type.reserve(n);
+}
+
+void EventColumns::PushBack(const Event& event) {
+  start_ts.push_back(event.start_ts);
+  end_ts.push_back(event.end_ts);
+  subject.push_back(event.subject);
+  object.push_back(event.object);
+  agent_id.push_back(event.agent_id);
+  amount.push_back(event.amount);
+  op.push_back(event.op);
+  object_type.push_back(event.object_type);
+}
+
+void EventPartition::BuildSealArtifacts() {
+  columns_.Clear();
+  columns_.Reserve(events_.size());
+  for (OpPostingList& list : op_postings_) {
+    list.indexes.clear();
+    list.min_start_ts = INT64_MAX;
+    list.max_start_ts = INT64_MIN;
+  }
+  for (size_t i = 0; i < op_postings_.size(); ++i) {
+    op_postings_[i].indexes.reserve(op_counts_[i]);
+  }
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& event = events_[i];
+    columns_.PushBack(event);
+    OpPostingList& list = op_postings_[static_cast<size_t>(event.op)];
+    list.indexes.push_back(static_cast<uint32_t>(i));
+    if (event.start_ts < list.min_start_ts) list.min_start_ts = event.start_ts;
+    if (event.start_ts > list.max_start_ts) list.max_start_ts = event.start_ts;
+  }
+}
+
+std::pair<size_t, size_t> EventPartition::PostingRange(
+    OpType op, const TimeRange& range) const {
+  const OpPostingList& list = op_postings_[static_cast<size_t>(op)];
+  if (list.empty() || list.min_start_ts >= range.end ||
+      list.max_start_ts < range.start) {
+    return {0, 0};
+  }
+  auto starts_before = [this](uint32_t index, Timestamp t) {
+    return columns_.start_ts[index] < t;
+  };
+  auto lo = list.indexes.begin();
+  auto hi = list.indexes.end();
+  if (list.min_start_ts < range.start) {
+    lo = std::lower_bound(lo, hi, range.start, starts_before);
+  }
+  if (list.max_start_ts >= range.end) {
+    hi = std::lower_bound(lo, hi, range.end, starts_before);
+  }
+  return {static_cast<size_t>(lo - list.indexes.begin()),
+          static_cast<size_t>(hi - list.indexes.begin())};
+}
+
+uint64_t EventPartition::OpCountInRange(OpMask mask,
+                                        const TimeRange& range) const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    auto [lo, hi] = PostingRange(static_cast<OpType>(i), range);
+    total += hi - lo;
+  }
+  return total;
 }
 
 uint64_t EventPartition::OpMaskCount(OpMask mask) const {
@@ -69,6 +157,13 @@ uint64_t EventPartition::SubjectExeCount(StringId exe) const {
 }
 
 size_t EventPartition::LowerBound(Timestamp t) const {
+  if (sealed_) {
+    // Binary search the dense timestamp column: ~6x fewer bytes per probe
+    // than striding over 48-byte Event rows.
+    auto it = std::lower_bound(columns_.start_ts.begin(),
+                               columns_.start_ts.end(), t);
+    return static_cast<size_t>(it - columns_.start_ts.begin());
+  }
   auto it = std::lower_bound(
       events_.begin(), events_.end(), t,
       [](const Event& e, Timestamp ts) { return e.start_ts < ts; });

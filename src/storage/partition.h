@@ -4,6 +4,14 @@
 // events sorted by start timestamp once sealed, plus lightweight statistics
 // (per-operation counts, per-subject-exe counts) that feed the engine's
 // pruning-power estimator. Partitions are the unit of parallel scanning.
+//
+// Sealing additionally materializes two read-path artifacts:
+//   * a structure-of-arrays column view (EventColumns) so time-range +
+//     op-mask scans touch only the columns they test, and
+//   * per-operation posting lists (sorted event indexes with a start-ts
+//     zone map) so op-selective scans iterate only matching events.
+// The row `events()` API stays authoritative for snapshot/graph/SQL
+// callers; columns and postings are derived and rebuilt on every Seal().
 
 #ifndef AIQL_STORAGE_PARTITION_H_
 #define AIQL_STORAGE_PARTITION_H_
@@ -11,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time_utils.h"
@@ -34,6 +43,36 @@ struct PartitionKeyHash {
   }
 };
 
+/// Structure-of-arrays view over a sealed partition's events (one entry per
+/// row of `events()`, in the same sorted order).
+struct EventColumns {
+  std::vector<Timestamp> start_ts;
+  std::vector<Timestamp> end_ts;
+  std::vector<EntityId> subject;
+  std::vector<EntityId> object;
+  std::vector<AgentId> agent_id;
+  std::vector<uint64_t> amount;
+  std::vector<OpType> op;
+  std::vector<EntityType> object_type;
+
+  size_t size() const { return start_ts.size(); }
+  void Clear();
+  void Reserve(size_t n);
+  void PushBack(const Event& event);
+};
+
+/// Sorted event indexes of one operation, with a start-ts zone map. Because
+/// event indexes ascend in start-ts order, a posting list is itself sorted
+/// by start_ts and supports binary-searched time clipping.
+struct OpPostingList {
+  std::vector<uint32_t> indexes;
+  Timestamp min_start_ts = INT64_MAX;
+  Timestamp max_start_ts = INT64_MIN;
+
+  bool empty() const { return indexes.empty(); }
+  size_t size() const { return indexes.size(); }
+};
+
 /// One partition's events and statistics.
 class EventPartition {
  public:
@@ -46,12 +85,30 @@ class EventPartition {
   /// Pass dedup_window = 0 to disable merging. Returns true if merged.
   bool Append(const Event& event, Duration dedup_window);
 
-  /// Sorts events by (start_ts, end_ts) and freezes the partition.
+  /// Sorts events by (start_ts, end_ts), freezes the partition, and builds
+  /// the columnar view plus per-operation posting lists.
   void Seal();
 
   bool sealed() const { return sealed_; }
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
+
+  /// Columnar view over the sorted events (valid once sealed).
+  const EventColumns& columns() const { return columns_; }
+
+  /// Posting list of `op` (valid once sealed).
+  const OpPostingList& posting(OpType op) const {
+    return op_postings_[static_cast<size_t>(op)];
+  }
+
+  /// Position range [lo, hi) within posting(op) whose events start inside
+  /// `range`. Zone-map clipped, then binary searched (partition sealed).
+  std::pair<size_t, size_t> PostingRange(OpType op,
+                                         const TimeRange& range) const;
+
+  /// Exact number of events whose op is in `mask` and whose start_ts falls
+  /// in `range` — the estimator's time-clipped sharpening of OpMaskCount.
+  uint64_t OpCountInRange(OpMask mask, const TimeRange& range) const;
 
   Timestamp min_ts() const { return min_ts_; }
   Timestamp max_ts() const { return max_ts_; }
@@ -101,8 +158,11 @@ class EventPartition {
   };
 
   void AccountEvent(const Event& event, StringId subject_exe);
+  void BuildSealArtifacts();
 
   std::vector<Event> events_;
+  EventColumns columns_;
+  std::array<OpPostingList, kNumOpTypes> op_postings_;
   bool sealed_ = false;
   Timestamp min_ts_ = INT64_MAX;
   Timestamp max_ts_ = INT64_MIN;
