@@ -23,10 +23,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/thread_pool.h"
 #include "engine/aiql_engine.h"
 #include "query/parser.h"
 #include "simulator/queries_a.h"
 #include "simulator/queries_c.h"
+#include "simulator/replay.h"
 #include "simulator/scenario.h"
 
 using namespace aiql;
@@ -56,6 +58,116 @@ struct StorageRun {
   uint64_t partitions = 0;
   uint64_t scan_checksum = 0;  ///< keeps the scan loop observable
 };
+
+/// One query's streaming-mode measurements: latency while ingest runs
+/// (live), plus a final post-Seal run verified against the sealed-batch
+/// row count.
+struct StreamQueryRun {
+  std::string suite;
+  std::string id;
+  int live_runs = 0;
+  int64_t live_total_us = 0;
+  int64_t live_max_us = 0;
+  int64_t final_wall_us = 0;
+  size_t final_rows = 0;
+  size_t expected_rows = 0;
+  bool rows_match = false;
+  bool failed = false;  ///< some live or final execution returned an error
+};
+
+/// One suite's streaming run: ingest at a pinned rate concurrent with the
+/// suite's queries.
+struct StreamSuiteRun {
+  std::string suite;
+  uint64_t records = 0;
+  int64_t ingest_wall_us = 0;
+  uint64_t partitions = 0;
+  uint64_t partitions_sealed = 0;
+  bool ingest_failed = false;
+  std::vector<StreamQueryRun> queries;
+};
+
+/// Streams `records` into a fresh database at `rate` records/second
+/// (background sealing on a small pool) while executing `queries`
+/// round-robin on the calling thread; then seals and verifies each query's
+/// row count against `expected` (suite/id -> sealed-batch rows).
+StreamSuiteRun RunStreamingSuite(const std::string& suite,
+                                 const std::vector<EventRecord>& records,
+                                 const std::vector<CatalogQuery>& queries,
+                                 const std::map<std::string, size_t>& expected,
+                                 double rate) {
+  StreamSuiteRun out;
+  out.suite = suite;
+  out.records = records.size();
+
+  ThreadPool seal_pool(2);
+  StorageOptions storage;
+  storage.seal_pool = &seal_pool;
+  AuditDatabase db(storage);
+  AiqlEngine engine(&db);
+
+  out.queries.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out.queries[i].suite = suite;
+    out.queries[i].id = queries[i].id;
+    auto it = expected.find(suite + "/" + queries[i].id);
+    out.queries[i].expected_rows = it == expected.end() ? 0 : it->second;
+  }
+
+  ReplayOptions replay;
+  replay.events_per_second = rate;
+  StreamReplayer replayer(&db, &records, replay);
+  replayer.Start();
+
+  // Live phase: interleave the suite's queries with the ongoing ingest.
+  size_t qi = 0;
+  while (!replayer.done()) {
+    StreamQueryRun& q = out.queries[qi % queries.size()];
+    const CatalogQuery& query = queries[qi % queries.size()];
+    ++qi;
+    int64_t us = TimeUs([&] {
+      auto result = engine.Execute(query.text);
+      if (!result.ok()) {
+        q.failed = true;
+        std::fprintf(stderr, "  stream %s %s live FAILED: %s\n",
+                     suite.c_str(), query.id.c_str(),
+                     result.status().ToString().c_str());
+      }
+    });
+    q.live_runs += 1;
+    q.live_total_us += us;
+    q.live_max_us = std::max(q.live_max_us, us);
+  }
+  Status ingest_status = replayer.Join();
+  if (!ingest_status.ok()) {
+    out.ingest_failed = true;
+    std::fprintf(stderr, "  stream %s ingest FAILED: %s\n", suite.c_str(),
+                 ingest_status.ToString().c_str());
+  }
+  out.ingest_wall_us = replayer.wall_us();
+  if (!db.Seal().ok()) out.ingest_failed = true;
+  out.partitions = db.stats().total_partitions;
+  out.partitions_sealed = db.stats().partitions_sealed;
+
+  // Verification phase: after the final seal every query must reproduce
+  // the sealed-batch row count exactly.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    StreamQueryRun& q = out.queries[i];
+    q.final_wall_us = TimeUs([&] {
+      auto result = engine.Execute(queries[i].text);
+      if (result.ok()) {
+        q.final_rows = result->table.num_rows();
+      } else {
+        q.failed = true;
+        std::fprintf(stderr, "  stream %s %s final FAILED: %s\n",
+                     suite.c_str(), queries[i].id.c_str(),
+                     result.status().ToString().c_str());
+      }
+    });
+    q.rows_match = !q.failed && q.final_rows == q.expected_rows;
+  }
+  return out;
+}
 
 /// Classifies a query from its AST: pattern count and op selectivity.
 void ClassifyQuery(const std::string& text, QueryRun* run) {
@@ -106,12 +218,17 @@ QueryRun RunQuery(AiqlEngine* engine, const std::string& suite,
 StorageRun RunStorageBench(const std::vector<EventRecord>& records) {
   StorageRun run;
   AuditDatabase db{StorageOptions{}};
+  Status seal_status;
   run.ingest_us = TimeUs([&] {
     for (const EventRecord& record : records) {
       (void)db.Append(record);
     }
-    db.Seal();
+    seal_status = db.Seal();
   });
+  if (!seal_status.ok()) {
+    std::fprintf(stderr, "storage bench seal FAILED: %s\n",
+                 seal_status.ToString().c_str());
+  }
   run.raw_events = db.stats().raw_events;
   run.stored_events = db.stats().total_events;
   run.partitions = db.stats().total_partitions;
@@ -201,10 +318,53 @@ double Geomean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+void WriteStreamingJson(FILE* out, double rate,
+                        const std::vector<StreamSuiteRun>& suites) {
+  std::fprintf(out, "  \"streaming\": {\n");
+  std::fprintf(out, "    \"rate_events_per_sec\": %.0f,\n", rate);
+  std::fprintf(out, "    \"suites\": [\n");
+  bool all_match = true;
+  for (size_t si = 0; si < suites.size(); ++si) {
+    const StreamSuiteRun& suite = suites[si];
+    std::fprintf(out,
+                 "      {\"suite\": \"%s\", \"records\": %llu, "
+                 "\"ingest_wall_us\": %lld, \"partitions\": %llu, "
+                 "\"partitions_sealed\": %llu,\n",
+                 suite.suite.c_str(),
+                 static_cast<unsigned long long>(suite.records),
+                 static_cast<long long>(suite.ingest_wall_us),
+                 static_cast<unsigned long long>(suite.partitions),
+                 static_cast<unsigned long long>(suite.partitions_sealed));
+    std::fprintf(out, "       \"queries\": [\n");
+    for (size_t i = 0; i < suite.queries.size(); ++i) {
+      const StreamQueryRun& q = suite.queries[i];
+      int64_t mean = q.live_runs > 0 ? q.live_total_us / q.live_runs : 0;
+      all_match = all_match && q.rows_match;
+      std::fprintf(out,
+                   "        {\"id\": \"%s\", \"live_runs\": %d, "
+                   "\"live_mean_us\": %lld, \"live_max_us\": %lld, "
+                   "\"final_wall_us\": %lld, \"rows\": %zu, "
+                   "\"expected_rows\": %zu, \"rows_match\": %s%s}%s\n",
+                   q.id.c_str(), q.live_runs, static_cast<long long>(mean),
+                   static_cast<long long>(q.live_max_us),
+                   static_cast<long long>(q.final_wall_us), q.final_rows,
+                   q.expected_rows, q.rows_match ? "true" : "false",
+                   q.failed ? ", \"failed\": true" : "",
+                   i + 1 < suite.queries.size() ? "," : "");
+    }
+    std::fprintf(out, "       ]}%s\n", si + 1 < suites.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"all_rows_match\": %s\n",
+               all_match ? "true" : "false");
+  std::fprintf(out, "  },\n");
+}
+
 void WriteJson(FILE* out, const std::string& label,
                const ScenarioOptions& options, int repeat,
                const std::vector<QueryRun>& runs, const StorageRun& storage,
-               bool has_baseline) {
+               bool has_baseline, double stream_rate,
+               const std::vector<StreamSuiteRun>* streaming) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
   std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
@@ -266,6 +426,8 @@ void WriteJson(FILE* out, const std::string& label,
   }
   std::fprintf(out, "  ],\n");
 
+  if (streaming != nullptr) WriteStreamingJson(out, stream_rate, *streaming);
+
   std::fprintf(out, "  \"summary\": {\"total_us\": %lld",
                static_cast<long long>(total_us));
   if (has_baseline) {
@@ -288,6 +450,7 @@ int main(int argc, char** argv) {
   std::string out_path = "bench_out.json";
   std::string baseline_path;
   std::string label = "run";
+  bool streaming = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -298,10 +461,12 @@ int main(int argc, char** argv) {
       if (const char* v = next()) baseline_path = v;
     } else if (std::strcmp(argv[i], "--label") == 0) {
       if (const char* v = next()) label = v;
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      streaming = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out file.json] [--baseline file.json] "
-                   "[--label name]\n",
+                   "[--label name] [--streaming]\n",
                    argv[0]);
       return 2;
     }
@@ -362,6 +527,40 @@ int main(int argc, char** argv) {
   // storage micro-bench: ingest + full scan on the demo record stream.
   StorageRun storage = RunStorageBench(demo.records);
 
+  // Streaming mode: re-ingest each suite's records at a pinned rate on a
+  // background thread, concurrent with the suite's queries; verify the
+  // post-Seal row counts against the sealed-batch runs above.
+  double stream_rate = EnvDouble("AIQL_BENCH_STREAM_RATE", 25000);
+  std::vector<StreamSuiteRun> stream_suites;
+  if (streaming) {
+    std::map<std::string, size_t> expected_rows;
+    for (const QueryRun& run : runs) {
+      expected_rows[run.suite + "/" + run.id] = run.rows;
+    }
+    std::fprintf(stderr, "streaming: rate=%.0f records/s\n", stream_rate);
+    stream_suites.push_back(
+        RunStreamingSuite("fig4", demo.records,
+                          DemoInvestigationQueries(demo.truth), expected_rows,
+                          stream_rate));
+    stream_suites.push_back(
+        RunStreamingSuite("fig5", atc.records,
+                          AtcInvestigationQueries(atc.truth), expected_rows,
+                          stream_rate));
+    for (const StreamSuiteRun& suite : stream_suites) {
+      int mismatches = 0;
+      for (const StreamQueryRun& q : suite.queries) {
+        if (!q.rows_match) ++mismatches;
+      }
+      std::fprintf(stderr,
+                   "  stream %s: %llu records in %.2fs, %d/%zu row "
+                   "mismatches\n",
+                   suite.suite.c_str(),
+                   static_cast<unsigned long long>(suite.records),
+                   static_cast<double>(suite.ingest_wall_us) / 1e6, mismatches,
+                   suite.queries.size());
+    }
+  }
+
   bool has_baseline = false;
   if (!baseline_path.empty()) {
     auto baseline = ParseBaseline(baseline_path);
@@ -379,7 +578,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
     return 1;
   }
-  WriteJson(out, label, options, repeat, runs, storage, has_baseline);
+  WriteJson(out, label, options, repeat, runs, storage, has_baseline,
+            stream_rate, streaming ? &stream_suites : nullptr);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
@@ -391,6 +591,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%d quer%s failed to execute\n", failures,
                  failures == 1 ? "y" : "ies");
     return 1;
+  }
+  for (const StreamSuiteRun& suite : stream_suites) {
+    if (suite.ingest_failed) {
+      std::fprintf(stderr, "streaming ingest failed (%s)\n",
+                   suite.suite.c_str());
+      return 1;
+    }
+    for (const StreamQueryRun& q : suite.queries) {
+      if (!q.rows_match) {
+        std::fprintf(stderr,
+                     "streaming row-count mismatch: %s/%s got %zu expected "
+                     "%zu\n",
+                     suite.suite.c_str(), q.id.c_str(), q.final_rows,
+                     q.expected_rows);
+        return 1;
+      }
+    }
   }
   return 0;
 }

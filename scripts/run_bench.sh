@@ -23,5 +23,7 @@ export AIQL_BENCH_CLIENTS="${AIQL_BENCH_CLIENTS:-5}"
 export AIQL_BENCH_RATE="${AIQL_BENCH_RATE:-20000}"
 export AIQL_BENCH_HOURS="${AIQL_BENCH_HOURS:-6}"
 export AIQL_BENCH_REPEAT="${AIQL_BENCH_REPEAT:-5}"
+# Pinned streaming ingest rate for `--streaming` runs (records/second).
+export AIQL_BENCH_STREAM_RATE="${AIQL_BENCH_STREAM_RATE:-50000}"
 
 exec "${RUNNER}" "$@"

@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 namespace aiql {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -38,20 +42,78 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+/// Shared claim state of one ParallelFor call. Heap-allocated and owned
+/// jointly by the caller and the helper tasks: a helper enqueued behind a
+/// long task may only start (and observe next >= n) after the caller has
+/// already returned.
+struct ParallelForState {
+  explicit ParallelForState(size_t total, const std::function<void(size_t)>& f)
+      : n(total), fn(&f) {}
+
+  std::atomic<size_t> next{0};  ///< next unclaimed iteration
+  std::atomic<size_t> done{0};  ///< completed iterations
+  size_t n;
+  /// Points at the caller's fn; only dereferenced for claimed iterations
+  /// (i < n), all of which complete before the caller's wait returns.
+  const std::function<void(size_t)>* fn;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  ///< first exception thrown by fn (guarded by mu)
+};
+
+/// Claims and runs iterations until the counter is exhausted. An iteration
+/// that throws still counts as done (so the caller never hangs waiting for
+/// it); the first exception is stashed for the caller to rethrow.
+void DrainParallelFor(const std::shared_ptr<ParallelForState>& state) {
+  size_t ran = 0;
+  while (true) {
+    size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) break;
+    try {
+      (*state->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+    ++ran;
+  }
+  if (ran == 0) return;
+  size_t done = state->done.fetch_add(ran, std::memory_order_acq_rel) + ran;
+  if (done == state->n) {
+    // Taking the mutex pairs with the caller's predicate check, closing the
+    // check-then-sleep window.
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->cv.notify_all();
+  }
+}
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (n == 1) {
     fn(0);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+  auto state = std::make_shared<ParallelForState>(n, fn);
+  // Helpers beyond the caller; more than n - 1 could never claim anything.
+  size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { DrainParallelFor(state); });
   }
-  for (auto& future : futures) {
-    future.get();
-  }
+  // The caller participates: every iteration no helper has claimed runs
+  // inline here, so ParallelFor completes even when all workers are busy —
+  // including when the caller itself is the only worker of a 1-thread pool.
+  DrainParallelFor(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  // Rethrow the first iteration failure on the calling thread, wherever it
+  // ran (the pre-claim-counter implementation surfaced it via future.get()).
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace aiql

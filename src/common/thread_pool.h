@@ -48,6 +48,12 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// complete. fn must be safe to invoke concurrently.
+  ///
+  /// Safe to call from inside a pool worker: iterations are claimed from a
+  /// shared counter and the caller runs not-yet-started iterations inline,
+  /// so completion never depends on another worker becoming free (workers
+  /// merely help). If any iteration throws, the first exception is rethrown
+  /// on the calling thread after all iterations finish.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

@@ -39,19 +39,23 @@ Result<QueryResult> AiqlEngine::Execute(std::string_view text) {
 }
 
 Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
+  // One consistent snapshot of the sealed partitions per query: the view
+  // holds the database's state lock shared, so ingestion keeps buffering
+  // while this query runs and commits apply once the view closes.
+  ReadView view = db_->OpenReadView();
   switch (parsed.kind) {
     case QueryKind::kMultievent: {
       AIQL_ASSIGN_OR_RETURN(
           AnalyzedQuery analyzed,
           AnalyzeMultievent(*parsed.multievent, parsed.kind));
-      MultieventExecutor executor(db_, options_, pool_.get());
+      MultieventExecutor executor(&view, options_, pool_.get());
       return executor.Execute(analyzed);
     }
     case QueryKind::kAnomaly: {
       AIQL_ASSIGN_OR_RETURN(
           AnalyzedQuery analyzed,
           AnalyzeMultievent(*parsed.multievent, parsed.kind));
-      AnomalyExecutor executor(db_, options_, pool_.get());
+      AnomalyExecutor executor(&view, options_, pool_.get());
       return executor.Execute(analyzed);
     }
     case QueryKind::kDependency: {
@@ -60,7 +64,7 @@ Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
       AIQL_ASSIGN_OR_RETURN(
           AnalyzedQuery analyzed,
           AnalyzeMultievent(*rewritten, QueryKind::kMultievent));
-      MultieventExecutor executor(db_, options_, pool_.get());
+      MultieventExecutor executor(&view, options_, pool_.get());
       AIQL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(analyzed));
       result.plan = "dependency query rewritten to multievent:\n" +
                     result.plan;

@@ -17,13 +17,16 @@
 
 namespace aiql {
 
-/// Executes AIQL queries (multievent, dependency, anomaly) against a sealed
-/// AuditDatabase. Thread-safe for concurrent Execute calls after
-/// construction (the database is immutable and the pool is internally
-/// synchronized).
+/// Executes AIQL queries (multievent, dependency, anomaly) against an
+/// AuditDatabase. Each Execute opens a ReadView — a consistent snapshot of
+/// the currently-sealed partitions — so queries are safe and consistent
+/// while a writer thread keeps ingesting (bounded staleness: events become
+/// visible once their partition seals). Thread-safe for concurrent Execute
+/// calls (views are shared-locked and the pool is internally synchronized).
 class AiqlEngine {
  public:
-  /// `db` must outlive the engine and be sealed.
+  /// `db` must outlive the engine. It may still be ingesting; batch
+  /// workloads Seal() it first so every event is visible.
   explicit AiqlEngine(const AuditDatabase* db, EngineOptions options = {});
   ~AiqlEngine();
 

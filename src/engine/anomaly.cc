@@ -144,9 +144,9 @@ std::optional<double> EvalHaving(
 
 }  // namespace
 
-AnomalyExecutor::AnomalyExecutor(const AuditDatabase* db,
+AnomalyExecutor::AnomalyExecutor(const ReadView* view,
                                  EngineOptions options, ThreadPool* pool)
-    : db_(db), options_(options), pool_(pool) {}
+    : view_(view), options_(options), pool_(pool) {}
 
 Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
   const MultieventQueryAst& ast = *analyzed.ast;
@@ -165,7 +165,7 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
 
   auto plan_start = Clock::now();
   AIQL_ASSIGN_OR_RETURN(std::vector<CompiledPattern> patterns,
-                        CompilePatterns(analyzed, *db_));
+                        CompilePatterns(analyzed, view_->entities()));
   CompiledPattern& pattern = patterns[0];
   stats.plan_time = ElapsedUs(plan_start);
   result.plan = "anomaly plan: windowed scan (window=" +
@@ -177,7 +177,7 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
   // --- scan ------------------------------------------------------------------
   std::vector<Event> events;
   auto partitions =
-      db_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
+      view_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
   stats.partitions_scanned = partitions.size();
   for (const auto& [key, partition] : partitions) {
     const std::vector<Event>& all = partition->events();
@@ -260,7 +260,7 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
     t0 = min_ts;
   }
 
-  const EntityStore& store = db_->entities();
+  const EntityStore& store = view_->entities();
   const EventPatternAst& pattern_ast = ast.patterns[0];
 
   // Resolves a group-by / return reference against one event.

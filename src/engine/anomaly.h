@@ -18,17 +18,18 @@
 
 namespace aiql {
 
-/// Executes an analyzed anomaly query (single pattern + window spec).
+/// Executes an analyzed anomaly query (single pattern + window spec)
+/// against a read view (consistent snapshot of sealed partitions).
 /// Result columns: "window_start", then the return items.
 class AnomalyExecutor {
  public:
-  AnomalyExecutor(const AuditDatabase* db, EngineOptions options,
+  AnomalyExecutor(const ReadView* view, EngineOptions options,
                   ThreadPool* pool = nullptr);
 
   Result<QueryResult> Execute(const AnalyzedQuery& analyzed);
 
  private:
-  const AuditDatabase* db_;
+  const ReadView* view_;
   EngineOptions options_;
   ThreadPool* pool_;
 };

@@ -291,9 +291,8 @@ bool EntityMatchesPredicates(const EntityStore& store, EntityType type,
 }
 
 Result<std::vector<CompiledPattern>> CompilePatterns(
-    const AnalyzedQuery& analyzed, const AuditDatabase& db) {
+    const AnalyzedQuery& analyzed, const EntityStore& store) {
   const MultieventQueryAst& ast = *analyzed.ast;
-  const EntityStore& store = db.entities();
 
   // Merge constraints of shared variables across all their occurrences: the
   // constraints written on any occurrence of `f1` apply to every pattern

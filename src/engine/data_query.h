@@ -19,7 +19,7 @@
 #include "common/status.h"
 #include "query/analyzer.h"
 #include "query/ast.h"
-#include "storage/database.h"
+#include "storage/entity_store.h"
 
 namespace aiql {
 
@@ -79,11 +79,13 @@ struct CompiledPattern {
   double estimated_cardinality = 0;
 };
 
-/// Compiles all patterns of an analyzed query against a database: resolves
-/// constraint predicates, merges constraints of shared entity variables
-/// across their occurrences, and materializes candidate entity sets.
+/// Compiles all patterns of an analyzed query against an entity store:
+/// resolves constraint predicates, merges constraints of shared entity
+/// variables across their occurrences, and materializes candidate entity
+/// sets. Streaming callers pass ReadView::entities() so the store is
+/// stable for the query's duration.
 Result<std::vector<CompiledPattern>> CompilePatterns(
-    const AnalyzedQuery& analyzed, const AuditDatabase& db);
+    const AnalyzedQuery& analyzed, const EntityStore& store);
 
 /// Evaluates whether entity `id` of `type` passes `filter`'s candidate set.
 bool FilterAccepts(const EntityFilter& filter, EntityId id);

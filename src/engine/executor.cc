@@ -70,10 +70,10 @@ struct RowHash {
 
 }  // namespace
 
-MultieventExecutor::MultieventExecutor(const AuditDatabase* db,
+MultieventExecutor::MultieventExecutor(const ReadView* view,
                                        EngineOptions options,
                                        ThreadPool* pool)
-    : db_(db), options_(options), pool_(pool) {
+    : view_(view), options_(options), pool_(pool) {
   if (options_.enable_parallelism && pool_ == nullptr) {
     size_t threads = options_.num_threads != 0
                          ? options_.num_threads
@@ -96,9 +96,9 @@ Result<QueryResult> MultieventExecutor::Execute(
 
   auto plan_start = Clock::now();
   AIQL_ASSIGN_OR_RETURN(std::vector<CompiledPattern> patterns,
-                        CompilePatterns(analyzed, *db_));
+                        CompilePatterns(analyzed, view_->entities()));
   std::vector<size_t> order = SchedulePatterns(
-      &patterns, *db_, analyzed.agent_filter, options_);
+      &patterns, *view_, analyzed.agent_filter, options_);
   stats.plan_time = ElapsedUs(plan_start);
 
   // Render the plan for Explain / debugging.
@@ -131,7 +131,7 @@ Result<QueryResult> MultieventExecutor::Execute(
   const AgentFilterSet* agent_filter = nullptr;
   std::optional<AgentFilterSet> agent_filter_storage;
   if (analyzed.agent_filter.has_value() &&
-      !db_->options().enable_partitioning) {
+      !view_->options().enable_partitioning) {
     agent_filter_storage.emplace(analyzed.agent_filter->begin(),
                                  analyzed.agent_filter->end());
     agent_filter = &*agent_filter_storage;
@@ -202,7 +202,7 @@ Result<QueryResult> MultieventExecutor::Execute(
 
     // Partition-parallel scan (zero-copy: pointers into sealed partitions).
     auto partitions =
-        db_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
+        view_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
     stats.partitions_scanned += partitions.size();
     std::vector<std::vector<const Event*>> local_matches(partitions.size());
     std::vector<uint64_t> local_scanned(partitions.size(), 0);
@@ -253,7 +253,7 @@ Result<QueryResult> MultieventExecutor::Execute(
     if (options_.enable_semi_join) {
       auto record_binding = [&](const EntityDeclAst& decl, bool is_subject) {
         if (decl.var.empty()) return;
-        size_t universe = db_->entities().NumEntities(decl.type);
+        size_t universe = view_->entities().NumEntities(decl.type);
         auto [it, inserted] = bindings.try_emplace(decl.var, universe);
         if (inserted) {
           for (const Event* event : pm.events) {
@@ -276,7 +276,7 @@ Result<QueryResult> MultieventExecutor::Execute(
   }
 
   // --- join phase ------------------------------------------------------------
-  Projector projector(db_->entities(), analyzed);
+  Projector projector(view_->entities(), analyzed);
 
   // Column names follow the return items (alias > rendered expression).
   for (const ReturnItemAst& item : ast.return_items) {

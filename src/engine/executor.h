@@ -27,11 +27,14 @@
 
 namespace aiql {
 
-/// Executes analyzed multievent queries against a sealed database.
+/// Executes analyzed multievent queries against a read view — a consistent
+/// snapshot of the database's sealed partitions, so execution is safe while
+/// ingestion continues on another thread.
 class MultieventExecutor {
  public:
-  /// `pool` may be null (a private pool is created when parallelism is on).
-  MultieventExecutor(const AuditDatabase* db, EngineOptions options,
+  /// `view` must outlive the executor. `pool` may be null (a private pool
+  /// is created when parallelism is on).
+  MultieventExecutor(const ReadView* view, EngineOptions options,
                      ThreadPool* pool = nullptr);
 
   /// Runs the query; returns the result table plus execution statistics and
@@ -39,7 +42,7 @@ class MultieventExecutor {
   Result<QueryResult> Execute(const AnalyzedQuery& analyzed);
 
  private:
-  const AuditDatabase* db_;
+  const ReadView* view_;
   EngineOptions options_;
   ThreadPool* pool_;
   std::unique_ptr<ThreadPool> owned_pool_;

@@ -6,20 +6,19 @@
 namespace aiql {
 
 double EstimateCardinality(
-    const CompiledPattern& pattern, const AuditDatabase& db,
+    const CompiledPattern& pattern, const ReadView& view,
     const std::optional<std::vector<AgentId>>& agents) {
-  auto partitions = db.SelectPartitions(pattern.time_range, agents);
+  auto partitions = view.SelectPartitions(pattern.time_range, agents);
 
   double op_events = 0;       // events with a matching operation, in range
   double subject_events = 0;  // events whose subject exe matches
   bool use_exe_counts = !pattern.subject.matched_exe_ids.empty();
   for (const auto& [key, partition] : partitions) {
-    // Posting lists give the exact op count inside the pattern's time range
-    // (zone-map clipped), sharper than the whole-partition OpMaskCount.
+    // Posting lists give the exact op count inside the pattern's time
+    // range (zone-map clipped). Every partition in a read view is sealed,
+    // so the postings exist.
     op_events += static_cast<double>(
-        partition->sealed()
-            ? partition->OpCountInRange(pattern.op_mask, pattern.time_range)
-            : partition->OpMaskCount(pattern.op_mask));
+        partition->OpCountInRange(pattern.op_mask, pattern.time_range));
     if (use_exe_counts) {
       for (StringId exe : pattern.subject.matched_exe_ids) {
         subject_events += static_cast<double>(partition->SubjectExeCount(exe));
@@ -32,7 +31,7 @@ double EstimateCardinality(
     estimate = std::min(estimate, subject_events);
   } else if (pattern.subject.candidates.has_value()) {
     // Non-exe subject constraints: scale by candidate fraction.
-    size_t universe = db.entities().NumEntities(EntityType::kProcess);
+    size_t universe = view.entities().NumEntities(EntityType::kProcess);
     double fraction =
         universe == 0 ? 0.0
                       : static_cast<double>(
@@ -41,7 +40,7 @@ double EstimateCardinality(
     estimate *= fraction;
   }
   if (pattern.object.candidates.has_value()) {
-    size_t universe = db.entities().NumEntities(pattern.object.type);
+    size_t universe = view.entities().NumEntities(pattern.object.type);
     double fraction =
         universe == 0
             ? 0.0
@@ -53,11 +52,11 @@ double EstimateCardinality(
 }
 
 std::vector<size_t> SchedulePatterns(
-    std::vector<CompiledPattern>* patterns, const AuditDatabase& db,
+    std::vector<CompiledPattern>* patterns, const ReadView& view,
     const std::optional<std::vector<AgentId>>& agents,
     const EngineOptions& options) {
   for (CompiledPattern& pattern : *patterns) {
-    pattern.estimated_cardinality = EstimateCardinality(pattern, db, agents);
+    pattern.estimated_cardinality = EstimateCardinality(pattern, view, agents);
   }
   std::vector<size_t> order(patterns->size());
   std::iota(order.begin(), order.end(), 0);

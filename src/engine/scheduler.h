@@ -37,17 +37,17 @@ struct EngineOptions {
   bool enable_temporal_pruning = true;
 };
 
-/// Estimates the number of events matching `pattern` within the partitions
-/// selected by its time range and `agents`.
+/// Estimates the number of events matching `pattern` within the sealed
+/// partitions the read view selects for its time range and `agents`.
 double EstimateCardinality(const CompiledPattern& pattern,
-                           const AuditDatabase& db,
+                           const ReadView& view,
                            const std::optional<std::vector<AgentId>>& agents);
 
 /// Fills estimated_cardinality on each pattern and returns the execution
 /// order (indexes into `patterns`): ascending estimate when reordering is
 /// on, original order otherwise.
 std::vector<size_t> SchedulePatterns(
-    std::vector<CompiledPattern>* patterns, const AuditDatabase& db,
+    std::vector<CompiledPattern>* patterns, const ReadView& view,
     const std::optional<std::vector<AgentId>>& agents,
     const EngineOptions& options);
 

@@ -1,0 +1,80 @@
+// Live audit-stream replay: streams scenario records into an AuditDatabase
+// from a background thread at a pinned rate, mimicking the deployed
+// system's continuous ingestion while analysts query mid-attack (the
+// streaming direction of SAQL / ZEBRA in PAPERS.md). The replayer is the
+// database's single writer; queries on other threads open ReadViews and
+// observe sealed partitions at bounded staleness.
+
+#ifndef AIQL_SIMULATOR_REPLAY_H_
+#define AIQL_SIMULATOR_REPLAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Replay pacing knobs.
+struct ReplayOptions {
+  /// Ingest rate in records per wall-clock second; 0 = unthrottled.
+  double events_per_second = 0;
+
+  /// Records handed to AppendBatch per call (also the throttle check
+  /// granularity).
+  size_t batch_size = 256;
+};
+
+/// Replays a time-ordered record vector into a database on a background
+/// thread. The records are borrowed, not copied — the caller keeps the
+/// database and the records alive beyond Join()/destruction. The replayer
+/// flushes at the end but does not Seal(), so the caller decides when (and
+/// whether) to freeze the database.
+class StreamReplayer {
+ public:
+  StreamReplayer(AuditDatabase* db, const std::vector<EventRecord>* records,
+                 ReplayOptions options = {});
+
+  /// Joins the ingest thread if still running.
+  ~StreamReplayer();
+
+  StreamReplayer(const StreamReplayer&) = delete;
+  StreamReplayer& operator=(const StreamReplayer&) = delete;
+
+  /// Starts the ingest thread. Call at most once.
+  void Start();
+
+  /// Waits for the replay to finish; returns the first append error (the
+  /// replay stops at the first failure).
+  Status Join();
+
+  /// True once the ingest thread has finished (success or failure).
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+  /// Records appended so far (monotone; readable while running).
+  uint64_t ingested() const {
+    return ingested_.load(std::memory_order_relaxed);
+  }
+
+  /// Ingest wall time in microseconds (valid after done()).
+  int64_t wall_us() const { return wall_us_.load(std::memory_order_acquire); }
+
+ private:
+  void Run();
+
+  AuditDatabase* db_;
+  const std::vector<EventRecord>* records_;
+  ReplayOptions options_;
+  std::thread thread_;
+  std::atomic<bool> done_{false};
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<int64_t> wall_us_{0};
+  Status status_;  // written by the ingest thread, read after join
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_REPLAY_H_

@@ -60,7 +60,7 @@ Result<AuditDatabase> IngestRecords(const std::vector<EventRecord>& records,
   for (const EventRecord& record : records) {
     AIQL_RETURN_IF_ERROR(db.Append(record));
   }
-  db.Seal();
+  AIQL_RETURN_IF_ERROR(db.Seal());
   return db;
 }
 

@@ -4,44 +4,118 @@
 
 namespace aiql {
 
+namespace {
+
+/// Shared partition filter of the batch and view read paths.
+bool PartitionSelected(const TimeRange& range,
+                       const std::optional<std::vector<AgentId>>& agents,
+                       bool partitioning_enabled, AgentId agent,
+                       const EventPartition& partition) {
+  if (agents.has_value() && partitioning_enabled) {
+    bool found =
+        std::find(agents->begin(), agents->end(), agent) != agents->end();
+    if (!found) return false;
+  }
+  if (partition.size() == 0) return false;
+  TimeRange span{partition.min_ts(), partition.max_ts() + 1};
+  return range.Overlaps(span);
+}
+
+}  // namespace
+
+// --- ReadView ---------------------------------------------------------------
+
+std::vector<std::pair<PartitionKey, const EventPartition*>>
+ReadView::SelectPartitions(
+    const TimeRange& range,
+    const std::optional<std::vector<AgentId>>& agents) const {
+  std::vector<std::pair<PartitionKey, const EventPartition*>> out;
+  for (const auto& [key, partition] : partitions_) {
+    if (!PartitionSelected(range, agents, options_->enable_partitioning,
+                           key.agent_id, *partition)) {
+      continue;
+    }
+    out.emplace_back(key, partition);
+  }
+  return out;
+}
+
+void ReadView::ForEachPartition(
+    const TimeRange& range,
+    const std::optional<std::vector<AgentId>>& agents,
+    const std::function<void(const PartitionKey&, const EventPartition&)>& fn)
+    const {
+  for (const auto& [key, partition] : SelectPartitions(range, agents)) {
+    fn(key, *partition);
+  }
+}
+
+// --- AuditDatabase ----------------------------------------------------------
+
 AuditDatabase::AuditDatabase(StorageOptions options)
-    : options_(options) {
+    : options_(options), sync_(std::make_unique<Sync>()) {
   if (options_.partition_duration <= 0) options_.partition_duration = kHour;
   if (options_.batch_commit_size == 0) options_.batch_commit_size = 1;
 }
 
-Status AuditDatabase::Append(EventRecord record) {
-  if (sealed_) {
-    return Status::InvalidArgument("database is sealed");
-  }
-  if (record.end_ts == 0) record.end_ts = record.start_ts;
-  if (record.end_ts < record.start_ts) {
+AuditDatabase::~AuditDatabase() {
+  if (sync_ != nullptr) WaitForBackgroundSeals();
+}
+
+Status AuditDatabase::ValidateRecord(EventRecord* record) const {
+  if (record->end_ts == 0) record->end_ts = record->start_ts;
+  if (record->end_ts < record->start_ts) {
     return Status::InvalidArgument("event ends before it starts");
   }
-  if (record.subject.exe_name.empty()) {
+  if (record->subject.exe_name.empty()) {
     return Status::InvalidArgument("event subject has no executable name");
   }
+  return Status::OK();
+}
+
+Status AuditDatabase::Append(EventRecord record) {
+  if (sealed()) {
+    return Status::InvalidArgument("database is sealed");
+  }
+  AIQL_RETURN_IF_ERROR(ValidateRecord(&record));
   pending_.push_back(std::move(record));
-  if (pending_.size() >= options_.batch_commit_size) Flush();
+  if (pending_.size() >= options_.batch_commit_size) return Flush();
   return Status::OK();
 }
 
 Status AuditDatabase::AppendBatch(std::vector<EventRecord> records) {
-  for (EventRecord& record : records) {
-    AIQL_RETURN_IF_ERROR(Append(std::move(record)));
+  if (sealed()) {
+    return Status::InvalidArgument("database is sealed");
   }
+  // All-or-nothing: validate the whole batch before buffering anything, so
+  // a malformed record mid-batch leaves the database unchanged.
+  for (EventRecord& record : records) {
+    AIQL_RETURN_IF_ERROR(ValidateRecord(&record));
+  }
+  pending_.reserve(pending_.size() + records.size());
+  for (EventRecord& record : records) {
+    pending_.push_back(std::move(record));
+  }
+  if (pending_.size() >= options_.batch_commit_size) return Flush();
   return Status::OK();
 }
 
-void AuditDatabase::Flush() {
-  for (const EventRecord& record : pending_) {
-    // Records were validated in Append; commit failures are impossible here.
-    CommitRecord(record);
+Status AuditDatabase::Flush() {
+  if (pending_.empty()) return Status::OK();
+  std::vector<EventRecord> batch;
+  batch.swap(pending_);
+  std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+  Status first_error;
+  for (const EventRecord& record : batch) {
+    // Records were validated in Append; a commit failure here is an
+    // invariant violation — propagate it instead of discarding it.
+    Status status = CommitRecordLocked(record);
+    if (!status.ok() && first_error.ok()) first_error = std::move(status);
   }
-  pending_.clear();
+  return first_error;
 }
 
-Status AuditDatabase::CommitRecord(const EventRecord& record) {
+Status AuditDatabase::CommitRecordLocked(const EventRecord& record) {
   EntityId subject = entities_.InternProcess(record.subject);
   auto [object_type, object] = entities_.InternObject(record.object);
 
@@ -65,8 +139,15 @@ Status AuditDatabase::CommitRecord(const EventRecord& record) {
       bucket -= 1;  // floor division for negative timestamps
     }
     agent = record.agent_id;
+    // Bucket rotation: once this agent's stream moves into a later bucket,
+    // its older open partitions can no longer grow — seal them.
+    auto [clock_it, first_seen] = agent_clock_.try_emplace(agent, bucket);
+    if (!first_seen && bucket > clock_it->second) {
+      RotateAgentLocked(agent, bucket);
+      clock_it->second = bucket;
+    }
   }
-  EventPartition* partition = GetOrCreatePartition(bucket, agent);
+  EventPartition* partition = GetOrCreatePartitionLocked(bucket, agent);
   StringId exe = entities_.processes()[subject].exe_name;
   bool merged = partition->AppendWithExe(event, exe, options_.dedup_window);
 
@@ -77,31 +158,120 @@ Status AuditDatabase::CommitRecord(const EventRecord& record) {
   }
   if (event.start_ts < stats_.min_ts) stats_.min_ts = event.start_ts;
   if (event.end_ts > stats_.max_ts) stats_.max_ts = event.end_ts;
+
+  if (options_.max_partition_events != 0 &&
+      partition->size() >= options_.max_partition_events) {
+    CloseAndSealLocked(std::make_pair(bucket, agent));
+  }
   return Status::OK();
 }
 
 EventPartition* AuditDatabase::GetOrCreatePartition(int64_t bucket,
                                                     AgentId agent) {
-  auto key = std::make_pair(bucket, agent);
-  auto it = partitions_.find(key);
-  if (it == partitions_.end()) {
-    it = partitions_.emplace(key, std::make_unique<EventPartition>()).first;
-    stats_.total_partitions += 1;
-  }
-  return it->second.get();
+  std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+  return GetOrCreatePartitionLocked(bucket, agent);
 }
 
-void AuditDatabase::Seal() {
-  Flush();
-  for (auto& [key, partition] : partitions_) {
-    partition->Seal();
+EventPartition* AuditDatabase::GetOrCreatePartitionLocked(int64_t bucket,
+                                                          AgentId agent) {
+  auto open_key = std::make_pair(bucket, agent);
+  auto open_it = open_.find(open_key);
+  if (open_it != open_.end()) return open_it->second.second;
+
+  // A rollover (size threshold) or a late arrival into an already-rotated
+  // bucket continues in a fresh partition of the same (bucket, agent): the
+  // next free seq after the existing ones.
+  uint32_t seq = 0;
+  auto hint = partitions_.upper_bound(PartitionMapKey{bucket, agent, UINT32_MAX});
+  if (hint != partitions_.begin()) {
+    const PartitionMapKey& prev = std::prev(hint)->first;
+    if (std::get<0>(prev) == bucket && std::get<1>(prev) == agent) {
+      seq = std::get<2>(prev) + 1;
+    }
   }
-  sealed_ = true;
+  auto it = partitions_.emplace_hint(hint, PartitionMapKey{bucket, agent, seq},
+                                     std::make_unique<EventPartition>());
+  stats_.total_partitions += 1;
+  EventPartition* partition = it->second.get();
+  open_.emplace(open_key, std::make_pair(seq, partition));
+  return partition;
+}
+
+void AuditDatabase::CloseAndSealLocked(std::pair<int64_t, AgentId> key) {
+  auto it = open_.find(key);
+  if (it == open_.end()) return;
+  EventPartition* partition = it->second.second;
+  open_.erase(it);
+  if (!partition->TryBeginSeal()) return;  // already handed off
+  stats_.partitions_sealed += 1;
+  if (options_.seal_pool != nullptr) {
+    {
+      std::lock_guard<std::mutex> seal_lock(sync_->seal_mu);
+      sync_->seals_in_flight += 1;
+    }
+    // The task runs without the state mutex: the partition is unreachable
+    // for writes once closed, and readers ignore it until FinishSeal()
+    // publishes the sealed flag. Sync outlives the task: the database's
+    // destructor (and final Seal()) wait for seals_in_flight to drain.
+    Sync* sync = sync_.get();
+    options_.seal_pool->Submit([sync, partition] {
+      partition->FinishSeal();
+      // Notify while holding seal_mu: a waiter (final Seal, destructor) may
+      // destroy the condition variable as soon as it observes zero seals in
+      // flight, so the notification must complete before the lock releases.
+      std::lock_guard<std::mutex> seal_lock(sync->seal_mu);
+      sync->seals_in_flight -= 1;
+      sync->seal_cv.notify_all();
+    });
+  } else {
+    partition->FinishSeal();
+  }
+}
+
+void AuditDatabase::RotateAgentLocked(AgentId agent, int64_t bucket) {
+  std::vector<std::pair<int64_t, AgentId>> to_close;
+  for (const auto& [key, open] : open_) {
+    if (key.second == agent && key.first < bucket) to_close.push_back(key);
+  }
+  for (const auto& key : to_close) CloseAndSealLocked(key);
+}
+
+void AuditDatabase::WaitForBackgroundSeals() {
+  std::unique_lock<std::mutex> lock(sync_->seal_mu);
+  sync_->seal_cv.wait(lock, [&] { return sync_->seals_in_flight == 0; });
+}
+
+Status AuditDatabase::Seal() {
+  Status status = Flush();
+  {
+    std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+    open_.clear();
+    agent_clock_.clear();
+    sync_->finalized.store(true, std::memory_order_release);
+  }
+  WaitForBackgroundSeals();
+  // The map can no longer change (finalized; no commits, no rotations), so
+  // the remaining unsealed partitions can be sealed without the state
+  // mutex; concurrent views skip them until their sealed flag publishes.
+  uint64_t newly_sealed = 0;
+  for (auto& [key, partition] : partitions_) {
+    if (partition->TryBeginSeal()) {
+      partition->FinishSeal();
+      newly_sealed += 1;
+    }
+  }
+  if (newly_sealed > 0) {
+    std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+    stats_.partitions_sealed += newly_sealed;
+  }
+  return status;
 }
 
 void AuditDatabase::RestoreSealedState() {
+  std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
   stats_ = DatabaseStats{};
   stats_.total_partitions = partitions_.size();
+  stats_.partitions_sealed = partitions_.size();
   for (auto& [key, partition] : partitions_) {
     partition->RebuildStats(entities_.processes());
     partition->Seal();
@@ -115,25 +285,45 @@ void AuditDatabase::RestoreSealedState() {
       stats_.max_ts = std::max(stats_.max_ts, partition->max_ts());
     }
   }
-  sealed_ = true;
+  open_.clear();
+  agent_clock_.clear();
+  sync_->finalized.store(true, std::memory_order_release);
+}
+
+ReadView AuditDatabase::OpenReadView() const {
+  ReadView view;
+  view.lock_ = std::shared_lock<std::shared_mutex>(sync_->state_mu);
+  view.entities_ = &entities_;
+  view.options_ = &options_;
+  view.stats_ = stats_;
+  view.partitions_.reserve(partitions_.size());
+  for (const auto& [key, partition] : partitions_) {
+    if (!partition->sealed()) continue;
+    view.partitions_.emplace_back(
+        PartitionKey{std::get<0>(key), std::get<1>(key)}, partition.get());
+    view.visible_events_ += partition->size();
+  }
+  return view;
+}
+
+DatabaseStats AuditDatabase::StatsSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->state_mu);
+  return stats_;
 }
 
 std::vector<std::pair<PartitionKey, const EventPartition*>>
 AuditDatabase::SelectPartitions(
     const TimeRange& range,
     const std::optional<std::vector<AgentId>>& agents) const {
+  std::shared_lock<std::shared_mutex> lock(sync_->state_mu);
   std::vector<std::pair<PartitionKey, const EventPartition*>> out;
   for (const auto& [key, partition] : partitions_) {
-    const auto& [bucket, agent] = key;
-    if (agents.has_value() && options_.enable_partitioning) {
-      bool found = std::find(agents->begin(), agents->end(), agent) !=
-                   agents->end();
-      if (!found) continue;
+    AgentId agent = std::get<1>(key);
+    if (!PartitionSelected(range, agents, options_.enable_partitioning,
+                           agent, *partition)) {
+      continue;
     }
-    if (partition->size() == 0) continue;
-    TimeRange span{partition->min_ts(), partition->max_ts() + 1};
-    if (!range.Overlaps(span)) continue;
-    out.emplace_back(PartitionKey{bucket, agent}, partition.get());
+    out.emplace_back(PartitionKey{std::get<0>(key), agent}, partition.get());
   }
   return out;
 }

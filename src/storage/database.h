@@ -1,22 +1,51 @@
 // AuditDatabase: the optimized domain-specific store (paper §2.1).
 //
 // Combines the deduplicated EntityStore with time x agent partitions, batch
-// commit, and database-wide statistics. After ingestion the database is
-// sealed; queries then run against immutable state (safe for the engine's
-// parallel partition scans).
+// commit, and database-wide statistics. The write path streams: records
+// keep appending into the active partition of their (time bucket, agent),
+// partitions roll over and seal themselves when their bucket closes (or on
+// a size threshold), optionally on a background ThreadPool. Queries consume
+// a ReadView — a consistent snapshot of the currently-sealed partitions —
+// so they execute concurrently with ingestion at bounded staleness. An
+// explicit Seal() remains as "flush and seal everything" for batch
+// workloads and snapshots.
+//
+// Threading model (single-writer / multi-reader):
+//   * One ingest thread calls Append/AppendBatch/Flush/Seal.
+//   * Any number of reader threads call OpenReadView() and use the view.
+//   * Batch commits take the state mutex exclusively; a ReadView holds it
+//     shared for the view's lifetime, which is what makes the EntityStore
+//     safe to read while ingestion continues: interning only happens inside
+//     a commit, and a commit waits for open views to close. Appends only
+//     buffer, so the ingest thread stalls on queries only at batch-commit
+//     boundaries, for as long as views opened before the commit stay open
+//     (std::shared_mutex gives no writer priority, so a commit can wait for
+//     several query generations under sustained many-reader load); query
+//     visibility lags by the same plus one batch.
+//   * Background sealing (sorting a closed partition) runs without the
+//     state mutex: a closed partition is unreachable for writes, and
+//     readers ignore it until its sealed flag (an acquire/release atomic)
+//     is published.
 
 #ifndef AIQL_STORAGE_DATABASE_H_
 #define AIQL_STORAGE_DATABASE_H_
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/time_utils.h"
 #include "storage/data_model.h"
 #include "storage/entity_store.h"
@@ -40,6 +69,16 @@ struct StorageOptions {
 
   /// Records buffered before a batch commit to the partitions.
   size_t batch_commit_size = 8192;
+
+  /// Events in an active partition that trigger an early rollover + seal
+  /// before its time bucket closes; 0 disables size-based rollover. The
+  /// overflow continues in a fresh partition of the same bucket.
+  size_t max_partition_events = 0;
+
+  /// Pool for background partition sealing; null seals inline during the
+  /// committing batch. Must outlive the database's final Seal() (or its
+  /// destruction). May be shared with the query engine's scan pool.
+  ThreadPool* seal_pool = nullptr;
 };
 
 /// Aggregate counters describing the whole database.
@@ -47,48 +86,143 @@ struct DatabaseStats {
   uint64_t total_events = 0;      ///< stored (post-dedup) events
   uint64_t raw_events = 0;        ///< raw events ingested
   uint64_t total_partitions = 0;
+  /// Partitions closed for appends and handed to sealing (sealed, or with
+  /// the background seal still in flight).
+  uint64_t partitions_sealed = 0;
   std::array<uint64_t, kNumOpTypes> op_counts{};
   Timestamp min_ts = INT64_MAX;
   Timestamp max_ts = INT64_MIN;
 };
 
-/// The storage engine. Write path: Append/AppendBatch -> Flush -> Seal.
-/// Read path (after Seal): SelectPartitions / ForEachPartition + entities().
+/// Partition-map key: one (bucket, agent) pair maps to several physical
+/// partitions when a size-threshold rollover or a late (already-rotated
+/// bucket) arrival splits a bucket; `seq` (third element) disambiguates,
+/// ascending in creation order.
+using PartitionMapKey = std::tuple<int64_t, AgentId, uint32_t>;
+
+class AuditDatabase;
+
+/// A consistent snapshot of the database's sealed partitions plus aggregate
+/// statistics, opened via AuditDatabase::OpenReadView(). The view holds the
+/// database's state mutex shared for its lifetime: partition pointers,
+/// entity lookups, and statistics stay stable while the ingest thread keeps
+/// buffering (commits wait until the view closes). Queries therefore see
+/// every partition fully sealed — never a partially-sealed one — and
+/// successive views observe monotonically non-decreasing event counts.
+/// Move-only; cheap to open (one pointer copy per sealed partition).
+class ReadView {
+ public:
+  ReadView() = default;
+  ReadView(ReadView&&) = default;
+  ReadView& operator=(ReadView&&) = default;
+
+  const EntityStore& entities() const { return *entities_; }
+  const StorageOptions& options() const { return *options_; }
+
+  /// Database-wide counters at view-open time (includes events committed to
+  /// partitions that are still active, i.e. not yet visible to scans).
+  const DatabaseStats& stats() const { return stats_; }
+
+  /// Events inside the view's sealed partitions — what scans can see.
+  uint64_t visible_events() const { return visible_events_; }
+
+  /// All sealed partitions, ordered by (bucket, agent, seq).
+  const std::vector<std::pair<PartitionKey, const EventPartition*>>&
+  partitions() const {
+    return partitions_;
+  }
+
+  /// Sealed partitions overlapping `range`, optionally restricted to
+  /// `agents` (nullopt = all agents). Ordered by (bucket, agent).
+  std::vector<std::pair<PartitionKey, const EventPartition*>> SelectPartitions(
+      const TimeRange& range,
+      const std::optional<std::vector<AgentId>>& agents) const;
+
+  /// Convenience: applies `fn` to each selected partition.
+  void ForEachPartition(
+      const TimeRange& range,
+      const std::optional<std::vector<AgentId>>& agents,
+      const std::function<void(const PartitionKey&, const EventPartition&)>&
+          fn) const;
+
+ private:
+  friend class AuditDatabase;
+
+  const EntityStore* entities_ = nullptr;
+  const StorageOptions* options_ = nullptr;
+  std::shared_lock<std::shared_mutex> lock_;
+  std::vector<std::pair<PartitionKey, const EventPartition*>> partitions_;
+  DatabaseStats stats_;
+  uint64_t visible_events_ = 0;
+};
+
+/// The storage engine. Write path: Append/AppendBatch -> (rotation seals
+/// closed partitions automatically) -> Seal() to flush and freeze
+/// everything. Read path: OpenReadView() at any time; the raw
+/// SelectPartitions / ForEachPartition / partitions() accessors remain for
+/// batch consumers (snapshot, SQL/graph baselines) on a sealed or
+/// quiescent database.
 class AuditDatabase {
  public:
   explicit AuditDatabase(StorageOptions options = {});
 
+  /// Waits for in-flight background seals.
+  ~AuditDatabase();
+
   AuditDatabase(const AuditDatabase&) = delete;
   AuditDatabase& operator=(const AuditDatabase&) = delete;
+  /// Moving is only valid while quiescent (no open views, no in-flight
+  /// background seals, no concurrent writer).
   AuditDatabase(AuditDatabase&&) = default;
   AuditDatabase& operator=(AuditDatabase&&) = default;
 
-  // --- write path ----------------------------------------------------------
+  // --- write path (single writer thread) -----------------------------------
 
   /// Buffers one record; commits the buffer when it reaches
   /// batch_commit_size. Returns an error for malformed records (e.g.
-  /// end before start).
+  /// end before start) and after the final Seal(). Partitions whose time
+  /// bucket the record stream has moved past (per agent) are sealed
+  /// automatically during the commit.
   Status Append(EventRecord record);
 
-  /// Buffers many records.
+  /// Buffers many records, all-or-nothing: every record is validated before
+  /// any is buffered, so a malformed record mid-batch leaves the database
+  /// unchanged.
   Status AppendBatch(std::vector<EventRecord> records);
 
-  /// Commits any buffered records.
-  void Flush();
+  /// Commits any buffered records, propagating the first commit error.
+  Status Flush();
 
-  /// Flushes, sorts every partition, and freezes the database.
-  void Seal();
+  /// Flushes, seals every partition (waiting for background seals), and
+  /// freezes the database: subsequent appends fail. Required before
+  /// snapshot serialization.
+  Status Seal();
 
-  bool sealed() const { return sealed_; }
+  /// True once Seal() has frozen the database (streaming auto-sealing of
+  /// individual partitions does not set this).
+  bool sealed() const {
+    return sync_->finalized.load(std::memory_order_acquire);
+  }
 
   // --- read path -----------------------------------------------------------
+
+  /// Opens a consistent snapshot of the sealed partitions + statistics.
+  /// Safe to call from any thread, concurrently with ingestion.
+  ReadView OpenReadView() const;
+
+  /// Thread-safe copy of the current statistics.
+  DatabaseStats StatsSnapshot() const;
+
+  // --- batch read access (sealed or quiescent database) --------------------
 
   const EntityStore& entities() const { return entities_; }
   const StorageOptions& options() const { return options_; }
   const DatabaseStats& stats() const { return stats_; }
 
   /// Partitions overlapping `range`, optionally restricted to `agents`
-  /// (nullopt = all agents). Ordered by (bucket, agent).
+  /// (nullopt = all agents), regardless of seal state. Ordered by
+  /// (bucket, agent, seq). Streaming queries go through OpenReadView()
+  /// instead.
   std::vector<std::pair<PartitionKey, const EventPartition*>> SelectPartitions(
       const TimeRange& range,
       const std::optional<std::vector<AgentId>>& agents) const;
@@ -101,28 +235,61 @@ class AuditDatabase {
           fn) const;
 
   /// All partitions (snapshot serialization).
-  const std::map<std::pair<int64_t, AgentId>,
-                 std::unique_ptr<EventPartition>>&
+  const std::map<PartitionMapKey, std::unique_ptr<EventPartition>>&
   partitions() const {
     return partitions_;
   }
 
   /// Mutable access used by snapshot loading.
   EntityStore* mutable_entities() { return &entities_; }
+  /// Returns the open partition of (bucket, agent), creating one if the
+  /// previous partition of that pair was already sealed (rollover).
   EventPartition* GetOrCreatePartition(int64_t bucket, AgentId agent);
   void RestoreSealedState();
 
  private:
-  Status CommitRecord(const EventRecord& record);
+  /// Cross-thread synchronization state; heap-allocated so the database
+  /// stays movable (while quiescent) and background seal tasks can outlive
+  /// a move.
+  struct Sync {
+    /// Guards partitions_, open_, agent_clock_, stats_, entities_.
+    mutable std::shared_mutex state_mu;
+    /// Guards seals_in_flight; signaled when a background seal finishes.
+    std::mutex seal_mu;
+    std::condition_variable seal_cv;
+    size_t seals_in_flight = 0;
+    std::atomic<bool> finalized{false};
+  };
+
+  /// Normalizes end_ts and validates; returns the error for bad records.
+  Status ValidateRecord(EventRecord* record) const;
+  /// Interns + appends one record. state_mu held exclusively.
+  Status CommitRecordLocked(const EventRecord& record);
+  /// Open-partition lookup/creation. state_mu held exclusively.
+  EventPartition* GetOrCreatePartitionLocked(int64_t bucket, AgentId agent);
+  /// Closes the open partition at `key` and seals it (background pool when
+  /// configured, else inline). state_mu held exclusively.
+  void CloseAndSealLocked(std::pair<int64_t, AgentId> key);
+  /// Seals every partition `agent` has moved past `bucket`. state_mu held.
+  void RotateAgentLocked(AgentId agent, int64_t bucket);
+  /// Blocks until no background seal is in flight.
+  void WaitForBackgroundSeals();
 
   StorageOptions options_;
   EntityStore entities_;
   // Ordered map gives deterministic partition iteration order.
-  std::map<std::pair<int64_t, AgentId>, std::unique_ptr<EventPartition>>
-      partitions_;
-  std::vector<EventRecord> pending_;
+  std::map<PartitionMapKey, std::unique_ptr<EventPartition>> partitions_;
+  // The open (accepting appends) partition per (bucket, agent), with its
+  // seq in the partition map. Entries leave this map when sealed.
+  std::map<std::pair<int64_t, AgentId>,
+           std::pair<uint32_t, EventPartition*>>
+      open_;
+  // Highest bucket seen per agent; a record beyond it rotates the agent's
+  // older open partitions.
+  std::map<AgentId, int64_t> agent_clock_;
+  std::vector<EventRecord> pending_;  // writer-thread only
   DatabaseStats stats_;
-  bool sealed_ = false;
+  std::unique_ptr<Sync> sync_;
 };
 
 }  // namespace aiql

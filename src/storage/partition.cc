@@ -46,6 +46,16 @@ void EventPartition::AccountEvent(const Event& event, StringId subject_exe) {
 }
 
 void EventPartition::Seal() {
+  if (TryBeginSeal()) FinishSeal();
+}
+
+bool EventPartition::TryBeginSeal() {
+  uint8_t expected = kOpen;
+  return seal_state_.compare_exchange_strong(expected, kSealing,
+                                             std::memory_order_acq_rel);
+}
+
+void EventPartition::FinishSeal() {
   std::sort(events_.begin(), events_.end(),
             [](const Event& a, const Event& b) {
               if (a.start_ts != b.start_ts) return a.start_ts < b.start_ts;
@@ -53,7 +63,7 @@ void EventPartition::Seal() {
             });
   merge_tail_.clear();
   BuildSealArtifacts();
-  sealed_ = true;
+  seal_state_.store(kSealed, std::memory_order_release);
 }
 
 void EventColumns::Clear() {
@@ -143,21 +153,13 @@ uint64_t EventPartition::OpCountInRange(OpMask mask,
   return total;
 }
 
-uint64_t EventPartition::OpMaskCount(OpMask mask) const {
-  uint64_t total = 0;
-  for (int i = 0; i < kNumOpTypes; ++i) {
-    if (mask & (1u << i)) total += op_counts_[i];
-  }
-  return total;
-}
-
 uint64_t EventPartition::SubjectExeCount(StringId exe) const {
   auto it = subject_exe_counts_.find(exe);
   return it == subject_exe_counts_.end() ? 0 : it->second;
 }
 
 size_t EventPartition::LowerBound(Timestamp t) const {
-  if (sealed_) {
+  if (sealed()) {
     // Binary search the dense timestamp column: ~6x fewer bytes per probe
     // than striding over 48-byte Event rows.
     auto it = std::lower_bound(columns_.start_ts.begin(),

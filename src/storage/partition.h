@@ -17,6 +17,7 @@
 #define AIQL_STORAGE_PARTITION_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
@@ -86,10 +87,28 @@ class EventPartition {
   bool Append(const Event& event, Duration dedup_window);
 
   /// Sorts events by (start_ts, end_ts), freezes the partition, and builds
-  /// the columnar view plus per-operation posting lists.
+  /// the columnar view plus per-operation posting lists. Idempotent: a
+  /// partition already sealing (concurrently, on a background thread) or
+  /// sealed is left alone.
   void Seal();
 
-  bool sealed() const { return sealed_; }
+  /// Atomically claims the open -> sealing transition. The caller that wins
+  /// must call FinishSeal() exactly once; everyone else must not touch the
+  /// partition's write side again. Used by the database to hand a closed
+  /// partition to a background sealing task exactly once.
+  bool TryBeginSeal();
+
+  /// Sorts, builds the seal artifacts, and publishes the sealed flag
+  /// (release). Precondition: this thread won TryBeginSeal(). May run
+  /// without any database lock — the partition is unreachable for writes
+  /// once closed, and readers ignore it until sealed() observes true.
+  void FinishSeal();
+
+  /// True once FinishSeal() has published the artifacts (acquire: a true
+  /// result also makes the sorted events/columns/postings visible).
+  bool sealed() const {
+    return seal_state_.load(std::memory_order_acquire) == kSealed;
+  }
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
 
@@ -107,7 +126,7 @@ class EventPartition {
                                          const TimeRange& range) const;
 
   /// Exact number of events whose op is in `mask` and whose start_ts falls
-  /// in `range` — the estimator's time-clipped sharpening of OpMaskCount.
+  /// in `range` — the estimator's time-clipped per-operation count.
   uint64_t OpCountInRange(OpMask mask, const TimeRange& range) const;
 
   Timestamp min_ts() const { return min_ts_; }
@@ -117,9 +136,6 @@ class EventPartition {
   uint64_t OpCount(OpType op) const {
     return op_counts_[static_cast<size_t>(op)];
   }
-  /// Events whose operation is in `mask`.
-  uint64_t OpMaskCount(OpMask mask) const;
-
   /// Events whose subject process has the given exe-name string id.
   uint64_t SubjectExeCount(StringId exe) const;
 
@@ -157,13 +173,15 @@ class EventPartition {
     }
   };
 
+  enum SealState : uint8_t { kOpen = 0, kSealing = 1, kSealed = 2 };
+
   void AccountEvent(const Event& event, StringId subject_exe);
   void BuildSealArtifacts();
 
   std::vector<Event> events_;
   EventColumns columns_;
   std::array<OpPostingList, kNumOpTypes> op_postings_;
-  bool sealed_ = false;
+  std::atomic<uint8_t> seal_state_{kOpen};
   Timestamp min_ts_ = INT64_MAX;
   Timestamp max_ts_ = INT64_MIN;
   uint64_t raw_count_ = 0;

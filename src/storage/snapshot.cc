@@ -194,8 +194,10 @@ Status SaveSnapshot(const AuditDatabase& db, const std::string& path) {
 
   w.PutU64(db.partitions().size());
   for (const auto& [key, partition] : db.partitions()) {
-    w.PutI64(key.first);
-    w.PutU32(key.second);
+    // Rollover partitions of the same (bucket, agent) are written as
+    // separate runs and re-merged on load, so the format needs no seq.
+    w.PutI64(std::get<0>(key));
+    w.PutU32(std::get<1>(key));
     w.PutU64(partition->events().size());
     for (const Event& e : partition->events()) {
       WriteEvent(&w, e);

@@ -80,7 +80,7 @@ class CompileTest : public ::testing::Test {
     auto analyzed = AnalyzeMultievent(*parsed_.multievent, parsed_.kind);
     EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
     analyzed_ = std::move(analyzed).value();
-    auto compiled = CompilePatterns(analyzed_, *db_);
+    auto compiled = CompilePatterns(analyzed_, db_->entities());
     EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
     return std::move(compiled).value();
   }

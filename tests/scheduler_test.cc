@@ -43,6 +43,7 @@ class SchedulerTest : public ::testing::Test {
       ASSERT_TRUE(db_->Append(record).ok());
     }
     db_->Seal();
+    view_ = db_->OpenReadView();
   }
 
   std::vector<CompiledPattern> Compile(const std::string& text,
@@ -55,12 +56,13 @@ class SchedulerTest : public ::testing::Test {
     // Keep the AST alive for the duration of the test via the static.
     parsed_storage_.push_back(std::move(parsed).value());
     analyzed_out->ast = parsed_storage_.back().multievent.get();
-    auto compiled = CompilePatterns(*analyzed_out, *db_);
+    auto compiled = CompilePatterns(*analyzed_out, db_->entities());
     EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
     return std::move(compiled).value();
   }
 
   std::unique_ptr<AuditDatabase> db_;
+  ReadView view_;
   std::vector<ParsedQuery> parsed_storage_;
 };
 
@@ -73,9 +75,9 @@ TEST_F(SchedulerTest, EstimatesReflectSelectivity) {
       &analyzed);
   ASSERT_EQ(patterns.size(), 2u);
   double noisy_est =
-      EstimateCardinality(patterns[0], *db_, analyzed.agent_filter);
+      EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
   double rare_est =
-      EstimateCardinality(patterns[1], *db_, analyzed.agent_filter);
+      EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
   EXPECT_GT(noisy_est, rare_est);
   EXPECT_GE(noisy_est, 400);  // close to the true 500
   EXPECT_LE(rare_est, 10);    // close to the true 2
@@ -90,7 +92,7 @@ TEST_F(SchedulerTest, SchedulesMostSelectiveFirst) {
       &analyzed);
   EngineOptions options;
   auto order =
-      SchedulePatterns(&patterns, *db_, analyzed.agent_filter, options);
+      SchedulePatterns(&patterns, view_, analyzed.agent_filter, options);
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 1u);  // the rare pattern runs first
   EXPECT_EQ(order[1], 0u);
@@ -106,7 +108,7 @@ TEST_F(SchedulerTest, ReorderingCanBeDisabled) {
   EngineOptions options;
   options.enable_reordering = false;
   auto order =
-      SchedulePatterns(&patterns, *db_, analyzed.agent_filter, options);
+      SchedulePatterns(&patterns, view_, analyzed.agent_filter, options);
   EXPECT_EQ(order[0], 0u);
   EXPECT_EQ(order[1], 1u);
 }
@@ -120,9 +122,9 @@ TEST_F(SchedulerTest, OpMaskDrivesBaseEstimate) {
       "return a, b",
       &analyzed);
   double writes =
-      EstimateCardinality(patterns[0], *db_, analyzed.agent_filter);
+      EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
   double reads =
-      EstimateCardinality(patterns[1], *db_, analyzed.agent_filter);
+      EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
   EXPECT_NEAR(writes, 500, 50);
   EXPECT_NEAR(reads, 2, 1);
 }
@@ -135,9 +137,9 @@ TEST_F(SchedulerTest, ObjectSelectivityScalesEstimate) {
       "return a, b",
       &analyzed);
   double constrained =
-      EstimateCardinality(patterns[0], *db_, analyzed.agent_filter);
+      EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
   double unconstrained =
-      EstimateCardinality(patterns[1], *db_, analyzed.agent_filter);
+      EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
   EXPECT_LT(constrained, unconstrained);
 }
 
@@ -148,7 +150,7 @@ TEST_F(SchedulerTest, TimeWindowLimitsEstimate) {
       "proc a write file f1 as e1 return a",
       &analyzed);
   // All data is on 05/10: nothing in range.
-  EXPECT_EQ(EstimateCardinality(patterns[0], *db_, analyzed.agent_filter),
+  EXPECT_EQ(EstimateCardinality(patterns[0], view_, analyzed.agent_filter),
             0);
 }
 

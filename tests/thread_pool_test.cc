@@ -1,0 +1,118 @@
+// Unit tests for the thread pool, centered on the ParallelFor deadlock fix:
+// calling ParallelFor from inside a pool worker must complete even when no
+// other worker can pick up the iterations (e.g. pool size 1, or the pool
+// shared with background partition sealing).
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace aiql {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto future = pool.Submit([&] { value.store(42); });
+  future.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 257;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesZeroAndOne) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "no iteration expected"; });
+  std::atomic<int> ran{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// Regression: the old implementation submitted every iteration as a pool
+// task and blocked on future.get(). From inside the single worker of a
+// 1-thread pool those tasks could never be picked up — deadlock. The
+// caller-participates design runs them inline.
+TEST(ThreadPoolTest, ParallelForFromWorkerOnSingleThreadPool) {
+  ThreadPool pool(1);
+  constexpr size_t kN = 16;
+  std::vector<std::atomic<int>> counts(kN);
+  auto future = pool.Submit([&] {
+    pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  });
+  ASSERT_EQ(future.wait_for(30s), std::future_status::ready)
+      << "ParallelFor deadlocked when called from a pool worker";
+  future.get();
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+// Nested ParallelFor: the outer iterations run on workers, each of which
+// issues another ParallelFor on the same (small) pool.
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 6;
+  constexpr size_t kInner = 9;
+  std::atomic<int> total{0};
+  pool.ParallelFor(kOuter, [&](size_t) {
+    pool.ParallelFor(kInner, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), static_cast<int>(kOuter * kInner));
+}
+
+// ParallelFor must make progress while every worker is pinned by unrelated
+// long-running tasks (the streaming case: workers busy sealing partitions).
+TEST(ThreadPoolTest, ParallelForProgressesWhileWorkersAreBusy) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::vector<std::future<void>> blockers;
+  for (int i = 0; i < 2; ++i) {
+    blockers.push_back(pool.Submit([&] {
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  std::atomic<int> ran{0};
+  pool.ParallelFor(8, [&](size_t) { ran.fetch_add(1); });  // caller drains
+  EXPECT_EQ(ran.load(), 8);
+  release.store(true);
+  for (auto& blocker : blockers) blocker.get();
+}
+
+// An iteration that throws must neither hang the caller nor lose the
+// error: the first exception rethrows on the calling thread once every
+// iteration has finished.
+TEST(ThreadPoolTest, ParallelForRethrowsIterationExceptionToCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(8,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 3) throw std::runtime_error("iteration 3");
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // remaining iterations still completed
+}
+
+}  // namespace
+}  // namespace aiql
