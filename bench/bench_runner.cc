@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -30,6 +31,7 @@
 #include "simulator/queries_c.h"
 #include "simulator/replay.h"
 #include "simulator/scenario.h"
+#include "storage/snapshot.h"
 
 using namespace aiql;
 using namespace aiql_bench;
@@ -167,6 +169,174 @@ StreamSuiteRun RunStreamingSuite(const std::string& suite,
     q.rows_match = !q.failed && q.final_rows == q.expected_rows;
   }
   return out;
+}
+
+/// Snapshot format comparison: on-disk size and cold-start
+/// time-to-first-query-result for the legacy v1 single-blob format (full
+/// load) vs the v2 partition-granular store (lazy open).
+struct SnapshotBench {
+  uint64_t v1_bytes = 0;
+  uint64_t v2_bytes = 0;
+  int64_t v1_save_us = 0;
+  int64_t v2_save_us = 0;
+  int64_t v1_load_us = 0;         ///< full deserialize + reindex
+  int64_t v2_open_us = 0;         ///< footer + statistics + entities only
+  int64_t v1_first_query_us = 0;  ///< first query after the v1 load
+  int64_t v2_first_query_us = 0;  ///< first query (materializes on demand)
+  size_t rows_mem = 0;
+  size_t rows_v1 = 0;
+  size_t rows_v2 = 0;
+  uint64_t v2_partitions_loaded = 0;
+  uint64_t v2_partitions_total = 0;
+  bool rows_match = false;            ///< first query: mem == v1 == v2
+  bool all_query_rows_match = false;  ///< whole suite served from v2 store
+  bool failed = false;
+
+  int64_t v1_cold_start_us() const { return v1_load_us + v1_first_query_us; }
+  int64_t v2_cold_start_us() const { return v2_open_us + v2_first_query_us; }
+};
+
+uint64_t FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+/// Saves `db` in both formats, then measures cold start to the first result
+/// of `queries[0]` and verifies every query's row count served from the v2
+/// store against the in-memory runs.
+SnapshotBench RunSnapshotBench(const AuditDatabase& db,
+                               const std::vector<CatalogQuery>& queries,
+                               const std::map<std::string, size_t>& mem_rows,
+                               const std::string& suite) {
+  SnapshotBench bench;
+  // Process-unique paths (concurrent runners must not clobber each other),
+  // removed on every exit path.
+  struct TempFile {
+    std::string path;
+    ~TempFile() { std::remove(path.c_str()); }
+  };
+  const std::string unique = std::to_string(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  TempFile v1_file{"/tmp/aiql_bench_snapshot." + unique + ".v1.snap"};
+  TempFile v2_file{"/tmp/aiql_bench_snapshot." + unique + ".v2.snap"};
+  const std::string& v1_path = v1_file.path;
+  const std::string& v2_path = v2_file.path;
+  auto fail = [&](const char* what, const Status& status) {
+    std::fprintf(stderr, "snapshot bench %s FAILED: %s\n", what,
+                 status.ToString().c_str());
+    bench.failed = true;
+  };
+
+  Status status;
+  bench.v1_save_us = TimeUs([&] { status = SaveSnapshotV1(db, v1_path); });
+  if (!status.ok()) fail("v1 save", status);
+  bench.v2_save_us = TimeUs([&] { status = SaveSnapshot(db, v2_path); });
+  if (!status.ok()) fail("v2 save", status);
+  bench.v1_bytes = FileSizeBytes(v1_path);
+  bench.v2_bytes = FileSizeBytes(v2_path);
+  if (bench.failed) return bench;
+
+  const CatalogQuery& first = queries.front();
+  auto mem_it = mem_rows.find(suite + "/" + first.id);
+  bench.rows_mem = mem_it == mem_rows.end() ? 0 : mem_it->second;
+
+  // v1 cold start: the whole blob must be deserialized and re-indexed
+  // before the first query can run.
+  {
+    Result<AuditDatabase> loaded = Status::Internal("not loaded");
+    bench.v1_load_us = TimeUs([&] { loaded = LoadSnapshot(v1_path); });
+    if (!loaded.ok()) {
+      fail("v1 load", loaded.status());
+      return bench;
+    }
+    AiqlEngine engine(&*loaded);
+    bench.v1_first_query_us = TimeUs([&] {
+      auto result = engine.Execute(first.text);
+      if (result.ok()) {
+        bench.rows_v1 = result->table.num_rows();
+      } else {
+        fail("v1 first query", result.status());
+      }
+    });
+  }
+
+  // v2 cold start: open reads footer + statistics + entities; the first
+  // query materializes only the partitions it touches.
+  {
+    Result<std::unique_ptr<SnapshotStore>> store =
+        Status::Internal("not opened");
+    bench.v2_open_us = TimeUs([&] { store = SnapshotStore::Open(v2_path); });
+    if (!store.ok()) {
+      fail("v2 open", store.status());
+      return bench;
+    }
+    bench.v2_partitions_total = (*store)->total_partitions();
+    AiqlEngine engine(store->get());
+    bench.v2_first_query_us = TimeUs([&] {
+      auto result = engine.Execute(first.text);
+      if (result.ok()) {
+        bench.rows_v2 = result->table.num_rows();
+      } else {
+        fail("v2 first query", result.status());
+      }
+    });
+    bench.v2_partitions_loaded = (*store)->loaded_partitions();
+
+    // Correctness gate: the whole suite served from the store must
+    // reproduce the in-memory row counts.
+    bench.all_query_rows_match = true;
+    for (const CatalogQuery& query : queries) {
+      auto result = engine.Execute(query.text);
+      auto expected = mem_rows.find(suite + "/" + query.id);
+      size_t want = expected == mem_rows.end() ? 0 : expected->second;
+      if (!result.ok() || result->table.num_rows() != want) {
+        bench.all_query_rows_match = false;
+        std::fprintf(stderr,
+                     "  snapshot %s %s row mismatch: got %zu want %zu%s\n",
+                     suite.c_str(), query.id.c_str(),
+                     result.ok() ? result->table.num_rows() : 0, want,
+                     result.ok() ? "" : " (query failed)");
+      }
+    }
+  }
+  bench.rows_match =
+      bench.rows_v1 == bench.rows_mem && bench.rows_v2 == bench.rows_mem;
+  return bench;
+}
+
+void WriteSnapshotJson(FILE* out, const SnapshotBench& bench) {
+  double ratio = bench.v2_bytes == 0
+                     ? 0
+                     : static_cast<double>(bench.v1_bytes) /
+                           static_cast<double>(bench.v2_bytes);
+  std::fprintf(
+      out,
+      "  \"snapshot\": {\"v1_bytes\": %llu, \"v2_bytes\": %llu, "
+      "\"v1_over_v2_size_ratio\": %.2f,\n"
+      "    \"v1_save_us\": %lld, \"v2_save_us\": %lld,\n"
+      "    \"v1_load_us\": %lld, \"v1_first_query_us\": %lld, "
+      "\"v1_cold_start_us\": %lld,\n"
+      "    \"v2_open_us\": %lld, \"v2_first_query_us\": %lld, "
+      "\"v2_cold_start_us\": %lld,\n"
+      "    \"v2_partitions_loaded\": %llu, \"v2_partitions_total\": %llu,\n"
+      "    \"rows\": %zu, \"rows_match\": %s, "
+      "\"all_query_rows_match\": %s%s},\n",
+      static_cast<unsigned long long>(bench.v1_bytes),
+      static_cast<unsigned long long>(bench.v2_bytes), ratio,
+      static_cast<long long>(bench.v1_save_us),
+      static_cast<long long>(bench.v2_save_us),
+      static_cast<long long>(bench.v1_load_us),
+      static_cast<long long>(bench.v1_first_query_us),
+      static_cast<long long>(bench.v1_cold_start_us()),
+      static_cast<long long>(bench.v2_open_us),
+      static_cast<long long>(bench.v2_first_query_us),
+      static_cast<long long>(bench.v2_cold_start_us()),
+      static_cast<unsigned long long>(bench.v2_partitions_loaded),
+      static_cast<unsigned long long>(bench.v2_partitions_total),
+      bench.rows_mem, bench.rows_match ? "true" : "false",
+      bench.all_query_rows_match ? "true" : "false",
+      bench.failed ? ", \"failed\": true" : "");
 }
 
 /// Classifies a query from its AST: pattern count and op selectivity.
@@ -364,7 +534,8 @@ void WriteJson(FILE* out, const std::string& label,
                const ScenarioOptions& options, int repeat,
                const std::vector<QueryRun>& runs, const StorageRun& storage,
                bool has_baseline, double stream_rate,
-               const std::vector<StreamSuiteRun>* streaming) {
+               const std::vector<StreamSuiteRun>* streaming,
+               const SnapshotBench* snapshot) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
   std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
@@ -385,6 +556,8 @@ void WriteJson(FILE* out, const std::string& label,
                static_cast<unsigned long long>(storage.stored_events),
                static_cast<unsigned long long>(storage.partitions),
                static_cast<unsigned long long>(storage.scan_checksum));
+
+  if (snapshot != nullptr) WriteSnapshotJson(out, *snapshot);
 
   std::fprintf(out, "  \"queries\": [\n");
   int64_t total_us = 0, baseline_total_us = 0;
@@ -451,6 +624,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string label = "run";
   bool streaming = false;
+  bool snapshot = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -463,10 +637,12 @@ int main(int argc, char** argv) {
       if (const char* v = next()) label = v;
     } else if (std::strcmp(argv[i], "--streaming") == 0) {
       streaming = true;
+    } else if (std::strcmp(argv[i], "--snapshot") == 0) {
+      snapshot = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out file.json] [--baseline file.json] "
-                   "[--label name] [--streaming]\n",
+                   "[--label name] [--streaming] [--snapshot]\n",
                    argv[0]);
       return 2;
     }
@@ -527,6 +703,34 @@ int main(int argc, char** argv) {
   // storage micro-bench: ingest + full scan on the demo record stream.
   StorageRun storage = RunStorageBench(demo.records);
 
+  // Snapshot mode: v1 vs v2 on-disk size and cold-start-to-first-result on
+  // the demo database, plus a v2-served row-count verification of the whole
+  // fig4 suite.
+  SnapshotBench snapshot_bench;
+  if (snapshot) {
+    std::map<std::string, size_t> mem_rows;
+    for (const QueryRun& run : runs) {
+      mem_rows[run.suite + "/" + run.id] = run.rows;
+    }
+    snapshot_bench = RunSnapshotBench(
+        *demo_db, DemoInvestigationQueries(demo.truth), mem_rows, "fig4");
+    std::fprintf(stderr,
+                 "snapshot: v1=%llu B v2=%llu B (%.2fx) cold-start "
+                 "v1=%lld us v2=%lld us (loaded %llu/%llu partitions)\n",
+                 static_cast<unsigned long long>(snapshot_bench.v1_bytes),
+                 static_cast<unsigned long long>(snapshot_bench.v2_bytes),
+                 snapshot_bench.v2_bytes == 0
+                     ? 0.0
+                     : static_cast<double>(snapshot_bench.v1_bytes) /
+                           static_cast<double>(snapshot_bench.v2_bytes),
+                 static_cast<long long>(snapshot_bench.v1_cold_start_us()),
+                 static_cast<long long>(snapshot_bench.v2_cold_start_us()),
+                 static_cast<unsigned long long>(
+                     snapshot_bench.v2_partitions_loaded),
+                 static_cast<unsigned long long>(
+                     snapshot_bench.v2_partitions_total));
+  }
+
   // Streaming mode: re-ingest each suite's records at a pinned rate on a
   // background thread, concurrent with the suite's queries; verify the
   // post-Seal row counts against the sealed-batch runs above.
@@ -579,10 +783,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   WriteJson(out, label, options, repeat, runs, storage, has_baseline,
-            stream_rate, streaming ? &stream_suites : nullptr);
+            stream_rate, streaming ? &stream_suites : nullptr,
+            snapshot ? &snapshot_bench : nullptr);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
+  if (snapshot && (snapshot_bench.failed || !snapshot_bench.rows_match ||
+                   !snapshot_bench.all_query_rows_match)) {
+    std::fprintf(stderr, "snapshot bench verification failed\n");
+    return 1;
+  }
   int failures = 0;
   for (const QueryRun& run : runs) {
     if (run.failed) ++failures;

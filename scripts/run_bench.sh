@@ -3,7 +3,7 @@
 # a BENCH_*.json trajectory file (schema in README.md).
 #
 #   scripts/run_bench.sh [--baseline prev.json] [--out BENCH_PRn.json] \
-#                        [--label after]
+#                        [--label after] [--streaming] [--snapshot]
 #
 # The configuration is pinned so numbers stay comparable across PRs on the
 # same machine; override AIQL_BENCH_* in the environment only for local

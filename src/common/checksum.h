@@ -1,0 +1,45 @@
+// FNV-1a 64-bit checksum.
+//
+// Guards every snapshot section (segments, footer) against truncation and
+// bit flips. FNV-1a is not cryptographic — it detects accidental corruption,
+// not adversarial tampering — but it is fast, incremental, and dependency
+// free, which is what the storage layer needs.
+
+#ifndef AIQL_COMMON_CHECKSUM_H_
+#define AIQL_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace aiql {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1a64 {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ = (hash_ ^ bytes[i]) * kPrime;
+    }
+  }
+
+  uint64_t digest() const { return hash_; }
+
+  static constexpr uint64_t kOffset = 14695981039346656037ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+ private:
+  uint64_t hash_ = kOffset;
+};
+
+/// One-shot FNV-1a 64 of a byte string.
+inline uint64_t Checksum64(std::string_view data) {
+  Fnv1a64 hasher;
+  hasher.Update(data.data(), data.size());
+  return hasher.digest();
+}
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_CHECKSUM_H_

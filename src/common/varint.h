@@ -1,0 +1,73 @@
+// LEB128 varint and zigzag encoding helpers.
+//
+// The snapshot v2 on-disk format stores columns as varint streams: small
+// values (entity ids, amounts, timestamp deltas) take one or two bytes
+// instead of a fixed eight. Encoders append to a std::string buffer;
+// decoders are bounds-checked against an explicit limit so truncated or
+// bit-flipped input surfaces as a decode failure, never an out-of-bounds
+// read.
+
+#ifndef AIQL_COMMON_VARINT_H_
+#define AIQL_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aiql {
+
+/// Appends `v` to `dst` as an unsigned LEB128 varint (1-10 bytes).
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Decodes an unsigned varint from [p, limit). Returns the position past the
+/// varint, or nullptr on truncation / overlong (> 10 byte) input.
+inline const char* GetVarint64(const char* p, const char* limit,
+                               uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (p < limit && shift < 70) {
+    uint8_t byte = static_cast<uint8_t>(*p++);
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+/// Maps signed values onto unsigned ones with small absolute values staying
+/// small (0 -> 0, -1 -> 1, 1 -> 2, ...), so deltas that may be negative
+/// still varint-encode compactly.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Appends a zigzag-encoded signed varint.
+inline void PutVarintSigned(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigZagEncode(v));
+}
+
+/// Decodes a zigzag-encoded signed varint; nullptr on failure.
+inline const char* GetVarintSigned(const char* p, const char* limit,
+                                   int64_t* out) {
+  uint64_t raw = 0;
+  p = GetVarint64(p, limit, &raw);
+  if (p != nullptr) *out = ZigZagDecode(raw);
+  return p;
+}
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_VARINT_H_

@@ -8,22 +8,29 @@
 #include "engine/executor.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
+#include "storage/snapshot.h"
 
 namespace aiql {
 
 namespace {
+
 using Clock = std::chrono::steady_clock;
+
+std::unique_ptr<ThreadPool> MakePool(const EngineOptions& options) {
+  if (!options.enable_parallelism) return nullptr;
+  size_t threads = options.num_threads != 0
+                       ? options.num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  return std::make_unique<ThreadPool>(threads);
+}
+
 }  // namespace
 
 AiqlEngine::AiqlEngine(const AuditDatabase* db, EngineOptions options)
-    : db_(db), options_(options) {
-  if (options_.enable_parallelism) {
-    size_t threads = options_.num_threads != 0
-                         ? options_.num_threads
-                         : std::max(1u, std::thread::hardware_concurrency());
-    pool_ = std::make_unique<ThreadPool>(threads);
-  }
-}
+    : db_(db), options_(options), pool_(MakePool(options_)) {}
+
+AiqlEngine::AiqlEngine(const SnapshotStore* snapshot, EngineOptions options)
+    : snapshot_(snapshot), options_(options), pool_(MakePool(options_)) {}
 
 AiqlEngine::~AiqlEngine() = default;
 
@@ -41,8 +48,11 @@ Result<QueryResult> AiqlEngine::Execute(std::string_view text) {
 Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
   // One consistent snapshot of the sealed partitions per query: the view
   // holds the database's state lock shared, so ingestion keeps buffering
-  // while this query runs and commits apply once the view closes.
-  ReadView view = db_->OpenReadView();
+  // while this query runs and commits apply once the view closes. A
+  // snapshot-backed view instead selects against the on-disk directory and
+  // materializes only the partitions this query touches.
+  ReadView view =
+      db_ != nullptr ? db_->OpenReadView() : snapshot_->OpenReadView();
   switch (parsed.kind) {
     case QueryKind::kMultievent: {
       AIQL_ASSIGN_OR_RETURN(

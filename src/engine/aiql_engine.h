@@ -17,6 +17,8 @@
 
 namespace aiql {
 
+class SnapshotStore;
+
 /// Executes AIQL queries (multievent, dependency, anomaly) against an
 /// AuditDatabase. Each Execute opens a ReadView — a consistent snapshot of
 /// the currently-sealed partitions — so queries are safe and consistent
@@ -28,6 +30,14 @@ class AiqlEngine {
   /// `db` must outlive the engine. It may still be ingesting; batch
   /// workloads Seal() it first so every event is visible.
   explicit AiqlEngine(const AuditDatabase* db, EngineOptions options = {});
+
+  /// Executes queries directly against a lazily opened v2 snapshot: each
+  /// query materializes (and caches) only the partitions its time range and
+  /// agent filter select, so the cold-start cost tracks data touched, not
+  /// data stored. `snapshot` must outlive the engine.
+  explicit AiqlEngine(const SnapshotStore* snapshot,
+                      EngineOptions options = {});
+
   ~AiqlEngine();
 
   /// Parses, analyzes, optimizes, and executes `text`.
@@ -45,7 +55,8 @@ class AiqlEngine {
  private:
   Result<QueryResult> Dispatch(const ParsedQuery& parsed);
 
-  const AuditDatabase* db_;
+  const AuditDatabase* db_ = nullptr;
+  const SnapshotStore* snapshot_ = nullptr;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -176,8 +176,9 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
 
   // --- scan ------------------------------------------------------------------
   std::vector<Event> events;
-  auto partitions =
-      view_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
+  AIQL_ASSIGN_OR_RETURN(
+      auto partitions,
+      view_->SelectPartitions(pattern.time_range, analyzed.agent_filter));
   stats.partitions_scanned = partitions.size();
   for (const auto& [key, partition] : partitions) {
     const std::vector<Event>& all = partition->events();

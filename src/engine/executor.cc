@@ -97,8 +97,9 @@ Result<QueryResult> MultieventExecutor::Execute(
   auto plan_start = Clock::now();
   AIQL_ASSIGN_OR_RETURN(std::vector<CompiledPattern> patterns,
                         CompilePatterns(analyzed, view_->entities()));
-  std::vector<size_t> order = SchedulePatterns(
-      &patterns, *view_, analyzed.agent_filter, options_);
+  AIQL_ASSIGN_OR_RETURN(
+      std::vector<size_t> order,
+      SchedulePatterns(&patterns, *view_, analyzed.agent_filter, options_));
   stats.plan_time = ElapsedUs(plan_start);
 
   // Render the plan for Explain / debugging.
@@ -201,8 +202,9 @@ Result<QueryResult> MultieventExecutor::Execute(
         pattern_ast.subject.var == pattern_ast.object.var;
 
     // Partition-parallel scan (zero-copy: pointers into sealed partitions).
-    auto partitions =
-        view_->SelectPartitions(pattern.time_range, analyzed.agent_filter);
+    AIQL_ASSIGN_OR_RETURN(
+        auto partitions,
+        view_->SelectPartitions(pattern.time_range, analyzed.agent_filter));
     stats.partitions_scanned += partitions.size();
     std::vector<std::vector<const Event*>> local_matches(partitions.size());
     std::vector<uint64_t> local_scanned(partitions.size(), 0);

@@ -5,10 +5,11 @@
 
 namespace aiql {
 
-double EstimateCardinality(
+Result<double> EstimateCardinality(
     const CompiledPattern& pattern, const ReadView& view,
     const std::optional<std::vector<AgentId>>& agents) {
-  auto partitions = view.SelectPartitions(pattern.time_range, agents);
+  AIQL_ASSIGN_OR_RETURN(auto partitions,
+                        view.SelectPartitions(pattern.time_range, agents));
 
   double op_events = 0;       // events with a matching operation, in range
   double subject_events = 0;  // events whose subject exe matches
@@ -51,12 +52,13 @@ double EstimateCardinality(
   return estimate;
 }
 
-std::vector<size_t> SchedulePatterns(
+Result<std::vector<size_t>> SchedulePatterns(
     std::vector<CompiledPattern>* patterns, const ReadView& view,
     const std::optional<std::vector<AgentId>>& agents,
     const EngineOptions& options) {
   for (CompiledPattern& pattern : *patterns) {
-    pattern.estimated_cardinality = EstimateCardinality(pattern, view, agents);
+    AIQL_ASSIGN_OR_RETURN(pattern.estimated_cardinality,
+                          EstimateCardinality(pattern, view, agents));
   }
   std::vector<size_t> order(patterns->size());
   std::iota(order.begin(), order.end(), 0);

@@ -39,14 +39,17 @@ struct EngineOptions {
 
 /// Estimates the number of events matching `pattern` within the sealed
 /// partitions the read view selects for its time range and `agents`.
-double EstimateCardinality(const CompiledPattern& pattern,
-                           const ReadView& view,
-                           const std::optional<std::vector<AgentId>>& agents);
+/// Fails only on snapshot-backed views whose selected partitions cannot be
+/// materialized (I/O error or corruption).
+Result<double> EstimateCardinality(
+    const CompiledPattern& pattern, const ReadView& view,
+    const std::optional<std::vector<AgentId>>& agents);
 
 /// Fills estimated_cardinality on each pattern and returns the execution
 /// order (indexes into `patterns`): ascending estimate when reordering is
-/// on, original order otherwise.
-std::vector<size_t> SchedulePatterns(
+/// on, original order otherwise. Propagates partition-materialization
+/// failures from snapshot-backed views.
+Result<std::vector<size_t>> SchedulePatterns(
     std::vector<CompiledPattern>* patterns, const ReadView& view,
     const std::optional<std::vector<AgentId>>& agents,
     const EngineOptions& options);

@@ -2,52 +2,42 @@
 
 #include <algorithm>
 
+#include "storage/snapshot.h"
+
 namespace aiql {
 
-namespace {
-
-/// Shared partition filter of the batch and view read paths.
-bool PartitionSelected(const TimeRange& range,
-                       const std::optional<std::vector<AgentId>>& agents,
-                       bool partitioning_enabled, AgentId agent,
-                       const EventPartition& partition) {
+bool PartitionStatsSelected(const TimeRange& range,
+                            const std::optional<std::vector<AgentId>>& agents,
+                            bool partitioning_enabled, AgentId agent,
+                            Timestamp min_ts, Timestamp max_ts,
+                            uint64_t num_events) {
   if (agents.has_value() && partitioning_enabled) {
     bool found =
         std::find(agents->begin(), agents->end(), agent) != agents->end();
     if (!found) return false;
   }
-  if (partition.size() == 0) return false;
-  TimeRange span{partition.min_ts(), partition.max_ts() + 1};
+  if (num_events == 0) return false;
+  TimeRange span{min_ts, max_ts + 1};
   return range.Overlaps(span);
 }
 
-}  // namespace
-
 // --- ReadView ---------------------------------------------------------------
 
-std::vector<std::pair<PartitionKey, const EventPartition*>>
+Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
 ReadView::SelectPartitions(
     const TimeRange& range,
     const std::optional<std::vector<AgentId>>& agents) const {
+  if (store_ != nullptr) return store_->SelectPartitions(range, agents);
   std::vector<std::pair<PartitionKey, const EventPartition*>> out;
   for (const auto& [key, partition] : partitions_) {
-    if (!PartitionSelected(range, agents, options_->enable_partitioning,
-                           key.agent_id, *partition)) {
+    if (!PartitionStatsSelected(range, agents, options_->enable_partitioning,
+                                key.agent_id, partition->min_ts(),
+                                partition->max_ts(), partition->size())) {
       continue;
     }
     out.emplace_back(key, partition);
   }
   return out;
-}
-
-void ReadView::ForEachPartition(
-    const TimeRange& range,
-    const std::optional<std::vector<AgentId>>& agents,
-    const std::function<void(const PartitionKey&, const EventPartition&)>& fn)
-    const {
-  for (const auto& [key, partition] : SelectPartitions(range, agents)) {
-    fn(key, *partition);
-  }
 }
 
 // --- AuditDatabase ----------------------------------------------------------
@@ -290,6 +280,43 @@ void AuditDatabase::RestoreSealedState() {
   sync_->finalized.store(true, std::memory_order_release);
 }
 
+void AuditDatabase::AdoptSealedPartition(
+    int64_t bucket, AgentId agent, std::unique_ptr<EventPartition> partition) {
+  std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+  uint32_t seq = 0;
+  auto hint =
+      partitions_.upper_bound(PartitionMapKey{bucket, agent, UINT32_MAX});
+  if (hint != partitions_.begin()) {
+    const PartitionMapKey& prev = std::prev(hint)->first;
+    if (std::get<0>(prev) == bucket && std::get<1>(prev) == agent) {
+      seq = std::get<2>(prev) + 1;
+    }
+  }
+  partitions_.emplace_hint(hint, PartitionMapKey{bucket, agent, seq},
+                           std::move(partition));
+}
+
+void AuditDatabase::FinishRestore() {
+  std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+  stats_ = DatabaseStats{};
+  stats_.total_partitions = partitions_.size();
+  stats_.partitions_sealed = partitions_.size();
+  for (const auto& [key, partition] : partitions_) {
+    stats_.total_events += partition->size();
+    stats_.raw_events += partition->raw_event_count();
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      stats_.op_counts[op] += partition->OpCount(static_cast<OpType>(op));
+    }
+    if (partition->size() > 0) {
+      stats_.min_ts = std::min(stats_.min_ts, partition->min_ts());
+      stats_.max_ts = std::max(stats_.max_ts, partition->max_ts());
+    }
+  }
+  open_.clear();
+  agent_clock_.clear();
+  sync_->finalized.store(true, std::memory_order_release);
+}
+
 ReadView AuditDatabase::OpenReadView() const {
   ReadView view;
   view.lock_ = std::shared_lock<std::shared_mutex>(sync_->state_mu);
@@ -319,8 +346,9 @@ AuditDatabase::SelectPartitions(
   std::vector<std::pair<PartitionKey, const EventPartition*>> out;
   for (const auto& [key, partition] : partitions_) {
     AgentId agent = std::get<1>(key);
-    if (!PartitionSelected(range, agents, options_.enable_partitioning,
-                           agent, *partition)) {
+    if (!PartitionStatsSelected(range, agents, options_.enable_partitioning,
+                                agent, partition->min_ts(),
+                                partition->max_ts(), partition->size())) {
       continue;
     }
     out.emplace_back(PartitionKey{std::get<0>(key), agent}, partition.get());

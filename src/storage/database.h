@@ -101,6 +101,16 @@ struct DatabaseStats {
 using PartitionMapKey = std::tuple<int64_t, AgentId, uint32_t>;
 
 class AuditDatabase;
+class SnapshotStore;
+
+/// Shared partition-selection predicate of the batch, view, and snapshot
+/// read paths, evaluated on partition statistics alone (so a lazily loaded
+/// snapshot partition can be ruled out without materializing it).
+bool PartitionStatsSelected(const TimeRange& range,
+                            const std::optional<std::vector<AgentId>>& agents,
+                            bool partitioning_enabled, AgentId agent,
+                            Timestamp min_ts, Timestamp max_ts,
+                            uint64_t num_events);
 
 /// A consistent snapshot of the database's sealed partitions plus aggregate
 /// statistics, opened via AuditDatabase::OpenReadView(). The view holds the
@@ -109,6 +119,12 @@ class AuditDatabase;
 /// buffering (commits wait until the view closes). Queries therefore see
 /// every partition fully sealed — never a partially-sealed one — and
 /// successive views observe monotonically non-decreasing event counts.
+///
+/// A view can also be backed by a SnapshotStore (a lazily opened v2
+/// snapshot): partition selection then runs on the store's persisted
+/// statistics and materializes only the partitions the query touches, which
+/// is why SelectPartitions returns a Result — a corrupt or truncated
+/// segment surfaces as a clean Status at selection time.
 /// Move-only; cheap to open (one pointer copy per sealed partition).
 class ReadView {
  public:
@@ -126,32 +142,32 @@ class ReadView {
   /// Events inside the view's sealed partitions — what scans can see.
   uint64_t visible_events() const { return visible_events_; }
 
-  /// All sealed partitions, ordered by (bucket, agent, seq).
+  /// All sealed partitions, ordered by (bucket, agent, seq). Only populated
+  /// for database-backed views; snapshot-backed views expose partitions
+  /// through SelectPartitions so unqueried ones stay on disk.
   const std::vector<std::pair<PartitionKey, const EventPartition*>>&
   partitions() const {
     return partitions_;
   }
 
   /// Sealed partitions overlapping `range`, optionally restricted to
-  /// `agents` (nullopt = all agents). Ordered by (bucket, agent).
-  std::vector<std::pair<PartitionKey, const EventPartition*>> SelectPartitions(
-      const TimeRange& range,
-      const std::optional<std::vector<AgentId>>& agents) const;
-
-  /// Convenience: applies `fn` to each selected partition.
-  void ForEachPartition(
-      const TimeRange& range,
-      const std::optional<std::vector<AgentId>>& agents,
-      const std::function<void(const PartitionKey&, const EventPartition&)>&
-          fn) const;
+  /// `agents` (nullopt = all agents). Ordered by (bucket, agent). On a
+  /// snapshot-backed view this materializes (and caches) exactly the
+  /// selected partitions, and fails with IOError/Corruption if a segment
+  /// cannot be read back intact.
+  Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
+  SelectPartitions(const TimeRange& range,
+                   const std::optional<std::vector<AgentId>>& agents) const;
 
  private:
   friend class AuditDatabase;
+  friend class SnapshotStore;
 
   const EntityStore* entities_ = nullptr;
   const StorageOptions* options_ = nullptr;
   std::shared_lock<std::shared_mutex> lock_;
   std::vector<std::pair<PartitionKey, const EventPartition*>> partitions_;
+  const SnapshotStore* store_ = nullptr;
   DatabaseStats stats_;
   uint64_t visible_events_ = 0;
 };
@@ -246,6 +262,16 @@ class AuditDatabase {
   /// previous partition of that pair was already sealed (rollover).
   EventPartition* GetOrCreatePartition(int64_t bucket, AgentId agent);
   void RestoreSealedState();
+
+  /// Snapshot-v2 load hooks: AdoptSealedPartition installs an
+  /// already-sealed partition (indexes and statistics intact) under
+  /// (bucket, agent) at the next free seq; FinishRestore then aggregates
+  /// database statistics from the partition statistics — no event is
+  /// re-read — and freezes the database. Only valid while assembling a
+  /// freshly constructed database.
+  void AdoptSealedPartition(int64_t bucket, AgentId agent,
+                            std::unique_ptr<EventPartition> partition);
+  void FinishRestore();
 
  private:
   /// Cross-thread synchronization state; heap-allocated so the database

@@ -54,6 +54,32 @@ EntityId EntityStore::InternNetwork(const NetworkRef& ref) {
   return id;
 }
 
+Status EntityStore::RestoreDictionaries(
+    const std::vector<std::string>& exe_names,
+    const std::vector<std::string>& users,
+    const std::vector<std::string>& paths,
+    const std::vector<std::string>& ips,
+    const std::vector<std::string>& protocols) {
+  if (exe_names_.size() + users_.size() + paths_.size() + ips_.size() +
+          protocols_.size() + processes_.size() + files_.size() +
+          networks_.size() !=
+      0) {
+    return Status::InvalidArgument(
+        "dictionaries can only be restored into an empty entity store");
+  }
+  auto restore = [](StringInterner* interner,
+                    const std::vector<std::string>& strings) {
+    for (const std::string& s : strings) interner->Intern(s);
+    return interner->size() == strings.size();
+  };
+  if (!restore(&exe_names_, exe_names) || !restore(&users_, users) ||
+      !restore(&paths_, paths) || !restore(&ips_, ips) ||
+      !restore(&protocols_, protocols)) {
+    return Status::Corruption("snapshot dictionary has duplicate strings");
+  }
+  return Status::OK();
+}
+
 std::pair<EntityType, EntityId> EntityStore::InternObject(
     const ObjectRef& ref) {
   if (const auto* proc = std::get_if<ProcessRef>(&ref)) {

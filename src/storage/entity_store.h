@@ -38,6 +38,17 @@ class EntityStore {
   /// Interns the object side of a raw record; returns (type, id).
   std::pair<EntityType, EntityId> InternObject(const ObjectRef& ref);
 
+  /// Snapshot-load hook: pre-interns persisted dictionary strings in stored
+  /// order into an empty store, so StringIds referenced by other snapshot
+  /// sections (entity tables, per-partition subject-exe counts) keep their
+  /// original values. Fails on a non-empty store or duplicate dictionary
+  /// entries (which would silently shift later ids).
+  Status RestoreDictionaries(const std::vector<std::string>& exe_names,
+                             const std::vector<std::string>& users,
+                             const std::vector<std::string>& paths,
+                             const std::vector<std::string>& ips,
+                             const std::vector<std::string>& protocols);
+
   // --- read access ---------------------------------------------------------
 
   const std::vector<ProcessEntity>& processes() const { return processes_; }

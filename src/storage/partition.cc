@@ -172,6 +172,41 @@ size_t EventPartition::LowerBound(Timestamp t) const {
   return static_cast<size_t>(it - events_.begin());
 }
 
+void EventPartition::RestoreSealed(
+    std::vector<Event> events, std::array<OpPostingList, kNumOpTypes> postings,
+    std::unordered_map<StringId, uint64_t> subject_exe_counts,
+    uint64_t raw_count) {
+  events_ = std::move(events);
+  op_postings_ = std::move(postings);
+  subject_exe_counts_ = std::move(subject_exe_counts);
+  raw_count_ = raw_count;
+
+  columns_.Clear();
+  columns_.Reserve(events_.size());
+  min_ts_ = INT64_MAX;
+  max_ts_ = INT64_MIN;
+  for (const Event& event : events_) {
+    columns_.PushBack(event);
+    if (event.start_ts < min_ts_) min_ts_ = event.start_ts;
+    if (event.end_ts > max_ts_) max_ts_ = event.end_ts;
+  }
+  for (size_t op = 0; op < op_postings_.size(); ++op) {
+    OpPostingList& list = op_postings_[op];
+    op_counts_[op] = list.indexes.size();
+    // Posting indexes ascend in event-index (= start_ts) order, so the zone
+    // map is just the first and last referenced start.
+    if (!list.indexes.empty()) {
+      list.min_start_ts = columns_.start_ts[list.indexes.front()];
+      list.max_start_ts = columns_.start_ts[list.indexes.back()];
+    } else {
+      list.min_start_ts = INT64_MAX;
+      list.max_start_ts = INT64_MIN;
+    }
+  }
+  merge_tail_.clear();
+  seal_state_.store(kSealed, std::memory_order_release);
+}
+
 void EventPartition::RebuildStats(
     const std::vector<ProcessEntity>& processes) {
   op_counts_.fill(0);

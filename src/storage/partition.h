@@ -155,6 +155,18 @@ class EventPartition {
   /// Recomputes statistics from `events_` (after snapshot load).
   void RebuildStats(const std::vector<ProcessEntity>& processes);
 
+  /// Snapshot-v2 load hook: installs a fully sealed partition wholesale —
+  /// sorted events, posting lists, and statistics are adopted as persisted,
+  /// so loading performs no sort and no index rebuild (the columnar view is
+  /// re-derived in one linear pass). Precondition: the partition is empty,
+  /// `events` is sorted by (start_ts, end_ts), and `postings` partitions the
+  /// event indexes by operation (the snapshot reader validates both before
+  /// calling). Zone maps are derived from the postings.
+  void RestoreSealed(std::vector<Event> events,
+                     std::array<OpPostingList, kNumOpTypes> postings,
+                     std::unordered_map<StringId, uint64_t> subject_exe_counts,
+                     uint64_t raw_count);
+
  private:
   struct MergeKey {
     EntityId subject;

@@ -1,29 +1,681 @@
 #include "storage/snapshot.h"
 
-#include <cstdint>
-#include <cstdio>
-#include <memory>
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <string_view>
+#include <unordered_map>
+
+#include "common/checksum.h"
+#include "common/varint.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>   // open, O_DIRECTORY
+#include <unistd.h>  // fsync, fileno, close
+#endif
 
 namespace aiql {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x4149514C534E5031ULL;  // "AIQLSNP1"
-constexpr uint32_t kVersion = 2;
-constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
+// --- format constants --------------------------------------------------------
 
-class Writer {
+constexpr uint64_t kV1Magic = 0x4149514C534E5031ULL;  // "AIQLSNP1"
+constexpr uint32_t kV1Version = 2;
+constexpr uint64_t kV2Magic = 0x4149514C534E5032ULL;  // "AIQLSNP2"
+constexpr uint32_t kV2Version = 2;
+constexpr size_t kV2HeaderSize = 8 + 4;   // magic + version
+constexpr size_t kV2TrailerSize = 8 * 3;  // footer offset + checksum + magic
+
+// --- little-endian fixed-width helpers (host-independent) --------------------
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+// --- bounds-checked decode cursor -------------------------------------------
+
+/// Cursor over one checksummed byte section. Every accessor fails sticky on
+/// truncation, so decode loops can check ok() once at the end.
+class Cursor {
  public:
-  explicit Writer(FILE* file) : file_(file) {}
+  explicit Cursor(std::string_view bytes)
+      : p_(bytes.data()), limit_(bytes.data() + bytes.size()) {}
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    const char* next = ok_ ? GetVarint64(p_, limit_, &v) : nullptr;
+    if (next == nullptr) {
+      ok_ = false;
+      return 0;
+    }
+    p_ = next;
+    return v;
+  }
+
+  int64_t I64() {
+    uint64_t raw = U64();
+    return ZigZagDecode(raw);
+  }
+
+  uint8_t Byte() {
+    if (!ok_ || p_ >= limit_) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<uint8_t>(*p_++);
+  }
+
+  /// A `n`-byte string view into the section (valid while it stays alive).
+  std::string_view Bytes(size_t n) {
+    if (!ok_ || static_cast<size_t>(limit_ - p_) < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view out(p_, n);
+    p_ += n;
+    return out;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && p_ == limit_; }
+  size_t remaining() const { return static_cast<size_t>(limit_ - p_); }
+
+ private:
+  const char* p_;
+  const char* limit_;
+  bool ok_ = true;
+};
+
+// --- 64-bit-safe positioning -------------------------------------------------
+// plain fseek/ftell take `long`, which is 32-bit on LLP64 platforms and
+// would cap snapshots at 2 GiB — far below the 0.5-1 year retention the
+// deployed system targets.
+
+int Seek64(FILE* file, int64_t offset, int whence) {
+#if defined(_WIN32)
+  return _fseeki64(file, offset, whence);
+#else
+  return fseeko(file, static_cast<off_t>(offset), whence);
+#endif
+}
+
+int64_t Tell64(FILE* file) {
+#if defined(_WIN32)
+  return _ftelli64(file);
+#else
+  return static_cast<int64_t>(ftello(file));
+#endif
+}
+
+// --- file sink ---------------------------------------------------------------
+
+class FileSnapshotSink : public SnapshotSink {
+ public:
+  explicit FileSnapshotSink(FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~FileSnapshotSink() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    size_t written = std::fwrite(data, 1, n, file_);
+    if (written != n) {
+      return Status::IOError("short write to '" + path_ + "' (" +
+                             std::to_string(written) + " of " +
+                             std::to_string(n) + " bytes)");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (std::fflush(file_) != 0) {
+      return Status::IOError("flush failed for '" + path_ + "'");
+    }
+#if !defined(_WIN32)
+    if (fsync(fileno(file_)) != 0) {
+      return Status::IOError("fsync failed for '" + path_ + "'");
+    }
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    FILE* file = file_;
+    file_ = nullptr;
+    if (file != nullptr && std::fclose(file) != 0) {
+      return Status::IOError("close failed for '" + path_ + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  FILE* file_;
+  std::string path_;
+};
+
+// =============================================================================
+// v2 encoding
+// =============================================================================
+
+enum SegmentKind : uint8_t { kMetaSegment = 0, kPartitionSegment = 1 };
+
+void PutDictionary(std::string* out, const StringInterner& interner) {
+  PutVarint64(out, interner.size());
+  interner.ForEach([&](StringId, std::string_view text) {
+    PutVarint64(out, text.size());
+    out->append(text);
+  });
+}
+
+/// META segment: the five string dictionaries in id order, then the entity
+/// tables referencing them by varint id.
+void EncodeMetaSegment(const AuditDatabase& db, std::string* out) {
+  const EntityStore& es = db.entities();
+  PutDictionary(out, es.exe_names());
+  PutDictionary(out, es.users());
+  PutDictionary(out, es.paths());
+  PutDictionary(out, es.ips());
+  PutDictionary(out, es.protocols());
+
+  PutVarint64(out, es.processes().size());
+  for (const ProcessEntity& p : es.processes()) {
+    PutVarint64(out, p.agent_id);
+    PutVarint64(out, p.pid);
+    PutVarint64(out, p.exe_name);
+    PutVarint64(out, p.user);
+  }
+  PutVarint64(out, es.files().size());
+  for (const FileEntity& f : es.files()) {
+    PutVarint64(out, f.agent_id);
+    PutVarint64(out, f.path);
+  }
+  PutVarint64(out, es.networks().size());
+  for (const NetworkEntity& n : es.networks()) {
+    PutVarint64(out, n.agent_id);
+    PutVarint64(out, n.src_ip);
+    PutVarint64(out, n.dst_ip);
+    PutVarint64(out, n.src_port);
+    PutVarint64(out, n.dst_port);
+    PutVarint64(out, n.protocol);
+  }
+}
+
+/// PARTITION segment: columnar event encoding plus the seal artifacts.
+/// Events are already sorted by (start_ts, end_ts), so start timestamps
+/// delta-encode into mostly one-byte varints; the op column is implied by
+/// the persisted posting lists (each event index appears in exactly one).
+void EncodePartitionSegment(const EventPartition& partition,
+                            std::string* out) {
+  const std::vector<Event>& events = partition.events();
+  const size_t n = events.size();
+  PutVarint64(out, n);
+
+  // start_ts: first value zigzag, then non-negative deltas.
+  int64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0) {
+      PutVarintSigned(out, events[i].start_ts);
+    } else {
+      PutVarint64(out,
+                  static_cast<uint64_t>(events[i].start_ts) -
+                      static_cast<uint64_t>(prev));
+    }
+    prev = events[i].start_ts;
+  }
+  // Durations (end - start >= 0 by ingest validation).
+  for (const Event& e : events) {
+    PutVarint64(out, static_cast<uint64_t>(e.end_ts) -
+                         static_cast<uint64_t>(e.start_ts));
+  }
+  for (const Event& e : events) PutVarint64(out, e.subject);
+  for (const Event& e : events) PutVarint64(out, e.object);
+  // agent_id: RLE — constant within a partition under time x agent
+  // partitioning, so this column is typically two varints.
+  for (size_t i = 0; i < n;) {
+    size_t run = i + 1;
+    while (run < n && events[run].agent_id == events[i].agent_id) ++run;
+    PutVarint64(out, events[i].agent_id);
+    PutVarint64(out, run - i);
+    i = run;
+  }
+  for (const Event& e : events) PutVarint64(out, e.amount);
+  for (const Event& e : events) PutVarint64(out, e.merge_count);
+  // object_type: RLE.
+  for (size_t i = 0; i < n;) {
+    size_t run = i + 1;
+    while (run < n && events[run].object_type == events[i].object_type) ++run;
+    out->push_back(static_cast<char>(events[i].object_type));
+    PutVarint64(out, run - i);
+    i = run;
+  }
+
+  // Posting lists (ascending event indexes, delta-encoded). Together they
+  // cover every index exactly once, which also encodes the op column.
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    const OpPostingList& list = partition.posting(static_cast<OpType>(op));
+    PutVarint64(out, list.indexes.size());
+    uint32_t prev_index = 0;
+    for (size_t i = 0; i < list.indexes.size(); ++i) {
+      PutVarint64(out, i == 0 ? list.indexes[0]
+                              : list.indexes[i] - prev_index);
+      prev_index = list.indexes[i];
+    }
+  }
+
+  // Subject-exe statistics, sorted by exe id for deterministic bytes.
+  std::vector<std::pair<StringId, uint64_t>> exe_counts(
+      partition.subject_exe_counts().begin(),
+      partition.subject_exe_counts().end());
+  std::sort(exe_counts.begin(), exe_counts.end());
+  PutVarint64(out, exe_counts.size());
+  for (const auto& [exe, count] : exe_counts) {
+    PutVarint64(out, exe);
+    PutVarint64(out, count);
+  }
+}
+
+void EncodeOptions(std::string* out, const StorageOptions& options) {
+  PutVarintSigned(out, options.partition_duration);
+  PutVarintSigned(out, options.dedup_window);
+  out->push_back(options.enable_partitioning ? 1 : 0);
+  PutVarint64(out, options.batch_commit_size);
+  PutVarint64(out, options.max_partition_events);
+}
+
+void EncodeStats(std::string* out, const DatabaseStats& stats) {
+  PutVarint64(out, stats.total_events);
+  PutVarint64(out, stats.raw_events);
+  PutVarint64(out, stats.total_partitions);
+  PutVarint64(out, stats.partitions_sealed);
+  for (uint64_t count : stats.op_counts) PutVarint64(out, count);
+  PutVarintSigned(out, stats.min_ts);
+  PutVarintSigned(out, stats.max_ts);
+}
+
+// =============================================================================
+// v2 decoding
+// =============================================================================
+
+struct SegmentRef {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;
+};
+
+struct PartitionDirEntry {
+  int64_t bucket = 0;
+  AgentId agent = 0;
+  uint32_t seq = 0;
+  SegmentRef segment;
+  uint64_t events = 0;
+  uint64_t raw_events = 0;
+  Timestamp min_ts = INT64_MAX;
+  Timestamp max_ts = INT64_MIN;
+  std::array<uint64_t, kNumOpTypes> op_counts{};
+};
+
+struct FooterData {
+  StorageOptions options;
+  DatabaseStats stats;
+  SegmentRef meta;
+  std::vector<PartitionDirEntry> partitions;
+};
+
+Status DecodeSegmentRef(Cursor* cur, uint64_t data_end, SegmentRef* ref) {
+  ref->offset = cur->U64();
+  ref->length = cur->U64();
+  ref->checksum = cur->U64();
+  if (!cur->ok()) return Status::Corruption("snapshot footer truncated");
+  if (ref->offset < kV2HeaderSize || ref->length > data_end ||
+      ref->offset > data_end - ref->length) {
+    return Status::Corruption("snapshot segment outside the data area");
+  }
+  return Status::OK();
+}
+
+/// Parses the (already checksum-verified) footer. `data_end` is the file
+/// offset where the footer begins — all segments must end before it.
+Status DecodeFooter(std::string_view bytes, uint64_t data_end,
+                    FooterData* footer) {
+  Cursor cur(bytes);
+  footer->options.partition_duration = cur.I64();
+  footer->options.dedup_window = cur.I64();
+  footer->options.enable_partitioning = cur.Byte() != 0;
+  footer->options.batch_commit_size = static_cast<size_t>(cur.U64());
+  footer->options.max_partition_events = static_cast<size_t>(cur.U64());
+
+  footer->stats.total_events = cur.U64();
+  footer->stats.raw_events = cur.U64();
+  footer->stats.total_partitions = cur.U64();
+  footer->stats.partitions_sealed = cur.U64();
+  for (uint64_t& count : footer->stats.op_counts) count = cur.U64();
+  footer->stats.min_ts = cur.I64();
+  footer->stats.max_ts = cur.I64();
+
+  AIQL_RETURN_IF_ERROR(DecodeSegmentRef(&cur, data_end, &footer->meta));
+
+  uint64_t num_partitions = cur.U64();
+  if (!cur.ok()) return Status::Corruption("snapshot footer truncated");
+  // Each directory entry takes >= 16 bytes, bounding the claimed count.
+  if (num_partitions > cur.remaining()) {
+    return Status::Corruption("snapshot footer partition count implausible");
+  }
+  footer->partitions.reserve(static_cast<size_t>(num_partitions));
+  for (uint64_t i = 0; i < num_partitions; ++i) {
+    PartitionDirEntry entry;
+    entry.bucket = cur.I64();
+    entry.agent = static_cast<AgentId>(cur.U64());
+    entry.seq = static_cast<uint32_t>(cur.U64());
+    AIQL_RETURN_IF_ERROR(DecodeSegmentRef(&cur, data_end, &entry.segment));
+    entry.events = cur.U64();
+    entry.raw_events = cur.U64();
+    entry.min_ts = cur.I64();
+    entry.max_ts = cur.I64();
+    for (uint64_t& count : entry.op_counts) count = cur.U64();
+    if (!cur.ok()) return Status::Corruption("snapshot footer truncated");
+    footer->partitions.push_back(entry);
+  }
+  if (!cur.AtEnd()) {
+    return Status::Corruption("snapshot footer has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> DecodeDictionary(Cursor* cur) {
+  uint64_t count = cur->U64();
+  if (!cur->ok() || count > cur->remaining()) {
+    return Status::Corruption("snapshot dictionary truncated");
+  }
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len = cur->U64();
+    std::string_view text = cur->Bytes(static_cast<size_t>(len));
+    if (!cur->ok()) {
+      return Status::Corruption("snapshot dictionary truncated");
+    }
+    out.emplace_back(text);
+  }
+  return out;
+}
+
+Status DecodeMetaSegment(std::string_view bytes, EntityStore* store) {
+  Cursor cur(bytes);
+  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> exe_names,
+                        DecodeDictionary(&cur));
+  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> users,
+                        DecodeDictionary(&cur));
+  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> paths,
+                        DecodeDictionary(&cur));
+  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> ips, DecodeDictionary(&cur));
+  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> protocols,
+                        DecodeDictionary(&cur));
+  AIQL_RETURN_IF_ERROR(
+      store->RestoreDictionaries(exe_names, users, paths, ips, protocols));
+
+  auto dict_string = [](const std::vector<std::string>& dict,
+                        uint64_t id) -> const std::string* {
+    return id < dict.size() ? &dict[id] : nullptr;
+  };
+
+  uint64_t num_procs = cur.U64();
+  if (!cur.ok() || num_procs > cur.remaining()) {
+    return Status::Corruption("snapshot entity table truncated");
+  }
+  for (uint64_t i = 0; i < num_procs; ++i) {
+    uint64_t agent = cur.U64();
+    uint64_t pid = cur.U64();
+    const std::string* exe = dict_string(exe_names, cur.U64());
+    const std::string* user = dict_string(users, cur.U64());
+    if (!cur.ok() || exe == nullptr || user == nullptr ||
+        agent > UINT32_MAX || pid > UINT32_MAX) {
+      return Status::Corruption("snapshot process table corrupt");
+    }
+    store->InternProcess(ProcessRef{static_cast<AgentId>(agent),
+                                    static_cast<uint32_t>(pid), *exe, *user});
+  }
+  if (store->processes().size() != num_procs) {
+    return Status::Corruption("snapshot process table has duplicates");
+  }
+
+  uint64_t num_files = cur.U64();
+  if (!cur.ok() || num_files > cur.remaining()) {
+    return Status::Corruption("snapshot entity table truncated");
+  }
+  for (uint64_t i = 0; i < num_files; ++i) {
+    uint64_t agent = cur.U64();
+    const std::string* path = dict_string(paths, cur.U64());
+    if (!cur.ok() || path == nullptr || agent > UINT32_MAX) {
+      return Status::Corruption("snapshot file table corrupt");
+    }
+    store->InternFile(FileRef{static_cast<AgentId>(agent), *path});
+  }
+  if (store->files().size() != num_files) {
+    return Status::Corruption("snapshot file table has duplicates");
+  }
+
+  uint64_t num_nets = cur.U64();
+  if (!cur.ok() || num_nets > cur.remaining()) {
+    return Status::Corruption("snapshot entity table truncated");
+  }
+  for (uint64_t i = 0; i < num_nets; ++i) {
+    NetworkRef ref;
+    uint64_t agent = cur.U64();
+    const std::string* src = dict_string(ips, cur.U64());
+    const std::string* dst = dict_string(ips, cur.U64());
+    uint64_t src_port = cur.U64();
+    uint64_t dst_port = cur.U64();
+    const std::string* proto = dict_string(protocols, cur.U64());
+    if (!cur.ok() || src == nullptr || dst == nullptr || proto == nullptr ||
+        agent > UINT32_MAX || src_port > UINT16_MAX ||
+        dst_port > UINT16_MAX) {
+      return Status::Corruption("snapshot network table corrupt");
+    }
+    ref.agent_id = static_cast<AgentId>(agent);
+    ref.src_ip = *src;
+    ref.dst_ip = *dst;
+    ref.src_port = static_cast<uint16_t>(src_port);
+    ref.dst_port = static_cast<uint16_t>(dst_port);
+    ref.protocol = *proto;
+    store->InternNetwork(ref);
+  }
+  if (store->networks().size() != num_nets) {
+    return Status::Corruption("snapshot network table has duplicates");
+  }
+  if (!cur.AtEnd()) {
+    return Status::Corruption("snapshot META segment has trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Decodes one partition segment and installs it as a sealed partition.
+/// Every structural invariant is revalidated (not just checksummed):
+/// posting coverage, entity-id bounds, statistic agreement with the footer
+/// directory — so a decoder bug or an improbable checksum collision cannot
+/// smuggle malformed state into the engine.
+Status DecodePartitionSegment(std::string_view bytes,
+                              const PartitionDirEntry& entry,
+                              const EntityStore& store,
+                              EventPartition* partition) {
+  Cursor cur(bytes);
+  uint64_t n64 = cur.U64();
+  if (!cur.ok() || n64 != entry.events || n64 > bytes.size()) {
+    return Status::Corruption("partition segment event count mismatch");
+  }
+  const size_t n = static_cast<size_t>(n64);
+
+  std::vector<Event> events(n);
+  uint64_t prev_start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t start =
+        i == 0 ? static_cast<uint64_t>(cur.I64()) : prev_start + cur.U64();
+    events[i].start_ts = static_cast<Timestamp>(start);
+    prev_start = start;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    events[i].end_ts = static_cast<Timestamp>(
+        static_cast<uint64_t>(events[i].start_ts) + cur.U64());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    events[i].subject = static_cast<EntityId>(cur.U64());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    events[i].object = static_cast<EntityId>(cur.U64());
+  }
+  for (size_t covered = 0; covered < n;) {
+    uint64_t agent = cur.U64();
+    uint64_t run = cur.U64();
+    if (!cur.ok() || agent > UINT32_MAX || run == 0 || run > n - covered) {
+      return Status::Corruption("partition agent column corrupt");
+    }
+    for (uint64_t i = 0; i < run; ++i) {
+      events[covered + i].agent_id = static_cast<AgentId>(agent);
+    }
+    covered += static_cast<size_t>(run);
+  }
+  for (size_t i = 0; i < n; ++i) events[i].amount = cur.U64();
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t merge_count = cur.U64();
+    if (!cur.ok() || merge_count == 0 || merge_count > UINT32_MAX) {
+      return Status::Corruption("partition merge counts corrupt");
+    }
+    events[i].merge_count = static_cast<uint32_t>(merge_count);
+  }
+  for (size_t covered = 0; covered < n;) {
+    uint8_t type = cur.Byte();
+    uint64_t run = cur.U64();
+    if (!cur.ok() || type >= kNumEntityTypes || run == 0 ||
+        run > n - covered) {
+      return Status::Corruption("partition object-type column corrupt");
+    }
+    for (uint64_t i = 0; i < run; ++i) {
+      events[covered + i].object_type = static_cast<EntityType>(type);
+    }
+    covered += static_cast<size_t>(run);
+  }
+  if (!cur.ok()) return Status::Corruption("partition segment truncated");
+
+  // Posting lists: must jointly cover every event index exactly once; they
+  // also reconstruct the op column.
+  std::array<OpPostingList, kNumOpTypes> postings;
+  std::vector<uint8_t> op_of(n, 0xFF);
+  uint64_t total_postings = 0;
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    uint64_t count = cur.U64();
+    if (!cur.ok() || count != entry.op_counts[op] ||
+        count > n - total_postings) {
+      return Status::Corruption("partition posting lists corrupt");
+    }
+    OpPostingList& list = postings[op];
+    list.indexes.reserve(static_cast<size_t>(count));
+    uint64_t index = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      index = i == 0 ? cur.U64() : index + cur.U64();
+      if (!cur.ok() || index >= n || op_of[index] != 0xFF) {
+        return Status::Corruption("partition posting lists corrupt");
+      }
+      op_of[index] = static_cast<uint8_t>(op);
+      list.indexes.push_back(static_cast<uint32_t>(index));
+    }
+    total_postings += count;
+  }
+  if (total_postings != n) {
+    return Status::Corruption("partition posting lists do not cover events");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    events[i].op = static_cast<OpType>(op_of[i]);
+  }
+
+  std::unordered_map<StringId, uint64_t> exe_counts;
+  uint64_t num_exe = cur.U64();
+  if (!cur.ok() || num_exe > cur.remaining()) {
+    return Status::Corruption("partition statistics truncated");
+  }
+  for (uint64_t i = 0; i < num_exe; ++i) {
+    uint64_t exe = cur.U64();
+    uint64_t count = cur.U64();
+    if (!cur.ok() || exe >= store.exe_names().size()) {
+      return Status::Corruption("partition statistics corrupt");
+    }
+    exe_counts[static_cast<StringId>(exe)] = count;
+  }
+  if (!cur.AtEnd()) {
+    return Status::Corruption("partition segment has trailing bytes");
+  }
+
+  // Cross-validate decoded events against the footer directory and the
+  // engine's seal invariants.
+  Timestamp min_ts = INT64_MAX;
+  Timestamp max_ts = INT64_MIN;
+  uint64_t raw = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Event& e = events[i];
+    if (e.end_ts < e.start_ts) {
+      return Status::Corruption("partition event interval corrupt");
+    }
+    if (i > 0 && (e.start_ts < events[i - 1].start_ts ||
+                  (e.start_ts == events[i - 1].start_ts &&
+                   e.end_ts < events[i - 1].end_ts))) {
+      return Status::Corruption("partition events out of order");
+    }
+    if (e.subject >= store.processes().size() ||
+        e.object >= store.NumEntities(e.object_type)) {
+      return Status::Corruption("partition references unknown entities");
+    }
+    min_ts = std::min(min_ts, e.start_ts);
+    max_ts = std::max(max_ts, e.end_ts);
+    raw += e.merge_count;
+  }
+  if (n > 0 && (min_ts != entry.min_ts || max_ts != entry.max_ts)) {
+    return Status::Corruption("partition time bounds disagree with footer");
+  }
+  if (raw != entry.raw_events) {
+    return Status::Corruption("partition raw-event count disagrees with "
+                              "footer");
+  }
+
+  partition->RestoreSealed(std::move(events), std::move(postings),
+                           std::move(exe_counts), entry.raw_events);
+  return Status::OK();
+}
+
+// =============================================================================
+// v1 format (legacy, single eager blob)
+// =============================================================================
+
+class V1Writer {
+ public:
+  explicit V1Writer(FILE* file) : file_(file) {}
 
   void PutBytes(const void* data, size_t n) {
     if (!ok_) return;
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      hash_ = (hash_ ^ bytes[i]) * kFnvPrime;
-    }
+    hash_.Update(data, n);
     if (std::fwrite(data, 1, n, file_) != n) ok_ = false;
   }
   void PutU8(uint8_t v) { PutBytes(&v, 1); }
@@ -37,23 +689,22 @@ class Writer {
   }
 
   bool ok() const { return ok_; }
-  uint64_t hash() const { return hash_; }
 
   /// Writes the accumulated checksum (not itself hashed).
   bool WriteChecksum() {
-    uint64_t h = hash_;
+    uint64_t h = hash_.digest();
     return ok_ && std::fwrite(&h, 1, 8, file_) == 8;
   }
 
  private:
   FILE* file_;
-  uint64_t hash_ = kFnvOffset;
+  Fnv1a64 hash_;
   bool ok_ = true;
 };
 
-class Reader {
+class V1Reader {
  public:
-  explicit Reader(FILE* file) : file_(file) {}
+  explicit V1Reader(FILE* file) : file_(file) {}
 
   bool GetBytes(void* data, size_t n) {
     if (!ok_) return false;
@@ -61,10 +712,7 @@ class Reader {
       ok_ = false;
       return false;
     }
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      hash_ = (hash_ ^ bytes[i]) * kFnvPrime;
-    }
+    hash_.Update(data, n);
     return true;
   }
   uint8_t GetU8() {
@@ -100,11 +748,10 @@ class Reader {
   }
 
   bool ok() const { return ok_; }
-  uint64_t hash() const { return hash_; }
 
   /// Reads the trailing checksum (not hashed) and compares.
   bool VerifyChecksum() {
-    uint64_t expected = hash_;
+    uint64_t expected = hash_.digest();
     uint64_t stored = 0;
     if (!ok_ || std::fread(&stored, 1, 8, file_) != 8) return false;
     return stored == expected;
@@ -112,7 +759,7 @@ class Reader {
 
  private:
   FILE* file_;
-  uint64_t hash_ = kFnvOffset;
+  Fnv1a64 hash_;
   bool ok_ = true;
 };
 
@@ -123,7 +770,7 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<FILE, FileCloser>;
 
-void WriteEvent(Writer* w, const Event& e) {
+void V1WriteEvent(V1Writer* w, const Event& e) {
   w->PutI64(e.start_ts);
   w->PutI64(e.end_ts);
   w->PutU64(e.amount);
@@ -135,7 +782,7 @@ void WriteEvent(Writer* w, const Event& e) {
   w->PutU8(static_cast<uint8_t>(e.object_type));
 }
 
-Event ReadEvent(Reader* r) {
+Event V1ReadEvent(V1Reader* r) {
   Event e;
   e.start_ts = r->GetI64();
   e.end_ts = r->GetI64();
@@ -149,81 +796,20 @@ Event ReadEvent(Reader* r) {
   return e;
 }
 
-}  // namespace
-
-Status SaveSnapshot(const AuditDatabase& db, const std::string& path) {
-  if (!db.sealed()) {
-    return Status::InvalidArgument("cannot snapshot an unsealed database");
-  }
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (!file) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
-  Writer w(file.get());
-  w.PutU64(kMagic);
-  w.PutU32(kVersion);
-
-  const StorageOptions& opt = db.options();
-  w.PutI64(opt.partition_duration);
-  w.PutI64(opt.dedup_window);
-  w.PutU8(opt.enable_partitioning ? 1 : 0);
-  w.PutU64(opt.batch_commit_size);
-
-  const EntityStore& es = db.entities();
-  w.PutU64(es.processes().size());
-  for (const ProcessEntity& p : es.processes()) {
-    w.PutU32(p.agent_id);
-    w.PutU32(p.pid);
-    w.PutString(es.exe_names().Get(p.exe_name));
-    w.PutString(es.users().Get(p.user));
-  }
-  w.PutU64(es.files().size());
-  for (const FileEntity& f : es.files()) {
-    w.PutU32(f.agent_id);
-    w.PutString(es.paths().Get(f.path));
-  }
-  w.PutU64(es.networks().size());
-  for (const NetworkEntity& n : es.networks()) {
-    w.PutU32(n.agent_id);
-    w.PutString(es.ips().Get(n.src_ip));
-    w.PutString(es.ips().Get(n.dst_ip));
-    w.PutU16(n.src_port);
-    w.PutU16(n.dst_port);
-    w.PutString(es.protocols().Get(n.protocol));
-  }
-
-  w.PutU64(db.partitions().size());
-  for (const auto& [key, partition] : db.partitions()) {
-    // Rollover partitions of the same (bucket, agent) are written as
-    // separate runs and re-merged on load, so the format needs no seq.
-    w.PutI64(std::get<0>(key));
-    w.PutU32(std::get<1>(key));
-    w.PutU64(partition->events().size());
-    for (const Event& e : partition->events()) {
-      WriteEvent(&w, e);
-    }
-  }
-  if (!w.WriteChecksum()) {
-    return Status::IOError("write failure while saving snapshot to '" + path +
-                           "'");
-  }
-  return Status::OK();
-}
-
-Result<AuditDatabase> LoadSnapshot(const std::string& path) {
+Result<AuditDatabase> LoadSnapshotV1(const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  Reader r(file.get());
-  if (r.GetU64() != kMagic) {
+  V1Reader r(file.get());
+  if (r.GetU64() != kV1Magic) {
     return Status::Corruption("'" + path + "' is not an AIQL snapshot");
   }
   uint32_t version = r.GetU32();
-  if (version != kVersion) {
+  if (version != kV1Version) {
     return Status::Corruption("snapshot version " + std::to_string(version) +
                               " unsupported (expected " +
-                              std::to_string(kVersion) + ")");
+                              std::to_string(kV1Version) + ")");
   }
   StorageOptions opt;
   opt.partition_duration = r.GetI64();
@@ -271,7 +857,7 @@ Result<AuditDatabase> LoadSnapshot(const std::string& path) {
     EventPartition* partition = db.GetOrCreatePartition(bucket, agent);
     partition->mutable_events()->reserve(count);
     for (uint64_t j = 0; j < count && r.ok(); ++j) {
-      partition->mutable_events()->push_back(ReadEvent(&r));
+      partition->mutable_events()->push_back(V1ReadEvent(&r));
     }
   }
   if (!r.ok()) return Status::Corruption("snapshot body truncated");
@@ -280,6 +866,380 @@ Result<AuditDatabase> LoadSnapshot(const std::string& path) {
   }
   db.RestoreSealedState();
   return db;
+}
+
+}  // namespace
+
+// =============================================================================
+// public save paths
+// =============================================================================
+
+Status SaveSnapshotToSink(const AuditDatabase& db, SnapshotSink* sink) {
+  if (!db.sealed()) {
+    return Status::InvalidArgument("cannot snapshot an unsealed database");
+  }
+
+  std::string header;
+  PutFixed64(&header, kV2Magic);
+  PutFixed32(&header, kV2Version);
+  AIQL_RETURN_IF_ERROR(sink->Append(header.data(), header.size()));
+  uint64_t offset = header.size();
+
+  std::string footer;
+  EncodeOptions(&footer, db.options());
+  EncodeStats(&footer, db.stats());
+
+  std::string segment;
+  EncodeMetaSegment(db, &segment);
+  PutVarint64(&footer, offset);
+  PutVarint64(&footer, segment.size());
+  PutVarint64(&footer, Checksum64(segment));
+  AIQL_RETURN_IF_ERROR(sink->Append(segment.data(), segment.size()));
+  offset += segment.size();
+
+  PutVarint64(&footer, db.partitions().size());
+  for (const auto& [key, partition] : db.partitions()) {
+    segment.clear();
+    EncodePartitionSegment(*partition, &segment);
+    PutVarintSigned(&footer, std::get<0>(key));
+    PutVarint64(&footer, std::get<1>(key));
+    PutVarint64(&footer, std::get<2>(key));
+    PutVarint64(&footer, offset);
+    PutVarint64(&footer, segment.size());
+    PutVarint64(&footer, Checksum64(segment));
+    PutVarint64(&footer, partition->size());
+    PutVarint64(&footer, partition->raw_event_count());
+    PutVarintSigned(&footer, partition->min_ts());
+    PutVarintSigned(&footer, partition->max_ts());
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      PutVarint64(&footer, partition->OpCount(static_cast<OpType>(op)));
+    }
+    AIQL_RETURN_IF_ERROR(sink->Append(segment.data(), segment.size()));
+    offset += segment.size();
+  }
+
+  AIQL_RETURN_IF_ERROR(sink->Append(footer.data(), footer.size()));
+  std::string trailer;
+  PutFixed64(&trailer, offset);
+  PutFixed64(&trailer, Checksum64(footer));
+  PutFixed64(&trailer, kV2Magic);
+  AIQL_RETURN_IF_ERROR(sink->Append(trailer.data(), trailer.size()));
+
+  AIQL_RETURN_IF_ERROR(sink->Sync());
+  return sink->Close();
+}
+
+Status SaveSnapshot(const AuditDatabase& db, const std::string& path) {
+  std::string tmp_path = path + ".tmp";
+  FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + tmp_path + "' for writing");
+  }
+  FileSnapshotSink sink(file, tmp_path);
+  Status status = SaveSnapshotToSink(db, &sink);
+  if (!status.ok()) {
+    std::remove(tmp_path.c_str());
+    return status;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot move snapshot into place at '" + path +
+                           "'");
+  }
+#if !defined(_WIN32)
+  // The rename itself must reach the journal, or a power loss can undo an
+  // already-reported-durable save.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dir_fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::IOError("cannot open directory '" + dir +
+                           "' to sync snapshot rename");
+  }
+  int rc = fsync(dir_fd);
+  close(dir_fd);
+  if (rc != 0) {
+    return Status::IOError("fsync of directory '" + dir + "' failed");
+  }
+#endif
+  return Status::OK();
+}
+
+Status SaveSnapshotV1(const AuditDatabase& db, const std::string& path) {
+  if (!db.sealed()) {
+    return Status::InvalidArgument("cannot snapshot an unsealed database");
+  }
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  V1Writer w(file.get());
+  w.PutU64(kV1Magic);
+  w.PutU32(kV1Version);
+
+  const StorageOptions& opt = db.options();
+  w.PutI64(opt.partition_duration);
+  w.PutI64(opt.dedup_window);
+  w.PutU8(opt.enable_partitioning ? 1 : 0);
+  w.PutU64(opt.batch_commit_size);
+
+  const EntityStore& es = db.entities();
+  w.PutU64(es.processes().size());
+  for (const ProcessEntity& p : es.processes()) {
+    w.PutU32(p.agent_id);
+    w.PutU32(p.pid);
+    w.PutString(es.exe_names().Get(p.exe_name));
+    w.PutString(es.users().Get(p.user));
+  }
+  w.PutU64(es.files().size());
+  for (const FileEntity& f : es.files()) {
+    w.PutU32(f.agent_id);
+    w.PutString(es.paths().Get(f.path));
+  }
+  w.PutU64(es.networks().size());
+  for (const NetworkEntity& n : es.networks()) {
+    w.PutU32(n.agent_id);
+    w.PutString(es.ips().Get(n.src_ip));
+    w.PutString(es.ips().Get(n.dst_ip));
+    w.PutU16(n.src_port);
+    w.PutU16(n.dst_port);
+    w.PutString(es.protocols().Get(n.protocol));
+  }
+
+  w.PutU64(db.partitions().size());
+  for (const auto& [key, partition] : db.partitions()) {
+    // Rollover partitions of the same (bucket, agent) are written as
+    // separate runs and re-merged on load, so the format needs no seq.
+    w.PutI64(std::get<0>(key));
+    w.PutU32(std::get<1>(key));
+    w.PutU64(partition->events().size());
+    for (const Event& e : partition->events()) {
+      V1WriteEvent(&w, e);
+    }
+  }
+  if (!w.WriteChecksum()) {
+    return Status::IOError("write failure while saving snapshot to '" + path +
+                           "'");
+  }
+  // Same durability contract as the v2 path: flush/fsync/close failures are
+  // errors, not success.
+  FileSnapshotSink sink(file.release(), path);
+  AIQL_RETURN_IF_ERROR(sink.Sync());
+  return sink.Close();
+}
+
+// =============================================================================
+// SnapshotStore
+// =============================================================================
+
+struct SnapshotStore::PartitionHandle {
+  PartitionDirEntry entry;
+  std::atomic<const EventPartition*> loaded{nullptr};
+  std::unique_ptr<EventPartition> storage;  // guarded by load_mu_
+};
+
+SnapshotStore::~SnapshotStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
+    const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+
+  char header[kV2HeaderSize];
+  if (std::fread(header, 1, sizeof(header), file.get()) != sizeof(header)) {
+    return Status::Corruption("'" + path + "' is too short to be a snapshot");
+  }
+  uint64_t magic = GetFixed64(header);
+  if (magic == kV1Magic) {
+    return Status::InvalidArgument(
+        "'" + path +
+        "' is a v1 snapshot; open it with LoadSnapshot (full load)");
+  }
+  if (magic != kV2Magic) {
+    return Status::Corruption("'" + path + "' is not an AIQL snapshot");
+  }
+  uint32_t version = GetFixed32(header + 8);
+  if (version != kV2Version) {
+    return Status::Corruption("snapshot format version " +
+                              std::to_string(version) + " unsupported");
+  }
+
+  if (Seek64(file.get(), 0, SEEK_END) != 0) {
+    return Status::IOError("cannot seek in '" + path + "'");
+  }
+  int64_t file_size = Tell64(file.get());
+  if (file_size < 0 ||
+      static_cast<size_t>(file_size) < kV2HeaderSize + kV2TrailerSize) {
+    return Status::Corruption("'" + path + "' is truncated");
+  }
+
+  char trailer[kV2TrailerSize];
+  if (Seek64(file.get(), file_size - static_cast<int64_t>(kV2TrailerSize),
+             SEEK_SET) != 0 ||
+      std::fread(trailer, 1, sizeof(trailer), file.get()) !=
+          sizeof(trailer)) {
+    return Status::Corruption("cannot read snapshot trailer of '" + path +
+                              "'");
+  }
+  uint64_t footer_offset = GetFixed64(trailer);
+  uint64_t footer_checksum = GetFixed64(trailer + 8);
+  if (GetFixed64(trailer + 16) != kV2Magic) {
+    return Status::Corruption("snapshot trailer corrupt in '" + path +
+                              "' (file truncated?)");
+  }
+  uint64_t trailer_offset =
+      static_cast<uint64_t>(file_size) - kV2TrailerSize;
+  if (footer_offset < kV2HeaderSize || footer_offset > trailer_offset) {
+    return Status::Corruption("snapshot footer offset out of range in '" +
+                              path + "'");
+  }
+
+  std::string footer_bytes(
+      static_cast<size_t>(trailer_offset - footer_offset), '\0');
+  if (Seek64(file.get(), static_cast<int64_t>(footer_offset), SEEK_SET) !=
+          0 ||
+      std::fread(footer_bytes.data(), 1, footer_bytes.size(), file.get()) !=
+          footer_bytes.size()) {
+    return Status::Corruption("cannot read snapshot footer of '" + path +
+                              "'");
+  }
+  if (Checksum64(footer_bytes) != footer_checksum) {
+    return Status::Corruption("snapshot footer checksum mismatch in '" +
+                              path + "'");
+  }
+
+  FooterData footer;
+  AIQL_RETURN_IF_ERROR(DecodeFooter(footer_bytes, footer_offset, &footer));
+
+  std::string meta_bytes(static_cast<size_t>(footer.meta.length), '\0');
+  if (Seek64(file.get(), static_cast<int64_t>(footer.meta.offset),
+             SEEK_SET) != 0 ||
+      std::fread(meta_bytes.data(), 1, meta_bytes.size(), file.get()) !=
+          meta_bytes.size()) {
+    return Status::IOError("cannot read snapshot META segment of '" + path +
+                           "'");
+  }
+  if (Checksum64(meta_bytes) != footer.meta.checksum) {
+    return Status::Corruption("snapshot META checksum mismatch in '" + path +
+                              "'");
+  }
+
+  std::unique_ptr<SnapshotStore> store(new SnapshotStore());
+  store->path_ = path;
+  store->options_ = footer.options;
+  store->stats_ = footer.stats;
+  AIQL_RETURN_IF_ERROR(DecodeMetaSegment(meta_bytes, &store->entities_));
+
+  store->handles_.reserve(footer.partitions.size());
+  for (const PartitionDirEntry& entry : footer.partitions) {
+    auto handle = std::make_unique<PartitionHandle>();
+    handle->entry = entry;
+    store->handles_.push_back(std::move(handle));
+  }
+  store->file_ = file.release();
+  return store;
+}
+
+Result<const EventPartition*> SnapshotStore::Partition(size_t index) const {
+  PartitionHandle& handle = *handles_[index];
+  if (const EventPartition* loaded =
+          handle.loaded.load(std::memory_order_acquire)) {
+    return loaded;
+  }
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (const EventPartition* loaded =
+          handle.loaded.load(std::memory_order_relaxed)) {
+    return loaded;
+  }
+
+  const PartitionDirEntry& entry = handle.entry;
+  std::string bytes(static_cast<size_t>(entry.segment.length), '\0');
+  if (Seek64(file_, static_cast<int64_t>(entry.segment.offset), SEEK_SET) !=
+          0 ||
+      std::fread(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IOError("cannot read partition segment of '" + path_ +
+                           "'");
+  }
+  if (Checksum64(bytes) != entry.segment.checksum) {
+    return Status::Corruption("partition segment checksum mismatch in '" +
+                              path_ + "'");
+  }
+  auto partition = std::make_unique<EventPartition>();
+  AIQL_RETURN_IF_ERROR(
+      DecodePartitionSegment(bytes, entry, entities_, partition.get()));
+  handle.storage = std::move(partition);
+  handle.loaded.store(handle.storage.get(), std::memory_order_release);
+  loaded_count_.fetch_add(1, std::memory_order_relaxed);
+  return handle.storage.get();
+}
+
+Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
+SnapshotStore::SelectPartitions(
+    const TimeRange& range,
+    const std::optional<std::vector<AgentId>>& agents) const {
+  std::vector<std::pair<PartitionKey, const EventPartition*>> out;
+  for (size_t i = 0; i < handles_.size(); ++i) {
+    const PartitionDirEntry& entry = handles_[i]->entry;
+    if (!PartitionStatsSelected(range, agents, options_.enable_partitioning,
+                                entry.agent, entry.min_ts, entry.max_ts,
+                                entry.events)) {
+      continue;
+    }
+    AIQL_ASSIGN_OR_RETURN(const EventPartition* partition, Partition(i));
+    out.emplace_back(PartitionKey{entry.bucket, entry.agent}, partition);
+  }
+  return out;
+}
+
+ReadView SnapshotStore::OpenReadView() const {
+  ReadView view;
+  view.entities_ = &entities_;
+  view.options_ = &options_;
+  view.stats_ = stats_;
+  view.visible_events_ = stats_.total_events;
+  view.store_ = this;
+  return view;
+}
+
+Status SnapshotStore::MaterializeAll() const {
+  for (size_t i = 0; i < handles_.size(); ++i) {
+    AIQL_RETURN_IF_ERROR(Partition(i).status());
+  }
+  return Status::OK();
+}
+
+Result<AuditDatabase> SnapshotStore::ToDatabase() && {
+  AIQL_RETURN_IF_ERROR(MaterializeAll());
+  AuditDatabase db(options_);
+  *db.mutable_entities() = std::move(entities_);
+  // Handles are in footer order, i.e. ascending (bucket, agent, seq), so
+  // adoption reassigns the same seqs.
+  for (auto& handle : handles_) {
+    db.AdoptSealedPartition(handle->entry.bucket, handle->entry.agent,
+                            std::move(handle->storage));
+  }
+  db.FinishRestore();
+  return db;
+}
+
+// =============================================================================
+// load dispatch
+// =============================================================================
+
+Result<AuditDatabase> LoadSnapshot(const std::string& path) {
+  Result<std::unique_ptr<SnapshotStore>> store = SnapshotStore::Open(path);
+  if (store.ok()) return std::move(**store).ToDatabase();
+  // The lazy store reports v1 files as InvalidArgument; everything else
+  // (missing file, corruption, version mismatch) propagates as-is.
+  if (store.status().code() == StatusCode::kInvalidArgument) {
+    return LoadSnapshotV1(path);
+  }
+  return store.status();
 }
 
 }  // namespace aiql

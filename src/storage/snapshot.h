@@ -1,29 +1,159 @@
-// Binary snapshot persistence for AuditDatabase.
+// On-disk snapshot persistence for AuditDatabase.
 //
-// The deployed system keeps 0.5-1 year of monitoring data on disk; here we
-// persist a sealed database as a single versioned binary snapshot (interners,
-// entity tables, partitioned events) and can reload it with statistics and
-// indexes rebuilt. The format is little-endian, length-prefixed, and guarded
-// by magic + version + a trailing checksum.
+// The deployed system keeps 0.5-1 year of monitoring data on disk, so the
+// snapshot format matters as much as the scan path: the v2 format written
+// here is a compressed, partition-granular store that can be *opened*
+// without being read. Layout (little-endian; full spec in
+// docs/snapshot-format.md):
+//
+//   [header]   magic "AIQLSNP2" + format version
+//   [segments] one META segment (string dictionaries + entity tables) and
+//              one PARTITION segment per (bucket, agent, seq) partition —
+//              columns delta/varint/RLE-encoded, posting lists and
+//              statistics persisted so load skips the index rebuild
+//   [footer]   segment directory: per-segment offset/length/checksum plus
+//              per-partition statistics (time bounds, event and op counts)
+//   [trailer]  footer offset + footer checksum + magic again
+//
+// SnapshotStore::Open reads only the trailer, footer, and META segment;
+// partition segments are materialized lazily — and cached — when a query's
+// time range and agent filter select them, so cold-start latency is driven
+// by data touched, not data stored. Every section is independently
+// checksummed; truncation and bit flips surface as clean Status errors.
+//
+// The v1 single-blob format (magic "AIQLSNP1") remains loadable through
+// LoadSnapshot, and SaveSnapshotV1 keeps writing it for compatibility tests
+// and size comparisons.
 
 #ifndef AIQL_STORAGE_SNAPSHOT_H_
 #define AIQL_STORAGE_SNAPSHOT_H_
 
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/database.h"
 
 namespace aiql {
 
-/// Serializes a sealed database to `path`. Fails if the database is not
-/// sealed or on I/O errors.
+/// Byte sink for snapshot serialization. The production implementation
+/// writes a file; tests inject failing sinks to prove that short writes,
+/// sync failures, and close failures are reported instead of swallowed.
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  /// Appends exactly `n` bytes; a partial write must return an error.
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Flushes buffered bytes to durable storage (fflush + fsync for files).
+  virtual Status Sync() = 0;
+
+  /// Releases the sink. Must fail if buffered bytes could not be committed.
+  virtual Status Close() = 0;
+};
+
+/// Serializes a sealed database in v2 format into `sink`, then Sync() and
+/// Close() it. Fails if the database is not sealed; any I/O error —
+/// including a short write, a failed sync, or a failed close — is
+/// propagated rather than reported as success.
+Status SaveSnapshotToSink(const AuditDatabase& db, SnapshotSink* sink);
+
+/// Serializes a sealed database to `path` in v2 format. Writes to a
+/// temporary file first and renames it into place only after a successful
+/// sync, so a failed save never leaves a truncated snapshot at `path`.
 Status SaveSnapshot(const AuditDatabase& db, const std::string& path);
 
-/// Loads a snapshot previously written by SaveSnapshot. Returns a sealed
-/// database. Detects truncation, bad magic, version mismatch, and checksum
-/// corruption.
+/// Legacy v1 single-blob writer, retained so compatibility tests can
+/// generate v1 fixtures and benchmarks can compare on-disk sizes. New
+/// snapshots should use SaveSnapshot (v2).
+Status SaveSnapshotV1(const AuditDatabase& db, const std::string& path);
+
+/// Fully loads a snapshot (v1 or v2) into a sealed database. Detects
+/// truncation, bad magic, version mismatch, and checksum corruption. For
+/// lazy, partition-granular access to a v2 snapshot use SnapshotStore::Open
+/// instead.
 Result<AuditDatabase> LoadSnapshot(const std::string& path);
+
+/// A lazily opened v2 snapshot. Open() reads the footer directory, the
+/// persisted statistics, and the entity/dictionary segment — no event data.
+/// OpenReadView() then serves the same ReadView interface the engine uses
+/// against a live database: partition selection runs on the persisted
+/// per-partition statistics, and only the selected partitions are read,
+/// checksum-verified, decoded, and cached.
+///
+/// Thread-safe: concurrent queries may materialize partitions through one
+/// store; loads are serialized on an internal mutex while the
+/// already-materialized fast path is lock-free.
+class SnapshotStore {
+ public:
+  /// Opens a v2 snapshot. Returns InvalidArgument for v1 snapshots (use
+  /// LoadSnapshot), Corruption/IOError for damaged files.
+  static Result<std::unique_ptr<SnapshotStore>> Open(const std::string& path);
+
+  ~SnapshotStore();
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  const std::string& path() const { return path_; }
+  const EntityStore& entities() const { return entities_; }
+  const StorageOptions& options() const { return options_; }
+
+  /// Database-wide statistics as persisted at save time.
+  const DatabaseStats& stats() const { return stats_; }
+
+  uint64_t total_partitions() const { return handles_.size(); }
+
+  /// Partitions materialized so far (monotone; for tests and metrics).
+  uint64_t loaded_partitions() const {
+    return loaded_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens a snapshot-backed read view over this store. The view's
+  /// SelectPartitions materializes exactly the partitions it selects. The
+  /// store must outlive the view.
+  ReadView OpenReadView() const;
+
+  /// Sealed partitions overlapping `range` / `agents`, materializing (and
+  /// caching) each selected partition. Ordered by (bucket, agent, seq).
+  Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
+  SelectPartitions(const TimeRange& range,
+                   const std::optional<std::vector<AgentId>>& agents) const;
+
+  /// Materializes every partition (full-load compat path).
+  Status MaterializeAll() const;
+
+  /// Consumes the store into a standalone sealed AuditDatabase (full
+  /// materialization) — the LoadSnapshot compat path for v2 files.
+  Result<AuditDatabase> ToDatabase() &&;
+
+ private:
+  struct PartitionHandle;
+
+  SnapshotStore() = default;
+
+  /// Materializes handle `index` if needed; returns the sealed partition.
+  Result<const EventPartition*> Partition(size_t index) const;
+
+  std::string path_;
+  FILE* file_ = nullptr;
+  StorageOptions options_;
+  EntityStore entities_;
+  DatabaseStats stats_;
+  // Segment reads + materialization are serialized; `loaded` publication
+  // makes the fast path lock-free.
+  mutable std::mutex load_mu_;
+  mutable std::atomic<uint64_t> loaded_count_{0};
+  mutable std::vector<std::unique_ptr<PartitionHandle>> handles_;
+};
 
 }  // namespace aiql
 

@@ -1,0 +1,732 @@
+// Differential-oracle property test (issue #4 satellite): a deliberately
+// naive brute-force reference matcher over the raw generated events, plus a
+// seeded-RNG generator of random multi-pattern AIQL queries (operation
+// disjunctions, global time windows, agent filters, shared entity
+// variables, bounded before/after relations, distinct). The optimized
+// engine must produce byte-identical result tables
+//   * under every combination of EngineOptions toggles, and
+//   * whether results are served from in-memory sealed partitions or from
+//     a lazily opened v2 snapshot.
+//
+// The oracle shares only LikeMatcher (string predicate semantics) with the
+// engine; candidate filtering, joining, temporal checks, and projection are
+// reimplemented as straight nested loops over the raw event list.
+//
+// Query count per options combination defaults to 200 and can be raised
+// via AIQL_ORACLE_QUERIES.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/like_matcher.h"
+#include "common/rng.h"
+#include "engine/aiql_engine.h"
+#include "engine/result.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+
+namespace aiql {
+namespace {
+
+Timestamp T0() { return *MakeTimestamp(2018, 5, 10); }
+constexpr Duration kSpan = 6 * kHour;
+constexpr int kNumAgents = 4;
+
+// --- generated world ---------------------------------------------------------
+
+struct GenProc {
+  AgentId agent;
+  uint32_t pid;
+  std::string exe;
+  std::string user;
+};
+struct GenFile {
+  AgentId agent;
+  std::string path;
+};
+struct GenNet {
+  AgentId agent;
+  std::string src_ip;
+  std::string dst_ip;
+  uint16_t src_port;
+  uint16_t dst_port;
+  std::string proto;
+};
+
+struct GenEvent {
+  OpType op = OpType::kRead;
+  EntityType otype = EntityType::kFile;
+  size_t subject = 0;  ///< index into World::procs
+  size_t object = 0;   ///< index into the pool of `otype`
+  Timestamp start = 0;
+  Timestamp end = 0;
+  uint64_t amount = 0;
+  AgentId agent = 0;
+};
+
+struct World {
+  std::vector<GenProc> procs;
+  std::vector<GenFile> files;
+  std::vector<GenNet> nets;
+  std::vector<GenEvent> events;
+};
+
+World GenerateWorld(uint64_t seed, int num_events) {
+  Rng rng(seed);
+  World world;
+  const char* exes[] = {"cmd.exe",      "powershell.exe", "svchost.exe",
+                        "chrome.exe",   "sqlservr.exe",   "osql.exe",
+                        "backup.exe",   "winword.exe",    "sshd",
+                        "bash",         "python",         "nginx"};
+  const char* users[] = {"root", "alice", "bob", "system"};
+  for (uint32_t i = 0; i < 40; ++i) {
+    // Unique pids keep every pool entry a distinct entity, so oracle
+    // identity (pool index) coincides with engine identity (EntityId).
+    world.procs.push_back(
+        {static_cast<AgentId>(1 + rng.Uniform(kNumAgents)), 100 + i,
+         exes[rng.Uniform(12)], users[rng.Uniform(4)]});
+  }
+  const char* dirs[] = {"/etc", "/var/log", "/home/alice",
+                        "/tmp", "/usr/bin", "/data"};
+  for (int i = 0; i < 30; ++i) {
+    world.files.push_back(
+        {static_cast<AgentId>(1 + rng.Uniform(kNumAgents)),
+         std::string(dirs[rng.Uniform(6)]) + "/file" + std::to_string(i)});
+  }
+  const char* ips[] = {"10.0.0.5",      "10.0.0.9",    "172.16.0.129",
+                       "93.184.216.34", "192.168.1.7", "8.8.8.8"};
+  for (uint16_t i = 0; i < 20; ++i) {
+    world.nets.push_back(
+        {static_cast<AgentId>(1 + rng.Uniform(kNumAgents)),
+         ips[rng.Uniform(6)], ips[rng.Uniform(6)],
+         static_cast<uint16_t>(40000 + i),  // unique: distinct 5-tuples
+         static_cast<uint16_t>(rng.Chance(0.5) ? 443 : 8000 + i),
+         rng.Chance(0.8) ? "tcp" : "udp"});
+  }
+
+  const OpType file_ops[] = {OpType::kRead, OpType::kWrite, OpType::kExecute,
+                             OpType::kDelete, OpType::kRename};
+  const OpType net_ops[] = {OpType::kRead, OpType::kWrite, OpType::kConnect,
+                            OpType::kAccept};
+  const OpType proc_ops[] = {OpType::kStart, OpType::kEnd, OpType::kConnect};
+  for (int i = 0; i < num_events; ++i) {
+    GenEvent e;
+    e.subject = rng.Uniform(world.procs.size());
+    double r = rng.NextDouble();
+    if (r < 0.5) {
+      e.otype = EntityType::kFile;
+      e.object = rng.Uniform(world.files.size());
+      e.op = file_ops[rng.Uniform(5)];
+    } else if (r < 0.75) {
+      e.otype = EntityType::kNetwork;
+      e.object = rng.Uniform(world.nets.size());
+      e.op = net_ops[rng.Uniform(4)];
+    } else {
+      e.otype = EntityType::kProcess;
+      e.object = rng.Uniform(world.procs.size());
+      e.op = proc_ops[rng.Uniform(3)];
+    }
+    if (rng.Chance(0.05)) {  // off-matrix (op, object type) combinations
+      e.op = static_cast<OpType>(rng.Uniform(kNumOpTypes));
+    }
+    e.start = T0() + static_cast<Duration>(rng.Uniform(kSpan / kSecond)) *
+                         kSecond;
+    e.end = e.start + static_cast<Duration>(rng.Uniform(120)) * kSecond;
+    e.amount = rng.Uniform(1000000);
+    e.agent = world.procs[e.subject].agent;
+    world.events.push_back(e);
+  }
+  return world;
+}
+
+AuditDatabase BuildDatabase(const World& world) {
+  StorageOptions options;
+  options.partition_duration = kHour;
+  options.dedup_window = 0;  // oracle works on raw events 1:1
+  options.max_partition_events = 200;  // exercise rollover / seq partitions
+  AuditDatabase db(options);
+  for (const GenEvent& e : world.events) {
+    EventRecord record;
+    record.agent_id = e.agent;
+    record.op = e.op;
+    record.start_ts = e.start;
+    record.end_ts = e.end;
+    record.amount = e.amount;
+    const GenProc& s = world.procs[e.subject];
+    record.subject = ProcessRef{s.agent, s.pid, s.exe, s.user};
+    switch (e.otype) {
+      case EntityType::kFile: {
+        const GenFile& f = world.files[e.object];
+        record.object = FileRef{f.agent, f.path};
+        break;
+      }
+      case EntityType::kNetwork: {
+        const GenNet& n = world.nets[e.object];
+        record.object = NetworkRef{n.agent, n.src_ip, n.dst_ip, n.src_port,
+                                   n.dst_port, n.proto};
+        break;
+      }
+      case EntityType::kProcess: {
+        const GenProc& p = world.procs[e.object];
+        record.object = ProcessRef{p.agent, p.pid, p.exe, p.user};
+        break;
+      }
+    }
+    EXPECT_TRUE(db.Append(record).ok());
+  }
+  EXPECT_TRUE(db.Seal().ok());
+  return db;
+}
+
+// --- generated queries -------------------------------------------------------
+
+struct GenConstraint {
+  std::optional<std::string> like;     ///< default-attr LIKE
+  std::optional<std::string> user_eq;  ///< proc only
+  std::optional<uint16_t> dst_port;    ///< net only
+};
+
+struct GenPattern {
+  EntityType otype = EntityType::kFile;
+  std::vector<OpType> ops;
+  std::string subj_var;
+  std::string obj_var;
+  GenConstraint subj;
+  GenConstraint obj;
+  std::string event_var;
+};
+
+struct GenTemporal {
+  size_t left = 0;   ///< pattern index that must end first
+  size_t right = 0;  ///< pattern index that starts later
+  Duration within = 0;
+  bool render_as_after = false;
+};
+
+struct GenQuery {
+  std::optional<TimeRange> window;
+  std::string from_text, to_text;
+  std::optional<AgentId> agent;
+  std::vector<GenPattern> patterns;
+  std::vector<GenTemporal> rels;
+  bool distinct = false;
+  /// (var, attr) — attr empty renders the bare variable (default attr).
+  std::vector<std::pair<std::string, std::string>> returns;
+};
+
+std::string TimeText(Timestamp ts) {
+  int64_t secs = (ts - T0()) / kSecond;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d 05/10/2018",
+                static_cast<int>(secs / 3600),
+                static_cast<int>((secs / 60) % 60),
+                static_cast<int>(secs % 60));
+  return buf;
+}
+
+GenQuery GenerateQuery(Rng* rng, const World& /*world*/) {
+  GenQuery q;
+
+  if (rng->Chance(0.6)) {
+    int64_t span_secs = kSpan / kSecond;
+    int64_t a = rng->UniformRange(0, span_secs - 1);
+    int64_t b = rng->UniformRange(0, span_secs - 1);
+    if (a > b) std::swap(a, b);
+    Timestamp from = T0() + a * kSecond;
+    Timestamp to = T0() + b * kSecond;
+    q.window = TimeRange{from, to + 1};  // "(from X to Y)" includes Y
+    q.from_text = TimeText(from);
+    q.to_text = TimeText(to);
+  }
+  if (rng->Chance(0.5)) {
+    q.agent = static_cast<AgentId>(1 + rng->Uniform(kNumAgents));
+  }
+
+  const char* exe_likes[] = {"%cmd%",  "%.exe",      "%sh%",  "%sql%",
+                             "chrome.exe", "%w%",    "nginx", "%e%"};
+  const char* path_likes[] = {"/etc/%",  "%log%", "%file1%",
+                              "/tmp/%",  "%file2_", "%a%"};
+  const char* ip_likes[] = {"10.0.0.%", "%129", "8.8.8.8", "%.16.%",
+                            "192.168.%"};
+  const char* user_eqs[] = {"root", "alice", "bob", "system"};
+  const OpType file_ops[] = {OpType::kRead, OpType::kWrite, OpType::kExecute,
+                             OpType::kDelete, OpType::kRename};
+  const OpType net_ops[] = {OpType::kRead, OpType::kWrite, OpType::kConnect,
+                            OpType::kAccept};
+  const OpType proc_ops[] = {OpType::kStart, OpType::kEnd, OpType::kConnect};
+
+  int num_patterns = 1 + static_cast<int>(rng->Uniform(3));
+  int next_proc = 0, next_file = 0, next_net = 0;
+  std::vector<std::string> proc_vars, file_vars, net_vars;
+
+  for (int i = 0; i < num_patterns; ++i) {
+    GenPattern p;
+    p.event_var = "e" + std::to_string(i);
+
+    // Subject (always a process): reuse a proc var sometimes — shared vars
+    // are the implicit joins the semi-join optimization prunes on.
+    bool fresh_subject = proc_vars.empty() || !rng->Chance(0.3);
+    if (fresh_subject) {
+      p.subj_var = "p" + std::to_string(next_proc++);
+      proc_vars.push_back(p.subj_var);
+    } else {
+      p.subj_var = proc_vars[rng->Uniform(proc_vars.size())];
+    }
+    if (rng->Chance(fresh_subject ? 0.6 : 0.2)) {
+      p.subj.like = exe_likes[rng->Uniform(8)];
+    }
+    if (rng->Chance(0.15)) p.subj.user_eq = user_eqs[rng->Uniform(4)];
+
+    double r = rng->NextDouble();
+    if (r < 0.5) {
+      p.otype = EntityType::kFile;
+      p.ops.push_back(file_ops[rng->Uniform(5)]);
+      if (rng->Chance(0.3)) p.ops.push_back(file_ops[rng->Uniform(5)]);
+    } else if (r < 0.75) {
+      p.otype = EntityType::kNetwork;
+      p.ops.push_back(net_ops[rng->Uniform(4)]);
+      if (rng->Chance(0.3)) p.ops.push_back(net_ops[rng->Uniform(4)]);
+    } else {
+      p.otype = EntityType::kProcess;
+      p.ops.push_back(proc_ops[rng->Uniform(3)]);
+      if (rng->Chance(0.3)) p.ops.push_back(proc_ops[rng->Uniform(3)]);
+    }
+    // Drop duplicate ops from the disjunction.
+    std::sort(p.ops.begin(), p.ops.end());
+    p.ops.erase(std::unique(p.ops.begin(), p.ops.end()), p.ops.end());
+
+    std::vector<std::string>* typed_vars =
+        p.otype == EntityType::kFile      ? &file_vars
+        : p.otype == EntityType::kNetwork ? &net_vars
+                                          : &proc_vars;
+    bool fresh_object = typed_vars->empty() || !rng->Chance(0.35);
+    if (p.otype == EntityType::kProcess && rng->Chance(0.05)) {
+      p.obj_var = p.subj_var;  // subject == object identity scan
+      fresh_object = false;
+    } else if (fresh_object) {
+      switch (p.otype) {
+        case EntityType::kFile:
+          p.obj_var = "f" + std::to_string(next_file++);
+          break;
+        case EntityType::kNetwork:
+          p.obj_var = "n" + std::to_string(next_net++);
+          break;
+        case EntityType::kProcess:
+          p.obj_var = "p" + std::to_string(next_proc++);
+          break;
+      }
+      typed_vars->push_back(p.obj_var);
+    } else {
+      p.obj_var = (*typed_vars)[rng->Uniform(typed_vars->size())];
+    }
+    if (rng->Chance(fresh_object ? 0.5 : 0.2)) {
+      switch (p.otype) {
+        case EntityType::kFile:
+          p.obj.like = path_likes[rng->Uniform(6)];
+          break;
+        case EntityType::kNetwork:
+          p.obj.like = ip_likes[rng->Uniform(5)];
+          break;
+        case EntityType::kProcess:
+          p.obj.like = exe_likes[rng->Uniform(8)];
+          break;
+      }
+    }
+    if (p.otype == EntityType::kNetwork && rng->Chance(0.15)) {
+      p.obj.dst_port = 443;
+    }
+    q.patterns.push_back(std::move(p));
+  }
+
+  if (num_patterns >= 2 && rng->Chance(0.7)) {
+    int num_rels = 1 + static_cast<int>(rng->Uniform(2));
+    for (int r = 0; r < num_rels; ++r) {
+      GenTemporal rel;
+      rel.left = rng->Uniform(q.patterns.size());
+      rel.right = rng->Uniform(q.patterns.size());
+      if (rel.left == rel.right) continue;
+      if (rng->Chance(0.4)) {
+        const Duration bounds[] = {kMinute, 5 * kMinute, 30 * kMinute,
+                                   2 * kHour};
+        rel.within = bounds[rng->Uniform(4)];
+      }
+      rel.render_as_after = rng->Chance(0.5);
+      q.rels.push_back(rel);
+    }
+  }
+
+  // Return items: a subset of the entity vars (at least one), optionally an
+  // event amount; `distinct` sometimes.
+  std::vector<std::string> entity_vars;
+  for (const GenPattern& p : q.patterns) {
+    for (const std::string& var : {p.subj_var, p.obj_var}) {
+      if (std::find(entity_vars.begin(), entity_vars.end(), var) ==
+          entity_vars.end()) {
+        entity_vars.push_back(var);
+      }
+    }
+  }
+  bool all_vars = rng->Chance(0.6);
+  for (const std::string& var : entity_vars) {
+    if (all_vars || rng->Chance(0.5)) q.returns.emplace_back(var, "");
+  }
+  if (q.returns.empty()) q.returns.emplace_back(entity_vars.front(), "");
+  if (rng->Chance(0.3)) {
+    size_t i = rng->Uniform(q.patterns.size());
+    q.returns.emplace_back(q.patterns[i].event_var, "amount");
+  }
+  q.distinct = rng->Chance(0.4);
+  return q;
+}
+
+std::string RenderQuery(const GenQuery& q) {
+  std::string text;
+  if (q.window.has_value()) {
+    text += "(from \"" + q.from_text + "\" to \"" + q.to_text + "\") ";
+  }
+  if (q.agent.has_value()) {
+    text += "agentid = " + std::to_string(*q.agent) + " ";
+  }
+  for (const GenPattern& p : q.patterns) {
+    auto render_entity = [](EntityType type, const std::string& var,
+                            const GenConstraint& c) {
+      std::string out = type == EntityType::kFile      ? "file "
+                        : type == EntityType::kNetwork ? "ip "
+                                                       : "proc ";
+      out += var;
+      std::vector<std::string> constraints;
+      if (c.like.has_value()) constraints.push_back("\"" + *c.like + "\"");
+      if (c.user_eq.has_value()) {
+        constraints.push_back("user = \"" + *c.user_eq + "\"");
+      }
+      if (c.dst_port.has_value()) {
+        constraints.push_back("dst_port = " + std::to_string(*c.dst_port));
+      }
+      if (!constraints.empty()) {
+        out += "[";
+        for (size_t i = 0; i < constraints.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += constraints[i];
+        }
+        out += "]";
+      }
+      return out;
+    };
+    text += render_entity(EntityType::kProcess, p.subj_var, p.subj) + " ";
+    for (size_t i = 0; i < p.ops.size(); ++i) {
+      if (i > 0) text += " || ";
+      text += OpTypeToString(p.ops[i]);
+    }
+    text += " " + render_entity(p.otype, p.obj_var, p.obj);
+    text += " as " + p.event_var + " ";
+  }
+  if (!q.rels.empty()) {
+    text += "with ";
+    for (size_t i = 0; i < q.rels.size(); ++i) {
+      const GenTemporal& rel = q.rels[i];
+      if (i > 0) text += ", ";
+      std::string bound;
+      if (rel.within > 0) {
+        bound = "[" + std::to_string(rel.within / kMinute) + " min]";
+      }
+      const std::string& left = q.patterns[rel.left].event_var;
+      const std::string& right = q.patterns[rel.right].event_var;
+      if (rel.render_as_after) {
+        text += right + " after" + bound + " " + left;
+      } else {
+        text += left + " before" + bound + " " + right;
+      }
+    }
+    text += " ";
+  }
+  text += "return ";
+  if (q.distinct) text += "distinct ";
+  for (size_t i = 0; i < q.returns.size(); ++i) {
+    if (i > 0) text += ", ";
+    text += q.returns[i].first;
+    if (!q.returns[i].second.empty()) text += "." + q.returns[i].second;
+  }
+  return text;
+}
+
+// --- the brute-force oracle --------------------------------------------------
+
+/// Compiled-per-query constraint matchers (LikeMatcher is the one component
+/// shared with the engine: it defines the language's LIKE semantics).
+struct OracleConstraint {
+  std::optional<LikeMatcher> like;
+  std::optional<LikeMatcher> user_eq;
+  std::optional<uint16_t> dst_port;
+
+  explicit OracleConstraint(const GenConstraint& c) {
+    if (c.like.has_value()) like.emplace(*c.like);
+    if (c.user_eq.has_value()) user_eq.emplace(*c.user_eq);
+    dst_port = c.dst_port;
+  }
+};
+
+bool OracleBefore(const GenEvent& a, const GenEvent& b, Duration within) {
+  if (a.end > b.start) return false;
+  if (within > 0 && b.start - a.end > within) return false;
+  return true;
+}
+
+/// One row per joined event tuple, exactly like the engine's backtracking
+/// join; distinct dedupes rendered rows.
+ResultTable OracleExecute(const World& world, const GenQuery& q,
+                          size_t* out_rows_bound) {
+  const size_t num_patterns = q.patterns.size();
+  std::vector<OracleConstraint> subj_cs, obj_cs;
+  for (const GenPattern& p : q.patterns) {
+    subj_cs.emplace_back(p.subj);
+    obj_cs.emplace_back(p.obj);
+  }
+
+  auto subject_ok = [&](const GenEvent& e, size_t pi) {
+    const GenProc& proc = world.procs[e.subject];
+    const OracleConstraint& c = subj_cs[pi];
+    if (c.like.has_value() && !c.like->Matches(proc.exe)) return false;
+    if (c.user_eq.has_value() && !c.user_eq->Matches(proc.user)) return false;
+    return true;
+  };
+  auto object_ok = [&](const GenEvent& e, size_t pi) {
+    const OracleConstraint& c = obj_cs[pi];
+    switch (e.otype) {
+      case EntityType::kFile:
+        return !c.like.has_value() ||
+               c.like->Matches(world.files[e.object].path);
+      case EntityType::kNetwork: {
+        const GenNet& n = world.nets[e.object];
+        if (c.like.has_value() && !c.like->Matches(n.dst_ip)) return false;
+        if (c.dst_port.has_value() && n.dst_port != *c.dst_port) return false;
+        return true;
+      }
+      case EntityType::kProcess:
+        return !c.like.has_value() ||
+               c.like->Matches(world.procs[e.object].exe);
+    }
+    return false;
+  };
+
+  // Per-pattern candidate events (raw linear scans).
+  std::vector<std::vector<size_t>> cands(num_patterns);
+  for (size_t k = 0; k < world.events.size(); ++k) {
+    const GenEvent& e = world.events[k];
+    if (q.window.has_value() && !(e.start >= q.window->start &&
+                                  e.start < q.window->end)) {
+      continue;
+    }
+    if (q.agent.has_value() && e.agent != *q.agent) continue;
+    for (size_t pi = 0; pi < num_patterns; ++pi) {
+      const GenPattern& p = q.patterns[pi];
+      if (e.otype != p.otype) continue;
+      if (std::find(p.ops.begin(), p.ops.end(), e.op) == p.ops.end()) {
+        continue;
+      }
+      if (!subject_ok(e, pi) || !object_ok(e, pi)) continue;
+      if (p.subj_var == p.obj_var &&
+          (p.otype != EntityType::kProcess || e.subject != e.object)) {
+        continue;
+      }
+      cands[pi].push_back(k);
+    }
+  }
+  size_t bound = 1;
+  for (const auto& c : cands) {
+    bound = c.empty() ? 0 : std::min<size_t>(bound * c.size(), SIZE_MAX / 2);
+  }
+  *out_rows_bound = bound;
+
+  ResultTable table;
+  for (const auto& [var, attr] : q.returns) {
+    table.columns.push_back(attr.empty() ? var : var + "." + attr);
+  }
+
+  // Nested-loop join over the candidate lists with entity-variable
+  // consistency and temporal relation checks.
+  struct Binding {
+    EntityType type;
+    size_t index;
+  };
+  std::map<std::string, Binding> bindings;
+  std::vector<size_t> assignment(num_patterns, 0);
+  std::set<std::vector<std::string>> distinct_rows;
+
+  auto project = [&]() {
+    std::vector<std::string> rendered;
+    std::vector<Value> row;
+    for (const auto& [var, attr] : q.returns) {
+      Value value = int64_t{0};
+      bool is_event = false;
+      for (size_t pi = 0; pi < num_patterns; ++pi) {
+        if (q.patterns[pi].event_var == var) {
+          value = static_cast<int64_t>(
+              world.events[assignment[pi]].amount);  // attr == "amount"
+          is_event = true;
+          break;
+        }
+      }
+      if (!is_event) {
+        const Binding& b = bindings.at(var);
+        switch (b.type) {
+          case EntityType::kProcess:
+            value = world.procs[b.index].exe;
+            break;
+          case EntityType::kFile:
+            value = world.files[b.index].path;
+            break;
+          case EntityType::kNetwork:
+            value = world.nets[b.index].dst_ip;
+            break;
+        }
+      }
+      rendered.push_back(ValueToString(value));
+      row.push_back(std::move(value));
+    }
+    if (q.distinct && !distinct_rows.insert(rendered).second) return;
+    table.rows.push_back(std::move(row));
+  };
+
+  auto join = [&](auto&& self, size_t pi) -> void {
+    if (pi == num_patterns) {
+      project();
+      return;
+    }
+    const GenPattern& p = q.patterns[pi];
+    for (size_t k : cands[pi]) {
+      const GenEvent& e = world.events[k];
+      assignment[pi] = k;
+
+      bool ok = true;
+      for (const GenTemporal& rel : q.rels) {
+        size_t other = rel.left == pi   ? rel.right
+                       : rel.right == pi ? rel.left
+                                         : num_patterns;
+        if (other >= pi) continue;  // other pattern not yet assigned
+        const GenEvent& a = world.events[assignment[rel.left]];
+        const GenEvent& b = world.events[assignment[rel.right]];
+        if (!OracleBefore(a, b, rel.within)) {
+          ok = false;
+          break;
+        }
+      }
+
+      std::vector<std::string> bound_here;
+      auto bind = [&](const std::string& var, EntityType type,
+                      size_t index) {
+        if (!ok) return;
+        auto it = bindings.find(var);
+        if (it == bindings.end()) {
+          bindings.emplace(var, Binding{type, index});
+          bound_here.push_back(var);
+        } else if (it->second.type != type || it->second.index != index) {
+          ok = false;
+        }
+      };
+      bind(p.subj_var, EntityType::kProcess, e.subject);
+      bind(p.obj_var, e.otype, e.object);
+
+      if (ok) self(self, pi + 1);
+      for (const std::string& var : bound_here) bindings.erase(var);
+    }
+  };
+  join(join, 0);
+  return table;
+}
+
+// --- the test ----------------------------------------------------------------
+
+std::vector<std::pair<std::string, EngineOptions>> AllOptionCombos() {
+  std::vector<std::pair<std::string, EngineOptions>> out;
+  for (int mask = 0; mask < 16; ++mask) {
+    EngineOptions options;
+    options.enable_reordering = (mask & 1) != 0;
+    options.enable_parallelism = (mask & 2) != 0;
+    options.num_threads = 2;
+    options.enable_semi_join = (mask & 4) != 0;
+    options.enable_temporal_pruning = (mask & 8) != 0;
+    std::string name = std::string("reorder=") + ((mask & 1) ? "1" : "0") +
+                       " parallel=" + ((mask & 2) ? "1" : "0") +
+                       " semijoin=" + ((mask & 4) ? "1" : "0") +
+                       " temporal=" + ((mask & 8) ? "1" : "0");
+    out.emplace_back(std::move(name), options);
+  }
+  return out;
+}
+
+TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
+  const uint64_t seed = 20180510;
+  World world = GenerateWorld(seed, 1500);
+  AuditDatabase db = BuildDatabase(world);
+
+  std::string snap_path = "/tmp/aiql_oracle_diff_test.snap";
+  ASSERT_TRUE(SaveSnapshot(db, snap_path).ok());
+  auto store = SnapshotStore::Open(snap_path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  auto combos = AllOptionCombos();
+  std::vector<std::unique_ptr<AiqlEngine>> db_engines, snap_engines;
+  for (const auto& [name, options] : combos) {
+    db_engines.push_back(std::make_unique<AiqlEngine>(&db, options));
+    snap_engines.push_back(
+        std::make_unique<AiqlEngine>(store->get(), options));
+  }
+
+  int target = 200;
+  if (const char* env = std::getenv("AIQL_ORACLE_QUERIES")) {
+    target = std::max(1, std::atoi(env));
+  }
+
+  Rng rng(seed * 7919);
+  int executed = 0;
+  int attempts = 0;
+  int mismatches = 0;
+  while (executed < target && attempts < target * 20) {
+    ++attempts;
+    GenQuery q = GenerateQuery(&rng, world);
+    size_t rows_bound = 0;
+    ResultTable expected = OracleExecute(world, q, &rows_bound);
+    // Skip pathological cross products: they only stress row copying.
+    if (rows_bound > 100000 || expected.rows.size() > 20000) continue;
+    expected.SortRows();
+
+    std::string text = RenderQuery(q);
+    for (size_t c = 0; c < combos.size(); ++c) {
+      for (AiqlEngine* engine : {db_engines[c].get(), snap_engines[c].get()}) {
+        const char* source = engine == db_engines[c].get() ? "db" : "snapshot";
+        auto result = engine->Execute(text);
+        ASSERT_TRUE(result.ok())
+            << "[" << combos[c].first << " via " << source << "] failed on: "
+            << text << "\n  " << result.status().ToString();
+        result->table.SortRows();
+        if (!(result->table == expected)) {
+          ++mismatches;
+          ADD_FAILURE() << "[" << combos[c].first << " via " << source
+                        << "] MISMATCH on: " << text << "\n  engine rows="
+                        << result->table.num_rows()
+                        << " oracle rows=" << expected.num_rows();
+        }
+      }
+    }
+    ++executed;
+  }
+  std::remove(snap_path.c_str());
+  EXPECT_EQ(mismatches, 0);
+  ASSERT_GE(executed, std::min(target, 50))
+      << "query generator rejected too many candidates";
+
+  // Every query ran against the lazy store as well; by now it should have
+  // materialized partitions on demand.
+  EXPECT_GT((*store)->loaded_partitions(), 0u);
+}
+
+}  // namespace
+}  // namespace aiql

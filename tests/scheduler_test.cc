@@ -75,9 +75,9 @@ TEST_F(SchedulerTest, EstimatesReflectSelectivity) {
       &analyzed);
   ASSERT_EQ(patterns.size(), 2u);
   double noisy_est =
-      EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
+      *EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
   double rare_est =
-      EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
+      *EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
   EXPECT_GT(noisy_est, rare_est);
   EXPECT_GE(noisy_est, 400);  // close to the true 500
   EXPECT_LE(rare_est, 10);    // close to the true 2
@@ -93,9 +93,10 @@ TEST_F(SchedulerTest, SchedulesMostSelectiveFirst) {
   EngineOptions options;
   auto order =
       SchedulePatterns(&patterns, view_, analyzed.agent_filter, options);
-  ASSERT_EQ(order.size(), 2u);
-  EXPECT_EQ(order[0], 1u);  // the rare pattern runs first
-  EXPECT_EQ(order[1], 0u);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  ASSERT_EQ(order->size(), 2u);
+  EXPECT_EQ((*order)[0], 1u);  // the rare pattern runs first
+  EXPECT_EQ((*order)[1], 0u);
 }
 
 TEST_F(SchedulerTest, ReorderingCanBeDisabled) {
@@ -109,8 +110,9 @@ TEST_F(SchedulerTest, ReorderingCanBeDisabled) {
   options.enable_reordering = false;
   auto order =
       SchedulePatterns(&patterns, view_, analyzed.agent_filter, options);
-  EXPECT_EQ(order[0], 0u);
-  EXPECT_EQ(order[1], 1u);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  EXPECT_EQ((*order)[0], 0u);
+  EXPECT_EQ((*order)[1], 1u);
 }
 
 TEST_F(SchedulerTest, OpMaskDrivesBaseEstimate) {
@@ -122,9 +124,9 @@ TEST_F(SchedulerTest, OpMaskDrivesBaseEstimate) {
       "return a, b",
       &analyzed);
   double writes =
-      EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
+      *EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
   double reads =
-      EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
+      *EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
   EXPECT_NEAR(writes, 500, 50);
   EXPECT_NEAR(reads, 2, 1);
 }
@@ -137,9 +139,9 @@ TEST_F(SchedulerTest, ObjectSelectivityScalesEstimate) {
       "return a, b",
       &analyzed);
   double constrained =
-      EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
+      *EstimateCardinality(patterns[0], view_, analyzed.agent_filter);
   double unconstrained =
-      EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
+      *EstimateCardinality(patterns[1], view_, analyzed.agent_filter);
   EXPECT_LT(constrained, unconstrained);
 }
 
@@ -150,7 +152,7 @@ TEST_F(SchedulerTest, TimeWindowLimitsEstimate) {
       "proc a write file f1 as e1 return a",
       &analyzed);
   // All data is on 05/10: nothing in range.
-  EXPECT_EQ(EstimateCardinality(patterns[0], view_, analyzed.agent_filter),
+  EXPECT_EQ(*EstimateCardinality(patterns[0], view_, analyzed.agent_filter),
             0);
 }
 

@@ -104,7 +104,8 @@ TEST(StreamingTest, SizeThresholdRollsOverWithinBucket) {
   // all selected for a scan of the bucket's range.
   auto selected =
       view.SelectPartitions(TimeRange{T0(), T0() + kMinute}, std::nullopt);
-  EXPECT_EQ(selected.size(), 3u);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 3u);
   EXPECT_EQ(db.stats().total_partitions, 3u);
   EXPECT_EQ(db.stats().partitions_sealed, 3u);
 }
@@ -124,8 +125,10 @@ TEST(StreamingTest, LateEventOpensOverflowPartition) {
   EXPECT_EQ(view.visible_events(), 3u);
   auto first_bucket =
       view.SelectPartitions(TimeRange{T0(), T0() + kMinute}, std::nullopt);
-  ASSERT_EQ(first_bucket.size(), 2u);
-  EXPECT_EQ(first_bucket[0].second->size() + first_bucket[1].second->size(),
+  ASSERT_TRUE(first_bucket.ok());
+  ASSERT_EQ(first_bucket->size(), 2u);
+  EXPECT_EQ((*first_bucket)[0].second->size() +
+                (*first_bucket)[1].second->size(),
             2u);
 }
 
