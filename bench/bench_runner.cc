@@ -18,9 +18,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -195,6 +198,166 @@ struct SnapshotBench {
   int64_t v1_cold_start_us() const { return v1_load_us + v1_first_query_us; }
   int64_t v2_cold_start_us() const { return v2_open_us + v2_first_query_us; }
 };
+
+/// Provenance tracking benchmark: backward track from the simulator's
+/// planted exfiltration POI, from the live database and from a lazily
+/// opened v2 snapshot, with per-hop latency and partitions-materialized
+/// counts. Chain recovery is a correctness gate (exit non-zero when the
+/// planted chain is not recovered exactly).
+struct ProvenanceTrackRun {
+  int64_t track_us = 0;
+  std::vector<Duration> hop_us;
+  size_t nodes = 0;
+  size_t edges = 0;
+  int hops = 0;
+  uint64_t events_inspected = 0;
+  uint64_t partition_scans = 0;
+  bool truncated = false;
+  bool chain_recovered = false;
+};
+
+struct ProvenanceBench {
+  ProvenanceTrackRun db;
+  ProvenanceTrackRun snapshot;
+  int64_t snapshot_open_us = 0;
+  uint64_t snapshot_partitions_loaded = 0;
+  uint64_t snapshot_partitions_total = 0;
+  size_t chain_nodes = 0;
+  bool failed = false;
+};
+
+ProvenanceTrackRun RunProvenanceTrack(AiqlEngine* engine,
+                                      const EntityStore& entities,
+                                      const ExfilChainTruth& truth) {
+  ProvenanceTrackRun run;
+  TrackRequest request;
+  request.type = EntityType::kNetwork;
+  request.name_like = truth.poi_like;
+  request.anchor = truth.anchor;
+  Result<ProvenanceResult> result = Status::Internal("not run");
+  run.track_us = TimeUs([&] { result = engine->Track(request); });
+  if (!result.ok()) {
+    std::fprintf(stderr, "provenance track FAILED: %s\n",
+                 result.status().ToString().c_str());
+    return run;
+  }
+  run.hop_us = result->stats.hop_latency_us;
+  run.nodes = result->nodes.size();
+  run.edges = result->edges.size();
+  run.hops = result->stats.hops;
+  run.events_inspected = result->stats.events_inspected;
+  run.partition_scans = result->stats.partitions_selected;
+  run.truncated = result->stats.truncated;
+
+  std::set<std::pair<EntityType, std::string>> recovered, expected(
+      truth.chain.begin(), truth.chain.end());
+  for (const ProvenanceNode& node : result->nodes) {
+    recovered.emplace(node.type, entities.EntityName(node.type, node.id));
+  }
+  run.chain_recovered = recovered == expected &&
+                        result->nodes.size() == truth.chain.size() &&
+                        result->edges.size() == truth.chain_events &&
+                        !result->stats.truncated;
+  if (!run.chain_recovered) {
+    std::fprintf(stderr,
+                 "provenance chain NOT recovered: %zu nodes (want %zu), "
+                 "%zu edges (want %zu)%s\n",
+                 result->nodes.size(), truth.chain.size(),
+                 result->edges.size(), truth.chain_events,
+                 result->stats.truncated ? ", truncated" : "");
+  }
+  return run;
+}
+
+ProvenanceBench RunProvenanceBench() {
+  ProvenanceBench bench;
+  ExfilScenarioData data = GenerateExfilScenario(BenchScenarioOptions());
+  bench.chain_nodes = data.truth.chain.size();
+  auto db = IngestRecords(data.records, StorageOptions{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "provenance ingest failed: %s\n",
+                 db.status().ToString().c_str());
+    bench.failed = true;
+    return bench;
+  }
+  {
+    AiqlEngine engine(&*db);
+    bench.db = RunProvenanceTrack(&engine, db->entities(), data.truth);
+  }
+
+  struct TempFile {
+    std::string path;
+    ~TempFile() { std::remove(path.c_str()); }
+  };
+  TempFile snap{"/tmp/aiql_bench_provenance." +
+                std::to_string(std::chrono::steady_clock::now()
+                                   .time_since_epoch()
+                                   .count()) +
+                ".snap"};
+  Status save = SaveSnapshot(*db, snap.path);
+  if (!save.ok()) {
+    std::fprintf(stderr, "provenance snapshot save failed: %s\n",
+                 save.ToString().c_str());
+    bench.failed = true;
+    return bench;
+  }
+  Result<std::unique_ptr<SnapshotStore>> store =
+      Status::Internal("not opened");
+  bench.snapshot_open_us =
+      TimeUs([&] { store = SnapshotStore::Open(snap.path); });
+  if (!store.ok()) {
+    std::fprintf(stderr, "provenance snapshot open failed: %s\n",
+                 store.status().ToString().c_str());
+    bench.failed = true;
+    return bench;
+  }
+  bench.snapshot_partitions_total = (*store)->total_partitions();
+  {
+    AiqlEngine engine(store->get());
+    bench.snapshot =
+        RunProvenanceTrack(&engine, (*store)->entities(), data.truth);
+  }
+  bench.snapshot_partitions_loaded = (*store)->loaded_partitions();
+  bench.failed = bench.failed || !bench.db.chain_recovered ||
+                 !bench.snapshot.chain_recovered;
+  return bench;
+}
+
+void WriteProvenanceTrackJson(FILE* out, const char* key,
+                              const ProvenanceTrackRun& run) {
+  std::fprintf(out,
+               "    \"%s\": {\"track_us\": %lld, \"nodes\": %zu, "
+               "\"edges\": %zu, \"hops\": %d, \"events_inspected\": %llu, "
+               "\"partition_scans\": %llu, \"truncated\": %s, "
+               "\"chain_recovered\": %s,\n      \"hop_us\": [",
+               key, static_cast<long long>(run.track_us), run.nodes,
+               run.edges, run.hops,
+               static_cast<unsigned long long>(run.events_inspected),
+               static_cast<unsigned long long>(run.partition_scans),
+               run.truncated ? "true" : "false",
+               run.chain_recovered ? "true" : "false");
+  for (size_t i = 0; i < run.hop_us.size(); ++i) {
+    std::fprintf(out, "%s%lld", i > 0 ? ", " : "",
+                 static_cast<long long>(run.hop_us[i]));
+  }
+  std::fprintf(out, "]}");
+}
+
+void WriteProvenanceJson(FILE* out, const ProvenanceBench& bench) {
+  std::fprintf(out, "  \"provenance\": {\n");
+  WriteProvenanceTrackJson(out, "db", bench.db);
+  std::fprintf(out, ",\n");
+  WriteProvenanceTrackJson(out, "snapshot", bench.snapshot);
+  std::fprintf(
+      out,
+      ",\n    \"snapshot_open_us\": %lld, "
+      "\"snapshot_partitions_loaded\": %llu, "
+      "\"snapshot_partitions_total\": %llu, \"chain_nodes\": %zu%s\n  },\n",
+      static_cast<long long>(bench.snapshot_open_us),
+      static_cast<unsigned long long>(bench.snapshot_partitions_loaded),
+      static_cast<unsigned long long>(bench.snapshot_partitions_total),
+      bench.chain_nodes, bench.failed ? ", \"failed\": true" : "");
+}
 
 uint64_t FileSizeBytes(const std::string& path) {
   std::error_code ec;
@@ -535,7 +698,8 @@ void WriteJson(FILE* out, const std::string& label,
                const std::vector<QueryRun>& runs, const StorageRun& storage,
                bool has_baseline, double stream_rate,
                const std::vector<StreamSuiteRun>* streaming,
-               const SnapshotBench* snapshot) {
+               const SnapshotBench* snapshot,
+               const ProvenanceBench* provenance) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
   std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
@@ -558,6 +722,7 @@ void WriteJson(FILE* out, const std::string& label,
                static_cast<unsigned long long>(storage.scan_checksum));
 
   if (snapshot != nullptr) WriteSnapshotJson(out, *snapshot);
+  if (provenance != nullptr) WriteProvenanceJson(out, *provenance);
 
   std::fprintf(out, "  \"queries\": [\n");
   int64_t total_us = 0, baseline_total_us = 0;
@@ -625,6 +790,7 @@ int main(int argc, char** argv) {
   std::string label = "run";
   bool streaming = false;
   bool snapshot = false;
+  bool provenance = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -639,10 +805,13 @@ int main(int argc, char** argv) {
       streaming = true;
     } else if (std::strcmp(argv[i], "--snapshot") == 0) {
       snapshot = true;
+    } else if (std::strcmp(argv[i], "--provenance") == 0) {
+      provenance = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out file.json] [--baseline file.json] "
-                   "[--label name] [--streaming] [--snapshot]\n",
+                   "[--label name] [--streaming] [--snapshot] "
+                   "[--provenance]\n",
                    argv[0]);
       return 2;
     }
@@ -731,6 +900,30 @@ int main(int argc, char** argv) {
                      snapshot_bench.v2_partitions_total));
   }
 
+  // Provenance mode: backward track of the planted exfiltration chain from
+  // the live database and from a lazily opened v2 snapshot, with per-hop
+  // latency and partitions-materialized counts. Chain recovery gates the
+  // exit code.
+  ProvenanceBench provenance_bench;
+  if (provenance) {
+    provenance_bench = RunProvenanceBench();
+    int64_t db_total = 0, snap_total = 0;
+    for (Duration us : provenance_bench.db.hop_us) db_total += us;
+    for (Duration us : provenance_bench.snapshot.hop_us) snap_total += us;
+    std::fprintf(
+        stderr,
+        "provenance: db %zu nodes/%zu edges in %d hops (%lld us), "
+        "snapshot %lld us loading %llu/%llu partitions, chain %s\n",
+        provenance_bench.db.nodes, provenance_bench.db.edges,
+        provenance_bench.db.hops, static_cast<long long>(db_total),
+        static_cast<long long>(snap_total),
+        static_cast<unsigned long long>(
+            provenance_bench.snapshot_partitions_loaded),
+        static_cast<unsigned long long>(
+            provenance_bench.snapshot_partitions_total),
+        provenance_bench.failed ? "NOT RECOVERED" : "recovered");
+  }
+
   // Streaming mode: re-ingest each suite's records at a pinned rate on a
   // background thread, concurrent with the suite's queries; verify the
   // post-Seal row counts against the sealed-batch runs above.
@@ -784,13 +977,18 @@ int main(int argc, char** argv) {
   }
   WriteJson(out, label, options, repeat, runs, storage, has_baseline,
             stream_rate, streaming ? &stream_suites : nullptr,
-            snapshot ? &snapshot_bench : nullptr);
+            snapshot ? &snapshot_bench : nullptr,
+            provenance ? &provenance_bench : nullptr);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
   if (snapshot && (snapshot_bench.failed || !snapshot_bench.rows_match ||
                    !snapshot_bench.all_query_rows_match)) {
     std::fprintf(stderr, "snapshot bench verification failed\n");
+    return 1;
+  }
+  if (provenance && provenance_bench.failed) {
+    std::fprintf(stderr, "provenance bench verification failed\n");
     return 1;
   }
   int failures = 0;

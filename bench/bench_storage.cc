@@ -94,7 +94,9 @@ void BM_PartitionScan(benchmark::State& state) {
 BENCHMARK(BM_PartitionScan)->Unit(benchmark::kMillisecond);
 
 void BM_LikeMatcher(benchmark::State& state) {
-  const char* patterns[] = {"%cmd.exe", "C:\\Windows\\%", "%info%stealer%",
+  // "C:\Windows\\%": escaped backslash, then the '%' wildcard (a bare "\%"
+  // would match a literal percent sign).
+  const char* patterns[] = {"%cmd.exe", "C:\\Windows\\\\%", "%info%stealer%",
                             "backup_.dmp"};
   LikeMatcher matcher(patterns[state.range(0)]);
   const std::string inputs[] = {

@@ -13,18 +13,29 @@
 //   .explain <query>   show the execution plan
 //   .sql    <query>    show the equivalent SQL (normalized schema)
 //   .cypher <query>    show the equivalent Cypher
+//   track ...          iterative provenance tracking (see `track` below)
 //   .quit              exit
+//
+// track backward|forward proc|file|ip "<like>" [at "<time>"] [depth N]
+//       [fanout N] [nodes N] [hop <N> <sec|min|hour>] [dot|cypher]
+//   expands the dependency graph hop by hop from the matching entities,
+//   e.g.:  track backward ip "66.77.88.%" depth 8 hop 30 min
 // Anything else is executed as an AIQL query (single line or until an
 // empty line when the first line does not contain 'return').
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/string_utils.h"
+#include "common/table_printer.h"
 #include "engine/aiql_engine.h"
 #include "graph/cypher_gen.h"
+#include "graph/graph_store.h"
 #include "query/parser.h"
 #include "simulator/scenario.h"
 #include "sql/translator.h"
@@ -53,6 +64,182 @@ void PrintStats(const AuditDatabase& db) {
                 FormatTimestamp(stats.min_ts).c_str(),
                 FormatTimestamp(stats.max_ts).c_str());
   }
+}
+
+/// Splits a track command line into tokens, keeping quoted strings whole.
+std::vector<std::string> TokenizeTrack(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    if (text[i] == '"') {
+      size_t close = text.find('"', i + 1);
+      if (close == std::string::npos) close = text.size();
+      tokens.push_back(text.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    size_t end = i;
+    while (end < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    tokens.push_back(text.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+/// `track backward file "%db.bak%" [at "..."] [depth N] [fanout N]
+///  [nodes N] [hop N unit] [dot|cypher]`
+void RunTrack(AiqlEngine* engine, const AuditDatabase& db,
+              const std::string& args) {
+  std::vector<std::string> tokens = TokenizeTrack(args);
+  if (tokens.size() < 3) {
+    std::printf("usage: track backward|forward proc|file|ip \"<like>\" "
+                "[at \"<time>\"] [depth N] [fanout N] [nodes N] "
+                "[hop <N> <sec|min|hour>] [dot|cypher]\n");
+    return;
+  }
+  TrackRequest request;
+  std::string direction = ToLower(tokens[0]);
+  if (direction == "backward") {
+    request.options.backward = true;
+  } else if (direction == "forward") {
+    request.options.backward = false;
+  } else {
+    std::printf("!! expected 'backward' or 'forward', got '%s'\n",
+                tokens[0].c_str());
+    return;
+  }
+  std::string type = ToLower(tokens[1]);
+  if (type == "proc" || type == "process") {
+    request.type = EntityType::kProcess;
+  } else if (type == "file") {
+    request.type = EntityType::kFile;
+  } else if (type == "ip" || type == "net") {
+    request.type = EntityType::kNetwork;
+  } else {
+    std::printf("!! expected 'proc', 'file' or 'ip', got '%s'\n",
+                tokens[1].c_str());
+    return;
+  }
+  request.name_like = tokens[2];
+
+  bool want_dot = false, want_cypher = false;
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    std::string key = ToLower(tokens[i]);
+    // Parses the next token as a bounded positive integer without
+    // consuming it on failure, so error messages name the right option.
+    auto next_int = [&](int64_t* out) {
+      if (i + 1 >= tokens.size()) return false;
+      char* end = nullptr;
+      long long value = std::strtoll(tokens[i + 1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value <= 0 ||
+          value > 1000000000000LL) {
+        return false;
+      }
+      ++i;
+      *out = value;
+      return true;
+    };
+    int64_t value = 0;
+    if (key == "at") {
+      if (i + 1 >= tokens.size()) {
+        std::printf("!! 'at' expects a \"<time>\" argument\n");
+        return;
+      }
+      auto ts = ParseTimestamp(tokens[++i]);
+      if (!ts.ok()) {
+        std::printf("!! bad timestamp: %s\n", ts.status().ToString().c_str());
+        return;
+      }
+      request.anchor = *ts;
+    } else if (key == "depth" || key == "fanout" || key == "nodes") {
+      if (!next_int(&value)) {
+        std::printf("!! '%s' expects a positive integer\n", key.c_str());
+        return;
+      }
+      if (key == "depth") {
+        request.options.max_depth = static_cast<int>(std::min<int64_t>(
+            value, 1000000));
+      } else if (key == "fanout") {
+        request.options.max_fanout = static_cast<size_t>(value);
+      } else {
+        request.options.max_nodes = static_cast<size_t>(value);
+      }
+    } else if (key == "hop") {
+      if (!next_int(&value) || i + 1 >= tokens.size()) {
+        std::printf("!! 'hop' expects '<N> <sec|min|hour>'\n");
+        return;
+      }
+      std::string unit = ToLower(tokens[++i]);
+      Duration scale = unit == "sec" || unit == "s"    ? kSecond
+                       : unit == "min" || unit == "m"  ? kMinute
+                       : unit == "hour" || unit == "h" ? kHour
+                                                       : 0;
+      if (scale == 0) {
+        std::printf("!! bad hop window unit '%s'\n", unit.c_str());
+        return;
+      }
+      if (value > INT64_MAX / scale) {
+        std::printf("!! hop window overflows; use a smaller value\n");
+        return;
+      }
+      request.options.hop_window = value * scale;
+    } else if (key == "dot") {
+      want_dot = true;
+    } else if (key == "cypher") {
+      want_cypher = true;
+    } else {
+      std::printf("!! unknown track option '%s'\n", tokens[i].c_str());
+      return;
+    }
+  }
+
+  auto result = engine->Track(request);
+  if (!result.ok()) {
+    std::printf("!! %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const EntityStore& entities = db.entities();
+  if (want_dot) {
+    std::printf("%s", ProvenanceToDot(*result, entities).c_str());
+    return;
+  }
+  if (want_cypher) {
+    std::printf("%s", ProvenanceToCypher(*result, entities).c_str());
+    return;
+  }
+
+  TablePrinter printer({"depth", "type", "entity", "bound"});
+  for (const ProvenanceNode& node : result->nodes) {
+    printer.AddRow({std::to_string(node.depth),
+                    EntityTypeToString(node.type),
+                    entities.EntityName(node.type, node.id),
+                    node.bound == INT64_MAX || node.bound == INT64_MIN
+                        ? "-"
+                        : FormatTimestamp(node.bound)});
+  }
+  std::printf("%s", printer.ToString().c_str());
+  Duration total_us = 0;
+  for (Duration us : result->stats.hop_latency_us) total_us += us;
+  std::printf("-- %zu nodes (%zu roots), %zu edges in %d hops%s; "
+              "%llu postings inspected, %llu partition scans",
+              result->nodes.size(), result->num_roots, result->edges.size(),
+              result->stats.hops,
+              result->stats.truncated ? " (TRUNCATED by budget)" : "",
+              static_cast<unsigned long long>(result->stats.events_inspected),
+              static_cast<unsigned long long>(
+                  result->stats.partitions_selected));
+  std::printf("; hop latency us:");
+  for (Duration us : result->stats.hop_latency_us) {
+    std::printf(" %lld", static_cast<long long>(us));
+  }
+  std::printf(" (total %lld)\n", static_cast<long long>(total_us));
 }
 
 void Execute(AiqlEngine* engine, const std::string& query) {
@@ -111,6 +298,13 @@ int main(int argc, char** argv) {
     if (trimmed == ".help") {
       std::printf(".stats | .check <q> | .explain <q> | .sql <q> | "
                   ".cypher <q> | .quit\n");
+      std::printf("track backward|forward proc|file|ip \"<like>\" "
+                  "[at \"<time>\"] [depth N] [fanout N] [nodes N] "
+                  "[hop <N> <sec|min|hour>] [dot|cypher]\n");
+      continue;
+    }
+    if (StartsWith(trimmed, "track ")) {
+      RunTrack(&engine, *db, trimmed.substr(std::strlen("track ")));
       continue;
     }
     if (trimmed == ".stats") {

@@ -2,8 +2,6 @@
 
 #include <cctype>
 
-#include "common/string_utils.h"
-
 namespace aiql {
 
 namespace {
@@ -38,12 +36,29 @@ bool EqualsLowered(std::string_view any_case, std::string_view lowered) {
 
 }  // namespace
 
-LikeMatcher::LikeMatcher(std::string_view pattern)
-    : pattern_(pattern), lowered_(ToLower(pattern)) {
-  bool has_underscore = lowered_.find('_') != std::string::npos;
+LikeMatcher::LikeMatcher(std::string_view pattern) : pattern_(pattern) {
+  // Resolve escapes into (char, is-wildcard) pairs. A backslash escapes an
+  // immediately following '%', '_', or '\'; before anything else (or at the
+  // end of the pattern) it is an ordinary character, so Windows paths need
+  // no doubling.
+  chars_.reserve(pattern.size());
+  wild_.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (IsEscape(pattern, i)) {
+      chars_.push_back(pattern[++i]);
+      wild_.push_back('\0');
+      continue;
+    }
+    chars_.push_back(LowerChar(c));
+    wild_.push_back(c == '%' || c == '_' ? c : '\0');
+  }
+
+  bool has_underscore = false;
   size_t pct_count = 0;
-  for (char c : lowered_) {
-    if (c == '%') ++pct_count;
+  for (char w : wild_) {
+    if (w == '_') has_underscore = true;
+    if (w == '%') ++pct_count;
   }
   if (has_underscore) {
     kind_ = Kind::kGeneric;
@@ -51,16 +66,23 @@ LikeMatcher::LikeMatcher(std::string_view pattern)
   }
   if (pct_count == 0) {
     kind_ = Kind::kLiteral;
-    literal_ = lowered_;
+    literal_ = chars_;
     return;
   }
   // Only '%' wildcards from here on.
-  bool leading = lowered_.front() == '%';
-  bool trailing = lowered_.back() == '%';
-  std::string_view body(lowered_);
-  if (leading) body.remove_prefix(1);
-  if (trailing && !body.empty()) body.remove_suffix(1);
-  if (body.find('%') != std::string_view::npos) {
+  bool leading = wild_.front() == '%';
+  bool trailing = wild_.back() == '%';
+  std::string_view body(chars_);
+  std::string_view body_wild(wild_);
+  if (leading) {
+    body.remove_prefix(1);
+    body_wild.remove_prefix(1);
+  }
+  if (trailing && !body.empty()) {
+    body.remove_suffix(1);
+    body_wild.remove_suffix(1);
+  }
+  if (body_wild.find('%') != std::string_view::npos) {
     kind_ = Kind::kGeneric;  // interior '%' beyond the simple shapes
     return;
   }
@@ -94,23 +116,26 @@ bool LikeMatcher::Matches(std::string_view text) const {
     case Kind::kSubstring:
       return ContainsIgnoreCasePrecomputed(text, literal_);
     case Kind::kGeneric:
-      return GenericMatch(lowered_, text);
+      return GenericMatch(chars_, wild_, text);
   }
   return false;
 }
 
 // Iterative two-pointer LIKE matching with backtracking to the last '%'.
-// Runs in O(|pattern| * |text|) worst case, linear in practice.
-bool LikeMatcher::GenericMatch(std::string_view pattern,
+// `chars` holds the lowered, escape-resolved pattern; `wild[p]` marks
+// whether position p is a wildcard. Runs in O(|pattern| * |text|) worst
+// case, linear in practice.
+bool LikeMatcher::GenericMatch(std::string_view chars, std::string_view wild,
                                std::string_view text) {
   size_t p = 0, t = 0;
   size_t star_p = std::string_view::npos, star_t = 0;
   while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' || pattern[p] == LowerChar(text[t]))) {
+    if (p < chars.size() &&
+        (wild[p] == '_' ||
+         (wild[p] == '\0' && chars[p] == LowerChar(text[t])))) {
       ++p;
       ++t;
-    } else if (p < pattern.size() && pattern[p] == '%') {
+    } else if (p < chars.size() && wild[p] == '%') {
       star_p = p++;
       star_t = t;
     } else if (star_p != std::string_view::npos) {
@@ -120,8 +145,8 @@ bool LikeMatcher::GenericMatch(std::string_view pattern,
       return false;
     }
   }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
+  while (p < chars.size() && wild[p] == '%') ++p;
+  return p == chars.size();
 }
 
 int LikeMatcher::SpecificityRank() const {

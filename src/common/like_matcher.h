@@ -2,11 +2,18 @@
 //
 // AIQL entity constraints such as proc p1["%cmd.exe"] use SQL LIKE syntax:
 // '%' matches any run of characters (including empty), '_' matches exactly
-// one character. Matching is case-insensitive to mirror how analysts query
-// Windows paths. LikeMatcher pre-compiles a pattern so that matching against
-// many interned strings is cheap (literal fast paths for patterns without
-// wildcards, prefix/suffix/substring specializations, and a linear-time
-// two-pointer general matcher).
+// one character, and a backslash escapes an immediately following '%', '_',
+// or '\' so it matches literally ("100\%" matches the four characters
+// "100%"). A backslash before any other character is an ordinary character,
+// so Windows paths like "C:\Windows\System32\cmd.exe" need no doubling —
+// but note that a backslash directly before a wildcard IS an escape:
+// "C:\Temp\%" matches the literal path "C:\Temp%"; write "C:\Temp\\%" for
+// "everything under C:\Temp\".
+// Matching is case-insensitive to mirror how analysts query Windows paths.
+// LikeMatcher pre-compiles a pattern so that matching against many interned
+// strings is cheap (literal fast paths for patterns without wildcards,
+// prefix/suffix/substring specializations, and a linear-time two-pointer
+// general matcher).
 
 #ifndef AIQL_COMMON_LIKE_MATCHER_H_
 #define AIQL_COMMON_LIKE_MATCHER_H_
@@ -37,6 +44,15 @@ class LikeMatcher {
   /// pruning-power estimator as a tie-breaker.
   int SpecificityRank() const;
 
+  /// True when pattern[i] is a backslash escaping the next character —
+  /// the single definition of the escape rule, shared by the matcher and
+  /// the SQL/Cypher translators so their LIKE semantics stay in lockstep.
+  static bool IsEscape(std::string_view pattern, size_t i) {
+    return pattern[i] == '\\' && i + 1 < pattern.size() &&
+           (pattern[i + 1] == '%' || pattern[i + 1] == '_' ||
+            pattern[i + 1] == '\\');
+  }
+
  private:
   enum class Kind {
     kLiteral,     // no wildcards
@@ -47,11 +63,16 @@ class LikeMatcher {
     kGeneric,     // anything else (may include '_')
   };
 
-  static bool GenericMatch(std::string_view pattern, std::string_view text);
+  static bool GenericMatch(std::string_view chars, std::string_view wild,
+                           std::string_view text);
 
-  std::string pattern_;       // original
-  std::string lowered_;       // lower-cased pattern
-  std::string literal_;       // payload for specialized kinds
+  std::string pattern_;  // original
+  // Compiled form: lower-cased pattern characters with escapes resolved.
+  // wild_ is parallel to chars_: '\0' marks a literal character, '%'/'_'
+  // mark the wildcard occupying that position.
+  std::string chars_;
+  std::string wild_;
+  std::string literal_;  // payload for specialized kinds
   Kind kind_ = Kind::kGeneric;
 };
 

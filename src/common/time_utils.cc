@@ -191,7 +191,9 @@ std::string FormatTimestamp(Timestamp ts) {
   rem %= kMinute;
   int second = static_cast<int>(rem / kSecond);
   int millis = static_cast<int>((rem % kSecond) / kMillisecond);
-  char buf[40];
+  // 64 bytes accommodates the widest int renderings GCC's
+  // -Wformat-truncation value analysis derives for extreme timestamps.
+  char buf[64];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d", year,
                 month, day, hour, minute, second, millis);
   return buf;

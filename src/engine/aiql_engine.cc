@@ -106,4 +106,34 @@ Result<std::string> AiqlEngine::Explain(std::string_view text) {
   return result.plan;
 }
 
+Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request) {
+  ReadView view =
+      db_ != nullptr ? db_->OpenReadView() : snapshot_->OpenReadView();
+  const EntityStore& entities = view.entities();
+  LikeMatcher matcher(request.name_like);
+  std::vector<EntityId> ids;
+  switch (request.type) {
+    case EntityType::kProcess:
+      ids = entities.FindProcessesByExe(matcher);
+      break;
+    case EntityType::kFile:
+      ids = entities.FindFilesByPath(matcher);
+      break;
+    case EntityType::kNetwork:
+      ids = entities.FindNetworksByIp(matcher, /*use_src=*/false);
+      break;
+  }
+  if (ids.empty()) {
+    return Status::NotFound("no " +
+                            std::string(EntityTypeToString(request.type)) +
+                            " entity matches '" + request.name_like + "'");
+  }
+  std::vector<std::pair<EntityType, EntityId>> roots;
+  roots.reserve(ids.size());
+  for (EntityId id : ids) roots.emplace_back(request.type, id);
+  Timestamp anchor = request.anchor.value_or(
+      request.options.backward ? INT64_MAX : INT64_MIN);
+  return TrackProvenance(view, roots, anchor, request.options, pool_.get());
+}
+
 }  // namespace aiql

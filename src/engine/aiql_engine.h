@@ -6,10 +6,13 @@
 #define AIQL_ENGINE_AIQL_ENGINE_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "engine/provenance.h"
 #include "engine/result.h"
 #include "engine/scheduler.h"
 #include "query/ast.h"
@@ -18,6 +21,19 @@
 namespace aiql {
 
 class SnapshotStore;
+
+/// Point-of-interest specification for AiqlEngine::Track(): every entity of
+/// `type` whose default attribute (exe name / path / dst ip) matches
+/// `name_like` becomes a tracking root.
+struct TrackRequest {
+  std::string name_like;
+  EntityType type = EntityType::kFile;
+  /// Anchor timestamp: backward tracking admits events ending at or before
+  /// it, forward tracking events starting at or after it. Defaults to the
+  /// whole timeline (INT64_MAX backward, INT64_MIN forward).
+  std::optional<Timestamp> anchor;
+  ProvenanceOptions options;
+};
 
 /// Executes AIQL queries (multievent, dependency, anomaly) against an
 /// AuditDatabase. Each Execute opens a ReadView — a consistent snapshot of
@@ -49,6 +65,12 @@ class AiqlEngine {
 
   /// Returns the execution plan without running the query.
   Result<std::string> Explain(std::string_view text);
+
+  /// Iterative causal provenance tracking (engine/provenance.h) from the
+  /// entities matching `request`. Runs against the same consistent ReadView
+  /// machinery as Execute — including lazily materialized snapshot views,
+  /// where each hop reads only the partitions its time bounds select.
+  Result<ProvenanceResult> Track(const TrackRequest& request);
 
   const EngineOptions& options() const { return options_; }
 

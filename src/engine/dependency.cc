@@ -1,5 +1,7 @@
 #include "engine/dependency.h"
 
+#include <unordered_set>
+
 #include "query/analyzer.h"
 
 namespace aiql {
@@ -7,6 +9,37 @@ namespace aiql {
 Result<std::unique_ptr<MultieventQueryAst>> RewriteDependency(
     const DependencyQueryAst& dep) {
   AIQL_RETURN_IF_ERROR(ValidateDependency(dep));
+
+  // A user variable may name only one path node. Consecutive edges share a
+  // node through `previous`, never through re-declaration, so a repeated
+  // name would silently alias two distinct path positions into one entity
+  // (a cycle the analyst almost certainly did not mean to write).
+  {
+    std::unordered_set<std::string> node_vars;
+    auto check_var = [&](const EntityDeclAst& decl) -> Status {
+      if (decl.var.empty()) return Status::OK();
+      if (!node_vars.insert(decl.var).second) {
+        return Status::SemanticError(
+            "line " + std::to_string(decl.line) + ", col " +
+            std::to_string(decl.column) + ": variable '" + decl.var +
+            "' names two different dependency path nodes");
+      }
+      return Status::OK();
+    };
+    AIQL_RETURN_IF_ERROR(check_var(dep.start));
+    for (const DependencyEdgeAst& edge : dep.edges) {
+      AIQL_RETURN_IF_ERROR(check_var(edge.target));
+    }
+  }
+  // A hop window bounds the gap to the previous edge's event; the first
+  // edge has no previous event, so a window there would be silently dead.
+  if (!dep.edges.empty() && dep.edges.front().within > 0) {
+    return Status::SemanticError(
+        "line " + std::to_string(dep.edges.front().line) + ", col " +
+        std::to_string(dep.edges.front().column) +
+        ": the first dependency edge cannot carry a hop window (there is "
+        "no earlier event to bound against)");
+  }
 
   auto query = std::make_unique<MultieventQueryAst>();
   query->globals.time_window = dep.globals.time_window;
@@ -57,12 +90,15 @@ Result<std::unique_ptr<MultieventQueryAst>> RewriteDependency(
     previous.constraints.clear();
   }
 
-  // Chain temporal order: forward -> earlier edges happen earlier.
+  // Chain temporal order: forward -> earlier edges happen earlier. The hop
+  // window declared on edge i+1 bounds the gap between the two events; an
+  // unbounded edge keeps within = 0.
   for (size_t i = 0; i + 1 < event_vars.size(); ++i) {
     TemporalRelAst rel;
     rel.left = event_vars[i];
     rel.right = event_vars[i + 1];
     rel.before = dep.forward;
+    rel.within = dep.edges[i + 1].within;
     query->temporal_rels.push_back(std::move(rel));
   }
   return query;

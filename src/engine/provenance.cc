@@ -1,0 +1,353 @@
+#include "engine/provenance.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aiql {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Saturating addition on timestamps (anchors default to INT64_MAX for
+/// backward runs over the whole timeline).
+Timestamp SatAdd(Timestamp a, Duration b) {
+  if (a > 0 && b > INT64_MAX - a) return INT64_MAX;
+  return a + b;
+}
+
+uint64_t NodeKey(EntityType type, EntityId id) {
+  return EventPartition::ObjectKey(type, id);
+}
+
+/// One admissible event found while expanding a frontier entity. Partition
+/// and event indexes make the post-parallel merge order deterministic.
+struct Candidate {
+  const Event* event = nullptr;
+  uint32_t frontier_pos = 0;  ///< position in this hop's frontier
+  uint32_t partition = 0;
+  uint32_t event_index = 0;
+  EntityType other_type = EntityType::kProcess;
+  EntityId other_id = 0;
+};
+
+bool TypeAllowed(const ProvenanceOptions& options, EntityType type) {
+  switch (type) {
+    case EntityType::kProcess:
+      return options.follow_processes;
+    case EntityType::kFile:
+      return options.follow_files;
+    case EntityType::kNetwork:
+      return options.follow_networks;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ProvenanceResult> TrackProvenance(
+    const ReadView& view,
+    const std::vector<std::pair<EntityType, EntityId>>& roots,
+    Timestamp anchor, const ProvenanceOptions& options, ThreadPool* pool) {
+  if (roots.empty()) {
+    return Status::InvalidArgument("provenance tracking needs at least one "
+                                   "point-of-interest entity");
+  }
+  const bool backward = options.backward;
+  const TimeRange window =
+      options.window.value_or(TimeRange{INT64_MIN, INT64_MAX});
+
+  // Flow-direction op masks for the two reverse-index lookups. Expanding a
+  // frontier entity v:
+  //   * object-side lookup finds events whose object is v — in backward
+  //     mode flows INTO v run subject->object; in forward mode flows OUT of
+  //     v (as an object) run object->subject;
+  //   * subject-side lookup (v is a process) mirrors this.
+  const OpMask object_side_mask =
+      options.op_mask &
+      (backward ? kSubjectToObjectOps : kObjectToSubjectOps);
+  const OpMask subject_side_mask =
+      options.op_mask &
+      (backward ? kObjectToSubjectOps : kSubjectToObjectOps);
+
+  // Per-event agent check is only needed without partition pruning (the
+  // flat-storage ablation); partitioned views restrict agents during
+  // partition selection.
+  std::optional<std::unordered_set<AgentId>> agent_set;
+  if (options.agents.has_value() && !view.options().enable_partitioning) {
+    agent_set.emplace(options.agents->begin(), options.agents->end());
+  }
+
+  ProvenanceResult result;
+  std::unordered_map<uint64_t, uint32_t> node_slot;
+  auto add_node = [&](EntityType type, EntityId id, int depth,
+                      Timestamp bound) {
+    uint32_t slot = static_cast<uint32_t>(result.nodes.size());
+    node_slot.emplace(NodeKey(type, id), slot);
+    result.nodes.push_back(ProvenanceNode{type, id, depth, bound});
+    return slot;
+  };
+
+  std::vector<uint32_t> frontier;
+  for (const auto& [type, id] : roots) {
+    if (node_slot.count(NodeKey(type, id)) > 0) continue;  // duplicate root
+    frontier.push_back(add_node(type, id, 0, anchor));
+  }
+  result.num_roots = result.nodes.size();
+
+  // Events already in the graph; a re-expanded entity (bound widening)
+  // must not duplicate them. Pointers are stable for the view's lifetime.
+  std::unordered_set<const Event*> recorded_events;
+
+  for (int hop = 1; hop <= options.max_depth && !frontier.empty(); ++hop) {
+    auto hop_start = Clock::now();
+    result.stats.hops = hop;
+    // Keeps hop_latency_us.size() == hops on every exit path.
+    auto record_hop_latency = [&] {
+      result.stats.hop_latency_us.push_back(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - hop_start)
+              .count());
+    };
+
+    // Global scan range of this hop: the union of what any frontier bound
+    // admits, clamped by the window (and the hop window, which caps how far
+    // one hop may reach in time).
+    Timestamp min_bound = INT64_MAX;
+    Timestamp max_bound = INT64_MIN;
+    for (uint32_t slot : frontier) {
+      min_bound = std::min(min_bound, result.nodes[slot].bound);
+      max_bound = std::max(max_bound, result.nodes[slot].bound);
+    }
+    TimeRange scan_range = window;
+    if (backward) {
+      scan_range.end = std::min(scan_range.end, SatAdd(max_bound, 1));
+      if (options.hop_window > 0 && min_bound != INT64_MAX) {
+        // Admissible events end at >= bound - hop_window; a partition whose
+        // newest event ends before min_bound - hop_window has none. An
+        // infinite bound (whole-timeline anchor) is exempt — the hop window
+        // limits event-to-event gaps, not the open end of the timeline.
+        scan_range.start =
+            std::max(scan_range.start, min_bound - options.hop_window);
+      }
+    } else {
+      scan_range.start = std::max(scan_range.start, min_bound);
+      if (options.hop_window > 0 && max_bound != INT64_MIN) {
+        scan_range.end = std::min(
+            scan_range.end, SatAdd(max_bound, options.hop_window + 1));
+      }
+    }
+    if (scan_range.empty()) {
+      record_hop_latency();
+      break;
+    }
+
+    AIQL_ASSIGN_OR_RETURN(auto partitions,
+                          view.SelectPartitions(scan_range, options.agents));
+    result.stats.partitions_selected += partitions.size();
+    if (partitions.empty()) {
+      record_hop_latency();
+      break;
+    }
+
+    // Scan phase: per-partition candidate collection (parallel; slots keep
+    // the merge deterministic regardless of scheduling).
+    std::vector<std::vector<Candidate>> found(partitions.size());
+    std::vector<uint64_t> inspected(partitions.size(), 0);
+
+    auto scan_partition = [&](size_t pi) {
+      const EventPartition& partition = *partitions[pi].second;
+      const std::vector<Event>& events = partition.events();
+      std::vector<Candidate>& out = found[pi];
+      uint64_t local_inspected = 0;
+
+      auto consider = [&](uint32_t fpos, Timestamp bound,
+                          std::pair<const uint32_t*, const uint32_t*> span,
+                          OpMask allowed, bool other_is_subject) {
+        if (span.first == nullptr || allowed == 0) return;
+        // Posting lists ascend in start_ts; clip to the admissible starts.
+        const uint32_t* first = span.first;
+        const uint32_t* last = span.second;
+        if (backward) {
+          // start_ts <= bound (end <= bound implies start <= bound).
+          last = std::partition_point(first, last, [&](uint32_t index) {
+            return events[index].start_ts <= bound;
+          });
+        } else {
+          first = std::partition_point(first, last, [&](uint32_t index) {
+            return events[index].start_ts < bound;
+          });
+        }
+        for (const uint32_t* it = first; it != last; ++it) {
+          const Event& event = events[*it];
+          ++local_inspected;
+          if (!OpMaskContains(allowed, event.op)) continue;
+          // The hop window bounds the gap to the frontier entity's bound —
+          // unless that bound is the open end of the timeline (a root with
+          // no anchor), which is not an event to measure a gap against.
+          if (backward) {
+            if (event.end_ts > bound) continue;
+            if (options.hop_window > 0 && bound != INT64_MAX &&
+                bound - event.end_ts > options.hop_window) {
+              continue;
+            }
+          } else {
+            // start_ts >= bound holds by the clip above.
+            if (options.hop_window > 0 && bound != INT64_MIN &&
+                event.start_ts - bound > options.hop_window) {
+              continue;
+            }
+          }
+          if (!window.Contains(event.start_ts)) continue;
+          if (agent_set.has_value() &&
+              agent_set->count(event.agent_id) == 0) {
+            continue;
+          }
+          Candidate candidate;
+          candidate.event = &event;
+          candidate.frontier_pos = fpos;
+          candidate.partition = static_cast<uint32_t>(pi);
+          candidate.event_index = *it;
+          if (other_is_subject) {
+            candidate.other_type = EntityType::kProcess;
+            candidate.other_id = event.subject;
+          } else {
+            candidate.other_type = event.object_type;
+            candidate.other_id = event.object;
+          }
+          if (!TypeAllowed(options, candidate.other_type)) continue;
+          out.push_back(candidate);
+        }
+      };
+
+      for (uint32_t fpos = 0; fpos < frontier.size(); ++fpos) {
+        const ProvenanceNode& node = result.nodes[frontier[fpos]];
+        consider(fpos, node.bound,
+                 partition.ObjectPostings(node.type, node.id),
+                 object_side_mask, /*other_is_subject=*/true);
+        if (node.type == EntityType::kProcess) {
+          consider(fpos, node.bound, partition.SubjectPostings(node.id),
+                   subject_side_mask, /*other_is_subject=*/false);
+        }
+      }
+      inspected[pi] = local_inspected;
+    };
+
+    if (pool != nullptr && partitions.size() > 1) {
+      pool->ParallelFor(partitions.size(),
+                        [&](size_t pi) { scan_partition(pi); });
+    } else {
+      for (size_t pi = 0; pi < partitions.size(); ++pi) scan_partition(pi);
+    }
+    for (uint64_t count : inspected) result.stats.events_inspected += count;
+
+    // Merge phase: per frontier entity, order candidates closest-in-time
+    // first, apply the fanout budget, then materialize nodes and edges.
+    std::vector<std::vector<Candidate>> per_node(frontier.size());
+    for (const std::vector<Candidate>& chunk : found) {
+      for (const Candidate& candidate : chunk) {
+        per_node[candidate.frontier_pos].push_back(candidate);
+      }
+    }
+
+    std::vector<uint32_t> next_frontier;
+    std::unordered_set<uint32_t> queued;
+    for (uint32_t fpos = 0; fpos < frontier.size(); ++fpos) {
+      std::vector<Candidate>& candidates = per_node[fpos];
+      // A re-expanded entity (see bound widening below) re-discovers the
+      // events already in the graph; drop them before the fanout budget so
+      // re-expansion explores new ground only.
+      candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                      [&](const Candidate& candidate) {
+                                        return recorded_events.count(
+                                                   candidate.event) > 0;
+                                      }),
+                       candidates.end());
+      std::sort(candidates.begin(), candidates.end(),
+                [&](const Candidate& a, const Candidate& b) {
+                  if (backward) {
+                    if (a.event->end_ts != b.event->end_ts) {
+                      return a.event->end_ts > b.event->end_ts;
+                    }
+                    if (a.event->start_ts != b.event->start_ts) {
+                      return a.event->start_ts > b.event->start_ts;
+                    }
+                  } else {
+                    if (a.event->start_ts != b.event->start_ts) {
+                      return a.event->start_ts < b.event->start_ts;
+                    }
+                    if (a.event->end_ts != b.event->end_ts) {
+                      return a.event->end_ts < b.event->end_ts;
+                    }
+                  }
+                  if (a.partition != b.partition) {
+                    return a.partition < b.partition;
+                  }
+                  return a.event_index < b.event_index;
+                });
+      if (options.max_fanout > 0 && candidates.size() > options.max_fanout) {
+        candidates.resize(options.max_fanout);
+        result.stats.truncated = true;
+      }
+      const uint32_t this_slot = frontier[fpos];
+      for (const Candidate& candidate : candidates) {
+        uint64_t key = NodeKey(candidate.other_type, candidate.other_id);
+        Timestamp bound = backward ? candidate.event->start_ts
+                                   : candidate.event->end_ts;
+        uint32_t other_slot;
+        auto it = node_slot.find(key);
+        if (it != node_slot.end()) {
+          other_slot = it->second;
+          // Bound widening: an already-known entity re-reached along a
+          // path with a looser time bound can have causal neighbors the
+          // first visit could not admit — widen its bound and re-expand it
+          // next hop so an untruncated result really is the full closure
+          // (its depth stays at first reach).
+          ProvenanceNode& existing = result.nodes[other_slot];
+          bool widens = backward ? bound > existing.bound
+                                 : bound < existing.bound;
+          if (widens) {
+            existing.bound = bound;
+            if (queued.insert(other_slot).second) {
+              next_frontier.push_back(other_slot);
+            }
+          }
+        } else {
+          if (options.max_nodes > 0 &&
+              result.nodes.size() >= options.max_nodes) {
+            result.stats.truncated = true;
+            continue;
+          }
+          other_slot = add_node(candidate.other_type, candidate.other_id,
+                                hop, bound);
+          queued.insert(other_slot);
+          next_frontier.push_back(other_slot);
+        }
+        recorded_events.insert(candidate.event);
+        ProvenanceEdge edge;
+        edge.event = *candidate.event;
+        edge.hop = hop;
+        if (backward) {
+          edge.from = other_slot;  // discovered cause flows into the
+          edge.to = this_slot;     // frontier entity
+        } else {
+          edge.from = this_slot;
+          edge.to = other_slot;
+        }
+        result.edges.push_back(edge);
+      }
+    }
+
+    record_hop_latency();
+    frontier = std::move(next_frontier);
+  }
+
+  // A non-empty final frontier means the depth budget stopped expansion
+  // with entities still unexplored.
+  if (!frontier.empty()) result.stats.truncated = true;
+  return result;
+}
+
+}  // namespace aiql

@@ -1,0 +1,142 @@
+// Iterative causal provenance tracking (the investigation loop the paper's
+// dependency queries cannot express: §2.3 declares fixed-length paths,
+// while a real investigation starts from one point-of-interest event and
+// expands an unknown number of hops).
+//
+// TrackProvenance runs frontier expansion over the sealed partitions of a
+// ReadView: each hop expands every frontier entity through the reverse
+// entity indexes built at Seal() (see storage/partition.h), following the
+// information-flow direction of each operation —
+//
+//   subject -> object : write, start, end, delete, rename, connect
+//   object  -> subject: read, execute, accept
+//
+// Backward tracking answers "where did this come from": from a frontier
+// entity with time bound t it admits only in-flow events ending at or
+// before t, and the discovered source entity inherits the event's start as
+// its own (earlier) bound — hops are time-monotonic, so a backward search
+// can only march into the past (forward tracking mirrors this into the
+// future). Per-hop op/entity filters and depth / per-node fanout / total
+// node budgets keep a noisy entity (a hot log file, a chatty service) from
+// blowing the search up.
+//
+// The result is a dependency graph (entities as nodes, events as edges)
+// that graph-layer exporters render as DOT or Cypher, plus per-hop latency
+// and scan statistics for the bench harness.
+
+#ifndef AIQL_ENGINE_PROVENANCE_H_
+#define AIQL_ENGINE_PROVENANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/time_utils.h"
+#include "storage/database.h"
+
+namespace aiql {
+
+/// Operations whose information flow runs subject -> object.
+inline constexpr OpMask kSubjectToObjectOps =
+    OpBit(OpType::kWrite) | OpBit(OpType::kStart) | OpBit(OpType::kEnd) |
+    OpBit(OpType::kDelete) | OpBit(OpType::kRename) | OpBit(OpType::kConnect);
+
+/// Operations whose information flow runs object -> subject.
+inline constexpr OpMask kObjectToSubjectOps =
+    OpBit(OpType::kRead) | OpBit(OpType::kExecute) | OpBit(OpType::kAccept);
+
+inline constexpr OpMask kAllOps =
+    kSubjectToObjectOps | kObjectToSubjectOps;
+
+/// Budgets and filters for one tracking run.
+struct ProvenanceOptions {
+  /// true = backward (find causes), false = forward (find effects).
+  bool backward = true;
+
+  /// Maximum number of hops from the root frontier.
+  int max_depth = 8;
+
+  /// Events expanded per frontier entity per hop; the closest-in-time
+  /// events win when the cap binds (0 = unbounded).
+  size_t max_fanout = 64;
+
+  /// Total node budget including the roots; expansion stops adding nodes
+  /// (and marks the result truncated) once reached (0 = unbounded).
+  size_t max_nodes = 4096;
+
+  /// Maximum temporal gap bridged by one hop, measured against the frontier
+  /// entity's time bound; 0 = unbounded. Roots anchored at the open end of
+  /// the timeline (no anchor) are exempt on the first hop — the window
+  /// limits event-to-event gaps, not the open timeline end.
+  Duration hop_window = 0;
+
+  /// Operations traversed (per-hop op filter).
+  OpMask op_mask = kAllOps;
+
+  /// Entity types a hop may expand into (per-hop entity filter).
+  bool follow_processes = true;
+  bool follow_files = true;
+  bool follow_networks = true;
+
+  /// Global clamp on event start timestamps (nullopt = whole timeline).
+  std::optional<TimeRange> window;
+
+  /// Restrict hops to these agents (nullopt = all agents).
+  std::optional<std::vector<AgentId>> agents;
+};
+
+/// One entity in the provenance graph.
+struct ProvenanceNode {
+  EntityType type = EntityType::kProcess;
+  EntityId id = 0;
+  int depth = 0;        ///< hop at which the entity was first reached
+  Timestamp bound = 0;  ///< time bound in effect when it was reached
+};
+
+/// One event in the provenance graph. `from` flows into `to`
+/// (cause -> effect), regardless of tracking direction.
+struct ProvenanceEdge {
+  Event event;
+  uint32_t from = 0;  ///< node index of the flow source
+  uint32_t to = 0;    ///< node index of the flow destination
+  int hop = 0;        ///< hop that discovered the event
+};
+
+/// Execution statistics of one tracking run.
+struct ProvenanceStats {
+  int hops = 0;                           ///< hops actually executed
+  uint64_t events_inspected = 0;          ///< posting entries examined
+  uint64_t partitions_selected = 0;       ///< partition scans across hops
+  std::vector<Duration> hop_latency_us;   ///< wall time per hop
+  /// True when a fanout/node/depth budget clipped the expansion (the graph
+  /// is a prefix of the full provenance closure).
+  bool truncated = false;
+};
+
+/// The dependency graph recovered by one tracking run. nodes[0..num_roots)
+/// are the point-of-interest entities at depth 0.
+struct ProvenanceResult {
+  std::vector<ProvenanceNode> nodes;
+  std::vector<ProvenanceEdge> edges;
+  size_t num_roots = 0;
+  ProvenanceStats stats;
+};
+
+/// Tracks provenance from `roots` (each anchored at `anchor`): backward
+/// admits events ending at or before the anchor, forward events starting at
+/// or after it. `pool` may be null (hops then scan partitions serially).
+/// Fails when the view cannot materialize a selected partition
+/// (snapshot-backed views) or when `roots` is empty.
+Result<ProvenanceResult> TrackProvenance(
+    const ReadView& view,
+    const std::vector<std::pair<EntityType, EntityId>>& roots,
+    Timestamp anchor, const ProvenanceOptions& options,
+    ThreadPool* pool = nullptr);
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_PROVENANCE_H_

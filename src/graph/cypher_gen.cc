@@ -1,5 +1,6 @@
 #include "graph/cypher_gen.h"
 
+#include <cctype>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -24,20 +25,25 @@ const char* NodeLabel(EntityType type) {
   return "?";
 }
 
-// SQL LIKE -> case-insensitive Cypher regex: % -> .*, _ -> ., rest escaped.
+// SQL LIKE -> case-insensitive Cypher regex: % -> .*, _ -> ., an escaped
+// wildcard ("\%", "\_", "\\") -> its literal character, rest escaped.
 std::string LikeToRegex(const std::string& pattern) {
+  const std::string regex_meta = ".\\+*?[^]$(){}=!<>|:-#";
   std::string out = "(?i)";
-  for (char c : pattern) {
-    if (c == '%') {
+  auto emit_literal = [&](char c) {
+    if (regex_meta.find(c) != std::string::npos) out += '\\';
+    out += c;
+  };
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (LikeMatcher::IsEscape(pattern, i)) {
+      emit_literal(pattern[++i]);
+    } else if (c == '%') {
       out += ".*";
     } else if (c == '_') {
       out += '.';
-    } else if (std::string(".\\+*?[^]$(){}=!<>|:-#").find(c) !=
-               std::string::npos) {
-      out += '\\';
-      out += c;
     } else {
-      out += c;
+      emit_literal(c);
     }
   }
   return out;
@@ -250,6 +256,34 @@ Result<CypherTranslation> TranslateToCypher(const ParsedQuery& query) {
   AIQL_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
                         AnalyzeMultievent(*query.multievent, query.kind));
   return CypherTranslator(*query.multievent, analyzed).Run();
+}
+
+std::string ProvenanceToCypher(const ProvenanceResult& result,
+                               const EntityStore& entities) {
+  std::string cypher;
+  for (size_t i = 0; i < result.nodes.size(); ++i) {
+    const ProvenanceNode& node = result.nodes[i];
+    // `uid` (the entity's dense id within its type) keeps distinct entities
+    // that share a display name — two svchost.exe instances, say — from
+    // collapsing into one MERGEd Neo4j node.
+    cypher += "MERGE (n" + std::to_string(i) + ":" + NodeLabel(node.type) +
+              " {uid: " + std::to_string(node.id) + ", name: " +
+              CypherString(entities.EntityName(node.type, node.id)) +
+              ", depth: " + std::to_string(node.depth) +
+              (i < result.num_roots ? ", poi: true" : "") + "})\n";
+  }
+  for (const ProvenanceEdge& edge : result.edges) {
+    std::string op = OpTypeToString(edge.event.op);
+    for (char& c : op) c = static_cast<char>(std::toupper(c));
+    cypher += "CREATE (n" + std::to_string(edge.from) + ")-[:" + op +
+              " {start_ts: " + std::to_string(edge.event.start_ts) +
+              ", end_ts: " + std::to_string(edge.event.end_ts) +
+              ", amount: " + std::to_string(edge.event.amount) +
+              ", agentid: " + std::to_string(edge.event.agent_id) +
+              ", hop: " + std::to_string(edge.hop) + "}]->(n" +
+              std::to_string(edge.to) + ")\n";
+  }
+  return cypher;
 }
 
 }  // namespace aiql

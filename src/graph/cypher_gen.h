@@ -12,8 +12,10 @@
 #include <string>
 
 #include "common/status.h"
+#include "engine/provenance.h"
 #include "query/ast.h"
 #include "query/metrics.h"
+#include "storage/entity_store.h"
 
 namespace aiql {
 
@@ -26,6 +28,13 @@ struct CypherTranslation {
 /// Translates a multievent or dependency AIQL query to Cypher. Anomaly
 /// queries are not translated (the Fig. 5 catalog is multievent-only).
 Result<CypherTranslation> TranslateToCypher(const ParsedQuery& query);
+
+/// Renders a provenance tracking result as Cypher: one MERGE per recovered
+/// entity (labeled with its type, tagged with hop depth and poi flag) and
+/// one CREATE per event edge, so the recovered dependency graph can be
+/// loaded into Neo4j for visualization.
+std::string ProvenanceToCypher(const ProvenanceResult& result,
+                               const EntityStore& entities);
 
 }  // namespace aiql
 

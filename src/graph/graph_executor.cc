@@ -100,7 +100,7 @@ Result<QueryResult> GraphExecutor::Execute(const AnalyzedQuery& analyzed) {
 
   auto plan_start = Clock::now();
   AIQL_ASSIGN_OR_RETURN(std::vector<CompiledPattern> patterns,
-                        CompilePatterns(analyzed, graph_->db().entities()));
+                        CompilePatterns(analyzed, graph_->entities()));
   stats.plan_time = std::chrono::duration_cast<std::chrono::microseconds>(
                         Clock::now() - plan_start)
                         .count();

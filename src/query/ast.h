@@ -207,10 +207,12 @@ struct MultieventQueryAst {
 
 /// One edge of a dependency path. The arrow points from the event's subject
 /// to its object: `a ->[write] b` == (a write b); `a <-[read] b` == (b read
-/// a).
+/// a). An optional hop window (`a ->[write, 5 min] b`) bounds the temporal
+/// gap between this edge's event and the previous edge's event.
 struct DependencyEdgeAst {
   bool arrow_forward = true;  ///< true: previous node is the subject
   std::vector<OpType> ops;
+  Duration within = 0;  ///< hop window vs the previous edge; 0 = unbounded
   EntityDeclAst target;
   int line = 0;
   int column = 0;

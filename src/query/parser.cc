@@ -747,6 +747,11 @@ class Parser {
       Advance();
       AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kLBracket, "'['").status());
       AIQL_ASSIGN_OR_RETURN(edge.ops, ParseOps());
+      // Optional hop window: `->[write, 5 min]` bounds the gap between this
+      // edge's event and the previous edge's event.
+      if (Match(TokenKind::kComma)) {
+        AIQL_ASSIGN_OR_RETURN(edge.within, ParseDurationTokens());
+      }
       AIQL_RETURN_IF_ERROR(ExpectToken(TokenKind::kRBracket, "']'").status());
       AIQL_ASSIGN_OR_RETURN(edge.target, ParseEntityDecl());
       query->edges.push_back(std::move(edge));

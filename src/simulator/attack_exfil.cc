@@ -1,0 +1,128 @@
+#include "simulator/attack_exfil.h"
+
+namespace aiql {
+
+namespace {
+
+EventRecord Make(AgentId agent, OpType op, Timestamp t, Duration len,
+                 ProcessRef subject, ObjectRef object, uint64_t amount = 0) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = op;
+  record.start_ts = t;
+  record.end_ts = t + len;
+  record.amount = amount;
+  record.subject = std::move(subject);
+  record.object = std::move(object);
+  return record;
+}
+
+std::string ConnName(const NetworkRef& net) {
+  return net.src_ip + ':' + std::to_string(net.src_port) + "->" +
+         net.dst_ip + ':' + std::to_string(net.dst_port);
+}
+
+}  // namespace
+
+ExfilChainTruth InjectExfilChain(const Enterprise& enterprise,
+                                 Timestamp start,
+                                 std::vector<EventRecord>* out) {
+  const Host& web = enterprise.web_server();
+  const Host& db = enterprise.database_server();
+  const std::string& attacker = enterprise.attacker_ip;
+
+  ExfilChainTruth truth;
+  truth.start = start;
+  truth.attacker_ip = attacker;
+  truth.web_server = web.agent_id;
+  truth.database_server = db.agent_id;
+
+  // --- chain entities --------------------------------------------------------
+  ProcessRef sshd{web.agent_id, 7400, "/usr/sbin/sshd", "root"};
+  ProcessRef bash{web.agent_id, 7401, "/bin/bash", "root"};
+  ProcessRef wsm{db.agent_id, 960, "C:\\Windows\\System32\\wsmprovhost.exe",
+                 "system"};
+  ProcessRef loader{db.agent_id, 5300, "C:\\Windows\\Temp\\stage-loader.exe",
+                    "system"};
+  ProcessRef helper{db.agent_id, 5301, "C:\\Windows\\Temp\\sysupd.exe",
+                    "system"};
+  FileRef stage2{db.agent_id, "C:\\Windows\\Temp\\stage2.ps1"};
+  FileRef secrets{db.agent_id, "C:\\Data\\customer.db"};
+  NetworkRef conn_in{web.agent_id, attacker, web.ip, 55555, 22, "tcp"};
+  NetworkRef conn_out{db.agent_id, db.ip, attacker, 40444, 443, "tcp"};
+
+  Timestamp t = start;
+  auto emit = [&](EventRecord record) { out->push_back(std::move(record)); };
+
+  // --- the chain (information flows left to right) ---------------------------
+  // conn_in -> sshd
+  emit(Make(web.agent_id, OpType::kAccept, t, kSecond, sshd, conn_in));
+  // sshd -> bash
+  emit(Make(web.agent_id, OpType::kStart, t + 10 * kSecond, kSecond, sshd,
+            bash));
+  // bash -> wsm (cross-host session stitched by the agents)
+  emit(Make(web.agent_id, OpType::kConnect, t + 20 * kSecond, kSecond, bash,
+            wsm));
+  // wsm -> stage2.ps1
+  emit(Make(db.agent_id, OpType::kWrite, t + 40 * kSecond, kSecond, wsm,
+            stage2, 8192));
+  // wsm -> stage-loader
+  emit(Make(db.agent_id, OpType::kStart, t + 50 * kSecond, kSecond, wsm,
+            loader));
+  // stage2.ps1 -> stage-loader (image/script load)
+  emit(Make(db.agent_id, OpType::kExecute, t + 60 * kSecond, kSecond, loader,
+            stage2));
+  // stage-loader -> sysupd.exe
+  emit(Make(db.agent_id, OpType::kStart, t + 80 * kSecond, kSecond, loader,
+            helper));
+  // customer.db -> sysupd.exe
+  emit(Make(db.agent_id, OpType::kRead, t + 100 * kSecond, 5 * kSecond,
+            helper, secrets, 536870912));
+  // sysupd.exe -> conn_out: session setup plus three exfil bursts.
+  emit(Make(db.agent_id, OpType::kConnect, t + 110 * kSecond, kSecond,
+            helper, conn_out));
+  for (int burst = 0; burst < 3; ++burst) {
+    emit(Make(db.agent_id, OpType::kWrite,
+              t + (120 + burst * 20) * kSecond, 10 * kSecond, helper,
+              conn_out, 178956971));
+  }
+  // Last write covers [t+160, t+170); anchor just after it.
+  truth.anchor = t + 171 * kSecond;
+
+  // --- decoys a correct backward track must not pick up ----------------------
+  // In-flow into stage2.ps1 AFTER the loader consumed it: time-monotonic
+  // pruning (bound = the execute's start) must reject it even though it
+  // happens before the anchor.
+  ProcessRef avscan{db.agent_id, 5400,
+                    "C:\\Program Files\\avscan\\avscan.exe", "system"};
+  emit(Make(db.agent_id, OpType::kWrite, t + 70 * kSecond, kSecond, avscan,
+            stage2, 512));
+  // In-flow into conn_out after the anchor.
+  emit(Make(db.agent_id, OpType::kWrite, t + 200 * kSecond, kSecond, helper,
+            conn_out, 4096));
+  // Unrelated out-flow of customer.db (reads never flow INTO a file).
+  ProcessRef backup{db.agent_id, 5401,
+                    "C:\\Windows\\System32\\backup-agent.exe", "system"};
+  emit(Make(db.agent_id, OpType::kRead, t + 300 * kSecond, kSecond, backup,
+            secrets, 1048576));
+
+  // --- ground truth ----------------------------------------------------------
+  truth.poi_name = ConnName(conn_out);
+  truth.poi_like = attacker;  // unique dst ip: resolves conn_out only
+  truth.chain = {
+      {EntityType::kNetwork, truth.poi_name},
+      {EntityType::kProcess, helper.exe_name},
+      {EntityType::kFile, secrets.path},
+      {EntityType::kProcess, loader.exe_name},
+      {EntityType::kFile, stage2.path},
+      {EntityType::kProcess, wsm.exe_name},
+      {EntityType::kProcess, bash.exe_name},
+      {EntityType::kProcess, sshd.exe_name},
+      {EntityType::kNetwork, ConnName(conn_in)},
+  };
+  truth.chain_events = 12;  // 8 single-edge stages + connect + 3 bursts
+  truth.chain_depth = 6;
+  return truth;
+}
+
+}  // namespace aiql

@@ -1,0 +1,62 @@
+// A multi-stage exfiltration chain built for provenance tracking.
+//
+// Unlike the demo APT (attack_demo.h), whose stages branch and share
+// infrastructure processes, this scenario plants one clean causal chain
+// from an external attacker to a data exfiltration connection:
+//
+//   conn_in  -> sshd -> bash -> wsmprovhost (cross-host) -> stage2.ps1
+//            -> stage_loader -> sysupd.exe <- customer.db
+//            -> conn_out (exfiltration to the attacker)
+//
+// plus deliberate decoys that a correct backward track from conn_out must
+// NOT pick up: events that happen after the anchor, an in-flow into an
+// already-consumed chain file that postdates its use (time-monotonic
+// pruning must reject it), and out-flows that never feed the chain.
+// Every chain entity carries a globally unique name so tests and the bench
+// harness can assert exact recovery.
+
+#ifndef AIQL_SIMULATOR_ATTACK_EXFIL_H_
+#define AIQL_SIMULATOR_ATTACK_EXFIL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "simulator/topology.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Ground truth of the planted chain.
+struct ExfilChainTruth {
+  Timestamp start = 0;   ///< first chain event (conn_in accept)
+  Timestamp anchor = 0;  ///< just after the final exfil write (POI anchor)
+  std::string attacker_ip;
+  AgentId web_server = 0;
+  AgentId database_server = 0;
+
+  /// Display name (EntityStore::EntityName) of the exfiltration connection
+  /// — the point-of-interest a backward track starts from.
+  std::string poi_name;
+  /// LIKE pattern that resolves the POI uniquely (the attacker's dst ip).
+  std::string poi_like;
+
+  /// Every chain entity as (type, display name), POI first, in discovery
+  /// order of an exact backward track.
+  std::vector<std::pair<EntityType, std::string>> chain;
+  /// Number of planted chain events (the edges a full track recovers).
+  size_t chain_events = 0;
+  /// Hops a backward track needs to recover the whole chain.
+  int chain_depth = 0;
+};
+
+/// Injects the chain (plus decoys) into `out` starting at `start`; the
+/// chain unfolds over ~4 minutes.
+ExfilChainTruth InjectExfilChain(const Enterprise& enterprise,
+                                 Timestamp start,
+                                 std::vector<EventRecord>* out);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_ATTACK_EXFIL_H_

@@ -54,6 +54,23 @@ AtcScenarioData GenerateAtcScenario(const ScenarioOptions& options) {
   return data;
 }
 
+ExfilScenarioData GenerateExfilScenario(const ScenarioOptions& options) {
+  ExfilScenarioData data;
+  data.enterprise = BuildEnterprise(options.num_clients);
+  Timestamp start = DayStart(options);
+  data.window = TimeRange{start, start + options.duration};
+
+  BackgroundOptions background;
+  background.events_per_host_per_hour = options.events_per_host_per_hour;
+  background.seed = options.seed + 2;
+  GenerateBackground(data.enterprise, data.window.start, data.window.end,
+                     background, &data.records);
+  data.truth = InjectExfilChain(data.enterprise,
+                                start + options.attack_offset, &data.records);
+  SortRecords(&data.records);
+  return data;
+}
+
 Result<AuditDatabase> IngestRecords(const std::vector<EventRecord>& records,
                                     const StorageOptions& storage) {
   AuditDatabase db(storage);

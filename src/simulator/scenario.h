@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "simulator/attack_atc.h"
 #include "simulator/attack_demo.h"
+#include "simulator/attack_exfil.h"
 #include "simulator/background.h"
 #include "simulator/topology.h"
 #include "storage/database.h"
@@ -45,11 +46,23 @@ struct AtcScenarioData {
   TimeRange window;
 };
 
+/// Generated scenario with the multi-stage exfiltration chain (provenance
+/// tracking's needle-in-a-haystack workload).
+struct ExfilScenarioData {
+  Enterprise enterprise;
+  ExfilChainTruth truth;
+  std::vector<EventRecord> records;  ///< time-ordered
+  TimeRange window;
+};
+
 /// Builds background + demo attack records (deterministic under options).
 DemoScenarioData GenerateDemoScenario(const ScenarioOptions& options);
 
 /// Builds background + ATC attack records.
 AtcScenarioData GenerateAtcScenario(const ScenarioOptions& options);
+
+/// Builds background + the exfiltration chain.
+ExfilScenarioData GenerateExfilScenario(const ScenarioOptions& options);
 
 /// Ingests records into a database under `storage` and seals it.
 Result<AuditDatabase> IngestRecords(const std::vector<EventRecord>& records,

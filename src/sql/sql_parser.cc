@@ -427,6 +427,17 @@ class SqlParser {
       node->kind = SqlExpr::Kind::kLike;
       node->lhs = std::move(lhs);
       node->literal = SqlValue(Advance().text);
+      // Optional ESCAPE clause. The executor's matcher hard-codes '\' as
+      // the escape character, so only that is accepted.
+      if (PeekKw("escape")) {
+        Advance();
+        if (!Check(SqlTok::kString)) {
+          return Error("ESCAPE expects a string literal");
+        }
+        if (Advance().text != "\\") {
+          return Error("only '\\' is supported as the LIKE escape");
+        }
+      }
       return node;
     } else if (PeekKw("in")) {
       Advance();

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/like_matcher.h"
 #include "common/string_utils.h"
 #include "engine/dependency.h"
 #include "query/analyzer.h"
@@ -100,6 +101,33 @@ class Translator {
     ++constraint_count_;
   }
 
+  /// Renders an AIQL LIKE pattern as a SQL LIKE operand. AIQL's escapes
+  /// ('\%', '\_', '\\' are literal; a backslash before anything else is an
+  /// ordinary character) are re-encoded into standard SQL escaping, where a
+  /// bare backslash before an arbitrary character is undefined: ordinary
+  /// backslashes double, and the pattern gains an explicit ESCAPE '\'
+  /// clause. Patterns without backslashes render unchanged.
+  std::string LikeSql(const std::string& pattern) const {
+    std::string out;
+    bool needs_escape = false;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      char c = pattern[i];
+      if (LikeMatcher::IsEscape(pattern, i)) {
+        out += '\\';
+        out += pattern[++i];
+        needs_escape = true;
+      } else if (c == '\\') {
+        out += "\\\\";
+        needs_escape = true;
+      } else {
+        out += c;
+      }
+    }
+    std::string sql = SqlQuote(out);
+    if (needs_escape) sql += " ESCAPE '\\'";
+    return sql;
+  }
+
   std::string ValueSql(const ValueLiteral& value) const {
     if (value.kind == ValueLiteral::Kind::kString) {
       return SqlQuote(value.str);
@@ -153,9 +181,9 @@ class Translator {
     if (kind == AttrKind::kString) {
       // Case-insensitive semantics: '=' on strings becomes LIKE.
       if (constraint.op == CmpOp::kEq || constraint.op == CmpOp::kLike) {
-        AddConjunct(column_ref + " LIKE " + ValueSql(value));
+        AddConjunct(column_ref + " LIKE " + LikeSql(value.str));
       } else if (constraint.op == CmpOp::kNe) {
-        AddConjunct("NOT " + column_ref + " LIKE " + ValueSql(value));
+        AddConjunct("NOT " + column_ref + " LIKE " + LikeSql(value.str));
       } else {
         return Status::SemanticError("unsupported string comparison");
       }

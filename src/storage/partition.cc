@@ -99,6 +99,49 @@ void EventColumns::PushBack(const Event& event) {
   object_type.push_back(event.object_type);
 }
 
+void EntityPostingIndex::Clear() {
+  keys.clear();
+  offsets.clear();
+  indexes.clear();
+}
+
+std::pair<const uint32_t*, const uint32_t*> EntityPostingIndex::Lookup(
+    uint64_t key) const {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return {nullptr, nullptr};
+  size_t slot = static_cast<size_t>(it - keys.begin());
+  return {indexes.data() + offsets[slot], indexes.data() + offsets[slot + 1]};
+}
+
+namespace {
+
+/// Builds a CSR index from per-event keys: sort (key, event index) pairs —
+/// ties keep ascending event index, so each group stays time-sorted — then
+/// split into groups.
+void BuildEntityIndex(const std::vector<uint64_t>& event_keys,
+                      EntityPostingIndex* index) {
+  index->Clear();
+  const size_t n = event_keys.size();
+  if (n == 0) return;
+  std::vector<std::pair<uint64_t, uint32_t>> kv;
+  kv.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    kv.emplace_back(event_keys[i], static_cast<uint32_t>(i));
+  }
+  std::sort(kv.begin(), kv.end());
+  index->indexes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0 || kv[i].first != kv[i - 1].first) {
+      index->keys.push_back(kv[i].first);
+      index->offsets.push_back(static_cast<uint32_t>(i));
+    }
+    index->indexes.push_back(kv[i].second);
+  }
+  index->offsets.push_back(static_cast<uint32_t>(n));
+}
+
+}  // namespace
+
 void EventPartition::BuildSealArtifacts() {
   columns_.Clear();
   columns_.Reserve(events_.size());
@@ -118,6 +161,16 @@ void EventPartition::BuildSealArtifacts() {
     if (event.start_ts < list.min_start_ts) list.min_start_ts = event.start_ts;
     if (event.start_ts > list.max_start_ts) list.max_start_ts = event.start_ts;
   }
+
+  // Reverse entity indexes (per-subject / per-object event postings) for
+  // provenance frontier expansion.
+  std::vector<uint64_t> keys(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) keys[i] = events_[i].subject;
+  BuildEntityIndex(keys, &subject_index_);
+  for (size_t i = 0; i < events_.size(); ++i) {
+    keys[i] = ObjectKey(events_[i].object_type, events_[i].object);
+  }
+  BuildEntityIndex(keys, &object_index_);
 }
 
 std::pair<size_t, size_t> EventPartition::PostingRange(
@@ -174,10 +227,13 @@ size_t EventPartition::LowerBound(Timestamp t) const {
 
 void EventPartition::RestoreSealed(
     std::vector<Event> events, std::array<OpPostingList, kNumOpTypes> postings,
+    EntityPostingIndex subject_index, EntityPostingIndex object_index,
     std::unordered_map<StringId, uint64_t> subject_exe_counts,
     uint64_t raw_count) {
   events_ = std::move(events);
   op_postings_ = std::move(postings);
+  subject_index_ = std::move(subject_index);
+  object_index_ = std::move(object_index);
   subject_exe_counts_ = std::move(subject_exe_counts);
   raw_count_ = raw_count;
 

@@ -5,11 +5,14 @@
 // (per-operation counts, per-subject-exe counts) that feed the engine's
 // pruning-power estimator. Partitions are the unit of parallel scanning.
 //
-// Sealing additionally materializes two read-path artifacts:
+// Sealing additionally materializes three read-path artifacts:
 //   * a structure-of-arrays column view (EventColumns) so time-range +
-//     op-mask scans touch only the columns they test, and
+//     op-mask scans touch only the columns they test,
 //   * per-operation posting lists (sorted event indexes with a start-ts
-//     zone map) so op-selective scans iterate only matching events.
+//     zone map) so op-selective scans iterate only matching events, and
+//   * a reverse entity index (CSR posting lists keyed by subject process id
+//     and by (object type, object id)) so provenance tracking can expand a
+//     frontier entity without scanning the partition.
 // The row `events()` API stays authoritative for snapshot/graph/SQL
 // callers; columns and postings are derived and rebuilt on every Seal().
 
@@ -60,6 +63,25 @@ struct EventColumns {
   void Clear();
   void Reserve(size_t n);
   void PushBack(const Event& event);
+};
+
+/// CSR-layout posting index from an entity key to the ascending event
+/// indexes referencing that entity. Built at Seal(); persisted through
+/// snapshot v2 so a lazily materialized partition needs no index rebuild.
+/// Because event indexes ascend in start-ts order, each per-entity list is
+/// itself time-sorted and supports binary-searched clipping.
+struct EntityPostingIndex {
+  std::vector<uint64_t> keys;     ///< sorted, unique entity keys
+  std::vector<uint32_t> offsets;  ///< keys.size() + 1 group boundaries
+  std::vector<uint32_t> indexes;  ///< event indexes, grouped by key
+
+  bool empty() const { return keys.empty(); }
+  size_t num_keys() const { return keys.size(); }
+  void Clear();
+
+  /// Event indexes of `key` as a [first, last) pointer range; both null
+  /// when the key has no events in this partition.
+  std::pair<const uint32_t*, const uint32_t*> Lookup(uint64_t key) const;
 };
 
 /// Sorted event indexes of one operation, with a start-ts zone map. Because
@@ -147,6 +169,29 @@ class EventPartition {
   /// Index of the first event with start_ts >= t (partition must be sealed).
   size_t LowerBound(Timestamp t) const;
 
+  /// Key of an object entity in the reverse index.
+  static uint64_t ObjectKey(EntityType type, EntityId id) {
+    return (static_cast<uint64_t>(type) << 32) | id;
+  }
+
+  /// Reverse index over event subjects (key = subject process id); valid
+  /// once sealed.
+  const EntityPostingIndex& subject_index() const { return subject_index_; }
+  /// Reverse index over event objects (key = ObjectKey(type, id)); valid
+  /// once sealed.
+  const EntityPostingIndex& object_index() const { return object_index_; }
+
+  /// Ascending event indexes whose subject is `subject`.
+  std::pair<const uint32_t*, const uint32_t*> SubjectPostings(
+      EntityId subject) const {
+    return subject_index_.Lookup(subject);
+  }
+  /// Ascending event indexes whose object is (`type`, `id`).
+  std::pair<const uint32_t*, const uint32_t*> ObjectPostings(
+      EntityType type, EntityId id) const {
+    return object_index_.Lookup(ObjectKey(type, id));
+  }
+
   /// Raw (pre-dedup) events represented, i.e. sum of merge counts.
   uint64_t raw_event_count() const { return raw_count_; }
 
@@ -156,14 +201,18 @@ class EventPartition {
   void RebuildStats(const std::vector<ProcessEntity>& processes);
 
   /// Snapshot-v2 load hook: installs a fully sealed partition wholesale —
-  /// sorted events, posting lists, and statistics are adopted as persisted,
-  /// so loading performs no sort and no index rebuild (the columnar view is
-  /// re-derived in one linear pass). Precondition: the partition is empty,
-  /// `events` is sorted by (start_ts, end_ts), and `postings` partitions the
-  /// event indexes by operation (the snapshot reader validates both before
-  /// calling). Zone maps are derived from the postings.
+  /// sorted events, posting lists, the reverse entity indexes, and
+  /// statistics are adopted as persisted, so loading performs no sort and no
+  /// index rebuild (the columnar view is re-derived in one linear pass).
+  /// Precondition: the partition is empty, `events` is sorted by (start_ts,
+  /// end_ts), `postings` partitions the event indexes by operation, and
+  /// `subject_index` / `object_index` cover every event exactly once (the
+  /// snapshot reader validates all of these before calling). Zone maps are
+  /// derived from the postings.
   void RestoreSealed(std::vector<Event> events,
                      std::array<OpPostingList, kNumOpTypes> postings,
+                     EntityPostingIndex subject_index,
+                     EntityPostingIndex object_index,
                      std::unordered_map<StringId, uint64_t> subject_exe_counts,
                      uint64_t raw_count);
 
@@ -193,6 +242,8 @@ class EventPartition {
   std::vector<Event> events_;
   EventColumns columns_;
   std::array<OpPostingList, kNumOpTypes> op_postings_;
+  EntityPostingIndex subject_index_;
+  EntityPostingIndex object_index_;
   std::atomic<uint8_t> seal_state_{kOpen};
   Timestamp min_ts_ = INT64_MAX;
   Timestamp max_ts_ = INT64_MIN;

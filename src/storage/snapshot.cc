@@ -23,7 +23,10 @@ namespace {
 constexpr uint64_t kV1Magic = 0x4149514C534E5031ULL;  // "AIQLSNP1"
 constexpr uint32_t kV1Version = 2;
 constexpr uint64_t kV2Magic = 0x4149514C534E5032ULL;  // "AIQLSNP2"
-constexpr uint32_t kV2Version = 2;
+// Version 3 added the reverse entity indexes (subject / object posting
+// lists) to the partition segments, so provenance hops served from a lazy
+// snapshot need no index rebuild.
+constexpr uint32_t kV2Version = 3;
 constexpr size_t kV2HeaderSize = 8 + 4;   // magic + version
 constexpr size_t kV2TrailerSize = 8 * 3;  // footer offset + checksum + magic
 
@@ -226,6 +229,24 @@ void EncodeMetaSegment(const AuditDatabase& db, std::string* out) {
   }
 }
 
+void EncodeEntityIndex(std::string* out, const EntityPostingIndex& index) {
+  PutVarint64(out, index.keys.size());
+  uint64_t prev_key = 0;
+  for (size_t k = 0; k < index.keys.size(); ++k) {
+    PutVarint64(out, k == 0 ? index.keys[0] : index.keys[k] - prev_key);
+    prev_key = index.keys[k];
+    uint32_t begin = index.offsets[k];
+    uint32_t end = index.offsets[k + 1];
+    PutVarint64(out, end - begin);
+    uint32_t prev_index = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      PutVarint64(out, i == begin ? index.indexes[i]
+                                  : index.indexes[i] - prev_index);
+      prev_index = index.indexes[i];
+    }
+  }
+}
+
 /// PARTITION segment: columnar event encoding plus the seal artifacts.
 /// Events are already sorted by (start_ts, end_ts), so start timestamps
 /// delta-encode into mostly one-byte varints; the op column is implied by
@@ -298,6 +319,12 @@ void EncodePartitionSegment(const EventPartition& partition,
     PutVarint64(out, exe);
     PutVarint64(out, count);
   }
+
+  // Reverse entity indexes (v2 format version 3): CSR groups of ascending
+  // event indexes keyed by strictly ascending entity keys — keys and
+  // in-group indexes both delta-encode into small varints.
+  EncodeEntityIndex(out, partition.subject_index());
+  EncodeEntityIndex(out, partition.object_index());
 }
 
 void EncodeOptions(std::string* out, const StorageOptions& options) {
@@ -514,6 +541,58 @@ Status DecodeMetaSegment(std::string_view bytes, EntityStore* store) {
   return Status::OK();
 }
 
+/// Decodes one reverse entity index and revalidates its invariants against
+/// the already-decoded events: keys strictly ascending, every group
+/// non-empty with strictly ascending event indexes, every event covered
+/// exactly once, and every listed event actually carrying the group's key.
+/// `key_of` maps an event to its expected key (subject or object form).
+template <typename KeyOf>
+Status DecodeEntityIndex(Cursor* cur, const std::vector<Event>& events,
+                         const KeyOf& key_of, const char* what,
+                         EntityPostingIndex* index) {
+  const size_t n = events.size();
+  auto corrupt = [&] {
+    return Status::Corruption(std::string("partition ") + what +
+                              " index corrupt");
+  };
+  uint64_t num_keys = cur->U64();
+  if (!cur->ok() || num_keys > n) return corrupt();
+  index->keys.reserve(static_cast<size_t>(num_keys));
+  index->offsets.reserve(static_cast<size_t>(num_keys) + 1);
+  index->indexes.reserve(n);
+  std::vector<uint8_t> seen(n, 0);
+  uint64_t key = 0;
+  uint64_t total = 0;
+  for (uint64_t k = 0; k < num_keys; ++k) {
+    uint64_t delta = cur->U64();
+    if (!cur->ok() || (k > 0 && delta == 0)) return corrupt();
+    key = k == 0 ? delta : key + delta;
+    uint64_t count = cur->U64();
+    if (!cur->ok() || count == 0 || count > n - total) return corrupt();
+    index->keys.push_back(key);
+    index->offsets.push_back(static_cast<uint32_t>(total));
+    uint64_t event_index = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t d = cur->U64();
+      if (!cur->ok() || (i > 0 && d == 0)) return corrupt();
+      event_index = i == 0 ? d : event_index + d;
+      if (event_index >= n || seen[event_index] != 0 ||
+          key_of(events[event_index]) != key) {
+        return corrupt();
+      }
+      seen[event_index] = 1;
+      index->indexes.push_back(static_cast<uint32_t>(event_index));
+    }
+    total += count;
+  }
+  index->offsets.push_back(static_cast<uint32_t>(total));
+  if (total != n) {
+    return Status::Corruption(std::string("partition ") + what +
+                              " index does not cover every event");
+  }
+  return Status::OK();
+}
+
 /// Decodes one partition segment and installs it as a sealed partition.
 /// Every structural invariant is revalidated (not just checksummed):
 /// posting coverage, entity-id bounds, statistic agreement with the footer
@@ -625,6 +704,19 @@ Status DecodePartitionSegment(std::string_view bytes,
     }
     exe_counts[static_cast<StringId>(exe)] = count;
   }
+
+  EntityPostingIndex subject_index;
+  EntityPostingIndex object_index;
+  AIQL_RETURN_IF_ERROR(DecodeEntityIndex(
+      &cur, events,
+      [](const Event& e) { return static_cast<uint64_t>(e.subject); },
+      "subject", &subject_index));
+  AIQL_RETURN_IF_ERROR(DecodeEntityIndex(
+      &cur, events,
+      [](const Event& e) {
+        return EventPartition::ObjectKey(e.object_type, e.object);
+      },
+      "object", &object_index));
   if (!cur.AtEnd()) {
     return Status::Corruption("partition segment has trailing bytes");
   }
@@ -661,6 +753,7 @@ Status DecodePartitionSegment(std::string_view bytes,
   }
 
   partition->RestoreSealed(std::move(events), std::move(postings),
+                           std::move(subject_index), std::move(object_index),
                            std::move(exe_counts), entry.raw_events);
   return Status::OK();
 }

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/time_utils.h"
+#include "engine/aiql_engine.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
+#include "storage/database.h"
 
 namespace aiql {
 namespace {
@@ -110,6 +113,91 @@ TEST(DependencyRewriteTest, RewrittenQueryPassesAnalysis) {
   // f1 is shared by patterns 0 and 1; p2 by patterns 1 and 2.
   EXPECT_EQ(analyzed->entity_occurrences.at("f1").size(), 2u);
   EXPECT_EQ(analyzed->entity_occurrences.at("p2").size(), 2u);
+}
+
+TEST(DependencyRewriteTest, HopWindowsCarryIntoTemporalRelations) {
+  auto rewritten = Rewrite(
+      "forward: proc p1 ->[write] file f1 <-[read, 5 min] proc p2 "
+      "->[connect, 30 sec] ip i1 return p1, i1");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  const MultieventQueryAst& ast = **rewritten;
+  ASSERT_EQ(ast.temporal_rels.size(), 2u);
+  // Edge 2's window bounds the (e1, e2) gap; edge 3's bounds (e2, e3).
+  EXPECT_EQ(ast.temporal_rels[0].within, 5 * kMinute);
+  EXPECT_EQ(ast.temporal_rels[1].within, 30 * kSecond);
+  EXPECT_TRUE(ast.temporal_rels[0].before);
+}
+
+TEST(DependencyRewriteTest, UnboundedEdgesKeepZeroWithin) {
+  auto rewritten = Rewrite(
+      "forward: proc p1 ->[write] file f1 <-[read] proc p2 return p2");
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  ASSERT_EQ((*rewritten)->temporal_rels.size(), 1u);
+  EXPECT_EQ((*rewritten)->temporal_rels[0].within, 0);
+}
+
+TEST(DependencyRewriteTest, HopWindowOnFirstEdgeRejected) {
+  auto rewritten = Rewrite(
+      "forward: proc p1 ->[write, 5 min] file f1 return p1");
+  ASSERT_FALSE(rewritten.ok());
+  EXPECT_NE(rewritten.status().message().find("first dependency edge"),
+            std::string::npos)
+      << rewritten.status().ToString();
+}
+
+TEST(DependencyRewriteTest, DuplicateNodeVariableRejected) {
+  // p1 at two non-adjacent path positions would alias distinct nodes.
+  auto rewritten = Rewrite(
+      "forward: proc p1 ->[write] file f1 <-[read] proc p1 return p1");
+  ASSERT_FALSE(rewritten.ok());
+  EXPECT_NE(rewritten.status().message().find("two different dependency"),
+            std::string::npos)
+      << rewritten.status().ToString();
+  // Same collision via the start node.
+  EXPECT_FALSE(Rewrite("backward: file f <-[write] proc p <-[start] proc p "
+                       "return p")
+                   .ok());
+  // Distinct names remain fine (control).
+  EXPECT_TRUE(Rewrite("forward: proc p1 ->[write] file f1 <-[read] proc p2 "
+                      "return p2")
+                  .ok());
+}
+
+TEST(DependencyRewriteTest, HopWindowEnforcedEndToEnd) {
+  // Two-hop chain where the second event happens 10 minutes after the
+  // first: a 5-minute hop window must reject it, a 15-minute one accept it.
+  AuditDatabase db;
+  Timestamp t0 = *MakeTimestamp(2018, 5, 10, 9, 0, 0);
+  ProcessRef writer{1, 100, "dropper.exe", "system"};
+  ProcessRef reader{1, 101, "stealer.exe", "system"};
+  FileRef file{1, "C:\\Temp\\loot.txt"};
+  EventRecord w;
+  w.agent_id = 1;
+  w.op = OpType::kWrite;
+  w.start_ts = t0;
+  w.end_ts = t0 + kSecond;
+  w.subject = writer;
+  w.object = file;
+  EventRecord r = w;
+  r.op = OpType::kRead;
+  r.start_ts = t0 + 10 * kMinute;
+  r.end_ts = r.start_ts + kSecond;
+  r.subject = reader;
+  ASSERT_TRUE(db.Append(w).ok());
+  ASSERT_TRUE(db.Append(r).ok());
+  ASSERT_TRUE(db.Seal().ok());
+
+  AiqlEngine engine(&db);
+  auto narrow = engine.Execute(
+      "forward: proc p1[\"dropper.exe\"] ->[write] file f "
+      "<-[read, 5 min] proc p2 return p2");
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  EXPECT_EQ(narrow->table.num_rows(), 0u);
+  auto wide = engine.Execute(
+      "forward: proc p1[\"dropper.exe\"] ->[write] file f "
+      "<-[read, 15 min] proc p2 return p2");
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  EXPECT_EQ(wide->table.num_rows(), 1u);
 }
 
 TEST(DependencyRewriteTest, ConstraintsAttachOnlyAtFirstOccurrence) {

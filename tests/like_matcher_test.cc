@@ -83,6 +83,90 @@ TEST(LikeMatcherTest, EmptyPattern) {
   EXPECT_FALSE(m.Matches("x"));
 }
 
+TEST(LikeMatcherTest, DoublePercentIsMatchAll) {
+  LikeMatcher m("%%");
+  EXPECT_TRUE(m.Matches(""));
+  EXPECT_TRUE(m.Matches("x"));
+  EXPECT_TRUE(m.Matches("anything at all"));
+}
+
+TEST(LikeMatcherTest, PatternLongerThanText) {
+  EXPECT_FALSE(LikeMatcher("abcdef").Matches("abc"));
+  EXPECT_FALSE(LikeMatcher("abc_ef").Matches("abc"));
+  EXPECT_FALSE(LikeMatcher("abc%def").Matches("abcde"));
+  EXPECT_FALSE(LikeMatcher("%abcdef").Matches("def"));
+  EXPECT_FALSE(LikeMatcher("abcdef%").Matches("abc"));
+}
+
+TEST(LikeMatcherTest, EscapedPercentMatchesLiteralPercent) {
+  LikeMatcher m("100\\%");
+  EXPECT_TRUE(m.is_literal());  // no live wildcard remains
+  EXPECT_TRUE(m.Matches("100%"));
+  EXPECT_FALSE(m.Matches("100"));
+  EXPECT_FALSE(m.Matches("100x"));
+  EXPECT_FALSE(m.Matches("100\\%"));
+}
+
+TEST(LikeMatcherTest, EscapedUnderscoreMatchesLiteralUnderscore) {
+  LikeMatcher m("a\\_c");
+  EXPECT_TRUE(m.is_literal());
+  EXPECT_TRUE(m.Matches("a_c"));
+  EXPECT_FALSE(m.Matches("abc"));
+  EXPECT_FALSE(m.Matches("aXc"));
+}
+
+TEST(LikeMatcherTest, EscapedWildcardsCombineWithLiveOnes) {
+  // %\%% : any prefix, a literal '%', any suffix (substring fast path).
+  LikeMatcher m("%\\%%");
+  EXPECT_TRUE(m.Matches("50% off"));
+  EXPECT_TRUE(m.Matches("%"));
+  EXPECT_FALSE(m.Matches("fifty percent"));
+  // info\_% : literal underscore then a live trailing wildcard.
+  LikeMatcher p("info\\_%");
+  EXPECT_TRUE(p.Matches("info_stealer"));
+  EXPECT_FALSE(p.Matches("info-stealer"));
+}
+
+TEST(LikeMatcherTest, EscapedBackslash) {
+  // "\\\\" in C++ is two pattern characters: an escaped backslash.
+  LikeMatcher m("a\\\\b");
+  EXPECT_TRUE(m.Matches("a\\b"));
+  EXPECT_FALSE(m.Matches("ab"));
+  // "\\\\%" is a literal backslash followed by the live '%' wildcard.
+  LikeMatcher p("C:\\\\%");
+  EXPECT_TRUE(p.Matches("C:\\Windows"));
+  EXPECT_FALSE(p.Matches("C:Windows"));
+}
+
+TEST(LikeMatcherTest, BackslashBeforeOrdinaryCharStaysLiteral) {
+  // Windows paths keep their meaning: '\' escapes only '%', '_', '\'.
+  LikeMatcher m("C:\\Windows\\System32\\cmd.exe");
+  EXPECT_TRUE(m.is_literal());
+  EXPECT_TRUE(m.Matches("C:\\Windows\\System32\\cmd.exe"));
+  EXPECT_TRUE(m.Matches("c:\\windows\\system32\\CMD.EXE"));
+  LikeMatcher p("%config\\SAM%");
+  EXPECT_TRUE(p.Matches("C:\\Windows\\config\\SAM.bak"));
+  EXPECT_FALSE(p.Matches("C:\\Windows\\config-SAM"));
+}
+
+TEST(LikeMatcherTest, TrailingLoneBackslashIsLiteral) {
+  LikeMatcher m("C:\\Temp\\");
+  EXPECT_TRUE(m.is_literal());
+  EXPECT_TRUE(m.Matches("C:\\Temp\\"));
+  EXPECT_FALSE(m.Matches("C:\\Temp"));
+}
+
+TEST(LikeMatcherTest, NonAsciiBytesPassThroughCaseFold) {
+  // High-bit bytes (e.g. UTF-8 continuation bytes) must survive the
+  // unsigned-char tolower round trip byte-identically.
+  const std::string accented = "caf\xC3\xA9.exe";
+  EXPECT_TRUE(LikeMatcher(accented).Matches(accented));
+  EXPECT_TRUE(LikeMatcher("caf%").Matches(accented));
+  EXPECT_TRUE(LikeMatcher("%\xC3\xA9.exe").Matches(accented));
+  EXPECT_TRUE(LikeMatcher("caf_.exe").Matches("caf\xE9.exe"));  // one byte
+  EXPECT_FALSE(LikeMatcher("caf_.exe").Matches(accented));      // two bytes
+}
+
 TEST(LikeMatcherTest, SpecificityRankOrdering) {
   EXPECT_LT(LikeMatcher("cmd.exe").SpecificityRank(),
             LikeMatcher("%cmd.exe").SpecificityRank());
@@ -92,10 +176,17 @@ TEST(LikeMatcherTest, SpecificityRankOrdering) {
             LikeMatcher("%").SpecificityRank());
 }
 
-// Reference implementation: straightforward recursion on lowered strings.
+// Reference implementation: straightforward recursion on lowered strings,
+// honoring the escape rule ('\' before '%', '_' or '\' makes it literal).
 bool RefMatch(const std::string& p, size_t pi, const std::string& t,
               size_t ti) {
   if (pi == p.size()) return ti == t.size();
+  bool escaped = p[pi] == '\\' && pi + 1 < p.size() &&
+                 (p[pi + 1] == '%' || p[pi + 1] == '_' || p[pi + 1] == '\\');
+  if (escaped) {
+    if (ti == t.size() || t[ti] != p[pi + 1]) return false;
+    return RefMatch(p, pi + 2, t, ti + 1);
+  }
   if (p[pi] == '%') {
     for (size_t skip = 0; ti + skip <= t.size(); ++skip) {
       if (RefMatch(p, pi + 1, t, ti + skip)) return true;

@@ -1,16 +1,27 @@
-// Differential-oracle property test (issue #4 satellite): a deliberately
-// naive brute-force reference matcher over the raw generated events, plus a
-// seeded-RNG generator of random multi-pattern AIQL queries (operation
-// disjunctions, global time windows, agent filters, shared entity
-// variables, bounded before/after relations, distinct). The optimized
-// engine must produce byte-identical result tables
+// Differential-oracle property test (issue #4 satellite, widened by issue
+// #5): a deliberately naive brute-force reference matcher over the raw
+// generated events, plus seeded-RNG generators of random AIQL queries —
+// multi-pattern multievent queries (operation disjunctions, global time
+// windows, agent filters, shared entity variables, bounded before/after
+// relations, distinct) AND dependency path queries (forward/backward
+// chains, anonymous nodes, per-edge hop windows), both with LIKE predicates
+// covering leading/trailing/infix '%', '_', escapes and mixed case, and
+// with ORDER BY + LIMIT. The optimized engine must agree with the oracle
 //   * under every combination of EngineOptions toggles, and
 //   * whether results are served from in-memory sealed partitions or from
 //     a lazily opened v2 snapshot.
 //
+// Ordered results are verified tie-aware: the engine's rows must be a
+// correctly ordered selection of the oracle's rows with the exact key-tuple
+// sequence the comparator prescribes (ties may permute, LIMIT may keep any
+// tied prefix).
+//
 // The oracle shares only LikeMatcher (string predicate semantics) with the
-// engine; candidate filtering, joining, temporal checks, and projection are
-// reimplemented as straight nested loops over the raw event list.
+// engine; candidate filtering, joining, temporal checks, ordering, and
+// projection are reimplemented as straight nested loops over the raw event
+// list. Dependency semantics are reimplemented from the language spec (each
+// edge an event, shared path nodes join, chain order temporal relations) —
+// NOT by calling RewriteDependency.
 //
 // Query count per options combination defaults to 200 and can be raised
 // via AIQL_ORACLE_QUERIES.
@@ -82,24 +93,27 @@ struct World {
 World GenerateWorld(uint64_t seed, int num_events) {
   Rng rng(seed);
   World world;
+  // Names deliberately include '_' and literal '%' so wildcard and escape
+  // patterns discriminate.
   const char* exes[] = {"cmd.exe",      "powershell.exe", "svchost.exe",
                         "chrome.exe",   "sqlservr.exe",   "osql.exe",
                         "backup.exe",   "winword.exe",    "sshd",
-                        "bash",         "python",         "nginx"};
+                        "bash",         "python",         "nginx",
+                        "update_agent", "my%app.exe"};
   const char* users[] = {"root", "alice", "bob", "system"};
   for (uint32_t i = 0; i < 40; ++i) {
     // Unique pids keep every pool entry a distinct entity, so oracle
     // identity (pool index) coincides with engine identity (EntityId).
     world.procs.push_back(
         {static_cast<AgentId>(1 + rng.Uniform(kNumAgents)), 100 + i,
-         exes[rng.Uniform(12)], users[rng.Uniform(4)]});
+         exes[rng.Uniform(14)], users[rng.Uniform(4)]});
   }
   const char* dirs[] = {"/etc", "/var/log", "/home/alice",
-                        "/tmp", "/usr/bin", "/data"};
+                        "/tmp", "/usr/bin", "/data", "/srv/app_data"};
   for (int i = 0; i < 30; ++i) {
     world.files.push_back(
         {static_cast<AgentId>(1 + rng.Uniform(kNumAgents)),
-         std::string(dirs[rng.Uniform(6)]) + "/file" + std::to_string(i)});
+         std::string(dirs[rng.Uniform(7)]) + "/file" + std::to_string(i)});
   }
   const char* ips[] = {"10.0.0.5",      "10.0.0.9",    "172.16.0.129",
                        "93.184.216.34", "192.168.1.7", "8.8.8.8"};
@@ -220,6 +234,19 @@ struct GenQuery {
   bool distinct = false;
   /// (var, attr) — attr empty renders the bare variable (default attr).
   std::vector<std::pair<std::string, std::string>> returns;
+  /// ORDER BY keys: (index into `returns`, descending).
+  std::vector<std::pair<size_t, bool>> order;
+  /// LIMIT; only generated together with ORDER BY (an unordered LIMIT
+  /// keeps an arbitrary engine-dependent subset, which no oracle can pin).
+  std::optional<int64_t> limit;
+};
+
+/// One generated test case: the AIQL text handed to the engine plus the
+/// independently built oracle form. For dependency queries the oracle form
+/// is derived from the language spec, not from the engine's rewriter.
+struct GenCase {
+  std::string text;
+  GenQuery oracle;
 };
 
 std::string TimeText(Timestamp ts) {
@@ -232,9 +259,38 @@ std::string TimeText(Timestamp ts) {
   return buf;
 }
 
-GenQuery GenerateQuery(Rng* rng, const World& /*world*/) {
-  GenQuery q;
+// LIKE pools shared by both generators. Mixed case exercises the
+// case-insensitive fold; '_' the single-char wildcard; '\%' / '\_' the
+// escape path (rendered verbatim through the lexer, which passes unknown
+// escapes untouched). "update\\_agent" matches the literal exe
+// "update_agent"; "my\\%app%" and "%\\%%" match "my%app.exe".
+const char* kExeLikes[] = {"%cmd%",      "%.exe",   "%sh%",
+                           "%sql%",      "chrome.exe", "%w%",
+                           "nginx",      "%e%",     "%CMD%",
+                           "c_d.exe",    "p_thon",  "%.e_e",
+                           "update\\_agent", "my\\%app%", "%\\%%",
+                           "bas_"};
+const char* kPathLikes[] = {"/etc/%",  "%log%",   "%file1%",
+                            "/tmp/%",  "%file2_", "%a%",
+                            "%app\\_data%", "/srv/%", "%file__",
+                            "%FILE1%"};
+const char* kIpLikes[] = {"10.0.0.%", "%129",     "8.8.8.8", "%.16.%",
+                          "192.168.%", "10.0.0._", "1__.%"};
 
+std::string RenderLike(EntityType type, Rng* rng) {
+  switch (type) {
+    case EntityType::kProcess:
+      return kExeLikes[rng->Uniform(16)];
+    case EntityType::kFile:
+      return kPathLikes[rng->Uniform(10)];
+    case EntityType::kNetwork:
+      return kIpLikes[rng->Uniform(7)];
+  }
+  return "%";
+}
+
+/// Fills window / agent globals (shared by both generators).
+void GenerateGlobals(Rng* rng, GenQuery* q) {
   if (rng->Chance(0.6)) {
     int64_t span_secs = kSpan / kSecond;
     int64_t a = rng->UniformRange(0, span_secs - 1);
@@ -242,20 +298,38 @@ GenQuery GenerateQuery(Rng* rng, const World& /*world*/) {
     if (a > b) std::swap(a, b);
     Timestamp from = T0() + a * kSecond;
     Timestamp to = T0() + b * kSecond;
-    q.window = TimeRange{from, to + 1};  // "(from X to Y)" includes Y
-    q.from_text = TimeText(from);
-    q.to_text = TimeText(to);
+    q->window = TimeRange{from, to + 1};  // "(from X to Y)" includes Y
+    q->from_text = TimeText(from);
+    q->to_text = TimeText(to);
   }
   if (rng->Chance(0.5)) {
-    q.agent = static_cast<AgentId>(1 + rng->Uniform(kNumAgents));
+    q->agent = static_cast<AgentId>(1 + rng->Uniform(kNumAgents));
   }
+}
 
-  const char* exe_likes[] = {"%cmd%",  "%.exe",      "%sh%",  "%sql%",
-                             "chrome.exe", "%w%",    "nginx", "%e%"};
-  const char* path_likes[] = {"/etc/%",  "%log%", "%file1%",
-                              "/tmp/%",  "%file2_", "%a%"};
-  const char* ip_likes[] = {"10.0.0.%", "%129", "8.8.8.8", "%.16.%",
-                            "192.168.%"};
+/// Appends ORDER BY over a subset of the returns, plus LIMIT (ordered
+/// queries only — see GenQuery::limit).
+void GenerateOrderAndLimit(Rng* rng, GenQuery* q) {
+  if (q->returns.empty() || !rng->Chance(0.35)) return;
+  size_t num_keys = 1 + (q->returns.size() > 1 && rng->Chance(0.3) ? 1 : 0);
+  std::vector<size_t> picked;
+  for (size_t k = 0; k < num_keys; ++k) {
+    size_t index = rng->Uniform(q->returns.size());
+    if (std::find(picked.begin(), picked.end(), index) != picked.end()) {
+      continue;
+    }
+    picked.push_back(index);
+    q->order.emplace_back(index, rng->Chance(0.5));
+  }
+  if (rng->Chance(0.5)) {
+    q->limit = 1 + static_cast<int64_t>(rng->Uniform(20));
+  }
+}
+
+GenQuery GenerateQuery(Rng* rng, const World& /*world*/) {
+  GenQuery q;
+  GenerateGlobals(rng, &q);
+
   const char* user_eqs[] = {"root", "alice", "bob", "system"};
   const OpType file_ops[] = {OpType::kRead, OpType::kWrite, OpType::kExecute,
                              OpType::kDelete, OpType::kRename};
@@ -281,7 +355,7 @@ GenQuery GenerateQuery(Rng* rng, const World& /*world*/) {
       p.subj_var = proc_vars[rng->Uniform(proc_vars.size())];
     }
     if (rng->Chance(fresh_subject ? 0.6 : 0.2)) {
-      p.subj.like = exe_likes[rng->Uniform(8)];
+      p.subj.like = RenderLike(EntityType::kProcess, rng);
     }
     if (rng->Chance(0.15)) p.subj.user_eq = user_eqs[rng->Uniform(4)];
 
@@ -328,17 +402,7 @@ GenQuery GenerateQuery(Rng* rng, const World& /*world*/) {
       p.obj_var = (*typed_vars)[rng->Uniform(typed_vars->size())];
     }
     if (rng->Chance(fresh_object ? 0.5 : 0.2)) {
-      switch (p.otype) {
-        case EntityType::kFile:
-          p.obj.like = path_likes[rng->Uniform(6)];
-          break;
-        case EntityType::kNetwork:
-          p.obj.like = ip_likes[rng->Uniform(5)];
-          break;
-        case EntityType::kProcess:
-          p.obj.like = exe_likes[rng->Uniform(8)];
-          break;
-      }
+      p.obj.like = RenderLike(p.otype, rng);
     }
     if (p.otype == EntityType::kNetwork && rng->Chance(0.15)) {
       p.obj.dst_port = 443;
@@ -384,7 +448,26 @@ GenQuery GenerateQuery(Rng* rng, const World& /*world*/) {
     q.returns.emplace_back(q.patterns[i].event_var, "amount");
   }
   q.distinct = rng->Chance(0.4);
+  GenerateOrderAndLimit(rng, &q);
   return q;
+}
+
+std::string RenderOrderAndLimit(const GenQuery& q) {
+  std::string text;
+  if (!q.order.empty()) {
+    text += " order by ";
+    for (size_t i = 0; i < q.order.size(); ++i) {
+      if (i > 0) text += ", ";
+      const auto& [index, desc] = q.order[i];
+      text += q.returns[index].first;
+      if (!q.returns[index].second.empty()) {
+        text += "." + q.returns[index].second;
+      }
+      if (desc) text += " desc";
+    }
+  }
+  if (q.limit.has_value()) text += " limit " + std::to_string(*q.limit);
+  return text;
 }
 
 std::string RenderQuery(const GenQuery& q) {
@@ -454,7 +537,230 @@ std::string RenderQuery(const GenQuery& q) {
     text += q.returns[i].first;
     if (!q.returns[i].second.empty()) text += "." + q.returns[i].second;
   }
+  text += RenderOrderAndLimit(q);
   return text;
+}
+
+// --- generated dependency queries --------------------------------------------
+
+/// One path node as generated: anonymous nodes render without a variable
+/// but keep a synthetic oracle var (the join the engine's rewriter creates
+/// with its internal names).
+struct GenDepNode {
+  EntityType type = EntityType::kProcess;
+  std::string var;   ///< oracle variable (always set)
+  bool anonymous = false;
+  GenConstraint constraint;
+};
+
+struct GenDepEdge {
+  bool arrow_forward = true;  ///< previous node is the event's subject
+  std::vector<OpType> ops;
+  Duration within = 0;  ///< hop window vs the previous edge (never edge 0)
+};
+
+std::string RenderEntityDecl(EntityType type, const std::string& var,
+                             const GenConstraint& c) {
+  std::string out = type == EntityType::kFile      ? "file "
+                    : type == EntityType::kNetwork ? "ip "
+                                                   : "proc ";
+  out += var;
+  std::vector<std::string> constraints;
+  if (c.like.has_value()) constraints.push_back("\"" + *c.like + "\"");
+  if (c.user_eq.has_value()) {
+    constraints.push_back("user = \"" + *c.user_eq + "\"");
+  }
+  if (c.dst_port.has_value()) {
+    constraints.push_back("dst_port = " + std::to_string(*c.dst_port));
+  }
+  if (!constraints.empty()) {
+    out += "[";
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += constraints[i];
+    }
+    out += "]";
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+/// Generates a dependency path query plus its independent oracle form:
+/// every edge becomes one event pattern (the arrow fixing the subject
+/// side), shared path nodes join through their variable, and consecutive
+/// events are chained before/after per the path direction with the edge's
+/// hop window as the bound. Node constraints apply to the entity, i.e. at
+/// every occurrence of its variable.
+GenCase GenerateDependencyCase(Rng* rng, const World& /*world*/) {
+  const OpType file_ops[] = {OpType::kRead, OpType::kWrite, OpType::kExecute,
+                             OpType::kDelete, OpType::kRename};
+  const OpType net_ops[] = {OpType::kRead, OpType::kWrite, OpType::kConnect,
+                            OpType::kAccept};
+  const OpType proc_ops[] = {OpType::kStart, OpType::kEnd, OpType::kConnect};
+  const char* user_eqs[] = {"root", "alice", "bob", "system"};
+
+  bool forward = rng->Chance(0.5);
+  int num_edges = 1 + static_cast<int>(rng->Uniform(3));
+
+  std::vector<GenDepNode> nodes;
+  std::vector<GenDepEdge> edges;
+  int anon_counter = 0;
+
+  auto make_node = [&](EntityType type, bool may_be_anonymous) {
+    GenDepNode node;
+    node.type = type;
+    node.anonymous = may_be_anonymous && rng->Chance(0.25);
+    node.var = node.anonymous
+                   ? "$anon" + std::to_string(++anon_counter)
+                   : "d" + std::to_string(nodes.size());
+    if (rng->Chance(0.45)) {
+      node.constraint.like = RenderLike(type, rng);
+    }
+    if (type == EntityType::kProcess && rng->Chance(0.15)) {
+      node.constraint.user_eq = user_eqs[rng->Uniform(4)];
+    }
+    if (type == EntityType::kNetwork && rng->Chance(0.2)) {
+      node.constraint.dst_port = 443;
+    }
+    nodes.push_back(node);
+  };
+
+  auto random_type = [&]() {
+    double r = rng->NextDouble();
+    return r < 0.45   ? EntityType::kFile
+           : r < 0.7  ? EntityType::kNetwork
+                      : EntityType::kProcess;
+  };
+
+  // The start node stays named so the return clause always has a variable.
+  make_node(rng->Chance(0.6) ? EntityType::kProcess : random_type(), false);
+  for (int i = 0; i < num_edges; ++i) {
+    const GenDepNode& prev = nodes.back();
+    GenDepEdge edge;
+    // The event's subject must be a process: a non-process previous node
+    // forces a backward arrow (target becomes the subject); from a process
+    // either direction is legal (backward then needs a process target).
+    if (prev.type != EntityType::kProcess) {
+      edge.arrow_forward = false;
+    } else {
+      edge.arrow_forward = rng->Chance(0.65);
+    }
+    EntityType target_type =
+        edge.arrow_forward ? random_type() : EntityType::kProcess;
+    // The event's object side decides which operations are legal.
+    EntityType object_type = edge.arrow_forward ? target_type : prev.type;
+    switch (object_type) {
+      case EntityType::kFile:
+        edge.ops.push_back(file_ops[rng->Uniform(5)]);
+        if (rng->Chance(0.3)) edge.ops.push_back(file_ops[rng->Uniform(5)]);
+        break;
+      case EntityType::kNetwork:
+        edge.ops.push_back(net_ops[rng->Uniform(4)]);
+        if (rng->Chance(0.3)) edge.ops.push_back(net_ops[rng->Uniform(4)]);
+        break;
+      case EntityType::kProcess:
+        edge.ops.push_back(proc_ops[rng->Uniform(3)]);
+        if (rng->Chance(0.3)) edge.ops.push_back(proc_ops[rng->Uniform(3)]);
+        break;
+    }
+    std::sort(edge.ops.begin(), edge.ops.end());
+    edge.ops.erase(std::unique(edge.ops.begin(), edge.ops.end()),
+                   edge.ops.end());
+    if (i > 0 && rng->Chance(0.35)) {
+      const Duration bounds[] = {kMinute, 5 * kMinute, 30 * kMinute,
+                                 2 * kHour};
+      edge.within = bounds[rng->Uniform(4)];
+    }
+    edges.push_back(edge);
+    make_node(target_type, true);
+  }
+
+  // Oracle form: one pattern per edge, chained temporally.
+  GenCase gen;
+  GenerateGlobals(rng, &gen.oracle);
+  for (int i = 0; i < num_edges; ++i) {
+    const GenDepNode& prev = nodes[i];
+    const GenDepNode& target = nodes[i + 1];
+    const GenDepNode& subj = edges[i].arrow_forward ? prev : target;
+    const GenDepNode& obj = edges[i].arrow_forward ? target : prev;
+    GenPattern p;
+    p.otype = obj.type;
+    p.ops = edges[i].ops;
+    p.subj_var = subj.var;
+    p.obj_var = obj.var;
+    // A node's constraint filters the entity itself, so it holds at every
+    // occurrence of the variable.
+    p.subj.like = subj.constraint.like;
+    p.subj.user_eq = subj.constraint.user_eq;
+    p.obj.like = obj.constraint.like;
+    p.obj.dst_port = obj.constraint.dst_port;
+    if (obj.type == EntityType::kProcess) p.obj.user_eq = obj.constraint.user_eq;
+    p.event_var = "$dep" + std::to_string(i + 1);
+    gen.oracle.patterns.push_back(std::move(p));
+    if (i > 0) {
+      GenTemporal rel;
+      // forward: event i-1 ends before event i starts; backward reversed.
+      rel.left = forward ? static_cast<size_t>(i - 1) : static_cast<size_t>(i);
+      rel.right = forward ? static_cast<size_t>(i) : static_cast<size_t>(i - 1);
+      rel.within = edges[i].within;
+      gen.oracle.rels.push_back(rel);
+    }
+  }
+
+  // Returns: a subset of the named nodes (the start node guarantees one).
+  std::vector<std::string> named;
+  for (const GenDepNode& node : nodes) {
+    if (!node.anonymous) named.push_back(node.var);
+  }
+  bool all_vars = rng->Chance(0.6);
+  for (const std::string& var : named) {
+    if (all_vars || rng->Chance(0.5)) {
+      gen.oracle.returns.emplace_back(var, "");
+    }
+  }
+  if (gen.oracle.returns.empty()) {
+    gen.oracle.returns.emplace_back(named.front(), "");
+  }
+  gen.oracle.distinct = rng->Chance(0.4);
+  GenerateOrderAndLimit(rng, &gen.oracle);
+
+  // Render the path text.
+  std::string text;
+  if (gen.oracle.window.has_value()) {
+    text += "(from \"" + gen.oracle.from_text + "\" to \"" +
+            gen.oracle.to_text + "\") ";
+  }
+  if (gen.oracle.agent.has_value()) {
+    text += "agentid = " + std::to_string(*gen.oracle.agent) + " ";
+  }
+  text += forward ? "forward: " : "backward: ";
+  text += RenderEntityDecl(nodes[0].type,
+                           nodes[0].anonymous ? "" : nodes[0].var,
+                           nodes[0].constraint);
+  for (int i = 0; i < num_edges; ++i) {
+    text += edges[i].arrow_forward ? " ->[" : " <-[";
+    for (size_t k = 0; k < edges[i].ops.size(); ++k) {
+      if (k > 0) text += " || ";
+      text += OpTypeToString(edges[i].ops[k]);
+    }
+    if (edges[i].within > 0) {
+      text += ", " + std::to_string(edges[i].within / kMinute) + " min";
+    }
+    text += "] ";
+    const GenDepNode& target = nodes[i + 1];
+    text += RenderEntityDecl(target.type,
+                             target.anonymous ? "" : target.var,
+                             target.constraint);
+  }
+  text += " return ";
+  if (gen.oracle.distinct) text += "distinct ";
+  for (size_t i = 0; i < gen.oracle.returns.size(); ++i) {
+    if (i > 0) text += ", ";
+    text += gen.oracle.returns[i].first;
+  }
+  text += RenderOrderAndLimit(gen.oracle);
+  gen.text = std::move(text);
+  return gen;
 }
 
 // --- the brute-force oracle --------------------------------------------------
@@ -509,9 +815,14 @@ ResultTable OracleExecute(const World& world, const GenQuery& q,
         if (c.dst_port.has_value() && n.dst_port != *c.dst_port) return false;
         return true;
       }
-      case EntityType::kProcess:
-        return !c.like.has_value() ||
-               c.like->Matches(world.procs[e.object].exe);
+      case EntityType::kProcess: {
+        const GenProc& proc = world.procs[e.object];
+        if (c.like.has_value() && !c.like->Matches(proc.exe)) return false;
+        if (c.user_eq.has_value() && !c.user_eq->Matches(proc.user)) {
+          return false;
+        }
+        return true;
+      }
     }
     return false;
   };
@@ -642,6 +953,93 @@ ResultTable OracleExecute(const World& world, const GenQuery& q,
   return table;
 }
 
+// --- result comparison -------------------------------------------------------
+
+/// Cell comparison replicating the engine's ORDER BY semantics (numbers
+/// numerically, strings lexicographically, mixed treats strings as 0).
+int CompareCells(const Value& a, const Value& b) {
+  bool a_str = std::holds_alternative<std::string>(a);
+  bool b_str = std::holds_alternative<std::string>(b);
+  if (a_str && b_str) {
+    return std::get<std::string>(a).compare(std::get<std::string>(b));
+  }
+  auto num = [](const Value& v) {
+    if (const auto* i = std::get_if<int64_t>(&v)) {
+      return static_cast<double>(*i);
+    }
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    return 0.0;
+  };
+  double l = num(a), r = num(b);
+  return l < r ? -1 : (l > r ? 1 : 0);
+}
+
+std::string RenderRow(const std::vector<Value>& row) {
+  std::string out;
+  for (const Value& value : row) {
+    out += ValueToString(value);
+    out += '\x1f';
+  }
+  return out;
+}
+
+/// Compares the engine's table with the oracle's. Unordered queries demand
+/// multiset equality. Ordered queries are verified tie-aware: the engine's
+/// key-tuple sequence must equal the comparator's prescribed sequence
+/// (truncated under LIMIT), and every returned row must exist in the
+/// oracle's result multiset — so ties may permute and LIMIT may keep any
+/// tied prefix, but nothing else. Returns an empty string on agreement.
+std::string CompareResult(ResultTable engine, ResultTable oracle,
+                          const GenQuery& q) {
+  if (engine.columns != oracle.columns) return "column headers differ";
+  if (q.order.empty()) {
+    engine.SortRows();
+    oracle.SortRows();
+    if (!(engine == oracle)) {
+      return "rows differ: engine=" + std::to_string(engine.num_rows()) +
+             " oracle=" + std::to_string(oracle.num_rows());
+    }
+    return "";
+  }
+
+  // Ordered: columns of the keys are the return indexes themselves.
+  const auto& keys = q.order;
+  std::stable_sort(
+      oracle.rows.begin(), oracle.rows.end(),
+      [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+        for (const auto& [column, desc] : keys) {
+          int cmp = CompareCells(a[column], b[column]);
+          if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+        }
+        return false;
+      });
+  size_t expect = oracle.rows.size();
+  if (q.limit.has_value()) {
+    expect = std::min(expect, static_cast<size_t>(*q.limit));
+  }
+  if (engine.rows.size() != expect) {
+    return "row count: engine=" + std::to_string(engine.num_rows()) +
+           " expected=" + std::to_string(expect) + " (oracle total " +
+           std::to_string(oracle.num_rows()) + ")";
+  }
+  for (size_t i = 0; i < expect; ++i) {
+    for (const auto& [column, desc] : keys) {
+      (void)desc;
+      if (CompareCells(engine.rows[i][column], oracle.rows[i][column]) != 0) {
+        return "order-key sequence diverges at row " + std::to_string(i);
+      }
+    }
+  }
+  std::multiset<std::string> pool;
+  for (const auto& row : oracle.rows) pool.insert(RenderRow(row));
+  for (const auto& row : engine.rows) {
+    auto it = pool.find(RenderRow(row));
+    if (it == pool.end()) return "engine row not in oracle result";
+    pool.erase(it);
+  }
+  return "";
+}
+
 // --- the test ----------------------------------------------------------------
 
 std::vector<std::pair<std::string, EngineOptions>> AllOptionCombos() {
@@ -663,7 +1061,10 @@ std::vector<std::pair<std::string, EngineOptions>> AllOptionCombos() {
 }
 
 TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
-  const uint64_t seed = 20180510;
+  uint64_t seed = 20180510;
+  if (const char* env = std::getenv("AIQL_ORACLE_SEED")) {
+    seed = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
   World world = GenerateWorld(seed, 1500);
   AuditDatabase db = BuildDatabase(world);
 
@@ -689,35 +1090,48 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
   int executed = 0;
   int attempts = 0;
   int mismatches = 0;
+  int dependency_cases = 0;
+  int ordered_cases = 0;
   while (executed < target && attempts < target * 20) {
     ++attempts;
-    GenQuery q = GenerateQuery(&rng, world);
+    GenCase gen;
+    bool is_dependency = rng.Chance(0.35);
+    if (is_dependency) {
+      gen = GenerateDependencyCase(&rng, world);
+    } else {
+      gen.oracle = GenerateQuery(&rng, world);
+      gen.text = RenderQuery(gen.oracle);
+    }
+    const GenQuery& q = gen.oracle;
     size_t rows_bound = 0;
     ResultTable expected = OracleExecute(world, q, &rows_bound);
     // Skip pathological cross products: they only stress row copying.
     if (rows_bound > 100000 || expected.rows.size() > 20000) continue;
-    expected.SortRows();
+    // Count coverage only for cases that actually execute below.
+    if (is_dependency) ++dependency_cases;
+    if (!q.order.empty()) ++ordered_cases;
 
-    std::string text = RenderQuery(q);
     for (size_t c = 0; c < combos.size(); ++c) {
       for (AiqlEngine* engine : {db_engines[c].get(), snap_engines[c].get()}) {
         const char* source = engine == db_engines[c].get() ? "db" : "snapshot";
-        auto result = engine->Execute(text);
+        auto result = engine->Execute(gen.text);
         ASSERT_TRUE(result.ok())
             << "[" << combos[c].first << " via " << source << "] failed on: "
-            << text << "\n  " << result.status().ToString();
-        result->table.SortRows();
-        if (!(result->table == expected)) {
+            << gen.text << "\n  " << result.status().ToString();
+        std::string failure = CompareResult(result->table, expected, q);
+        if (!failure.empty()) {
           ++mismatches;
           ADD_FAILURE() << "[" << combos[c].first << " via " << source
-                        << "] MISMATCH on: " << text << "\n  engine rows="
-                        << result->table.num_rows()
-                        << " oracle rows=" << expected.num_rows();
+                        << "] MISMATCH on: " << gen.text << "\n  "
+                        << failure;
         }
       }
     }
     ++executed;
   }
+  // The widened generator must actually exercise the new surfaces.
+  EXPECT_GT(dependency_cases, target / 8);
+  EXPECT_GT(ordered_cases, target / 8);
   std::remove(snap_path.c_str());
   EXPECT_EQ(mismatches, 0);
   ASSERT_GE(executed, std::min(target, 50))

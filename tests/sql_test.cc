@@ -194,6 +194,36 @@ TEST_F(SqlTest, TranslatorEmitsJoinsAndConstraints) {
   EXPECT_GT(translated->metrics.constraints, 20u);
 }
 
+TEST_F(SqlTest, TranslatorReEncodesLikeEscapes) {
+  // AIQL escape semantics ('\_' literal, bare '\' before other chars
+  // ordinary) must become standard SQL escaping: ordinary backslashes
+  // double and the operand gains an explicit ESCAPE '\' clause. Patterns
+  // without backslashes stay untouched (no spurious ESCAPE).
+  auto parsed = ParseAiql(
+      "proc p[\"update\\_agent\"] write file f[\"%config\\SAM%\"] "
+      "return p, f");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto translated = TranslateToSql(*parsed, SqlSchemaMode::kNormalized);
+  ASSERT_TRUE(translated.ok()) << translated.status().ToString();
+  const std::string& sql = translated->sql;
+  EXPECT_NE(sql.find("LIKE 'update\\_agent' ESCAPE '\\'"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("LIKE '%config\\\\SAM%' ESCAPE '\\'"),
+            std::string::npos)
+      << sql;
+
+  // The mini-SQL front end accepts the emitted clause (and only '\').
+  ASSERT_TRUE(
+      ParseSql("SELECT p.exe_name FROM process p WHERE p.exe_name LIKE "
+               "'update\\_agent' ESCAPE '\\'")
+          .ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT p.exe_name FROM process p WHERE p.exe_name LIKE "
+               "'x%' ESCAPE '!'")
+          .ok());
+}
+
 TEST_F(SqlTest, TranslatedSqlIsLessConciseThanAiql) {
   auto parsed = ParseAiql(kExfilAiql);
   ASSERT_TRUE(parsed.ok());

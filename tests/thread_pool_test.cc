@@ -98,6 +98,77 @@ TEST(ThreadPoolTest, ParallelForProgressesWhileWorkersAreBusy) {
   for (auto& blocker : blockers) blocker.get();
 }
 
+// Provenance frontier expansion issues ParallelFor(#selected partitions),
+// which is routinely 0 (nothing overlaps the hop's range) or 1. Those edges
+// and a throwing iteration must neither hang nor poison the pool.
+
+TEST(ThreadPoolTest, ParallelForSingleIterationExceptionPropagates) {
+  ThreadPool pool(2);
+  // n == 1 runs inline on the caller; the exception must surface the same
+  // way it does for the multi-iteration path.
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForEveryIterationThrowing) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(16,
+                                [&](size_t) {
+                                  ran.fetch_add(1);
+                                  throw std::runtime_error("all fail");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);  // no iteration is skipped or double-run
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterIterationException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(4, [](size_t) { throw std::runtime_error("first"); }),
+      std::runtime_error);
+  // Subsequent ParallelFor and Submit calls on the same pool must work.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(8, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+  auto future = pool.Submit([&] { ran.fetch_add(1); });
+  future.get();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneFromInsideWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  auto future = pool.Submit([&] {
+    pool.ParallelFor(0, [](size_t) { FAIL() << "no iteration expected"; });
+    pool.ParallelFor(1, [&](size_t) { ran.fetch_add(1); });
+  });
+  ASSERT_EQ(future.wait_for(30s), std::future_status::ready)
+      << "zero/one-item ParallelFor hung inside a worker";
+  future.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionFromWorkerIterationReachesCaller) {
+  // Force helpers to run iterations: the caller is blocked in a slow first
+  // iteration while a worker hits the throwing one.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&](size_t i) {
+                                  if (i == 0) {
+                                    std::this_thread::sleep_for(50ms);
+                                  }
+                                  ran.fetch_add(1);
+                                  if (i == 5) {
+                                    throw std::runtime_error("worker-side");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
+}
+
 // An iteration that throws must neither hang the caller nor lose the
 // error: the first exception rethrows on the calling thread once every
 // iteration has finished.
