@@ -17,6 +17,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -34,6 +35,7 @@
 #include "simulator/queries_c.h"
 #include "simulator/replay.h"
 #include "simulator/scenario.h"
+#include "storage/shard_map.h"
 #include "storage/snapshot.h"
 
 using namespace aiql;
@@ -357,6 +359,286 @@ void WriteProvenanceJson(FILE* out, const ProvenanceBench& bench) {
       static_cast<unsigned long long>(bench.snapshot_partitions_loaded),
       static_cast<unsigned long long>(bench.snapshot_partitions_total),
       bench.chain_nodes, bench.failed ? ", \"failed\": true" : "");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scatter/gather mode (--sharded): the fig4 suite and the
+// multi-host campaign track at 1/2/4/8 agent-range shards, against the
+// single-database runs. Row counts and exact campaign-chain recovery are
+// correctness gates (non-zero exit on any divergence).
+
+/// Per-shard databases routed by agent range under one ShardMap.
+struct ShardedDbs {
+  std::vector<std::unique_ptr<AuditDatabase>> dbs;
+  ShardMap map;
+};
+
+std::unique_ptr<ShardedDbs> BuildShardedDbs(
+    const std::vector<EventRecord>& records, size_t num_shards) {
+  AgentId min_agent = records.front().agent_id;
+  AgentId max_agent = min_agent;
+  for (const EventRecord& record : records) {
+    min_agent = std::min(min_agent, record.agent_id);
+    max_agent = std::max(max_agent, record.agent_id);
+  }
+  auto ranges = EvenAgentRanges(num_shards, min_agent, max_agent);
+  auto routed = RouteRecordsByAgent(ranges, records);
+  if (!routed.ok()) {
+    std::fprintf(stderr, "sharded routing failed: %s\n",
+                 routed.status().ToString().c_str());
+    return nullptr;
+  }
+  auto out = std::make_unique<ShardedDbs>();
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    auto db = IngestRecords((*routed)[s], StorageOptions{});
+    if (!db.ok()) {
+      std::fprintf(stderr, "shard %zu ingest failed: %s\n", s,
+                   db.status().ToString().c_str());
+      return nullptr;
+    }
+    out->dbs.push_back(std::make_unique<AuditDatabase>(std::move(*db)));
+    Status added = out->map.AddShard(out->dbs.back().get(), ranges[s]);
+    if (!added.ok()) {
+      std::fprintf(stderr, "shard %zu add failed: %s\n", s,
+                   added.ToString().c_str());
+      return nullptr;
+    }
+  }
+  return out;
+}
+
+struct ShardedQueryRun {
+  std::string id;
+  int64_t wall_us = 0;
+  size_t rows = 0;
+  size_t single_rows = 0;
+  bool rows_match = false;
+  bool failed = false;
+};
+
+struct ShardedTrackRun {
+  int64_t track_us = 0;
+  size_t nodes = 0;
+  size_t edges = 0;
+  int hops = 0;
+  bool chain_recovered = false;
+};
+
+struct ShardedSuiteRun {
+  size_t num_shards = 0;
+  int64_t fig4_total_us = 0;
+  int row_mismatches = 0;
+  std::vector<ShardedQueryRun> queries;
+  ShardedTrackRun track;
+};
+
+struct ShardedBench {
+  std::vector<ShardedSuiteRun> suites;
+  int64_t single_fig4_total_us = 0;
+  ShardedTrackRun single_track;
+  bool failed = false;
+};
+
+/// Backward-tracks the planted multi-host campaign and checks the result
+/// against the exact ground truth: every chain entity at its discovery
+/// position, depth, and time bound; all chain events; no decoys.
+ShardedTrackRun RunCampaignTrack(
+    AiqlEngine* engine,
+    const std::function<std::string(const ProvenanceNode&)>& name_of,
+    const CampaignChainTruth& truth) {
+  ShardedTrackRun run;
+  TrackRequest request;
+  request.type = EntityType::kNetwork;
+  request.name_like = truth.poi_like;
+  request.anchor = truth.anchor;
+  Result<ProvenanceResult> result = Status::Internal("not run");
+  run.track_us = TimeUs([&] { result = engine->Track(request); });
+  if (!result.ok()) {
+    std::fprintf(stderr, "campaign track FAILED: %s\n",
+                 result.status().ToString().c_str());
+    return run;
+  }
+  run.nodes = result->nodes.size();
+  run.edges = result->edges.size();
+  run.hops = result->stats.hops;
+  run.chain_recovered = result->nodes.size() == truth.chain.size() &&
+                        result->edges.size() == truth.chain_events &&
+                        !result->stats.truncated;
+  if (run.chain_recovered) {
+    for (size_t i = 0; i < result->nodes.size(); ++i) {
+      const ProvenanceNode& node = result->nodes[i];
+      if (node.type != truth.chain[i].first ||
+          name_of(node) != truth.chain[i].second ||
+          node.depth != truth.chain_depths[i] ||
+          node.bound != truth.chain_bounds[i]) {
+        run.chain_recovered = false;
+        break;
+      }
+    }
+  }
+  if (!run.chain_recovered) {
+    std::fprintf(stderr,
+                 "campaign chain NOT recovered: %zu nodes (want %zu), "
+                 "%zu edges (want %zu)%s\n",
+                 result->nodes.size(), truth.chain.size(),
+                 result->edges.size(), truth.chain_events,
+                 result->stats.truncated ? ", truncated" : "");
+  }
+  return run;
+}
+
+/// Runs the fig4 suite and the campaign track at each shard count; every
+/// sharded row count is gated against the single-database run.
+ShardedBench RunShardedBench(const std::vector<EventRecord>& demo_records,
+                             const std::vector<CatalogQuery>& fig4_queries,
+                             const std::map<std::string, size_t>& single_rows,
+                             const std::vector<QueryRun>& single_runs,
+                             const ScenarioOptions& options, int repeat) {
+  ShardedBench bench;
+  for (const QueryRun& run : single_runs) {
+    if (run.suite == "fig4") bench.single_fig4_total_us += run.wall_us;
+  }
+
+  CampaignScenarioData campaign = GenerateCampaignScenario(options);
+  {
+    auto db = IngestRecords(campaign.records, StorageOptions{});
+    if (!db.ok()) {
+      std::fprintf(stderr, "campaign ingest failed: %s\n",
+                   db.status().ToString().c_str());
+      bench.failed = true;
+      return bench;
+    }
+    AiqlEngine engine(&*db);
+    const EntityStore& entities = db->entities();
+    bench.single_track = RunCampaignTrack(
+        &engine,
+        [&](const ProvenanceNode& node) {
+          return entities.EntityName(node.type, node.id);
+        },
+        campaign.truth);
+    bench.failed = bench.failed || !bench.single_track.chain_recovered;
+  }
+
+  for (size_t num_shards : {1u, 2u, 4u, 8u}) {
+    ShardedSuiteRun suite;
+    suite.num_shards = num_shards;
+
+    auto demo_shards = BuildShardedDbs(demo_records, num_shards);
+    if (demo_shards == nullptr) {
+      bench.failed = true;
+      return bench;
+    }
+    AiqlEngine engine(&demo_shards->map);
+    for (const CatalogQuery& query : fig4_queries) {
+      ShardedQueryRun q;
+      q.id = query.id;
+      auto it = single_rows.find("fig4/" + query.id);
+      q.single_rows = it == single_rows.end() ? 0 : it->second;
+      q.wall_us = INT64_MAX;
+      for (int i = 0; i < repeat; ++i) {
+        size_t rows = 0;
+        int64_t us = TimeUs([&] {
+          auto result = engine.Execute(query.text);
+          if (result.ok()) {
+            rows = result->table.num_rows();
+          } else {
+            q.failed = true;
+            std::fprintf(stderr, "  sharded(%zu) %s FAILED: %s\n", num_shards,
+                         query.id.c_str(),
+                         result.status().ToString().c_str());
+          }
+        });
+        if (us < q.wall_us) {
+          q.wall_us = us;
+          q.rows = rows;
+        }
+      }
+      q.rows_match = !q.failed && q.rows == q.single_rows;
+      if (!q.rows_match) {
+        ++suite.row_mismatches;
+        std::fprintf(stderr,
+                     "  sharded(%zu) %s row mismatch: got %zu want %zu\n",
+                     num_shards, q.id.c_str(), q.rows, q.single_rows);
+      }
+      suite.fig4_total_us += q.wall_us;
+      suite.queries.push_back(std::move(q));
+    }
+
+    auto campaign_shards = BuildShardedDbs(campaign.records, num_shards);
+    if (campaign_shards == nullptr) {
+      bench.failed = true;
+      return bench;
+    }
+    {
+      AiqlEngine track_engine(&campaign_shards->map);
+      const ShardMap& map = campaign_shards->map;
+      suite.track = RunCampaignTrack(
+          &track_engine,
+          [&](const ProvenanceNode& node) {
+            return map.entities(node.shard).EntityName(node.type, node.id);
+          },
+          campaign.truth);
+    }
+
+    bench.failed = bench.failed || suite.row_mismatches > 0 ||
+                   !suite.track.chain_recovered;
+    std::fprintf(stderr,
+                 "  sharded(%zu): fig4 %lld us (single %lld us), %d row "
+                 "mismatches, track %lld us chain %s\n",
+                 num_shards, static_cast<long long>(suite.fig4_total_us),
+                 static_cast<long long>(bench.single_fig4_total_us),
+                 suite.row_mismatches,
+                 static_cast<long long>(suite.track.track_us),
+                 suite.track.chain_recovered ? "recovered" : "NOT RECOVERED");
+    bench.suites.push_back(std::move(suite));
+  }
+  return bench;
+}
+
+void WriteShardedJson(FILE* out, const ShardedBench& bench) {
+  std::fprintf(out, "  \"sharded\": {\n");
+  std::fprintf(out,
+               "    \"single_db\": {\"fig4_total_us\": %lld, "
+               "\"track_us\": %lld, \"track_nodes\": %zu, "
+               "\"track_edges\": %zu, \"chain_recovered\": %s},\n",
+               static_cast<long long>(bench.single_fig4_total_us),
+               static_cast<long long>(bench.single_track.track_us),
+               bench.single_track.nodes, bench.single_track.edges,
+               bench.single_track.chain_recovered ? "true" : "false");
+  std::fprintf(out, "    \"suites\": [\n");
+  for (size_t si = 0; si < bench.suites.size(); ++si) {
+    const ShardedSuiteRun& suite = bench.suites[si];
+    std::fprintf(out,
+                 "      {\"num_shards\": %zu, \"fig4_total_us\": %lld, "
+                 "\"row_mismatches\": %d,\n",
+                 suite.num_shards,
+                 static_cast<long long>(suite.fig4_total_us),
+                 suite.row_mismatches);
+    std::fprintf(out,
+                 "       \"track\": {\"track_us\": %lld, \"nodes\": %zu, "
+                 "\"edges\": %zu, \"hops\": %d, \"chain_recovered\": %s},\n",
+                 static_cast<long long>(suite.track.track_us),
+                 suite.track.nodes, suite.track.edges, suite.track.hops,
+                 suite.track.chain_recovered ? "true" : "false");
+    std::fprintf(out, "       \"queries\": [\n");
+    for (size_t i = 0; i < suite.queries.size(); ++i) {
+      const ShardedQueryRun& q = suite.queries[i];
+      std::fprintf(out,
+                   "        {\"id\": \"%s\", \"wall_us\": %lld, "
+                   "\"rows\": %zu, \"single_rows\": %zu, "
+                   "\"rows_match\": %s%s}%s\n",
+                   q.id.c_str(), static_cast<long long>(q.wall_us), q.rows,
+                   q.single_rows, q.rows_match ? "true" : "false",
+                   q.failed ? ", \"failed\": true" : "",
+                   i + 1 < suite.queries.size() ? "," : "");
+    }
+    std::fprintf(out, "       ]}%s\n",
+                 si + 1 < bench.suites.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"all_match\": %s\n",
+               bench.failed ? "false" : "true");
+  std::fprintf(out, "  },\n");
 }
 
 uint64_t FileSizeBytes(const std::string& path) {
@@ -699,7 +981,8 @@ void WriteJson(FILE* out, const std::string& label,
                bool has_baseline, double stream_rate,
                const std::vector<StreamSuiteRun>* streaming,
                const SnapshotBench* snapshot,
-               const ProvenanceBench* provenance) {
+               const ProvenanceBench* provenance,
+               const ShardedBench* sharded) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
   std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
@@ -723,6 +1006,7 @@ void WriteJson(FILE* out, const std::string& label,
 
   if (snapshot != nullptr) WriteSnapshotJson(out, *snapshot);
   if (provenance != nullptr) WriteProvenanceJson(out, *provenance);
+  if (sharded != nullptr) WriteShardedJson(out, *sharded);
 
   std::fprintf(out, "  \"queries\": [\n");
   int64_t total_us = 0, baseline_total_us = 0;
@@ -791,6 +1075,7 @@ int main(int argc, char** argv) {
   bool streaming = false;
   bool snapshot = false;
   bool provenance = false;
+  bool sharded = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -807,11 +1092,13 @@ int main(int argc, char** argv) {
       snapshot = true;
     } else if (std::strcmp(argv[i], "--provenance") == 0) {
       provenance = true;
+    } else if (std::strcmp(argv[i], "--sharded") == 0) {
+      sharded = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out file.json] [--baseline file.json] "
                    "[--label name] [--streaming] [--snapshot] "
-                   "[--provenance]\n",
+                   "[--provenance] [--sharded]\n",
                    argv[0]);
       return 2;
     }
@@ -924,6 +1211,21 @@ int main(int argc, char** argv) {
         provenance_bench.failed ? "NOT RECOVERED" : "recovered");
   }
 
+  // Sharded mode: the fig4 suite and the multi-host campaign track through
+  // 1/2/4/8-way agent-range shard maps; row counts and exact chain recovery
+  // gate the exit code against the single-database runs above.
+  ShardedBench sharded_bench;
+  if (sharded) {
+    std::map<std::string, size_t> single_rows;
+    for (const QueryRun& run : runs) {
+      single_rows[run.suite + "/" + run.id] = run.rows;
+    }
+    std::fprintf(stderr, "sharded: scatter/gather at 1/2/4/8 shards\n");
+    sharded_bench =
+        RunShardedBench(demo.records, DemoInvestigationQueries(demo.truth),
+                        single_rows, runs, options, repeat);
+  }
+
   // Streaming mode: re-ingest each suite's records at a pinned rate on a
   // background thread, concurrent with the suite's queries; verify the
   // post-Seal row counts against the sealed-batch runs above.
@@ -978,7 +1280,8 @@ int main(int argc, char** argv) {
   WriteJson(out, label, options, repeat, runs, storage, has_baseline,
             stream_rate, streaming ? &stream_suites : nullptr,
             snapshot ? &snapshot_bench : nullptr,
-            provenance ? &provenance_bench : nullptr);
+            provenance ? &provenance_bench : nullptr,
+            sharded ? &sharded_bench : nullptr);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
@@ -989,6 +1292,10 @@ int main(int argc, char** argv) {
   }
   if (provenance && provenance_bench.failed) {
     std::fprintf(stderr, "provenance bench verification failed\n");
+    return 1;
+  }
+  if (sharded && sharded_bench.failed) {
+    std::fprintf(stderr, "sharded bench verification failed\n");
     return 1;
   }
   int failures = 0;

@@ -14,6 +14,10 @@
 //   .sql    <query>    show the equivalent SQL (normalized schema)
 //   .cypher <query>    show the equivalent Cypher
 //   track ...          iterative provenance tracking (see `track` below)
+//   shards [<n>|off]   split the scenario into <n> agent-range shards and
+//                      execute everything through the scatter/gather
+//                      engine; 'off' returns to the single database;
+//                      no argument prints the current layout
 //   .quit              exit
 //
 // track backward|forward proc|file|ip "<like>" [at "<time>"] [depth N]
@@ -27,7 +31,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +45,7 @@
 #include "query/parser.h"
 #include "simulator/scenario.h"
 #include "sql/translator.h"
+#include "storage/shard_map.h"
 
 using namespace aiql;
 
@@ -64,6 +71,67 @@ void PrintStats(const AuditDatabase& db) {
                 FormatTimestamp(stats.min_ts).c_str(),
                 FormatTimestamp(stats.max_ts).c_str());
   }
+}
+
+/// Sharded execution state: per-shard databases under one ShardMap. Null
+/// `ShardedSetup` in the shell loop means plain single-database mode.
+struct ShardedSetup {
+  std::vector<ShardRange> ranges;
+  std::vector<std::unique_ptr<AuditDatabase>> dbs;
+  ShardMap map;
+};
+
+std::unique_ptr<ShardedSetup> BuildShards(
+    const std::vector<EventRecord>& records, size_t num_shards) {
+  AgentId min_agent = UINT32_MAX, max_agent = 0;
+  for (const EventRecord& record : records) {
+    min_agent = std::min(min_agent, record.agent_id);
+    max_agent = std::max(max_agent, record.agent_id);
+  }
+  if (min_agent > max_agent) {
+    std::printf("!! no records to shard\n");
+    return nullptr;
+  }
+  auto setup = std::make_unique<ShardedSetup>();
+  setup->ranges = EvenAgentRanges(num_shards, min_agent, max_agent);
+  auto routed = RouteRecordsByAgent(setup->ranges, records);
+  if (!routed.ok()) {
+    std::printf("!! %s\n", routed.status().ToString().c_str());
+    return nullptr;
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto db = IngestRecords((*routed)[s], StorageOptions{});
+    if (!db.ok()) {
+      std::printf("!! shard %zu ingest failed: %s\n", s,
+                  db.status().ToString().c_str());
+      return nullptr;
+    }
+    setup->dbs.push_back(std::make_unique<AuditDatabase>(std::move(*db)));
+    Status added = setup->map.AddShard(setup->dbs.back().get(),
+                                       setup->ranges[s]);
+    if (!added.ok()) {
+      std::printf("!! %s\n", added.ToString().c_str());
+      return nullptr;
+    }
+  }
+  return setup;
+}
+
+void PrintShardInfo(const ShardedSetup& setup) {
+  TablePrinter printer({"shard", "agents", "events", "partitions"});
+  for (size_t s = 0; s < setup.map.num_shards(); ++s) {
+    const ShardRange& range = setup.map.range(s);
+    const DatabaseStats& stats = setup.dbs[s]->stats();
+    printer.AddRow({std::to_string(s),
+                    "[" + std::to_string(range.begin) + ", " +
+                        std::to_string(range.end) + ")",
+                    std::to_string(stats.total_events),
+                    std::to_string(stats.total_partitions)});
+  }
+  std::printf("%s", printer.ToString().c_str());
+  std::printf("-- %zu shards, %llu events total; queries scatter/gather\n",
+              setup.map.num_shards(),
+              static_cast<unsigned long long>(setup.map.TotalEvents()));
 }
 
 /// Splits a track command line into tokens, keeping quoted strings whole.
@@ -95,8 +163,13 @@ std::vector<std::string> TokenizeTrack(const std::string& text) {
 
 /// `track backward file "%db.bak%" [at "..."] [depth N] [fanout N]
 ///  [nodes N] [hop N unit] [dot|cypher]`
-void RunTrack(AiqlEngine* engine, const AuditDatabase& db,
-              const std::string& args) {
+///
+/// `name_of` renders a node's display name (per-shard stores in sharded
+/// mode); `export_store` backs the dot/cypher exporters and is null in
+/// sharded mode (node ids span several stores there).
+void RunTrack(AiqlEngine* engine,
+              const std::function<std::string(const ProvenanceNode&)>& name_of,
+              const EntityStore* export_store, const std::string& args) {
   std::vector<std::string> tokens = TokenizeTrack(args);
   if (tokens.size() < 3) {
     std::printf("usage: track backward|forward proc|file|ip \"<like>\" "
@@ -205,13 +278,15 @@ void RunTrack(AiqlEngine* engine, const AuditDatabase& db,
     std::printf("!! %s\n", result.status().ToString().c_str());
     return;
   }
-  const EntityStore& entities = db.entities();
-  if (want_dot) {
-    std::printf("%s", ProvenanceToDot(*result, entities).c_str());
-    return;
-  }
-  if (want_cypher) {
-    std::printf("%s", ProvenanceToCypher(*result, entities).c_str());
+  if (want_dot || want_cypher) {
+    if (export_store == nullptr) {
+      std::printf("!! dot/cypher export is single-database only; "
+                  "run 'shards off' first\n");
+      return;
+    }
+    std::printf("%s", want_dot
+                          ? ProvenanceToDot(*result, *export_store).c_str()
+                          : ProvenanceToCypher(*result, *export_store).c_str());
     return;
   }
 
@@ -219,7 +294,7 @@ void RunTrack(AiqlEngine* engine, const AuditDatabase& db,
   for (const ProvenanceNode& node : result->nodes) {
     printer.AddRow({std::to_string(node.depth),
                     EntityTypeToString(node.type),
-                    entities.EntityName(node.type, node.id),
+                    name_of(node),
                     node.bound == INT64_MAX || node.bound == INT64_MIN
                         ? "-"
                         : FormatTimestamp(node.bound)});
@@ -285,7 +360,15 @@ int main(int argc, char** argv) {
               data.truth.domain_controller, data.truth.database_server,
               data.truth.attacker_ip.c_str());
 
-  AiqlEngine engine(&*db);
+  auto engine = std::make_unique<AiqlEngine>(&*db);
+  std::unique_ptr<ShardedSetup> sharded;  // null = single-database mode
+  // Node-name rendering for track output: per-shard stores when sharded.
+  auto name_of = [&](const ProvenanceNode& node) {
+    const EntityStore& entities = sharded != nullptr
+                                      ? sharded->map.entities(node.shard)
+                                      : db->entities();
+    return entities.EntityName(node.type, node.id);
+  };
   std::string line;
   while (true) {
     std::printf("aiql> ");
@@ -297,25 +380,57 @@ int main(int argc, char** argv) {
     if (trimmed == ".quit" || trimmed == ".exit") break;
     if (trimmed == ".help") {
       std::printf(".stats | .check <q> | .explain <q> | .sql <q> | "
-                  ".cypher <q> | .quit\n");
+                  ".cypher <q> | shards [<n>|off] | .quit\n");
       std::printf("track backward|forward proc|file|ip \"<like>\" "
                   "[at \"<time>\"] [depth N] [fanout N] [nodes N] "
                   "[hop <N> <sec|min|hour>] [dot|cypher]\n");
       continue;
     }
     if (StartsWith(trimmed, "track ")) {
-      RunTrack(&engine, *db, trimmed.substr(std::strlen("track ")));
+      RunTrack(engine.get(), name_of,
+               sharded != nullptr ? nullptr : &db->entities(),
+               trimmed.substr(std::strlen("track ")));
+      continue;
+    }
+    if (trimmed == "shards" || StartsWith(trimmed, "shards ")) {
+      std::string arg(TrimString(trimmed.substr(std::strlen("shards"))));
+      if (arg.empty()) {
+        if (sharded != nullptr) {
+          PrintShardInfo(*sharded);
+        } else {
+          std::printf("single-database mode; 'shards <n>' to shard\n");
+        }
+        continue;
+      }
+      if (ToLower(arg) == "off") {
+        sharded.reset();
+        engine = std::make_unique<AiqlEngine>(&*db);
+        std::printf("back to single-database mode\n");
+        continue;
+      }
+      char* end = nullptr;
+      long value = std::strtol(arg.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value < 1 || value > 64) {
+        std::printf("!! 'shards' expects a count in [1, 64] or 'off'\n");
+        continue;
+      }
+      auto setup = BuildShards(data.records, static_cast<size_t>(value));
+      if (setup == nullptr) continue;
+      sharded = std::move(setup);
+      engine = std::make_unique<AiqlEngine>(&sharded->map);
+      PrintShardInfo(*sharded);
       continue;
     }
     if (trimmed == ".stats") {
       PrintStats(*db);
+      if (sharded != nullptr) PrintShardInfo(*sharded);
       continue;
     }
     auto run_sub = [&](const char* cmd) -> std::string {
       return std::string(TrimString(trimmed.substr(std::strlen(cmd))));
     };
     if (StartsWith(trimmed, ".check ")) {
-      auto kind = engine.Check(run_sub(".check "));
+      auto kind = engine->Check(run_sub(".check "));
       if (kind.ok()) {
         std::printf("ok: valid %s query\n", QueryKindToString(*kind));
       } else {
@@ -324,7 +439,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (StartsWith(trimmed, ".explain ")) {
-      auto plan = engine.Explain(run_sub(".explain "));
+      auto plan = engine->Explain(run_sub(".explain "));
       std::printf("%s\n", plan.ok() ? plan->c_str()
                                     : plan.status().ToString().c_str());
       continue;
@@ -363,7 +478,7 @@ int main(int argc, char** argv) {
       if (TrimString(more).empty()) break;
       query += "\n" + more;
     }
-    Execute(&engine, query);
+    Execute(engine.get(), query);
   }
   std::printf("bye\n");
   return 0;

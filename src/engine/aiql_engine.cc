@@ -6,8 +6,10 @@
 #include "engine/anomaly.h"
 #include "engine/dependency.h"
 #include "engine/executor.h"
+#include "engine/shard_exec.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
+#include "storage/shard_map.h"
 #include "storage/snapshot.h"
 
 namespace aiql {
@@ -32,6 +34,9 @@ AiqlEngine::AiqlEngine(const AuditDatabase* db, EngineOptions options)
 AiqlEngine::AiqlEngine(const SnapshotStore* snapshot, EngineOptions options)
     : snapshot_(snapshot), options_(options), pool_(MakePool(options_)) {}
 
+AiqlEngine::AiqlEngine(const ShardMap* shards, EngineOptions options)
+    : shards_(shards), options_(options), pool_(MakePool(options_)) {}
+
 AiqlEngine::~AiqlEngine() = default;
 
 Result<QueryResult> AiqlEngine::Execute(std::string_view text) {
@@ -46,6 +51,10 @@ Result<QueryResult> AiqlEngine::Execute(std::string_view text) {
 }
 
 Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
+  if (shards_ != nullptr) {
+    ShardedExecutor executor(shards_, options_, pool_.get());
+    return executor.Execute(parsed);
+  }
   // One consistent snapshot of the sealed partitions per query: the view
   // holds the database's state lock shared, so ingestion keeps buffering
   // while this query runs and commits apply once the view closes. A
@@ -107,6 +116,7 @@ Result<std::string> AiqlEngine::Explain(std::string_view text) {
 }
 
 Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request) {
+  if (shards_ != nullptr) return TrackSharded(request);
   ReadView view =
       db_ != nullptr ? db_->OpenReadView() : snapshot_->OpenReadView();
   const EntityStore& entities = view.entities();
@@ -134,6 +144,44 @@ Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request) {
   Timestamp anchor = request.anchor.value_or(
       request.options.backward ? INT64_MAX : INT64_MIN);
   return TrackProvenance(view, roots, anchor, request.options, pool_.get());
+}
+
+Result<ProvenanceResult> AiqlEngine::TrackSharded(const TrackRequest& request) {
+  if (shards_->num_shards() == 0) {
+    return Status::InvalidArgument("shard map has no shards");
+  }
+  // One atomic view per shard, taken up front — root resolution and every
+  // hop run against this consistent scatter-time snapshot.
+  std::vector<ReadView> views = shards_->OpenReadViews();
+  LikeMatcher matcher(request.name_like);
+  std::vector<ShardEntity> roots;
+  for (size_t s = 0; s < views.size(); ++s) {
+    const EntityStore& entities = views[s].entities();
+    std::vector<EntityId> ids;
+    switch (request.type) {
+      case EntityType::kProcess:
+        ids = entities.FindProcessesByExe(matcher);
+        break;
+      case EntityType::kFile:
+        ids = entities.FindFilesByPath(matcher);
+        break;
+      case EntityType::kNetwork:
+        ids = entities.FindNetworksByIp(matcher, /*use_src=*/false);
+        break;
+    }
+    for (EntityId id : ids) {
+      roots.push_back(ShardEntity{static_cast<uint32_t>(s), request.type, id});
+    }
+  }
+  if (roots.empty()) {
+    return Status::NotFound("no " +
+                            std::string(EntityTypeToString(request.type)) +
+                            " entity matches '" + request.name_like + "'");
+  }
+  Timestamp anchor = request.anchor.value_or(
+      request.options.backward ? INT64_MAX : INT64_MIN);
+  return TrackProvenanceSharded(views, roots, anchor, request.options,
+                                pool_.get());
 }
 
 }  // namespace aiql

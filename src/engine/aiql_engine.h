@@ -21,6 +21,7 @@
 namespace aiql {
 
 class SnapshotStore;
+class ShardMap;
 
 /// Point-of-interest specification for AiqlEngine::Track(): every entity of
 /// `type` whose default attribute (exe name / path / dst ip) matches
@@ -54,6 +55,13 @@ class AiqlEngine {
   explicit AiqlEngine(const SnapshotStore* snapshot,
                       EngineOptions options = {});
 
+  /// Sharded mode: queries scatter across the map's shards (each backed by
+  /// a database or snapshot keyed by agent range) and gather through the
+  /// merge layer; Track() exchanges provenance frontiers across shards.
+  /// Single-db construction and semantics are unchanged. `shards` must
+  /// outlive the engine.
+  explicit AiqlEngine(const ShardMap* shards, EngineOptions options = {});
+
   ~AiqlEngine();
 
   /// Parses, analyzes, optimizes, and executes `text`.
@@ -77,8 +85,11 @@ class AiqlEngine {
  private:
   Result<QueryResult> Dispatch(const ParsedQuery& parsed);
 
+  Result<ProvenanceResult> TrackSharded(const TrackRequest& request);
+
   const AuditDatabase* db_ = nullptr;
   const SnapshotStore* snapshot_ = nullptr;
+  const ShardMap* shards_ = nullptr;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "storage/shard_map.h"
 
 namespace aiql {
 
@@ -346,6 +349,356 @@ Result<ProvenanceResult> TrackProvenance(
 
   // A non-empty final frontier means the depth budget stopped expansion
   // with entities still unexplored.
+  if (!frontier.empty()) result.stats.truncated = true;
+  return result;
+}
+
+Result<ProvenanceResult> TrackProvenanceSharded(
+    const std::vector<ReadView>& views, const std::vector<ShardEntity>& roots,
+    Timestamp anchor, const ProvenanceOptions& options, ThreadPool* pool) {
+  if (views.empty()) {
+    return Status::InvalidArgument("sharded tracking needs at least one "
+                                   "shard view");
+  }
+  if (roots.empty()) {
+    return Status::InvalidArgument("provenance tracking needs at least one "
+                                   "point-of-interest entity");
+  }
+  const size_t num_shards = views.size();
+  const bool backward = options.backward;
+  const TimeRange window =
+      options.window.value_or(TimeRange{INT64_MIN, INT64_MAX});
+
+  const OpMask object_side_mask =
+      options.op_mask &
+      (backward ? kSubjectToObjectOps : kObjectToSubjectOps);
+  const OpMask subject_side_mask =
+      options.op_mask &
+      (backward ? kObjectToSubjectOps : kSubjectToObjectOps);
+
+  std::optional<std::unordered_set<AgentId>> agent_set;
+  if (options.agents.has_value()) {
+    for (const ReadView& view : views) {
+      if (!view.options().enable_partitioning) {
+        agent_set.emplace(options.agents->begin(), options.agents->end());
+        break;
+      }
+    }
+  }
+
+  ProvenanceResult result;
+  // Node identity is the full attribute tuple — the only name that survives
+  // crossing a shard boundary. Each node also carries its id in every
+  // shard's space (kInvalidEntityId where a shard never interned it), so
+  // one frontier entity expands through every shard's reverse indexes.
+  std::unordered_map<std::string, uint32_t> node_slot;
+  std::vector<std::vector<EntityId>> local_ids;
+
+  auto resolve = [&](uint32_t source_shard, EntityType type, EntityId id) {
+    ObjectRef ref = MakeEntityRef(views[source_shard].entities(), type, id);
+    std::vector<EntityId> ids(num_shards, kInvalidEntityId);
+    for (size_t s = 0; s < num_shards; ++s) {
+      ids[s] = s == source_shard
+                   ? id
+                   : FindEntity(views[s].entities(), ref);
+    }
+    return std::make_pair(EntityRefKey(ref), std::move(ids));
+  };
+
+  auto add_node = [&](uint32_t shard, EntityType type, EntityId id, int depth,
+                      Timestamp bound, std::string key,
+                      std::vector<EntityId> ids) {
+    uint32_t slot = static_cast<uint32_t>(result.nodes.size());
+    node_slot.emplace(std::move(key), slot);
+    result.nodes.push_back(ProvenanceNode{type, id, depth, bound, shard});
+    local_ids.push_back(std::move(ids));
+    return slot;
+  };
+
+  std::vector<uint32_t> frontier;
+  for (const ShardEntity& root : roots) {
+    if (root.shard >= num_shards) {
+      return Status::InvalidArgument("root shard index out of range");
+    }
+    auto [key, ids] = resolve(root.shard, root.type, root.id);
+    if (node_slot.count(key) > 0) continue;  // duplicate root (any shard)
+    frontier.push_back(add_node(root.shard, root.type, root.id, 0, anchor,
+                                std::move(key), std::move(ids)));
+  }
+  result.num_roots = result.nodes.size();
+
+  // Event pointers are unique across shards (distinct stores), so one set
+  // still dedups re-discoveries after bound widening.
+  std::unordered_set<const Event*> recorded_events;
+
+  // A candidate's entity ids live in the id space of the shard that owns
+  // its partition.
+  struct ShardCandidate {
+    const Event* event = nullptr;
+    uint32_t shard = 0;
+    uint32_t frontier_pos = 0;
+    uint32_t partition = 0;  ///< global rank in the merged partition order
+    uint32_t event_index = 0;
+    EntityType other_type = EntityType::kProcess;
+    EntityId other_id = 0;
+  };
+
+  for (int hop = 1; hop <= options.max_depth && !frontier.empty(); ++hop) {
+    auto hop_start = Clock::now();
+    result.stats.hops = hop;
+    auto record_hop_latency = [&] {
+      result.stats.hop_latency_us.push_back(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - hop_start)
+              .count());
+    };
+
+    Timestamp min_bound = INT64_MAX;
+    Timestamp max_bound = INT64_MIN;
+    for (uint32_t slot : frontier) {
+      min_bound = std::min(min_bound, result.nodes[slot].bound);
+      max_bound = std::max(max_bound, result.nodes[slot].bound);
+    }
+    TimeRange scan_range = window;
+    if (backward) {
+      scan_range.end = std::min(scan_range.end, SatAdd(max_bound, 1));
+      if (options.hop_window > 0 && min_bound != INT64_MAX) {
+        scan_range.start =
+            std::max(scan_range.start, min_bound - options.hop_window);
+      }
+    } else {
+      scan_range.start = std::max(scan_range.start, min_bound);
+      if (options.hop_window > 0 && max_bound != INT64_MIN) {
+        scan_range.end = std::min(
+            scan_range.end, SatAdd(max_bound, options.hop_window + 1));
+      }
+    }
+    if (scan_range.empty()) {
+      record_hop_latency();
+      break;
+    }
+
+    // Partition selection fans across shards; the merged list is ordered by
+    // (bucket, agent) — shards own disjoint agent ranges, so a stable sort
+    // over the per-shard (bucket, agent, seq)-ordered lists reproduces the
+    // exact partition order a merged single database would scan in. All
+    // downstream tie-breaks (candidate sort, fanout cuts) therefore match
+    // the single-db tracker on identical data.
+    struct ShardPartition {
+      uint32_t shard;
+      PartitionKey key;
+      const EventPartition* partition;
+    };
+    std::vector<ShardPartition> partitions;
+    for (size_t s = 0; s < num_shards; ++s) {
+      AIQL_ASSIGN_OR_RETURN(
+          auto selected,
+          views[s].SelectPartitions(scan_range, options.agents));
+      for (const auto& [key, partition] : selected) {
+        partitions.push_back(
+            ShardPartition{static_cast<uint32_t>(s), key, partition});
+      }
+    }
+    std::stable_sort(partitions.begin(), partitions.end(),
+                     [](const ShardPartition& a, const ShardPartition& b) {
+                       if (a.key.bucket != b.key.bucket) {
+                         return a.key.bucket < b.key.bucket;
+                       }
+                       return a.key.agent_id < b.key.agent_id;
+                     });
+    result.stats.partitions_selected += partitions.size();
+    if (partitions.empty()) {
+      record_hop_latency();
+      break;
+    }
+
+    std::vector<std::vector<ShardCandidate>> found(partitions.size());
+    std::vector<uint64_t> inspected(partitions.size(), 0);
+
+    auto scan_partition = [&](size_t pi) {
+      const uint32_t shard = partitions[pi].shard;
+      const EventPartition& partition = *partitions[pi].partition;
+      const std::vector<Event>& events = partition.events();
+      std::vector<ShardCandidate>& out = found[pi];
+      uint64_t local_inspected = 0;
+
+      auto consider = [&](uint32_t fpos, Timestamp bound,
+                          std::pair<const uint32_t*, const uint32_t*> span,
+                          OpMask allowed, bool other_is_subject) {
+        if (span.first == nullptr || allowed == 0) return;
+        const uint32_t* first = span.first;
+        const uint32_t* last = span.second;
+        if (backward) {
+          last = std::partition_point(first, last, [&](uint32_t index) {
+            return events[index].start_ts <= bound;
+          });
+        } else {
+          first = std::partition_point(first, last, [&](uint32_t index) {
+            return events[index].start_ts < bound;
+          });
+        }
+        for (const uint32_t* it = first; it != last; ++it) {
+          const Event& event = events[*it];
+          ++local_inspected;
+          if (!OpMaskContains(allowed, event.op)) continue;
+          if (backward) {
+            if (event.end_ts > bound) continue;
+            if (options.hop_window > 0 && bound != INT64_MAX &&
+                bound - event.end_ts > options.hop_window) {
+              continue;
+            }
+          } else {
+            if (options.hop_window > 0 && bound != INT64_MIN &&
+                event.start_ts - bound > options.hop_window) {
+              continue;
+            }
+          }
+          if (!window.Contains(event.start_ts)) continue;
+          if (agent_set.has_value() &&
+              agent_set->count(event.agent_id) == 0) {
+            continue;
+          }
+          ShardCandidate candidate;
+          candidate.event = &event;
+          candidate.shard = shard;
+          candidate.frontier_pos = fpos;
+          candidate.partition = static_cast<uint32_t>(pi);
+          candidate.event_index = *it;
+          if (other_is_subject) {
+            candidate.other_type = EntityType::kProcess;
+            candidate.other_id = event.subject;
+          } else {
+            candidate.other_type = event.object_type;
+            candidate.other_id = event.object;
+          }
+          if (!TypeAllowed(options, candidate.other_type)) continue;
+          out.push_back(candidate);
+        }
+      };
+
+      for (uint32_t fpos = 0; fpos < frontier.size(); ++fpos) {
+        const ProvenanceNode& node = result.nodes[frontier[fpos]];
+        // The frontier entity in this shard's id space; invalid means the
+        // shard never interned it, so it cannot appear in any posting here.
+        EntityId local = local_ids[frontier[fpos]][shard];
+        if (local == kInvalidEntityId) continue;
+        consider(fpos, node.bound,
+                 partition.ObjectPostings(node.type, local),
+                 object_side_mask, /*other_is_subject=*/true);
+        if (node.type == EntityType::kProcess) {
+          consider(fpos, node.bound, partition.SubjectPostings(local),
+                   subject_side_mask, /*other_is_subject=*/false);
+        }
+      }
+      inspected[pi] = local_inspected;
+    };
+
+    if (pool != nullptr && partitions.size() > 1) {
+      pool->ParallelFor(partitions.size(),
+                        [&](size_t pi) { scan_partition(pi); });
+    } else {
+      for (size_t pi = 0; pi < partitions.size(); ++pi) scan_partition(pi);
+    }
+    for (uint64_t count : inspected) result.stats.events_inspected += count;
+
+    std::vector<std::vector<ShardCandidate>> per_node(frontier.size());
+    for (const std::vector<ShardCandidate>& chunk : found) {
+      for (const ShardCandidate& candidate : chunk) {
+        per_node[candidate.frontier_pos].push_back(candidate);
+      }
+    }
+
+    std::vector<uint32_t> next_frontier;
+    std::unordered_set<uint32_t> queued;
+    for (uint32_t fpos = 0; fpos < frontier.size(); ++fpos) {
+      std::vector<ShardCandidate>& candidates = per_node[fpos];
+      candidates.erase(
+          std::remove_if(candidates.begin(), candidates.end(),
+                         [&](const ShardCandidate& candidate) {
+                           return recorded_events.count(candidate.event) > 0;
+                         }),
+          candidates.end());
+      std::sort(candidates.begin(), candidates.end(),
+                [&](const ShardCandidate& a, const ShardCandidate& b) {
+                  if (backward) {
+                    if (a.event->end_ts != b.event->end_ts) {
+                      return a.event->end_ts > b.event->end_ts;
+                    }
+                    if (a.event->start_ts != b.event->start_ts) {
+                      return a.event->start_ts > b.event->start_ts;
+                    }
+                  } else {
+                    if (a.event->start_ts != b.event->start_ts) {
+                      return a.event->start_ts < b.event->start_ts;
+                    }
+                    if (a.event->end_ts != b.event->end_ts) {
+                      return a.event->end_ts < b.event->end_ts;
+                    }
+                  }
+                  if (a.partition != b.partition) {
+                    return a.partition < b.partition;
+                  }
+                  return a.event_index < b.event_index;
+                });
+      if (options.max_fanout > 0 && candidates.size() > options.max_fanout) {
+        candidates.resize(options.max_fanout);
+        result.stats.truncated = true;
+      }
+      const uint32_t this_slot = frontier[fpos];
+      for (const ShardCandidate& candidate : candidates) {
+        auto [key, ids] =
+            resolve(candidate.shard, candidate.other_type,
+                    candidate.other_id);
+        Timestamp bound = backward ? candidate.event->start_ts
+                                   : candidate.event->end_ts;
+        uint32_t other_slot;
+        auto it = node_slot.find(key);
+        if (it != node_slot.end()) {
+          other_slot = it->second;
+          // Cross-shard bound widening: a path on another shard re-reaching
+          // this entity with a looser bound re-queues it — exactly the
+          // single-db widening rule, with the attribute key standing in for
+          // the store id.
+          ProvenanceNode& existing = result.nodes[other_slot];
+          bool widens = backward ? bound > existing.bound
+                                 : bound < existing.bound;
+          if (widens) {
+            existing.bound = bound;
+            if (queued.insert(other_slot).second) {
+              next_frontier.push_back(other_slot);
+            }
+          }
+        } else {
+          if (options.max_nodes > 0 &&
+              result.nodes.size() >= options.max_nodes) {
+            result.stats.truncated = true;
+            continue;
+          }
+          other_slot = add_node(candidate.shard, candidate.other_type,
+                                candidate.other_id, hop, bound,
+                                std::move(key), std::move(ids));
+          queued.insert(other_slot);
+          next_frontier.push_back(other_slot);
+        }
+        recorded_events.insert(candidate.event);
+        ProvenanceEdge edge;
+        edge.event = *candidate.event;
+        edge.hop = hop;
+        if (backward) {
+          edge.from = other_slot;
+          edge.to = this_slot;
+        } else {
+          edge.from = this_slot;
+          edge.to = other_slot;
+        }
+        result.edges.push_back(edge);
+      }
+    }
+
+    record_hop_latency();
+    frontier = std::move(next_frontier);
+  }
+
   if (!frontier.empty()) result.stats.truncated = true;
   return result;
 }

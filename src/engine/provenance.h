@@ -95,6 +95,9 @@ struct ProvenanceNode {
   EntityId id = 0;
   int depth = 0;        ///< hop at which the entity was first reached
   Timestamp bound = 0;  ///< time bound in effect when it was reached
+  /// Shard whose EntityStore `id` belongs to (0 on single-database runs) —
+  /// render names via that shard's store.
+  uint32_t shard = 0;
 };
 
 /// One event in the provenance graph. `from` flows into `to`
@@ -134,6 +137,29 @@ struct ProvenanceResult {
 Result<ProvenanceResult> TrackProvenance(
     const ReadView& view,
     const std::vector<std::pair<EntityType, EntityId>>& roots,
+    Timestamp anchor, const ProvenanceOptions& options,
+    ThreadPool* pool = nullptr);
+
+/// An entity addressed in one shard's id space (sharded tracking roots).
+struct ShardEntity {
+  uint32_t shard = 0;
+  EntityType type = EntityType::kProcess;
+  EntityId id = 0;
+};
+
+/// Cross-shard provenance tracking over one ReadView per shard (index =
+/// shard). Entity ids are per-shard, so the global node table is keyed by
+/// full attribute tuples: a frontier entity discovered on shard A seeds
+/// hops on every shard that has interned the same attributes, and when two
+/// paths on different shards reach one logical entity the looser (wider)
+/// time bound wins and the entity re-expands — the same bound-widening rule
+/// TrackProvenance applies within one database. Per-hop partition scans
+/// run over the globally merged (bucket, agent) partition order, so with
+/// the same records an untruncated sharded run recovers exactly the graph
+/// a merged single database would (truncation tie-breaks match too, except
+/// exact time ties straddling a fanout cut across shards).
+Result<ProvenanceResult> TrackProvenanceSharded(
+    const std::vector<ReadView>& views, const std::vector<ShardEntity>& roots,
     Timestamp anchor, const ProvenanceOptions& options,
     ThreadPool* pool = nullptr);
 

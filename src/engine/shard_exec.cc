@@ -1,0 +1,410 @@
+#include "engine/shard_exec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "engine/anomaly.h"
+#include "engine/dependency.h"
+#include "engine/executor.h"
+#include "engine/scan.h"
+#include "engine/shard_merge.h"
+
+namespace aiql {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Duration ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+/// Globally merged matches of one pattern: per-shard event pointers (ids
+/// are shard-local) plus the cross-shard timestamp envelope that drives
+/// temporal pruning of later patterns.
+struct GlobalMatches {
+  std::vector<std::vector<const Event*>> per_shard;
+  size_t total = 0;
+  Timestamp min_start = INT64_MAX;
+  Timestamp max_start = INT64_MIN;
+  Timestamp min_end = INT64_MAX;
+  Timestamp max_end = INT64_MIN;
+
+  void Note(const Event& event) {
+    min_start = std::min(min_start, event.start_ts);
+    max_start = std::max(max_start, event.start_ts);
+    min_end = std::min(min_end, event.end_ts);
+    max_end = std::max(max_end, event.end_ts);
+  }
+};
+
+}  // namespace
+
+ShardedExecutor::ShardedExecutor(const ShardMap* shards, EngineOptions options,
+                                 ThreadPool* pool)
+    : shards_(shards), options_(options), pool_(pool) {
+  if (options_.enable_parallelism && pool_ == nullptr) {
+    size_t threads = options_.num_threads != 0
+                         ? options_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+Result<QueryResult> ShardedExecutor::Execute(const ParsedQuery& parsed) {
+  if (shards_->num_shards() == 0) {
+    return Status::InvalidArgument("shard map has no shards");
+  }
+  // Scatter-time consistency: every shard's view is taken here, before any
+  // work, each atomic against its shard's concurrent ingestion.
+  std::vector<ReadView> views = shards_->OpenReadViews();
+
+  switch (parsed.kind) {
+    case QueryKind::kMultievent: {
+      AIQL_ASSIGN_OR_RETURN(
+          AnalyzedQuery analyzed,
+          AnalyzeMultievent(*parsed.multievent, parsed.kind));
+      if (analyzed.ast->patterns.size() == 1) {
+        return ExecuteFast(analyzed, views);
+      }
+      return ExecuteGathered(analyzed, views, /*anomaly=*/false);
+    }
+    case QueryKind::kAnomaly: {
+      AIQL_ASSIGN_OR_RETURN(
+          AnalyzedQuery analyzed,
+          AnalyzeMultievent(*parsed.multievent, parsed.kind));
+      // Window groups aggregate events regardless of host, so anomaly
+      // always gathers (per-shard aggregates would not compose).
+      return ExecuteGathered(analyzed, views, /*anomaly=*/true);
+    }
+    case QueryKind::kDependency: {
+      AIQL_ASSIGN_OR_RETURN(auto rewritten,
+                            RewriteDependency(*parsed.dependency));
+      AIQL_ASSIGN_OR_RETURN(
+          AnalyzedQuery analyzed,
+          AnalyzeMultievent(*rewritten, QueryKind::kMultievent));
+      Result<QueryResult> result =
+          analyzed.ast->patterns.size() == 1
+              ? ExecuteFast(analyzed, views)
+              : ExecuteGathered(analyzed, views, /*anomaly=*/false);
+      if (!result.ok()) return result;
+      result.value().plan = "dependency query rewritten to multievent:\n" +
+                            result.value().plan;
+      return result;
+    }
+  }
+  return Status::Internal("unknown query kind");
+}
+
+Result<QueryResult> ShardedExecutor::ExecuteFast(const AnalyzedQuery& analyzed,
+                                                 std::vector<ReadView>& views) {
+  const MultieventQueryAst& ast = *analyzed.ast;
+  const size_t num_shards = views.size();
+
+  ShardMergeSpec spec;
+  spec.distinct = ast.distinct;
+  if (!ast.order_by.empty()) {
+    AIQL_ASSIGN_OR_RETURN(
+        spec.order_keys, ResolveOrderColumns(ast.order_by, ast.return_items));
+  }
+  if (ast.limit.has_value()) spec.limit = *ast.limit;
+
+  // Fan the complete query across shards; each per-shard run is itself
+  // partition-parallel on the shared pool (nested ParallelFor is safe:
+  // callers participate).
+  std::vector<std::optional<Result<QueryResult>>> scattered(num_shards);
+  auto run_shard = [&](size_t s) {
+    MultieventExecutor executor(&views[s], options_, pool_);
+    scattered[s].emplace(executor.Execute(analyzed));
+  };
+  if (options_.enable_parallelism && pool_ != nullptr && num_shards > 1) {
+    pool_->ParallelFor(num_shards, run_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) run_shard(s);
+  }
+
+  std::string shard_plan;
+  std::vector<Result<QueryResult>> shard_results;
+  shard_results.reserve(num_shards);
+  for (auto& r : scattered) {
+    if (r->ok() && shard_plan.empty()) shard_plan = r->value().plan;
+    shard_results.push_back(std::move(*r));
+  }
+  AIQL_ASSIGN_OR_RETURN(QueryResult merged,
+                        MergeShardResults(std::move(shard_results), spec));
+  merged.plan = "sharded scatter/gather over " + std::to_string(num_shards) +
+                " shards (per-shard execute + order-aware merge)\n" +
+                shard_plan;
+  return merged;
+}
+
+Result<QueryResult> ShardedExecutor::ExecuteGathered(
+    const AnalyzedQuery& analyzed, std::vector<ReadView>& views,
+    bool anomaly) {
+  const MultieventQueryAst& ast = *analyzed.ast;
+  const size_t num_shards = views.size();
+  const int num_patterns = static_cast<int>(ast.patterns.size());
+  auto scatter_start = Clock::now();
+
+  // Per-shard compiled patterns: candidate sets live in each shard's id
+  // space, so compilation runs once per shard.
+  std::vector<std::vector<CompiledPattern>> compiled(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    AIQL_ASSIGN_OR_RETURN(compiled[s],
+                          CompilePatterns(analyzed, views[s].entities()));
+  }
+
+  // Global schedule: pruning power of a pattern is its fleet-wide match
+  // count, so per-shard estimates sum before the (stable) ascending sort —
+  // mirroring SchedulePatterns over a merged database.
+  std::vector<size_t> order(num_patterns);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (options_.enable_reordering && num_patterns > 1) {
+    std::vector<double> estimates(num_patterns, 0.0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (int p = 0; p < num_patterns; ++p) {
+        AIQL_ASSIGN_OR_RETURN(
+            double estimate,
+            EstimateCardinality(compiled[s][p], views[s],
+                                analyzed.agent_filter));
+        estimates[p] += estimate;
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return estimates[a] < estimates[b];
+    });
+  }
+
+  // Per-shard per-event agent re-check, only needed where partition
+  // selection cannot restrict agents (flat-storage ablation).
+  std::vector<std::optional<AgentFilterSet>> agent_filters(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (analyzed.agent_filter.has_value() &&
+        !views[s].options().enable_partitioning) {
+      agent_filters[s].emplace(analyzed.agent_filter->begin(),
+                               analyzed.agent_filter->end());
+    }
+  }
+
+  QueryStats scatter_stats;
+  std::vector<GlobalMatches> matches(num_patterns);
+  for (auto& m : matches) m.per_shard.resize(num_shards);
+  std::vector<TimeRange> ranges(num_patterns);
+  for (int p = 0; p < num_patterns; ++p) ranges[p] = compiled[0][p].time_range;
+  std::vector<bool> scanned(num_patterns, false);
+  bool empty_result = false;
+
+  // Global semi-join bindings: var -> the intersected set of matched
+  // entities across the var's scanned occurrences, keyed by attribute tuple
+  // (the only cross-shard entity name) with one representative ref kept for
+  // re-resolution into shard id spaces.
+  std::unordered_map<std::string, std::unordered_map<std::string, ObjectRef>>
+      bindings;
+
+  for (size_t rank = 0; rank < order.size() && !empty_result; ++rank) {
+    const int p = static_cast<int>(order[rank]);
+    const EventPatternAst& pattern_ast = ast.patterns[p];
+
+    if (options_.enable_semi_join) {
+      auto apply_binding = [&](const EntityDeclAst& decl, bool is_subject) {
+        if (decl.var.empty()) return;
+        auto it = bindings.find(decl.var);
+        if (it == bindings.end()) return;
+        for (size_t s = 0; s < num_shards; ++s) {
+          EntitySet set(views[s].entities().NumEntities(decl.type));
+          for (const auto& [key, ref] : it->second) {
+            EntityId id = FindEntity(views[s].entities(), ref);
+            if (id != kInvalidEntityId) set.Add(id);
+          }
+          EntityFilter* filter = is_subject ? &compiled[s][p].subject
+                                            : &compiled[s][p].object;
+          if (filter->candidates.has_value()) {
+            filter->candidates->IntersectWith(set);
+          } else {
+            filter->candidates = std::move(set);
+          }
+        }
+      };
+      apply_binding(pattern_ast.subject, /*is_subject=*/true);
+      apply_binding(pattern_ast.object, /*is_subject=*/false);
+    }
+
+    if (options_.enable_temporal_pruning) {
+      for (const TemporalRelAst& rel : ast.temporal_rels) {
+        int left = analyzed.event_index.at(rel.left);
+        int right = analyzed.event_index.at(rel.right);
+        if (!rel.before) std::swap(left, right);
+        if (right == p && scanned[left] && matches[left].total > 0) {
+          ranges[p].start = std::max(ranges[p].start, matches[left].min_end);
+        }
+        if (left == p && scanned[right] && matches[right].total > 0) {
+          ranges[p].end = std::min(ranges[p].end,
+                                   matches[right].max_start + 1);
+        }
+      }
+    }
+
+    bool same_var_both_sides =
+        !pattern_ast.subject.var.empty() &&
+        pattern_ast.subject.var == pattern_ast.object.var;
+
+    // Scatter this pattern's scan over every shard's selected partitions in
+    // one flat partition-parallel pass, ordered like a merged database
+    // would order them ((bucket, agent); shards own disjoint agents).
+    struct FlatPartition {
+      uint32_t shard;
+      PartitionKey key;
+      const EventPartition* partition;
+    };
+    std::vector<FlatPartition> flat;
+    for (size_t s = 0; s < num_shards; ++s) {
+      // A shard whose candidate set emptied cannot match — skip its scan
+      // (the global empty check is the summed match count below).
+      if ((compiled[s][p].subject.candidates.has_value() &&
+           compiled[s][p].subject.candidates->Count() == 0) ||
+          (compiled[s][p].object.candidates.has_value() &&
+           compiled[s][p].object.candidates->Count() == 0)) {
+        continue;
+      }
+      AIQL_ASSIGN_OR_RETURN(
+          auto selected,
+          views[s].SelectPartitions(ranges[p], analyzed.agent_filter));
+      flat.reserve(flat.size() + selected.size());
+      for (const auto& [key, partition] : selected) {
+        flat.push_back(
+            FlatPartition{static_cast<uint32_t>(s), key, partition});
+      }
+    }
+    std::stable_sort(flat.begin(), flat.end(),
+                     [](const FlatPartition& a, const FlatPartition& b) {
+                       if (a.key.bucket != b.key.bucket) {
+                         return a.key.bucket < b.key.bucket;
+                       }
+                       return a.key.agent_id < b.key.agent_id;
+                     });
+    scatter_stats.partitions_scanned += flat.size();
+
+    std::vector<std::vector<const Event*>> local(flat.size());
+    std::vector<uint64_t> local_scanned(flat.size(), 0);
+    auto scan_partition = [&](size_t i) {
+      const FlatPartition& fp = flat[i];
+      const AgentFilterSet* agent_filter =
+          agent_filters[fp.shard].has_value() ? &*agent_filters[fp.shard]
+                                              : nullptr;
+      // Anomaly's single-db scan never requires subject==object identity,
+      // so its scatter must not either (central re-run settles semantics).
+      local_scanned[i] = ScanPartition(
+          *fp.partition, compiled[fp.shard][p], ranges[p], agent_filter,
+          anomaly ? false : same_var_both_sides, &local[i]);
+    };
+    if (options_.enable_parallelism && pool_ != nullptr && flat.size() > 1) {
+      pool_->ParallelFor(flat.size(), scan_partition);
+    } else {
+      for (size_t i = 0; i < flat.size(); ++i) scan_partition(i);
+    }
+
+    GlobalMatches& gm = matches[p];
+    for (size_t i = 0; i < flat.size(); ++i) {
+      scatter_stats.events_scanned += local_scanned[i];
+      for (const Event* event : local[i]) gm.Note(*event);
+      gm.total += local[i].size();
+      std::vector<const Event*>& dest = gm.per_shard[flat[i].shard];
+      dest.insert(dest.end(), local[i].begin(), local[i].end());
+    }
+    scatter_stats.events_matched += gm.total;
+    scanned[p] = true;
+    if (gm.total == 0) {
+      empty_result = true;
+      break;
+    }
+
+    if (options_.enable_semi_join) {
+      auto record_binding = [&](const EntityDeclAst& decl, bool is_subject) {
+        if (decl.var.empty()) return;
+        std::unordered_map<std::string, ObjectRef> occurrence;
+        for (size_t s = 0; s < num_shards; ++s) {
+          std::unordered_set<EntityId> unique_ids;
+          for (const Event* event : gm.per_shard[s]) {
+            unique_ids.insert(is_subject ? event->subject : event->object);
+          }
+          for (EntityId id : unique_ids) {
+            ObjectRef ref = MakeEntityRef(views[s].entities(), decl.type, id);
+            std::string key = EntityRefKey(ref);
+            occurrence.emplace(std::move(key), std::move(ref));
+          }
+        }
+        auto [it, inserted] = bindings.try_emplace(decl.var);
+        if (inserted) {
+          it->second = std::move(occurrence);
+          return;
+        }
+        // Later occurrence: intersect by attribute key; an emptied binding
+        // proves no entity satisfies every occurrence — no join row exists.
+        for (auto iter = it->second.begin(); iter != it->second.end();) {
+          if (occurrence.count(iter->first) == 0) {
+            iter = it->second.erase(iter);
+          } else {
+            ++iter;
+          }
+        }
+        if (it->second.empty()) empty_result = true;
+      };
+      record_binding(pattern_ast.subject, /*is_subject=*/true);
+      record_binding(pattern_ast.object, /*is_subject=*/false);
+    }
+  }
+
+  // Gather: rebuild the matched-event superset as a transient single
+  // database and let the ordinary executor settle joins / windows /
+  // DISTINCT / ORDER BY centrally. Records are re-derived through each
+  // owning shard's entity store; dedup stays off so the (already
+  // deduplicated) events survive verbatim. Append order is the merged
+  // partition order, keeping the rebuild deterministic.
+  StorageOptions mini_options;
+  mini_options.dedup_window = 0;
+  mini_options.partition_duration = views[0].options().partition_duration;
+  AuditDatabase mini(mini_options);
+  std::unordered_set<const Event*> gathered;
+  for (int p = 0; p < num_patterns; ++p) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (const Event* event : matches[p].per_shard[s]) {
+        if (!gathered.insert(event).second) continue;  // multi-pattern match
+        AIQL_RETURN_IF_ERROR(
+            mini.Append(RecordForEvent(*event, views[s].entities())));
+      }
+    }
+  }
+  AIQL_RETURN_IF_ERROR(mini.Seal());
+  Duration scatter_time = ElapsedUs(scatter_start);
+
+  ReadView mini_view = mini.OpenReadView();
+  QueryResult result;
+  if (anomaly) {
+    AnomalyExecutor central(&mini_view, options_, pool_);
+    AIQL_ASSIGN_OR_RETURN(result, central.Execute(analyzed));
+  } else {
+    MultieventExecutor central(&mini_view, options_, pool_);
+    AIQL_ASSIGN_OR_RETURN(result, central.Execute(analyzed));
+  }
+  result.stats.events_scanned += scatter_stats.events_scanned;
+  result.stats.events_matched = scatter_stats.events_matched;
+  result.stats.partitions_scanned += scatter_stats.partitions_scanned;
+  result.stats.exec_time += scatter_time;
+  result.plan = "sharded scatter/gather over " + std::to_string(num_shards) +
+                " shards (gathered " + std::to_string(gathered.size()) +
+                " events into a transient database)\n" +
+                result.plan;
+  return result;
+}
+
+}  // namespace aiql

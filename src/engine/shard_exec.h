@@ -1,0 +1,73 @@
+// Scatter/gather query execution over a ShardMap (the sharded counterpart
+// of MultieventExecutor / AnomalyExecutor dispatch).
+//
+// Every query first takes one ReadView per shard — each view is atomic
+// against its shard, so scatter is safe while shards keep ingesting. Two
+// execution paths:
+//
+//  * Fast path (single-pattern multievent / rewritten dependency): the
+//    complete query runs on every shard independently and the per-shard
+//    tables meet in the merge layer (engine/shard_merge.h) — ORDER BY/LIMIT
+//    as a top-k heap merge with per-shard LIMIT pushdown, DISTINCT with
+//    cross-shard re-dedup. Sound because a single-pattern row is a function
+//    of one event, and every event lives on exactly one shard.
+//
+//  * Gathered path (multi-pattern multievent, anomaly): joins and window
+//    groups can span shards (an entity variable can bind events on two
+//    hosts), so per-shard execution would lose rows. Instead the scan phase
+//    scatters: each pattern scans all shards partition-parallel in global
+//    pruning-power order (cardinalities summed across shards), exchanging
+//    prunes globally between patterns — semi-join bindings travel as
+//    attribute tuples (shard ids are not comparable) and re-resolve into
+//    each shard's id space; temporal envelopes combine across shards before
+//    tightening later patterns' time ranges. The gathered superset of
+//    matching events is rebuilt into a transient in-memory database and the
+//    ordinary single-db executor finishes centrally — it re-checks every
+//    predicate, so scatter over-gathering never changes results, and the
+//    pruning rules are the same sound rules the single-db engine applies,
+//    so under-gathering cannot happen either.
+
+#ifndef AIQL_ENGINE_SHARD_EXEC_H_
+#define AIQL_ENGINE_SHARD_EXEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/result.h"
+#include "engine/scheduler.h"
+#include "query/analyzer.h"
+#include "query/ast.h"
+#include "storage/shard_map.h"
+
+namespace aiql {
+
+/// Executes parsed AIQL queries against a ShardMap. `shards` must outlive
+/// the executor; `pool` may be null (a private pool is created when
+/// parallelism is on). Thread-safe for concurrent Execute calls.
+class ShardedExecutor {
+ public:
+  ShardedExecutor(const ShardMap* shards, EngineOptions options,
+                  ThreadPool* pool = nullptr);
+
+  /// Runs the query scatter/gather; result semantics match the single-db
+  /// engine over the union of all shards' data.
+  Result<QueryResult> Execute(const ParsedQuery& parsed);
+
+ private:
+  Result<QueryResult> ExecuteFast(const AnalyzedQuery& analyzed,
+                                  std::vector<ReadView>& views);
+  Result<QueryResult> ExecuteGathered(const AnalyzedQuery& analyzed,
+                                      std::vector<ReadView>& views,
+                                      bool anomaly);
+
+  const ShardMap* shards_;
+  EngineOptions options_;
+  ThreadPool* pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_SHARD_EXEC_H_

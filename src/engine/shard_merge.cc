@@ -1,0 +1,147 @@
+#include "engine/shard_merge.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <variant>
+
+namespace aiql {
+
+namespace {
+
+double NumericValue(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return 0.0;
+}
+
+/// Canonical byte serialization of a row for cross-shard DISTINCT — type tag
+/// + rendered value per cell, '\x1e'-separated so cells cannot bleed.
+std::string RowKey(const std::vector<Value>& row) {
+  std::string key;
+  for (const Value& v : row) {
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      key += 's';
+      key += *s;
+    } else if (const auto* i = std::get_if<int64_t>(&v)) {
+      key += 'i';
+      key += std::to_string(*i);
+    } else {
+      key += 'd';
+      key += std::to_string(std::get<double>(v));
+    }
+    key += '\x1e';
+  }
+  return key;
+}
+
+}  // namespace
+
+int CompareRowsByKeys(const std::vector<Value>& a, const std::vector<Value>& b,
+                      const std::vector<std::pair<size_t, bool>>& keys) {
+  for (const auto& [column, desc] : keys) {
+    if (column >= a.size() || column >= b.size()) continue;
+    const Value& l = a[column];
+    const Value& r = b[column];
+    int cmp;
+    if (std::holds_alternative<std::string>(l) &&
+        std::holds_alternative<std::string>(r)) {
+      cmp = std::get<std::string>(l).compare(std::get<std::string>(r));
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    } else {
+      double lf = NumericValue(l), rf = NumericValue(r);
+      cmp = lf < rf ? -1 : (lf > rf ? 1 : 0);
+    }
+    if (cmp != 0) return desc ? -cmp : cmp;
+  }
+  return 0;
+}
+
+Result<QueryResult> MergeShardResults(
+    std::vector<Result<QueryResult>> shard_results,
+    const ShardMergeSpec& spec) {
+  for (auto& r : shard_results) {
+    if (!r.ok()) return r.status();
+  }
+
+  QueryResult merged;
+  bool have_columns = false;
+  for (auto& r : shard_results) {
+    QueryResult& shard = r.value();
+    if (!have_columns) {
+      merged.table.columns = shard.table.columns;
+      merged.stats.patterns = shard.stats.patterns;
+      have_columns = true;
+    } else if (shard.table.columns != merged.table.columns) {
+      return Status::Internal("shard result column mismatch during merge");
+    }
+    merged.stats.events_scanned += shard.stats.events_scanned;
+    merged.stats.events_matched += shard.stats.events_matched;
+    merged.stats.partitions_scanned += shard.stats.partitions_scanned;
+    merged.stats.join_candidates += shard.stats.join_candidates;
+    merged.stats.exec_time += shard.stats.exec_time;
+    merged.stats.threads_used =
+        std::max(merged.stats.threads_used, shard.stats.threads_used);
+  }
+
+  const size_t limit = spec.limit < 0 ? SIZE_MAX
+                                      : static_cast<size_t>(spec.limit);
+  std::unordered_set<std::string> seen;
+  auto emit = [&](std::vector<Value>&& row) {
+    if (merged.table.rows.size() >= limit) return false;
+    if (spec.distinct && !seen.insert(RowKey(row)).second) return true;
+    merged.table.rows.push_back(std::move(row));
+    return merged.table.rows.size() < limit;
+  };
+
+  if (spec.order_keys.empty()) {
+    // Unordered: concatenate in shard order (deterministic given
+    // deterministic per-shard output).
+    for (auto& r : shard_results) {
+      for (auto& row : r.value().table.rows) {
+        if (!emit(std::move(row))) return merged;
+      }
+    }
+    return merged;
+  }
+
+  // Ordered: k-way heap merge over per-shard sorted tables. The heap holds
+  // one cursor per non-exhausted shard; pop order is (order keys, shard
+  // index, row index), so equal-key runs come out shard-major and the merge
+  // is fully deterministic.
+  struct Cursor {
+    size_t shard;
+    size_t row;
+  };
+  auto row_at = [&](const Cursor& c) -> std::vector<Value>& {
+    return shard_results[c.shard].value().table.rows[c.row];
+  };
+  auto cursor_after = [&](const Cursor& a, const Cursor& b) {
+    int cmp = CompareRowsByKeys(row_at(a), row_at(b), spec.order_keys);
+    if (cmp != 0) return cmp > 0;
+    if (a.shard != b.shard) return a.shard > b.shard;
+    return a.row > b.row;
+  };
+  std::vector<Cursor> heap;
+  for (size_t s = 0; s < shard_results.size(); ++s) {
+    if (!shard_results[s].value().table.rows.empty()) {
+      heap.push_back(Cursor{s, 0});
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), cursor_after);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cursor_after);
+    Cursor top = heap.back();
+    heap.pop_back();
+    if (!emit(std::move(row_at(top)))) return merged;
+    if (top.row + 1 <
+        shard_results[top.shard].value().table.rows.size()) {
+      heap.push_back(Cursor{top.shard, top.row + 1});
+      std::push_heap(heap.begin(), heap.end(), cursor_after);
+    }
+  }
+  return merged;
+}
+
+}  // namespace aiql

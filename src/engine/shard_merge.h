@@ -1,0 +1,56 @@
+// Gather-side result merging for the sharded scatter/gather executor.
+//
+// The fast execution path runs a complete single-shard query per shard and
+// merges the per-shard tables here. Merge semantics mirror the single-db
+// emit phase:
+//   * ORDER BY: each shard's table is already sorted by the resolved order
+//     keys, so the merge is a k-way top-k heap merge. Ties (equal keys)
+//     break by (shard index, per-shard row index) — deterministic, and the
+//     key *sequence* matches the single-db engine's (tie groups may permute,
+//     which the tie-aware oracle comparison accepts).
+//   * DISTINCT: rows are deduplicated again across shards — disjoint event
+//     routing does not make projected rows disjoint (two shards can project
+//     the same entity attributes), so per-shard dedup is not enough.
+//   * LIMIT: the merge stops after `limit` emitted rows. Per-shard LIMIT
+//     pushdown stays sound because the global top-L is contained in the
+//     union of per-shard top-Ls.
+// Statistics are summed across shards; the first shard error (in shard
+// order) fails the whole merge.
+
+#ifndef AIQL_ENGINE_SHARD_MERGE_H_
+#define AIQL_ENGINE_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/result.h"
+
+namespace aiql {
+
+/// How to merge per-shard tables — derived from the query by the sharded
+/// executor (ResolveOrderColumns for `order_keys`).
+struct ShardMergeSpec {
+  bool distinct = false;
+  /// (column index, descending) sort keys; empty means unordered (concat).
+  std::vector<std::pair<size_t, bool>> order_keys;
+  /// Maximum rows to emit; negative means unlimited.
+  int64_t limit = -1;
+};
+
+/// Three-way row comparison by the given keys, identical to the comparator
+/// inside OrderResultRows (numbers numeric, strings lexicographic).
+int CompareRowsByKeys(const std::vector<Value>& a, const std::vector<Value>& b,
+                      const std::vector<std::pair<size_t, bool>>& keys);
+
+/// Merges per-shard query results into one. `shard_results` is indexed by
+/// shard; a Status error in any slot fails the merge with that Status
+/// (lowest shard index wins). Empty and single-shard inputs degenerate to
+/// (filtered) concatenation. Column sets must agree across shards.
+Result<QueryResult> MergeShardResults(
+    std::vector<Result<QueryResult>> shard_results, const ShardMergeSpec& spec);
+
+}  // namespace aiql
+
+#endif  // AIQL_ENGINE_SHARD_MERGE_H_

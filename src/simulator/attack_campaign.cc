@@ -1,0 +1,155 @@
+#include "simulator/attack_campaign.h"
+
+namespace aiql {
+
+namespace {
+
+EventRecord Make(AgentId agent, OpType op, Timestamp t, Duration len,
+                 ProcessRef subject, ObjectRef object, uint64_t amount = 0) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = op;
+  record.start_ts = t;
+  record.end_ts = t + len;
+  record.amount = amount;
+  record.subject = std::move(subject);
+  record.object = std::move(object);
+  return record;
+}
+
+std::string ConnName(const NetworkRef& net) {
+  return net.src_ip + ':' + std::to_string(net.src_port) + "->" +
+         net.dst_ip + ':' + std::to_string(net.dst_port);
+}
+
+}  // namespace
+
+CampaignChainTruth InjectCampaignChain(const Enterprise& enterprise,
+                                       Timestamp start,
+                                       std::vector<EventRecord>* out) {
+  const Host& web = enterprise.web_server();          // agent 1
+  const Host& dc = enterprise.domain_controller();    // agent 3
+  const Host& db = enterprise.database_server();      // agent 4
+  const Host& client = enterprise.client0();          // agent 5
+  const std::string& attacker = enterprise.attacker_ip;
+
+  CampaignChainTruth truth;
+  truth.start = start;
+  truth.attacker_ip = attacker;
+  truth.agents = {web.agent_id, client.agent_id, dc.agent_id, db.agent_id};
+
+  // --- chain entities --------------------------------------------------------
+  ProcessRef httpd{web.agent_id, 8100, "/usr/sbin/httpd", "root"};
+  ProcessRef sh{web.agent_id, 8101, "/bin/sh", "root"};
+  ProcessRef beacon{client.agent_id, 6200,
+                    "C:\\Users\\Public\\beacon.exe", "corp\\alice"};
+  ProcessRef stager{client.agent_id, 6201,
+                    "C:\\Users\\Public\\stager.exe", "corp\\alice"};
+  ProcessRef svchelper{dc.agent_id, 3300,
+                       "C:\\Windows\\Temp\\svchelper.exe", "system"};
+  ProcessRef dbtool{db.agent_id, 4400, "C:\\Windows\\Temp\\dbtool.exe",
+                    "system"};
+  FileRef dropper{client.agent_id, "C:\\Users\\Public\\dropper.bat"};
+  FileRef secrets{db.agent_id, "C:\\Data\\customers.dat"};
+  NetworkRef conn_in{web.agent_id, attacker, web.ip, 51515, 443, "tcp"};
+  NetworkRef conn_out{db.agent_id, db.ip, attacker, 40321, 443, "tcp"};
+
+  Timestamp t = start;
+  auto emit = [&](EventRecord record) { out->push_back(std::move(record)); };
+
+  // --- the chain (information flows left to right) ---------------------------
+  // conn_in -> httpd
+  emit(Make(web.agent_id, OpType::kAccept, t, kSecond, httpd, conn_in));
+  // httpd -> sh
+  emit(Make(web.agent_id, OpType::kStart, t + 10 * kSecond, kSecond, httpd,
+            sh));
+  // sh -> beacon (cross-host session stitched by the agents: the event is
+  // observed on the web server, its object is a client-host process)
+  emit(Make(web.agent_id, OpType::kConnect, t + 30 * kSecond, kSecond, sh,
+            beacon));
+  // beacon -> dropper.bat
+  emit(Make(client.agent_id, OpType::kWrite, t + 60 * kSecond, kSecond,
+            beacon, dropper, 4096));
+  // beacon -> stager
+  emit(Make(client.agent_id, OpType::kStart, t + 70 * kSecond, kSecond,
+            beacon, stager));
+  // dropper.bat -> stager (script load)
+  emit(Make(client.agent_id, OpType::kExecute, t + 80 * kSecond, kSecond,
+            stager, dropper));
+  // stager -> svchelper (client -> domain controller)
+  emit(Make(client.agent_id, OpType::kConnect, t + 110 * kSecond, kSecond,
+            stager, svchelper));
+  // svchelper -> dbtool (domain controller -> database server)
+  emit(Make(dc.agent_id, OpType::kConnect, t + 140 * kSecond, kSecond,
+            svchelper, dbtool));
+  // customers.dat -> dbtool
+  emit(Make(db.agent_id, OpType::kRead, t + 170 * kSecond, 5 * kSecond,
+            dbtool, secrets, 268435456));
+  // dbtool -> conn_out: session setup plus three exfil bursts.
+  emit(Make(db.agent_id, OpType::kConnect, t + 180 * kSecond, kSecond,
+            dbtool, conn_out));
+  for (int burst = 0; burst < 3; ++burst) {
+    emit(Make(db.agent_id, OpType::kWrite,
+              t + (190 + burst * 15) * kSecond, 10 * kSecond, dbtool,
+              conn_out, 89478485));
+  }
+  // Last write covers [t+220, t+230); anchor just after it.
+  truth.anchor = t + 231 * kSecond;
+
+  // --- decoys a correct backward track must not pick up ----------------------
+  // In-flow into dropper.bat AFTER the stager consumed it: dropper's bound
+  // is the execute's start (t+80), so this write (ending t+91) must be
+  // rejected by time-monotonic pruning.
+  ProcessRef avupdate{client.agent_id, 6300,
+                      "C:\\Program Files\\avscan\\avupdate.exe", "system"};
+  emit(Make(client.agent_id, OpType::kWrite, t + 90 * kSecond, kSecond,
+            avupdate, dropper, 512));
+  // Cross-shard monotonicity decoy: an inbound connect into beacon from the
+  // domain controller at t+150. Beacon's bound (t+70) was established by an
+  // event on the CLIENT host — under agent-range sharding the decoy event
+  // lives on a different shard, so rejecting it proves the tighter bound
+  // was exchanged across shards rather than re-derived loosely per shard.
+  ProcessRef scanner{dc.agent_id, 3400,
+                     "C:\\Windows\\System32\\netscan.exe", "system"};
+  emit(Make(dc.agent_id, OpType::kConnect, t + 150 * kSecond, kSecond,
+            scanner, beacon));
+  // In-flow into conn_out after the anchor.
+  emit(Make(db.agent_id, OpType::kWrite, t + 260 * kSecond, kSecond, dbtool,
+            conn_out, 4096));
+  // Unrelated out-flow of customers.dat (reads never flow INTO a file).
+  ProcessRef backup{db.agent_id, 4500,
+                    "C:\\Windows\\System32\\backup-agent.exe", "system"};
+  emit(Make(db.agent_id, OpType::kRead, t + 300 * kSecond, kSecond, backup,
+            secrets, 1048576));
+
+  // --- ground truth ----------------------------------------------------------
+  truth.poi_name = ConnName(conn_out);
+  truth.poi_like = attacker;  // unique dst ip: resolves conn_out only
+  // Discovery order of an exact backward track: per hop, per frontier
+  // entity, candidates closest-in-time (latest end) first.
+  truth.chain = {
+      {EntityType::kNetwork, truth.poi_name},             // depth 0
+      {EntityType::kProcess, dbtool.exe_name},            // depth 1
+      {EntityType::kFile, secrets.path},                  // depth 2
+      {EntityType::kProcess, svchelper.exe_name},         // depth 2
+      {EntityType::kProcess, stager.exe_name},            // depth 3
+      {EntityType::kFile, dropper.path},                  // depth 4
+      {EntityType::kProcess, beacon.exe_name},            // depth 4
+      {EntityType::kProcess, sh.exe_name},                // depth 5
+      {EntityType::kProcess, httpd.exe_name},             // depth 6
+      {EntityType::kNetwork, ConnName(conn_in)},          // depth 7
+  };
+  truth.chain_depths = {0, 1, 2, 2, 3, 4, 4, 5, 6, 7};
+  truth.chain_bounds = {
+      truth.anchor,        t + 220 * kSecond, t + 170 * kSecond,
+      t + 140 * kSecond,   t + 110 * kSecond, t + 80 * kSecond,
+      t + 70 * kSecond,    t + 30 * kSecond,  t + 10 * kSecond,
+      t,
+  };
+  truth.decoy_names = {avupdate.exe_name, scanner.exe_name, backup.exe_name};
+  truth.chain_events = 13;  // 9 single-edge stages + connect + 3 bursts
+  truth.chain_depth = 7;
+  return truth;
+}
+
+}  // namespace aiql

@@ -1,0 +1,79 @@
+// A multi-host campaign: one causal chain spread across four agents.
+//
+// Built for cross-shard provenance tracking — under any agent-range
+// sharding of the fleet the chain crosses shard boundaries several times,
+// so recovering it exercises frontier exchange between shards:
+//
+//   conn_in -> httpd -> sh            (web server, agent 1)
+//           -> beacon.exe             (client 0, agent 5; stitched connect)
+//           -> dropper.bat -> stager  (client 0)
+//           -> svchelper.exe          (domain controller, agent 3)
+//           -> dbtool.exe <- customers.dat   (database server, agent 4)
+//           -> conn_out               (exfiltration to the attacker)
+//
+// Decoys a correct backward track from conn_out must NOT pick up:
+//   * a write into dropper.bat after the stager consumed it (classic
+//     time-monotonicity decoy, within one host);
+//   * an inbound connect into beacon.exe from the domain controller that
+//     postdates beacon's time bound — the bound was established by an event
+//     on beacon's own host, so pruning this decoy requires the bound to be
+//     exchanged correctly across shards (the decoy event and the
+//     bound-setting event live on different shards under 2/4/8-way
+//     sharding);
+//   * an in-flow into conn_out after the anchor;
+//   * an out-flow of customers.dat that never feeds the chain.
+
+#ifndef AIQL_SIMULATOR_ATTACK_CAMPAIGN_H_
+#define AIQL_SIMULATOR_ATTACK_CAMPAIGN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "simulator/topology.h"
+#include "storage/data_model.h"
+
+namespace aiql {
+
+/// Ground truth of the planted multi-host chain.
+struct CampaignChainTruth {
+  Timestamp start = 0;   ///< first chain event (conn_in accept)
+  Timestamp anchor = 0;  ///< just after the final exfil write (POI anchor)
+  std::string attacker_ip;
+  /// Hosts the chain touches, in information-flow order.
+  std::vector<AgentId> agents;
+
+  /// Display name of the exfiltration connection (the backward POI).
+  std::string poi_name;
+  /// LIKE pattern resolving the POI uniquely (the attacker's dst ip).
+  std::string poi_like;
+
+  /// Every chain entity as (type, display name), POI first, in the
+  /// discovery order of an exact backward track.
+  std::vector<std::pair<EntityType, std::string>> chain;
+  /// Hop depth at which each chain entity is discovered (parallel to
+  /// `chain`).
+  std::vector<int> chain_depths;
+  /// Time bound each chain entity carries when discovered (parallel to
+  /// `chain`): the anchor for the POI, the discovering event's start
+  /// otherwise.
+  std::vector<Timestamp> chain_bounds;
+  /// Display names of decoy-only entities — a correct track contains none.
+  std::vector<std::string> decoy_names;
+  /// Number of planted chain events (the edges a full track recovers).
+  size_t chain_events = 0;
+  /// Depth of the deepest chain entity in a backward track.
+  int chain_depth = 0;
+};
+
+/// Injects the campaign (plus decoys) into `out` starting at `start`; the
+/// chain unfolds over ~4 minutes. Requires the standard enterprise layout
+/// (web server, domain controller, database server, >= 1 client).
+CampaignChainTruth InjectCampaignChain(const Enterprise& enterprise,
+                                       Timestamp start,
+                                       std::vector<EventRecord>* out);
+
+}  // namespace aiql
+
+#endif  // AIQL_SIMULATOR_ATTACK_CAMPAIGN_H_

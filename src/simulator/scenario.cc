@@ -71,6 +71,23 @@ ExfilScenarioData GenerateExfilScenario(const ScenarioOptions& options) {
   return data;
 }
 
+CampaignScenarioData GenerateCampaignScenario(const ScenarioOptions& options) {
+  CampaignScenarioData data;
+  data.enterprise = BuildEnterprise(options.num_clients);
+  Timestamp start = DayStart(options);
+  data.window = TimeRange{start, start + options.duration};
+
+  BackgroundOptions background;
+  background.events_per_host_per_hour = options.events_per_host_per_hour;
+  background.seed = options.seed + 3;
+  GenerateBackground(data.enterprise, data.window.start, data.window.end,
+                     background, &data.records);
+  data.truth = InjectCampaignChain(
+      data.enterprise, start + options.attack_offset, &data.records);
+  SortRecords(&data.records);
+  return data;
+}
+
 Result<AuditDatabase> IngestRecords(const std::vector<EventRecord>& records,
                                     const StorageOptions& storage) {
   AuditDatabase db(storage);

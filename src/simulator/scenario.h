@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "simulator/attack_atc.h"
+#include "simulator/attack_campaign.h"
 #include "simulator/attack_demo.h"
 #include "simulator/attack_exfil.h"
 #include "simulator/background.h"
@@ -55,6 +56,15 @@ struct ExfilScenarioData {
   TimeRange window;
 };
 
+/// Generated scenario with the multi-host campaign chain (cross-shard
+/// provenance tracking's ground-truth workload).
+struct CampaignScenarioData {
+  Enterprise enterprise;
+  CampaignChainTruth truth;
+  std::vector<EventRecord> records;  ///< time-ordered
+  TimeRange window;
+};
+
 /// Builds background + demo attack records (deterministic under options).
 DemoScenarioData GenerateDemoScenario(const ScenarioOptions& options);
 
@@ -63,6 +73,9 @@ AtcScenarioData GenerateAtcScenario(const ScenarioOptions& options);
 
 /// Builds background + the exfiltration chain.
 ExfilScenarioData GenerateExfilScenario(const ScenarioOptions& options);
+
+/// Builds background + the multi-host campaign chain.
+CampaignScenarioData GenerateCampaignScenario(const ScenarioOptions& options);
 
 /// Ingests records into a database under `storage` and seals it.
 Result<AuditDatabase> IngestRecords(const std::vector<EventRecord>& records,

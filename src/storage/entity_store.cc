@@ -54,6 +54,36 @@ EntityId EntityStore::InternNetwork(const NetworkRef& ref) {
   return id;
 }
 
+EntityId EntityStore::FindProcess(const ProcessRef& ref) const {
+  StringId exe = exe_names_.Lookup(ref.exe_name);
+  StringId user = users_.Lookup(ref.user);
+  if (exe == kInvalidStringId || user == kInvalidStringId) {
+    return kInvalidEntityId;
+  }
+  auto it = process_ids_.find(ProcessKey{ref.agent_id, ref.pid, exe, user});
+  return it != process_ids_.end() ? it->second : kInvalidEntityId;
+}
+
+EntityId EntityStore::FindFile(const FileRef& ref) const {
+  StringId path = paths_.Lookup(ref.path);
+  if (path == kInvalidStringId) return kInvalidEntityId;
+  auto it = file_ids_.find(FileKey{ref.agent_id, path});
+  return it != file_ids_.end() ? it->second : kInvalidEntityId;
+}
+
+EntityId EntityStore::FindNetwork(const NetworkRef& ref) const {
+  StringId src = ips_.Lookup(ref.src_ip);
+  StringId dst = ips_.Lookup(ref.dst_ip);
+  StringId proto = protocols_.Lookup(ref.protocol);
+  if (src == kInvalidStringId || dst == kInvalidStringId ||
+      proto == kInvalidStringId) {
+    return kInvalidEntityId;
+  }
+  auto it = network_ids_.find(NetworkKey{ref.agent_id, src, dst, ref.src_port,
+                                         ref.dst_port, proto});
+  return it != network_ids_.end() ? it->second : kInvalidEntityId;
+}
+
 Status EntityStore::RestoreDictionaries(
     const std::vector<std::string>& exe_names,
     const std::vector<std::string>& users,

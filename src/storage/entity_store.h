@@ -38,6 +38,19 @@ class EntityStore {
   /// Interns the object side of a raw record; returns (type, id).
   std::pair<EntityType, EntityId> InternObject(const ObjectRef& ref);
 
+  // --- attribute-level lookup (no interning) -------------------------------
+
+  /// Id of the process entity with exactly `ref`'s attributes, or
+  /// kInvalidEntityId when this store never saw it. Never mutates the store,
+  /// so it is safe on a shared view while ingestion continues elsewhere —
+  /// the shard layer uses these to translate an entity discovered on one
+  /// shard into another shard's id space.
+  EntityId FindProcess(const ProcessRef& ref) const;
+  /// File equivalent of FindProcess.
+  EntityId FindFile(const FileRef& ref) const;
+  /// Network equivalent of FindProcess (full 5-tuple + agent).
+  EntityId FindNetwork(const NetworkRef& ref) const;
+
   /// Snapshot-load hook: pre-interns persisted dictionary strings in stored
   /// order into an empty store, so StringIds referenced by other snapshot
   /// sections (entity tables, per-partition subject-exe counts) keep their

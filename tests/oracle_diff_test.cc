@@ -25,6 +25,13 @@
 //
 // Query count per options combination defaults to 200 and can be raised
 // via AIQL_ORACLE_QUERIES.
+//
+// Issue #6 adds a sharded axis: the same world is routed into 2/4/8-way
+// agent-range shard maps (database- AND snapshot-backed), and every
+// generated query also runs through the scatter/gather executor against a
+// per-case rotated options combination — results must match the oracle (and
+// hence the single-db engines) under the same tie-aware comparison,
+// including dependency chains whose edges live on different shards.
 
 #include <gtest/gtest.h>
 
@@ -32,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -42,6 +50,7 @@
 #include "engine/aiql_engine.h"
 #include "engine/result.h"
 #include "storage/database.h"
+#include "storage/shard_map.h"
 #include "storage/snapshot.h"
 
 namespace aiql {
@@ -49,7 +58,8 @@ namespace {
 
 Timestamp T0() { return *MakeTimestamp(2018, 5, 10); }
 constexpr Duration kSpan = 6 * kHour;
-constexpr int kNumAgents = 4;
+// Eight agents so an 8-way shard map gets one agent per shard.
+constexpr int kNumAgents = 8;
 
 // --- generated world ---------------------------------------------------------
 
@@ -161,12 +171,17 @@ World GenerateWorld(uint64_t seed, int num_events) {
   return world;
 }
 
-AuditDatabase BuildDatabase(const World& world) {
+StorageOptions OracleStorage() {
   StorageOptions options;
   options.partition_duration = kHour;
   options.dedup_window = 0;  // oracle works on raw events 1:1
   options.max_partition_events = 200;  // exercise rollover / seq partitions
-  AuditDatabase db(options);
+  return options;
+}
+
+std::vector<EventRecord> WorldRecords(const World& world) {
+  std::vector<EventRecord> records;
+  records.reserve(world.events.size());
   for (const GenEvent& e : world.events) {
     EventRecord record;
     record.agent_id = e.agent;
@@ -194,10 +209,83 @@ AuditDatabase BuildDatabase(const World& world) {
         break;
       }
     }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+AuditDatabase BuildDatabase(const World& world) {
+  AuditDatabase db(OracleStorage());
+  for (const EventRecord& record : WorldRecords(world)) {
     EXPECT_TRUE(db.Append(record).ok());
   }
   EXPECT_TRUE(db.Seal().ok());
   return db;
+}
+
+// --- sharded worlds ----------------------------------------------------------
+
+/// One sharded copy of the world: per-shard databases (optionally re-opened
+/// through on-disk v2 snapshots) under a ShardMap.
+struct ShardedWorld {
+  std::string name;
+  std::vector<std::unique_ptr<AuditDatabase>> dbs;
+  std::vector<std::unique_ptr<SnapshotStore>> snaps;
+  std::vector<std::string> snap_paths;
+  ShardMap map;
+
+  ~ShardedWorld() {
+    snaps.clear();
+    for (const std::string& path : snap_paths) std::remove(path.c_str());
+  }
+};
+
+std::unique_ptr<ShardedWorld> BuildShardedWorld(
+    const std::vector<EventRecord>& records, size_t num_shards,
+    bool snapshot_backed) {
+  auto world = std::make_unique<ShardedWorld>();
+  world->name = std::to_string(num_shards) + "-way " +
+                (snapshot_backed ? "snapshot" : "db");
+  auto ranges = EvenAgentRanges(num_shards, 1, kNumAgents);
+  auto routed = RouteRecordsByAgent(ranges, records);
+  if (!routed.ok()) {
+    ADD_FAILURE() << routed.status().ToString();
+    return nullptr;
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto db = std::make_unique<AuditDatabase>(OracleStorage());
+    for (const EventRecord& record : (*routed)[s]) {
+      EXPECT_TRUE(db->Append(record).ok());
+    }
+    EXPECT_TRUE(db->Seal().ok());
+    world->dbs.push_back(std::move(db));
+    Status added;
+    if (snapshot_backed) {
+      std::string path = "/tmp/aiql_oracle_shard_" +
+                         std::to_string(num_shards) + "_" +
+                         std::to_string(s) + ".snap";
+      Status saved = SaveSnapshot(*world->dbs.back(), path);
+      if (!saved.ok()) {
+        ADD_FAILURE() << saved.ToString();
+        return nullptr;
+      }
+      world->snap_paths.push_back(path);
+      auto store = SnapshotStore::Open(path);
+      if (!store.ok()) {
+        ADD_FAILURE() << store.status().ToString();
+        return nullptr;
+      }
+      world->snaps.push_back(std::move(*store));
+      added = world->map.AddShard(world->snaps.back().get(), ranges[s]);
+    } else {
+      added = world->map.AddShard(world->dbs.back().get(), ranges[s]);
+    }
+    if (!added.ok()) {
+      ADD_FAILURE() << added.ToString();
+      return nullptr;
+    }
+  }
+  return world;
 }
 
 // --- generated queries -------------------------------------------------------
@@ -1081,6 +1169,18 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
         std::make_unique<AiqlEngine>(store->get(), options));
   }
 
+  // Sharded axis: the same records routed into 2/4/8-way shard maps, each
+  // once database-backed and once snapshot-backed.
+  std::vector<EventRecord> records = WorldRecords(world);
+  std::vector<std::unique_ptr<ShardedWorld>> sharded_worlds;
+  for (size_t num_shards : {2u, 4u, 8u}) {
+    for (bool snapshot_backed : {false, true}) {
+      auto sharded = BuildShardedWorld(records, num_shards, snapshot_backed);
+      ASSERT_NE(sharded, nullptr);
+      sharded_worlds.push_back(std::move(sharded));
+    }
+  }
+
   int target = 200;
   if (const char* env = std::getenv("AIQL_ORACLE_QUERIES")) {
     target = std::max(1, std::atoi(env));
@@ -1092,6 +1192,7 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
   int mismatches = 0;
   int dependency_cases = 0;
   int ordered_cases = 0;
+  int sharded_executions = 0;
   while (executed < target && attempts < target * 20) {
     ++attempts;
     GenCase gen;
@@ -1127,6 +1228,28 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
         }
       }
     }
+
+    // Sharded axis: every shard configuration, with the options combination
+    // rotating per case so all 16 combos meet the scatter/gather paths. The
+    // oracle table doubles as the single-db reference the satellite demands
+    // (the loop above just proved every single-db engine agrees with it).
+    const auto& [shard_combo_name, shard_options] =
+        combos[executed % combos.size()];
+    for (const auto& sharded : sharded_worlds) {
+      AiqlEngine engine(&sharded->map, shard_options);
+      auto result = engine.Execute(gen.text);
+      ASSERT_TRUE(result.ok())
+          << "[" << shard_combo_name << " via " << sharded->name
+          << "] failed on: " << gen.text << "\n  "
+          << result.status().ToString();
+      std::string failure = CompareResult(result->table, expected, q);
+      if (!failure.empty()) {
+        ++mismatches;
+        ADD_FAILURE() << "[" << shard_combo_name << " via " << sharded->name
+                      << "] MISMATCH on: " << gen.text << "\n  " << failure;
+      }
+      ++sharded_executions;
+    }
     ++executed;
   }
   // The widened generator must actually exercise the new surfaces.
@@ -1137,9 +1260,80 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
   ASSERT_GE(executed, std::min(target, 50))
       << "query generator rejected too many candidates";
 
+  // Every query ran against every shard configuration too (the acceptance
+  // floor is 500 sharded executions with zero mismatches).
+  EXPECT_GE(sharded_executions, std::min(target, 100) * 5);
+
   // Every query ran against the lazy store as well; by now it should have
   // materialized partitions on demand.
   EXPECT_GT((*store)->loaded_partitions(), 0u);
+}
+
+// A handcrafted cross-shard join: the two patterns' events live on
+// different shards and only the shared process variable binds them — the
+// scatter/gather executor must exchange the binding across the shard
+// boundary and return exactly one row under every options combination.
+TEST(OracleDiffTest, CrossShardJoinDeterministic) {
+  auto rec = [](AgentId agent, OpType op, Timestamp start, ProcessRef subject,
+                ObjectRef object) {
+    EventRecord record;
+    record.agent_id = agent;
+    record.op = op;
+    record.start_ts = start;
+    record.end_ts = start + kSecond;
+    record.amount = 1;
+    record.subject = std::move(subject);
+    record.object = std::move(object);
+    return record;
+  };
+  ProcessRef alpha{1, 100, "alpha.exe", "root"};
+  ProcessRef beta{2, 200, "beta.exe", "root"};
+  std::vector<EventRecord> records;
+  // The matching pair: alpha writes a file on agent 1, then the SAME
+  // process is observed connecting on agent 2.
+  records.push_back(rec(1, OpType::kWrite, T0() + 10 * kSecond, alpha,
+                        FileRef{1, "/data/x"}));
+  records.push_back(
+      rec(2, OpType::kConnect, T0() + 60 * kSecond, alpha,
+          NetworkRef{2, "10.0.0.2", "8.8.8.8", 40000, 443, "tcp"}));
+  // Decoys: a different process connecting, and an alpha write AFTER the
+  // connect (fails the temporal relation).
+  records.push_back(
+      rec(2, OpType::kConnect, T0() + 70 * kSecond, beta,
+          NetworkRef{2, "10.0.0.2", "9.9.9.9", 40001, 443, "tcp"}));
+  records.push_back(rec(1, OpType::kWrite, T0() + 120 * kSecond, alpha,
+                        FileRef{1, "/data/late"}));
+
+  auto ranges = EvenAgentRanges(2, 1, 2);
+  auto routed = RouteRecordsByAgent(ranges, records);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  std::vector<std::unique_ptr<AuditDatabase>> dbs;
+  ShardMap map;
+  for (size_t s = 0; s < 2; ++s) {
+    auto db = std::make_unique<AuditDatabase>(OracleStorage());
+    for (const EventRecord& record : (*routed)[s]) {
+      ASSERT_TRUE(db->Append(record).ok());
+    }
+    ASSERT_TRUE(db->Seal().ok());
+    dbs.push_back(std::move(db));
+    ASSERT_TRUE(map.AddShard(dbs.back().get(), ranges[s]).ok());
+  }
+
+  const std::string query =
+      "proc p1[\"alpha.exe\"] write file f1[\"/data/x\"] as e1 "
+      "proc p1 connect ip n1 as e2 "
+      "with e1 before e2 "
+      "return p1, f1, n1";
+  for (const auto& [name, options] : AllOptionCombos()) {
+    AiqlEngine engine(&map, options);
+    auto result = engine.Execute(query);
+    ASSERT_TRUE(result.ok())
+        << "[" << name << "] " << result.status().ToString();
+    ASSERT_EQ(result->table.num_rows(), 1u) << "[" << name << "]";
+    EXPECT_EQ(ValueToString(result->table.rows[0][0]), "alpha.exe");
+    EXPECT_EQ(ValueToString(result->table.rows[0][1]), "/data/x");
+    EXPECT_EQ(ValueToString(result->table.rows[0][2]), "8.8.8.8");
+  }
 }
 
 }  // namespace

@@ -15,7 +15,9 @@
 #include "common/thread_pool.h"
 #include "engine/aiql_engine.h"
 #include "simulator/replay.h"
+#include "simulator/scenario.h"
 #include "storage/database.h"
+#include "storage/shard_map.h"
 
 namespace aiql {
 namespace {
@@ -293,6 +295,127 @@ TEST(StreamingTest, ConcurrentIngestAndQueriesSeeConsistentViews) {
   ReadView view = db.OpenReadView();
   EXPECT_EQ(view.visible_events(), view.stats().total_events);
   EXPECT_EQ(view.stats().total_events, db.stats().total_events);
+}
+
+TEST(StreamingTest, ShardedQueriesSeeConsistentViewsDuringConcurrentIngest) {
+  // Two shards ingest concurrently while readers run a cross-shard join
+  // through the sharded engine (run under TSAN in CI's tsan job). Shard 0
+  // owns agent 1 (the secret reads), shard 1 owns agent 2 (the exfil
+  // writes); the writes' subject is the agent-1 attacker process, so every
+  // result row joins events living on different shards and the semi-join
+  // bindings must cross the shard boundary.
+  constexpr int kBuckets = 16;
+  constexpr int kNoisePerBucket = 30;
+
+  ProcessRef attacker{1, 100, "attacker.exe", "root"};
+  std::vector<EventRecord> shard0_records, shard1_records;
+  for (int b = 0; b < kBuckets; ++b) {
+    Timestamp base = T0() + b * kMinute;
+    for (int i = 0; i < kNoisePerBucket; ++i) {
+      shard0_records.push_back(Rec(1, OpType::kWrite, base + i * kSecond,
+                                   "noise.exe", FileRef{1, "/tmp/noise"}));
+      shard1_records.push_back(Rec(2, OpType::kWrite, base + i * kSecond,
+                                   "noise.exe", FileRef{2, "/tmp/noise"}));
+    }
+    shard0_records.push_back(Rec(1, OpType::kRead, base + 10 * kSecond,
+                                 "attacker.exe",
+                                 FileRef{1, "/secret/key.pem"}));
+    EventRecord exfil =
+        Rec(2, OpType::kWrite, base + 20 * kSecond, "attacker.exe",
+            NetworkRef{2, "10.0.0.2", "6.6.6.6", 50000, 443, "tcp"});
+    exfil.subject = attacker;  // agent-1 process observed on agent 2
+    shard1_records.push_back(exfil);
+  }
+  auto by_start = [](const EventRecord& a, const EventRecord& b) {
+    return a.start_ts < b.start_ts;
+  };
+  std::stable_sort(shard0_records.begin(), shard0_records.end(), by_start);
+  std::stable_sort(shard1_records.begin(), shard1_records.end(), by_start);
+  const size_t expected_rows = kBuckets * (kBuckets + 1) / 2;
+  const std::string query =
+      "proc p1[\"%attacker.exe\"] read file f1[\"%key.pem\"] as e1 "
+      "proc p1 write ip i1[dstip = \"6.6.6.6\"] as e2 "
+      "with e1 before e2 "
+      "return f1, i1";
+
+  ThreadPool seal_pool(2);
+  StorageOptions storage = MinuteBuckets();
+  storage.batch_commit_size = 32;
+  storage.seal_pool = &seal_pool;
+  AuditDatabase shard0(storage);
+  AuditDatabase shard1(storage);
+  ShardMap map;
+  ASSERT_TRUE(map.AddShard(&shard0, ShardRange{1, 2}).ok());
+  ASSERT_TRUE(map.AddShard(&shard1, ShardRange{2, 3}).ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  AiqlEngine engine(&map, engine_options);
+
+  ReplayOptions replay;
+  replay.batch_size = 16;
+  StreamReplayer replayer0(&shard0, &shard0_records, replay);
+  StreamReplayer replayer1(&shard1, &shard1_records, replay);
+
+  std::atomic<bool> failed{false};
+  auto query_loop = [&] {
+    size_t last_rows = 0;
+    int iterations = 0;
+    do {
+      ++iterations;
+      auto result = engine.Execute(query);
+      if (!result.ok()) {
+        ADD_FAILURE() << "sharded query failed: "
+                      << result.status().ToString();
+        failed.store(true);
+        return;
+      }
+      // Each shard's view is taken atomically at scatter time, and both
+      // shards only grow: the cross-shard row count must be monotone.
+      size_t rows = result->table.num_rows();
+      if (rows < last_rows || rows > expected_rows) {
+        ADD_FAILURE() << "rows not monotone: " << rows << " after "
+                      << last_rows;
+        failed.store(true);
+        return;
+      }
+      last_rows = rows;
+    } while (!(replayer0.done() && replayer1.done()) && iterations < 100000);
+  };
+
+  replayer0.Start();
+  replayer1.Start();
+  std::thread reader_a(query_loop);
+  std::thread reader_b(query_loop);
+  reader_a.join();
+  reader_b.join();
+  ASSERT_TRUE(replayer0.Join().ok());
+  ASSERT_TRUE(replayer1.Join().ok());
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(replayer0.ingested(), shard0_records.size());
+  EXPECT_EQ(replayer1.ingested(), shard1_records.size());
+
+  ASSERT_TRUE(shard0.Seal().ok());
+  ASSERT_TRUE(shard1.Seal().ok());
+  auto final_result = engine.Execute(query);
+  ASSERT_TRUE(final_result.ok()) << final_result.status().ToString();
+  EXPECT_EQ(final_result->table.num_rows(), expected_rows);
+
+  // Differential close: the sealed sharded result matches a merged single
+  // database bit for bit (modulo row order).
+  std::vector<EventRecord> merged = shard0_records;
+  merged.insert(merged.end(), shard1_records.begin(), shard1_records.end());
+  std::stable_sort(merged.begin(), merged.end(), by_start);
+  auto merged_db = IngestRecords(merged, MinuteBuckets());
+  ASSERT_TRUE(merged_db.ok()) << merged_db.status().ToString();
+  AiqlEngine single(&*merged_db, engine_options);
+  auto reference = single.Execute(query);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ResultTable sharded_table = final_result->table;
+  ResultTable reference_table = reference->table;
+  sharded_table.SortRows();
+  reference_table.SortRows();
+  EXPECT_EQ(sharded_table, reference_table);
 }
 
 }  // namespace
