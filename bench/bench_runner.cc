@@ -11,7 +11,10 @@
 // Scale knobs are the usual AIQL_BENCH_* environment variables (see
 // bench_common.h) plus AIQL_BENCH_REPEAT (per-query repetitions, best-of).
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +31,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/cancellation.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "engine/aiql_engine.h"
 #include "query/parser.h"
@@ -641,6 +646,278 @@ void WriteShardedJson(FILE* out, const ShardedBench& bench) {
   std::fprintf(out, "  },\n");
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode (--chaos): the single-pattern fig4 queries at 4 shards under
+// the failpoint matrix — slow-shard latency injection against a 50ms
+// deadline (strict fails with kDeadlineExceeded, partial returns annotated
+// survivor rows, both in <100ms wall clock), a persistently unavailable
+// shard (partial drops and annotates it), persistent snapshot-read faults
+// (strict surfaces kUnavailable after retries), a one-shot corrupt read
+// (checksum catches it, the retry heals it), and a cleared rerun whose row
+// counts must match the clean sharded baseline. Every scenario's pass flag
+// gates the exit code.
+
+struct ChaosScenarioRun {
+  std::string query_id;
+  std::string scenario;
+  int64_t wall_us = 0;
+  std::string status = "OK";  ///< final status code name
+  size_t rows = 0;
+  int shards_failed = 0;
+  int shards_timed_out = 0;
+  int shards_retried = 0;
+  bool pass = false;
+};
+
+struct ChaosBench {
+  std::vector<ChaosScenarioRun> runs;
+  size_t queries = 0;
+  bool failed = false;
+};
+
+/// Per-shard v2 snapshots of `shards`, reopened fresh so no partition is
+/// pre-materialized (the snapshot-read failpoints must see real reads).
+struct ChaosSnapshotShards {
+  std::vector<std::string> paths;
+  std::vector<std::unique_ptr<SnapshotStore>> snaps;
+  ShardMap map;
+  bool ok = false;
+
+  ~ChaosSnapshotShards() {
+    snaps.clear();
+    for (const std::string& path : paths) std::remove(path.c_str());
+  }
+};
+
+std::unique_ptr<ChaosSnapshotShards> SaveChaosSnapshots(
+    const ShardedDbs& shards) {
+  auto out = std::make_unique<ChaosSnapshotShards>();
+  for (size_t s = 0; s < shards.dbs.size(); ++s) {
+    std::string path = "/tmp/aiql_chaos_" + std::to_string(::getpid()) +
+                       "_" + std::to_string(s) + ".snap";
+    Status saved = SaveSnapshot(*shards.dbs[s], path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "chaos snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+      return out;
+    }
+    out->paths.push_back(path);
+  }
+  out->ok = true;
+  return out;
+}
+
+/// Reopens the saved snapshots into a fresh (lazily materialized) ShardMap.
+bool ReopenChaosSnapshots(ChaosSnapshotShards* shards,
+                          const std::vector<ShardRange>& ranges) {
+  shards->snaps.clear();
+  shards->map = ShardMap();
+  for (size_t s = 0; s < shards->paths.size(); ++s) {
+    auto store = SnapshotStore::Open(shards->paths[s]);
+    if (!store.ok()) {
+      std::fprintf(stderr, "chaos snapshot open failed: %s\n",
+                   store.status().ToString().c_str());
+      return false;
+    }
+    shards->snaps.push_back(std::move(*store));
+    Status added = shards->map.AddShard(shards->snaps.back().get(), ranges[s]);
+    if (!added.ok()) {
+      std::fprintf(stderr, "chaos shard add failed: %s\n",
+                   added.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+ChaosBench RunChaosBench(const std::vector<EventRecord>& demo_records,
+                         const std::vector<CatalogQuery>& fig4_queries) {
+  constexpr size_t kChaosShards = 4;
+  constexpr int64_t kWallBoundUs = 100000;  // acceptance: <100ms wall clock
+  ChaosBench bench;
+  Failpoint::ClearAll();
+
+  auto shards = BuildShardedDbs(demo_records, kChaosShards);
+  if (shards == nullptr) {
+    bench.failed = true;
+    return bench;
+  }
+  AgentId min_agent = demo_records.front().agent_id;
+  AgentId max_agent = min_agent;
+  for (const EventRecord& record : demo_records) {
+    min_agent = std::min(min_agent, record.agent_id);
+    max_agent = std::max(max_agent, record.agent_id);
+  }
+  auto ranges = EvenAgentRanges(kChaosShards, min_agent, max_agent);
+  auto snap_shards = SaveChaosSnapshots(*shards);
+  if (!snap_shards->ok) {
+    bench.failed = true;
+    return bench;
+  }
+
+  EngineOptions strict_options;
+  strict_options.shard_retry_backoff = std::chrono::milliseconds(1);
+  EngineOptions partial_options = strict_options;
+  partial_options.shard_policy = ShardPolicy::kPartial;
+  QueryLimits deadline_limits;
+  deadline_limits.timeout = std::chrono::milliseconds(50);
+
+  auto record = [&bench](ChaosScenarioRun run, bool pass) {
+    run.pass = pass;
+    if (!pass) {
+      bench.failed = true;
+      std::fprintf(stderr, "  chaos %s/%s FAILED (status %s, %lld us)\n",
+                   run.query_id.c_str(), run.scenario.c_str(),
+                   run.status.c_str(), static_cast<long long>(run.wall_us));
+    }
+    bench.runs.push_back(std::move(run));
+  };
+  auto execute = [](AiqlEngine* engine, const std::string& text,
+                    QueryContext* ctx, ChaosScenarioRun* run) {
+    Result<QueryResult> result = Status::Internal("not run");
+    run->wall_us = TimeUs([&] { result = engine->Execute(text, ctx); });
+    if (result.ok()) {
+      run->rows = result->table.num_rows();
+      run->shards_failed = result->degraded.shards_failed;
+      run->shards_timed_out = result->degraded.shards_timed_out;
+      run->shards_retried = result->degraded.shards_retried;
+    } else {
+      run->status = result.status().ToString();
+    }
+    return result;
+  };
+
+  for (const CatalogQuery& query : fig4_queries) {
+    // Only single-pattern queries take the fast scatter path, where a
+    // deadline-missing shard can be dropped; the gathered path aborts on
+    // deadline in both policies by design.
+    auto parsed = ParseAiql(query.text);
+    if (!parsed.ok() || parsed->kind != QueryKind::kMultievent ||
+        parsed->multievent == nullptr ||
+        parsed->multievent->patterns.size() != 1) {
+      continue;
+    }
+    ++bench.queries;
+
+    // Clean baseline on the db-backed map.
+    size_t clean_rows = 0;
+    {
+      AiqlEngine engine(&shards->map, strict_options);
+      ChaosScenarioRun run{query.id, "clean"};
+      auto result = execute(&engine, query.text, nullptr, &run);
+      clean_rows = run.rows;
+      record(std::move(run), result.ok());
+      if (!result.ok()) continue;
+    }
+
+    // 500ms stall on the last shard vs a 50ms deadline: strict fails fast.
+    Failpoint::ClearAll();
+    (void)Failpoint::Configure("shard.scatter=latency(500000)@arg" +
+                               std::to_string(kChaosShards - 1));
+    {
+      AiqlEngine engine(&shards->map, strict_options);
+      QueryContext ctx(deadline_limits);
+      ChaosScenarioRun run{query.id, "deadline_strict"};
+      auto result = execute(&engine, query.text, &ctx, &run);
+      bool pass = !result.ok() &&
+                  result.status().code() == StatusCode::kDeadlineExceeded &&
+                  run.wall_us < kWallBoundUs;
+      record(std::move(run), pass);
+    }
+    // Same stall, partial policy: annotated survivor rows, still <100ms.
+    Failpoint::ClearAll();
+    (void)Failpoint::Configure("shard.scatter=latency(500000)@arg" +
+                               std::to_string(kChaosShards - 1));
+    {
+      AiqlEngine engine(&shards->map, partial_options);
+      QueryContext ctx(deadline_limits);
+      ChaosScenarioRun run{query.id, "deadline_partial"};
+      auto result = execute(&engine, query.text, &ctx, &run);
+      bool pass = result.ok() && run.wall_us < kWallBoundUs &&
+                  run.shards_timed_out >= 1 && run.rows <= clean_rows;
+      record(std::move(run), pass);
+    }
+
+    // A persistently failing shard: partial drops and annotates it.
+    Failpoint::ClearAll();
+    (void)Failpoint::Configure("shard.scatter=error(IOError)@arg1");
+    {
+      AiqlEngine engine(&shards->map, partial_options);
+      ChaosScenarioRun run{query.id, "shard_unavailable_partial"};
+      auto result = execute(&engine, query.text, nullptr, &run);
+      bool pass = result.ok() && run.shards_failed == 1 &&
+                  run.shards_timed_out == 0 && run.rows <= clean_rows;
+      record(std::move(run), pass);
+    }
+
+    // Persistent snapshot-read faults on a fresh lazily-loaded map: every
+    // injected fault is retried, then surfaces as kUnavailable (strict).
+    Failpoint::ClearAll();
+    if (ReopenChaosSnapshots(snap_shards.get(), ranges)) {
+      (void)Failpoint::Configure("snapshot.read.partition=error(IOError)");
+      AiqlEngine engine(&snap_shards->map, strict_options);
+      ChaosScenarioRun run{query.id, "snapshot_fault_strict"};
+      auto result = execute(&engine, query.text, nullptr, &run);
+      record(std::move(run),
+             !result.ok() &&
+                 result.status().code() == StatusCode::kUnavailable);
+    }
+
+    // One corrupt read on another fresh map: the checksum catches the
+    // bit-flip and the shard retry re-reads cleanly — full result.
+    Failpoint::ClearAll();
+    if (ReopenChaosSnapshots(snap_shards.get(), ranges)) {
+      (void)Failpoint::Configure("snapshot.read.partition=corrupt@nth1");
+      AiqlEngine engine(&snap_shards->map, strict_options);
+      ChaosScenarioRun run{query.id, "snapshot_corrupt_retry"};
+      auto result = execute(&engine, query.text, nullptr, &run);
+      record(std::move(run), result.ok() && run.rows == clean_rows);
+    }
+
+    // Cleared: the db-backed map serves the clean rows again.
+    Failpoint::ClearAll();
+    {
+      AiqlEngine engine(&shards->map, strict_options);
+      ChaosScenarioRun run{query.id, "cleared"};
+      auto result = execute(&engine, query.text, nullptr, &run);
+      record(std::move(run), result.ok() && run.rows == clean_rows);
+    }
+  }
+  Failpoint::ClearAll();
+  if (bench.queries == 0) {
+    std::fprintf(stderr, "chaos: no single-pattern fig4 queries found\n");
+    bench.failed = true;
+  }
+  return bench;
+}
+
+std::string JsonEscape(const std::string& s);
+
+void WriteChaosJson(FILE* out, const ChaosBench& bench) {
+  std::fprintf(out, "  \"chaos\": {\n");
+  std::fprintf(out, "    \"num_shards\": 4, \"deadline_ms\": 50, "
+               "\"injected_stall_ms\": 500, \"queries\": %zu,\n",
+               bench.queries);
+  std::fprintf(out, "    \"scenarios\": [\n");
+  for (size_t i = 0; i < bench.runs.size(); ++i) {
+    const ChaosScenarioRun& run = bench.runs[i];
+    std::fprintf(out,
+                 "      {\"query\": \"%s\", \"scenario\": \"%s\", "
+                 "\"wall_us\": %lld, \"status\": \"%s\", \"rows\": %zu, "
+                 "\"shards_failed\": %d, \"shards_timed_out\": %d, "
+                 "\"shards_retried\": %d, \"pass\": %s}%s\n",
+                 run.query_id.c_str(), run.scenario.c_str(),
+                 static_cast<long long>(run.wall_us),
+                 JsonEscape(run.status).c_str(), run.rows,
+                 run.shards_failed, run.shards_timed_out,
+                 run.shards_retried, run.pass ? "true" : "false",
+                 i + 1 < bench.runs.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"all_pass\": %s\n", bench.failed ? "false" : "true");
+  std::fprintf(out, "  },\n");
+}
+
 uint64_t FileSizeBytes(const std::string& path) {
   std::error_code ec;
   uintmax_t size = std::filesystem::file_size(path, ec);
@@ -981,8 +1258,8 @@ void WriteJson(FILE* out, const std::string& label,
                bool has_baseline, double stream_rate,
                const std::vector<StreamSuiteRun>* streaming,
                const SnapshotBench* snapshot,
-               const ProvenanceBench* provenance,
-               const ShardedBench* sharded) {
+               const ProvenanceBench* provenance, const ShardedBench* sharded,
+               const ChaosBench* chaos) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
   std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
@@ -1007,6 +1284,7 @@ void WriteJson(FILE* out, const std::string& label,
   if (snapshot != nullptr) WriteSnapshotJson(out, *snapshot);
   if (provenance != nullptr) WriteProvenanceJson(out, *provenance);
   if (sharded != nullptr) WriteShardedJson(out, *sharded);
+  if (chaos != nullptr) WriteChaosJson(out, *chaos);
 
   std::fprintf(out, "  \"queries\": [\n");
   int64_t total_us = 0, baseline_total_us = 0;
@@ -1076,6 +1354,7 @@ int main(int argc, char** argv) {
   bool snapshot = false;
   bool provenance = false;
   bool sharded = false;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -1094,11 +1373,13 @@ int main(int argc, char** argv) {
       provenance = true;
     } else if (std::strcmp(argv[i], "--sharded") == 0) {
       sharded = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out file.json] [--baseline file.json] "
                    "[--label name] [--streaming] [--snapshot] "
-                   "[--provenance] [--sharded]\n",
+                   "[--provenance] [--sharded] [--chaos]\n",
                    argv[0]);
       return 2;
     }
@@ -1226,6 +1507,23 @@ int main(int argc, char** argv) {
                         single_rows, runs, options, repeat);
   }
 
+  // Chaos mode: failpoint fault-injection matrix over the single-pattern
+  // fig4 queries at 4 shards — deadlines vs injected stalls, strict and
+  // partial degraded execution, and snapshot read-fault retry. Every
+  // scenario's governance contract gates the exit code.
+  ChaosBench chaos_bench;
+  if (chaos) {
+    std::fprintf(stderr,
+                 "chaos: failpoint matrix over fig4 at 4 shards "
+                 "(50ms deadline vs 500ms injected stall)\n");
+    chaos_bench =
+        RunChaosBench(demo.records, DemoInvestigationQueries(demo.truth));
+    std::fprintf(stderr, "  chaos: %zu queries x %zu scenario runs, %s\n",
+                 chaos_bench.queries,
+                 chaos_bench.runs.size(),
+                 chaos_bench.failed ? "FAILED" : "all pass");
+  }
+
   // Streaming mode: re-ingest each suite's records at a pinned rate on a
   // background thread, concurrent with the suite's queries; verify the
   // post-Seal row counts against the sealed-batch runs above.
@@ -1281,7 +1579,8 @@ int main(int argc, char** argv) {
             stream_rate, streaming ? &stream_suites : nullptr,
             snapshot ? &snapshot_bench : nullptr,
             provenance ? &provenance_bench : nullptr,
-            sharded ? &sharded_bench : nullptr);
+            sharded ? &sharded_bench : nullptr,
+            chaos ? &chaos_bench : nullptr);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
@@ -1296,6 +1595,10 @@ int main(int argc, char** argv) {
   }
   if (sharded && sharded_bench.failed) {
     std::fprintf(stderr, "sharded bench verification failed\n");
+    return 1;
+  }
+  if (chaos && chaos_bench.failed) {
+    std::fprintf(stderr, "chaos bench verification failed\n");
     return 1;
   }
   int failures = 0;

@@ -18,7 +18,15 @@
 //                      execute everything through the scatter/gather
 //                      engine; 'off' returns to the single database;
 //                      no argument prints the current layout
+//   timeout <ms>|off   deadline for every following query/track
+//   budget rows|nodes|bytes <n> | budget off
+//                      per-query budgets (kResourceExhausted on breach)
+//   partial on|off     degraded sharded execution: drop failed/slow shards
+//                      and return annotated partial results (off = strict)
 //   .quit              exit
+//
+// Exits nonzero when any query, track, or check failed — scripts piping
+// queries in can gate on the exit code.
 //
 // track backward|forward proc|file|ip "<like>" [at "<time>"] [depth N]
 //       [fanout N] [nodes N] [hop <N> <sec|min|hour>] [dot|cypher]
@@ -28,6 +36,7 @@
 // empty line when the first line does not contain 'return').
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -161,13 +170,22 @@ std::vector<std::string> TokenizeTrack(const std::string& text) {
   return tokens;
 }
 
+/// Wall-clock elapsed milliseconds since `start`, printed after every
+/// query/track so analysts see real latency, governed or not.
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 /// `track backward file "%db.bak%" [at "..."] [depth N] [fanout N]
 ///  [nodes N] [hop N unit] [dot|cypher]`
 ///
 /// `name_of` renders a node's display name (per-shard stores in sharded
 /// mode); `export_store` backs the dot/cypher exporters and is null in
-/// sharded mode (node ids span several stores there).
-void RunTrack(AiqlEngine* engine,
+/// sharded mode (node ids span several stores there). Returns false on
+/// failure (shell exit code).
+bool RunTrack(AiqlEngine* engine,
               const std::function<std::string(const ProvenanceNode&)>& name_of,
               const EntityStore* export_store, const std::string& args) {
   std::vector<std::string> tokens = TokenizeTrack(args);
@@ -175,7 +193,7 @@ void RunTrack(AiqlEngine* engine,
     std::printf("usage: track backward|forward proc|file|ip \"<like>\" "
                 "[at \"<time>\"] [depth N] [fanout N] [nodes N] "
                 "[hop <N> <sec|min|hour>] [dot|cypher]\n");
-    return;
+    return false;
   }
   TrackRequest request;
   std::string direction = ToLower(tokens[0]);
@@ -186,7 +204,7 @@ void RunTrack(AiqlEngine* engine,
   } else {
     std::printf("!! expected 'backward' or 'forward', got '%s'\n",
                 tokens[0].c_str());
-    return;
+    return false;
   }
   std::string type = ToLower(tokens[1]);
   if (type == "proc" || type == "process") {
@@ -198,7 +216,7 @@ void RunTrack(AiqlEngine* engine,
   } else {
     std::printf("!! expected 'proc', 'file' or 'ip', got '%s'\n",
                 tokens[1].c_str());
-    return;
+    return false;
   }
   request.name_like = tokens[2];
 
@@ -223,18 +241,18 @@ void RunTrack(AiqlEngine* engine,
     if (key == "at") {
       if (i + 1 >= tokens.size()) {
         std::printf("!! 'at' expects a \"<time>\" argument\n");
-        return;
+        return false;
       }
       auto ts = ParseTimestamp(tokens[++i]);
       if (!ts.ok()) {
         std::printf("!! bad timestamp: %s\n", ts.status().ToString().c_str());
-        return;
+        return false;
       }
       request.anchor = *ts;
     } else if (key == "depth" || key == "fanout" || key == "nodes") {
       if (!next_int(&value)) {
         std::printf("!! '%s' expects a positive integer\n", key.c_str());
-        return;
+        return false;
       }
       if (key == "depth") {
         request.options.max_depth = static_cast<int>(std::min<int64_t>(
@@ -247,7 +265,7 @@ void RunTrack(AiqlEngine* engine,
     } else if (key == "hop") {
       if (!next_int(&value) || i + 1 >= tokens.size()) {
         std::printf("!! 'hop' expects '<N> <sec|min|hour>'\n");
-        return;
+        return false;
       }
       std::string unit = ToLower(tokens[++i]);
       Duration scale = unit == "sec" || unit == "s"    ? kSecond
@@ -256,11 +274,11 @@ void RunTrack(AiqlEngine* engine,
                                                        : 0;
       if (scale == 0) {
         std::printf("!! bad hop window unit '%s'\n", unit.c_str());
-        return;
+        return false;
       }
       if (value > INT64_MAX / scale) {
         std::printf("!! hop window overflows; use a smaller value\n");
-        return;
+        return false;
       }
       request.options.hop_window = value * scale;
     } else if (key == "dot") {
@@ -269,25 +287,27 @@ void RunTrack(AiqlEngine* engine,
       want_cypher = true;
     } else {
       std::printf("!! unknown track option '%s'\n", tokens[i].c_str());
-      return;
+      return false;
     }
   }
 
+  auto start = std::chrono::steady_clock::now();
   auto result = engine->Track(request);
+  double elapsed_ms = ElapsedMs(start);
   if (!result.ok()) {
     std::printf("!! %s\n", result.status().ToString().c_str());
-    return;
+    return false;
   }
   if (want_dot || want_cypher) {
     if (export_store == nullptr) {
       std::printf("!! dot/cypher export is single-database only; "
                   "run 'shards off' first\n");
-      return;
+      return false;
     }
     std::printf("%s", want_dot
                           ? ProvenanceToDot(*result, *export_store).c_str()
                           : ProvenanceToCypher(*result, *export_store).c_str());
-    return;
+    return true;
   }
 
   TablePrinter printer({"depth", "type", "entity", "bound"});
@@ -314,18 +334,40 @@ void RunTrack(AiqlEngine* engine,
   for (Duration us : result->stats.hop_latency_us) {
     std::printf(" %lld", static_cast<long long>(us));
   }
-  std::printf(" (total %lld)\n", static_cast<long long>(total_us));
+  std::printf(" (total %lld); elapsed %.1f ms\n",
+              static_cast<long long>(total_us), elapsed_ms);
+  if (!result->stats.truncated_expansions.empty()) {
+    uint64_t dropped = 0;
+    for (const TruncatedExpansion& cut : result->stats.truncated_expansions) {
+      dropped += cut.dropped;
+    }
+    std::printf("-- %zu frontier expansion(s) truncated by budget "
+                "(%llu candidate events dropped)\n",
+                result->stats.truncated_expansions.size(),
+                static_cast<unsigned long long>(dropped));
+  }
+  for (const ShardTrackStatus& shard : result->stats.shard_status) {
+    std::printf("-- shard %u: %s%s after %d attempt(s)\n", shard.shard,
+                shard.dropped ? "DROPPED " : "recovered",
+                shard.dropped ? shard.status.ToString().c_str() : "",
+                shard.attempts);
+  }
+  return true;
 }
 
-void Execute(AiqlEngine* engine, const std::string& query) {
+bool Execute(AiqlEngine* engine, const std::string& query) {
+  auto start = std::chrono::steady_clock::now();
   auto result = engine->Execute(query);
+  double elapsed_ms = ElapsedMs(start);
   if (!result.ok()) {
-    std::printf("!! %s\n", result.status().ToString().c_str());
-    return;
+    std::printf("!! %s (after %.1f ms)\n",
+                result.status().ToString().c_str(), elapsed_ms);
+    return false;
   }
   std::printf("%s", result->table.ToString(40).c_str());
   std::printf("-- %zu rows in %s (parse %s, plan %s, exec %s); "
-              "%llu events scanned on %llu partitions, %d threads\n",
+              "%llu events scanned on %llu partitions, %d threads; "
+              "elapsed %.1f ms\n",
               result->table.num_rows(),
               FormatDuration(result->stats.total_time()).c_str(),
               FormatDuration(result->stats.parse_time).c_str(),
@@ -334,7 +376,12 @@ void Execute(AiqlEngine* engine, const std::string& query) {
               static_cast<unsigned long long>(result->stats.events_scanned),
               static_cast<unsigned long long>(
                   result->stats.partitions_scanned),
-              result->stats.threads_used);
+              result->stats.threads_used, elapsed_ms);
+  // Degraded sharded execution: name every dropped/retried shard so a
+  // partial table is never mistaken for a complete one.
+  std::string degraded = result->degraded.ToString();
+  if (!degraded.empty()) std::printf("-- %s\n", degraded.c_str());
+  return true;
 }
 
 }  // namespace
@@ -360,8 +407,17 @@ int main(int argc, char** argv) {
               data.truth.domain_controller, data.truth.database_server,
               data.truth.attacker_ip.c_str());
 
-  auto engine = std::make_unique<AiqlEngine>(&*db);
+  // Governance state: every engine rebuild (shards on/off, limit changes)
+  // re-applies these options; all-zero limits keep the ungoverned path.
+  EngineOptions engine_options;
   std::unique_ptr<ShardedSetup> sharded;  // null = single-database mode
+  auto engine = std::make_unique<AiqlEngine>(&*db, engine_options);
+  auto rebuild_engine = [&] {
+    engine = sharded != nullptr
+                 ? std::make_unique<AiqlEngine>(&sharded->map, engine_options)
+                 : std::make_unique<AiqlEngine>(&*db, engine_options);
+  };
+  bool had_error = false;  // any failed query/track/check -> exit nonzero
   // Node-name rendering for track output: per-shard stores when sharded.
   auto name_of = [&](const ProvenanceNode& node) {
     const EntityStore& entities = sharded != nullptr
@@ -384,12 +440,81 @@ int main(int argc, char** argv) {
       std::printf("track backward|forward proc|file|ip \"<like>\" "
                   "[at \"<time>\"] [depth N] [fanout N] [nodes N] "
                   "[hop <N> <sec|min|hour>] [dot|cypher]\n");
+      std::printf("timeout <ms>|off | budget rows|nodes|bytes <n> | "
+                  "budget off | partial on|off\n");
       continue;
     }
     if (StartsWith(trimmed, "track ")) {
-      RunTrack(engine.get(), name_of,
-               sharded != nullptr ? nullptr : &db->entities(),
-               trimmed.substr(std::strlen("track ")));
+      if (!RunTrack(engine.get(), name_of,
+                    sharded != nullptr ? nullptr : &db->entities(),
+                    trimmed.substr(std::strlen("track ")))) {
+        had_error = true;
+      }
+      continue;
+    }
+    if (trimmed == "timeout" || StartsWith(trimmed, "timeout ")) {
+      std::string arg(TrimString(trimmed.substr(std::strlen("timeout"))));
+      if (ToLower(arg) == "off") {
+        engine_options.default_limits.timeout = std::chrono::milliseconds(0);
+        rebuild_engine();
+        std::printf("deadline off\n");
+        continue;
+      }
+      char* end = nullptr;
+      long long ms = std::strtoll(arg.c_str(), &end, 10);
+      if (arg.empty() || end == nullptr || *end != '\0' || ms <= 0) {
+        std::printf("!! 'timeout' expects a positive millisecond count or "
+                    "'off'\n");
+        continue;
+      }
+      engine_options.default_limits.timeout = std::chrono::milliseconds(ms);
+      rebuild_engine();
+      std::printf("deadline %lld ms per query\n", ms);
+      continue;
+    }
+    if (trimmed == "budget" || StartsWith(trimmed, "budget ")) {
+      std::vector<std::string> args =
+          TokenizeTrack(trimmed.substr(std::strlen("budget")));
+      QueryLimits& limits = engine_options.default_limits;
+      if (args.size() == 1 && ToLower(args[0]) == "off") {
+        limits.max_rows = limits.max_nodes = limits.max_bytes = 0;
+        rebuild_engine();
+        std::printf("budgets off\n");
+        continue;
+      }
+      char* end = nullptr;
+      long long value =
+          args.size() == 2 ? std::strtoll(args[1].c_str(), &end, 10) : 0;
+      std::string kind = args.empty() ? "" : ToLower(args[0]);
+      if (args.size() != 2 || end == nullptr || *end != '\0' || value <= 0 ||
+          (kind != "rows" && kind != "nodes" && kind != "bytes")) {
+        std::printf("!! usage: budget rows|nodes|bytes <n> | budget off\n");
+        continue;
+      }
+      if (kind == "rows") {
+        limits.max_rows = static_cast<uint64_t>(value);
+      } else if (kind == "nodes") {
+        limits.max_nodes = static_cast<uint64_t>(value);
+      } else {
+        limits.max_bytes = static_cast<uint64_t>(value);
+      }
+      rebuild_engine();
+      std::printf("budget: %s <= %lld per query\n", kind.c_str(), value);
+      continue;
+    }
+    if (trimmed == "partial" || StartsWith(trimmed, "partial ")) {
+      std::string arg(
+          ToLower(TrimString(trimmed.substr(std::strlen("partial")))));
+      if (arg != "on" && arg != "off") {
+        std::printf("!! usage: partial on|off\n");
+        continue;
+      }
+      engine_options.shard_policy =
+          arg == "on" ? ShardPolicy::kPartial : ShardPolicy::kStrict;
+      rebuild_engine();
+      std::printf("degraded sharded execution %s (%s)\n", arg.c_str(),
+                  arg == "on" ? "failed shards drop, results annotated"
+                              : "any shard failure fails the query");
       continue;
     }
     if (trimmed == "shards" || StartsWith(trimmed, "shards ")) {
@@ -404,7 +529,7 @@ int main(int argc, char** argv) {
       }
       if (ToLower(arg) == "off") {
         sharded.reset();
-        engine = std::make_unique<AiqlEngine>(&*db);
+        rebuild_engine();
         std::printf("back to single-database mode\n");
         continue;
       }
@@ -417,7 +542,7 @@ int main(int argc, char** argv) {
       auto setup = BuildShards(data.records, static_cast<size_t>(value));
       if (setup == nullptr) continue;
       sharded = std::move(setup);
-      engine = std::make_unique<AiqlEngine>(&sharded->map);
+      rebuild_engine();
       PrintShardInfo(*sharded);
       continue;
     }
@@ -435,11 +560,13 @@ int main(int argc, char** argv) {
         std::printf("ok: valid %s query\n", QueryKindToString(*kind));
       } else {
         std::printf("!! %s\n", kind.status().ToString().c_str());
+        had_error = true;
       }
       continue;
     }
     if (StartsWith(trimmed, ".explain ")) {
       auto plan = engine->Explain(run_sub(".explain "));
+      if (!plan.ok()) had_error = true;
       std::printf("%s\n", plan.ok() ? plan->c_str()
                                     : plan.status().ToString().c_str());
       continue;
@@ -478,8 +605,8 @@ int main(int argc, char** argv) {
       if (TrimString(more).empty()) break;
       query += "\n" + more;
     }
-    Execute(engine.get(), query);
+    if (!Execute(engine.get(), query)) had_error = true;
   }
   std::printf("bye\n");
-  return 0;
+  return had_error ? 2 : 0;
 }

@@ -1,0 +1,141 @@
+#include "common/cancellation.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace aiql {
+
+QueryContext::QueryContext(const QueryLimits& limits) : limits_(limits) {
+  if (limits_.timeout.count() > 0) {
+    deadline_ = start_ + limits_.timeout;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+}
+
+void QueryContext::Violate(StatusCode code) {
+  int expected = static_cast<int>(StatusCode::kOk);
+  violation_.compare_exchange_strong(expected, static_cast<int>(code),
+                                     std::memory_order_relaxed);
+}
+
+Status QueryContext::ViolationStatus() const {
+  switch (static_cast<StatusCode>(violation_.load(std::memory_order_relaxed))) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(
+          "query deadline of " + std::to_string(limits_.timeout.count()) +
+          "ms exceeded");
+    case StatusCode::kResourceExhausted: {
+      std::string what;
+      if (limits_.max_rows != 0 && rows_charged() > limits_.max_rows) {
+        what = "row budget of " + std::to_string(limits_.max_rows) +
+               " exhausted (" + std::to_string(rows_charged()) + " charged)";
+      } else if (limits_.max_nodes != 0 &&
+                 nodes_charged() > limits_.max_nodes) {
+        what = "node budget of " + std::to_string(limits_.max_nodes) +
+               " exhausted (" + std::to_string(nodes_charged()) + " charged)";
+      } else {
+        what = "memory budget of " + std::to_string(limits_.max_bytes) +
+               " bytes exhausted (" + std::to_string(bytes_charged()) +
+               " charged)";
+      }
+      return Status::ResourceExhausted("query " + what);
+    }
+    default:
+      return Status::Internal("unexpected governance violation code");
+  }
+}
+
+Status QueryContext::Check() {
+  if (stopped()) return ViolationStatus();
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    Violate(StatusCode::kCancelled);
+    return ViolationStatus();
+  }
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    Violate(StatusCode::kDeadlineExceeded);
+    return ViolationStatus();
+  }
+  return Status::OK();
+}
+
+Status QueryContext::ChargeRows(uint64_t n) {
+  uint64_t total = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_rows != 0 && total > limits_.max_rows) {
+    Violate(StatusCode::kResourceExhausted);
+    return ViolationStatus();
+  }
+  return Check();
+}
+
+Status QueryContext::ChargeNodes(uint64_t n) {
+  uint64_t total = nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_nodes != 0 && total > limits_.max_nodes) {
+    Violate(StatusCode::kResourceExhausted);
+    return ViolationStatus();
+  }
+  return Check();
+}
+
+Status QueryContext::ChargeMemory(uint64_t n) {
+  uint64_t total = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_bytes != 0 && total > limits_.max_bytes) {
+    Violate(StatusCode::kResourceExhausted);
+    return ViolationStatus();
+  }
+  return Check();
+}
+
+std::chrono::milliseconds QueryContext::remaining() const {
+  if (!has_deadline_.load(std::memory_order_acquire)) {
+    return std::chrono::milliseconds::max();
+  }
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline_ - std::chrono::steady_clock::now());
+  return std::max(left, std::chrono::milliseconds(0));
+}
+
+void QueryContext::LiftDeadline() {
+  has_deadline_.store(false, std::memory_order_release);
+  // If the deadline already latched, un-latch it so the bounded merge of
+  // surviving shards can complete; cancel/budget latches are left intact.
+  int expected = static_cast<int>(StatusCode::kDeadlineExceeded);
+  violation_.compare_exchange_strong(expected,
+                                     static_cast<int>(StatusCode::kOk),
+                                     std::memory_order_relaxed);
+}
+
+namespace {
+thread_local QueryContext* g_current_context = nullptr;
+}  // namespace
+
+ScopedQueryContext::ScopedQueryContext(QueryContext* ctx)
+    : previous_(g_current_context) {
+  g_current_context = ctx;
+}
+
+ScopedQueryContext::~ScopedQueryContext() { g_current_context = previous_; }
+
+QueryContext* ScopedQueryContext::Current() { return g_current_context; }
+
+void InterruptibleSleep(std::chrono::microseconds duration) {
+  auto end = std::chrono::steady_clock::now() + duration;
+  constexpr auto kSlice = std::chrono::milliseconds(1);
+  while (true) {
+    QueryContext* ctx = ScopedQueryContext::Current();
+    if (ctx != nullptr && !ctx->Check().ok()) return;
+    auto now = std::chrono::steady_clock::now();
+    if (now >= end) return;
+    auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        end - now);
+    std::this_thread::sleep_for(
+        std::min(left, std::chrono::duration_cast<std::chrono::microseconds>(
+                           kSlice)));
+  }
+}
+
+}  // namespace aiql

@@ -1,0 +1,118 @@
+// Named failpoints for fault injection (LevelDB/TiKV "fail::cfg" idiom).
+//
+// Production code declares a site with a stable name and calls
+// `Failpoint::Hit(name, ...)` (or AIQL_FAILPOINT) on the hot path. With no
+// failpoints armed the cost is one relaxed atomic load of a global counter.
+// Tests / chaos harnesses arm sites programmatically via Failpoint::Set or
+// through the AIQL_FAILPOINTS environment variable at process start:
+//
+//   AIQL_FAILPOINTS="snapshot.read.partition=error(IOError);shard.scatter=latency(500000)@arg2"
+//
+// Spec grammar (per `;`-separated entry):  name=action[@modifiers]
+//   action:   error(CodeName)  |  latency(us)  |  corrupt
+//   modifier: @argN      trigger only when the site's integer arg == N
+//             @p0.25     trigger each hit with probability 0.25
+//                        (deterministic: hash of hit index and seed)
+//             @nth3      trigger only the 3rd hit (1-based)
+//             @once      trigger the first hit then disarm
+//
+// Injected latency sleeps interruptibly (common/cancellation.h), so an
+// armed 500ms stall still honors a 50ms query deadline.
+
+#ifndef AIQL_COMMON_FAILPOINT_H_
+#define AIQL_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aiql {
+
+/// What an armed failpoint does when it triggers.
+enum class FailpointAction {
+  kReturnError,    ///< Hit() returns the configured Status
+  kInjectLatency,  ///< Hit() sleeps (interruptibly) then returns OK
+  kCorruptRead,    ///< HitBuffer() flips a bit in the caller's buffer
+};
+
+/// One armed failpoint configuration.
+struct FailpointSpec {
+  FailpointAction action = FailpointAction::kReturnError;
+  StatusCode code = StatusCode::kIOError;  ///< for kReturnError
+  uint64_t latency_us = 0;                 ///< for kInjectLatency
+  /// Trigger probability in [0,1]; 1.0 = every hit. Deterministic per hit
+  /// index given `seed`.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// When nonzero, trigger only on this 1-based hit count.
+  uint64_t nth = 0;
+  /// When true, disarm after the first triggered hit.
+  bool once = false;
+  /// When >= 0, trigger only for hits whose integer arg matches (e.g. a
+  /// shard index); hits with a different arg pass through untriggered.
+  int64_t arg_filter = -1;
+};
+
+/// Global registry of named failpoints. All methods are thread-safe.
+class Failpoint {
+ public:
+  /// Arms `name` with `spec`, replacing any existing configuration.
+  static void Set(const std::string& name, const FailpointSpec& spec);
+
+  /// Disarms `name` (no-op when not armed).
+  static void Clear(const std::string& name);
+
+  /// Disarms everything and resets hit counters.
+  static void ClearAll();
+
+  /// Parses and arms an AIQL_FAILPOINTS-style spec string. Returns
+  /// InvalidArgument on grammar errors (nothing armed from the bad entry).
+  static Status Configure(const std::string& spec_string);
+
+  /// Number of times `name` has been hit (armed or not, counted only while
+  /// armed) since last armed. For test assertions.
+  static uint64_t HitCount(const std::string& name);
+
+  /// The hot-path check. Returns OK when unarmed / filtered / untriggered;
+  /// returns the configured error or sleeps for kInjectLatency. `arg` is a
+  /// site-specific integer (shard index, attempt number) matched against
+  /// `arg_filter`.
+  static Status Hit(const char* name, int64_t arg = -1);
+
+  /// Like Hit(), plus kCorruptRead support: flips one bit of
+  /// `buffer[0..size)` when a corrupt action triggers (no-op on empty
+  /// buffers) and returns OK so checksum validation sees the damage.
+  static Status HitBuffer(const char* name, char* buffer, size_t size,
+                          int64_t arg = -1);
+
+  /// True when any failpoint is armed (relaxed; used to skip all work on
+  /// the hot path).
+  static bool AnyActive() {
+    return active_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Names of all currently armed failpoints (for diagnostics).
+  static std::vector<std::string> ActiveNames();
+
+  /// Loads AIQL_FAILPOINTS from the environment; called lazily by the
+  /// first Hit(), or explicitly from main(). Safe to call repeatedly.
+  static void InitFromEnv();
+
+ private:
+  static std::atomic<int> active_count_;
+};
+
+#define AIQL_FAILPOINT(name)                            \
+  do {                                                  \
+    if (::aiql::Failpoint::AnyActive()) {               \
+      ::aiql::Status _aiql_fp = ::aiql::Failpoint::Hit(name); \
+      if (!_aiql_fp.ok()) return _aiql_fp;              \
+    }                                                   \
+  } while (false)
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_FAILPOINT_H_

@@ -28,6 +28,10 @@ enum class StatusCode {
   kCorruption,       ///< persistent data failed validation
   kUnimplemented,    ///< feature intentionally not supported
   kInternal,         ///< invariant violation (bug)
+  kCancelled,        ///< caller cancelled the query cooperatively
+  kDeadlineExceeded, ///< query ran past its wall-clock deadline
+  kResourceExhausted, ///< query exceeded a row / node / memory budget
+  kUnavailable,      ///< shard / backend transiently unreachable
 };
 
 /// Human-readable name for a StatusCode ("Ok", "ParseError", ...).
@@ -77,6 +81,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

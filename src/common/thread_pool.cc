@@ -49,8 +49,9 @@ namespace {
 /// long task may only start (and observe next >= n) after the caller has
 /// already returned.
 struct ParallelForState {
-  explicit ParallelForState(size_t total, const std::function<void(size_t)>& f)
-      : n(total), fn(&f) {}
+  explicit ParallelForState(size_t total, const std::function<void(size_t)>& f,
+                            const std::function<bool()>* stop_fn = nullptr)
+      : n(total), fn(&f), stop(stop_fn) {}
 
   std::atomic<size_t> next{0};  ///< next unclaimed iteration
   std::atomic<size_t> done{0};  ///< completed iterations
@@ -58,6 +59,9 @@ struct ParallelForState {
   /// Points at the caller's fn; only dereferenced for claimed iterations
   /// (i < n), all of which complete before the caller's wait returns.
   const std::function<void(size_t)>* fn;
+  /// Optional early-exit predicate (nullptr = never stop). Once it returns
+  /// true, claimed iterations are counted done without running fn.
+  const std::function<bool()>* stop;
   std::mutex mu;
   std::condition_variable cv;
   std::exception_ptr error;  ///< first exception thrown by fn (guarded by mu)
@@ -71,11 +75,15 @@ void DrainParallelFor(const std::shared_ptr<ParallelForState>& state) {
   while (true) {
     size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->n) break;
-    try {
-      (*state->fn)(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (!state->error) state->error = std::current_exception();
+    // A claimed iteration after stop still counts toward done (the claim
+    // was consumed) but skips the work, so all helpers unwind promptly.
+    if (state->stop == nullptr || !(*state->stop)()) {
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
     }
     ++ran;
   }
@@ -113,6 +121,26 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   });
   // Rethrow the first iteration failure on the calling thread, wherever it
   // ran (the pre-claim-counter implementation surfaced it via future.get()).
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const std::function<bool()>& stop) {
+  if (n == 0) return;
+  if (n == 1) {
+    if (!stop()) fn(0);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>(n, fn, &stop);
+  size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { DrainParallelFor(state); });
+  }
+  DrainParallelFor(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
   if (state->error) std::rethrow_exception(state->error);
 }
 

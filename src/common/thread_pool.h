@@ -56,6 +56,14 @@ class ThreadPool {
   /// on the calling thread after all iterations finish.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// ParallelFor with cooperative early exit: once `stop` returns true,
+  /// remaining unclaimed iterations are skipped (already-running ones
+  /// finish). `stop` must be safe to call concurrently; it is polled once
+  /// before each claimed iteration. Iterations are not guaranteed to run
+  /// for any i after the first true — callers must tolerate gaps.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const std::function<bool()>& stop);
+
  private:
   void WorkerLoop();
 

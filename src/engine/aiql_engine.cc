@@ -26,6 +26,11 @@ std::unique_ptr<ThreadPool> MakePool(const EngineOptions& options) {
   return std::make_unique<ThreadPool>(threads);
 }
 
+bool HasLimits(const QueryLimits& limits) {
+  return limits.timeout.count() > 0 || limits.max_rows > 0 ||
+         limits.max_nodes > 0 || limits.max_bytes > 0;
+}
+
 }  // namespace
 
 AiqlEngine::AiqlEngine(const AuditDatabase* db, EngineOptions options)
@@ -40,20 +45,32 @@ AiqlEngine::AiqlEngine(const ShardMap* shards, EngineOptions options)
 AiqlEngine::~AiqlEngine() = default;
 
 Result<QueryResult> AiqlEngine::Execute(std::string_view text) {
+  // Engine-default governance: any nonzero default limit builds a fresh
+  // per-query context; all-zero limits keep the ungoverned hot path.
+  if (HasLimits(options_.default_limits)) {
+    QueryContext ctx(options_.default_limits);
+    return Execute(text, &ctx);
+  }
+  return Execute(text, nullptr);
+}
+
+Result<QueryResult> AiqlEngine::Execute(std::string_view text,
+                                        QueryContext* ctx) {
   auto parse_start = Clock::now();
   AIQL_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseAiql(text));
   Duration parse_time = std::chrono::duration_cast<std::chrono::microseconds>(
                             Clock::now() - parse_start)
                             .count();
-  AIQL_ASSIGN_OR_RETURN(QueryResult result, Dispatch(parsed));
+  AIQL_ASSIGN_OR_RETURN(QueryResult result, Dispatch(parsed, ctx));
   result.stats.parse_time = parse_time;
   return result;
 }
 
-Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
+Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed,
+                                         QueryContext* ctx) {
   if (shards_ != nullptr) {
     ShardedExecutor executor(shards_, options_, pool_.get());
-    return executor.Execute(parsed);
+    return executor.Execute(parsed, ctx);
   }
   // One consistent snapshot of the sealed partitions per query: the view
   // holds the database's state lock shared, so ingestion keeps buffering
@@ -68,14 +85,14 @@ Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
           AnalyzedQuery analyzed,
           AnalyzeMultievent(*parsed.multievent, parsed.kind));
       MultieventExecutor executor(&view, options_, pool_.get());
-      return executor.Execute(analyzed);
+      return executor.Execute(analyzed, ctx);
     }
     case QueryKind::kAnomaly: {
       AIQL_ASSIGN_OR_RETURN(
           AnalyzedQuery analyzed,
           AnalyzeMultievent(*parsed.multievent, parsed.kind));
       AnomalyExecutor executor(&view, options_, pool_.get());
-      return executor.Execute(analyzed);
+      return executor.Execute(analyzed, ctx);
     }
     case QueryKind::kDependency: {
       AIQL_ASSIGN_OR_RETURN(auto rewritten,
@@ -84,7 +101,8 @@ Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed) {
           AnalyzedQuery analyzed,
           AnalyzeMultievent(*rewritten, QueryKind::kMultievent));
       MultieventExecutor executor(&view, options_, pool_.get());
-      AIQL_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(analyzed));
+      AIQL_ASSIGN_OR_RETURN(QueryResult result,
+                            executor.Execute(analyzed, ctx));
       result.plan = "dependency query rewritten to multievent:\n" +
                     result.plan;
       return result;
@@ -116,7 +134,16 @@ Result<std::string> AiqlEngine::Explain(std::string_view text) {
 }
 
 Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request) {
-  if (shards_ != nullptr) return TrackSharded(request);
+  if (HasLimits(options_.default_limits)) {
+    QueryContext ctx(options_.default_limits);
+    return Track(request, &ctx);
+  }
+  return Track(request, nullptr);
+}
+
+Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request,
+                                           QueryContext* ctx) {
+  if (shards_ != nullptr) return TrackSharded(request, ctx);
   ReadView view =
       db_ != nullptr ? db_->OpenReadView() : snapshot_->OpenReadView();
   const EntityStore& entities = view.entities();
@@ -143,10 +170,12 @@ Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request) {
   for (EntityId id : ids) roots.emplace_back(request.type, id);
   Timestamp anchor = request.anchor.value_or(
       request.options.backward ? INT64_MAX : INT64_MIN);
-  return TrackProvenance(view, roots, anchor, request.options, pool_.get());
+  return TrackProvenance(view, roots, anchor, request.options, pool_.get(),
+                         ctx);
 }
 
-Result<ProvenanceResult> AiqlEngine::TrackSharded(const TrackRequest& request) {
+Result<ProvenanceResult> AiqlEngine::TrackSharded(const TrackRequest& request,
+                                                  QueryContext* ctx) {
   if (shards_->num_shards() == 0) {
     return Status::InvalidArgument("shard map has no shards");
   }
@@ -180,8 +209,14 @@ Result<ProvenanceResult> AiqlEngine::TrackSharded(const TrackRequest& request) {
   }
   Timestamp anchor = request.anchor.value_or(
       request.options.backward ? INT64_MAX : INT64_MIN);
-  return TrackProvenanceSharded(views, roots, anchor, request.options,
-                                pool_.get());
+  // Engine-level degradation policy overrides the request's retry knobs.
+  ProvenanceOptions track_options = request.options;
+  track_options.shard_max_attempts = options_.shard_max_attempts;
+  track_options.shard_retry_backoff = options_.shard_retry_backoff;
+  track_options.partial_shards =
+      options_.shard_policy == ShardPolicy::kPartial;
+  return TrackProvenanceSharded(views, roots, anchor, track_options,
+                                pool_.get(), ctx);
 }
 
 }  // namespace aiql

@@ -64,8 +64,17 @@ class AiqlEngine {
 
   ~AiqlEngine();
 
-  /// Parses, analyzes, optimizes, and executes `text`.
+  /// Parses, analyzes, optimizes, and executes `text`. When
+  /// EngineOptions::default_limits sets any limit, the run is governed by a
+  /// per-query QueryContext built from them (deadline / budget breaches
+  /// surface as kDeadlineExceeded / kResourceExhausted); all-zero limits
+  /// keep the ungoverned hot path.
   Result<QueryResult> Execute(std::string_view text);
+
+  /// Same, governed by a caller-owned context — the caller can Cancel() it
+  /// from another thread, inspect charged budgets afterwards, or share one
+  /// context across several queries under a common deadline.
+  Result<QueryResult> Execute(std::string_view text, QueryContext* ctx);
 
   /// Syntax/semantic check only (the web UI's query debugging feature):
   /// returns OK plus the query kind without executing.
@@ -78,14 +87,22 @@ class AiqlEngine {
   /// entities matching `request`. Runs against the same consistent ReadView
   /// machinery as Execute — including lazily materialized snapshot views,
   /// where each hop reads only the partitions its time bounds select.
+  /// Governance mirrors Execute (default_limits / caller context). Sharded
+  /// tracking applies the engine's shard retry/degradation policy: the
+  /// request's ProvenanceOptions retry knobs are overridden from
+  /// EngineOptions (shard_max_attempts, shard_retry_backoff, and
+  /// partial_shards = (shard_policy == kPartial)).
   Result<ProvenanceResult> Track(const TrackRequest& request);
+  Result<ProvenanceResult> Track(const TrackRequest& request,
+                                 QueryContext* ctx);
 
   const EngineOptions& options() const { return options_; }
 
  private:
-  Result<QueryResult> Dispatch(const ParsedQuery& parsed);
+  Result<QueryResult> Dispatch(const ParsedQuery& parsed, QueryContext* ctx);
 
-  Result<ProvenanceResult> TrackSharded(const TrackRequest& request);
+  Result<ProvenanceResult> TrackSharded(const TrackRequest& request,
+                                        QueryContext* ctx);
 
   const AuditDatabase* db_ = nullptr;
   const SnapshotStore* snapshot_ = nullptr;

@@ -148,7 +148,8 @@ AnomalyExecutor::AnomalyExecutor(const ReadView* view,
                                  EngineOptions options, ThreadPool* pool)
     : view_(view), options_(options), pool_(pool) {}
 
-Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
+Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed,
+                                             QueryContext* ctx) {
   const MultieventQueryAst& ast = *analyzed.ast;
   if (!ast.window.has_value() || ast.patterns.size() != 1) {
     return Status::Internal("anomaly executor requires one windowed pattern");
@@ -180,6 +181,7 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
       auto partitions,
       view_->SelectPartitions(pattern.time_range, analyzed.agent_filter));
   stats.partitions_scanned = partitions.size();
+  uint64_t since_check = 0;
   for (const auto& [key, partition] : partitions) {
     const std::vector<Event>& all = partition->events();
     size_t begin = partition->LowerBound(pattern.time_range.start);
@@ -187,6 +189,10 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
       const Event& event = all[i];
       if (event.start_ts >= pattern.time_range.end) break;
       ++stats.events_scanned;
+      if (ctx != nullptr && ++since_check >= QueryContext::kCheckStride) {
+        AIQL_RETURN_IF_ERROR(ctx->ChargeRows(since_check));
+        since_check = 0;
+      }
       if (!OpMaskContains(pattern.op_mask, event.op)) continue;
       if (event.object_type != pattern.object.type) continue;
       if (analyzed.agent_filter.has_value()) {
@@ -331,7 +337,12 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
 
   std::unordered_map<std::string, GroupState> groups;
   int64_t max_window = 0;
+  since_check = 0;
   for (const Event& event : events) {
+    if (ctx != nullptr && ++since_check >= QueryContext::kCheckStride) {
+      AIQL_RETURN_IF_ERROR(ctx->ChargeRows(since_check));
+      since_check = 0;
+    }
     // Windows j with start <= ts < start + length, start = t0 + j*step.
     int64_t offset = event.start_ts - t0;
     if (offset < 0) continue;
@@ -368,6 +379,8 @@ Result<QueryResult> AnomalyExecutor::Execute(const AnalyzedQuery& analyzed) {
       }
     }
   }
+
+  if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
 
   // --- having + projection -----------------------------------------------------
   // Deterministic output: iterate groups sorted by key, windows ascending.

@@ -26,7 +26,11 @@ class AnomalyExecutor {
   AnomalyExecutor(const ReadView* view, EngineOptions options,
                   ThreadPool* pool = nullptr);
 
-  Result<QueryResult> Execute(const AnalyzedQuery& analyzed);
+  /// `ctx` (optional) governs the run: deadline / cancel / budget
+  /// violations abort the scan and window-assignment loops at checkpoint
+  /// granularity.
+  Result<QueryResult> Execute(const AnalyzedQuery& analyzed,
+                              QueryContext* ctx = nullptr);
 
  private:
   const ReadView* view_;

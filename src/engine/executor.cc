@@ -83,8 +83,15 @@ MultieventExecutor::MultieventExecutor(const ReadView* view,
   }
 }
 
-Result<QueryResult> MultieventExecutor::Execute(
-    const AnalyzedQuery& analyzed) {
+Result<QueryResult> MultieventExecutor::Execute(const AnalyzedQuery& analyzed,
+                                                QueryContext* ctx) {
+  // Entry checkpoint: a shard whose turn comes after the deadline (or after
+  // a cancel/budget breach) must fail here even if it would scan nothing —
+  // otherwise a stalled-but-empty shard reports success and the degraded
+  // partial policy has no failure to drop.
+  if (ctx != nullptr) {
+    AIQL_RETURN_IF_ERROR(ctx->Check());
+  }
   const MultieventQueryAst& ast = *analyzed.ast;
   QueryResult result;
   QueryStats& stats = result.stats;
@@ -210,18 +217,30 @@ Result<QueryResult> MultieventExecutor::Execute(
     std::vector<uint64_t> local_scanned(partitions.size(), 0);
 
     auto scan_partition = [&](size_t pi) {
+      // Workers inherit the query context binding so failpoint latency
+      // injection inside partition materialization stays interruptible.
+      ScopedQueryContext bind(ctx);
       local_scanned[pi] =
           ScanPartition(*partitions[pi].second, pattern, pattern.time_range,
                         agent_filter, same_var_both_sides,
-                        &local_matches[pi]);
+                        &local_matches[pi], ctx);
     };
 
     if (options_.enable_parallelism && pool_ != nullptr &&
         partitions.size() > 1) {
-      pool_->ParallelFor(partitions.size(), scan_partition);
+      if (ctx != nullptr) {
+        pool_->ParallelFor(partitions.size(), scan_partition,
+                           [ctx] { return ctx->stopped(); });
+      } else {
+        pool_->ParallelFor(partitions.size(), scan_partition);
+      }
     } else {
-      for (size_t pi = 0; pi < partitions.size(); ++pi) scan_partition(pi);
+      for (size_t pi = 0; pi < partitions.size(); ++pi) {
+        if (ctx != nullptr && ctx->stopped()) break;
+        scan_partition(pi);
+      }
     }
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
 
     // Merge without re-pushing: note the envelopes, then move the first
     // chunk wholesale and bulk-append the rest.
@@ -359,6 +378,19 @@ Result<QueryResult> MultieventExecutor::Execute(
   std::unordered_set<std::vector<Value>, RowHash> distinct_rows;
   std::vector<const Event*> assignment(num_patterns, nullptr);
   bool limit_reached = false;
+  // Join-phase governance checkpoint: every kCheckStride candidates the
+  // context is charged and consulted; a violation unwinds the backtracking
+  // like a reached limit, and the sticky status is returned below.
+  uint64_t candidates_since_check = 0;
+  auto governance_ok = [&]() {
+    if (ctx == nullptr) return true;
+    if (++candidates_since_check < QueryContext::kCheckStride) {
+      return !ctx->stopped();
+    }
+    Status s = ctx->ChargeRows(candidates_since_check);
+    candidates_since_check = 0;
+    return s.ok();
+  };
 
   // Emits one completed assignment through projection + distinct + limit.
   auto emit = [&] {
@@ -425,6 +457,10 @@ Result<QueryResult> MultieventExecutor::Execute(
     int pattern_index = pattern.index;
     auto try_event = [&](const Event* event) {
       if (limit_reached) return;
+      if (!governance_ok()) {
+        limit_reached = true;  // unwind the backtracking promptly
+        return;
+      }
       ++stats.join_candidates;
       assignment[pattern_index] = event;
       if (relations_ok(pattern_index)) self(self, rank + 1);
@@ -452,6 +488,7 @@ Result<QueryResult> MultieventExecutor::Execute(
     }
   };
   join(join, 0);
+  if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
 
   if (!ast.order_by.empty()) {
     AIQL_ASSIGN_OR_RETURN(auto keys,

@@ -38,8 +38,11 @@ class MultieventExecutor {
                      ThreadPool* pool = nullptr);
 
   /// Runs the query; returns the result table plus execution statistics and
-  /// a rendered plan.
-  Result<QueryResult> Execute(const AnalyzedQuery& analyzed);
+  /// a rendered plan. `ctx` (optional) governs the run: deadline / cancel /
+  /// budget violations abort the scan and join phases at checkpoint
+  /// granularity and surface as the context's sticky status.
+  Result<QueryResult> Execute(const AnalyzedQuery& analyzed,
+                              QueryContext* ctx = nullptr);
 
  private:
   const ReadView* view_;

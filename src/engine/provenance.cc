@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/failpoint.h"
+#include "engine/shard_merge.h"
 #include "storage/shard_map.h"
 
 namespace aiql {
@@ -53,7 +55,8 @@ bool TypeAllowed(const ProvenanceOptions& options, EntityType type) {
 Result<ProvenanceResult> TrackProvenance(
     const ReadView& view,
     const std::vector<std::pair<EntityType, EntityId>>& roots,
-    Timestamp anchor, const ProvenanceOptions& options, ThreadPool* pool) {
+    Timestamp anchor, const ProvenanceOptions& options, ThreadPool* pool,
+    QueryContext* ctx) {
   if (roots.empty()) {
     return Status::InvalidArgument("provenance tracking needs at least one "
                                    "point-of-interest entity");
@@ -96,6 +99,7 @@ Result<ProvenanceResult> TrackProvenance(
   std::vector<uint32_t> frontier;
   for (const auto& [type, id] : roots) {
     if (node_slot.count(NodeKey(type, id)) > 0) continue;  // duplicate root
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->ChargeNodes(1));
     frontier.push_back(add_node(type, id, 0, anchor));
   }
   result.num_roots = result.nodes.size();
@@ -105,6 +109,7 @@ Result<ProvenanceResult> TrackProvenance(
   std::unordered_set<const Event*> recorded_events;
 
   for (int hop = 1; hop <= options.max_depth && !frontier.empty(); ++hop) {
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
     auto hop_start = Clock::now();
     result.stats.hops = hop;
     // Keeps hop_latency_us.size() == hops on every exit path.
@@ -165,11 +170,16 @@ Result<ProvenanceResult> TrackProvenance(
       const std::vector<Event>& events = partition.events();
       std::vector<Candidate>& out = found[pi];
       uint64_t local_inspected = 0;
+      // Governance: every inspected posting entry charges the row budget
+      // at stride granularity; a breach stops this partition's scan (the
+      // sticky context status surfaces after the parallel section).
+      uint64_t since_check = 0;
+      bool stop_scan = false;
 
       auto consider = [&](uint32_t fpos, Timestamp bound,
                           std::pair<const uint32_t*, const uint32_t*> span,
                           OpMask allowed, bool other_is_subject) {
-        if (span.first == nullptr || allowed == 0) return;
+        if (stop_scan || span.first == nullptr || allowed == 0) return;
         // Posting lists ascend in start_ts; clip to the admissible starts.
         const uint32_t* first = span.first;
         const uint32_t* last = span.second;
@@ -186,6 +196,13 @@ Result<ProvenanceResult> TrackProvenance(
         for (const uint32_t* it = first; it != last; ++it) {
           const Event& event = events[*it];
           ++local_inspected;
+          if (ctx != nullptr && ++since_check >= QueryContext::kCheckStride) {
+            since_check = 0;
+            if (!ctx->ChargeRows(QueryContext::kCheckStride).ok()) {
+              stop_scan = true;
+              return;
+            }
+          }
           if (!OpMaskContains(allowed, event.op)) continue;
           // The hop window bounds the gap to the frontier entity's bound —
           // unless that bound is the open end of the timeline (a root with
@@ -225,7 +242,7 @@ Result<ProvenanceResult> TrackProvenance(
         }
       };
 
-      for (uint32_t fpos = 0; fpos < frontier.size(); ++fpos) {
+      for (uint32_t fpos = 0; fpos < frontier.size() && !stop_scan; ++fpos) {
         const ProvenanceNode& node = result.nodes[frontier[fpos]];
         consider(fpos, node.bound,
                  partition.ObjectPostings(node.type, node.id),
@@ -235,16 +252,29 @@ Result<ProvenanceResult> TrackProvenance(
                    subject_side_mask, /*other_is_subject=*/false);
         }
       }
+      if (ctx != nullptr && since_check > 0) {
+        (void)ctx->ChargeRows(since_check);
+      }
       inspected[pi] = local_inspected;
     };
 
     if (pool != nullptr && partitions.size() > 1) {
-      pool->ParallelFor(partitions.size(),
-                        [&](size_t pi) { scan_partition(pi); });
+      if (ctx != nullptr) {
+        pool->ParallelFor(
+            partitions.size(), [&](size_t pi) { scan_partition(pi); },
+            [ctx] { return ctx->stopped(); });
+      } else {
+        pool->ParallelFor(partitions.size(),
+                          [&](size_t pi) { scan_partition(pi); });
+      }
     } else {
-      for (size_t pi = 0; pi < partitions.size(); ++pi) scan_partition(pi);
+      for (size_t pi = 0; pi < partitions.size(); ++pi) {
+        if (ctx != nullptr && ctx->stopped()) break;
+        scan_partition(pi);
+      }
     }
     for (uint64_t count : inspected) result.stats.events_inspected += count;
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
 
     // Merge phase: per frontier entity, order candidates closest-in-time
     // first, apply the fanout budget, then materialize nodes and edges.
@@ -290,7 +320,9 @@ Result<ProvenanceResult> TrackProvenance(
                   }
                   return a.event_index < b.event_index;
                 });
+      uint64_t dropped_here = 0;
       if (options.max_fanout > 0 && candidates.size() > options.max_fanout) {
+        dropped_here += candidates.size() - options.max_fanout;
         candidates.resize(options.max_fanout);
         result.stats.truncated = true;
       }
@@ -321,8 +353,10 @@ Result<ProvenanceResult> TrackProvenance(
           if (options.max_nodes > 0 &&
               result.nodes.size() >= options.max_nodes) {
             result.stats.truncated = true;
+            ++dropped_here;
             continue;
           }
+          if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->ChargeNodes(1));
           other_slot = add_node(candidate.other_type, candidate.other_id,
                                 hop, bound);
           queued.insert(other_slot);
@@ -341,6 +375,10 @@ Result<ProvenanceResult> TrackProvenance(
         }
         result.edges.push_back(edge);
       }
+      if (dropped_here > 0) {
+        result.stats.truncated_expansions.push_back(
+            TruncatedExpansion{hop, frontier[fpos], dropped_here});
+      }
     }
 
     record_hop_latency();
@@ -355,7 +393,8 @@ Result<ProvenanceResult> TrackProvenance(
 
 Result<ProvenanceResult> TrackProvenanceSharded(
     const std::vector<ReadView>& views, const std::vector<ShardEntity>& roots,
-    Timestamp anchor, const ProvenanceOptions& options, ThreadPool* pool) {
+    Timestamp anchor, const ProvenanceOptions& options, ThreadPool* pool,
+    QueryContext* ctx) {
   if (views.empty()) {
     return Status::InvalidArgument("sharded tracking needs at least one "
                                    "shard view");
@@ -365,6 +404,9 @@ Result<ProvenanceResult> TrackProvenanceSharded(
                                    "point-of-interest entity");
   }
   const size_t num_shards = views.size();
+  // Bind the context thread-locally so interruptible sleeps on this thread
+  // (retry backoff, injected failpoint latency) honor the deadline.
+  ScopedQueryContext bind_ctx(ctx);
   const bool backward = options.backward;
   const TimeRange window =
       options.window.value_or(TimeRange{INT64_MIN, INT64_MAX});
@@ -422,6 +464,7 @@ Result<ProvenanceResult> TrackProvenanceSharded(
     }
     auto [key, ids] = resolve(root.shard, root.type, root.id);
     if (node_slot.count(key) > 0) continue;  // duplicate root (any shard)
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->ChargeNodes(1));
     frontier.push_back(add_node(root.shard, root.type, root.id, 0, anchor,
                                 std::move(key), std::move(ids)));
   }
@@ -430,6 +473,17 @@ Result<ProvenanceResult> TrackProvenanceSharded(
   // Event pointers are unique across shards (distinct stores), so one set
   // still dedups re-discoveries after bound widening.
   std::unordered_set<const Event*> recorded_events;
+
+  // Degraded-execution bookkeeping: a shard that exhausts its transient-
+  // fault retries is dropped for the rest of the run (partial_shards) —
+  // later hops skip it and the final stats annotate it.
+  std::vector<ShardTrackStatus> shard_status(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_status[s].shard = static_cast<uint32_t>(s);
+  }
+  std::vector<bool> shard_dropped(num_shards, false);
+  using SelectedPartitions =
+      std::vector<std::pair<PartitionKey, const EventPartition*>>;
 
   // A candidate's entity ids live in the id space of the shard that owns
   // its partition.
@@ -444,6 +498,7 @@ Result<ProvenanceResult> TrackProvenanceSharded(
   };
 
   for (int hop = 1; hop <= options.max_depth && !frontier.empty(); ++hop) {
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
     auto hop_start = Clock::now();
     result.stats.hops = hop;
     auto record_hop_latency = [&] {
@@ -491,13 +546,61 @@ Result<ProvenanceResult> TrackProvenanceSharded(
     };
     std::vector<ShardPartition> partitions;
     for (size_t s = 0; s < num_shards; ++s) {
-      AIQL_ASSIGN_OR_RETURN(
-          auto selected,
-          views[s].SelectPartitions(scan_range, options.agents));
-      for (const auto& [key, partition] : selected) {
-        partitions.push_back(
-            ShardPartition{static_cast<uint32_t>(s), key, partition});
+      if (shard_dropped[s]) continue;
+      // Bounded retry on transient storage faults with interruptible
+      // doubled backoff; `shard.track` is the chaos injection site
+      // (arg = shard index).
+      const int max_attempts = std::max(1, options.shard_max_attempts);
+      auto backoff = options.shard_retry_backoff;
+      auto attempt_once = [&]() -> Result<SelectedPartitions> {
+        AIQL_RETURN_IF_ERROR(
+            Failpoint::Hit("shard.track", static_cast<int>(s)));
+        return views[s].SelectPartitions(scan_range, options.agents);
+      };
+      Result<SelectedPartitions> selected = attempt_once();
+      int attempt = 1;
+      while (!selected.ok() &&
+             IsTransientShardError(selected.status().code()) &&
+             attempt < max_attempts) {
+        if (ctx != nullptr && ctx->stopped()) break;
+        InterruptibleSleep(
+            std::chrono::duration_cast<std::chrono::microseconds>(backoff));
+        backoff *= 2;
+        ++attempt;
+        selected = attempt_once();
       }
+      shard_status[s].attempts = std::max(shard_status[s].attempts, attempt);
+      if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
+      if (selected.ok()) {
+        for (const auto& [key, partition] : selected.value()) {
+          partitions.push_back(
+              ShardPartition{static_cast<uint32_t>(s), key, partition});
+        }
+        continue;
+      }
+      if (!IsTransientShardError(selected.status().code())) {
+        return selected.status();  // hard error: fails both policies
+      }
+      Status fault = Status::Unavailable(
+          "shard " + std::to_string(s) + " unavailable after " +
+          std::to_string(attempt) + " attempt(s): " +
+          selected.status().ToString());
+      if (!options.partial_shards) return fault;
+      shard_dropped[s] = true;
+      shard_status[s].dropped = true;
+      shard_status[s].status = std::move(fault);
+      result.stats.truncated = true;
+    }
+    if (std::all_of(shard_dropped.begin(), shard_dropped.end(),
+                    [](bool dropped) { return dropped; })) {
+      std::string message;
+      for (const ShardTrackStatus& status : shard_status) {
+        if (!message.empty()) message += "; ";
+        message += "shard " + std::to_string(status.shard) + ": " +
+                   status.status.ToString();
+      }
+      return Status::Unavailable("all " + std::to_string(num_shards) +
+                                 " shard(s) unavailable: " + message);
     }
     std::stable_sort(partitions.begin(), partitions.end(),
                      [](const ShardPartition& a, const ShardPartition& b) {
@@ -521,11 +624,13 @@ Result<ProvenanceResult> TrackProvenanceSharded(
       const std::vector<Event>& events = partition.events();
       std::vector<ShardCandidate>& out = found[pi];
       uint64_t local_inspected = 0;
+      uint64_t since_check = 0;
+      bool stop_scan = false;
 
       auto consider = [&](uint32_t fpos, Timestamp bound,
                           std::pair<const uint32_t*, const uint32_t*> span,
                           OpMask allowed, bool other_is_subject) {
-        if (span.first == nullptr || allowed == 0) return;
+        if (stop_scan || span.first == nullptr || allowed == 0) return;
         const uint32_t* first = span.first;
         const uint32_t* last = span.second;
         if (backward) {
@@ -540,6 +645,13 @@ Result<ProvenanceResult> TrackProvenanceSharded(
         for (const uint32_t* it = first; it != last; ++it) {
           const Event& event = events[*it];
           ++local_inspected;
+          if (ctx != nullptr && ++since_check >= QueryContext::kCheckStride) {
+            since_check = 0;
+            if (!ctx->ChargeRows(QueryContext::kCheckStride).ok()) {
+              stop_scan = true;
+              return;
+            }
+          }
           if (!OpMaskContains(allowed, event.op)) continue;
           if (backward) {
             if (event.end_ts > bound) continue;
@@ -576,7 +688,7 @@ Result<ProvenanceResult> TrackProvenanceSharded(
         }
       };
 
-      for (uint32_t fpos = 0; fpos < frontier.size(); ++fpos) {
+      for (uint32_t fpos = 0; fpos < frontier.size() && !stop_scan; ++fpos) {
         const ProvenanceNode& node = result.nodes[frontier[fpos]];
         // The frontier entity in this shard's id space; invalid means the
         // shard never interned it, so it cannot appear in any posting here.
@@ -590,16 +702,29 @@ Result<ProvenanceResult> TrackProvenanceSharded(
                    subject_side_mask, /*other_is_subject=*/false);
         }
       }
+      if (ctx != nullptr && since_check > 0) {
+        (void)ctx->ChargeRows(since_check);
+      }
       inspected[pi] = local_inspected;
     };
 
     if (pool != nullptr && partitions.size() > 1) {
-      pool->ParallelFor(partitions.size(),
-                        [&](size_t pi) { scan_partition(pi); });
+      if (ctx != nullptr) {
+        pool->ParallelFor(
+            partitions.size(), [&](size_t pi) { scan_partition(pi); },
+            [ctx] { return ctx->stopped(); });
+      } else {
+        pool->ParallelFor(partitions.size(),
+                          [&](size_t pi) { scan_partition(pi); });
+      }
     } else {
-      for (size_t pi = 0; pi < partitions.size(); ++pi) scan_partition(pi);
+      for (size_t pi = 0; pi < partitions.size(); ++pi) {
+        if (ctx != nullptr && ctx->stopped()) break;
+        scan_partition(pi);
+      }
     }
     for (uint64_t count : inspected) result.stats.events_inspected += count;
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
 
     std::vector<std::vector<ShardCandidate>> per_node(frontier.size());
     for (const std::vector<ShardCandidate>& chunk : found) {
@@ -640,7 +765,9 @@ Result<ProvenanceResult> TrackProvenanceSharded(
                   }
                   return a.event_index < b.event_index;
                 });
+      uint64_t dropped_here = 0;
       if (options.max_fanout > 0 && candidates.size() > options.max_fanout) {
+        dropped_here += candidates.size() - options.max_fanout;
         candidates.resize(options.max_fanout);
         result.stats.truncated = true;
       }
@@ -672,8 +799,10 @@ Result<ProvenanceResult> TrackProvenanceSharded(
           if (options.max_nodes > 0 &&
               result.nodes.size() >= options.max_nodes) {
             result.stats.truncated = true;
+            ++dropped_here;
             continue;
           }
+          if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->ChargeNodes(1));
           other_slot = add_node(candidate.shard, candidate.other_type,
                                 candidate.other_id, hop, bound,
                                 std::move(key), std::move(ids));
@@ -693,6 +822,10 @@ Result<ProvenanceResult> TrackProvenanceSharded(
         }
         result.edges.push_back(edge);
       }
+      if (dropped_here > 0) {
+        result.stats.truncated_expansions.push_back(
+            TruncatedExpansion{hop, frontier[fpos], dropped_here});
+      }
     }
 
     record_hop_latency();
@@ -700,6 +833,12 @@ Result<ProvenanceResult> TrackProvenanceSharded(
   }
 
   if (!frontier.empty()) result.stats.truncated = true;
+  for (ShardTrackStatus& status : shard_status) {
+    if (status.dropped) ++result.stats.shards_dropped;
+    if (status.dropped || status.attempts > 1) {
+      result.stats.shard_status.push_back(std::move(status));
+    }
+  }
   return result;
 }
 

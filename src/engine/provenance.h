@@ -27,12 +27,14 @@
 #ifndef AIQL_ENGINE_PROVENANCE_H_
 #define AIQL_ENGINE_PROVENANCE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
@@ -87,6 +89,16 @@ struct ProvenanceOptions {
 
   /// Restrict hops to these agents (nullopt = all agents).
   std::optional<std::vector<AgentId>> agents;
+
+  /// Degraded sharded tracking (TrackProvenanceSharded only): a shard whose
+  /// per-hop partition selection keeps failing with a transient storage
+  /// fault after `shard_max_attempts` tries (doubled `shard_retry_backoff`
+  /// between tries) is either dropped for the rest of the run — annotated
+  /// in ProvenanceStats::shard_status, graph marked truncated — when
+  /// `partial_shards` is true, or fails the whole run with kUnavailable.
+  int shard_max_attempts = 3;
+  std::chrono::milliseconds shard_retry_backoff{5};
+  bool partial_shards = false;
 };
 
 /// One entity in the provenance graph.
@@ -109,15 +121,39 @@ struct ProvenanceEdge {
   int hop = 0;        ///< hop that discovered the event
 };
 
+/// One frontier expansion clipped by a fanout or node budget: at `hop`,
+/// expanding node `node`, `dropped` admissible candidate events were cut.
+struct TruncatedExpansion {
+  int hop = 0;
+  uint32_t node = 0;
+  uint64_t dropped = 0;
+};
+
+/// Per-shard outcome of a sharded tracking run (degraded execution).
+struct ShardTrackStatus {
+  uint32_t shard = 0;
+  Status status;      ///< OK, or the fault that dropped / failed the shard
+  int attempts = 1;   ///< maximum attempts any hop spent on this shard
+  bool dropped = false;
+};
+
 /// Execution statistics of one tracking run.
 struct ProvenanceStats {
   int hops = 0;                           ///< hops actually executed
   uint64_t events_inspected = 0;          ///< posting entries examined
   uint64_t partitions_selected = 0;       ///< partition scans across hops
   std::vector<Duration> hop_latency_us;   ///< wall time per hop
-  /// True when a fanout/node/depth budget clipped the expansion (the graph
-  /// is a prefix of the full provenance closure).
+  /// True when a fanout/node/depth budget clipped the expansion or a shard
+  /// was dropped (the graph is a prefix of the full provenance closure).
   bool truncated = false;
+  /// Which frontier expansions the fanout / node budgets clipped, and how
+  /// many candidates each cut (depth-budget truncation has no entry — it is
+  /// visible as a non-empty final frontier, `truncated` alone).
+  std::vector<TruncatedExpansion> truncated_expansions;
+  /// Sharded runs only: one entry per shard that needed retries or was
+  /// dropped (clean shards are omitted).
+  std::vector<ShardTrackStatus> shard_status;
+  int shards_dropped = 0;
 };
 
 /// The dependency graph recovered by one tracking run. nodes[0..num_roots)
@@ -133,12 +169,16 @@ struct ProvenanceResult {
 /// admits events ending at or before the anchor, forward events starting at
 /// or after it. `pool` may be null (hops then scan partitions serially).
 /// Fails when the view cannot materialize a selected partition
-/// (snapshot-backed views) or when `roots` is empty.
+/// (snapshot-backed views) or when `roots` is empty. `ctx` (optional)
+/// governs the run: posting entries inspected charge the row budget, node
+/// admissions charge the node budget, and every hop checkpoints — a breach
+/// aborts with the context's sticky status (kDeadlineExceeded /
+/// kCancelled / kResourceExhausted).
 Result<ProvenanceResult> TrackProvenance(
     const ReadView& view,
     const std::vector<std::pair<EntityType, EntityId>>& roots,
     Timestamp anchor, const ProvenanceOptions& options,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, QueryContext* ctx = nullptr);
 
 /// An entity addressed in one shard's id space (sharded tracking roots).
 struct ShardEntity {
@@ -158,10 +198,15 @@ struct ShardEntity {
 /// the same records an untruncated sharded run recovers exactly the graph
 /// a merged single database would (truncation tie-breaks match too, except
 /// exact time ties straddling a fanout cut across shards).
+/// Governance (`ctx`) matches TrackProvenance. Per-shard partition
+/// selection retries transient storage faults per the ProvenanceOptions
+/// retry knobs; an exhausted shard is dropped (partial_shards) with the
+/// remaining shards' graph annotated in stats.shard_status, or fails the
+/// run with kUnavailable naming the shard and cause.
 Result<ProvenanceResult> TrackProvenanceSharded(
     const std::vector<ReadView>& views, const std::vector<ShardEntity>& roots,
     Timestamp anchor, const ProvenanceOptions& options,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, QueryContext* ctx = nullptr);
 
 }  // namespace aiql
 

@@ -15,6 +15,21 @@ std::string ValueToString(const Value& value) {
   return buf;
 }
 
+std::string DegradedInfo::ToString() const {
+  if (!partial && shards_retried == 0) return "";
+  std::string out = partial ? "PARTIAL result" : "complete result";
+  out += " (" + std::to_string(shards_failed) + " shard(s) failed, " +
+         std::to_string(shards_timed_out) + " timed out, " +
+         std::to_string(shards_retried) + " retried)";
+  for (const ShardExecStatus& s : shard_status) {
+    if (s.status.ok() && s.attempts <= 1) continue;
+    out += "\n  shard " + std::to_string(s.shard) + ": " +
+           (s.dropped ? "DROPPED " : "") + s.status.ToString() +
+           " after " + std::to_string(s.attempts) + " attempt(s)";
+  }
+  return out;
+}
+
 std::string ResultTable::ToString(size_t max_rows) const {
   TablePrinter printer(columns);
   size_t shown = std::min(max_rows, rows.size());

@@ -69,11 +69,35 @@ Result<std::vector<std::pair<size_t, bool>>> ResolveOrderColumns(
 void OrderResultRows(ResultTable* table,
                      const std::vector<std::pair<size_t, bool>>& keys);
 
+/// Per-shard outcome annotation for degraded (partial) sharded execution.
+struct ShardExecStatus {
+  uint32_t shard = 0;
+  Status status;      ///< final per-shard status after retries
+  int attempts = 1;   ///< total attempts (1 = succeeded first try)
+  bool dropped = false;  ///< true when partial mode excluded this shard
+};
+
+/// Degradation summary attached to a QueryResult by the sharded executor.
+struct DegradedInfo {
+  bool partial = false;       ///< true when any shard was dropped
+  int shards_failed = 0;      ///< shards dropped with a hard error
+  int shards_timed_out = 0;   ///< shards dropped on deadline expiry
+  int shards_retried = 0;     ///< shards that needed more than one attempt
+  std::vector<ShardExecStatus> shard_status;  ///< one entry per shard
+
+  /// One-line rendering for the shell / logs; empty when not degraded and
+  /// nothing was retried.
+  std::string ToString() const;
+};
+
 /// Full outcome of executing one query.
 struct QueryResult {
   ResultTable table;
   QueryStats stats;
   std::string plan;  ///< human-readable execution plan (Explain output)
+  /// Sharded-execution degradation annotations; default-constructed (not
+  /// partial, no per-shard entries) for single-database execution.
+  DegradedInfo degraded;
 };
 
 }  // namespace aiql

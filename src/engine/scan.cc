@@ -18,9 +18,27 @@ uint64_t ScanPartition(const EventPartition& partition,
                        const CompiledPattern& pattern, const TimeRange& range,
                        const AgentFilterSet* agent_filter,
                        bool same_var_both_sides,
-                       std::vector<const Event*>* out) {
+                       std::vector<const Event*>* out,
+                       QueryContext* ctx) {
   const EventColumns& cols = partition.columns();
   const std::vector<Event>& events = partition.events();
+
+  // Governance checkpoint: charges the rows inspected since the previous
+  // checkpoint and reports whether the scan should keep going. Checked
+  // every kCheckStride inspected rows so the per-row cost stays one
+  // branch + counter increment.
+  uint64_t since_check = 0;
+  auto keep_going = [&]() {
+    if (ctx == nullptr) return true;
+    if (++since_check < QueryContext::kCheckStride) return !ctx->stopped();
+    Status s = ctx->ChargeRows(since_check);
+    since_check = 0;
+    return s.ok();
+  };
+  auto flush_charge = [&](uint64_t inspected) {
+    if (ctx != nullptr && since_check > 0) ctx->ChargeRows(since_check);
+    return inspected;
+  };
 
   // Unsealed partitions have no columns/postings; fall back to the row
   // store rather than silently matching nothing (the engine contract says
@@ -30,6 +48,7 @@ uint64_t ScanPartition(const EventPartition& partition,
     for (const Event& event : events) {
       if (!range.Contains(event.start_ts)) continue;
       ++inspected;
+      if (!keep_going()) return flush_charge(inspected);
       if (!OpMaskContains(pattern.op_mask, event.op)) continue;
       if (event.object_type != pattern.object.type) continue;
       if (agent_filter != nullptr &&
@@ -41,7 +60,7 @@ uint64_t ScanPartition(const EventPartition& partition,
       if (same_var_both_sides && event.subject != event.object) continue;
       out->push_back(&event);
     }
-    return inspected;
+    return flush_charge(inspected);
   }
 
   size_t row_begin = partition.LowerBound(range.start);
@@ -82,8 +101,11 @@ uint64_t ScanPartition(const EventPartition& partition,
   // path streams every row in range but tests the op from a dense column.
   // Prefer postings when they skip at least half the range.
   if (posting_rows * 2 <= range_rows) {
+    uint64_t inspected = 0;
     if (num_cursors == 1) {
       for (const uint32_t* it = cursors[0].it; it != cursors[0].end; ++it) {
+        ++inspected;
+        if (!keep_going()) return flush_charge(inspected);
         test(*it);
       }
     } else {
@@ -99,18 +121,23 @@ uint64_t ScanPartition(const EventPartition& partition,
           }
         }
         if (best < 0) break;
+        ++inspected;
+        if (!keep_going()) return flush_charge(inspected);
         test(best_index);
         ++cursors[best].it;
       }
     }
-    return posting_rows;
+    return flush_charge(posting_rows);
   }
 
+  uint64_t inspected = 0;
   for (size_t i = row_begin; i < row_end; ++i) {
+    ++inspected;
+    if (!keep_going()) return flush_charge(inspected);
     if (!OpMaskContains(pattern.op_mask, cols.op[i])) continue;
     test(i);
   }
-  return range_rows;
+  return flush_charge(range_rows);
 }
 
 }  // namespace aiql

@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "engine/data_query.h"
 #include "storage/partition.h"
 
@@ -32,11 +33,17 @@ using AgentFilterSet = std::unordered_set<AgentId>;
 /// be null (no per-event agent check); `same_var_both_sides` additionally
 /// requires subject == object. Returns the number of events inspected.
 /// The partition must be sealed.
+///
+/// `ctx` (optional) is charged one row per event inspected, at
+/// QueryContext::kCheckStride granularity; on a governance violation the
+/// scan stops early (partial `out`, partial count) and the caller observes
+/// the latched status via ctx->Check().
 uint64_t ScanPartition(const EventPartition& partition,
                        const CompiledPattern& pattern, const TimeRange& range,
                        const AgentFilterSet* agent_filter,
                        bool same_var_both_sides,
-                       std::vector<const Event*>* out);
+                       std::vector<const Event*>* out,
+                       QueryContext* ctx = nullptr);
 
 }  // namespace aiql
 

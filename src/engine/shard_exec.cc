@@ -10,6 +10,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/cancellation.h"
+#include "common/failpoint.h"
 #include "engine/anomaly.h"
 #include "engine/dependency.h"
 #include "engine/executor.h"
@@ -26,6 +28,62 @@ Duration ElapsedUs(Clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                                since)
       .count();
+}
+
+/// Runs `attempt` with bounded retry/backoff for transient storage faults
+/// (engine options shard_max_attempts / shard_retry_backoff). The backoff
+/// doubles per retry and sleeps interruptibly, so deadline/cancel cut it
+/// short. After retries exhaust, a transient error is mapped to
+/// kUnavailable naming the shard and the underlying cause. `attempts_out`
+/// reports the total attempts made.
+template <typename Fn>
+auto AttemptShard(size_t shard, const EngineOptions& options, QueryContext* ctx,
+                  int* attempts_out, Fn&& attempt)
+    -> decltype(attempt()) {
+  const int max_attempts = std::max(1, options.shard_max_attempts);
+  auto backoff = options.shard_retry_backoff;
+  int attempts = 0;
+  decltype(attempt()) last = Status::Internal("shard not attempted");
+  while (attempts < max_attempts) {
+    ++attempts;
+    if (ctx != nullptr) {
+      Status governed = ctx->Check();
+      if (!governed.ok()) {
+        last = governed;
+        break;
+      }
+    }
+    last = attempt();
+    if (last.ok() || !IsTransientShardError(last.status().code())) break;
+    if (attempts >= max_attempts) break;
+    InterruptibleSleep(
+        std::chrono::duration_cast<std::chrono::microseconds>(backoff));
+    backoff *= 2;
+  }
+  *attempts_out = attempts;
+  if (!last.ok() && IsTransientShardError(last.status().code())) {
+    last = Status::Unavailable(
+        "shard " + std::to_string(shard) + " unavailable after " +
+        std::to_string(attempts) + " attempt(s): " + last.status().ToString());
+  }
+  return last;
+}
+
+/// Fills the DegradedInfo summary counters from per-shard annotations.
+DegradedInfo SummarizeShards(std::vector<ShardExecStatus> shard_status) {
+  DegradedInfo info;
+  for (const ShardExecStatus& s : shard_status) {
+    if (s.attempts > 1) ++info.shards_retried;
+    if (!s.dropped) continue;
+    info.partial = true;
+    if (s.status.code() == StatusCode::kDeadlineExceeded) {
+      ++info.shards_timed_out;
+    } else {
+      ++info.shards_failed;
+    }
+  }
+  info.shard_status = std::move(shard_status);
+  return info;
 }
 
 /// Globally merged matches of one pattern: per-shard event pointers (ids
@@ -61,7 +119,8 @@ ShardedExecutor::ShardedExecutor(const ShardMap* shards, EngineOptions options,
   }
 }
 
-Result<QueryResult> ShardedExecutor::Execute(const ParsedQuery& parsed) {
+Result<QueryResult> ShardedExecutor::Execute(const ParsedQuery& parsed,
+                                             QueryContext* ctx) {
   if (shards_->num_shards() == 0) {
     return Status::InvalidArgument("shard map has no shards");
   }
@@ -75,9 +134,9 @@ Result<QueryResult> ShardedExecutor::Execute(const ParsedQuery& parsed) {
           AnalyzedQuery analyzed,
           AnalyzeMultievent(*parsed.multievent, parsed.kind));
       if (analyzed.ast->patterns.size() == 1) {
-        return ExecuteFast(analyzed, views);
+        return ExecuteFast(analyzed, views, ctx);
       }
-      return ExecuteGathered(analyzed, views, /*anomaly=*/false);
+      return ExecuteGathered(analyzed, views, /*anomaly=*/false, ctx);
     }
     case QueryKind::kAnomaly: {
       AIQL_ASSIGN_OR_RETURN(
@@ -85,7 +144,7 @@ Result<QueryResult> ShardedExecutor::Execute(const ParsedQuery& parsed) {
           AnalyzeMultievent(*parsed.multievent, parsed.kind));
       // Window groups aggregate events regardless of host, so anomaly
       // always gathers (per-shard aggregates would not compose).
-      return ExecuteGathered(analyzed, views, /*anomaly=*/true);
+      return ExecuteGathered(analyzed, views, /*anomaly=*/true, ctx);
     }
     case QueryKind::kDependency: {
       AIQL_ASSIGN_OR_RETURN(auto rewritten,
@@ -95,8 +154,8 @@ Result<QueryResult> ShardedExecutor::Execute(const ParsedQuery& parsed) {
           AnalyzeMultievent(*rewritten, QueryKind::kMultievent));
       Result<QueryResult> result =
           analyzed.ast->patterns.size() == 1
-              ? ExecuteFast(analyzed, views)
-              : ExecuteGathered(analyzed, views, /*anomaly=*/false);
+              ? ExecuteFast(analyzed, views, ctx)
+              : ExecuteGathered(analyzed, views, /*anomaly=*/false, ctx);
       if (!result.ok()) return result;
       result.value().plan = "dependency query rewritten to multievent:\n" +
                             result.value().plan;
@@ -107,7 +166,8 @@ Result<QueryResult> ShardedExecutor::Execute(const ParsedQuery& parsed) {
 }
 
 Result<QueryResult> ShardedExecutor::ExecuteFast(const AnalyzedQuery& analyzed,
-                                                 std::vector<ReadView>& views) {
+                                                 std::vector<ReadView>& views,
+                                                 QueryContext* ctx) {
   const MultieventQueryAst& ast = *analyzed.ast;
   const size_t num_shards = views.size();
 
@@ -121,11 +181,26 @@ Result<QueryResult> ShardedExecutor::ExecuteFast(const AnalyzedQuery& analyzed,
 
   // Fan the complete query across shards; each per-shard run is itself
   // partition-parallel on the shared pool (nested ParallelFor is safe:
-  // callers participate).
+  // callers participate). Each shard runs under AttemptShard: transient
+  // storage faults (and the `shard.scatter` failpoint) get bounded retries
+  // with interruptible backoff, then map to kUnavailable.
   std::vector<std::optional<Result<QueryResult>>> scattered(num_shards);
+  std::vector<ShardExecStatus> shard_status(num_shards);
   auto run_shard = [&](size_t s) {
-    MultieventExecutor executor(&views[s], options_, pool_);
-    scattered[s].emplace(executor.Execute(analyzed));
+    // Bind the query context for this worker so injected failpoint latency
+    // deep inside snapshot reads stays interruptible by the deadline.
+    ScopedQueryContext bind(ctx);
+    shard_status[s].shard = static_cast<uint32_t>(s);
+    Result<QueryResult> result = AttemptShard(
+        s, options_, ctx, &shard_status[s].attempts,
+        [&]() -> Result<QueryResult> {
+          AIQL_RETURN_IF_ERROR(
+              Failpoint::Hit("shard.scatter", static_cast<int64_t>(s)));
+          MultieventExecutor executor(&views[s], options_, pool_);
+          return executor.Execute(analyzed, ctx);
+        });
+    shard_status[s].status = result.ok() ? Status::OK() : result.status();
+    scattered[s].emplace(std::move(result));
   };
   if (options_.enable_parallelism && pool_ != nullptr && num_shards > 1) {
     pool_->ParallelFor(num_shards, run_shard);
@@ -136,12 +211,46 @@ Result<QueryResult> ShardedExecutor::ExecuteFast(const AnalyzedQuery& analyzed,
   std::string shard_plan;
   std::vector<Result<QueryResult>> shard_results;
   shard_results.reserve(num_shards);
+  size_t failed = 0;
   for (auto& r : scattered) {
     if (r->ok() && shard_plan.empty()) shard_plan = r->value().plan;
+    if (!r->ok()) ++failed;
     shard_results.push_back(std::move(*r));
   }
+
+  if (failed > 0) {
+    if (options_.shard_policy == ShardPolicy::kStrict || failed == num_shards) {
+      // Strict (or nothing survived): fail with every shard error named.
+      return AggregateShardErrors(shard_results);
+    }
+    // Partial: drop the failed shards and merge the survivors. A dropped
+    // deadline must not also kill the bounded merge below, so the deadline
+    // (and only the deadline) is lifted; cancel/budget stay fatal.
+    if (ctx != nullptr) ctx->LiftDeadline();
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_results[s].ok()) continue;
+      shard_status[s].dropped = true;
+      shard_results[s] = QueryResult{};  // empty table, no columns
+    }
+    // Empty placeholder tables have no columns; give them the survivor
+    // column set so the merge's column check passes.
+    std::vector<std::string> columns;
+    for (const auto& r : shard_results) {
+      if (!r.value().table.columns.empty()) {
+        columns = r.value().table.columns;
+        break;
+      }
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_status[s].dropped) {
+        shard_results[s].value().table.columns = columns;
+      }
+    }
+  }
+
   AIQL_ASSIGN_OR_RETURN(QueryResult merged,
-                        MergeShardResults(std::move(shard_results), spec));
+                        MergeShardResults(std::move(shard_results), spec, ctx));
+  merged.degraded = SummarizeShards(std::move(shard_status));
   merged.plan = "sharded scatter/gather over " + std::to_string(num_shards) +
                 " shards (per-shard execute + order-aware merge)\n" +
                 shard_plan;
@@ -150,11 +259,30 @@ Result<QueryResult> ShardedExecutor::ExecuteFast(const AnalyzedQuery& analyzed,
 
 Result<QueryResult> ShardedExecutor::ExecuteGathered(
     const AnalyzedQuery& analyzed, std::vector<ReadView>& views,
-    bool anomaly) {
+    bool anomaly, QueryContext* ctx) {
   const MultieventQueryAst& ast = *analyzed.ast;
   const size_t num_shards = views.size();
   const int num_patterns = static_cast<int>(ast.patterns.size());
+  const bool partial = options_.shard_policy == ShardPolicy::kPartial;
   auto scatter_start = Clock::now();
+
+  // Per-shard degradation state: a shard that fails a storage-level
+  // operation (after retries) is either fatal (strict) or dropped for the
+  // rest of the scatter (partial) — its earlier contributions stay (they
+  // are real events; the central re-execution re-checks every predicate,
+  // so the result remains a sound subset of the full answer).
+  std::vector<ShardExecStatus> shard_status(num_shards);
+  std::vector<bool> shard_dropped(num_shards, false);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_status[s].shard = static_cast<uint32_t>(s);
+  }
+  auto drop_or_fail = [&](size_t s, const Status& status) -> Status {
+    shard_status[s].status = status;
+    if (!partial) return status;
+    shard_status[s].dropped = true;
+    shard_dropped[s] = true;
+    return Status::OK();
+  };
 
   // Per-shard compiled patterns: candidate sets live in each shard's id
   // space, so compilation runs once per shard.
@@ -172,12 +300,20 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
   if (options_.enable_reordering && num_patterns > 1) {
     std::vector<double> estimates(num_patterns, 0.0);
     for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_dropped[s]) continue;
       for (int p = 0; p < num_patterns; ++p) {
-        AIQL_ASSIGN_OR_RETURN(
-            double estimate,
-            EstimateCardinality(compiled[s][p], views[s],
-                                analyzed.agent_filter));
-        estimates[p] += estimate;
+        int attempts = 0;
+        Result<double> estimate =
+            AttemptShard(s, options_, ctx, &attempts, [&] {
+              return EstimateCardinality(compiled[s][p], views[s],
+                                         analyzed.agent_filter);
+            });
+        shard_status[s].attempts = std::max(shard_status[s].attempts, attempts);
+        if (!estimate.ok()) {
+          AIQL_RETURN_IF_ERROR(drop_or_fail(s, estimate.status()));
+          break;
+        }
+        estimates[p] += *estimate;
       }
     }
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -212,6 +348,7 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
       bindings;
 
   for (size_t rank = 0; rank < order.size() && !empty_result; ++rank) {
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
     const int p = static_cast<int>(order[rank]);
     const EventPatternAst& pattern_ast = ast.patterns[p];
 
@@ -268,6 +405,7 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
     };
     std::vector<FlatPartition> flat;
     for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_dropped[s]) continue;
       // A shard whose candidate set emptied cannot match — skip its scan
       // (the global empty check is the summed match count below).
       if ((compiled[s][p].subject.candidates.has_value() &&
@@ -276,11 +414,27 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
            compiled[s][p].object.candidates->Count() == 0)) {
         continue;
       }
-      AIQL_ASSIGN_OR_RETURN(
-          auto selected,
-          views[s].SelectPartitions(ranges[p], analyzed.agent_filter));
-      flat.reserve(flat.size() + selected.size());
-      for (const auto& [key, partition] : selected) {
+      // Partition selection materializes lazily for snapshot-backed shards
+      // — the transient-fault site; retried with backoff, then degraded
+      // per policy. The `shard.scatter` failpoint covers the gathered path
+      // here too (same site name as the fast path, arg = shard index).
+      int attempts = 0;
+      auto selected = AttemptShard(
+          s, options_, ctx, &attempts,
+          [&]() -> Result<std::vector<
+                       std::pair<PartitionKey, const EventPartition*>>> {
+            AIQL_RETURN_IF_ERROR(
+                Failpoint::Hit("shard.scatter", static_cast<int64_t>(s)));
+            return views[s].SelectPartitions(ranges[p],
+                                             analyzed.agent_filter);
+          });
+      shard_status[s].attempts = std::max(shard_status[s].attempts, attempts);
+      if (!selected.ok()) {
+        AIQL_RETURN_IF_ERROR(drop_or_fail(s, selected.status()));
+        continue;
+      }
+      flat.reserve(flat.size() + selected->size());
+      for (const auto& [key, partition] : *selected) {
         flat.push_back(
             FlatPartition{static_cast<uint32_t>(s), key, partition});
       }
@@ -297,6 +451,7 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
     std::vector<std::vector<const Event*>> local(flat.size());
     std::vector<uint64_t> local_scanned(flat.size(), 0);
     auto scan_partition = [&](size_t i) {
+      ScopedQueryContext bind(ctx);
       const FlatPartition& fp = flat[i];
       const AgentFilterSet* agent_filter =
           agent_filters[fp.shard].has_value() ? &*agent_filters[fp.shard]
@@ -305,13 +460,22 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
       // so its scatter must not either (central re-run settles semantics).
       local_scanned[i] = ScanPartition(
           *fp.partition, compiled[fp.shard][p], ranges[p], agent_filter,
-          anomaly ? false : same_var_both_sides, &local[i]);
+          anomaly ? false : same_var_both_sides, &local[i], ctx);
     };
     if (options_.enable_parallelism && pool_ != nullptr && flat.size() > 1) {
-      pool_->ParallelFor(flat.size(), scan_partition);
+      if (ctx != nullptr) {
+        pool_->ParallelFor(flat.size(), scan_partition,
+                           [ctx] { return ctx->stopped(); });
+      } else {
+        pool_->ParallelFor(flat.size(), scan_partition);
+      }
     } else {
-      for (size_t i = 0; i < flat.size(); ++i) scan_partition(i);
+      for (size_t i = 0; i < flat.size(); ++i) {
+        if (ctx != nullptr && ctx->stopped()) break;
+        scan_partition(i);
+      }
     }
+    if (ctx != nullptr) AIQL_RETURN_IF_ERROR(ctx->Check());
 
     GlobalMatches& gm = matches[p];
     for (size_t i = 0; i < flat.size(); ++i) {
@@ -364,6 +528,23 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
     }
   }
 
+  // Nothing survived: a fully-degraded scatter is a failure, not an empty
+  // answer (mirrors the fast path).
+  if (partial && num_shards > 0) {
+    bool all_dropped = true;
+    for (size_t s = 0; s < num_shards; ++s) {
+      all_dropped = all_dropped && shard_dropped[s];
+    }
+    if (all_dropped) {
+      std::vector<Result<QueryResult>> statuses;
+      statuses.reserve(num_shards);
+      for (const ShardExecStatus& st : shard_status) {
+        statuses.emplace_back(st.status);
+      }
+      return AggregateShardErrors(statuses);
+    }
+  }
+
   // Gather: rebuild the matched-event superset as a transient single
   // database and let the ordinary executor settle joins / windows /
   // DISTINCT / ORDER BY centrally. Records are re-derived through each
@@ -379,6 +560,11 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
     for (size_t s = 0; s < num_shards; ++s) {
       for (const Event* event : matches[p].per_shard[s]) {
         if (!gathered.insert(event).second) continue;  // multi-pattern match
+        // Cross-shard gathering is the memory-amplifying step: charge the
+        // context per rebuilt event so a memory budget caps the rebuild.
+        if (ctx != nullptr) {
+          AIQL_RETURN_IF_ERROR(ctx->ChargeMemory(sizeof(EventRecord)));
+        }
         AIQL_RETURN_IF_ERROR(
             mini.Append(RecordForEvent(*event, views[s].entities())));
       }
@@ -391,15 +577,16 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
   QueryResult result;
   if (anomaly) {
     AnomalyExecutor central(&mini_view, options_, pool_);
-    AIQL_ASSIGN_OR_RETURN(result, central.Execute(analyzed));
+    AIQL_ASSIGN_OR_RETURN(result, central.Execute(analyzed, ctx));
   } else {
     MultieventExecutor central(&mini_view, options_, pool_);
-    AIQL_ASSIGN_OR_RETURN(result, central.Execute(analyzed));
+    AIQL_ASSIGN_OR_RETURN(result, central.Execute(analyzed, ctx));
   }
   result.stats.events_scanned += scatter_stats.events_scanned;
   result.stats.events_matched = scatter_stats.events_matched;
   result.stats.partitions_scanned += scatter_stats.partitions_scanned;
   result.stats.exec_time += scatter_time;
+  result.degraded = SummarizeShards(std::move(shard_status));
   result.plan = "sharded scatter/gather over " + std::to_string(num_shards) +
                 " shards (gathered " + std::to_string(gathered.size()) +
                 " events into a transient database)\n" +

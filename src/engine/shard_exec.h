@@ -53,14 +53,28 @@ class ShardedExecutor {
 
   /// Runs the query scatter/gather; result semantics match the single-db
   /// engine over the union of all shards' data.
-  Result<QueryResult> Execute(const ParsedQuery& parsed);
+  ///
+  /// `ctx` (optional) governs the run. Degraded execution (per
+  /// EngineOptions): each shard attempt retries transient storage faults
+  /// with doubled backoff (shard_max_attempts / shard_retry_backoff), then
+  /// either fails the query with an aggregate all-shard-errors Status
+  /// (kStrict) or drops the shard and merges the survivors, annotating
+  /// QueryResult::degraded per shard (kPartial). A fast-path shard that
+  /// misses the deadline is dropped the same way in partial mode — the
+  /// deadline is lifted for the bounded merge of the surviving shards. The
+  /// gathered path (multi-pattern / anomaly) degrades on storage faults
+  /// only; deadline / cancel / budget violations abort it in both policies
+  /// (its central re-execution cannot produce a sound subset mid-scatter).
+  Result<QueryResult> Execute(const ParsedQuery& parsed,
+                              QueryContext* ctx = nullptr);
 
  private:
   Result<QueryResult> ExecuteFast(const AnalyzedQuery& analyzed,
-                                  std::vector<ReadView>& views);
+                                  std::vector<ReadView>& views,
+                                  QueryContext* ctx);
   Result<QueryResult> ExecuteGathered(const AnalyzedQuery& analyzed,
                                       std::vector<ReadView>& views,
-                                      bool anomaly);
+                                      bool anomaly, QueryContext* ctx);
 
   const ShardMap* shards_;
   EngineOptions options_;

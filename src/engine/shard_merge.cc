@@ -58,11 +58,34 @@ int CompareRowsByKeys(const std::vector<Value>& a, const std::vector<Value>& b,
   return 0;
 }
 
+bool IsTransientShardError(StatusCode code) {
+  return code == StatusCode::kIOError || code == StatusCode::kCorruption ||
+         code == StatusCode::kUnavailable;
+}
+
+Status AggregateShardErrors(const std::vector<Result<QueryResult>>& results) {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  int failed = 0;
+  for (size_t s = 0; s < results.size(); ++s) {
+    if (results[s].ok()) continue;
+    ++failed;
+    if (code == StatusCode::kOk) code = results[s].status().code();
+    if (!message.empty()) message += "; ";
+    message += "shard " + std::to_string(s) + ": " +
+               results[s].status().ToString();
+  }
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, std::to_string(failed) + " of " +
+                          std::to_string(results.size()) +
+                          " shard(s) failed: " + message);
+}
+
 Result<QueryResult> MergeShardResults(
     std::vector<Result<QueryResult>> shard_results,
-    const ShardMergeSpec& spec) {
+    const ShardMergeSpec& spec, QueryContext* ctx) {
   for (auto& r : shard_results) {
-    if (!r.ok()) return r.status();
+    if (!r.ok()) return AggregateShardErrors(shard_results);
   }
 
   QueryResult merged;
@@ -88,11 +111,37 @@ Result<QueryResult> MergeShardResults(
   const size_t limit = spec.limit < 0 ? SIZE_MAX
                                       : static_cast<size_t>(spec.limit);
   std::unordered_set<std::string> seen;
+  // Mid-merge governance: every kCheckStride emitted rows the context is
+  // charged and checked; a breach stops emission and `done` surfaces the
+  // sticky status instead of the partial table.
+  uint64_t since_check = 0;
+  bool governed_stop = false;
   auto emit = [&](std::vector<Value>&& row) {
+    if (ctx != nullptr && ++since_check >= QueryContext::kCheckStride) {
+      Status s = ctx->ChargeRows(since_check);
+      since_check = 0;
+      if (!s.ok()) {
+        governed_stop = true;
+        return false;
+      }
+    }
     if (merged.table.rows.size() >= limit) return false;
     if (spec.distinct && !seen.insert(RowKey(row)).second) return true;
     merged.table.rows.push_back(std::move(row));
     return merged.table.rows.size() < limit;
+  };
+  auto done = [&]() -> Result<QueryResult> {
+    if (ctx != nullptr) {
+      if (since_check > 0) {
+        Status s = ctx->ChargeRows(since_check);
+        since_check = 0;
+        if (!s.ok()) return s;
+      }
+      if (governed_stop || ctx->stopped()) {
+        AIQL_RETURN_IF_ERROR(ctx->Check());
+      }
+    }
+    return std::move(merged);
   };
 
   if (spec.order_keys.empty()) {
@@ -100,10 +149,10 @@ Result<QueryResult> MergeShardResults(
     // deterministic per-shard output).
     for (auto& r : shard_results) {
       for (auto& row : r.value().table.rows) {
-        if (!emit(std::move(row))) return merged;
+        if (!emit(std::move(row))) return done();
       }
     }
-    return merged;
+    return done();
   }
 
   // Ordered: k-way heap merge over per-shard sorted tables. The heap holds
@@ -134,14 +183,14 @@ Result<QueryResult> MergeShardResults(
     std::pop_heap(heap.begin(), heap.end(), cursor_after);
     Cursor top = heap.back();
     heap.pop_back();
-    if (!emit(std::move(row_at(top)))) return merged;
+    if (!emit(std::move(row_at(top)))) return done();
     if (top.row + 1 <
         shard_results[top.shard].value().table.rows.size()) {
       heap.push_back(Cursor{top.shard, top.row + 1});
       std::push_heap(heap.begin(), heap.end(), cursor_after);
     }
   }
-  return merged;
+  return done();
 }
 
 }  // namespace aiql

@@ -14,8 +14,9 @@
 //   * LIMIT: the merge stops after `limit` emitted rows. Per-shard LIMIT
 //     pushdown stays sound because the global top-L is contained in the
 //     union of per-shard top-Ls.
-// Statistics are summed across shards; the first shard error (in shard
-// order) fails the whole merge.
+// Statistics are summed across shards; any shard error fails the whole
+// merge with an aggregate Status naming every failed shard and its cause
+// (code taken from the lowest failed shard index).
 
 #ifndef AIQL_ENGINE_SHARD_MERGE_H_
 #define AIQL_ENGINE_SHARD_MERGE_H_
@@ -24,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "engine/result.h"
 
@@ -44,12 +46,27 @@ struct ShardMergeSpec {
 int CompareRowsByKeys(const std::vector<Value>& a, const std::vector<Value>& b,
                       const std::vector<std::pair<size_t, bool>>& keys);
 
+/// Shard-layer transient-failure classification: storage-level faults
+/// (I/O errors, checksum failures, unavailability) that are worth a bounded
+/// retry, and that map to kUnavailable once retries exhaust. Query-level
+/// errors (parse/semantic/deadline/cancel/budget) are never transient.
+bool IsTransientShardError(StatusCode code);
+
+/// Builds the aggregate failure Status for a scatter with errors: every
+/// failed shard's index and cause appear in the message ("shard 1:
+/// IOError: ...; shard 3: ..."); the code is the lowest failed shard's.
+Status AggregateShardErrors(const std::vector<Result<QueryResult>>& results);
+
 /// Merges per-shard query results into one. `shard_results` is indexed by
-/// shard; a Status error in any slot fails the merge with that Status
-/// (lowest shard index wins). Empty and single-shard inputs degenerate to
-/// (filtered) concatenation. Column sets must agree across shards.
+/// shard; errors in any slots fail the merge with their aggregate Status
+/// (AggregateShardErrors — every failed shard named, not just the first).
+/// Empty and single-shard inputs degenerate to (filtered) concatenation.
+/// Column sets must agree across shards. `ctx` (optional) is charged one
+/// row per emitted row and checked at stride granularity; a budget breach
+/// mid-merge aborts with the context's sticky status.
 Result<QueryResult> MergeShardResults(
-    std::vector<Result<QueryResult>> shard_results, const ShardMergeSpec& spec);
+    std::vector<Result<QueryResult>> shard_results, const ShardMergeSpec& spec,
+    QueryContext* ctx = nullptr);
 
 }  // namespace aiql
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "storage/snapshot.h"
 
 namespace aiql {
@@ -232,6 +233,7 @@ void AuditDatabase::WaitForBackgroundSeals() {
 }
 
 Status AuditDatabase::Seal() {
+  AIQL_RETURN_IF_ERROR(Failpoint::Hit("db.seal"));
   Status status = Flush();
   {
     std::unique_lock<std::shared_mutex> lock(sync_->state_mu);

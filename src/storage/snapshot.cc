@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/checksum.h"
+#include "common/failpoint.h"
 #include "common/varint.h"
 
 #if !defined(_WIN32)
@@ -147,6 +148,7 @@ class FileSnapshotSink : public SnapshotSink {
   }
 
   Status Append(const void* data, size_t n) override {
+    AIQL_RETURN_IF_ERROR(Failpoint::Hit("snapshot.sink.append"));
     size_t written = std::fwrite(data, 1, n, file_);
     if (written != n) {
       return Status::IOError("short write to '" + path_ + "' (" +
@@ -157,6 +159,7 @@ class FileSnapshotSink : public SnapshotSink {
   }
 
   Status Sync() override {
+    AIQL_RETURN_IF_ERROR(Failpoint::Hit("snapshot.sink.sync"));
     if (std::fflush(file_) != 0) {
       return Status::IOError("flush failed for '" + path_ + "'");
     }
@@ -1217,6 +1220,8 @@ Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
     return Status::IOError("cannot read snapshot META segment of '" + path +
                            "'");
   }
+  AIQL_RETURN_IF_ERROR(Failpoint::HitBuffer(
+      "snapshot.read.meta", meta_bytes.data(), meta_bytes.size()));
   if (Checksum64(meta_bytes) != footer.meta.checksum) {
     return Status::Corruption("snapshot META checksum mismatch in '" + path +
                               "'");
@@ -1258,6 +1263,10 @@ Result<const EventPartition*> SnapshotStore::Partition(size_t index) const {
     return Status::IOError("cannot read partition segment of '" + path_ +
                            "'");
   }
+  // Chaos injection on the lazy-load read path: a corrupt action damages
+  // `bytes` so the checksum below catches it exactly like real bit rot.
+  AIQL_RETURN_IF_ERROR(Failpoint::HitBuffer("snapshot.read.partition",
+                                            bytes.data(), bytes.size()));
   if (Checksum64(bytes) != entry.segment.checksum) {
     return Status::Corruption("partition segment checksum mismatch in '" +
                               path_ + "'");

@@ -1,0 +1,165 @@
+// Failpoint registry unit tests: spec grammar parsing, trigger modifiers
+// (@arg / @p / @nth / @once), deterministic probability sequences, buffer
+// corruption, and latency injection that stays interruptible under a query
+// deadline (the contract the chaos harness and degraded-execution tests
+// build on).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace aiql {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoint::ClearAll(); }
+  void TearDown() override { Failpoint::ClearAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedHitIsOkAndInactive) {
+  EXPECT_FALSE(Failpoint::AnyActive());
+  EXPECT_TRUE(Failpoint::Hit("never.armed").ok());
+  EXPECT_EQ(Failpoint::HitCount("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionReturnsInjectedStatus) {
+  FailpointSpec spec;
+  spec.action = FailpointAction::kReturnError;
+  spec.code = StatusCode::kIOError;
+  Failpoint::Set("io.fault", spec);
+  EXPECT_TRUE(Failpoint::AnyActive());
+  Status hit = Failpoint::Hit("io.fault");
+  EXPECT_EQ(hit.code(), StatusCode::kIOError);
+  EXPECT_NE(hit.message().find("injected by failpoint 'io.fault'"),
+            std::string::npos);
+  Failpoint::Clear("io.fault");
+  EXPECT_FALSE(Failpoint::AnyActive());
+  EXPECT_TRUE(Failpoint::Hit("io.fault").ok());
+}
+
+TEST_F(FailpointTest, ConfigureParsesActionsAndModifiers) {
+  ASSERT_TRUE(
+      Failpoint::Configure(
+          "a=error(Unavailable)@arg2;b=error(Corruption)@nth2;c=latency(10)")
+          .ok());
+  EXPECT_EQ(Failpoint::ActiveNames().size(), 3u);
+  // @arg2: non-matching args pass through without consuming the counter.
+  EXPECT_TRUE(Failpoint::Hit("a", 0).ok());
+  EXPECT_TRUE(Failpoint::Hit("a", 7).ok());
+  EXPECT_EQ(Failpoint::Hit("a", 2).code(), StatusCode::kUnavailable);
+  // @nth2: first hit passes, second triggers, third passes again.
+  EXPECT_TRUE(Failpoint::Hit("b").ok());
+  EXPECT_EQ(Failpoint::Hit("b").code(), StatusCode::kCorruption);
+  EXPECT_TRUE(Failpoint::Hit("b").ok());
+  // Latency returns OK after sleeping.
+  EXPECT_TRUE(Failpoint::Hit("c").ok());
+}
+
+TEST_F(FailpointTest, ConfigureRejectsBadGrammar) {
+  EXPECT_EQ(Failpoint::Configure("noequals").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoint::Configure("x=explode()").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoint::Configure("x=error(NoSuchCode)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoint::Configure("x=error(IOError)@bogus").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Failpoint::AnyActive());
+}
+
+TEST_F(FailpointTest, OnceDisarmsAfterFirstTrigger) {
+  ASSERT_TRUE(
+      Failpoint::Configure("solo=error(IOError)@once;other=latency(1)").ok());
+  EXPECT_EQ(Failpoint::Hit("solo").code(), StatusCode::kIOError);
+  EXPECT_TRUE(Failpoint::Hit("solo").ok());  // disarmed by the trigger
+  EXPECT_TRUE(Failpoint::AnyActive());       // 'other' is still armed
+  EXPECT_EQ(Failpoint::ActiveNames().size(), 1u);
+  Failpoint::Clear("other");
+  EXPECT_FALSE(Failpoint::AnyActive());
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FailpointSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    Failpoint::Set("p.fault", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!Failpoint::Hit("p.fault").ok());
+    }
+    Failpoint::Clear("p.fault");
+    return fired;
+  };
+  std::vector<bool> first = run(42);
+  std::vector<bool> second = run(42);
+  std::vector<bool> other = run(43);
+  EXPECT_EQ(first, second);  // same seed => same hit-index decisions
+  EXPECT_NE(first, other);
+  auto fired = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fired, 50);
+  EXPECT_LT(fired, 150);
+}
+
+TEST_F(FailpointTest, ArgFilterDoesNotConsumeNthCounter) {
+  ASSERT_TRUE(Failpoint::Configure("sel=error(IOError)@nth1@arg3").ok());
+  for (int64_t arg = 0; arg < 3; ++arg) {
+    EXPECT_TRUE(Failpoint::Hit("sel", arg).ok());
+  }
+  // Filtered hits above did not advance the counter: the first matching
+  // hit is still "the 1st".
+  EXPECT_EQ(Failpoint::Hit("sel", 3).code(), StatusCode::kIOError);
+}
+
+TEST_F(FailpointTest, HitBufferCorruptFlipsOneMidBufferBit) {
+  std::string bytes = "0123456789abcdef";
+  const std::string original = bytes;
+  ASSERT_TRUE(Failpoint::Configure("buf=corrupt").ok());
+  EXPECT_TRUE(Failpoint::HitBuffer("buf", bytes.data(), bytes.size()).ok());
+  ASSERT_NE(bytes, original);
+  EXPECT_EQ(bytes[bytes.size() / 2],
+            static_cast<char>(original[bytes.size() / 2] ^ 0x40));
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (i != bytes.size() / 2) {
+      EXPECT_EQ(bytes[i], original[i]) << i;
+    }
+  }
+  // Empty buffers are a safe no-op.
+  EXPECT_TRUE(Failpoint::HitBuffer("buf", nullptr, 0).ok());
+}
+
+TEST_F(FailpointTest, CorruptActionAtBufferlessSiteSurfacesAsCorruption) {
+  ASSERT_TRUE(Failpoint::Configure("nobuf=corrupt").ok());
+  EXPECT_EQ(Failpoint::Hit("nobuf").code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailpointTest, HitCountTracksArmedHits) {
+  ASSERT_TRUE(Failpoint::Configure("counted=error(IOError)@nth1000").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(Failpoint::Hit("counted").ok());
+  EXPECT_EQ(Failpoint::HitCount("counted"), 5u);
+}
+
+TEST_F(FailpointTest, InjectedLatencyHonorsQueryDeadline) {
+  ASSERT_TRUE(Failpoint::Configure("slow=latency(500000)").ok());
+  QueryLimits limits;
+  limits.timeout = std::chrono::milliseconds(20);
+  QueryContext ctx(limits);
+  ScopedQueryContext bind(&ctx);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Failpoint::Hit("slow").ok());  // sleep cut short by deadline
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 250) << "500ms injected stall ignored deadline";
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace aiql

@@ -1,0 +1,323 @@
+// Query governance tests: QueryContext unit semantics (sticky first
+// violation, budget latching, deadline lift) plus engine-level cancellation
+// under concurrent streaming ingest — cancel mid-scatter, deadline expiry
+// mid-provenance-hop, and budget exhaustion mid-merge all surface the right
+// status code with no hangs. Runs under TSAN in CI's tsan job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "common/time_utils.h"
+#include "engine/aiql_engine.h"
+#include "engine/shard_merge.h"
+#include "storage/database.h"
+#include "storage/shard_map.h"
+
+namespace aiql {
+namespace {
+
+Timestamp T0() { return *MakeTimestamp(2018, 5, 10); }
+
+EventRecord Rec(AgentId agent, Timestamp start, const std::string& exe,
+                const std::string& path) {
+  EventRecord record;
+  record.agent_id = agent;
+  record.op = OpType::kWrite;
+  record.start_ts = start;
+  record.end_ts = start + kSecond;
+  record.amount = 1;
+  record.subject =
+      ProcessRef{agent, static_cast<uint32_t>(100 + agent), exe, "root"};
+  record.object = FileRef{agent, path};
+  return record;
+}
+
+/// A 4-shard world (one agent per shard) with `events_per_shard` write
+/// events each: "p<agent>.exe" writes "/data/a<agent>_<i>".
+struct GovWorld {
+  std::vector<std::unique_ptr<AuditDatabase>> dbs;
+  std::vector<ShardRange> ranges;
+  ShardMap map;
+};
+
+std::unique_ptr<GovWorld> BuildGovWorld(int events_per_shard, bool seal) {
+  StorageOptions storage;
+  storage.partition_duration = kMinute;  // rotation seals as ingest advances
+  storage.dedup_window = 0;
+  storage.batch_commit_size = 1;
+  auto world = std::make_unique<GovWorld>();
+  world->ranges = EvenAgentRanges(4, 1, 4);
+  for (size_t s = 0; s < 4; ++s) {
+    AgentId agent = static_cast<AgentId>(s + 1);
+    auto db = std::make_unique<AuditDatabase>(storage);
+    std::string exe = "p" + std::to_string(agent) + ".exe";
+    for (int i = 0; i < events_per_shard; ++i) {
+      std::string path = "/data/a" + std::to_string(agent) + "_" +
+                         std::to_string(i);
+      // Spread events over minutes so bucket rotation seals as we go.
+      Timestamp ts = T0() + (i / 100) * kMinute + (i % 100) * 100 * kMillisecond;
+      if (!db->Append(Rec(agent, ts, exe, path)).ok()) return nullptr;
+    }
+    if (seal && !db->Seal().ok()) return nullptr;
+    world->dbs.push_back(std::move(db));
+    if (!world->map.AddShard(world->dbs.back().get(), world->ranges[s]).ok()) {
+      return nullptr;
+    }
+  }
+  return world;
+}
+
+constexpr const char* kScanQuery = "proc p1 write file f1 as e1 return p1, f1";
+
+// --- QueryContext unit semantics ---------------------------------------------
+
+TEST(QueryContextTest, RowBudgetLatchesResourceExhausted) {
+  QueryLimits limits;
+  limits.max_rows = 100;
+  QueryContext ctx(limits);
+  EXPECT_TRUE(ctx.ChargeRows(100).ok());  // exactly at budget: fine
+  Status breach = ctx.ChargeRows(1);
+  EXPECT_EQ(breach.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(breach.message().find("row budget of 100"), std::string::npos);
+  // Sticky: every later check reports the same violation.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctx.stopped());
+  EXPECT_EQ(ctx.rows_charged(), 101u);
+}
+
+TEST(QueryContextTest, NodeAndMemoryBudgetsLatch) {
+  QueryLimits limits;
+  limits.max_nodes = 10;
+  limits.max_bytes = 1000;
+  QueryContext ctx(limits);
+  EXPECT_TRUE(ctx.ChargeNodes(10).ok());
+  EXPECT_EQ(ctx.ChargeNodes(1).code(), StatusCode::kResourceExhausted);
+
+  QueryContext mem_ctx(limits);
+  EXPECT_EQ(mem_ctx.ChargeMemory(4096).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_NE(mem_ctx.Check().message().find("memory budget"),
+            std::string::npos);
+}
+
+TEST(QueryContextTest, FirstViolationWins) {
+  QueryLimits limits;
+  limits.max_rows = 1;
+  QueryContext ctx(limits);
+  ctx.Cancel();
+  // The later budget breach cannot overwrite the cancel latch.
+  EXPECT_EQ(ctx.ChargeRows(100).code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, DeadlineLatchesAndLiftRestores) {
+  QueryLimits limits;
+  limits.timeout = std::chrono::milliseconds(5);
+  QueryContext ctx(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(ctx.remaining().count(), 0);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  // Lifting the deadline un-latches it (degraded merge of survivors)...
+  ctx.LiftDeadline();
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_GT(ctx.remaining().count(), 0);
+  // ...but a cancel latch survives a lift.
+  ctx.Cancel();
+  ctx.LiftDeadline();
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, CancelVisibleAcrossThreads) {
+  QueryContext ctx;
+  std::atomic<int> stopped_workers{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&ctx, &stopped_workers] {
+      while (ctx.ChargeRows(1).ok()) {
+      }
+      stopped_workers.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ctx.Cancel();
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(stopped_workers.load(), 4);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  EXPECT_GT(ctx.rows_charged(), 0u);
+}
+
+// --- Engine-level governance under concurrent streaming ingest ---------------
+
+/// Starts one writer per shard that keeps appending minute-rotating events
+/// (partitions seal as buckets rotate, so queries see a moving frontier).
+class IngestWriters {
+ public:
+  explicit IngestWriters(GovWorld* world) {
+    for (size_t s = 0; s < world->dbs.size(); ++s) {
+      threads_.emplace_back([this, db = world->dbs[s].get(),
+                             agent = static_cast<AgentId>(s + 1)] {
+        std::string exe = "w" + std::to_string(agent) + ".exe";
+        // Start well past the seeded data so buckets keep rotating.
+        Timestamp ts = T0() + kHour;
+        int i = 0;
+        while (!stop_.load(std::memory_order_relaxed)) {
+          std::string path = "/ingest/a" + std::to_string(agent) + "_" +
+                             std::to_string(i++);
+          Status appended = db->Append(Rec(agent, ts, exe, path));
+          if (!appended.ok()) {
+            ADD_FAILURE() << "ingest append failed: " << appended.ToString();
+            return;
+          }
+          ts += 10 * kSecond;
+        }
+      });
+    }
+  }
+  ~IngestWriters() {
+    stop_.store(true, std::memory_order_relaxed);
+    for (auto& t : threads_) t.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+TEST(GovernanceTest, CancelMidScatterUnderConcurrentIngest) {
+  Failpoint::ClearAll();
+  auto world = BuildGovWorld(/*events_per_shard=*/300, /*seal=*/false);
+  ASSERT_NE(world, nullptr);
+  IngestWriters writers(world.get());
+  AiqlEngine engine(&world->map);
+
+  // Every shard's scatter stalls 300ms (interruptibly); the cancel arrives
+  // at ~20ms and must unwind the whole scatter with kCancelled well before
+  // the injected stall would have finished.
+  ASSERT_TRUE(Failpoint::Configure("shard.scatter=latency(300000)").ok());
+  QueryContext ctx;
+  std::thread canceller([&ctx] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ctx.Cancel();
+  });
+  auto start = std::chrono::steady_clock::now();
+  auto result = engine.Execute(kScanQuery, &ctx);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  canceller.join();
+  Failpoint::ClearAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_LT(elapsed.count(), 250)
+      << "cancel did not interrupt the injected scatter stall";
+}
+
+TEST(GovernanceTest, DeadlineExpiryMidProvenanceHopUnderConcurrentIngest) {
+  Failpoint::ClearAll();
+  auto world = BuildGovWorld(/*events_per_shard=*/300, /*seal=*/false);
+  ASSERT_NE(world, nullptr);
+  IngestWriters writers(world.get());
+  AiqlEngine engine(&world->map);
+
+  // The per-hop shard selection stalls 500ms; a 50ms deadline must cut the
+  // stall short and surface kDeadlineExceeded from inside the hop.
+  ASSERT_TRUE(Failpoint::Configure("shard.track=latency(500000)").ok());
+  QueryLimits limits;
+  limits.timeout = std::chrono::milliseconds(50);
+  QueryContext ctx(limits);
+  TrackRequest request;
+  request.type = EntityType::kFile;
+  request.name_like = "/data/a1\\_0";
+  auto start = std::chrono::steady_clock::now();
+  auto result = engine.Track(request, &ctx);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  Failpoint::ClearAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed.count(), 250)
+      << "deadline did not interrupt the injected hop stall";
+}
+
+TEST(GovernanceTest, BudgetExhaustionMidMerge) {
+  // Direct merge-layer check: per-shard tables are fine, but emitting the
+  // merged rows crosses the row budget mid-merge.
+  std::vector<Result<QueryResult>> shard_results;
+  for (int s = 0; s < 3; ++s) {
+    QueryResult r;
+    r.table.columns = {"v"};
+    for (int64_t i = 0; i < 1500; ++i) r.table.rows.push_back({Value(i)});
+    shard_results.push_back(std::move(r));
+  }
+  QueryLimits limits;
+  limits.max_rows = 100;
+  QueryContext ctx(limits);
+  auto merged = MergeShardResults(std::move(shard_results), ShardMergeSpec{},
+                                  &ctx);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(merged.status().message().find("row budget"), std::string::npos);
+}
+
+TEST(GovernanceTest, DefaultLimitsGovernShardedQueries) {
+  Failpoint::ClearAll();
+  auto world = BuildGovWorld(/*events_per_shard=*/600, /*seal=*/true);
+  ASSERT_NE(world, nullptr);
+  EngineOptions options;
+  options.default_limits.max_rows = 500;
+  AiqlEngine engine(&world->map, options);
+  auto result = engine.Execute(kScanQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  // Same engine without limits: the full result comes back.
+  AiqlEngine free_engine(&world->map);
+  auto full = free_engine.Execute(kScanQuery);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->table.num_rows(), 4u * 600u);
+}
+
+TEST(GovernanceTest, GovernedQueriesRaceCleanlyWithIngest) {
+  Failpoint::ClearAll();
+  auto world = BuildGovWorld(/*events_per_shard=*/1200, /*seal=*/false);
+  ASSERT_NE(world, nullptr);
+  IngestWriters writers(world.get());
+  AiqlEngine engine(&world->map);
+
+  // Mixed governance pressure while every shard keeps ingesting: each
+  // outcome must be OK or a clean governance code — never a hang, crash,
+  // or foreign error.
+  for (int i = 0; i < 12; ++i) {
+    QueryLimits limits;
+    if (i % 3 == 0) limits.timeout = std::chrono::milliseconds(2);
+    if (i % 3 == 1) limits.max_rows = 700;
+    QueryContext ctx(limits);
+    std::thread canceller;
+    if (i % 3 == 2) {
+      canceller = std::thread([&ctx] {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        ctx.Cancel();
+      });
+    }
+    auto result = engine.Execute(kScanQuery, &ctx);
+    if (canceller.joinable()) canceller.join();
+    if (!result.ok()) {
+      StatusCode code = result.status().code();
+      EXPECT_TRUE(code == StatusCode::kCancelled ||
+                  code == StatusCode::kDeadlineExceeded ||
+                  code == StatusCode::kResourceExhausted)
+          << result.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aiql

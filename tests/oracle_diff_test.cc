@@ -36,6 +36,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -45,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/like_matcher.h"
 #include "common/rng.h"
 #include "engine/aiql_engine.h"
@@ -1334,6 +1336,168 @@ TEST(OracleDiffTest, CrossShardJoinDeterministic) {
     EXPECT_EQ(ValueToString(result->table.rows[0][1]), "/data/x");
     EXPECT_EQ(ValueToString(result->table.rows[0][2]), "8.8.8.8");
   }
+}
+
+// --- chaos axis --------------------------------------------------------------
+
+/// True when `sub`'s rows (as a multiset) are contained in `super`'s.
+bool RowsAreSubset(const ResultTable& sub,
+                   const std::multiset<std::string>& super) {
+  std::multiset<std::string> pool = super;
+  for (const auto& row : sub.rows) {
+    auto it = pool.find(RenderRow(row));
+    if (it == pool.end()) return false;
+    pool.erase(it);
+  }
+  return true;
+}
+
+// A sampled query subset reruns with random failpoints armed. The contract
+// under injected faults: strict mode either heals through retries (result
+// byte-identical to the oracle) or fails cleanly with the injected /
+// kUnavailable code — never silently wrong rows; partial mode returns a
+// subset of the oracle rows with per-shard annotations that account for
+// every dropped shard; and with failpoints cleared the same query matches
+// the oracle byte-identically again.
+TEST(OracleDiffTest, ChaosFailpointAxisMatchesOracle) {
+  Failpoint::ClearAll();
+  uint64_t seed = 20180510;
+  if (const char* env = std::getenv("AIQL_ORACLE_SEED")) {
+    seed = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  World world = GenerateWorld(seed, 1200);
+  std::vector<EventRecord> records = WorldRecords(world);
+  auto sharded = BuildShardedWorld(records, 4, /*snapshot_backed=*/true);
+  ASSERT_NE(sharded, nullptr);
+
+  int target = 20;
+  if (const char* env = std::getenv("AIQL_ORACLE_CHAOS_QUERIES")) {
+    target = std::max(1, std::atoi(env));
+  }
+
+  EngineOptions strict_options;
+  strict_options.shard_retry_backoff = std::chrono::milliseconds(1);
+  EngineOptions partial_options = strict_options;
+  partial_options.shard_policy = ShardPolicy::kPartial;
+
+  Rng rng(seed * 104729);
+  int executed = 0;
+  int attempts = 0;
+  int degraded_runs = 0;
+  while (executed < target && attempts < target * 20) {
+    ++attempts;
+    GenQuery q = GenerateQuery(&rng, world);
+    // Subset-vs-oracle comparison is only sound un-limited: a top-k of a
+    // shard subset need not be a subset of the global top-k.
+    q.order.clear();
+    q.limit.reset();
+    std::string text = RenderQuery(q);
+    size_t rows_bound = 0;
+    ResultTable expected = OracleExecute(world, q, &rows_bound);
+    if (rows_bound > 100000 || expected.rows.size() > 20000) continue;
+    std::multiset<std::string> oracle_pool;
+    for (const auto& row : expected.rows) oracle_pool.insert(RenderRow(row));
+
+    // Weighted toward deterministic shard faults so the partial-mode
+    // degradation path is reliably exercised; the probabilistic / healing
+    // faults cover retry recovery and checksum-caught corruption.
+    std::string fault;
+    switch (rng.Uniform(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        fault = "shard.scatter=error(IOError)@arg" +
+                std::to_string(rng.Uniform(4));
+        break;
+      case 4:
+      case 5:
+        fault = "shard.scatter=error(Unavailable)@p0.4@seed" +
+                std::to_string(rng.Next());
+        break;
+      case 6:
+        fault = "snapshot.read.partition=error(IOError)@p0.25@seed" +
+                std::to_string(rng.Next());
+        break;
+      case 7:
+        fault = "snapshot.read.partition=corrupt@nth1";
+        break;
+      default:
+        fault = "shard.scatter=latency(2000)@arg" +
+                std::to_string(rng.Uniform(4));
+        break;
+    }
+    auto clean_failure_code = [](StatusCode code) {
+      return code == StatusCode::kUnavailable ||
+             code == StatusCode::kIOError || code == StatusCode::kCorruption;
+    };
+
+    // Strict under fault: exact match or a clean failure.
+    ASSERT_TRUE(Failpoint::Configure(fault).ok()) << fault;
+    {
+      AiqlEngine engine(&sharded->map, strict_options);
+      auto result = engine.Execute(text);
+      if (result.ok()) {
+        EXPECT_EQ(CompareResult(result->table, expected, q), "")
+            << "[strict chaos '" << fault << "'] on: " << text;
+      } else {
+        EXPECT_TRUE(clean_failure_code(result.status().code()))
+            << "[strict chaos '" << fault << "'] dirty failure on: " << text
+            << "\n  " << result.status().ToString();
+      }
+    }
+    Failpoint::ClearAll();
+
+    // Partial under fault (re-armed so per-site hit counters restart):
+    // subset of the oracle rows with accounting annotations, or a clean
+    // all-shards-failed error.
+    ASSERT_TRUE(Failpoint::Configure(fault).ok()) << fault;
+    {
+      AiqlEngine engine(&sharded->map, partial_options);
+      auto result = engine.Execute(text);
+      if (result.ok()) {
+        if (result->degraded.partial) {
+          ++degraded_runs;
+          EXPECT_TRUE(RowsAreSubset(result->table, oracle_pool))
+              << "[partial chaos '" << fault
+              << "'] rows not a subset of oracle on: " << text;
+          int dropped = 0;
+          for (const ShardExecStatus& st : result->degraded.shard_status) {
+            if (st.dropped) ++dropped;
+          }
+          EXPECT_GE(dropped, 1);
+          EXPECT_EQ(dropped, result->degraded.shards_failed +
+                                 result->degraded.shards_timed_out)
+              << "[partial chaos '" << fault << "'] annotation mismatch";
+        } else {
+          EXPECT_EQ(CompareResult(result->table, expected, q), "")
+              << "[partial chaos '" << fault << "' not degraded] on: "
+              << text;
+        }
+      } else {
+        EXPECT_TRUE(clean_failure_code(result.status().code()))
+            << "[partial chaos '" << fault << "'] dirty failure on: " << text
+            << "\n  " << result.status().ToString();
+      }
+    }
+    Failpoint::ClearAll();
+
+    // Fault cleared: byte-identical to the oracle again.
+    {
+      AiqlEngine engine(&sharded->map, strict_options);
+      auto result = engine.Execute(text);
+      ASSERT_TRUE(result.ok())
+          << "[cleared '" << fault << "'] " << result.status().ToString();
+      EXPECT_EQ(CompareResult(result->table, expected, q), "")
+          << "[cleared '" << fault << "'] on: " << text;
+    }
+    ++executed;
+  }
+  ASSERT_GE(executed, std::min(target, 10))
+      << "chaos query generator rejected too many candidates";
+  // The catalog skews toward real degradation; make sure the partial path
+  // actually exercised shard drops rather than healing everything.
+  EXPECT_GE(degraded_runs, executed / 4);
 }
 
 }  // namespace

@@ -206,7 +206,7 @@ TEST(ShardMergeTest, EmptyShardAmongPopulatedShardsIsHarmless) {
 // ---------------------------------------------------------------------------
 // error propagation
 
-TEST(ShardMergeTest, FirstShardErrorInShardOrderWins) {
+TEST(ShardMergeTest, AggregateErrorNamesEveryFailedShard) {
   std::vector<Result<QueryResult>> shards;
   shards.push_back(MakeResult({"k"}, {{I(1)}}));
   shards.push_back(Result<QueryResult>(Status::IOError("shard 1 exploded")));
@@ -215,8 +215,44 @@ TEST(ShardMergeTest, FirstShardErrorInShardOrderWins) {
 
   auto merged = MergeShardResults(std::move(shards), ShardMergeSpec{});
   ASSERT_FALSE(merged.ok());
+  // Code comes from the lowest failed shard; the message names each failed
+  // shard with its index and cause — no silent first-error-only collapse.
   EXPECT_EQ(merged.status().code(), StatusCode::kIOError);
-  EXPECT_EQ(merged.status().message(), "shard 1 exploded");
+  EXPECT_NE(merged.status().message().find("2 of 3 shard(s) failed"),
+            std::string::npos);
+  EXPECT_NE(merged.status().message().find("shard 1: IOError: shard 1 "
+                                           "exploded"),
+            std::string::npos);
+  EXPECT_NE(merged.status().message().find("shard 2: Internal: shard 2 also "
+                                           "exploded"),
+            std::string::npos);
+}
+
+TEST(ShardMergeTest, SingleFailedShardStillNamesItsIndex) {
+  std::vector<Result<QueryResult>> shards;
+  shards.push_back(MakeResult({"k"}, {{I(1)}}));
+  shards.push_back(
+      Result<QueryResult>(Status::Unavailable("gone after retries")));
+
+  auto merged = MergeShardResults(std::move(shards), ShardMergeSpec{});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(merged.status().message().find("1 of 2 shard(s) failed"),
+            std::string::npos);
+  EXPECT_NE(merged.status().message().find("shard 1: Unavailable: gone "
+                                           "after retries"),
+            std::string::npos);
+}
+
+TEST(ShardMergeTest, TransientShardErrorClassification) {
+  EXPECT_TRUE(IsTransientShardError(StatusCode::kIOError));
+  EXPECT_TRUE(IsTransientShardError(StatusCode::kCorruption));
+  EXPECT_TRUE(IsTransientShardError(StatusCode::kUnavailable));
+  EXPECT_FALSE(IsTransientShardError(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransientShardError(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsTransientShardError(StatusCode::kCancelled));
+  EXPECT_FALSE(IsTransientShardError(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsTransientShardError(StatusCode::kInternal));
 }
 
 TEST(ShardMergeTest, ColumnMismatchIsInternalError) {
