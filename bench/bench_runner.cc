@@ -35,6 +35,7 @@
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "engine/aiql_engine.h"
+#include "engine/scan.h"
 #include "query/parser.h"
 #include "simulator/queries_a.h"
 #include "simulator/queries_c.h"
@@ -58,6 +59,7 @@ struct QueryRun {
   uint64_t partitions_scanned = 0;
   int patterns = 0;
   bool op_selective = false;  ///< every pattern constrains <= 2 operations
+  bool like_heavy = false;    ///< some entity constraint carries a wildcard
   bool failed = false;        ///< some repetition returned an error
   std::optional<int64_t> baseline_us;
 };
@@ -1062,7 +1064,28 @@ void WriteSnapshotJson(FILE* out, const SnapshotBench& bench) {
 }
 
 /// Classifies a query from its AST: pattern count and op selectivity.
+/// True when the query text carries a LIKE wildcard ('%' or unescaped '_')
+/// inside a quoted string — i.e. at least one entity constraint that the
+/// dictionary-id predicate path evaluates against the whole dictionary.
+bool HasLikePredicate(const std::string& text) {
+  bool in_quote = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') {
+      in_quote = !in_quote;
+      continue;
+    }
+    if (in_quote && c == '\\') {
+      ++i;  // escaped character, never a wildcard
+      continue;
+    }
+    if (in_quote && (c == '%' || c == '_')) return true;
+  }
+  return false;
+}
+
 void ClassifyQuery(const std::string& text, QueryRun* run) {
+  run->like_heavy = HasLikePredicate(text);
   auto parsed = ParseAiql(text);
   if (!parsed.ok() || parsed->multievent == nullptr) return;
   const MultieventQueryAst& ast = *parsed->multievent;
@@ -1210,6 +1233,212 @@ double Geomean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+// ---------------------------------------------------------------------------
+// Kernel mode (--kernels): scan-strategy micro-sweeps plus the fig4 suite
+// with batch kernels on vs off, both over a high-rate demo config
+// (10-50x the standard event count; AIQL_BENCH_KERNEL_SCALE, default 20) so
+// partitions are dense enough that the columnar inner loop dominates.
+// ---------------------------------------------------------------------------
+
+struct KernelMicroRun {
+  std::string name;
+  int64_t wall_us = 0;    ///< best-of-repeat full-database sweep
+  uint64_t rows = 0;      ///< events inspected per sweep
+  uint64_t matches = 0;
+};
+
+struct KernelQueryRun {
+  std::string id;
+  int64_t on_us = 0;
+  int64_t off_us = 0;
+  size_t rows = 0;
+  bool like_heavy = false;
+  bool rows_match = false;
+};
+
+struct KernelBench {
+  double scale = 0;
+  uint64_t stored_events = 0;
+  std::vector<KernelMicroRun> micro;
+  std::vector<KernelQueryRun> queries;
+  bool failed = false;
+};
+
+KernelBench RunKernelBench(const ScenarioOptions& base, int repeat) {
+  KernelBench bench;
+  bench.scale =
+      std::clamp(EnvDouble("AIQL_BENCH_KERNEL_SCALE", 20), 10.0, 50.0);
+  ScenarioOptions options = base;
+  options.events_per_host_per_hour *= bench.scale;
+  DemoScenarioData demo = GenerateDemoScenario(options);
+  auto db = IngestRecords(demo.records, StorageOptions{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "kernels: high-rate ingest failed: %s\n",
+                 db.status().ToString().c_str());
+    bench.failed = true;
+    return bench;
+  }
+  bench.stored_events = db->stats().total_events;
+
+  // Micro-sweeps: the raw ScanPartition strategies over every partition.
+  auto pattern_for = [&](OpMask mask, EntityType object_type,
+                         uint32_t keep_one_in) {
+    CompiledPattern pattern;
+    pattern.op_mask = mask;
+    pattern.subject.type = EntityType::kProcess;
+    pattern.object.type = object_type;
+    if (keep_one_in > 0) {
+      size_t universe = db->entities().NumEntities(EntityType::kProcess);
+      EntitySet candidates(universe);
+      for (size_t id = 0; id < universe; id += keep_one_in) {
+        candidates.Add(static_cast<uint32_t>(id));
+      }
+      pattern.subject.candidates = std::move(candidates);
+      pattern.subject.has_constraints = true;
+    }
+    return pattern;
+  };
+  auto sweep = [&](const std::string& name, const CompiledPattern& pattern,
+                   bool kernels) {
+    KernelMicroRun run;
+    run.name = name;
+    run.wall_us = INT64_MAX;
+    for (int i = 0; i < repeat; ++i) {
+      uint64_t inspected = 0;
+      size_t matches = 0;
+      int64_t us = TimeUs([&] {
+        db->ForEachPartition(
+            TimeRange{INT64_MIN, INT64_MAX}, std::nullopt,
+            [&](const PartitionKey&, const EventPartition& partition) {
+              std::vector<const Event*> out;
+              inspected += ScanPartition(partition, pattern,
+                                         TimeRange{INT64_MIN, INT64_MAX},
+                                         nullptr, false, &out, nullptr,
+                                         kernels);
+              matches += out.size();
+            });
+      });
+      if (us < run.wall_us) {
+        run.wall_us = us;
+        run.rows = inspected;
+        run.matches = matches;
+      }
+    }
+    bench.micro.push_back(run);
+    std::fprintf(stderr, "  kernels %-28s %8lld us  rows=%llu matches=%llu\n",
+                 run.name.c_str(), static_cast<long long>(run.wall_us),
+                 static_cast<unsigned long long>(run.rows),
+                 static_cast<unsigned long long>(run.matches));
+  };
+  const OpMask all_ops = static_cast<OpMask>(0x1FF);
+  sweep("posting/selective_op",
+        pattern_for(OpBit(OpType::kStart), EntityType::kProcess, 0), true);
+  sweep("columnar_row/unselective",
+        pattern_for(all_ops, EntityType::kFile, 0), false);
+  sweep("columnar_batch/unselective",
+        pattern_for(all_ops, EntityType::kFile, 0), true);
+  sweep("columnar_row/selective",
+        pattern_for(all_ops, EntityType::kFile, 16), false);
+  sweep("columnar_batch/selective",
+        pattern_for(all_ops, EntityType::kFile, 16), true);
+
+  // fig4 at high rate, kernels on vs off; identical row counts gate the
+  // exit code (a cheap in-process echo of the oracle's kernel axis).
+  EngineOptions on_options, off_options;
+  off_options.enable_batch_kernels = false;
+  AiqlEngine on_engine(&*db, on_options), off_engine(&*db, off_options);
+  for (const CatalogQuery& query : DemoInvestigationQueries(demo.truth)) {
+    KernelQueryRun run;
+    run.id = query.id;
+    run.like_heavy = HasLikePredicate(query.text);
+    run.on_us = INT64_MAX;
+    run.off_us = INT64_MAX;
+    size_t on_rows = 0, off_rows = 0;
+    bool exec_failed = false;
+    for (int i = 0; i < repeat; ++i) {
+      int64_t us = TimeUs([&] {
+        auto result = on_engine.Execute(query.text);
+        if (result.ok()) {
+          on_rows = result->table.num_rows();
+        } else {
+          exec_failed = true;
+        }
+      });
+      run.on_us = std::min(run.on_us, us);
+      us = TimeUs([&] {
+        auto result = off_engine.Execute(query.text);
+        if (result.ok()) {
+          off_rows = result->table.num_rows();
+        } else {
+          exec_failed = true;
+        }
+      });
+      run.off_us = std::min(run.off_us, us);
+    }
+    run.rows = on_rows;
+    run.rows_match = !exec_failed && on_rows == off_rows;
+    if (!run.rows_match) {
+      bench.failed = true;
+      std::fprintf(stderr,
+                   "  kernels fig4 %s MISMATCH: on=%zu off=%zu rows\n",
+                   run.id.c_str(), on_rows, off_rows);
+    }
+    bench.queries.push_back(run);
+  }
+  return bench;
+}
+
+void WriteKernelJson(FILE* out, const KernelBench& bench) {
+  std::fprintf(out, "  \"kernels\": {\n");
+  std::fprintf(out, "    \"scale\": %.1f, \"stored_events\": %llu,\n",
+               bench.scale,
+               static_cast<unsigned long long>(bench.stored_events));
+  std::fprintf(out, "    \"micro\": [\n");
+  for (size_t i = 0; i < bench.micro.size(); ++i) {
+    const KernelMicroRun& run = bench.micro[i];
+    double rows_per_us =
+        static_cast<double>(run.rows) /
+        static_cast<double>(std::max<int64_t>(run.wall_us, 1));
+    std::fprintf(out,
+                 "      {\"name\": \"%s\", \"wall_us\": %lld, "
+                 "\"rows\": %llu, \"matches\": %llu, "
+                 "\"rows_per_us\": %.1f}%s\n",
+                 run.name.c_str(), static_cast<long long>(run.wall_us),
+                 static_cast<unsigned long long>(run.rows),
+                 static_cast<unsigned long long>(run.matches), rows_per_us,
+                 i + 1 < bench.micro.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"fig4_highrate\": [\n");
+  std::vector<double> speedups, like_speedups;
+  bool all_rows_match = true;
+  for (size_t i = 0; i < bench.queries.size(); ++i) {
+    const KernelQueryRun& run = bench.queries[i];
+    double speedup = static_cast<double>(run.off_us) /
+                     static_cast<double>(std::max<int64_t>(run.on_us, 1));
+    speedups.push_back(speedup);
+    if (run.like_heavy) like_speedups.push_back(speedup);
+    all_rows_match = all_rows_match && run.rows_match;
+    std::fprintf(out,
+                 "      {\"id\": \"%s\", \"kernels_on_us\": %lld, "
+                 "\"kernels_off_us\": %lld, \"speedup\": %.3f, \"rows\": %zu, "
+                 "\"like_heavy\": %s, \"rows_match\": %s}%s\n",
+                 run.id.c_str(), static_cast<long long>(run.on_us),
+                 static_cast<long long>(run.off_us), speedup, run.rows,
+                 run.like_heavy ? "true" : "false",
+                 run.rows_match ? "true" : "false",
+                 i + 1 < bench.queries.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out,
+               "    \"geomean_on_vs_off\": %.3f, "
+               "\"like_heavy_geomean_on_vs_off\": %.3f, "
+               "\"all_rows_match\": %s\n",
+               Geomean(speedups), Geomean(like_speedups),
+               all_rows_match ? "true" : "false");
+  std::fprintf(out, "  },\n");
+}
+
 void WriteStreamingJson(FILE* out, double rate,
                         const std::vector<StreamSuiteRun>& suites) {
   std::fprintf(out, "  \"streaming\": {\n");
@@ -1259,7 +1488,7 @@ void WriteJson(FILE* out, const std::string& label,
                const std::vector<StreamSuiteRun>* streaming,
                const SnapshotBench* snapshot,
                const ProvenanceBench* provenance, const ShardedBench* sharded,
-               const ChaosBench* chaos) {
+               const ChaosBench* chaos, const KernelBench* kernels) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
   std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
@@ -1285,10 +1514,11 @@ void WriteJson(FILE* out, const std::string& label,
   if (provenance != nullptr) WriteProvenanceJson(out, *provenance);
   if (sharded != nullptr) WriteShardedJson(out, *sharded);
   if (chaos != nullptr) WriteChaosJson(out, *chaos);
+  if (kernels != nullptr) WriteKernelJson(out, *kernels);
 
   std::fprintf(out, "  \"queries\": [\n");
   int64_t total_us = 0, baseline_total_us = 0;
-  std::vector<double> speedups, selective_speedups;
+  std::vector<double> speedups, selective_speedups, like_heavy_speedups;
   double worst_regression_pct = 0;
   std::string worst_regression_id;
   for (size_t i = 0; i < runs.size(); ++i) {
@@ -1298,13 +1528,14 @@ void WriteJson(FILE* out, const std::string& label,
                  "    {\"suite\": \"%s\", \"id\": \"%s\", \"wall_us\": %lld, "
                  "\"rows\": %zu, \"events_scanned\": %llu, "
                  "\"events_matched\": %llu, \"partitions_scanned\": %llu, "
-                 "\"patterns\": %d, \"op_selective\": %s",
+                 "\"patterns\": %d, \"op_selective\": %s, \"like_heavy\": %s",
                  run.suite.c_str(), run.id.c_str(),
                  static_cast<long long>(run.wall_us), run.rows,
                  static_cast<unsigned long long>(run.events_scanned),
                  static_cast<unsigned long long>(run.events_matched),
                  static_cast<unsigned long long>(run.partitions_scanned),
-                 run.patterns, run.op_selective ? "true" : "false");
+                 run.patterns, run.op_selective ? "true" : "false",
+                 run.like_heavy ? "true" : "false");
     if (run.failed) std::fprintf(out, ", \"failed\": true");
     if (run.baseline_us.has_value()) {
       baseline_total_us += *run.baseline_us;
@@ -1314,6 +1545,7 @@ void WriteJson(FILE* out, const std::string& label,
       if (run.op_selective && run.patterns >= 2) {
         selective_speedups.push_back(speedup);
       }
+      if (run.like_heavy) like_heavy_speedups.push_back(speedup);
       double regression_pct = (1.0 / speedup - 1.0) * 100.0;
       if (regression_pct > worst_regression_pct) {
         worst_regression_pct = regression_pct;
@@ -1335,11 +1567,12 @@ void WriteJson(FILE* out, const std::string& label,
                  ", \"baseline_total_us\": %lld, "
                  "\"geomean_speedup\": %.3f, "
                  "\"op_selective_multi_pattern_geomean_speedup\": %.3f, "
+                 "\"like_heavy_geomean_speedup\": %.3f, "
                  "\"worst_regression_pct\": %.1f, "
                  "\"worst_regression_query\": \"%s\"",
                  static_cast<long long>(baseline_total_us), Geomean(speedups),
-                 Geomean(selective_speedups), worst_regression_pct,
-                 worst_regression_id.c_str());
+                 Geomean(selective_speedups), Geomean(like_heavy_speedups),
+                 worst_regression_pct, worst_regression_id.c_str());
   }
   std::fprintf(out, "}\n}\n");
 }
@@ -1355,6 +1588,7 @@ int main(int argc, char** argv) {
   bool provenance = false;
   bool sharded = false;
   bool chaos = false;
+  bool kernels = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -1375,11 +1609,13 @@ int main(int argc, char** argv) {
       sharded = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--kernels") == 0) {
+      kernels = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out file.json] [--baseline file.json] "
                    "[--label name] [--streaming] [--snapshot] "
-                   "[--provenance] [--sharded] [--chaos]\n",
+                   "[--provenance] [--sharded] [--chaos] [--kernels]\n",
                    argv[0]);
       return 2;
     }
@@ -1524,6 +1760,15 @@ int main(int argc, char** argv) {
                  chaos_bench.failed ? "FAILED" : "all pass");
   }
 
+  // Kernel mode: scan-strategy micro-sweeps and the fig4 suite with batch
+  // kernels on vs off over a high-rate demo config; identical row counts
+  // between the two engine settings gate the exit code.
+  KernelBench kernel_bench;
+  if (kernels) {
+    std::fprintf(stderr, "kernels: high-rate scan-strategy sweeps\n");
+    kernel_bench = RunKernelBench(options, repeat);
+  }
+
   // Streaming mode: re-ingest each suite's records at a pinned rate on a
   // background thread, concurrent with the suite's queries; verify the
   // post-Seal row counts against the sealed-batch runs above.
@@ -1580,7 +1825,8 @@ int main(int argc, char** argv) {
             snapshot ? &snapshot_bench : nullptr,
             provenance ? &provenance_bench : nullptr,
             sharded ? &sharded_bench : nullptr,
-            chaos ? &chaos_bench : nullptr);
+            chaos ? &chaos_bench : nullptr,
+            kernels ? &kernel_bench : nullptr);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
@@ -1599,6 +1845,10 @@ int main(int argc, char** argv) {
   }
   if (chaos && chaos_bench.failed) {
     std::fprintf(stderr, "chaos bench verification failed\n");
+    return 1;
+  }
+  if (kernels && kernel_bench.failed) {
+    std::fprintf(stderr, "kernel bench verification failed\n");
     return 1;
   }
   int failures = 0;

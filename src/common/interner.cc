@@ -16,4 +16,38 @@ StringId StringInterner::Lookup(std::string_view text) const {
   return it == ids_.end() ? kInvalidStringId : it->second;
 }
 
+std::shared_ptr<const DictionaryBitset> DictionaryMatchCache::Match(
+    const StringInterner& dict, const LikeMatcher& matcher) {
+  const uint64_t version = dict.version();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(matcher.pattern());
+  if (it != cache_.end() && it->second->version == version) {
+    return it->second;
+  }
+  auto fresh = std::make_shared<DictionaryBitset>();
+  StringId from = 0;
+  if (it != cache_.end()) {
+    // Stale entry: the dictionary is append-only, so the old words stay
+    // correct — copy them and match only the appended tail.
+    fresh->bits = it->second->bits;
+    from = static_cast<StringId>(it->second->version);
+  }
+  fresh->bits.Grow(version);
+  fresh->version = version;
+  for (StringId id = from; id < version; ++id) {
+    if (matcher.Matches(dict.Get(id))) fresh->bits.Add(id);
+  }
+  if (it != cache_.end()) {
+    it->second = std::move(fresh);
+    return it->second;
+  }
+  if (cache_.size() >= kMaxEntries) cache_.clear();
+  return cache_.emplace(matcher.pattern(), std::move(fresh)).first->second;
+}
+
+size_t DictionaryMatchCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
 }  // namespace aiql

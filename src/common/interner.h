@@ -5,16 +5,27 @@
 // a dense uint32 id so events can store 4-byte ids and the engine can
 // evaluate a LIKE predicate once per *distinct* string rather than once per
 // event — one of the paper's "in-memory index" storage optimizations.
+//
+// DictionaryMatchCache takes that one step further: a compiled predicate is
+// evaluated once against the whole dictionary to produce a matching-id
+// bitset, cached across queries and tagged with the dictionary version so
+// streaming appends extend it incrementally (the pool is append-only, so a
+// stale entry only needs the new tail [version, size) evaluated).
 
 #ifndef AIQL_COMMON_INTERNER_H_
 #define AIQL_COMMON_INTERNER_H_
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/bitset.h"
+#include "common/like_matcher.h"
 
 namespace aiql {
 
@@ -39,6 +50,11 @@ class StringInterner {
 
   size_t size() const { return strings_.size(); }
 
+  /// Dictionary version: because the pool is append-only, the size IS the
+  /// version — ids below it are frozen forever. Cached predicate bitsets
+  /// carry the version they were computed at and extend over the new tail.
+  uint64_t version() const { return strings_.size(); }
+
   /// Applies `fn(id, text)` to every interned string; used to evaluate LIKE
   /// predicates over the distinct-value domain.
   template <typename Fn>
@@ -52,6 +68,53 @@ class StringInterner {
   // deque keeps string storage stable so string_view keys stay valid.
   std::deque<std::string> strings_;
   std::unordered_map<std::string_view, StringId> ids_;
+};
+
+/// The ids of one dictionary matching one compiled predicate, frozen at
+/// `version`. Immutable once published (shared across queries and threads).
+struct DictionaryBitset {
+  DenseBitset bits;      ///< set bit = matching StringId
+  uint64_t version = 0;  ///< dictionary version the bits cover
+};
+
+/// Cross-query cache of predicate-vs-dictionary evaluations, keyed by the
+/// compiled pattern text. Thread-safe. Entries are immutable shared_ptrs:
+/// when the dictionary has grown past an entry's version, a fresh bitset is
+/// built by copying the old words and matching only the appended tail —
+/// readers holding the old pointer are never raced.
+///
+/// Callers must guarantee the dictionary is not being mutated during Match
+/// (the engine's ReadView contract: interning happens only in batch commits,
+/// which wait for open views).
+class DictionaryMatchCache {
+ public:
+  DictionaryMatchCache() = default;
+  // Movable so EntityStore stays movable (snapshot load). The mutex is not
+  // moved; moves only happen while no queries hold the source.
+  DictionaryMatchCache(DictionaryMatchCache&& other) noexcept
+      : cache_(std::move(other.cache_)) {}
+  DictionaryMatchCache& operator=(DictionaryMatchCache&& other) noexcept {
+    if (this != &other) cache_ = std::move(other.cache_);
+    return *this;
+  }
+
+  /// Bitset of ids in `dict` matching `matcher`, current as of
+  /// dict.version().
+  std::shared_ptr<const DictionaryBitset> Match(const StringInterner& dict,
+                                                const LikeMatcher& matcher);
+
+  /// Entries cached right now (test/introspection hook).
+  size_t size() const;
+
+  /// Distinct-pattern cap: one past it, the map is epoch-cleared (in-flight
+  /// readers keep their shared_ptrs) so ad-hoc pattern churn cannot grow
+  /// the cache without bound.
+  static constexpr size_t kMaxEntries = 256;
+
+ private:
+ mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const DictionaryBitset>>
+      cache_;
 };
 
 }  // namespace aiql

@@ -6,40 +6,6 @@
 
 namespace aiql {
 
-size_t EntitySet::IntersectWith(const EntitySet& other) {
-  size_t n = std::min(bits_.size(), other.bits_.size());
-  size_t count = 0;
-  for (size_t i = 0; i < n; ++i) {
-    bits_[i] &= other.bits_[i];
-    count += static_cast<size_t>(std::popcount(bits_[i]));
-  }
-  for (size_t i = n; i < bits_.size(); ++i) {
-    bits_[i] = 0;
-  }
-  return count;
-}
-
-size_t EntitySet::Count() const {
-  size_t count = 0;
-  for (uint64_t word : bits_) {
-    count += static_cast<size_t>(std::popcount(word));
-  }
-  return count;
-}
-
-std::vector<EntityId> EntitySet::ToVector() const {
-  std::vector<EntityId> out;
-  for (size_t w = 0; w < bits_.size(); ++w) {
-    uint64_t word = bits_[w];
-    while (word != 0) {
-      int bit = std::countr_zero(word);
-      out.push_back(static_cast<EntityId>(w * 64 + bit));
-      word &= word - 1;
-    }
-  }
-  return out;
-}
-
 namespace {
 
 // An attribute value pulled out of a stored entity.
@@ -102,6 +68,47 @@ AttrValue GetEntityAttr(const EntityStore& store, EntityType type,
   return out;
 }
 
+// Maps a (type, canonical attr) pair onto its interned dictionary, or
+// nullopt for numeric attrs (pid, ports, agentid).
+std::optional<DictAttr> DictAttrFor(EntityType type, const std::string& attr) {
+  switch (type) {
+    case EntityType::kProcess:
+      if (attr == "exe_name") return DictAttr::kExeName;
+      if (attr == "user") return DictAttr::kUser;
+      return std::nullopt;
+    case EntityType::kFile:
+      if (attr == "path") return DictAttr::kPath;
+      return std::nullopt;
+    case EntityType::kNetwork:
+      if (attr == "dst_ip") return DictAttr::kDstIp;
+      if (attr == "src_ip") return DictAttr::kSrcIp;
+      if (attr == "protocol") return DictAttr::kProtocol;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// The entity's interned value id for a dictionary attr.
+StringId GetEntityAttrId(const EntityStore& store, EntityType type,
+                         EntityId id, DictAttr attr) {
+  switch (attr) {
+    case DictAttr::kExeName:
+      return store.processes()[id].exe_name;
+    case DictAttr::kUser:
+      return store.processes()[id].user;
+    case DictAttr::kPath:
+      return store.files()[id].path;
+    case DictAttr::kDstIp:
+      return store.networks()[id].dst_ip;
+    case DictAttr::kSrcIp:
+      return store.networks()[id].src_ip;
+    case DictAttr::kProtocol:
+      return store.networks()[id].protocol;
+  }
+  (void)type;
+  return kInvalidStringId;
+}
+
 bool EvalStringPredicate(const CompiledPredicate& pred,
                          std::string_view text) {
   switch (pred.op) {
@@ -139,8 +146,9 @@ bool EvalIntPredicate(const CompiledPredicate& pred, int64_t value) {
     case CmpOp::kGe:
       return value >= pred.ints[0];
     case CmpOp::kIn:
-      return std::find(pred.ints.begin(), pred.ints.end(), value) !=
-             pred.ints.end();
+      // ints are sorted + deduped at compile time, so IN is a binary search
+      // instead of the linear std::find the row path used to pay per value.
+      return std::binary_search(pred.ints.begin(), pred.ints.end(), value);
     default:
       return false;
   }
@@ -148,6 +156,14 @@ bool EvalIntPredicate(const CompiledPredicate& pred, int64_t value) {
 
 bool EvalPredicate(const EntityStore& store, EntityType type, EntityId id,
                    const CompiledPredicate& pred) {
+  // Dictionary form: the predicate was evaluated against the whole
+  // dictionary at compile time, so testing an entity is one u32 membership
+  // test on its interned value id — no string touches.
+  if (pred.matched_ids != nullptr) {
+    StringId sid = GetEntityAttrId(store, type, id, *pred.dict_attr);
+    bool matched = pred.matched_ids->bits.Contains(sid);
+    return pred.op == CmpOp::kNe ? !matched : matched;
+  }
   AttrValue value = GetEntityAttr(store, type, id, pred.attr);
   return value.is_string ? EvalStringPredicate(pred, value.str)
                          : EvalIntPredicate(pred, value.num);
@@ -171,7 +187,39 @@ Result<CompiledPredicate> CompileConstraint(EntityType type,
       pred.ints.push_back(value.i);
     }
   }
+  if (pred.kind != AttrKind::kString && pred.op == CmpOp::kIn) {
+    std::sort(pred.ints.begin(), pred.ints.end());
+    pred.ints.erase(std::unique(pred.ints.begin(), pred.ints.end()),
+                    pred.ints.end());
+  }
   return pred;
+}
+
+// Compiles the dictionary-id form of a string predicate on an interned
+// attr: one cached dictionary evaluation per matcher, unioned. After this,
+// every per-entity (and per-event, via candidate sets) evaluation of the
+// predicate is a u32 bitset test.
+void CompilePredicateIdSet(const EntityStore& store, EntityType type,
+                           CompiledPredicate* pred) {
+  if (pred->kind != AttrKind::kString) return;
+  if (pred->op != CmpOp::kEq && pred->op != CmpOp::kNe &&
+      pred->op != CmpOp::kLike && pred->op != CmpOp::kIn) {
+    return;  // analyzer rejects ordered string comparisons; keep legacy path
+  }
+  std::optional<DictAttr> attr = DictAttrFor(type, pred->attr);
+  if (!attr.has_value() || pred->matchers.empty()) return;
+  pred->dict_attr = attr;
+  if (pred->matchers.size() == 1) {
+    pred->matched_ids = store.MatchDictionary(*attr, pred->matchers[0]);
+    return;
+  }
+  auto combined = std::make_shared<DictionaryBitset>();
+  for (const LikeMatcher& matcher : pred->matchers) {
+    auto part = store.MatchDictionary(*attr, matcher);
+    combined->bits.UnionWith(part->bits);
+    combined->version = part->version;
+  }
+  pred->matched_ids = std::move(combined);
 }
 
 // True if `pred` constrains the attribute that has a postings index.
@@ -196,20 +244,26 @@ bool IsPositiveMatch(const CompiledPredicate& pred) {
 std::vector<EntityId> SeedFromIndex(const EntityStore& store, EntityType type,
                                     const CompiledPredicate& pred) {
   std::vector<EntityId> seed;
-  for (const LikeMatcher& matcher : pred.matchers) {
-    std::vector<EntityId> ids;
-    switch (type) {
-      case EntityType::kProcess:
-        ids = store.FindProcessesByExe(matcher);
-        break;
-      case EntityType::kFile:
-        ids = store.FindFilesByPath(matcher);
-        break;
-      case EntityType::kNetwork:
-        ids = store.FindNetworksByIp(matcher, pred.attr == "src_ip");
-        break;
+  if (pred.matched_ids != nullptr) {
+    // Dictionary form: expand the (already unioned) matching value ids
+    // through the attribute postings in one pass.
+    store.ExpandMatches(*pred.dict_attr, pred.matched_ids->bits, &seed);
+  } else {
+    for (const LikeMatcher& matcher : pred.matchers) {
+      std::vector<EntityId> ids;
+      switch (type) {
+        case EntityType::kProcess:
+          ids = store.FindProcessesByExe(matcher);
+          break;
+        case EntityType::kFile:
+          ids = store.FindFilesByPath(matcher);
+          break;
+        case EntityType::kNetwork:
+          ids = store.FindNetworksByIp(matcher, pred.attr == "src_ip");
+          break;
+      }
+      seed.insert(seed.end(), ids.begin(), ids.end());
     }
-    seed.insert(seed.end(), ids.begin(), ids.end());
   }
   std::sort(seed.begin(), seed.end());
   seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
@@ -266,6 +320,19 @@ std::vector<StringId> MatchExeIds(const EntityStore& store,
   }
   std::vector<StringId> out;
   if (exe_preds.empty()) return out;
+  // All-dictionary form: the matching ids per predicate are already cached
+  // bitsets, so the conjunction is a word-wise intersection.
+  bool all_compiled = true;
+  for (const CompiledPredicate* pred : exe_preds) {
+    all_compiled = all_compiled && pred->matched_ids != nullptr;
+  }
+  if (all_compiled) {
+    DenseBitset acc = exe_preds.front()->matched_ids->bits;
+    for (size_t i = 1; i < exe_preds.size(); ++i) {
+      acc.IntersectWith(exe_preds[i]->matched_ids->bits);
+    }
+    return acc.ToVector();
+  }
   store.exe_names().ForEach([&](StringId id, std::string_view text) {
     for (const CompiledPredicate* pred : exe_preds) {
       if (!EvalStringPredicate(*pred, text)) return;
@@ -335,6 +402,7 @@ Result<std::vector<CompiledPattern>> CompilePatterns(
       for (const AttrConstraint* constraint : constraints) {
         AIQL_ASSIGN_OR_RETURN(CompiledPredicate pred,
                               CompileConstraint(decl.type, *constraint));
+        CompilePredicateIdSet(store, decl.type, &pred);
         filter->predicates.push_back(std::move(pred));
       }
       filter->has_constraints = !filter->predicates.empty();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/like_matcher.h"
 #include "common/status.h"
 #include "query/analyzer.h"
@@ -23,27 +24,10 @@
 
 namespace aiql {
 
-/// Dense bitset over entity ids of one type.
-class EntitySet {
- public:
-  explicit EntitySet(size_t universe) : bits_((universe + 63) / 64, 0) {}
-
-  void Add(EntityId id) { bits_[id >> 6] |= 1ULL << (id & 63); }
-  bool Contains(EntityId id) const {
-    size_t word = id >> 6;
-    return word < bits_.size() && (bits_[word] >> (id & 63)) & 1;
-  }
-  /// Keeps only ids also present in `other`. Returns the surviving member
-  /// count, fused into the same word-at-a-time pass (popcount, no bit loop)
-  /// so callers need no separate Count() scan.
-  size_t IntersectWith(const EntitySet& other);
-  size_t Count() const;
-  /// Materializes the member ids in ascending order.
-  std::vector<EntityId> ToVector() const;
-
- private:
-  std::vector<uint64_t> bits_;
-};
+/// Dense bitset over entity ids of one type. Candidate sets are built with
+/// universe = store.NumEntities(type) at compile time, so every entity id a
+/// view's events reference tests in bounds (the batch kernels rely on it).
+using EntitySet = DenseBitset;
 
 /// One compiled attribute predicate against a stored entity.
 struct CompiledPredicate {
@@ -51,7 +35,13 @@ struct CompiledPredicate {
   CmpOp op = CmpOp::kEq;
   AttrKind kind = AttrKind::kString;
   std::vector<LikeMatcher> matchers;  ///< string predicates (LIKE / = / !=)
-  std::vector<int64_t> ints;          ///< numeric operands
+  std::vector<int64_t> ints;  ///< numeric operands (sorted+deduped for IN)
+  /// Dictionary form of a string predicate on an interned attr: the attr's
+  /// dictionary plus the StringIds any matcher matches (positive sense; kNe
+  /// inverts at eval). Evaluation becomes one u32 bitset test instead of a
+  /// per-value LikeMatcher run.
+  std::optional<DictAttr> dict_attr;
+  std::shared_ptr<const DictionaryBitset> matched_ids;
 };
 
 /// Compiled filter over one entity side of a pattern.

@@ -133,15 +133,14 @@ Result<QueryResult> MultieventExecutor::Execute(const AnalyzedQuery& analyzed,
   std::vector<bool> scanned(num_patterns, false);
   bool empty_result = false;
 
-  // Agent filter as a hash set, built once per query. When partitioning is
-  // on, SelectPartitions already restricts agents, so no per-event check is
-  // needed at all; the flat-storage ablation still needs it.
+  // Agent filter as a hybrid bitset, built once per query. When partitioning
+  // is on, SelectPartitions already restricts agents, so no per-event check
+  // is needed at all; the flat-storage ablation still needs it.
   const AgentFilterSet* agent_filter = nullptr;
   std::optional<AgentFilterSet> agent_filter_storage;
   if (analyzed.agent_filter.has_value() &&
       !view_->options().enable_partitioning) {
-    agent_filter_storage.emplace(analyzed.agent_filter->begin(),
-                                 analyzed.agent_filter->end());
+    agent_filter_storage.emplace(*analyzed.agent_filter);
     agent_filter = &*agent_filter_storage;
   }
 
@@ -223,7 +222,8 @@ Result<QueryResult> MultieventExecutor::Execute(const AnalyzedQuery& analyzed,
       local_scanned[pi] =
           ScanPartition(*partitions[pi].second, pattern, pattern.time_range,
                         agent_filter, same_var_both_sides,
-                        &local_matches[pi], ctx);
+                        &local_matches[pi], ctx,
+                        options_.enable_batch_kernels);
     };
 
     if (options_.enable_parallelism && pool_ != nullptr &&

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/bitset.h"
 #include "common/failpoint.h"
 #include "engine/shard_merge.h"
 #include "storage/shard_map.h"
@@ -80,10 +81,11 @@ Result<ProvenanceResult> TrackProvenance(
 
   // Per-event agent check is only needed without partition pruning (the
   // flat-storage ablation); partitioned views restrict agents during
-  // partition selection.
-  std::optional<std::unordered_set<AgentId>> agent_set;
+  // partition selection. Hybrid bitset: the hop loop's check is an
+  // id-compare, not a hash probe.
+  std::optional<IdFilter> agent_set;
   if (options.agents.has_value() && !view.options().enable_partitioning) {
-    agent_set.emplace(options.agents->begin(), options.agents->end());
+    agent_set.emplace(*options.agents);
   }
 
   ProvenanceResult result;
@@ -221,8 +223,7 @@ Result<ProvenanceResult> TrackProvenance(
             }
           }
           if (!window.Contains(event.start_ts)) continue;
-          if (agent_set.has_value() &&
-              agent_set->count(event.agent_id) == 0) {
+          if (agent_set.has_value() && !agent_set->Contains(event.agent_id)) {
             continue;
           }
           Candidate candidate;
@@ -418,11 +419,11 @@ Result<ProvenanceResult> TrackProvenanceSharded(
       options.op_mask &
       (backward ? kObjectToSubjectOps : kSubjectToObjectOps);
 
-  std::optional<std::unordered_set<AgentId>> agent_set;
+  std::optional<IdFilter> agent_set;
   if (options.agents.has_value()) {
     for (const ReadView& view : views) {
       if (!view.options().enable_partitioning) {
-        agent_set.emplace(options.agents->begin(), options.agents->end());
+        agent_set.emplace(*options.agents);
         break;
       }
     }
@@ -666,8 +667,7 @@ Result<ProvenanceResult> TrackProvenanceSharded(
             }
           }
           if (!window.Contains(event.start_ts)) continue;
-          if (agent_set.has_value() &&
-              agent_set->count(event.agent_id) == 0) {
+          if (agent_set.has_value() && !agent_set->Contains(event.agent_id)) {
             continue;
           }
           ShardCandidate candidate;

@@ -1,6 +1,7 @@
 #include "engine/scan.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace aiql {
 
@@ -12,6 +13,184 @@ struct PostingCursor {
   const uint32_t* end = nullptr;
 };
 
+// Landing pad for candidate sets with zero words (an empty universe): every
+// id maps to this all-zero word, so membership tests stay branch-free
+// without ever dereferencing a null/empty words() pointer.
+constexpr uint64_t kZeroWord = 0;
+
+/// The pattern's row predicate, precompiled to flat tables and raw bitset
+/// words — no std::optional, no hash lookups, no virtual calls on the scan.
+/// Shared by the batch kernels and the (kernel-mode) posting path.
+struct RowTest {
+  uint8_t op_ok[kNumOpTypes] = {};   ///< op acceptance table
+  uint8_t target_object_type = 0;
+  const uint64_t* subj_words = nullptr;  ///< null = all subjects accepted
+  size_t subj_nwords = 0;
+  const uint64_t* obj_words = nullptr;   ///< null = all objects accepted
+  size_t obj_nwords = 0;
+  const AgentFilterSet* agents = nullptr;
+  bool same_var = false;
+};
+
+RowTest MakeRowTest(const CompiledPattern& pattern,
+                    const AgentFilterSet* agent_filter,
+                    bool same_var_both_sides) {
+  RowTest t;
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    t.op_ok[op] =
+        OpMaskContains(pattern.op_mask, static_cast<OpType>(op)) ? 1 : 0;
+  }
+  t.target_object_type = static_cast<uint8_t>(pattern.object.type);
+  if (pattern.subject.candidates.has_value()) {
+    t.subj_words = pattern.subject.candidates->words();
+    t.subj_nwords = pattern.subject.candidates->num_words();
+    if (t.subj_nwords == 0) {
+      t.subj_words = &kZeroWord;
+      t.subj_nwords = 1;
+    }
+  }
+  if (pattern.object.candidates.has_value()) {
+    t.obj_words = pattern.object.candidates->words();
+    t.obj_nwords = pattern.object.candidates->num_words();
+    if (t.obj_nwords == 0) {
+      t.obj_words = &kZeroWord;
+      t.obj_nwords = 1;
+    }
+  }
+  t.agents = agent_filter;
+  t.same_var = same_var_both_sides;
+  return t;
+}
+
+// Guarded branch-free bitset probe: out-of-range ids read word 0 and
+// contribute 0. Subject ids are always < their universe (candidate sets are
+// sized to the store at view time), but object ids of a non-matching
+// object_type live in another id space and may exceed the object set.
+inline uint8_t ProbeBit(const uint64_t* words, size_t nwords, uint32_t id) {
+  size_t w = id >> 6;
+  size_t in_range = static_cast<size_t>(w < nwords);
+  uint64_t word = words[in_range ? w : 0];
+  return static_cast<uint8_t>((word >> (id & 63)) & in_range);
+}
+
+/// Batch kernel: evaluates rows [begin, begin + n), n <= kScanBatch, through
+/// per-predicate mask passes and emits matches in ascending row order. Each
+/// pass is a short branch-free loop over flat arrays; the per-chunk `if`s
+/// are loop-invariant predicate-presence checks, not per-row branches.
+void RunBatch(const EventColumns& cols, const std::vector<Event>& events,
+              const RowTest& t, size_t begin, size_t n,
+              std::vector<const Event*>* out) {
+  uint8_t ok[kScanBatch];
+  const OpType* op = cols.op.data() + begin;
+  const EntityType* otype = cols.object_type.data() + begin;
+  const EntityId* subj = cols.subject.data() + begin;
+  const EntityId* obj = cols.object.data() + begin;
+  for (size_t j = 0; j < n; ++j) {
+    ok[j] = t.op_ok[static_cast<size_t>(op[j])] &
+            static_cast<uint8_t>(static_cast<uint8_t>(otype[j]) ==
+                                 t.target_object_type);
+  }
+  if (t.subj_words != nullptr) {
+    for (size_t j = 0; j < n; ++j) {
+      ok[j] &= ProbeBit(t.subj_words, t.subj_nwords, subj[j]);
+    }
+  }
+  if (t.obj_words != nullptr) {
+    for (size_t j = 0; j < n; ++j) {
+      ok[j] &= ProbeBit(t.obj_words, t.obj_nwords, obj[j]);
+    }
+  }
+  if (t.agents != nullptr) {
+    const AgentId* agent = cols.agent_id.data() + begin;
+    for (size_t j = 0; j < n; ++j) {
+      ok[j] &= static_cast<uint8_t>(t.agents->Contains(agent[j]));
+    }
+  }
+  if (t.same_var) {
+    for (size_t j = 0; j < n; ++j) {
+      ok[j] &= static_cast<uint8_t>(subj[j] == obj[j]);
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (ok[j]) out->push_back(&events[begin + j]);
+  }
+}
+
+/// Scalar form of the complete predicate (op included), for the posting
+/// path (random rows, op trivially matches) and the governed boundary row.
+inline bool TestRow(const EventColumns& cols, const RowTest& t, size_t i) {
+  if (t.op_ok[static_cast<size_t>(cols.op[i])] == 0) return false;
+  if (static_cast<uint8_t>(cols.object_type[i]) != t.target_object_type) {
+    return false;
+  }
+  if (t.agents != nullptr && !t.agents->Contains(cols.agent_id[i])) {
+    return false;
+  }
+  EntityId subject = cols.subject[i];
+  EntityId object = cols.object[i];
+  if (t.subj_words != nullptr &&
+      ProbeBit(t.subj_words, t.subj_nwords, subject) == 0) {
+    return false;
+  }
+  if (t.obj_words != nullptr &&
+      ProbeBit(t.obj_words, t.obj_nwords, object) == 0) {
+    return false;
+  }
+  if (t.same_var && subject != object) return false;
+  return true;
+}
+
+/// Columnar batch driver under governance, replicating the legacy per-row
+/// loop's charge semantics exactly: rows charge in kCheckStride batches;
+/// the row that completes a stride is counted inspected, charged, and
+/// evaluated only if the charge succeeds. Stride boundaries are handled as
+/// chunk ends (kCheckStride % kScanBatch == 0 keeps them aligned), so
+/// inspected counts and outputs match the legacy loop bit for bit on
+/// deterministic (budget-driven) violations.
+uint64_t GovernedBatchScan(const EventColumns& cols,
+                           const std::vector<Event>& events, const RowTest& t,
+                           size_t row_begin, size_t row_end,
+                           std::vector<const Event*>* out, QueryContext* ctx) {
+  uint64_t inspected = 0;
+  uint64_t since_check = 0;
+  size_t i = row_begin;
+  while (i < row_end) {
+    // Mirrors the legacy loop's per-row stopped() early-out at chunk
+    // granularity: the stopping row counts as inspected, unevaluated.
+    if (ctx->stopped()) {
+      ++inspected;
+      ++since_check;
+      break;
+    }
+    uint64_t room = QueryContext::kCheckStride - since_check;
+    size_t limit = static_cast<size_t>(
+        std::min<uint64_t>(row_end - i, room));
+    bool hits_boundary = (static_cast<uint64_t>(limit) == room);
+    size_t eval_now = hits_boundary ? limit - 1 : limit;
+    for (size_t b = i; b < i + eval_now; b += kScanBatch) {
+      RunBatch(cols, events, t, b, std::min(kScanBatch, i + eval_now - b),
+               out);
+    }
+    inspected += eval_now;
+    since_check += eval_now;
+    i += eval_now;
+    if (hits_boundary) {
+      // The stride-completing row: inspected and charged before evaluation,
+      // evaluated only when the budget still holds (legacy keep_going()).
+      ++inspected;
+      ++since_check;
+      Status s = ctx->ChargeRows(since_check);
+      since_check = 0;
+      if (!s.ok()) return inspected;
+      if (TestRow(cols, t, i)) out->push_back(&events[i]);
+      ++i;
+    }
+  }
+  if (since_check > 0) ctx->ChargeRows(since_check);
+  if (i >= row_end) return row_end - row_begin;
+  return inspected;
+}
+
 }  // namespace
 
 uint64_t ScanPartition(const EventPartition& partition,
@@ -19,7 +198,7 @@ uint64_t ScanPartition(const EventPartition& partition,
                        const AgentFilterSet* agent_filter,
                        bool same_var_both_sides,
                        std::vector<const Event*>* out,
-                       QueryContext* ctx) {
+                       QueryContext* ctx, bool enable_batch_kernels) {
   const EventColumns& cols = partition.columns();
   const std::vector<Event>& events = partition.events();
 
@@ -51,8 +230,7 @@ uint64_t ScanPartition(const EventPartition& partition,
       if (!keep_going()) return flush_charge(inspected);
       if (!OpMaskContains(pattern.op_mask, event.op)) continue;
       if (event.object_type != pattern.object.type) continue;
-      if (agent_filter != nullptr &&
-          agent_filter->count(event.agent_id) == 0) {
+      if (agent_filter != nullptr && !agent_filter->Contains(event.agent_id)) {
         continue;
       }
       if (!FilterAccepts(pattern.subject, event.subject)) continue;
@@ -68,16 +246,27 @@ uint64_t ScanPartition(const EventPartition& partition,
   if (row_begin >= row_end) return 0;
   size_t range_rows = row_end - row_begin;
 
+  const RowTest row_test = MakeRowTest(pattern, agent_filter,
+                                       same_var_both_sides);
+
   // Every filter below reads columns only; the row store is touched once per
-  // match, to take the event's address.
-  auto test = [&](size_t i) {
+  // match, to take the event's address. The legacy lambda is kept verbatim
+  // for kernels-off runs (the oracle's differential baseline).
+  auto test_legacy = [&](size_t i) {
     if (cols.object_type[i] != pattern.object.type) return;
-    if (agent_filter != nullptr && agent_filter->count(cols.agent_id[i]) == 0)
+    if (agent_filter != nullptr && !agent_filter->Contains(cols.agent_id[i]))
       return;
     if (!FilterAccepts(pattern.subject, cols.subject[i])) return;
     if (!FilterAccepts(pattern.object, cols.object[i])) return;
     if (same_var_both_sides && cols.subject[i] != cols.object[i]) return;
     out->push_back(&events[i]);
+  };
+  auto test = [&](size_t i) {
+    if (enable_batch_kernels) {
+      if (TestRow(cols, row_test, i)) out->push_back(&events[i]);
+    } else {
+      test_legacy(i);
+    }
   };
 
   // Gather the time-clipped posting cursors for the ops in the mask; their
@@ -130,12 +319,26 @@ uint64_t ScanPartition(const EventPartition& partition,
     return flush_charge(posting_rows);
   }
 
+  if (enable_batch_kernels) {
+    if (ctx == nullptr) {
+      // Ungoverned hot path: straight-line batch kernels over the clipped
+      // row range; the time filter is the clip itself.
+      for (size_t b = row_begin; b < row_end; b += kScanBatch) {
+        RunBatch(cols, events, row_test, b,
+                 std::min(kScanBatch, row_end - b), out);
+      }
+      return range_rows;
+    }
+    return GovernedBatchScan(cols, events, row_test, row_begin, row_end, out,
+                             ctx);
+  }
+
   uint64_t inspected = 0;
   for (size_t i = row_begin; i < row_end; ++i) {
     ++inspected;
     if (!keep_going()) return flush_charge(inspected);
     if (!OpMaskContains(pattern.op_mask, cols.op[i])) continue;
-    test(i);
+    test_legacy(i);
   }
   return flush_charge(range_rows);
 }

@@ -8,25 +8,39 @@
 //     the per-operation posting lists (time-clipped via their zone maps),
 //     merging multiple lists in ascending index order;
 //   * columnar path — otherwise, walk the time-clipped row range over the
-//     structure-of-arrays columns, touching only the columns tested.
-// Both produce matches in ascending event-index order, identical to the
-// historical row scan.
+//     structure-of-arrays columns. With batch kernels enabled (the default)
+//     the walk runs kScanBatch rows at a time through branch-free mask
+//     passes: an op-acceptance table, an object-type compare, and raw-word
+//     candidate-bitset tests — every predicate a u32/u8 integer op the
+//     compiler can auto-vectorize. Kernels off falls back to the historical
+//     row-at-a-time loop (the oracle's differential baseline).
+// All strategies produce matches in ascending event-index order and charge
+// governance identically, so kernel-on and kernel-off runs are
+// pointer-identical.
 
 #ifndef AIQL_ENGINE_SCAN_H_
 #define AIQL_ENGINE_SCAN_H_
 
-#include <unordered_set>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/cancellation.h"
 #include "engine/data_query.h"
 #include "storage/partition.h"
 
 namespace aiql {
 
-/// Agent filter materialized once per query (O(1) membership instead of the
-/// O(|agents|) std::find the row scan used per event).
-using AgentFilterSet = std::unordered_set<AgentId>;
+/// Agent filter materialized once per query. A hybrid bitset (IdFilter):
+/// O(1) branch-light membership for the scan kernels, sorted-overflow
+/// fallback so hostile agent ids cannot force huge allocations.
+using AgentFilterSet = IdFilter;
+
+/// Rows per batch-kernel iteration. Divides QueryContext::kCheckStride so
+/// batch boundaries align with governance stride boundaries.
+inline constexpr size_t kScanBatch = 16;
+static_assert(QueryContext::kCheckStride % kScanBatch == 0,
+              "batch kernels replicate row-charge semantics at stride "
+              "boundaries; the stride must be batch-aligned");
 
 /// Scans `partition` for events matching `pattern` within `range` and
 /// appends pointers into `partition.events()` to `*out`. `agent_filter` may
@@ -37,13 +51,16 @@ using AgentFilterSet = std::unordered_set<AgentId>;
 /// `ctx` (optional) is charged one row per event inspected, at
 /// QueryContext::kCheckStride granularity; on a governance violation the
 /// scan stops early (partial `out`, partial count) and the caller observes
-/// the latched status via ctx->Check().
+/// the latched status via ctx->Check(). `enable_batch_kernels` selects the
+/// batch-at-a-time columnar kernels (EngineOptions::enable_batch_kernels);
+/// both settings produce identical output, inspected counts, and charges.
 uint64_t ScanPartition(const EventPartition& partition,
                        const CompiledPattern& pattern, const TimeRange& range,
                        const AgentFilterSet* agent_filter,
                        bool same_var_both_sides,
                        std::vector<const Event*>* out,
-                       QueryContext* ctx = nullptr);
+                       QueryContext* ctx = nullptr,
+                       bool enable_batch_kernels = true);
 
 }  // namespace aiql
 

@@ -322,13 +322,13 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
   }
 
   // Per-shard per-event agent re-check, only needed where partition
-  // selection cannot restrict agents (flat-storage ablation).
+  // selection cannot restrict agents (flat-storage ablation). The filter is
+  // a hybrid bitset, so the re-check is an id-compare, not a hash probe.
   std::vector<std::optional<AgentFilterSet>> agent_filters(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     if (analyzed.agent_filter.has_value() &&
         !views[s].options().enable_partitioning) {
-      agent_filters[s].emplace(analyzed.agent_filter->begin(),
-                               analyzed.agent_filter->end());
+      agent_filters[s].emplace(*analyzed.agent_filter);
     }
   }
 
@@ -460,7 +460,8 @@ Result<QueryResult> ShardedExecutor::ExecuteGathered(
       // so its scatter must not either (central re-run settles semantics).
       local_scanned[i] = ScanPartition(
           *fp.partition, compiled[fp.shard][p], ranges[p], agent_filter,
-          anomaly ? false : same_var_both_sides, &local[i], ctx);
+          anomaly ? false : same_var_both_sides, &local[i], ctx,
+          options_.enable_batch_kernels);
     };
     if (options_.enable_parallelism && pool_ != nullptr && flat.size() > 1) {
       if (ctx != nullptr) {

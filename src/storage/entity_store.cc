@@ -1,5 +1,8 @@
 #include "storage/entity_store.h"
 
+#include <algorithm>
+#include <bit>
+
 namespace aiql {
 
 namespace {
@@ -158,39 +161,99 @@ std::string EntityStore::EntityName(EntityType type, EntityId id) const {
   return "?";
 }
 
+const StringInterner& EntityStore::Dictionary(DictAttr attr) const {
+  switch (attr) {
+    case DictAttr::kExeName:
+      return exe_names_;
+    case DictAttr::kUser:
+      return users_;
+    case DictAttr::kPath:
+      return paths_;
+    case DictAttr::kDstIp:
+    case DictAttr::kSrcIp:
+      return ips_;
+    case DictAttr::kProtocol:
+      return protocols_;
+  }
+  return exe_names_;
+}
+
+std::shared_ptr<const DictionaryBitset> EntityStore::MatchDictionary(
+    DictAttr attr, const LikeMatcher& matcher) const {
+  switch (attr) {
+    case DictAttr::kExeName:
+      return exe_cache_.Match(exe_names_, matcher);
+    case DictAttr::kUser:
+      return user_cache_.Match(users_, matcher);
+    case DictAttr::kPath:
+      return path_cache_.Match(paths_, matcher);
+    case DictAttr::kDstIp:
+    case DictAttr::kSrcIp:
+      return ip_cache_.Match(ips_, matcher);
+    case DictAttr::kProtocol:
+      return protocol_cache_.Match(protocols_, matcher);
+  }
+  return nullptr;
+}
+
+void EntityStore::ExpandMatches(DictAttr attr, const DenseBitset& ids,
+                                std::vector<EntityId>* out) const {
+  const std::vector<std::vector<EntityId>>* postings = nullptr;
+  switch (attr) {
+    case DictAttr::kExeName:
+      postings = &procs_by_exe_;
+      break;
+    case DictAttr::kPath:
+      postings = &files_by_path_;
+      break;
+    case DictAttr::kDstIp:
+      postings = &nets_by_dst_;
+      break;
+    case DictAttr::kSrcIp:
+      postings = &nets_by_src_;
+      break;
+    case DictAttr::kUser:
+    case DictAttr::kProtocol:
+      return;  // no postings for these attrs
+  }
+  // Walk set words directly: the match bitset is usually sparse, so this
+  // touches one posting list per matching id, not one per dictionary entry.
+  const uint64_t* words = ids.words();
+  size_t limit = std::min(ids.num_words(), (postings->size() + 63) / 64);
+  for (size_t w = 0; w < limit; ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      size_t id = w * 64 + static_cast<size_t>(std::countr_zero(word));
+      word &= word - 1;
+      if (id >= postings->size()) return;  // ids only ascend from here
+      const std::vector<EntityId>& list = (*postings)[id];
+      out->insert(out->end(), list.begin(), list.end());
+    }
+  }
+}
+
 std::vector<EntityId> EntityStore::FindProcessesByExe(
     const LikeMatcher& matcher) const {
   std::vector<EntityId> out;
-  exe_names_.ForEach([&](StringId id, std::string_view text) {
-    if (id < procs_by_exe_.size() && matcher.Matches(text)) {
-      out.insert(out.end(), procs_by_exe_[id].begin(),
-                 procs_by_exe_[id].end());
-    }
-  });
+  auto match = MatchDictionary(DictAttr::kExeName, matcher);
+  ExpandMatches(DictAttr::kExeName, match->bits, &out);
   return out;
 }
 
 std::vector<EntityId> EntityStore::FindFilesByPath(
     const LikeMatcher& matcher) const {
   std::vector<EntityId> out;
-  paths_.ForEach([&](StringId id, std::string_view text) {
-    if (id < files_by_path_.size() && matcher.Matches(text)) {
-      out.insert(out.end(), files_by_path_[id].begin(),
-                 files_by_path_[id].end());
-    }
-  });
+  auto match = MatchDictionary(DictAttr::kPath, matcher);
+  ExpandMatches(DictAttr::kPath, match->bits, &out);
   return out;
 }
 
 std::vector<EntityId> EntityStore::FindNetworksByIp(const LikeMatcher& matcher,
                                                     bool use_src) const {
-  const auto& postings = use_src ? nets_by_src_ : nets_by_dst_;
   std::vector<EntityId> out;
-  ips_.ForEach([&](StringId id, std::string_view text) {
-    if (id < postings.size() && matcher.Matches(text)) {
-      out.insert(out.end(), postings[id].begin(), postings[id].end());
-    }
-  });
+  DictAttr attr = use_src ? DictAttr::kSrcIp : DictAttr::kDstIp;
+  auto match = MatchDictionary(attr, matcher);
+  ExpandMatches(attr, match->bits, &out);
   return out;
 }
 

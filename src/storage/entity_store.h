@@ -11,6 +11,7 @@
 #define AIQL_STORAGE_ENTITY_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +20,17 @@
 #include "storage/data_model.h"
 
 namespace aiql {
+
+/// The interned string-attribute dictionaries an entity predicate can
+/// target. kDstIp/kSrcIp share one ip dictionary (their postings differ).
+enum class DictAttr : uint8_t {
+  kExeName,
+  kUser,
+  kPath,
+  kDstIp,
+  kSrcIp,
+  kProtocol,
+};
 
 /// Append-only, deduplicated store of all entities seen during ingestion.
 /// Single-writer during ingestion; read-only (thread-safe) afterwards.
@@ -73,6 +85,23 @@ class EntityStore {
   const StringInterner& paths() const { return paths_; }
   const StringInterner& ips() const { return ips_; }
   const StringInterner& protocols() const { return protocols_; }
+
+  /// The dictionary behind one interned attribute.
+  const StringInterner& Dictionary(DictAttr attr) const;
+
+  /// StringIds in `attr`'s dictionary matching `matcher` — evaluated once
+  /// per (dictionary, pattern) and cached across queries with a version tag,
+  /// so streaming appends only re-match the dictionary's new tail. Safe on a
+  /// shared view (the cache is internally synchronized; the dictionary
+  /// itself is stable while any view is open).
+  std::shared_ptr<const DictionaryBitset> MatchDictionary(
+      DictAttr attr, const LikeMatcher& matcher) const;
+
+  /// Appends to `out` the entity ids whose `attr` value id is set in `ids`,
+  /// expanded through the attribute postings. Only valid for postings-backed
+  /// attrs (kExeName, kPath, kDstIp, kSrcIp).
+  void ExpandMatches(DictAttr attr, const DenseBitset& ids,
+                     std::vector<EntityId>* out) const;
 
   size_t NumEntities(EntityType type) const;
 
@@ -162,6 +191,14 @@ class EntityStore {
   std::vector<std::vector<EntityId>> files_by_path_;  // index: path StringId
   std::vector<std::vector<EntityId>> nets_by_dst_;    // index: ip StringId
   std::vector<std::vector<EntityId>> nets_by_src_;    // index: ip StringId
+
+  // Predicate-vs-dictionary caches, one per dictionary (kDstIp/kSrcIp share
+  // ips_cache_). Mutable: queries populate them through const views.
+  mutable DictionaryMatchCache exe_cache_;
+  mutable DictionaryMatchCache user_cache_;
+  mutable DictionaryMatchCache path_cache_;
+  mutable DictionaryMatchCache ip_cache_;
+  mutable DictionaryMatchCache protocol_cache_;
 };
 
 }  // namespace aiql

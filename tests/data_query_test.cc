@@ -143,6 +143,63 @@ TEST_F(CompileTest, FileObjectCandidates) {
   EXPECT_EQ(patterns[0].object.candidates->Count(), 3u);
 }
 
+TEST_F(CompileTest, StringPredicatesCompileToDictionaryIdSets) {
+  auto patterns = Compile("proc p[\"%alpha%\"] write file f return p");
+  const auto& preds = patterns[0].subject.predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  ASSERT_TRUE(preds[0].dict_attr.has_value());
+  EXPECT_EQ(*preds[0].dict_attr, DictAttr::kExeName);
+  ASSERT_NE(preds[0].matched_ids, nullptr);
+  // One distinct exe string matches %alpha%; the set is current.
+  EXPECT_EQ(preds[0].matched_ids->bits.Count(), 1u);
+  EXPECT_EQ(preds[0].matched_ids->version,
+            db_->entities().exe_names().version());
+}
+
+TEST_F(CompileTest, NegatedPredicateStoresPositiveSenseIdSet) {
+  auto patterns = Compile(
+      "proc p[exe_name != \"C:\\\\apps\\\\alpha.exe\"] write file f "
+      "return p");
+  const auto& preds = patterns[0].subject.predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  ASSERT_NE(preds[0].matched_ids, nullptr);
+  // matched_ids holds what the matcher MATCHES (alpha); kNe inverts at eval.
+  EXPECT_EQ(preds[0].matched_ids->bits.Count(), 1u);
+  EXPECT_EQ(patterns[0].subject.candidates->Count(), 2u);  // beta + gamma
+}
+
+TEST_F(CompileTest, NonPostingsAttrIdSetsStillEvaluate) {
+  // `user` has a dictionary but no postings index: the predicate compiles
+  // to an id set and per-entity evaluation uses it, even though candidates
+  // cannot be seeded from an index expansion.
+  auto patterns = Compile("proc p[user = \"alice\"] write file f return p");
+  const EntityFilter& filter = patterns[0].subject;
+  ASSERT_EQ(filter.predicates.size(), 1u);
+  ASSERT_NE(filter.predicates[0].matched_ids, nullptr);
+  EXPECT_EQ(*filter.predicates[0].dict_attr, DictAttr::kUser);
+  const EntityStore& store = db_->entities();
+  int matched = 0;
+  for (EntityId id = 0; id < store.processes().size(); ++id) {
+    if (EntityMatchesPredicates(store, EntityType::kProcess, id,
+                                filter.predicates)) {
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, 2);  // the two alice-owned processes
+}
+
+TEST_F(CompileTest, IntInOperandsSortedAndDeduplicated) {
+  auto patterns = Compile(
+      "proc p[pid in (13, 10, 13, 10)] write file f return p");
+  const auto& preds = patterns[0].subject.predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].kind, AttrKind::kInt);
+  // Compile sorts + dedups so evaluation can binary-search.
+  EXPECT_EQ(preds[0].ints, (std::vector<int64_t>{10, 13}));
+  ASSERT_TRUE(patterns[0].subject.candidates.has_value());
+  EXPECT_EQ(patterns[0].subject.candidates->Count(), 2u);
+}
+
 TEST_F(CompileTest, EntityMatchesPredicatesAgreesWithCandidates) {
   auto patterns = Compile("proc p[\"%alpha%\"] write file f return p");
   const EntityFilter& filter = patterns[0].subject;

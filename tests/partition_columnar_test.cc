@@ -292,7 +292,7 @@ TEST(ZeroCopyScanTest, AgentFilterRestrictsMatches) {
   AuditDatabase db = MixedDatabase();
   CompiledPattern pattern =
       PatternFor(static_cast<OpMask>(0x1FF), EntityType::kFile);
-  AgentFilterSet only_agent2{2};
+  AgentFilterSet only_agent2{std::vector<AgentId>{2}};
   for (const auto& [key, partition] : db.partitions()) {
     std::vector<const Event*> out;
     ScanPartition(*partition, pattern, TimeRange{INT64_MIN, INT64_MAX},
