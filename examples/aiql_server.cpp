@@ -1,0 +1,181 @@
+// aiql_server — the long-lived AIQL query server (docs/server-protocol.md):
+// loads the demo enterprise scenario, optionally shards it by agent range,
+// and serves concurrent client sessions over TCP. Connect with
+// `aiql_shell` and its `connect <host:port>` command.
+//
+//   $ ./build/examples/aiql_server --port 7447 --shards 4
+//   listening on 127.0.0.1:7447
+//
+// Flags (all optional):
+//   --host <addr>        bind address          (default 127.0.0.1)
+//   --port <n>           TCP port, 0=ephemeral (default 0)
+//   --shards <n>         agent-range shards, 0=single database (default 4)
+//   --rate <x>           scenario events per host per hour
+//   --max-sessions <n>   concurrent session cap
+//   --max-queries <n>    queries executing at once
+//   --queue <n>          admission queue depth behind the running queries
+//   --queue-wait-ms <n>  longest a queued query waits for a slot
+//   --timeout-ms <n>     initial per-session query deadline (0 = none)
+//
+// The server runs until stdin reaches EOF or reads a line saying "quit",
+// then shuts down cleanly and prints its counters. Exit code 0 on a clean
+// shutdown, 1 on startup failure.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_utils.h"
+#include "server/aiql_server.h"
+#include "simulator/scenario.h"
+#include "storage/shard_map.h"
+
+using namespace aiql;
+
+namespace {
+
+struct ServerArgs {
+  ServerOptions server;
+  size_t num_shards = 4;
+  double rate = -1.0;  // < 0 = scenario default
+};
+
+bool ParseArgs(int argc, char** argv, ServerArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' expects a value\n", flag.c_str());
+      return false;
+    }
+    std::string value = argv[++i];
+    if (flag == "--host") {
+      args->server.host = value;
+      continue;
+    }
+    if (flag == "--rate") {
+      auto rate = ParseDouble(value);
+      if (!rate.ok() || *rate <= 0.0) {
+        std::fprintf(stderr, "--rate expects a positive number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      args->rate = *rate;
+      continue;
+    }
+    auto number = ParseInt64(value);
+    if (!number.ok() || *number < 0) {
+      std::fprintf(stderr, "%s expects a non-negative integer: %s\n",
+                   flag.c_str(), number.ok()
+                                     ? "negative value"
+                                     : number.status().ToString().c_str());
+      return false;
+    }
+    if (flag == "--port" && *number <= 65535) {
+      args->server.port = static_cast<uint16_t>(*number);
+    } else if (flag == "--shards" && *number <= 64) {
+      args->num_shards = static_cast<size_t>(*number);
+    } else if (flag == "--max-sessions" && *number >= 1) {
+      args->server.max_sessions = static_cast<size_t>(*number);
+    } else if (flag == "--max-queries" && *number >= 1) {
+      args->server.max_concurrent_queries = static_cast<size_t>(*number);
+    } else if (flag == "--queue") {
+      args->server.admission_queue_depth = static_cast<size_t>(*number);
+    } else if (flag == "--queue-wait-ms") {
+      args->server.admission_wait = std::chrono::milliseconds(*number);
+    } else if (flag == "--timeout-ms") {
+      args->server.session_limits.timeout = std::chrono::milliseconds(*number);
+    } else {
+      std::fprintf(stderr, "unknown or out-of-range flag '%s %s'\n",
+                   flag.c_str(), value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerArgs args;
+  if (!ParseArgs(argc, argv, &args)) return 1;
+
+  std::fprintf(stderr, "loading the demo enterprise scenario...\n");
+  ScenarioOptions scenario;
+  scenario.num_clients = 4;
+  if (args.rate > 0.0) scenario.events_per_host_per_hour = args.rate;
+  DemoScenarioData data = GenerateDemoScenario(scenario);
+
+  // Backends: a single database always (so sessions can `shards off`), and
+  // a shard map when --shards > 0.
+  auto db = IngestRecords(data.records, StorageOptions{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::unique_ptr<AuditDatabase>> shard_dbs;
+  ShardMap shard_map;
+  bool have_shards = false;
+  if (args.num_shards > 0) {
+    AgentId min_agent = UINT32_MAX, max_agent = 0;
+    for (const EventRecord& record : data.records) {
+      min_agent = std::min(min_agent, record.agent_id);
+      max_agent = std::max(max_agent, record.agent_id);
+    }
+    auto ranges = EvenAgentRanges(args.num_shards, min_agent, max_agent);
+    auto routed = RouteRecordsByAgent(ranges, data.records);
+    if (!routed.ok()) {
+      std::fprintf(stderr, "%s\n", routed.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      auto shard_db = IngestRecords((*routed)[s], StorageOptions{});
+      if (!shard_db.ok()) {
+        std::fprintf(stderr, "shard %zu ingest failed: %s\n", s,
+                     shard_db.status().ToString().c_str());
+        return 1;
+      }
+      shard_dbs.push_back(
+          std::make_unique<AuditDatabase>(std::move(*shard_db)));
+      Status added = shard_map.AddShard(shard_dbs.back().get(), ranges[s]);
+      if (!added.ok()) {
+        std::fprintf(stderr, "%s\n", added.ToString().c_str());
+        return 1;
+      }
+    }
+    have_shards = true;
+  }
+
+  AiqlServer server(&*db, have_shards ? &shard_map : nullptr, args.server);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The smoke harness scrapes this exact line for the bound port.
+  std::printf("listening on %s:%u\n", args.server.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (std::string(TrimString(line)) == "quit") break;
+  }
+  server.Stop();
+  ServerCounters counters = server.stats();
+  std::printf("shutdown: %llu sessions (%llu refused), %llu queries ok, "
+              "%llu failed, %llu rejected by admission, %llu tracks, "
+              "%llu bad frames\n",
+              static_cast<unsigned long long>(counters.sessions_accepted),
+              static_cast<unsigned long long>(counters.sessions_rejected),
+              static_cast<unsigned long long>(counters.queries_executed),
+              static_cast<unsigned long long>(counters.queries_failed),
+              static_cast<unsigned long long>(counters.queries_rejected),
+              static_cast<unsigned long long>(counters.tracks_executed),
+              static_cast<unsigned long long>(counters.frames_rejected));
+  return 0;
+}

@@ -23,6 +23,11 @@
 //                      per-query budgets (kResourceExhausted on breach)
 //   partial on|off     degraded sharded execution: drop failed/slow shards
 //                      and return annotated partial results (off = strict)
+//   connect <host:port>  attach to a running aiql_server: queries, track,
+//                      .stats/.check/.explain and the timeout/budget/
+//                      partial/shards options all run server-side over the
+//                      wire protocol until 'disconnect'
+//   disconnect         back to the local in-process engine
 //   .quit              exit
 //
 // Exits nonzero when any query, track, or check failed — scripts piping
@@ -46,12 +51,14 @@
 #include <string>
 #include <vector>
 
+#include "common/net.h"
 #include "common/string_utils.h"
 #include "common/table_printer.h"
 #include "engine/aiql_engine.h"
 #include "graph/cypher_gen.h"
 #include "graph/graph_store.h"
 #include "query/parser.h"
+#include "server/protocol.h"
 #include "simulator/scenario.h"
 #include "sql/translator.h"
 #include "storage/shard_map.h"
@@ -178,16 +185,23 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// `track backward file "%db.bak%" [at "..."] [depth N] [fanout N]
-///  [nodes N] [hop N unit] [dot|cypher]`
-///
-/// `name_of` renders a node's display name (per-shard stores in sharded
-/// mode); `export_store` backs the dot/cypher exporters and is null in
-/// sharded mode (node ids span several stores there). Returns false on
-/// failure (shell exit code).
-bool RunTrack(AiqlEngine* engine,
-              const std::function<std::string(const ProvenanceNode&)>& name_of,
-              const EntityStore* export_store, const std::string& args) {
+/// Bounded positive integer through the shared checked parser: trailing
+/// garbage and out-of-range saturation (strtoll's silent LLONG_MAX on
+/// ERANGE) are both rejections, not values.
+bool ParsePositiveInt(const std::string& text, int64_t* out) {
+  auto parsed = ParseInt64(text);
+  if (!parsed.ok() || *parsed <= 0 || *parsed > 1000000000000LL) {
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// Parses `track backward file "%db.bak%" [at "..."] [depth N] [fanout N]
+/// [nodes N] [hop N unit] [dot|cypher]` into a TrackCommand that executes
+/// identically against the local engine or a connected server. Returns
+/// false (after printing the problem) on a malformed command.
+bool ParseTrackCommand(const std::string& args, TrackCommand* command) {
   std::vector<std::string> tokens = TokenizeTrack(args);
   if (tokens.size() < 3) {
     std::printf("usage: track backward|forward proc|file|ip \"<like>\" "
@@ -195,7 +209,7 @@ bool RunTrack(AiqlEngine* engine,
                 "[hop <N> <sec|min|hour>] [dot|cypher]\n");
     return false;
   }
-  TrackRequest request;
+  TrackRequest& request = command->request;
   std::string direction = ToLower(tokens[0]);
   if (direction == "backward") {
     request.options.backward = true;
@@ -220,21 +234,15 @@ bool RunTrack(AiqlEngine* engine,
   }
   request.name_like = tokens[2];
 
-  bool want_dot = false, want_cypher = false;
   for (size_t i = 3; i < tokens.size(); ++i) {
     std::string key = ToLower(tokens[i]);
     // Parses the next token as a bounded positive integer without
     // consuming it on failure, so error messages name the right option.
     auto next_int = [&](int64_t* out) {
-      if (i + 1 >= tokens.size()) return false;
-      char* end = nullptr;
-      long long value = std::strtoll(tokens[i + 1].c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || value <= 0 ||
-          value > 1000000000000LL) {
+      if (i + 1 >= tokens.size() || !ParsePositiveInt(tokens[i + 1], out)) {
         return false;
       }
       ++i;
-      *out = value;
       return true;
     };
     int64_t value = 0;
@@ -282,14 +290,27 @@ bool RunTrack(AiqlEngine* engine,
       }
       request.options.hop_window = value * scale;
     } else if (key == "dot") {
-      want_dot = true;
+      command->want_dot = true;
     } else if (key == "cypher") {
-      want_cypher = true;
+      command->want_cypher = true;
     } else {
       std::printf("!! unknown track option '%s'\n", tokens[i].c_str());
       return false;
     }
   }
+  return true;
+}
+
+/// Runs a parsed track command against the local engine. `name_of` renders
+/// a node's display name (per-shard stores in sharded mode);
+/// `export_store` backs the dot/cypher exporters and is null in sharded
+/// mode (node ids span several stores there). Returns false on failure
+/// (shell exit code).
+bool RunTrack(AiqlEngine* engine,
+              const std::function<std::string(const ProvenanceNode&)>& name_of,
+              const EntityStore* export_store, const TrackCommand& command) {
+  const TrackRequest& request = command.request;
+  bool want_dot = command.want_dot, want_cypher = command.want_cypher;
 
   auto start = std::chrono::steady_clock::now();
   auto result = engine->Track(request);
@@ -384,6 +405,106 @@ bool Execute(AiqlEngine* engine, const std::string& query) {
   return true;
 }
 
+/// One attached aiql_server session (the `connect` command). Strictly
+/// synchronous: every call writes one request frame and reads exactly one
+/// response frame.
+struct RemoteClient {
+  Connection conn;
+  std::string endpoint;
+
+  Result<Response> Call(const std::string& frame) {
+    AIQL_RETURN_IF_ERROR(conn.WriteFrame(frame));
+    AIQL_ASSIGN_OR_RETURN(std::string reply, conn.ReadFrame());
+    return DecodeResponse(reply);
+  }
+};
+
+void PrintTextBlock(const std::string& text) {
+  std::printf("%s", text.c_str());
+  if (text.empty() || text.back() != '\n') std::printf("\n");
+}
+
+/// Renders one server response the way the matching local command would.
+/// Returns false for error responses (shell exit code).
+bool RenderResponse(const Response& response, double elapsed_ms) {
+  switch (response.type) {
+    case MsgType::kError:
+      std::printf("!! %s (after %.1f ms)\n",
+                  response.error.ToString().c_str(), elapsed_ms);
+      return false;
+    case MsgType::kQueryOk: {
+      const QueryReply& reply = response.query;
+      std::printf("%s", reply.table.ToString(40).c_str());
+      std::printf("-- %zu rows in %s (parse %s, plan %s, exec %s); "
+                  "%llu events scanned on %llu partitions, %d threads; "
+                  "round-trip %.1f ms\n",
+                  reply.table.num_rows(),
+                  FormatDuration(reply.stats.total_time()).c_str(),
+                  FormatDuration(reply.stats.parse_time).c_str(),
+                  FormatDuration(reply.stats.plan_time).c_str(),
+                  FormatDuration(reply.stats.exec_time).c_str(),
+                  static_cast<unsigned long long>(
+                      reply.stats.events_scanned),
+                  static_cast<unsigned long long>(
+                      reply.stats.partitions_scanned),
+                  reply.stats.threads_used, elapsed_ms);
+      if (!reply.degraded.empty()) {
+        std::printf("-- %s\n", reply.degraded.c_str());
+      }
+      return true;
+    }
+    case MsgType::kTrackOk: {
+      const TrackReply& reply = response.track;
+      if (!reply.text.empty()) {
+        std::printf("%s", reply.text.c_str());
+        return true;
+      }
+      std::printf("%s",
+                  reply.table.ToString(
+                      std::max<size_t>(reply.table.num_rows(), 1)).c_str());
+      PrintTextBlock(reply.summary);
+      std::printf("-- round-trip %.1f ms\n", elapsed_ms);
+      return true;
+    }
+    case MsgType::kCheckOk:
+      std::printf("ok: valid %s query\n", response.text.c_str());
+      return true;
+    case MsgType::kExplainOk:
+    case MsgType::kOptionOk:
+    case MsgType::kStatsOk:
+      PrintTextBlock(response.text);
+      return true;
+    case MsgType::kHelloOk:
+      std::printf("connected: %s\n", response.text.c_str());
+      return true;
+    case MsgType::kPong:
+      std::printf("pong\n");
+      return true;
+    default:
+      std::printf("!! unexpected response type %d\n",
+                  static_cast<int>(response.type));
+      return false;
+  }
+}
+
+/// Round-trips one request frame and renders the reply. A transport or
+/// protocol failure (as opposed to a server-reported error, which keeps
+/// the session) drops back to the local engine.
+bool RemoteCall(std::unique_ptr<RemoteClient>* remote,
+                const std::string& frame) {
+  auto start = std::chrono::steady_clock::now();
+  auto response = (*remote)->Call(frame);
+  double elapsed_ms = ElapsedMs(start);
+  if (!response.ok()) {
+    std::printf("!! %s; disconnected from %s\n",
+                response.status().ToString().c_str(),
+                (*remote)->endpoint.c_str());
+    remote->reset();
+    return false;
+  }
+  return RenderResponse(*response, elapsed_ms);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -411,6 +532,7 @@ int main(int argc, char** argv) {
   // re-applies these options; all-zero limits keep the ungoverned path.
   EngineOptions engine_options;
   std::unique_ptr<ShardedSetup> sharded;  // null = single-database mode
+  std::unique_ptr<RemoteClient> remote;   // non-null = attached to a server
   auto engine = std::make_unique<AiqlEngine>(&*db, engine_options);
   auto rebuild_engine = [&] {
     engine = sharded != nullptr
@@ -442,55 +564,114 @@ int main(int argc, char** argv) {
                   "[hop <N> <sec|min|hour>] [dot|cypher]\n");
       std::printf("timeout <ms>|off | budget rows|nodes|bytes <n> | "
                   "budget off | partial on|off\n");
+      std::printf("connect <host:port> | disconnect   (run against a "
+                  "remote aiql_server)\n");
+      continue;
+    }
+    if (StartsWith(trimmed, "connect ")) {
+      std::string endpoint(TrimString(trimmed.substr(std::strlen("connect"))));
+      size_t colon = endpoint.rfind(':');
+      int64_t port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !ParsePositiveInt(endpoint.substr(colon + 1), &port) ||
+          port > 65535) {
+        std::printf("!! usage: connect <host:port>\n");
+        had_error = true;
+        continue;
+      }
+      auto conn = ConnectTo(endpoint.substr(0, colon),
+                            static_cast<uint16_t>(port));
+      if (!conn.ok()) {
+        std::printf("!! %s\n", conn.status().ToString().c_str());
+        had_error = true;
+        continue;
+      }
+      auto client = std::make_unique<RemoteClient>();
+      client->conn = std::move(*conn);
+      client->endpoint = endpoint;
+      remote = std::move(client);
+      if (!RemoteCall(&remote, EncodeHello())) had_error = true;
+      continue;
+    }
+    if (trimmed == "disconnect") {
+      if (remote != nullptr) {
+        std::printf("disconnected from %s; back to the local engine\n",
+                    remote->endpoint.c_str());
+        remote.reset();
+      } else {
+        std::printf("not connected\n");
+      }
       continue;
     }
     if (StartsWith(trimmed, "track ")) {
-      if (!RunTrack(engine.get(), name_of,
-                    sharded != nullptr ? nullptr : &db->entities(),
-                    trimmed.substr(std::strlen("track ")))) {
+      TrackCommand command;
+      if (!ParseTrackCommand(trimmed.substr(std::strlen("track ")),
+                             &command)) {
+        had_error = true;
+      } else if (remote != nullptr) {
+        if (!RemoteCall(&remote, EncodeTrack(command))) had_error = true;
+      } else if (!RunTrack(engine.get(), name_of,
+                           sharded != nullptr ? nullptr : &db->entities(),
+                           command)) {
         had_error = true;
       }
       continue;
     }
     if (trimmed == "timeout" || StartsWith(trimmed, "timeout ")) {
       std::string arg(TrimString(trimmed.substr(std::strlen("timeout"))));
-      if (ToLower(arg) == "off") {
-        engine_options.default_limits.timeout = std::chrono::milliseconds(0);
-        rebuild_engine();
-        std::printf("deadline off\n");
-        continue;
-      }
-      char* end = nullptr;
-      long long ms = std::strtoll(arg.c_str(), &end, 10);
-      if (arg.empty() || end == nullptr || *end != '\0' || ms <= 0) {
+      int64_t ms = 0;
+      bool off = ToLower(arg) == "off";
+      if (!off && !ParsePositiveInt(arg, &ms)) {
         std::printf("!! 'timeout' expects a positive millisecond count or "
                     "'off'\n");
         continue;
       }
+      if (remote != nullptr) {
+        if (!RemoteCall(&remote, EncodeSetOption("timeout_ms", arg))) {
+          had_error = true;
+        }
+        continue;
+      }
       engine_options.default_limits.timeout = std::chrono::milliseconds(ms);
       rebuild_engine();
-      std::printf("deadline %lld ms per query\n", ms);
+      if (off) {
+        std::printf("deadline off\n");
+      } else {
+        std::printf("deadline %lld ms per query\n",
+                    static_cast<long long>(ms));
+      }
       continue;
     }
     if (trimmed == "budget" || StartsWith(trimmed, "budget ")) {
       std::vector<std::string> args =
           TokenizeTrack(trimmed.substr(std::strlen("budget")));
-      QueryLimits& limits = engine_options.default_limits;
       if (args.size() == 1 && ToLower(args[0]) == "off") {
+        if (remote != nullptr) {
+          if (!RemoteCall(&remote, EncodeSetOption("budget_off", ""))) {
+            had_error = true;
+          }
+          continue;
+        }
+        QueryLimits& limits = engine_options.default_limits;
         limits.max_rows = limits.max_nodes = limits.max_bytes = 0;
         rebuild_engine();
         std::printf("budgets off\n");
         continue;
       }
-      char* end = nullptr;
-      long long value =
-          args.size() == 2 ? std::strtoll(args[1].c_str(), &end, 10) : 0;
+      int64_t value = 0;
       std::string kind = args.empty() ? "" : ToLower(args[0]);
-      if (args.size() != 2 || end == nullptr || *end != '\0' || value <= 0 ||
+      if (args.size() != 2 || !ParsePositiveInt(args[1], &value) ||
           (kind != "rows" && kind != "nodes" && kind != "bytes")) {
         std::printf("!! usage: budget rows|nodes|bytes <n> | budget off\n");
         continue;
       }
+      if (remote != nullptr) {
+        if (!RemoteCall(&remote, EncodeSetOption(kind, args[1]))) {
+          had_error = true;
+        }
+        continue;
+      }
+      QueryLimits& limits = engine_options.default_limits;
       if (kind == "rows") {
         limits.max_rows = static_cast<uint64_t>(value);
       } else if (kind == "nodes") {
@@ -499,7 +680,8 @@ int main(int argc, char** argv) {
         limits.max_bytes = static_cast<uint64_t>(value);
       }
       rebuild_engine();
-      std::printf("budget: %s <= %lld per query\n", kind.c_str(), value);
+      std::printf("budget: %s <= %lld per query\n", kind.c_str(),
+                  static_cast<long long>(value));
       continue;
     }
     if (trimmed == "partial" || StartsWith(trimmed, "partial ")) {
@@ -507,6 +689,12 @@ int main(int argc, char** argv) {
           ToLower(TrimString(trimmed.substr(std::strlen("partial")))));
       if (arg != "on" && arg != "off") {
         std::printf("!! usage: partial on|off\n");
+        continue;
+      }
+      if (remote != nullptr) {
+        if (!RemoteCall(&remote, EncodeSetOption("partial", arg))) {
+          had_error = true;
+        }
         continue;
       }
       engine_options.shard_policy =
@@ -519,6 +707,14 @@ int main(int argc, char** argv) {
     }
     if (trimmed == "shards" || StartsWith(trimmed, "shards ")) {
       std::string arg(TrimString(trimmed.substr(std::strlen("shards"))));
+      if (remote != nullptr) {
+        // The server's shard layout is fixed; sessions only toggle between
+        // it and the single database.
+        if (!RemoteCall(&remote, EncodeSetOption("shards", arg))) {
+          had_error = true;
+        }
+        continue;
+      }
       if (arg.empty()) {
         if (sharded != nullptr) {
           PrintShardInfo(*sharded);
@@ -533,9 +729,8 @@ int main(int argc, char** argv) {
         std::printf("back to single-database mode\n");
         continue;
       }
-      char* end = nullptr;
-      long value = std::strtol(arg.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || value < 1 || value > 64) {
+      int64_t value = 0;
+      if (!ParsePositiveInt(arg, &value) || value > 64) {
         std::printf("!! 'shards' expects a count in [1, 64] or 'off'\n");
         continue;
       }
@@ -547,6 +742,12 @@ int main(int argc, char** argv) {
       continue;
     }
     if (trimmed == ".stats") {
+      if (remote != nullptr) {
+        if (!RemoteCall(&remote, EncodeBare(MsgType::kStats))) {
+          had_error = true;
+        }
+        continue;
+      }
       PrintStats(*db);
       if (sharded != nullptr) PrintShardInfo(*sharded);
       continue;
@@ -555,6 +756,13 @@ int main(int argc, char** argv) {
       return std::string(TrimString(trimmed.substr(std::strlen(cmd))));
     };
     if (StartsWith(trimmed, ".check ")) {
+      if (remote != nullptr) {
+        if (!RemoteCall(&remote, EncodeTextRequest(MsgType::kCheck,
+                                                   run_sub(".check ")))) {
+          had_error = true;
+        }
+        continue;
+      }
       auto kind = engine->Check(run_sub(".check "));
       if (kind.ok()) {
         std::printf("ok: valid %s query\n", QueryKindToString(*kind));
@@ -565,6 +773,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (StartsWith(trimmed, ".explain ")) {
+      if (remote != nullptr) {
+        if (!RemoteCall(&remote, EncodeTextRequest(MsgType::kExplain,
+                                                   run_sub(".explain ")))) {
+          had_error = true;
+        }
+        continue;
+      }
       auto plan = engine->Explain(run_sub(".explain "));
       if (!plan.ok()) had_error = true;
       std::printf("%s\n", plan.ok() ? plan->c_str()
@@ -605,7 +820,13 @@ int main(int argc, char** argv) {
       if (TrimString(more).empty()) break;
       query += "\n" + more;
     }
-    if (!Execute(engine.get(), query)) had_error = true;
+    if (remote != nullptr) {
+      if (!RemoteCall(&remote, EncodeTextRequest(MsgType::kQuery, query))) {
+        had_error = true;
+      }
+    } else if (!Execute(engine.get(), query)) {
+      had_error = true;
+    }
   }
   std::printf("bye\n");
   return had_error ? 2 : 0;

@@ -8,10 +8,12 @@
 #include <mutex>
 
 #include "common/cancellation.h"
+#include "common/string_utils.h"
 
 namespace aiql {
 
 std::atomic<int> Failpoint::active_count_{0};
+std::atomic<bool> Failpoint::env_checked_{false};
 
 namespace {
 
@@ -85,7 +87,15 @@ Status ParseEntry(const std::string& entry, std::string* name,
                           ParseCodeName(rest.substr(6, rest.size() - 7)));
   } else if (rest.rfind("latency(", 0) == 0 && rest.back() == ')') {
     spec->action = FailpointAction::kInjectLatency;
-    spec->latency_us = std::strtoull(rest.substr(8).c_str(), nullptr, 10);
+    // Strict parse: `latency(abc)` must fail loudly, not arm a 0us sleep —
+    // a typo'd AIQL_FAILPOINTS would otherwise run with no injection.
+    auto us = ParseUint64(rest.substr(8, rest.size() - 9));
+    if (!us.ok()) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' has a bad latency: " +
+                                     us.status().message());
+    }
+    spec->latency_us = *us;
   } else if (rest == "corrupt") {
     spec->action = FailpointAction::kCorruptRead;
   } else {
@@ -93,18 +103,44 @@ Status ParseEntry(const std::string& entry, std::string* name,
                                    "' has unknown action '" + rest + "'");
   }
   for (const std::string& mod : mods) {
+    // Numeric modifier payloads are parsed strictly: every digit must be
+    // consumed and the value must be in range, so `@arg1x` or `@nth` with
+    // a saturating count is a configuration error, not a silent no-op.
+    auto bad_mod = [&](const Status& why) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' has a bad modifier '@" + mod +
+                                     "': " + why.message());
+    };
     if (mod.rfind("arg", 0) == 0) {
-      spec->arg_filter = std::strtoll(mod.substr(3).c_str(), nullptr, 10);
+      auto arg = ParseInt64(mod.substr(3));
+      if (!arg.ok()) return bad_mod(arg.status());
+      if (*arg < 0) {
+        return bad_mod(Status::InvalidArgument("arg filter must be >= 0"));
+      }
+      spec->arg_filter = *arg;
     } else if (mod.rfind("p", 0) == 0 && mod.size() > 1 &&
                (std::isdigit(static_cast<unsigned char>(mod[1])) ||
                 mod[1] == '.')) {
-      spec->probability = std::strtod(mod.substr(1).c_str(), nullptr);
+      auto probability = ParseDouble(mod.substr(1));
+      if (!probability.ok()) return bad_mod(probability.status());
+      if (*probability < 0.0 || *probability > 1.0) {
+        return bad_mod(
+            Status::InvalidArgument("probability must be in [0, 1]"));
+      }
+      spec->probability = *probability;
     } else if (mod.rfind("nth", 0) == 0) {
-      spec->nth = std::strtoull(mod.substr(3).c_str(), nullptr, 10);
+      auto nth = ParseUint64(mod.substr(3));
+      if (!nth.ok()) return bad_mod(nth.status());
+      if (*nth == 0) {
+        return bad_mod(Status::InvalidArgument("hit counts are 1-based"));
+      }
+      spec->nth = *nth;
     } else if (mod == "once") {
       spec->once = true;
     } else if (mod.rfind("seed", 0) == 0) {
-      spec->seed = std::strtoull(mod.substr(4).c_str(), nullptr, 10);
+      auto seed = ParseUint64(mod.substr(4));
+      if (!seed.ok()) return bad_mod(seed.status());
+      spec->seed = *seed;
     } else {
       return Status::InvalidArgument("failpoint entry '" + entry +
                                      "' has unknown modifier '@" + mod + "'");
@@ -200,16 +236,21 @@ void Failpoint::InitFromEnv() {
   Registry& registry = GetRegistry();
   {
     std::lock_guard<std::mutex> lock(registry.mu);
-    if (registry.env_loaded) return;
+    if (registry.env_loaded) {
+      env_checked_.store(true, std::memory_order_release);
+      return;
+    }
     registry.env_loaded = true;
   }
   const char* env = std::getenv("AIQL_FAILPOINTS");
-  if (env == nullptr || env[0] == '\0') return;
-  Status configured = Configure(env);
-  if (!configured.ok()) {
-    std::fprintf(stderr, "AIQL_FAILPOINTS ignored: %s\n",
-                 configured.ToString().c_str());
+  if (env != nullptr && env[0] != '\0') {
+    Status configured = Configure(env);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "AIQL_FAILPOINTS ignored: %s\n",
+                   configured.ToString().c_str());
+    }
   }
+  env_checked_.store(true, std::memory_order_release);
 }
 
 Status Failpoint::Hit(const char* name, int64_t arg) {

@@ -89,8 +89,10 @@ class Failpoint {
                           int64_t arg = -1);
 
   /// True when any failpoint is armed (relaxed; used to skip all work on
-  /// the hot path).
+  /// the hot path). The first call loads AIQL_FAILPOINTS, so env-armed
+  /// specs work in any binary without an explicit InitFromEnv().
   static bool AnyActive() {
+    if (!env_checked_.load(std::memory_order_acquire)) InitFromEnv();
     return active_count_.load(std::memory_order_relaxed) != 0;
   }
 
@@ -98,11 +100,13 @@ class Failpoint {
   static std::vector<std::string> ActiveNames();
 
   /// Loads AIQL_FAILPOINTS from the environment; called lazily by the
-  /// first Hit(), or explicitly from main(). Safe to call repeatedly.
+  /// first AnyActive(), or explicitly from main(). Safe to call
+  /// repeatedly.
   static void InitFromEnv();
 
  private:
   static std::atomic<int> active_count_;
+  static std::atomic<bool> env_checked_;
 };
 
 #define AIQL_FAILPOINT(name)                            \

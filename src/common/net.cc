@@ -1,0 +1,223 @@
+#include "common/net.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aiql {
+
+namespace {
+
+constexpr char kClosedMessage[] = "connection closed by peer";
+
+Status ErrnoStatus(const char* what, int err) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(err));
+}
+
+/// getaddrinfo over (host, port); `passive` requests a bindable address.
+Result<UniqueFd> OpenSocket(const std::string& host, uint16_t port,
+                            bool passive, struct addrinfo** out_info,
+                            struct addrinfo** out_head) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  std::string port_text = std::to_string(port);
+  struct addrinfo* head = nullptr;
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         port_text.c_str(), &hints, &head);
+  if (rc != 0) {
+    return Status::IOError("getaddrinfo(" + host + "): " +
+                           ::gai_strerror(rc));
+  }
+  for (struct addrinfo* info = head; info != nullptr; info = info->ai_next) {
+    UniqueFd fd(::socket(info->ai_family, info->ai_socktype,
+                         info->ai_protocol));
+    if (!fd.valid()) continue;
+    *out_info = info;
+    *out_head = head;
+    return fd;
+  }
+  ::freeaddrinfo(head);
+  return Status::IOError("no usable address for '" + host + "'");
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Connection::WriteBytes(const void* data, size_t size) {
+  if (!fd_.valid()) return Status::IOError("write on closed connection");
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write surfaces as EPIPE, not
+    // a process-killing SIGPIPE.
+    ssize_t n = ::send(fd_.get(), p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send", errno);
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Connection::WriteFrame(std::string_view payload) {
+  if (payload.size() > max_frame_bytes_) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+        "-byte frame cap");
+  }
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(length & 0xFF),
+                    static_cast<char>((length >> 8) & 0xFF),
+                    static_cast<char>((length >> 16) & 0xFF),
+                    static_cast<char>((length >> 24) & 0xFF)};
+  // One buffered write so small frames go out in a single segment.
+  std::string wire;
+  wire.reserve(sizeof(prefix) + payload.size());
+  wire.append(prefix, sizeof(prefix));
+  wire.append(payload.data(), payload.size());
+  return WriteBytes(wire.data(), wire.size());
+}
+
+Result<std::string> Connection::ReadFrame() {
+  if (!fd_.valid()) return Status::IOError("read on closed connection");
+  // Phase 1: the 4-byte little-endian length prefix. EOF before any byte
+  // is a clean close; EOF after 1-3 bytes is a truncated prefix.
+  char prefix[4];
+  size_t got = 0;
+  while (got < sizeof(prefix)) {
+    ssize_t n = ::recv(fd_.get(), prefix + got, sizeof(prefix) - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv", errno);
+    }
+    if (n == 0) {
+      if (got == 0) return Status::Unavailable(kClosedMessage);
+      return Status::IOError("short read: connection closed after " +
+                             std::to_string(got) +
+                             " of 4 frame length prefix bytes");
+    }
+    got += static_cast<size_t>(n);
+  }
+  uint32_t length = static_cast<uint32_t>(static_cast<uint8_t>(prefix[0])) |
+                    static_cast<uint32_t>(static_cast<uint8_t>(prefix[1])) << 8 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(prefix[2])) << 16 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(prefix[3])) << 24;
+  if (length > max_frame_bytes_) {
+    return Status::InvalidArgument(
+        "oversized frame: peer declared " + std::to_string(length) +
+        " bytes, cap is " + std::to_string(max_frame_bytes_));
+  }
+  // Phase 2: the payload. EOF here is always a truncated frame.
+  std::string payload(length, '\0');
+  size_t have = 0;
+  while (have < length) {
+    ssize_t n = ::recv(fd_.get(), payload.data() + have, length - have, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv", errno);
+    }
+    if (n == 0) {
+      return Status::IOError(
+          "short read: connection closed mid-frame after " +
+          std::to_string(have) + " of " + std::to_string(length) +
+          " payload bytes");
+    }
+    have += static_cast<size_t>(n);
+  }
+  return payload;
+}
+
+void Connection::Shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+bool IsConnectionClosed(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message() == kClosedMessage;
+}
+
+Result<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                int backlog) {
+  struct addrinfo* info = nullptr;
+  struct addrinfo* head = nullptr;
+  AIQL_ASSIGN_OR_RETURN(UniqueFd fd,
+                        OpenSocket(host, port, /*passive=*/true, &info,
+                                   &head));
+  int enable = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  int rc = ::bind(fd.get(), info->ai_addr, info->ai_addrlen);
+  ::freeaddrinfo(head);
+  if (rc != 0) return ErrnoStatus("bind", errno);
+  if (::listen(fd.get(), backlog) != 0) return ErrnoStatus("listen", errno);
+  // Recover the actual port for ephemeral binds (port 0).
+  struct sockaddr_storage bound;
+  socklen_t bound_len = sizeof(bound);
+  uint16_t actual_port = port;
+  if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      actual_port = ntohs(
+          reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      actual_port = ntohs(
+          reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  Listener listener;
+  listener.fd_ = std::move(fd);
+  listener.port_ = actual_port;
+  return listener;
+}
+
+Result<Connection> Listener::Accept() {
+  if (!fd_.valid()) return Status::Cancelled("listener shut down");
+  while (true) {
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return Connection(UniqueFd(fd));
+    if (errno == EINTR) continue;
+    // Shutdown() on the listening socket surfaces as EINVAL (Linux) or
+    // ECONNABORTED; both mean "stop accepting", not a transport fault.
+    if (errno == EINVAL || errno == ECONNABORTED || errno == EBADF) {
+      return Status::Cancelled("listener shut down");
+    }
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+void Listener::Shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<Connection> ConnectTo(const std::string& host, uint16_t port) {
+  struct addrinfo* info = nullptr;
+  struct addrinfo* head = nullptr;
+  AIQL_ASSIGN_OR_RETURN(UniqueFd fd,
+                        OpenSocket(host, port, /*passive=*/false, &info,
+                                   &head));
+  int rc = ::connect(fd.get(), info->ai_addr, info->ai_addrlen);
+  ::freeaddrinfo(head);
+  if (rc != 0) return ErrnoStatus("connect", errno);
+  int enable = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return Connection(std::move(fd));
+}
+
+}  // namespace aiql

@@ -1,0 +1,150 @@
+// Minimal TCP transport with length-prefixed binary framing — the wire
+// substrate of the AIQL query server (src/server). Deliberately small:
+// blocking POSIX sockets, one reader/one writer per connection, and a
+// bounded frame codec whose failure modes are explicit Status values
+// (short reads, oversized declarations, peer resets) rather than crashes
+// or silent truncation.
+//
+// Frame layout: a 4-byte little-endian payload length followed by exactly
+// that many payload bytes. The payload's first byte is the server
+// protocol's message type (src/server/protocol.h); this layer treats the
+// payload as opaque. Both directions enforce `max_frame_bytes`, so a
+// hostile or buggy peer declaring a multi-gigabyte frame is rejected
+// before any allocation.
+
+#ifndef AIQL_COMMON_NET_H_
+#define AIQL_COMMON_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace aiql {
+
+/// Owning POSIX file descriptor; closes on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+  /// Closes the descriptor (no-op when invalid).
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Default per-frame payload cap (16 MiB): generous for result tables,
+/// small enough that a bogus length prefix cannot OOM the server.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// One established TCP stream carrying length-prefixed frames.
+///
+/// Thread model: at most one thread reading and one thread writing at a
+/// time (frames are not interleaved mid-stream). Shutdown() may be called
+/// from any thread to unblock both.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  Connection(Connection&&) noexcept = default;
+  Connection& operator=(Connection&&) noexcept = default;
+
+  bool valid() const { return fd_.valid(); }
+
+  /// Writes one frame (length prefix + payload). Fails with
+  /// InvalidArgument when `payload` exceeds max_frame_bytes, IOError when
+  /// the peer is gone (no SIGPIPE is raised).
+  Status WriteFrame(std::string_view payload);
+
+  /// Reads one full frame payload. Failure modes:
+  ///  - clean peer close at a frame boundary: kUnavailable
+  ///    (IsConnectionClosed() returns true);
+  ///  - EOF mid-prefix or mid-payload (truncated frame): kIOError naming
+  ///    the bytes received vs expected;
+  ///  - declared length above max_frame_bytes: kInvalidArgument, before
+  ///    any payload allocation;
+  ///  - transport errors: kIOError with errno text.
+  Result<std::string> ReadFrame();
+
+  /// Raw byte writer, bypassing framing. Used internally and by protocol
+  /// torture tests that need to send deliberately malformed prefixes.
+  Status WriteBytes(const void* data, size_t size);
+
+  /// Half-closes both directions (shutdown(2)): a thread blocked in
+  /// ReadFrame() on this or the peer connection observes EOF promptly.
+  /// The descriptor stays owned until destruction/Close().
+  void Shutdown();
+
+  void Close() { fd_.Reset(); }
+
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
+  void set_max_frame_bytes(size_t bytes) { max_frame_bytes_ = bytes; }
+
+ private:
+  UniqueFd fd_;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+/// True when `status` is ReadFrame's clean end-of-stream sentinel (peer
+/// closed between frames) rather than a real error.
+bool IsConnectionClosed(const Status& status);
+
+/// Listening TCP socket. Bind once, Accept in a loop from one thread,
+/// Shutdown from any other to stop accepting.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  /// Binds and listens on host:port. Port 0 picks an ephemeral port,
+  /// reported by port() afterwards.
+  static Result<Listener> Bind(const std::string& host, uint16_t port,
+                               int backlog = 64);
+
+  /// Blocks for the next connection. Returns kCancelled once Shutdown()
+  /// has been called, kIOError on transport failure.
+  Result<Connection> Accept();
+
+  /// Unblocks Accept() from any thread; subsequent Accepts fail with
+  /// kCancelled.
+  void Shutdown();
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_.valid(); }
+
+ private:
+  UniqueFd fd_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to host:port (numeric or resolvable host).
+Result<Connection> ConnectTo(const std::string& host, uint16_t port);
+
+}  // namespace aiql
+
+#endif  // AIQL_COMMON_NET_H_

@@ -1,8 +1,32 @@
 #include "common/string_utils.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 namespace aiql {
+
+namespace {
+
+/// Pre-validates the shape strtoll/strtoull/strtod cannot be trusted to
+/// reject on their own: empty input, leading whitespace (strto* skips it),
+/// and a stray sign for the unsigned parser (strtoull accepts '-'!).
+Status CheckNumericShape(std::string_view text, bool allow_sign,
+                         const char* what) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("empty ") + what);
+  }
+  char first = text.front();
+  bool signed_first = first == '-' || first == '+';
+  if (std::isspace(static_cast<unsigned char>(first)) ||
+      (signed_first && !allow_sign)) {
+    return Status::InvalidArgument("'" + std::string(text) +
+                                   "' is not a valid " + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 std::vector<std::string_view> SplitString(std::string_view text, char sep) {
   std::vector<std::string_view> out;
@@ -87,6 +111,58 @@ size_t CountNonSpaceChars(std::string_view text) {
     if (!std::isspace(static_cast<unsigned char>(c))) ++count;
   }
   return count;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  AIQL_RETURN_IF_ERROR(CheckNumericShape(text, /*allow_sign=*/true,
+                                         "integer"));
+  std::string owned(text);  // strtoll needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size() || end == owned.c_str()) {
+    return Status::InvalidArgument("'" + owned + "' is not a valid integer");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("'" + owned +
+                                   "' is out of range for a 64-bit integer");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  AIQL_RETURN_IF_ERROR(CheckNumericShape(text, /*allow_sign=*/false,
+                                         "unsigned integer"));
+  std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size() || end == owned.c_str()) {
+    return Status::InvalidArgument("'" + owned +
+                                   "' is not a valid unsigned integer");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(
+        "'" + owned + "' is out of range for a 64-bit unsigned integer");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  AIQL_RETURN_IF_ERROR(CheckNumericShape(text, /*allow_sign=*/true,
+                                         "number"));
+  std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || end == owned.c_str()) {
+    return Status::InvalidArgument("'" + owned + "' is not a valid number");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("'" + owned +
+                                   "' is out of range for a double");
+  }
+  return value;
 }
 
 std::string SqlQuote(std::string_view text) {

@@ -3,9 +3,12 @@
 #ifndef AIQL_COMMON_STRING_UTILS_H_
 #define AIQL_COMMON_STRING_UTILS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace aiql {
 
@@ -37,6 +40,22 @@ size_t CountNonSpaceChars(std::string_view text);
 
 /// Escapes a string for embedding in single-quoted SQL ('' doubling).
 std::string SqlQuote(std::string_view text);
+
+// Checked numeric parsing: the whole of `text` must be one well-formed
+// number with no trailing garbage, and the value must fit the result type
+// (strtoll-style ERANGE saturation is an error, not a silently accepted
+// LLONG_MAX). Shared by command parsers that must reject typos — the
+// failpoint spec grammar, the shell's timeout/budget/shards/connect
+// commands, and the server's option handling.
+
+/// Parses a signed decimal integer (optional leading '-').
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses an unsigned decimal integer (no sign allowed).
+Result<uint64_t> ParseUint64(std::string_view text);
+
+/// Parses a floating-point literal (strtod grammar, fully consumed).
+Result<double> ParseDouble(std::string_view text);
 
 }  // namespace aiql
 

@@ -1,0 +1,418 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "common/varint.h"
+
+namespace aiql {
+
+namespace {
+
+// --- Encoding primitives ---
+
+void PutU8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutString(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+void PutDouble(std::string* dst, double v) {
+  // Fixed 8-byte little-endian bit pattern: round-trips exactly, so a
+  // remote table compares byte-identical to the in-process one.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutTable(std::string* dst, const ResultTable& table) {
+  PutVarint64(dst, table.columns.size());
+  for (const std::string& column : table.columns) PutString(dst, column);
+  PutVarint64(dst, table.rows.size());
+  for (const auto& row : table.rows) {
+    PutVarint64(dst, row.size());
+    for (const Value& value : row) {
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        PutU8(dst, 0);
+        PutString(dst, *s);
+      } else if (const auto* i = std::get_if<int64_t>(&value)) {
+        PutU8(dst, 1);
+        PutVarintSigned(dst, *i);
+      } else {
+        PutU8(dst, 2);
+        PutDouble(dst, std::get<double>(value));
+      }
+    }
+  }
+}
+
+void PutStats(std::string* dst, const QueryStats& stats) {
+  PutVarintSigned(dst, stats.parse_time);
+  PutVarintSigned(dst, stats.plan_time);
+  PutVarintSigned(dst, stats.exec_time);
+  PutVarint64(dst, stats.events_scanned);
+  PutVarint64(dst, stats.events_matched);
+  PutVarint64(dst, stats.partitions_scanned);
+  PutVarint64(dst, stats.join_candidates);
+  PutVarint64(dst, static_cast<uint64_t>(stats.patterns));
+  PutVarint64(dst, static_cast<uint64_t>(stats.threads_used));
+}
+
+// --- Bounds-checked decoding ---
+
+/// Sequential reader over one frame payload. Every getter returns false on
+/// truncation; Done() additionally rejects trailing garbage so a frame
+/// that decodes "successfully" was consumed exactly.
+struct Reader {
+  const char* p;
+  const char* limit;
+
+  explicit Reader(std::string_view payload)
+      : p(payload.data()), limit(payload.data() + payload.size()) {}
+
+  bool U8(uint8_t* out) {
+    if (p >= limit) return false;
+    *out = static_cast<uint8_t>(*p++);
+    return true;
+  }
+  bool U64(uint64_t* out) {
+    p = GetVarint64(p, limit, out);
+    return p != nullptr;
+  }
+  bool I64(int64_t* out) {
+    p = GetVarintSigned(p, limit, out);
+    return p != nullptr;
+  }
+  bool Str(std::string* out) {
+    uint64_t size = 0;
+    if (!U64(&size)) return false;
+    if (size > static_cast<uint64_t>(limit - p)) return false;
+    out->assign(p, size);
+    p += size;
+    return true;
+  }
+  bool F64(double* out) {
+    if (limit - p < 8) return false;
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    std::memcpy(out, &bits, sizeof(*out));
+    p += 8;
+    return true;
+  }
+  bool Done() const { return p == limit; }
+};
+
+/// Per-frame sanity cap on declared element counts: the frame size itself
+/// bounds real payloads (every element costs >= 1 byte), so anything
+/// larger is a forged count aimed at a huge up-front reservation.
+bool CountPlausible(uint64_t count, const Reader& reader) {
+  return count <= static_cast<uint64_t>(reader.limit - reader.p);
+}
+
+bool GetTable(Reader* reader, ResultTable* table) {
+  uint64_t num_columns = 0;
+  if (!reader->U64(&num_columns) || !CountPlausible(num_columns, *reader)) {
+    return false;
+  }
+  table->columns.resize(num_columns);
+  for (std::string& column : table->columns) {
+    if (!reader->Str(&column)) return false;
+  }
+  uint64_t num_rows = 0;
+  if (!reader->U64(&num_rows) || !CountPlausible(num_rows, *reader)) {
+    return false;
+  }
+  table->rows.reserve(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    uint64_t num_cells = 0;
+    if (!reader->U64(&num_cells) || !CountPlausible(num_cells, *reader)) {
+      return false;
+    }
+    std::vector<Value> row;
+    row.reserve(num_cells);
+    for (uint64_t c = 0; c < num_cells; ++c) {
+      uint8_t tag = 0;
+      if (!reader->U8(&tag)) return false;
+      switch (tag) {
+        case 0: {
+          std::string s;
+          if (!reader->Str(&s)) return false;
+          row.emplace_back(std::move(s));
+          break;
+        }
+        case 1: {
+          int64_t i = 0;
+          if (!reader->I64(&i)) return false;
+          row.emplace_back(i);
+          break;
+        }
+        case 2: {
+          double d = 0;
+          if (!reader->F64(&d)) return false;
+          row.emplace_back(d);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    table->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+bool GetStats(Reader* reader, QueryStats* stats) {
+  uint64_t patterns = 0, threads = 0;
+  if (!reader->I64(&stats->parse_time) || !reader->I64(&stats->plan_time) ||
+      !reader->I64(&stats->exec_time) ||
+      !reader->U64(&stats->events_scanned) ||
+      !reader->U64(&stats->events_matched) ||
+      !reader->U64(&stats->partitions_scanned) ||
+      !reader->U64(&stats->join_candidates) || !reader->U64(&patterns) ||
+      !reader->U64(&threads)) {
+    return false;
+  }
+  stats->patterns = static_cast<int>(patterns);
+  stats->threads_used = static_cast<int>(threads);
+  return true;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed frame: ") + what);
+}
+
+}  // namespace
+
+// --- Request encoding ---
+
+std::string EncodeHello() {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kHello));
+  PutVarint64(&out, kProtocolVersion);
+  return out;
+}
+
+std::string EncodeTextRequest(MsgType type, std::string_view text) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutString(&out, text);
+  return out;
+}
+
+std::string EncodeTrack(const TrackCommand& command) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kTrack));
+  uint8_t flags = 0;
+  if (command.request.options.backward) flags |= 1;
+  if (command.request.anchor.has_value()) flags |= 2;
+  if (command.want_dot) flags |= 4;
+  if (command.want_cypher) flags |= 8;
+  PutU8(&out, flags);
+  PutU8(&out, static_cast<uint8_t>(command.request.type));
+  PutString(&out, command.request.name_like);
+  if (command.request.anchor.has_value()) {
+    PutVarintSigned(&out, *command.request.anchor);
+  }
+  PutVarint64(&out, static_cast<uint64_t>(command.request.options.max_depth));
+  PutVarint64(&out, command.request.options.max_fanout);
+  PutVarint64(&out, command.request.options.max_nodes);
+  PutVarintSigned(&out, command.request.options.hop_window);
+  return out;
+}
+
+std::string EncodeSetOption(std::string_view name, std::string_view value) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kSetOption));
+  PutString(&out, name);
+  PutString(&out, value);
+  return out;
+}
+
+std::string EncodeBare(MsgType type) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(type));
+  return out;
+}
+
+// --- Response encoding ---
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kError));
+  PutU8(&out, static_cast<uint8_t>(status.code()));
+  PutString(&out, status.message());
+  return out;
+}
+
+std::string EncodeHelloOk(std::string_view banner) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kHelloOk));
+  PutVarint64(&out, kProtocolVersion);
+  PutString(&out, banner);
+  return out;
+}
+
+std::string EncodeQueryOk(const QueryReply& reply) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kQueryOk));
+  PutTable(&out, reply.table);
+  PutStats(&out, reply.stats);
+  PutString(&out, reply.degraded);
+  return out;
+}
+
+std::string EncodeTrackOk(const TrackReply& reply) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kTrackOk));
+  PutTable(&out, reply.table);
+  PutString(&out, reply.summary);
+  PutString(&out, reply.text);
+  return out;
+}
+
+std::string EncodeTextResponse(MsgType type, std::string_view text) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutString(&out, text);
+  return out;
+}
+
+std::string EncodePong() { return EncodeBare(MsgType::kPong); }
+
+// --- Decoding ---
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Reader reader(payload);
+  uint8_t type_byte = 0;
+  if (!reader.U8(&type_byte)) return Malformed("empty request");
+  Request request;
+  request.type = static_cast<MsgType>(type_byte);
+  switch (request.type) {
+    case MsgType::kHello: {
+      uint64_t version = 0;
+      if (!reader.U64(&version)) return Malformed("hello version");
+      request.version = static_cast<uint32_t>(version);
+      break;
+    }
+    case MsgType::kQuery:
+    case MsgType::kCheck:
+    case MsgType::kExplain:
+      if (!reader.Str(&request.text)) return Malformed("query text");
+      break;
+    case MsgType::kTrack: {
+      uint8_t flags = 0, entity_type = 0;
+      if (!reader.U8(&flags) || !reader.U8(&entity_type) ||
+          !reader.Str(&request.track.request.name_like)) {
+        return Malformed("track header");
+      }
+      if (entity_type > static_cast<uint8_t>(EntityType::kNetwork)) {
+        return Malformed("track entity type");
+      }
+      request.track.request.type = static_cast<EntityType>(entity_type);
+      request.track.request.options.backward = (flags & 1) != 0;
+      request.track.want_dot = (flags & 4) != 0;
+      request.track.want_cypher = (flags & 8) != 0;
+      if ((flags & 2) != 0) {
+        int64_t anchor = 0;
+        if (!reader.I64(&anchor)) return Malformed("track anchor");
+        request.track.request.anchor = anchor;
+      }
+      uint64_t depth = 0, fanout = 0, nodes = 0;
+      int64_t hop_window = 0;
+      if (!reader.U64(&depth) || !reader.U64(&fanout) ||
+          !reader.U64(&nodes) || !reader.I64(&hop_window)) {
+        return Malformed("track budgets");
+      }
+      if (depth > 1000000 || hop_window < 0) {
+        return Malformed("track budget out of range");
+      }
+      request.track.request.options.max_depth = static_cast<int>(depth);
+      request.track.request.options.max_fanout =
+          static_cast<size_t>(fanout);
+      request.track.request.options.max_nodes = static_cast<size_t>(nodes);
+      request.track.request.options.hop_window = hop_window;
+      break;
+    }
+    case MsgType::kSetOption:
+      if (!reader.Str(&request.option_name) ||
+          !reader.Str(&request.option_value)) {
+        return Malformed("option name/value");
+      }
+      break;
+    case MsgType::kStats:
+    case MsgType::kPing:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown request type " + std::to_string(type_byte));
+  }
+  if (!reader.Done()) return Malformed("trailing bytes");
+  return request;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  Reader reader(payload);
+  uint8_t type_byte = 0;
+  if (!reader.U8(&type_byte)) return Malformed("empty response");
+  Response response;
+  response.type = static_cast<MsgType>(type_byte);
+  switch (response.type) {
+    case MsgType::kError: {
+      uint8_t code = 0;
+      std::string message;
+      if (!reader.U8(&code) || !reader.Str(&message)) {
+        return Malformed("error body");
+      }
+      if (code > static_cast<uint8_t>(StatusCode::kUnavailable) ||
+          code == static_cast<uint8_t>(StatusCode::kOk)) {
+        return Malformed("error status code");
+      }
+      response.error = Status(static_cast<StatusCode>(code),
+                              std::move(message));
+      break;
+    }
+    case MsgType::kHelloOk: {
+      uint64_t version = 0;
+      if (!reader.U64(&version) || !reader.Str(&response.text)) {
+        return Malformed("hello-ok body");
+      }
+      response.version = static_cast<uint32_t>(version);
+      break;
+    }
+    case MsgType::kQueryOk:
+      if (!GetTable(&reader, &response.query.table) ||
+          !GetStats(&reader, &response.query.stats) ||
+          !reader.Str(&response.query.degraded)) {
+        return Malformed("query reply");
+      }
+      break;
+    case MsgType::kTrackOk:
+      if (!GetTable(&reader, &response.track.table) ||
+          !reader.Str(&response.track.summary) ||
+          !reader.Str(&response.track.text)) {
+        return Malformed("track reply");
+      }
+      break;
+    case MsgType::kOptionOk:
+    case MsgType::kStatsOk:
+    case MsgType::kCheckOk:
+    case MsgType::kExplainOk:
+      if (!reader.Str(&response.text)) return Malformed("text body");
+      break;
+    case MsgType::kPong:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown response type " + std::to_string(type_byte));
+  }
+  if (!reader.Done()) return Malformed("trailing bytes");
+  return response;
+}
+
+}  // namespace aiql

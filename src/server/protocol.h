@@ -1,0 +1,124 @@
+// AIQL server wire protocol v1 (docs/server-protocol.md).
+//
+// Every frame (common/net.h: 4-byte little-endian length prefix + payload)
+// carries one message: a 1-byte MsgType followed by a type-specific body
+// encoded with LEB128 varints (common/varint.h), length-prefixed strings,
+// and fixed 8-byte little-endian doubles. Requests flow client -> server,
+// responses server -> client; every request gets exactly one response (the
+// matching *Ok type, or kError carrying a StatusCode + message).
+//
+// Decoders are bounds-checked: truncated or trailing bytes surface as
+// kInvalidArgument, never an out-of-bounds read — the server feeds them
+// attacker-controllable input.
+
+#ifndef AIQL_SERVER_PROTOCOL_H_
+#define AIQL_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/aiql_engine.h"
+#include "engine/result.h"
+
+namespace aiql {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Message discriminator — the first payload byte of every frame.
+enum class MsgType : uint8_t {
+  // Requests.
+  kHello = 0x01,      ///< version handshake; body: varint version
+  kQuery = 0x02,      ///< body: string AIQL text
+  kTrack = 0x03,      ///< body: serialized TrackCommand
+  kSetOption = 0x04,  ///< body: string name, string value
+  kStats = 0x05,      ///< no body
+  kPing = 0x06,       ///< no body
+  kCheck = 0x07,      ///< body: string AIQL text
+  kExplain = 0x08,    ///< body: string AIQL text
+
+  // Responses.
+  kHelloOk = 0x40,    ///< body: varint version, string server banner
+  kQueryOk = 0x41,    ///< body: serialized QueryReply
+  kTrackOk = 0x42,    ///< body: serialized TrackReply
+  kOptionOk = 0x43,   ///< body: string confirmation
+  kStatsOk = 0x44,    ///< body: string rendered statistics
+  kPong = 0x45,       ///< no body
+  kCheckOk = 0x46,    ///< body: string query kind
+  kExplainOk = 0x47,  ///< body: string plan
+  kError = 0x7F,      ///< body: u8 StatusCode, string message
+};
+
+/// A provenance-tracking request plus render flags, as sent on the wire.
+/// Protocol v1 exposes the TrackRequest surface the shell's `track`
+/// command covers (direction, type, name pattern, anchor, depth / fanout /
+/// node budgets, hop window); per-hop op and entity-type filters keep
+/// their defaults.
+struct TrackCommand {
+  TrackRequest request;
+  bool want_dot = false;
+  bool want_cypher = false;
+};
+
+/// One decoded request frame.
+struct Request {
+  MsgType type = MsgType::kPing;
+  std::string text;         ///< kQuery / kCheck / kExplain
+  TrackCommand track;       ///< kTrack
+  std::string option_name;  ///< kSetOption
+  std::string option_value; ///< kSetOption
+  uint32_t version = 0;     ///< kHello
+};
+
+/// Query response payload: the result table plus the execution-status
+/// fields the shell footer renders and the degradation annotation.
+struct QueryReply {
+  ResultTable table;
+  QueryStats stats;
+  std::string degraded;  ///< DegradedInfo::ToString(); empty when clean
+};
+
+/// Track response payload: the rendered node table (depth / type / entity /
+/// bound — entity names resolved against the server-side per-shard
+/// stores), the shell's summary footer, and optionally a DOT/Cypher
+/// export in `text`.
+struct TrackReply {
+  ResultTable table;
+  std::string summary;
+  std::string text;  ///< non-empty for dot/cypher exports
+};
+
+/// One decoded response frame.
+struct Response {
+  MsgType type = MsgType::kError;
+  Status error;       ///< kError payload (code + message)
+  QueryReply query;   ///< kQueryOk
+  TrackReply track;   ///< kTrackOk
+  std::string text;   ///< kHelloOk banner / kOptionOk / kStatsOk /
+                      ///< kCheckOk / kExplainOk
+  uint32_t version = 0;  ///< kHelloOk
+};
+
+// --- Request encoding (client side) ---
+std::string EncodeHello();
+std::string EncodeTextRequest(MsgType type, std::string_view text);
+std::string EncodeTrack(const TrackCommand& command);
+std::string EncodeSetOption(std::string_view name, std::string_view value);
+std::string EncodeBare(MsgType type);  ///< kStats / kPing
+
+// --- Response encoding (server side) ---
+std::string EncodeError(const Status& status);
+std::string EncodeHelloOk(std::string_view banner);
+std::string EncodeQueryOk(const QueryReply& reply);
+std::string EncodeTrackOk(const TrackReply& reply);
+std::string EncodeTextResponse(MsgType type, std::string_view text);
+std::string EncodePong();
+
+// --- Decoding ---
+Result<Request> DecodeRequest(std::string_view payload);
+Result<Response> DecodeResponse(std::string_view payload);
+
+}  // namespace aiql
+
+#endif  // AIQL_SERVER_PROTOCOL_H_

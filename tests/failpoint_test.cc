@@ -75,6 +75,42 @@ TEST_F(FailpointTest, ConfigureRejectsBadGrammar) {
   EXPECT_FALSE(Failpoint::AnyActive());
 }
 
+TEST_F(FailpointTest, ConfigureRejectsMalformedNumerics) {
+  // Every numeric payload is parsed strictly: `latency(abc)` used to arm a
+  // 0us sleep (atoll semantics), which meant a typo'd AIQL_FAILPOINTS ran
+  // with no injection at all.
+  const char* bad[] = {
+      "x=latency(abc)",            // non-numeric latency
+      "x=latency()",               // empty latency
+      "x=latency(12q)",            // trailing garbage
+      "x=latency(-5)",             // sign on an unsigned field
+      "x=latency( 7)",             // leading whitespace (strtoull skips it)
+      "x=latency(99999999999999999999999999)",  // ERANGE saturation
+      "x=error(IOError)@arg1x",    // trailing garbage on @arg
+      "x=error(IOError)@argzz",    // non-numeric @arg
+      "x=error(IOError)@arg",      // empty @arg
+      "x=error(IOError)@arg-2",    // negative arg filter
+      "x=error(IOError)@nthabc",   // non-numeric @nth
+      "x=error(IOError)@nth0",     // 0 can never trigger (hits are 1-based)
+      "x=error(IOError)@nth99999999999999999999999999",  // ERANGE
+      "x=error(IOError)@seedzz",   // non-numeric @seed
+      "x=error(IOError)@p2.0",     // probability above 1
+      "x=error(IOError)@p-0.5",    // probability below 0 / stray sign
+      "x=error(IOError)@p1e",      // truncated exponent
+  };
+  for (const char* spec : bad) {
+    EXPECT_EQ(Failpoint::Configure(spec).code(), StatusCode::kInvalidArgument)
+        << "accepted: " << spec;
+  }
+  EXPECT_FALSE(Failpoint::AnyActive());
+
+  // The well-formed variants of the same fields still parse.
+  ASSERT_TRUE(Failpoint::Configure("ok1=latency(250)@arg3@nth2;"
+                                   "ok2=error(IOError)@p0.5@seed42")
+                  .ok());
+  EXPECT_EQ(Failpoint::ActiveNames().size(), 2u);
+}
+
 TEST_F(FailpointTest, OnceDisarmsAfterFirstTrigger) {
   ASSERT_TRUE(
       Failpoint::Configure("solo=error(IOError)@once;other=latency(1)").ok());

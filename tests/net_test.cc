@@ -1,0 +1,203 @@
+// Tests for the TCP framing layer (common/net.h): round-trips, the
+// explicit failure taxonomy (clean close vs truncated prefix vs truncated
+// payload vs oversized declaration), and the checked numeric parsers the
+// wire/shell/failpoint surfaces share.
+
+#include "common/net.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_utils.h"
+#include "gtest/gtest.h"
+
+namespace aiql {
+namespace {
+
+/// One listener + one connected client pair on an ephemeral loopback port.
+struct Loopback {
+  Listener listener;
+  Connection server;
+  Connection client;
+
+  static Loopback Make() {
+    Loopback pair;
+    auto bound = Listener::Bind("127.0.0.1", 0);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    pair.listener = std::move(*bound);
+    auto connected = ConnectTo("127.0.0.1", pair.listener.port());
+    EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+    pair.client = std::move(*connected);
+    auto accepted = pair.listener.Accept();
+    EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+    pair.server = std::move(*accepted);
+    return pair;
+  }
+};
+
+TEST(NetTest, FramesRoundTripBothDirections) {
+  Loopback pair = Loopback::Make();
+  const std::string payloads[] = {
+      "", "x", std::string("binary\0data\xff", 12), std::string(100000, 'q')};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(pair.client.WriteFrame(payload).ok());
+    auto got = pair.server.ReadFrame();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, payload);
+    // And the reverse direction over the same stream.
+    ASSERT_TRUE(pair.server.WriteFrame(payload).ok());
+    auto back = pair.client.ReadFrame();
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+TEST(NetTest, SequentialFramesKeepBoundaries) {
+  Loopback pair = Loopback::Make();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        pair.client.WriteFrame("frame-" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto got = pair.server.ReadFrame();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "frame-" + std::to_string(i));
+  }
+}
+
+TEST(NetTest, CleanCloseAtFrameBoundaryIsConnectionClosed) {
+  Loopback pair = Loopback::Make();
+  pair.client.Close();
+  auto got = pair.server.ReadFrame();
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(IsConnectionClosed(got.status()));
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetTest, TruncatedLengthPrefixIsShortRead) {
+  Loopback pair = Loopback::Make();
+  // Two of the four prefix bytes, then disconnect.
+  ASSERT_TRUE(pair.client.WriteBytes("\x08\x00", 2).ok());
+  pair.client.Close();
+  auto got = pair.server.ReadFrame();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+  EXPECT_FALSE(IsConnectionClosed(got.status()));
+  EXPECT_NE(got.status().message().find("2 of 4"), std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(NetTest, MidFrameDisconnectIsShortRead) {
+  Loopback pair = Loopback::Make();
+  // Declares 100 payload bytes, delivers 10, disconnects.
+  ASSERT_TRUE(pair.client.WriteBytes("\x64\x00\x00\x00", 4).ok());
+  ASSERT_TRUE(pair.client.WriteBytes("0123456789", 10).ok());
+  pair.client.Close();
+  auto got = pair.server.ReadFrame();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+  EXPECT_NE(got.status().message().find("10 of 100"), std::string::npos)
+      << got.status().ToString();
+}
+
+TEST(NetTest, OversizedDeclarationRejectedBeforeAllocation) {
+  Loopback pair = Loopback::Make();
+  pair.server.set_max_frame_bytes(1024);
+  // A 4 GiB-ish declaration: must fail by inspection of the prefix alone.
+  ASSERT_TRUE(pair.client.WriteBytes("\xff\xff\xff\xff", 4).ok());
+  auto got = pair.server.ReadFrame();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("oversized frame"),
+            std::string::npos);
+}
+
+TEST(NetTest, WriteFrameEnforcesTheSameCap) {
+  Loopback pair = Loopback::Make();
+  pair.client.set_max_frame_bytes(16);
+  Status refused = pair.client.WriteFrame(std::string(17, 'x'));
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  // The cap applies to the payload, not payload + prefix.
+  EXPECT_TRUE(pair.client.WriteFrame(std::string(16, 'x')).ok());
+}
+
+TEST(NetTest, ListenerShutdownUnblocksAccept) {
+  auto bound = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(bound.ok());
+  Listener listener = std::move(*bound);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.Shutdown();
+  });
+  auto accepted = listener.Accept();  // blocks until Shutdown
+  closer.join();
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.status().code(), StatusCode::kCancelled);
+}
+
+TEST(NetTest, ShutdownUnblocksPeerRead) {
+  Loopback pair = Loopback::Make();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pair.client.Shutdown();
+  });
+  auto got = pair.server.ReadFrame();  // blocked until the peer half-closes
+  closer.join();
+  EXPECT_FALSE(got.ok());
+}
+
+TEST(NetTest, ConnectToUnboundPortFails) {
+  // Bind-then-close to find a port that is (very likely) not listening.
+  auto bound = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(bound.ok());
+  uint16_t port = bound->port();
+  *bound = Listener();
+  auto connected = ConnectTo("127.0.0.1", port);
+  EXPECT_FALSE(connected.ok());
+}
+
+// --- Checked numeric parsers (common/string_utils.h) ---
+
+TEST(CheckedParseTest, ParseInt64AcceptsExactIntegers) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("+7"), 7);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(CheckedParseTest, ParseInt64RejectsGarbageAndRange) {
+  for (const char* bad : {"", "abc", "12x", "x12", " 12", "12 ", "1.5",
+                          "--3", "+-3", "+", "-",
+                          "9223372036854775808",    // INT64_MAX + 1
+                          "-9223372036854775809"}) {
+    auto parsed = ParseInt64(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: '" << bad << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CheckedParseTest, ParseUint64RejectsSignsEntirely) {
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  // strtoull would silently accept and negate "-1"; the checked parser
+  // refuses any sign so "latency(-5)" is a configuration error.
+  for (const char* bad :
+       {"-1", "+1", "-0", "18446744073709551616", "0x10", ""}) {
+    EXPECT_FALSE(ParseUint64(bad).ok()) << "accepted: '" << bad << "'";
+  }
+}
+
+TEST(CheckedParseTest, ParseDoubleFullConsumption) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2.25"), -2.25);
+  for (const char* bad : {"", "0.5x", "1e", ".", "nanx", " 0.5"}) {
+    EXPECT_FALSE(ParseDouble(bad).ok()) << "accepted: '" << bad << "'";
+  }
+}
+
+}  // namespace
+}  // namespace aiql
