@@ -43,6 +43,7 @@
 #include "simulator/scenario.h"
 #include "storage/shard_map.h"
 #include "storage/snapshot.h"
+#include "storage/tiered.h"
 
 using namespace aiql;
 using namespace aiql_bench;
@@ -1481,6 +1482,276 @@ void WriteStreamingJson(FILE* out, double rate,
   std::fprintf(out, "  },\n");
 }
 
+// ---------------------------------------------------------------------------
+// Retention mode (--retention): the fig4 + fig5 record streams replayed into
+// fully demoted TieredStores whose cold-cache budget is capped at 25% of the
+// measured all-hot footprint. Exit gates: ingest throughput of at least
+// AIQL_BENCH_RETENTION_MIN_RATE records/s (default 50k), canonicalized row
+// identity against the all-hot engines on every query, cache charge bounded
+// by budget + one oversized partition, and a flat RSS profile across the
+// cold query sweeps.
+// ---------------------------------------------------------------------------
+
+uint64_t ProcStatusKb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(key, 0) == 0) {
+      return std::strtoull(line.c_str() + std::strlen(key), nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+/// Order-insensitive fingerprint of a result table (rows rendered, sorted,
+/// then chain-hashed). This is the row-identity contract for tiers: sealed
+/// partitions sort ties unstably, so merged/cold partitions may permute
+/// tied rows — identity means the same row multiset.
+uint64_t RowsFingerprint(const ResultTable& table) {
+  std::vector<std::string> rendered;
+  rendered.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    std::string r;
+    for (const auto& cell : row) {
+      r += ValueToString(cell);
+      r += '\x1f';
+    }
+    rendered.push_back(std::move(r));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  uint64_t hash = 1469598103934665603ull;
+  for (const std::string& r : rendered) {
+    for (char c : r) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0x9e3779b97f4a7c15ull;
+  }
+  return hash;
+}
+
+struct RetentionQueryRun {
+  std::string id;
+  int64_t wall_us = 0;  ///< first cold sweep (partitions re-materialize)
+  size_t rows = 0;
+  bool identical = false;  ///< fingerprint matches the all-hot engine
+};
+
+struct RetentionSuiteRun {
+  std::string suite;
+  uint64_t records = 0;
+  int64_t ingest_wall_us = 0;
+  double ingest_rate = 0;      ///< records/s into the tiered store
+  uint64_t all_hot_bytes = 0;  ///< sealed-partition footprint, all hot
+  uint64_t budget_bytes = 0;   ///< cold cache budget (25% of all-hot)
+  uint64_t largest_partition_bytes = 0;
+  uint64_t cold_partitions = 0;
+  uint64_t demotions = 0;
+  uint64_t merges = 0;
+  uint64_t evictions = 0;
+  uint64_t reopens = 0;
+  uint64_t max_charged_bytes = 0;  ///< peak cache charge seen in sweeps
+  std::vector<RetentionQueryRun> queries;
+  /// Sampled after every query execution across all sweeps.
+  std::vector<uint64_t> rss_series_kb;
+  std::vector<uint64_t> resident_series;
+  bool failed = false;
+};
+
+struct RetentionBench {
+  std::vector<RetentionSuiteRun> suites;
+  double min_rate = 0;
+  bool rate_ok = false;
+  bool rows_identical = false;
+  bool budget_respected = false;
+  bool rss_flat = false;
+  bool failed = true;
+};
+
+RetentionSuiteRun RunRetentionSuite(const std::string& suite,
+                                    const std::vector<EventRecord>& records,
+                                    const std::vector<CatalogQuery>& queries,
+                                    const AuditDatabase& hot_db, int sweeps) {
+  RetentionSuiteRun run;
+  run.suite = suite;
+  run.records = records.size();
+
+  // The all-hot footprint this store would need with no eviction; the
+  // budget deliberately holds only a quarter of it.
+  for (const auto& [key, partition] : hot_db.ListSealedPartitions()) {
+    uint64_t bytes = partition->MemoryFootprint();
+    run.all_hot_bytes += bytes;
+    run.largest_partition_bytes =
+        std::max(run.largest_partition_bytes, bytes);
+  }
+  run.budget_bytes = run.all_hot_bytes / 4;
+
+  std::string dir = "/tmp/aiql_bench_retention_" + suite + "_" +
+                    std::to_string(static_cast<unsigned long>(getpid()));
+  RetentionOptions retention;
+  retention.dir = dir;
+  retention.hot_buckets = -1;  // demote everything: worst case for reads
+  retention.memory_budget_bytes = run.budget_bytes;
+  retention.compact_min_partitions = 2;
+  auto store = TieredStore::Create(StorageOptions{}, retention);
+  if (!store.ok()) {
+    std::fprintf(stderr, "  retention %s: open failed: %s\n", suite.c_str(),
+                 store.status().ToString().c_str());
+    run.failed = true;
+    return run;
+  }
+
+  // Timed replay in ingest-sized batches, then seal + one compaction pass
+  // that demotes every partition to the retention directory.
+  constexpr size_t kBatch = 8192;
+  run.ingest_wall_us = TimeUs([&] {
+    for (size_t i = 0; i < records.size(); i += kBatch) {
+      std::vector<EventRecord> batch(
+          records.begin() + i,
+          records.begin() + std::min(records.size(), i + kBatch));
+      if (!(*store)->AppendBatch(std::move(batch)).ok()) run.failed = true;
+    }
+    if (!(*store)->Seal().ok()) run.failed = true;
+  });
+  run.ingest_rate = run.ingest_wall_us == 0
+                        ? 0.0
+                        : static_cast<double>(run.records) /
+                              (static_cast<double>(run.ingest_wall_us) / 1e6);
+  if (!(*store)->CompactOnce().ok()) run.failed = true;
+  RetentionStats after = (*store)->stats();
+  if (after.hot_partitions != 0) {
+    std::fprintf(stderr, "  retention %s: %llu partitions still hot\n",
+                 suite.c_str(),
+                 static_cast<unsigned long long>(after.hot_partitions));
+    run.failed = true;
+  }
+
+  // Row-identity sweeps: every catalog query against the all-hot engine
+  // once, then `sweeps` passes over the cold store under the capped budget.
+  AiqlEngine hot_engine(&hot_db);
+  AiqlEngine cold_engine(store->get());
+  for (const CatalogQuery& query : queries) {
+    RetentionQueryRun q;
+    q.id = query.id;
+    auto hot = hot_engine.Execute(query.text);
+    if (!hot.ok()) {
+      std::fprintf(stderr, "  retention %s/%s hot FAILED: %s\n",
+                   suite.c_str(), query.id.c_str(),
+                   hot.status().ToString().c_str());
+      run.failed = true;
+      run.queries.push_back(q);
+      continue;
+    }
+    uint64_t want = RowsFingerprint(hot->table);
+    q.identical = true;
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      size_t rows = 0;
+      uint64_t got = 0;
+      bool ok = true;
+      int64_t us = TimeUs([&] {
+        auto cold = cold_engine.Execute(query.text);
+        if (cold.ok()) {
+          rows = cold->table.num_rows();
+          got = RowsFingerprint(cold->table);
+        } else {
+          ok = false;
+          std::fprintf(stderr, "  retention %s/%s cold FAILED: %s\n",
+                       suite.c_str(), query.id.c_str(),
+                       cold.status().ToString().c_str());
+        }
+      });
+      if (sweep == 0) {
+        q.wall_us = us;
+        q.rows = rows;
+      }
+      if (!ok || got != want) {
+        q.identical = false;
+        run.failed = true;
+      }
+      RetentionStats stats = (*store)->stats();
+      run.max_charged_bytes =
+          std::max(run.max_charged_bytes, stats.cache.charged_bytes);
+      run.rss_series_kb.push_back(ProcStatusKb("VmRSS:"));
+      run.resident_series.push_back(stats.cache.resident);
+    }
+    run.queries.push_back(std::move(q));
+  }
+
+  RetentionStats stats = (*store)->stats();
+  run.cold_partitions = stats.cold_partitions;
+  run.demotions = stats.demotions;
+  run.merges = stats.merges;
+  run.evictions = stats.cache.evictions;
+  run.reopens = stats.reopens;
+
+  store->reset();
+  std::remove((dir + "/DATA").c_str());
+  for (uint64_t seq = 0; seq <= 64; ++seq) {
+    std::remove((dir + "/FOOTER." + std::to_string(seq)).c_str());
+  }
+  std::filesystem::remove(dir);
+  return run;
+}
+
+void WriteRetentionJson(FILE* out, const RetentionBench& bench) {
+  std::fprintf(out,
+               "  \"retention\": {\"min_rate\": %.0f, \"rate_ok\": %s, "
+               "\"rows_identical\": %s, \"budget_respected\": %s, "
+               "\"rss_flat\": %s,\n",
+               bench.min_rate, bench.rate_ok ? "true" : "false",
+               bench.rows_identical ? "true" : "false",
+               bench.budget_respected ? "true" : "false",
+               bench.rss_flat ? "true" : "false");
+  std::fprintf(out, "    \"suites\": [\n");
+  for (size_t s = 0; s < bench.suites.size(); ++s) {
+    const RetentionSuiteRun& suite = bench.suites[s];
+    std::fprintf(
+        out,
+        "      {\"suite\": \"%s\", \"records\": %llu, \"ingest_us\": %lld, "
+        "\"ingest_rate\": %.0f,\n"
+        "       \"all_hot_bytes\": %llu, \"budget_bytes\": %llu, "
+        "\"max_charged_bytes\": %llu,\n"
+        "       \"cold_partitions\": %llu, \"demotions\": %llu, "
+        "\"merges\": %llu, \"evictions\": %llu, \"reopens\": %llu,\n",
+        suite.suite.c_str(), static_cast<unsigned long long>(suite.records),
+        static_cast<long long>(suite.ingest_wall_us), suite.ingest_rate,
+        static_cast<unsigned long long>(suite.all_hot_bytes),
+        static_cast<unsigned long long>(suite.budget_bytes),
+        static_cast<unsigned long long>(suite.max_charged_bytes),
+        static_cast<unsigned long long>(suite.cold_partitions),
+        static_cast<unsigned long long>(suite.demotions),
+        static_cast<unsigned long long>(suite.merges),
+        static_cast<unsigned long long>(suite.evictions),
+        static_cast<unsigned long long>(suite.reopens));
+    auto write_series = [out](const char* name,
+                              const std::vector<uint64_t>& series,
+                              const char* tail) {
+      std::fprintf(out, "       \"%s\": [", name);
+      for (size_t i = 0; i < series.size(); ++i) {
+        std::fprintf(out, "%s%llu", i > 0 ? ", " : "",
+                     static_cast<unsigned long long>(series[i]));
+      }
+      std::fprintf(out, "]%s\n", tail);
+    };
+    write_series("rss_series_kb", suite.rss_series_kb, ",");
+    write_series("partitions_resident", suite.resident_series, ",");
+    std::fprintf(out, "       \"queries\": [\n");
+    for (size_t i = 0; i < suite.queries.size(); ++i) {
+      const RetentionQueryRun& q = suite.queries[i];
+      std::fprintf(out,
+                   "         {\"id\": \"%s\", \"cold_us\": %lld, "
+                   "\"rows\": %zu, \"identical\": %s}%s\n",
+                   JsonEscape(q.id).c_str(),
+                   static_cast<long long>(q.wall_us), q.rows,
+                   q.identical ? "true" : "false",
+                   i + 1 < suite.queries.size() ? "," : "");
+    }
+    std::fprintf(out, "       ]}%s\n",
+                 s + 1 < bench.suites.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]},\n");
+}
+
 void WriteJson(FILE* out, const std::string& label,
                const ScenarioOptions& options, int repeat,
                const std::vector<QueryRun>& runs, const StorageRun& storage,
@@ -1488,7 +1759,8 @@ void WriteJson(FILE* out, const std::string& label,
                const std::vector<StreamSuiteRun>* streaming,
                const SnapshotBench* snapshot,
                const ProvenanceBench* provenance, const ShardedBench* sharded,
-               const ChaosBench* chaos, const KernelBench* kernels) {
+               const ChaosBench* chaos, const KernelBench* kernels,
+               const RetentionBench* retention) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"aiql_scan_path\",\n");
   std::fprintf(out, "  \"label\": \"%s\",\n", JsonEscape(label).c_str());
@@ -1515,6 +1787,7 @@ void WriteJson(FILE* out, const std::string& label,
   if (sharded != nullptr) WriteShardedJson(out, *sharded);
   if (chaos != nullptr) WriteChaosJson(out, *chaos);
   if (kernels != nullptr) WriteKernelJson(out, *kernels);
+  if (retention != nullptr) WriteRetentionJson(out, *retention);
 
   std::fprintf(out, "  \"queries\": [\n");
   int64_t total_us = 0, baseline_total_us = 0;
@@ -1589,6 +1862,7 @@ int main(int argc, char** argv) {
   bool sharded = false;
   bool chaos = false;
   bool kernels = false;
+  bool retention = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -1611,11 +1885,14 @@ int main(int argc, char** argv) {
       chaos = true;
     } else if (std::strcmp(argv[i], "--kernels") == 0) {
       kernels = true;
+    } else if (std::strcmp(argv[i], "--retention") == 0) {
+      retention = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out file.json] [--baseline file.json] "
                    "[--label name] [--streaming] [--snapshot] "
-                   "[--provenance] [--sharded] [--chaos] [--kernels]\n",
+                   "[--provenance] [--sharded] [--chaos] [--kernels] "
+                   "[--retention]\n",
                    argv[0]);
       return 2;
     }
@@ -1769,6 +2046,72 @@ int main(int argc, char** argv) {
     kernel_bench = RunKernelBench(options, repeat);
   }
 
+  // Retention mode: both suites replayed into fully demoted tiered stores
+  // with the cold cache capped at 25% of the all-hot footprint. Throughput,
+  // row identity, cache charge, and RSS flatness gate the exit code.
+  RetentionBench retention_bench;
+  if (retention) {
+    retention_bench.min_rate =
+        EnvDouble("AIQL_BENCH_RETENTION_MIN_RATE", 50000);
+    std::fprintf(stderr,
+                 "retention: tiered replay at 25%% budget, min rate %.0f "
+                 "records/s\n",
+                 retention_bench.min_rate);
+    int sweeps = 3;
+    retention_bench.suites.push_back(
+        RunRetentionSuite("fig4", demo.records,
+                          DemoInvestigationQueries(demo.truth), *demo_db,
+                          sweeps));
+    retention_bench.suites.push_back(RunRetentionSuite(
+        "fig5", atc.records, AtcInvestigationQueries(atc.truth), *atc_db,
+        sweeps));
+    retention_bench.rate_ok = true;
+    retention_bench.rows_identical = true;
+    retention_bench.budget_respected = true;
+    retention_bench.rss_flat = true;
+    for (const RetentionSuiteRun& suite : retention_bench.suites) {
+      if (suite.failed) retention_bench.rows_identical = false;
+      if (suite.ingest_rate < retention_bench.min_rate) {
+        retention_bench.rate_ok = false;
+      }
+      // The cache may overshoot by at most one oversized partition (an
+      // already-materialized partition is always admitted).
+      if (suite.max_charged_bytes >
+          suite.budget_bytes + suite.largest_partition_bytes) {
+        retention_bench.budget_respected = false;
+      }
+      // Flat RSS: growth across the cold sweeps stays well under the
+      // all-hot footprint (plus fixed allocator slop for small runs) —
+      // i.e. eviction actually bounds memory instead of re-accumulating
+      // every partition.
+      if (!suite.rss_series_kb.empty()) {
+        uint64_t first = suite.rss_series_kb.front();
+        uint64_t peak = *std::max_element(suite.rss_series_kb.begin(),
+                                          suite.rss_series_kb.end());
+        uint64_t growth = (peak > first ? peak - first : 0) * 1024;
+        if (growth > suite.all_hot_bytes / 2 + (64ull << 20)) {
+          retention_bench.rss_flat = false;
+        }
+      }
+      std::fprintf(
+          stderr,
+          "  retention %s: %llu records at %.0f rec/s, all-hot %llu B, "
+          "budget %llu B, peak charge %llu B, %llu cold, %llu evictions, "
+          "%llu reopens\n",
+          suite.suite.c_str(),
+          static_cast<unsigned long long>(suite.records), suite.ingest_rate,
+          static_cast<unsigned long long>(suite.all_hot_bytes),
+          static_cast<unsigned long long>(suite.budget_bytes),
+          static_cast<unsigned long long>(suite.max_charged_bytes),
+          static_cast<unsigned long long>(suite.cold_partitions),
+          static_cast<unsigned long long>(suite.evictions),
+          static_cast<unsigned long long>(suite.reopens));
+    }
+    retention_bench.failed =
+        !(retention_bench.rate_ok && retention_bench.rows_identical &&
+          retention_bench.budget_respected && retention_bench.rss_flat);
+  }
+
   // Streaming mode: re-ingest each suite's records at a pinned rate on a
   // background thread, concurrent with the suite's queries; verify the
   // post-Seal row counts against the sealed-batch runs above.
@@ -1826,7 +2169,8 @@ int main(int argc, char** argv) {
             provenance ? &provenance_bench : nullptr,
             sharded ? &sharded_bench : nullptr,
             chaos ? &chaos_bench : nullptr,
-            kernels ? &kernel_bench : nullptr);
+            kernels ? &kernel_bench : nullptr,
+            retention ? &retention_bench : nullptr);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
@@ -1849,6 +2193,16 @@ int main(int argc, char** argv) {
   }
   if (kernels && kernel_bench.failed) {
     std::fprintf(stderr, "kernel bench verification failed\n");
+    return 1;
+  }
+  if (retention && retention_bench.failed) {
+    std::fprintf(stderr,
+                 "retention bench verification failed (rate_ok=%d "
+                 "rows_identical=%d budget_respected=%d rss_flat=%d)\n",
+                 retention_bench.rate_ok ? 1 : 0,
+                 retention_bench.rows_identical ? 1 : 0,
+                 retention_bench.budget_respected ? 1 : 0,
+                 retention_bench.rss_flat ? 1 : 0);
     return 1;
   }
   int failures = 0;

@@ -16,6 +16,13 @@
 //   --queue <n>          admission queue depth behind the running queries
 //   --queue-wait-ms <n>  longest a queued query waits for a slot
 //   --timeout-ms <n>     initial per-session query deadline (0 = none)
+//   --retention <dir>    tiered retention: demote sealed partitions older
+//                        than the hot window into <dir>, background
+//                        compactor on (single-database sessions serve
+//                        hot + cold; see docs/retention.md)
+//   --retention-budget <bytes>  cold-partition cache budget (0 = unlimited)
+//   --retention-hot <n>  buckets kept hot behind the newest (default 2)
+//   --retention-keep <n> buckets retained before tombstoning (0 = forever)
 //
 // The server runs until stdin reaches EOF or reads a line saying "quit",
 // then shuts down cleanly and prints its counters. Exit code 0 on a clean
@@ -26,6 +33,7 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +41,7 @@
 #include "server/aiql_server.h"
 #include "simulator/scenario.h"
 #include "storage/shard_map.h"
+#include "storage/tiered.h"
 
 using namespace aiql;
 
@@ -42,6 +51,7 @@ struct ServerArgs {
   ServerOptions server;
   size_t num_shards = 4;
   double rate = -1.0;  // < 0 = scenario default
+  RetentionOptions retention;  // active when dir is non-empty
 };
 
 bool ParseArgs(int argc, char** argv, ServerArgs* args) {
@@ -54,6 +64,10 @@ bool ParseArgs(int argc, char** argv, ServerArgs* args) {
     std::string value = argv[++i];
     if (flag == "--host") {
       args->server.host = value;
+      continue;
+    }
+    if (flag == "--retention") {
+      args->retention.dir = value;
       continue;
     }
     if (flag == "--rate") {
@@ -88,6 +102,12 @@ bool ParseArgs(int argc, char** argv, ServerArgs* args) {
       args->server.admission_wait = std::chrono::milliseconds(*number);
     } else if (flag == "--timeout-ms") {
       args->server.session_limits.timeout = std::chrono::milliseconds(*number);
+    } else if (flag == "--retention-budget") {
+      args->retention.memory_budget_bytes = static_cast<size_t>(*number);
+    } else if (flag == "--retention-hot") {
+      args->retention.hot_buckets = *number;
+    } else if (flag == "--retention-keep") {
+      args->retention.retention_buckets = *number;
     } else {
       std::fprintf(stderr, "unknown or out-of-range flag '%s %s'\n",
                    flag.c_str(), value.c_str());
@@ -109,13 +129,34 @@ int main(int argc, char** argv) {
   if (args.rate > 0.0) scenario.events_per_host_per_hour = args.rate;
   DemoScenarioData data = GenerateDemoScenario(scenario);
 
-  // Backends: a single database always (so sessions can `shards off`), and
-  // a shard map when --shards > 0.
-  auto db = IngestRecords(data.records, StorageOptions{});
-  if (!db.ok()) {
-    std::fprintf(stderr, "ingest failed: %s\n",
-                 db.status().ToString().c_str());
-    return 1;
+  // Backends: a single database (or tiered store with --retention) always,
+  // so sessions can `shards off`, and a shard map when --shards > 0.
+  std::optional<AuditDatabase> db;
+  std::unique_ptr<TieredStore> tiered;
+  if (!args.retention.dir.empty()) {
+    auto store = TieredStore::Create(StorageOptions{}, args.retention);
+    if (!store.ok()) {
+      std::fprintf(stderr, "retention open failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    tiered = std::move(*store);
+    Status appended = tiered->AppendBatch(data.records);
+    if (appended.ok()) appended = tiered->Flush();
+    if (!appended.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   appended.ToString().c_str());
+      return 1;
+    }
+    tiered->StartCompactor();
+  } else {
+    auto ingested = IngestRecords(data.records, StorageOptions{});
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingested.status().ToString().c_str());
+      return 1;
+    }
+    db.emplace(std::move(*ingested));
   }
   std::vector<std::unique_ptr<AuditDatabase>> shard_dbs;
   ShardMap shard_map;
@@ -150,23 +191,31 @@ int main(int argc, char** argv) {
     have_shards = true;
   }
 
-  AiqlServer server(&*db, have_shards ? &shard_map : nullptr, args.server);
-  Status started = server.Start();
+  std::unique_ptr<AiqlServer> server;
+  if (tiered != nullptr) {
+    server = std::make_unique<AiqlServer>(
+        tiered.get(), have_shards ? &shard_map : nullptr, args.server);
+  } else {
+    server = std::make_unique<AiqlServer>(
+        &*db, have_shards ? &shard_map : nullptr, args.server);
+  }
+  Status started = server->Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 1;
   }
   // The smoke harness scrapes this exact line for the bound port.
   std::printf("listening on %s:%u\n", args.server.host.c_str(),
-              server.port());
+              server->port());
   std::fflush(stdout);
 
   std::string line;
   while (std::getline(std::cin, line)) {
     if (std::string(TrimString(line)) == "quit") break;
   }
-  server.Stop();
-  ServerCounters counters = server.stats();
+  server->Stop();
+  if (tiered != nullptr) tiered->StopCompactor();
+  ServerCounters counters = server->stats();
   std::printf("shutdown: %llu sessions (%llu refused), %llu queries ok, "
               "%llu failed, %llu rejected by admission, %llu tracks, "
               "%llu bad frames\n",

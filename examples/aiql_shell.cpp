@@ -469,9 +469,41 @@ bool RenderResponse(const Response& response, double elapsed_ms) {
     case MsgType::kCheckOk:
       std::printf("ok: valid %s query\n", response.text.c_str());
       return true;
+    case MsgType::kStatsOk:
+      PrintTextBlock(response.text);
+      // Structured tail (absent from pre-retention servers): render the
+      // decoded fields so budget drift is visible even if the server's
+      // text rendering ever diverges from its counters.
+      if (response.stats_fields.has_fields) {
+        const StatsFields& f = response.stats_fields;
+        std::string budget = f.cache_budget_bytes == 0
+                                 ? "unlimited"
+                                 : std::to_string(f.cache_budget_bytes);
+        std::printf("tiers: %llu hot / %llu cold partitions; cache %llu/%s "
+                    "bytes, %llu resident, %llu hits, %llu misses, "
+                    "%llu evictions\n",
+                    static_cast<unsigned long long>(f.hot_partitions),
+                    static_cast<unsigned long long>(f.cold_partitions),
+                    static_cast<unsigned long long>(f.cache_charged_bytes),
+                    budget.c_str(),
+                    static_cast<unsigned long long>(f.cache_resident),
+                    static_cast<unsigned long long>(f.cache_hits),
+                    static_cast<unsigned long long>(f.cache_misses),
+                    static_cast<unsigned long long>(f.cache_evictions));
+        std::printf("compactor: %llu passes, %llu merges, %llu demotions, "
+                    "%llu tombstones, %llu commits, %llu reopens, "
+                    "%llu entities aged\n",
+                    static_cast<unsigned long long>(f.compactor_passes),
+                    static_cast<unsigned long long>(f.merges),
+                    static_cast<unsigned long long>(f.demotions),
+                    static_cast<unsigned long long>(f.tombstones),
+                    static_cast<unsigned long long>(f.commits),
+                    static_cast<unsigned long long>(f.reopens),
+                    static_cast<unsigned long long>(f.entities_aged));
+      }
+      return true;
     case MsgType::kExplainOk:
     case MsgType::kOptionOk:
-    case MsgType::kStatsOk:
       PrintTextBlock(response.text);
       return true;
     case MsgType::kHelloOk:

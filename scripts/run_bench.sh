@@ -3,7 +3,14 @@
 # a BENCH_*.json trajectory file (schema in README.md).
 #
 #   scripts/run_bench.sh [--baseline prev.json] [--out BENCH_PRn.json] \
-#                        [--label after] [--streaming] [--snapshot]
+#                        [--label after] [--streaming] [--snapshot] \
+#                        [--retention]
+#
+# --retention replays both suites into fully demoted tiered stores with the
+# cold cache capped at 25% of the all-hot footprint; the JSON gains a
+# "retention" section with peak-RSS and partitions-resident series, and the
+# run fails unless throughput, row identity, cache charge, and RSS flatness
+# all hold (see docs/retention.md).
 #
 # The configuration is pinned so numbers stay comparable across PRs on the
 # same machine; override AIQL_BENCH_* in the environment only for local
@@ -25,5 +32,7 @@ export AIQL_BENCH_HOURS="${AIQL_BENCH_HOURS:-6}"
 export AIQL_BENCH_REPEAT="${AIQL_BENCH_REPEAT:-5}"
 # Pinned streaming ingest rate for `--streaming` runs (records/second).
 export AIQL_BENCH_STREAM_RATE="${AIQL_BENCH_STREAM_RATE:-50000}"
+# Throughput floor for `--retention` replay into the tiered store.
+export AIQL_BENCH_RETENTION_MIN_RATE="${AIQL_BENCH_RETENTION_MIN_RATE:-50000}"
 
 exec "${RUNNER}" "$@"

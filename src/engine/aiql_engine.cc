@@ -11,6 +11,7 @@
 #include "query/parser.h"
 #include "storage/shard_map.h"
 #include "storage/snapshot.h"
+#include "storage/tiered.h"
 
 namespace aiql {
 
@@ -39,10 +40,19 @@ AiqlEngine::AiqlEngine(const AuditDatabase* db, EngineOptions options)
 AiqlEngine::AiqlEngine(const SnapshotStore* snapshot, EngineOptions options)
     : snapshot_(snapshot), options_(options), pool_(MakePool(options_)) {}
 
+AiqlEngine::AiqlEngine(const TieredStore* tiered, EngineOptions options)
+    : tiered_(tiered), options_(options), pool_(MakePool(options_)) {}
+
 AiqlEngine::AiqlEngine(const ShardMap* shards, EngineOptions options)
     : shards_(shards), options_(options), pool_(MakePool(options_)) {}
 
 AiqlEngine::~AiqlEngine() = default;
+
+ReadView AiqlEngine::OpenView() const {
+  if (db_ != nullptr) return db_->OpenReadView();
+  if (tiered_ != nullptr) return tiered_->OpenReadView();
+  return snapshot_->OpenReadView();
+}
 
 Result<QueryResult> AiqlEngine::Execute(std::string_view text) {
   // Engine-default governance: any nonzero default limit builds a fresh
@@ -75,10 +85,13 @@ Result<QueryResult> AiqlEngine::Dispatch(const ParsedQuery& parsed,
   // One consistent snapshot of the sealed partitions per query: the view
   // holds the database's state lock shared, so ingestion keeps buffering
   // while this query runs and commits apply once the view closes. A
-  // snapshot-backed view instead selects against the on-disk directory and
-  // materializes only the partitions this query touches.
-  ReadView view =
-      db_ != nullptr ? db_->OpenReadView() : snapshot_->OpenReadView();
+  // snapshot- or tiered-backed view instead selects against the on-disk
+  // directory and materializes only the partitions this query touches.
+  ReadView view = OpenView();
+  // Bind the context for the dispatching thread: partition selection may
+  // materialize cold partitions, which charge the query's memory budget
+  // through the ambient context (workers re-bind it themselves).
+  ScopedQueryContext bind(ctx);
   switch (parsed.kind) {
     case QueryKind::kMultievent: {
       AIQL_ASSIGN_OR_RETURN(
@@ -144,8 +157,8 @@ Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request) {
 Result<ProvenanceResult> AiqlEngine::Track(const TrackRequest& request,
                                            QueryContext* ctx) {
   if (shards_ != nullptr) return TrackSharded(request, ctx);
-  ReadView view =
-      db_ != nullptr ? db_->OpenReadView() : snapshot_->OpenReadView();
+  ReadView view = OpenView();
+  ScopedQueryContext bind(ctx);
   const EntityStore& entities = view.entities();
   LikeMatcher matcher(request.name_like);
   std::vector<EntityId> ids;

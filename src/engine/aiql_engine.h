@@ -22,6 +22,7 @@ namespace aiql {
 
 class SnapshotStore;
 class ShardMap;
+class TieredStore;
 
 /// Point-of-interest specification for AiqlEngine::Track(): every entity of
 /// `type` whose default attribute (exe name / path / dst ip) matches
@@ -54,6 +55,13 @@ class AiqlEngine {
   /// data stored. `snapshot` must outlive the engine.
   explicit AiqlEngine(const SnapshotStore* snapshot,
                       EngineOptions options = {});
+
+  /// Tiered-retention mode: queries run over the store's hot + cold
+  /// partitions through one consistent view; cold partitions selected by a
+  /// query materialize through the store's memory-budgeted cache (blocking
+  /// the query mid-stream for the reopen I/O) and are charged to the
+  /// query's byte budget. `tiered` must outlive the engine.
+  explicit AiqlEngine(const TieredStore* tiered, EngineOptions options = {});
 
   /// Sharded mode: queries scatter across the map's shards (each backed by
   /// a database or snapshot keyed by agent range) and gather through the
@@ -104,8 +112,12 @@ class AiqlEngine {
   Result<ProvenanceResult> TrackSharded(const TrackRequest& request,
                                         QueryContext* ctx);
 
+  /// Opens the backing store's read view (database, tiered, or snapshot).
+  ReadView OpenView() const;
+
   const AuditDatabase* db_ = nullptr;
   const SnapshotStore* snapshot_ = nullptr;
+  const TieredStore* tiered_ = nullptr;
   const ShardMap* shards_ = nullptr;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;

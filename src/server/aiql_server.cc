@@ -12,6 +12,7 @@
 #include "graph/graph_store.h"
 #include "storage/database.h"
 #include "storage/shard_map.h"
+#include "storage/tiered.h"
 
 namespace aiql {
 
@@ -69,6 +70,16 @@ void AdmissionGate::Shutdown() {
   cv_.notify_all();
 }
 
+void AdmissionGate::SetMaxRunning(size_t max_running) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_running_ = std::max<size_t>(1, max_running);
+  }
+  // Raising the cap may free slots for waiters; lowering is a no-op for
+  // them and the spurious wakeup is harmless.
+  cv_.notify_all();
+}
+
 size_t AdmissionGate::running() const {
   std::lock_guard<std::mutex> lock(mu_);
   return running_;
@@ -77,6 +88,11 @@ size_t AdmissionGate::running() const {
 size_t AdmissionGate::waiting() const {
   std::lock_guard<std::mutex> lock(mu_);
   return waiting_;
+}
+
+size_t AdmissionGate::max_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_running_;
 }
 
 // ---------------------------------------------------------------------------
@@ -237,7 +253,65 @@ AiqlServer::AiqlServer(const AuditDatabase* db, const ShardMap* shards,
   }
 }
 
+AiqlServer::AiqlServer(const TieredStore* tiered, const ShardMap* shards,
+                       ServerOptions options, EngineOptions engine_options)
+    : AiqlServer(tiered != nullptr ? &tiered->db() : nullptr, shards,
+                 std::move(options), engine_options) {
+  if (tiered != nullptr) {
+    // Replace the hot-only engine the delegated constructor built with one
+    // over the full tiered store (hot + cold partitions).
+    engine_options.default_limits = QueryLimits{};
+    engine_single_ = std::make_unique<AiqlEngine>(tiered, engine_options);
+    AttachRetention(tiered);
+  }
+}
+
 AiqlServer::~AiqlServer() { Stop(); }
+
+void AiqlServer::AttachRetention(const TieredStore* tiered) {
+  if (tiered != nullptr) retention_.push_back(tiered);
+}
+
+StatsFields AiqlServer::RetentionFields() const {
+  StatsFields fields;
+  fields.has_fields = true;
+  for (const TieredStore* store : retention_) {
+    RetentionStats s = store->stats();
+    fields.hot_partitions += s.hot_partitions;
+    fields.cold_partitions += s.cold_partitions;
+    fields.cache_budget_bytes += s.cache.budget_bytes;
+    fields.cache_charged_bytes += s.cache.charged_bytes;
+    fields.cache_resident += s.cache.resident;
+    fields.cache_hits += s.cache.hits;
+    fields.cache_misses += s.cache.misses;
+    fields.cache_evictions += s.cache.evictions;
+    fields.compactor_passes += s.compactor_passes;
+    fields.merges += s.merges;
+    fields.demotions += s.demotions;
+    fields.tombstones += s.tombstones;
+    fields.commits += s.commits;
+    fields.reopens += s.reopens;
+    fields.entities_aged += s.entities_aged;
+  }
+  return fields;
+}
+
+void AiqlServer::UpdateAdmissionPressure() {
+  if (retention_.empty()) return;
+  uint64_t budget = 0, charged = 0;
+  for (const TieredStore* store : retention_) {
+    PartitionCacheStats cache = store->cache()->stats();
+    budget += cache.budget_bytes;
+    charged += cache.charged_bytes;
+  }
+  if (budget == 0) return;  // unlimited caches exert no pressure
+  // Over budget means view pins are holding more cold bytes resident than
+  // eviction can reclaim: halve the query cap so new queries stop piling
+  // additional pins on top, and restore it once the charge drains.
+  size_t cap = options_.max_concurrent_queries;
+  if (charged > budget) cap = std::max<size_t>(1, cap / 2);
+  gate_.SetMaxRunning(cap);
+}
 
 Status AiqlServer::Start() {
   if (db_ == nullptr && shards_ == nullptr) {
@@ -408,7 +482,13 @@ std::string AiqlServer::HandleRequest(Session* session,
     case MsgType::kPing:
       return EncodePong();
     case MsgType::kStats:
-      return EncodeTextResponse(MsgType::kStatsOk, RenderStats(*session));
+      // Without retention state send the legacy text-only frame — the
+      // same bytes a pre-retention server produces — so both decode
+      // paths stay exercised.
+      if (retention_.empty()) {
+        return EncodeTextResponse(MsgType::kStatsOk, RenderStats(*session));
+      }
+      return EncodeStatsOk(RenderStats(*session), RetentionFields());
     case MsgType::kCheck: {
       auto kind = EngineFor(*session)->Check(request.text);
       if (!kind.ok()) return EncodeError(kind.status());
@@ -433,6 +513,7 @@ std::string AiqlServer::HandleRequest(Session* session,
 
 std::string AiqlServer::HandleQuery(Session* session, const std::string& text,
                                     bool explain_only) {
+  UpdateAdmissionPressure();
   Status admitted = gate_.Enter();
   if (!admitted.ok()) {
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -482,6 +563,7 @@ std::string AiqlServer::HandleTrack(Session* session,
         "dot/cypher export is single-database only; send `shards off` "
         "first"));
   }
+  UpdateAdmissionPressure();
   Status admitted = gate_.Enter();
   if (!admitted.ok()) {
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -624,6 +706,25 @@ std::string AiqlServer::RenderStats(const Session& session) const {
   std::string out;
   if (db_ != nullptr) out += RenderDbStats(*db_);
   if (shards_ != nullptr) out += RenderShardLayout(*shards_);
+  if (!retention_.empty()) {
+    StatsFields f = RetentionFields();
+    out += "retention: " + std::to_string(f.hot_partitions) + " hot, " +
+           std::to_string(f.cold_partitions) + " cold partitions; cache " +
+           std::to_string(f.cache_charged_bytes) + "/" +
+           (f.cache_budget_bytes == 0
+                ? std::string("unlimited")
+                : std::to_string(f.cache_budget_bytes)) +
+           " bytes (" + std::to_string(f.cache_resident) + " resident, " +
+           std::to_string(f.cache_evictions) + " evictions); admission cap " +
+           std::to_string(gate_.max_running()) + "\n";
+    out += "compactor: " + std::to_string(f.compactor_passes) + " passes, " +
+           std::to_string(f.merges) + " merges, " +
+           std::to_string(f.demotions) + " demotions, " +
+           std::to_string(f.tombstones) + " tombstones, " +
+           std::to_string(f.commits) + " commits, " +
+           std::to_string(f.reopens) + " reopens, " +
+           std::to_string(f.entities_aged) + " entities aged\n";
+  }
   out += "session " + std::to_string(session.id) + ": shards=" +
          (session.use_shards ? "on" : "off") + " partial=" +
          (session.partial ? "on" : "off");

@@ -41,6 +41,7 @@ namespace aiql {
 
 class AuditDatabase;
 class ShardMap;
+class TieredStore;
 
 /// Admission control for one shared execution resource: up to
 /// `max_running` holders at once, up to `max_waiting` queued behind them
@@ -62,11 +63,18 @@ class AdmissionGate {
   /// Wakes every waiter with kCancelled; subsequent Enters fail.
   void Shutdown();
 
+  /// Adjusts the running-slot cap (clamped to >= 1). Lowering it never
+  /// evicts running holders — the gate just stops admitting until enough
+  /// Leave(); raising it wakes waiters. Used by the server to shed query
+  /// concurrency while the cold-partition cache is over budget.
+  void SetMaxRunning(size_t max_running);
+
   size_t running() const;
   size_t waiting() const;
+  size_t max_running() const;
 
  private:
-  const size_t max_running_;
+  size_t max_running_;  ///< guarded by mu_
   const size_t max_waiting_;
   const std::chrono::milliseconds max_wait_;
   mutable std::mutex mu_;
@@ -121,6 +129,11 @@ class AiqlServer {
   /// governance comes from per-session limits.
   AiqlServer(const AuditDatabase* db, const ShardMap* shards,
              ServerOptions options = {}, EngineOptions engine_options = {});
+  /// Tiered-retention backend: single-database sessions query the tiered
+  /// store (hot + cold partitions), and the store's counters/cache
+  /// pressure are attached as if by AttachRetention. `shards` as above.
+  AiqlServer(const TieredStore* tiered, const ShardMap* shards,
+             ServerOptions options = {}, EngineOptions engine_options = {});
   ~AiqlServer();
 
   AiqlServer(const AiqlServer&) = delete;
@@ -133,6 +146,15 @@ class AiqlServer {
   /// Idempotent shutdown: stops accepting, cancels in-flight query
   /// contexts, unblocks session reads, joins every thread.
   void Stop();
+
+  /// Registers a tiered-retention store whose lifecycle counters feed the
+  /// kStatsOk structured tail and whose cache pressure feeds admission
+  /// control (call once per store, before Start; borrowed). When the
+  /// aggregate cold-cache charge exceeds the aggregate budget — pinned
+  /// materializations overcommitting RAM — the server halves the
+  /// concurrent-query cap until the charge drains back under budget, so
+  /// admission stops stacking new pinning queries onto cache pressure.
+  void AttachRetention(const TieredStore* tiered);
 
   /// Bound port (after a successful Start).
   uint16_t port() const { return listener_.port(); }
@@ -155,11 +177,16 @@ class AiqlServer {
   std::string HandleSetOption(Session* session, const std::string& name,
                               const std::string& value);
   std::string RenderStats(const Session& session) const;
+  /// Aggregated retention counters across every attached store.
+  StatsFields RetentionFields() const;
+  /// Re-derives the admission cap from current cache pressure.
+  void UpdateAdmissionPressure();
   AiqlEngine* EngineFor(const Session& session) const;
   void ReapFinishedSessions();
 
   const AuditDatabase* db_ = nullptr;
   const ShardMap* shards_ = nullptr;
+  std::vector<const TieredStore*> retention_;
   ServerOptions options_;
 
   // One engine per (backend, degradation policy) the sessions can select;

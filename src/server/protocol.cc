@@ -1,6 +1,8 @@
 #include "server/protocol.h"
 
 #include <cstring>
+#include <iterator>
+#include <utility>
 
 #include "common/varint.h"
 
@@ -60,6 +62,52 @@ void PutStats(std::string* dst, const QueryStats& stats) {
   PutVarint64(dst, stats.join_candidates);
   PutVarint64(dst, static_cast<uint64_t>(stats.patterns));
   PutVarint64(dst, static_cast<uint64_t>(stats.threads_used));
+}
+
+// Permanent tag numbers of the kStatsOk structured tail. Never renumber or
+// reuse a retired tag — decoders skip tags they do not know, which is the
+// whole version-tolerance story.
+enum StatsFieldTag : uint64_t {
+  kTagHotPartitions = 1,
+  kTagColdPartitions = 2,
+  kTagCacheBudgetBytes = 3,
+  kTagCacheChargedBytes = 4,
+  kTagCacheResident = 5,
+  kTagCacheHits = 6,
+  kTagCacheMisses = 7,
+  kTagCacheEvictions = 8,
+  kTagCompactorPasses = 9,
+  kTagMerges = 10,
+  kTagDemotions = 11,
+  kTagTombstones = 12,
+  kTagCommits = 13,
+  kTagReopens = 14,
+  kTagEntitiesAged = 15,
+};
+
+void PutStatsFields(std::string* dst, const StatsFields& fields) {
+  const std::pair<uint64_t, uint64_t> pairs[] = {
+      {kTagHotPartitions, fields.hot_partitions},
+      {kTagColdPartitions, fields.cold_partitions},
+      {kTagCacheBudgetBytes, fields.cache_budget_bytes},
+      {kTagCacheChargedBytes, fields.cache_charged_bytes},
+      {kTagCacheResident, fields.cache_resident},
+      {kTagCacheHits, fields.cache_hits},
+      {kTagCacheMisses, fields.cache_misses},
+      {kTagCacheEvictions, fields.cache_evictions},
+      {kTagCompactorPasses, fields.compactor_passes},
+      {kTagMerges, fields.merges},
+      {kTagDemotions, fields.demotions},
+      {kTagTombstones, fields.tombstones},
+      {kTagCommits, fields.commits},
+      {kTagReopens, fields.reopens},
+      {kTagEntitiesAged, fields.entities_aged},
+  };
+  PutVarint64(dst, std::size(pairs));
+  for (const auto& [tag, value] : pairs) {
+    PutVarint64(dst, tag);
+    PutVarint64(dst, value);
+  }
 }
 
 // --- Bounds-checked decoding ---
@@ -183,6 +231,36 @@ bool GetStats(Reader* reader, QueryStats* stats) {
   return true;
 }
 
+bool GetStatsFields(Reader* reader, StatsFields* fields) {
+  uint64_t count = 0;
+  if (!reader->U64(&count) || !CountPlausible(count, *reader)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t tag = 0, value = 0;
+    if (!reader->U64(&tag) || !reader->U64(&value)) return false;
+    switch (tag) {
+      case kTagHotPartitions: fields->hot_partitions = value; break;
+      case kTagColdPartitions: fields->cold_partitions = value; break;
+      case kTagCacheBudgetBytes: fields->cache_budget_bytes = value; break;
+      case kTagCacheChargedBytes: fields->cache_charged_bytes = value; break;
+      case kTagCacheResident: fields->cache_resident = value; break;
+      case kTagCacheHits: fields->cache_hits = value; break;
+      case kTagCacheMisses: fields->cache_misses = value; break;
+      case kTagCacheEvictions: fields->cache_evictions = value; break;
+      case kTagCompactorPasses: fields->compactor_passes = value; break;
+      case kTagMerges: fields->merges = value; break;
+      case kTagDemotions: fields->demotions = value; break;
+      case kTagTombstones: fields->tombstones = value; break;
+      case kTagCommits: fields->commits = value; break;
+      case kTagReopens: fields->reopens = value; break;
+      case kTagEntitiesAged: fields->entities_aged = value; break;
+      default:
+        break;  // unknown tag from a newer peer: skip, never reject
+    }
+  }
+  fields->has_fields = true;
+  return true;
+}
+
 Status Malformed(const char* what) {
   return Status::InvalidArgument(std::string("malformed frame: ") + what);
 }
@@ -280,6 +358,12 @@ std::string EncodeTextResponse(MsgType type, std::string_view text) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(type));
   PutString(&out, text);
+  return out;
+}
+
+std::string EncodeStatsOk(std::string_view text, const StatsFields& fields) {
+  std::string out = EncodeTextResponse(MsgType::kStatsOk, text);
+  PutStatsFields(&out, fields);
   return out;
 }
 
@@ -399,8 +483,16 @@ Result<Response> DecodeResponse(std::string_view payload) {
         return Malformed("track reply");
       }
       break;
-    case MsgType::kOptionOk:
     case MsgType::kStatsOk:
+      if (!reader.Str(&response.text)) return Malformed("text body");
+      // Structured tail is optional: a pre-retention server sends only the
+      // rendered text. Anything present must decode cleanly, though.
+      if (!reader.Done() &&
+          !GetStatsFields(&reader, &response.stats_fields)) {
+        return Malformed("stats fields");
+      }
+      break;
+    case MsgType::kOptionOk:
     case MsgType::kCheckOk:
     case MsgType::kExplainOk:
       if (!reader.Str(&response.text)) return Malformed("text body");

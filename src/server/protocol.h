@@ -43,7 +43,8 @@ enum class MsgType : uint8_t {
   kQueryOk = 0x41,    ///< body: serialized QueryReply
   kTrackOk = 0x42,    ///< body: serialized TrackReply
   kOptionOk = 0x43,   ///< body: string confirmation
-  kStatsOk = 0x44,    ///< body: string rendered statistics
+  kStatsOk = 0x44,    ///< body: string rendered statistics, then an
+                      ///< optional structured tail (StatsFields)
   kPong = 0x45,       ///< no body
   kCheckOk = 0x46,    ///< body: string query kind
   kExplainOk = 0x47,  ///< body: string plan
@@ -89,6 +90,37 @@ struct TrackReply {
   std::string text;  ///< non-empty for dot/cypher exports
 };
 
+/// Structured statistics carried by kStatsOk after the rendered text, as a
+/// varint field count followed by (varint tag, varint value) pairs.
+/// Version tolerance runs both directions: an older server omits the tail
+/// entirely (the decoder leaves `has_fields` false), and a newer server may
+/// add tags this build does not know — unknown tags are skipped, never an
+/// error. Tag numbers are permanent once assigned (see protocol.cc).
+struct StatsFields {
+  bool has_fields = false;  ///< decode side: structured tail was present
+
+  // Partition residence (gauges).
+  uint64_t hot_partitions = 0;   ///< sealed partitions resident in RAM
+  uint64_t cold_partitions = 0;  ///< partitions in the retention directory
+
+  // Cold-partition cache (gauges except hits/misses/evictions).
+  uint64_t cache_budget_bytes = 0;   ///< 0 = unlimited
+  uint64_t cache_charged_bytes = 0;  ///< bytes charged by resident entries
+  uint64_t cache_resident = 0;       ///< materialized cold partitions
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
+  // Compactor lifecycle counters (monotone).
+  uint64_t compactor_passes = 0;
+  uint64_t merges = 0;         ///< merge-compaction commits
+  uint64_t demotions = 0;      ///< partitions demoted to cold
+  uint64_t tombstones = 0;     ///< cold partitions expired + dropped
+  uint64_t commits = 0;        ///< durable footer commits
+  uint64_t reopens = 0;        ///< cold decodes after first residence
+  uint64_t entities_aged = 0;  ///< entities past the retention horizon
+};
+
 /// One decoded response frame.
 struct Response {
   MsgType type = MsgType::kError;
@@ -97,6 +129,7 @@ struct Response {
   TrackReply track;   ///< kTrackOk
   std::string text;   ///< kHelloOk banner / kOptionOk / kStatsOk /
                       ///< kCheckOk / kExplainOk
+  StatsFields stats_fields;  ///< kStatsOk structured tail (optional)
   uint32_t version = 0;  ///< kHelloOk
 };
 
@@ -113,6 +146,10 @@ std::string EncodeHelloOk(std::string_view banner);
 std::string EncodeQueryOk(const QueryReply& reply);
 std::string EncodeTrackOk(const TrackReply& reply);
 std::string EncodeTextResponse(MsgType type, std::string_view text);
+/// kStatsOk with the structured tail. A server without retention state can
+/// instead send EncodeTextResponse(kStatsOk, text) — the legacy frame —
+/// and clients must handle both (StatsFields::has_fields discriminates).
+std::string EncodeStatsOk(std::string_view text, const StatsFields& fields);
 std::string EncodePong();
 
 // --- Decoding ---

@@ -28,7 +28,10 @@ Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
 ReadView::SelectPartitions(
     const TimeRange& range,
     const std::optional<std::vector<AgentId>>& agents) const {
-  if (store_ != nullptr) return store_->SelectPartitions(range, agents);
+  if (tiered_ != nullptr) return TieredSelectPartitions(*this, range, agents);
+  if (store_ != nullptr) {
+    return store_->SelectPartitions(range, agents, pins_.get());
+  }
   std::vector<std::pair<PartitionKey, const EventPartition*>> out;
   for (const auto& [key, partition] : partitions_) {
     if (!PartitionStatsSelected(range, agents, options_->enable_partitioning,
@@ -317,6 +320,60 @@ void AuditDatabase::FinishRestore() {
   open_.clear();
   agent_clock_.clear();
   sync_->finalized.store(true, std::memory_order_release);
+}
+
+std::vector<std::pair<PartitionMapKey, const EventPartition*>>
+AuditDatabase::ListSealedPartitions() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->state_mu);
+  std::vector<std::pair<PartitionMapKey, const EventPartition*>> out;
+  out.reserve(partitions_.size());
+  for (const auto& [key, partition] : partitions_) {
+    if (!partition->sealed()) continue;
+    out.emplace_back(key, partition.get());
+  }
+  return out;
+}
+
+void AuditDatabase::ExtractSealedPartitions(
+    const std::vector<PartitionMapKey>& keys,
+    const std::function<void(const PartitionMapKey&,
+                             std::unique_ptr<EventPartition>)>& sink) {
+  std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+  for (const PartitionMapKey& key : keys) {
+    auto it = partitions_.find(key);
+    if (it == partitions_.end() || !it->second->sealed()) continue;
+    std::unique_ptr<EventPartition> partition = std::move(it->second);
+    partitions_.erase(it);
+    sink(key, std::move(partition));
+  }
+}
+
+Status AuditDatabase::ReplaceSealedPartitions(
+    const std::vector<PartitionMapKey>& old_keys,
+    std::unique_ptr<EventPartition> merged) {
+  if (old_keys.empty() || merged == nullptr || !merged->sealed()) {
+    return Status::InvalidArgument("merge replacement needs sealed input");
+  }
+  std::unique_lock<std::shared_mutex> lock(sync_->state_mu);
+  uint32_t lowest_seq = UINT32_MAX;
+  for (const PartitionMapKey& key : old_keys) {
+    if (std::get<0>(key) != std::get<0>(old_keys[0]) ||
+        std::get<1>(key) != std::get<1>(old_keys[0])) {
+      return Status::InvalidArgument(
+          "merge replacement spans multiple (bucket, agent) groups");
+    }
+    auto it = partitions_.find(key);
+    if (it == partitions_.end() || !it->second->sealed()) {
+      return Status::InvalidArgument(
+          "merge replacement names a missing or unsealed partition");
+    }
+    lowest_seq = std::min(lowest_seq, std::get<2>(key));
+  }
+  for (const PartitionMapKey& key : old_keys) partitions_.erase(key);
+  partitions_.emplace(PartitionMapKey{std::get<0>(old_keys[0]),
+                                      std::get<1>(old_keys[0]), lowest_seq},
+                      std::move(merged));
+  return Status::OK();
 }
 
 ReadView AuditDatabase::OpenReadView() const {

@@ -102,6 +102,34 @@ using PartitionMapKey = std::tuple<int64_t, AgentId, uint32_t>;
 
 class AuditDatabase;
 class SnapshotStore;
+class TieredStore;
+class ReadView;
+
+/// Keeps cold-partition materializations alive for the lifetime of the
+/// ReadView that selected them. A memory-budgeted PartitionCache may evict
+/// a partition while a query is still scanning it; the query's pin (a
+/// shared_ptr copy) keeps the bytes valid, so eviction reclaims budget
+/// without invalidating in-flight reads. Thread-safe: parallel scan workers
+/// may pin through one view concurrently.
+struct PartitionPinSet {
+  std::mutex mu;
+  std::vector<std::shared_ptr<const EventPartition>> pins;
+
+  void Add(std::shared_ptr<const EventPartition> pin) {
+    std::lock_guard<std::mutex> lock(mu);
+    pins.push_back(std::move(pin));
+  }
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return pins.size();
+  }
+};
+
+/// Selection over a tiered view's hot + cold partitions; defined in
+/// storage/tiered.cc (the storage library links both translation units).
+Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
+TieredSelectPartitions(const ReadView& view, const TimeRange& range,
+                       const std::optional<std::vector<AgentId>>& agents);
 
 /// Shared partition-selection predicate of the batch, view, and snapshot
 /// read paths, evaluated on partition statistics alone (so a lazily loaded
@@ -162,12 +190,24 @@ class ReadView {
  private:
   friend class AuditDatabase;
   friend class SnapshotStore;
+  friend class TieredStore;
+  friend Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
+  TieredSelectPartitions(const ReadView& view, const TimeRange& range,
+                         const std::optional<std::vector<AgentId>>& agents);
 
   const EntityStore* entities_ = nullptr;
   const StorageOptions* options_ = nullptr;
   std::shared_lock<std::shared_mutex> lock_;
   std::vector<std::pair<PartitionKey, const EventPartition*>> partitions_;
   const SnapshotStore* store_ = nullptr;
+  // Tiered backing: the owning store plus an immutable snapshot of its cold
+  // directory, captured at view-open time so selection never races
+  // background demotion/compaction/tombstoning.
+  const TieredStore* tiered_ = nullptr;
+  std::shared_ptr<const void> tiered_cold_;
+  // Created at view open for snapshot/tiered-backed views; selection adds a
+  // pin for each cold partition it materializes.
+  mutable std::shared_ptr<PartitionPinSet> pins_;
   DatabaseStats stats_;
   uint64_t visible_events_ = 0;
 };
@@ -272,6 +312,35 @@ class AuditDatabase {
   void AdoptSealedPartition(int64_t bucket, AgentId agent,
                             std::unique_ptr<EventPartition> partition);
   void FinishRestore();
+
+  // --- tiered-retention maintenance (TieredStore) ---------------------------
+
+  /// Directory of every fully sealed partition, under the state lock
+  /// shared. The returned pointers stay valid until a maintenance call
+  /// (ExtractSealedPartitions / ReplaceSealedPartitions) removes them;
+  /// with a single maintenance thread that makes them stable between that
+  /// thread's own calls.
+  std::vector<std::pair<PartitionMapKey, const EventPartition*>>
+  ListSealedPartitions() const;
+
+  /// Removes the sealed partitions named by `keys` from the partition map,
+  /// handing each to `sink` while the state lock is held exclusively — so
+  /// no view can ever observe a partition both here and in a cold
+  /// directory the sink publishes. Missing or unsealed keys are skipped.
+  /// Aggregate statistics are intentionally NOT adjusted: they keep
+  /// describing all data ever ingested, which is what tiered views report.
+  void ExtractSealedPartitions(
+      const std::vector<PartitionMapKey>& keys,
+      const std::function<void(const PartitionMapKey&,
+                               std::unique_ptr<EventPartition>)>& sink);
+
+  /// Atomically replaces the sealed partitions `old_keys` — all of one
+  /// (bucket, agent) — with `merged` (already sealed), installed at the
+  /// lowest replaced seq. Merge compaction's commit step. Fails without
+  /// side effects if any key is missing, unsealed, or from a different
+  /// (bucket, agent).
+  Status ReplaceSealedPartitions(const std::vector<PartitionMapKey>& old_keys,
+                                 std::unique_ptr<EventPartition> merged);
 
  private:
   /// Cross-thread synchronization state; heap-allocated so the database

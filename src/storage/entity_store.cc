@@ -269,4 +269,23 @@ size_t EntityStore::DistinctDefaultAttrValues(EntityType type) const {
   return 0;
 }
 
+void EntityStore::TouchEntity(EntityType type, EntityId id,
+                              int64_t bucket) const {
+  std::lock_guard<std::mutex> lock(aging_.mu);
+  std::vector<int64_t>& slots = aging_.last_bucket[static_cast<size_t>(type)];
+  if (slots.size() <= id) slots.resize(id + 1, INT64_MIN);
+  if (slots[id] < bucket) slots[id] = bucket;
+}
+
+uint64_t EntityStore::CountAgedEntities(int64_t horizon_bucket) const {
+  std::lock_guard<std::mutex> lock(aging_.mu);
+  uint64_t aged = 0;
+  for (const std::vector<int64_t>& slots : aging_.last_bucket) {
+    for (int64_t last : slots) {
+      if (last != INT64_MIN && last < horizon_bucket) ++aged;
+    }
+  }
+  return aged;
+}
+
 }  // namespace aiql

@@ -10,8 +10,10 @@
 #ifndef AIQL_STORAGE_ENTITY_STORE_H_
 #define AIQL_STORAGE_ENTITY_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -122,6 +124,25 @@ class EntityStore {
   /// a predicate on `type`'s default attribute (for cost accounting).
   size_t DistinctDefaultAttrValues(EntityType type) const;
 
+  // --- tiered-retention entity aging ---------------------------------------
+  // Entity ids are embedded in every partition (rows, reverse indexes,
+  // snapshot segments), so entities cannot be physically removed without a
+  // global id rewrite. Aging instead tracks the newest time bucket whose
+  // events still reference each entity; the retention layer reports how
+  // many entities have aged past the horizon (and could be reclaimed by an
+  // offline rewrite).
+
+  /// Records that entity (`type`, `id`) is referenced by an event in time
+  /// `bucket` (keeps the max). Called by the tiered store when a partition
+  /// is demoted; internally synchronized against CountAgedEntities (const:
+  /// aging is bookkeeping on the side, reachable through shared views).
+  void TouchEntity(EntityType type, EntityId id, int64_t bucket) const;
+
+  /// Entities whose newest recorded reference lies strictly before
+  /// `horizon_bucket`. Entities never touched (hot-only data) count as
+  /// live, never as aged.
+  uint64_t CountAgedEntities(int64_t horizon_bucket) const;
+
  private:
   struct ProcessKey {
     AgentId agent_id;
@@ -191,6 +212,23 @@ class EntityStore {
   std::vector<std::vector<EntityId>> files_by_path_;  // index: path StringId
   std::vector<std::vector<EntityId>> nets_by_dst_;    // index: ip StringId
   std::vector<std::vector<EntityId>> nets_by_src_;    // index: ip StringId
+
+  // Aging state: newest reference bucket per entity id, one slot vector per
+  // EntityType, sized lazily (INT64_MIN = never touched). Same movability
+  // idiom as DictionaryMatchCache: the mutex is not moved; moves only
+  // happen while the store is quiescent.
+  struct AgingIndex {
+    AgingIndex() = default;
+    AgingIndex(AgingIndex&& other) noexcept
+        : last_bucket(std::move(other.last_bucket)) {}
+    AgingIndex& operator=(AgingIndex&& other) noexcept {
+      if (this != &other) last_bucket = std::move(other.last_bucket);
+      return *this;
+    }
+    mutable std::mutex mu;
+    std::array<std::vector<int64_t>, 3> last_bucket;  // indexed by EntityType
+  };
+  mutable AgingIndex aging_;
 
   // Predicate-vs-dictionary caches, one per dictionary (kDstIp/kSrcIp share
   // ips_cache_). Mutable: queries populate them through const views.

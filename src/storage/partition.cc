@@ -206,6 +206,32 @@ uint64_t EventPartition::OpCountInRange(OpMask mask,
   return total;
 }
 
+size_t EventPartition::MemoryFootprint() const {
+  size_t bytes = events_.capacity() * sizeof(Event);
+  bytes += columns_.start_ts.capacity() * sizeof(Timestamp);
+  bytes += columns_.end_ts.capacity() * sizeof(Timestamp);
+  bytes += columns_.subject.capacity() * sizeof(EntityId);
+  bytes += columns_.object.capacity() * sizeof(EntityId);
+  bytes += columns_.agent_id.capacity() * sizeof(AgentId);
+  bytes += columns_.amount.capacity() * sizeof(uint64_t);
+  bytes += columns_.op.capacity() * sizeof(OpType);
+  bytes += columns_.object_type.capacity() * sizeof(EntityType);
+  for (const OpPostingList& list : op_postings_) {
+    bytes += list.indexes.capacity() * sizeof(uint32_t);
+  }
+  for (const EntityPostingIndex* index : {&subject_index_, &object_index_}) {
+    bytes += index->keys.capacity() * sizeof(uint64_t);
+    bytes += index->offsets.capacity() * sizeof(uint32_t);
+    bytes += index->indexes.capacity() * sizeof(uint32_t);
+  }
+  // Hash maps: approximate per-entry overhead (node + bucket pointer).
+  bytes += subject_exe_counts_.size() * (sizeof(StringId) + sizeof(uint64_t) +
+                                         2 * sizeof(void*));
+  bytes += merge_tail_.size() * (sizeof(MergeKey) + sizeof(size_t) +
+                                 2 * sizeof(void*));
+  return bytes;
+}
+
 uint64_t EventPartition::SubjectExeCount(StringId exe) const {
   auto it = subject_exe_counts_.find(exe);
   return it == subject_exe_counts_.end() ? 0 : it->second;

@@ -195,6 +195,11 @@ class EventPartition {
   /// Raw (pre-dedup) events represented, i.e. sum of merge counts.
   uint64_t raw_event_count() const { return raw_count_; }
 
+  /// Heap bytes held by this partition's rows, columns, posting lists and
+  /// reverse indexes. This is what a PartitionCache charges against its
+  /// byte budget when the partition is materialized from cold storage.
+  size_t MemoryFootprint() const;
+
   /// Internal mutable access used by snapshot loading.
   std::vector<Event>* mutable_events() { return &events_; }
   /// Recomputes statistics from `events_` (after snapshot load).

@@ -1,0 +1,90 @@
+#include "storage/partition_cache.h"
+
+#include "storage/partition.h"
+
+namespace aiql {
+
+std::shared_ptr<const EventPartition> PartitionCache::Lookup(
+    const void* owner, size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(Key{owner, index});
+  if (it == map_.end()) {
+    misses_ += 1;
+    return nullptr;
+  }
+  hits_ += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->partition;
+}
+
+void PartitionCache::Insert(const void* owner, size_t index,
+                            std::shared_ptr<const EventPartition> partition,
+                            size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{owner, index};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    charged_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  EvictToFitLocked(bytes);
+  lru_.push_front(Entry{key, std::move(partition), bytes});
+  map_[key] = lru_.begin();
+  charged_bytes_ += bytes;
+  insertions_ += 1;
+}
+
+void PartitionCache::Erase(const void* owner, size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(Key{owner, index});
+  if (it == map_.end()) return;
+  charged_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void PartitionCache::EraseOwner(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.owner == owner) {
+      charged_bytes_ -= it->bytes;
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PartitionCache::SetBudget(size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = budget_bytes;
+  EvictToFitLocked(0);
+}
+
+PartitionCacheStats PartitionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PartitionCacheStats s;
+  s.budget_bytes = budget_bytes_;
+  s.charged_bytes = charged_bytes_;
+  s.resident = map_.size();
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  return s;
+}
+
+void PartitionCache::EvictToFitLocked(size_t incoming) {
+  if (budget_bytes_ == 0) return;  // unlimited
+  while (!lru_.empty() && charged_bytes_ + incoming > budget_bytes_) {
+    const Entry& victim = lru_.back();
+    charged_bytes_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    evictions_ += 1;
+  }
+}
+
+}  // namespace aiql

@@ -1,0 +1,117 @@
+// Memory-budgeted LRU cache of materialized cold partitions.
+//
+// A cold partition lives on disk (snapshot v2 store or append-log
+// directory) and is materialized on first access. The cache bounds how
+// many of those materializations stay resident: each insert charges the
+// partition's actual MemoryFootprint() against a global byte budget and
+// evicts least-recently-used entries until the charge fits.
+//
+// Entries are handed out as `std::shared_ptr<const EventPartition>` pins.
+// Eviction only drops the cache's own reference — a query holding a pin
+// keeps the partition alive (and readable) even after the budget evicted
+// it, so budget pressure can never invalidate memory a scan is touching.
+// The evicted bytes are uncharged immediately; the pinned copy is the
+// query's to pay for (QueryContext::ChargeMemory at materialize time).
+//
+// Keys are (owner, index): `owner` is an opaque pointer identifying the
+// store the partition came from (a SnapshotStore / TieredStore), `index`
+// the partition's slot within it. EraseOwner() drops every entry of a
+// store being destroyed. All methods are thread-safe.
+
+#ifndef AIQL_STORAGE_PARTITION_CACHE_H_
+#define AIQL_STORAGE_PARTITION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace aiql {
+
+class EventPartition;
+
+/// Snapshot of cache occupancy and activity counters.
+struct PartitionCacheStats {
+  uint64_t budget_bytes = 0;   ///< configured budget (0 = unlimited)
+  uint64_t charged_bytes = 0;  ///< bytes currently charged by residents
+  uint64_t resident = 0;       ///< entries currently cached
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+/// LRU cache of materialized partitions under a global byte budget.
+class PartitionCache {
+ public:
+  /// `budget_bytes` = 0 means unlimited (nothing is ever evicted).
+  explicit PartitionCache(size_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  /// Returns the cached partition for (owner, index) and marks it most
+  /// recently used, or nullptr on a miss.
+  std::shared_ptr<const EventPartition> Lookup(const void* owner,
+                                               size_t index);
+
+  /// Inserts (owner, index) -> partition charging `bytes` against the
+  /// budget, evicting LRU entries first so the new charge fits (the new
+  /// entry itself is always admitted, even when larger than the whole
+  /// budget — the caller already materialized it). Replaces any existing
+  /// entry for the key.
+  void Insert(const void* owner, size_t index,
+              std::shared_ptr<const EventPartition> partition, size_t bytes);
+
+  /// Drops one entry (no-op when absent).
+  void Erase(const void* owner, size_t index);
+
+  /// Drops every entry belonging to `owner` (store teardown).
+  void EraseOwner(const void* owner);
+
+  /// Changes the budget; shrinking evicts immediately.
+  void SetBudget(size_t budget_bytes);
+
+  PartitionCacheStats stats() const;
+
+ private:
+  struct Key {
+    const void* owner;
+    size_t index;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = reinterpret_cast<uintptr_t>(k.owner);
+      h = h * 0x9E3779B97F4A7C15ULL + k.index;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const EventPartition> partition;
+    size_t bytes = 0;
+  };
+
+  /// Evicts LRU entries until charged_bytes_ + incoming <= budget (or the
+  /// cache is empty). Caller holds mu_.
+  void EvictToFitLocked(size_t incoming);
+
+  mutable std::mutex mu_;
+  size_t budget_bytes_;
+  size_t charged_bytes_ = 0;
+  // Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace aiql
+
+#endif  // AIQL_STORAGE_PARTITION_CACHE_H_

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "storage/partition_cache.h"
+#include "storage/tiered.h"
+
 namespace aiql {
 
 std::vector<ShardRange> EvenAgentRanges(size_t num_shards, AgentId min_agent,
@@ -58,8 +61,16 @@ Status ShardMap::AddShard(const SnapshotStore* snapshot, ShardRange range) {
   return AddShardImpl(std::move(shard));
 }
 
+Status ShardMap::AddShard(const TieredStore* tiered, ShardRange range) {
+  Shard shard;
+  shard.tiered = tiered;
+  shard.range = range;
+  return AddShardImpl(std::move(shard));
+}
+
 Status ShardMap::AddShardImpl(Shard shard) {
-  if (shard.db == nullptr && shard.snapshot == nullptr) {
+  if (shard.db == nullptr && shard.snapshot == nullptr &&
+      shard.tiered == nullptr) {
     return Status::InvalidArgument("shard backend is null");
   }
   if (shard.range.end <= shard.range.begin) {
@@ -87,24 +98,53 @@ std::vector<ReadView> ShardMap::OpenReadViews() const {
   std::vector<ReadView> views;
   views.reserve(shards_.size());
   for (const Shard& shard : shards_) {
-    views.push_back(shard.db != nullptr ? shard.db->OpenReadView()
-                                        : shard.snapshot->OpenReadView());
+    if (shard.db != nullptr) {
+      views.push_back(shard.db->OpenReadView());
+    } else if (shard.tiered != nullptr) {
+      views.push_back(shard.tiered->OpenReadView());
+    } else {
+      views.push_back(shard.snapshot->OpenReadView());
+    }
   }
   return views;
 }
 
 const EntityStore& ShardMap::entities(size_t shard) const {
   const Shard& s = shards_[shard];
-  return s.db != nullptr ? s.db->entities() : s.snapshot->entities();
+  if (s.db != nullptr) return s.db->entities();
+  if (s.tiered != nullptr) return s.tiered->db().entities();
+  return s.snapshot->entities();
 }
 
 uint64_t ShardMap::TotalEvents() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    total += shard.db != nullptr ? shard.db->StatsSnapshot().total_events
-                                 : shard.snapshot->stats().total_events;
+    if (shard.db != nullptr) {
+      total += shard.db->StatsSnapshot().total_events;
+    } else if (shard.tiered != nullptr) {
+      total += shard.tiered->StatsSnapshot().total_events;
+    } else {
+      total += shard.snapshot->stats().total_events;
+    }
   }
   return total;
+}
+
+size_t ShardMap::SetMemoryBudget(size_t total_bytes) const {
+  std::vector<PartitionCache*> caches;
+  for (const Shard& shard : shards_) {
+    if (shard.tiered != nullptr) {
+      caches.push_back(shard.tiered->cache());
+    } else if (shard.snapshot != nullptr &&
+               shard.snapshot->cache() != nullptr) {
+      caches.push_back(shard.snapshot->cache());
+    }
+  }
+  if (caches.empty()) return 0;
+  size_t share = total_bytes == 0 ? 0 : total_bytes / caches.size();
+  if (total_bytes != 0 && share == 0) share = 1;  // never round down to ∞
+  for (PartitionCache* cache : caches) cache->SetBudget(share);
+  return caches.size();
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,8 @@
 
 namespace aiql {
 
+class TieredStore;
+
 /// Half-open agent range [begin, end) owned by one shard.
 struct ShardRange {
   AgentId begin = 0;
@@ -67,12 +69,24 @@ class ShardMap {
   Status AddShard(const AuditDatabase* db, ShardRange range);
   /// Adds a snapshot-backed shard owning `range`.
   Status AddShard(const SnapshotStore* snapshot, ShardRange range);
+  /// Adds a tiered-retention shard owning `range` (hot + cold partitions,
+  /// memory-budgeted cold cache; see storage/tiered.h).
+  Status AddShard(const TieredStore* tiered, ShardRange range);
 
   size_t num_shards() const { return shards_.size(); }
   const ShardRange& range(size_t shard) const { return shards_[shard].range; }
   bool shard_is_snapshot(size_t shard) const {
     return shards_[shard].snapshot != nullptr;
   }
+  bool shard_is_tiered(size_t shard) const {
+    return shards_[shard].tiered != nullptr;
+  }
+
+  /// Splits one fleet-wide cold-cache byte budget evenly across the shards
+  /// that own a memory-budgeted cache (tiered shards, plus snapshot shards
+  /// with an attached cache). Shards without a cache are unaffected; 0
+  /// lifts every per-shard budget. Returns the number of shards budgeted.
+  size_t SetMemoryBudget(size_t total_bytes) const;
 
   /// Shard owning `agent`, or -1 when no range contains it.
   int ShardForAgent(AgentId agent) const;
@@ -95,6 +109,7 @@ class ShardMap {
   struct Shard {
     const AuditDatabase* db = nullptr;
     const SnapshotStore* snapshot = nullptr;
+    const TieredStore* tiered = nullptr;
     ShardRange range;
   };
 

@@ -6,9 +6,12 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/cancellation.h"
 #include "common/checksum.h"
 #include "common/failpoint.h"
 #include "common/varint.h"
+#include "storage/partition_cache.h"
+#include "storage/snapshot_format.h"
 
 #if !defined(_WIN32)
 #include <fcntl.h>   // open, O_DIRECTORY
@@ -17,124 +20,17 @@
 
 namespace aiql {
 
+// Byte-layout helpers (header/footer/segment codecs, cursor, 64-bit seek)
+// live in storage/snapshot_format.{h,cc}, shared with the append-log
+// writer so both stores produce and validate identical bytes.
+using namespace snapfmt;  // NOLINT(build/namespaces)
+
 namespace {
 
-// --- format constants --------------------------------------------------------
+// --- v1 format constants (legacy single-blob snapshots) ----------------------
 
 constexpr uint64_t kV1Magic = 0x4149514C534E5031ULL;  // "AIQLSNP1"
 constexpr uint32_t kV1Version = 2;
-constexpr uint64_t kV2Magic = 0x4149514C534E5032ULL;  // "AIQLSNP2"
-// Version 3 added the reverse entity indexes (subject / object posting
-// lists) to the partition segments, so provenance hops served from a lazy
-// snapshot need no index rebuild.
-constexpr uint32_t kV2Version = 3;
-constexpr size_t kV2HeaderSize = 8 + 4;   // magic + version
-constexpr size_t kV2TrailerSize = 8 * 3;  // footer offset + checksum + magic
-
-// --- little-endian fixed-width helpers (host-independent) --------------------
-
-void PutFixed32(std::string* dst, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void PutFixed64(std::string* dst, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-uint32_t GetFixed32(const char* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-  }
-  return v;
-}
-
-uint64_t GetFixed64(const char* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
-  }
-  return v;
-}
-
-// --- bounds-checked decode cursor -------------------------------------------
-
-/// Cursor over one checksummed byte section. Every accessor fails sticky on
-/// truncation, so decode loops can check ok() once at the end.
-class Cursor {
- public:
-  explicit Cursor(std::string_view bytes)
-      : p_(bytes.data()), limit_(bytes.data() + bytes.size()) {}
-
-  uint64_t U64() {
-    uint64_t v = 0;
-    const char* next = ok_ ? GetVarint64(p_, limit_, &v) : nullptr;
-    if (next == nullptr) {
-      ok_ = false;
-      return 0;
-    }
-    p_ = next;
-    return v;
-  }
-
-  int64_t I64() {
-    uint64_t raw = U64();
-    return ZigZagDecode(raw);
-  }
-
-  uint8_t Byte() {
-    if (!ok_ || p_ >= limit_) {
-      ok_ = false;
-      return 0;
-    }
-    return static_cast<uint8_t>(*p_++);
-  }
-
-  /// A `n`-byte string view into the section (valid while it stays alive).
-  std::string_view Bytes(size_t n) {
-    if (!ok_ || static_cast<size_t>(limit_ - p_) < n) {
-      ok_ = false;
-      return {};
-    }
-    std::string_view out(p_, n);
-    p_ += n;
-    return out;
-  }
-
-  bool ok() const { return ok_; }
-  bool AtEnd() const { return ok_ && p_ == limit_; }
-  size_t remaining() const { return static_cast<size_t>(limit_ - p_); }
-
- private:
-  const char* p_;
-  const char* limit_;
-  bool ok_ = true;
-};
-
-// --- 64-bit-safe positioning -------------------------------------------------
-// plain fseek/ftell take `long`, which is 32-bit on LLP64 platforms and
-// would cap snapshots at 2 GiB — far below the 0.5-1 year retention the
-// deployed system targets.
-
-int Seek64(FILE* file, int64_t offset, int whence) {
-#if defined(_WIN32)
-  return _fseeki64(file, offset, whence);
-#else
-  return fseeko(file, static_cast<off_t>(offset), whence);
-#endif
-}
-
-int64_t Tell64(FILE* file) {
-#if defined(_WIN32)
-  return _ftelli64(file);
-#else
-  return static_cast<int64_t>(ftello(file));
-#endif
-}
 
 // --- file sink ---------------------------------------------------------------
 
@@ -186,580 +82,8 @@ class FileSnapshotSink : public SnapshotSink {
 };
 
 // =============================================================================
-// v2 encoding
+// v2 encoding (moved to storage/snapshot_format.cc)
 // =============================================================================
-
-enum SegmentKind : uint8_t { kMetaSegment = 0, kPartitionSegment = 1 };
-
-void PutDictionary(std::string* out, const StringInterner& interner) {
-  PutVarint64(out, interner.size());
-  interner.ForEach([&](StringId, std::string_view text) {
-    PutVarint64(out, text.size());
-    out->append(text);
-  });
-}
-
-/// META segment: the five string dictionaries in id order, then the entity
-/// tables referencing them by varint id.
-void EncodeMetaSegment(const AuditDatabase& db, std::string* out) {
-  const EntityStore& es = db.entities();
-  PutDictionary(out, es.exe_names());
-  PutDictionary(out, es.users());
-  PutDictionary(out, es.paths());
-  PutDictionary(out, es.ips());
-  PutDictionary(out, es.protocols());
-
-  PutVarint64(out, es.processes().size());
-  for (const ProcessEntity& p : es.processes()) {
-    PutVarint64(out, p.agent_id);
-    PutVarint64(out, p.pid);
-    PutVarint64(out, p.exe_name);
-    PutVarint64(out, p.user);
-  }
-  PutVarint64(out, es.files().size());
-  for (const FileEntity& f : es.files()) {
-    PutVarint64(out, f.agent_id);
-    PutVarint64(out, f.path);
-  }
-  PutVarint64(out, es.networks().size());
-  for (const NetworkEntity& n : es.networks()) {
-    PutVarint64(out, n.agent_id);
-    PutVarint64(out, n.src_ip);
-    PutVarint64(out, n.dst_ip);
-    PutVarint64(out, n.src_port);
-    PutVarint64(out, n.dst_port);
-    PutVarint64(out, n.protocol);
-  }
-}
-
-void EncodeEntityIndex(std::string* out, const EntityPostingIndex& index) {
-  PutVarint64(out, index.keys.size());
-  uint64_t prev_key = 0;
-  for (size_t k = 0; k < index.keys.size(); ++k) {
-    PutVarint64(out, k == 0 ? index.keys[0] : index.keys[k] - prev_key);
-    prev_key = index.keys[k];
-    uint32_t begin = index.offsets[k];
-    uint32_t end = index.offsets[k + 1];
-    PutVarint64(out, end - begin);
-    uint32_t prev_index = 0;
-    for (uint32_t i = begin; i < end; ++i) {
-      PutVarint64(out, i == begin ? index.indexes[i]
-                                  : index.indexes[i] - prev_index);
-      prev_index = index.indexes[i];
-    }
-  }
-}
-
-/// PARTITION segment: columnar event encoding plus the seal artifacts.
-/// Events are already sorted by (start_ts, end_ts), so start timestamps
-/// delta-encode into mostly one-byte varints; the op column is implied by
-/// the persisted posting lists (each event index appears in exactly one).
-void EncodePartitionSegment(const EventPartition& partition,
-                            std::string* out) {
-  const std::vector<Event>& events = partition.events();
-  const size_t n = events.size();
-  PutVarint64(out, n);
-
-  // start_ts: first value zigzag, then non-negative deltas.
-  int64_t prev = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (i == 0) {
-      PutVarintSigned(out, events[i].start_ts);
-    } else {
-      PutVarint64(out,
-                  static_cast<uint64_t>(events[i].start_ts) -
-                      static_cast<uint64_t>(prev));
-    }
-    prev = events[i].start_ts;
-  }
-  // Durations (end - start >= 0 by ingest validation).
-  for (const Event& e : events) {
-    PutVarint64(out, static_cast<uint64_t>(e.end_ts) -
-                         static_cast<uint64_t>(e.start_ts));
-  }
-  for (const Event& e : events) PutVarint64(out, e.subject);
-  for (const Event& e : events) PutVarint64(out, e.object);
-  // agent_id: RLE — constant within a partition under time x agent
-  // partitioning, so this column is typically two varints.
-  for (size_t i = 0; i < n;) {
-    size_t run = i + 1;
-    while (run < n && events[run].agent_id == events[i].agent_id) ++run;
-    PutVarint64(out, events[i].agent_id);
-    PutVarint64(out, run - i);
-    i = run;
-  }
-  for (const Event& e : events) PutVarint64(out, e.amount);
-  for (const Event& e : events) PutVarint64(out, e.merge_count);
-  // object_type: RLE.
-  for (size_t i = 0; i < n;) {
-    size_t run = i + 1;
-    while (run < n && events[run].object_type == events[i].object_type) ++run;
-    out->push_back(static_cast<char>(events[i].object_type));
-    PutVarint64(out, run - i);
-    i = run;
-  }
-
-  // Posting lists (ascending event indexes, delta-encoded). Together they
-  // cover every index exactly once, which also encodes the op column.
-  for (int op = 0; op < kNumOpTypes; ++op) {
-    const OpPostingList& list = partition.posting(static_cast<OpType>(op));
-    PutVarint64(out, list.indexes.size());
-    uint32_t prev_index = 0;
-    for (size_t i = 0; i < list.indexes.size(); ++i) {
-      PutVarint64(out, i == 0 ? list.indexes[0]
-                              : list.indexes[i] - prev_index);
-      prev_index = list.indexes[i];
-    }
-  }
-
-  // Subject-exe statistics, sorted by exe id for deterministic bytes.
-  std::vector<std::pair<StringId, uint64_t>> exe_counts(
-      partition.subject_exe_counts().begin(),
-      partition.subject_exe_counts().end());
-  std::sort(exe_counts.begin(), exe_counts.end());
-  PutVarint64(out, exe_counts.size());
-  for (const auto& [exe, count] : exe_counts) {
-    PutVarint64(out, exe);
-    PutVarint64(out, count);
-  }
-
-  // Reverse entity indexes (v2 format version 3): CSR groups of ascending
-  // event indexes keyed by strictly ascending entity keys — keys and
-  // in-group indexes both delta-encode into small varints.
-  EncodeEntityIndex(out, partition.subject_index());
-  EncodeEntityIndex(out, partition.object_index());
-}
-
-void EncodeOptions(std::string* out, const StorageOptions& options) {
-  PutVarintSigned(out, options.partition_duration);
-  PutVarintSigned(out, options.dedup_window);
-  out->push_back(options.enable_partitioning ? 1 : 0);
-  PutVarint64(out, options.batch_commit_size);
-  PutVarint64(out, options.max_partition_events);
-}
-
-void EncodeStats(std::string* out, const DatabaseStats& stats) {
-  PutVarint64(out, stats.total_events);
-  PutVarint64(out, stats.raw_events);
-  PutVarint64(out, stats.total_partitions);
-  PutVarint64(out, stats.partitions_sealed);
-  for (uint64_t count : stats.op_counts) PutVarint64(out, count);
-  PutVarintSigned(out, stats.min_ts);
-  PutVarintSigned(out, stats.max_ts);
-}
-
-// =============================================================================
-// v2 decoding
-// =============================================================================
-
-struct SegmentRef {
-  uint64_t offset = 0;
-  uint64_t length = 0;
-  uint64_t checksum = 0;
-};
-
-struct PartitionDirEntry {
-  int64_t bucket = 0;
-  AgentId agent = 0;
-  uint32_t seq = 0;
-  SegmentRef segment;
-  uint64_t events = 0;
-  uint64_t raw_events = 0;
-  Timestamp min_ts = INT64_MAX;
-  Timestamp max_ts = INT64_MIN;
-  std::array<uint64_t, kNumOpTypes> op_counts{};
-};
-
-struct FooterData {
-  StorageOptions options;
-  DatabaseStats stats;
-  SegmentRef meta;
-  std::vector<PartitionDirEntry> partitions;
-};
-
-Status DecodeSegmentRef(Cursor* cur, uint64_t data_end, SegmentRef* ref) {
-  ref->offset = cur->U64();
-  ref->length = cur->U64();
-  ref->checksum = cur->U64();
-  if (!cur->ok()) return Status::Corruption("snapshot footer truncated");
-  if (ref->offset < kV2HeaderSize || ref->length > data_end ||
-      ref->offset > data_end - ref->length) {
-    return Status::Corruption("snapshot segment outside the data area");
-  }
-  return Status::OK();
-}
-
-/// Parses the (already checksum-verified) footer. `data_end` is the file
-/// offset where the footer begins — all segments must end before it.
-Status DecodeFooter(std::string_view bytes, uint64_t data_end,
-                    FooterData* footer) {
-  Cursor cur(bytes);
-  footer->options.partition_duration = cur.I64();
-  footer->options.dedup_window = cur.I64();
-  footer->options.enable_partitioning = cur.Byte() != 0;
-  footer->options.batch_commit_size = static_cast<size_t>(cur.U64());
-  footer->options.max_partition_events = static_cast<size_t>(cur.U64());
-
-  footer->stats.total_events = cur.U64();
-  footer->stats.raw_events = cur.U64();
-  footer->stats.total_partitions = cur.U64();
-  footer->stats.partitions_sealed = cur.U64();
-  for (uint64_t& count : footer->stats.op_counts) count = cur.U64();
-  footer->stats.min_ts = cur.I64();
-  footer->stats.max_ts = cur.I64();
-
-  AIQL_RETURN_IF_ERROR(DecodeSegmentRef(&cur, data_end, &footer->meta));
-
-  uint64_t num_partitions = cur.U64();
-  if (!cur.ok()) return Status::Corruption("snapshot footer truncated");
-  // Each directory entry takes >= 16 bytes, bounding the claimed count.
-  if (num_partitions > cur.remaining()) {
-    return Status::Corruption("snapshot footer partition count implausible");
-  }
-  footer->partitions.reserve(static_cast<size_t>(num_partitions));
-  for (uint64_t i = 0; i < num_partitions; ++i) {
-    PartitionDirEntry entry;
-    entry.bucket = cur.I64();
-    entry.agent = static_cast<AgentId>(cur.U64());
-    entry.seq = static_cast<uint32_t>(cur.U64());
-    AIQL_RETURN_IF_ERROR(DecodeSegmentRef(&cur, data_end, &entry.segment));
-    entry.events = cur.U64();
-    entry.raw_events = cur.U64();
-    entry.min_ts = cur.I64();
-    entry.max_ts = cur.I64();
-    for (uint64_t& count : entry.op_counts) count = cur.U64();
-    if (!cur.ok()) return Status::Corruption("snapshot footer truncated");
-    footer->partitions.push_back(entry);
-  }
-  if (!cur.AtEnd()) {
-    return Status::Corruption("snapshot footer has trailing bytes");
-  }
-  return Status::OK();
-}
-
-Result<std::vector<std::string>> DecodeDictionary(Cursor* cur) {
-  uint64_t count = cur->U64();
-  if (!cur->ok() || count > cur->remaining()) {
-    return Status::Corruption("snapshot dictionary truncated");
-  }
-  std::vector<std::string> out;
-  out.reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t len = cur->U64();
-    std::string_view text = cur->Bytes(static_cast<size_t>(len));
-    if (!cur->ok()) {
-      return Status::Corruption("snapshot dictionary truncated");
-    }
-    out.emplace_back(text);
-  }
-  return out;
-}
-
-Status DecodeMetaSegment(std::string_view bytes, EntityStore* store) {
-  Cursor cur(bytes);
-  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> exe_names,
-                        DecodeDictionary(&cur));
-  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> users,
-                        DecodeDictionary(&cur));
-  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> paths,
-                        DecodeDictionary(&cur));
-  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> ips, DecodeDictionary(&cur));
-  AIQL_ASSIGN_OR_RETURN(std::vector<std::string> protocols,
-                        DecodeDictionary(&cur));
-  AIQL_RETURN_IF_ERROR(
-      store->RestoreDictionaries(exe_names, users, paths, ips, protocols));
-
-  auto dict_string = [](const std::vector<std::string>& dict,
-                        uint64_t id) -> const std::string* {
-    return id < dict.size() ? &dict[id] : nullptr;
-  };
-
-  uint64_t num_procs = cur.U64();
-  if (!cur.ok() || num_procs > cur.remaining()) {
-    return Status::Corruption("snapshot entity table truncated");
-  }
-  for (uint64_t i = 0; i < num_procs; ++i) {
-    uint64_t agent = cur.U64();
-    uint64_t pid = cur.U64();
-    const std::string* exe = dict_string(exe_names, cur.U64());
-    const std::string* user = dict_string(users, cur.U64());
-    if (!cur.ok() || exe == nullptr || user == nullptr ||
-        agent > UINT32_MAX || pid > UINT32_MAX) {
-      return Status::Corruption("snapshot process table corrupt");
-    }
-    store->InternProcess(ProcessRef{static_cast<AgentId>(agent),
-                                    static_cast<uint32_t>(pid), *exe, *user});
-  }
-  if (store->processes().size() != num_procs) {
-    return Status::Corruption("snapshot process table has duplicates");
-  }
-
-  uint64_t num_files = cur.U64();
-  if (!cur.ok() || num_files > cur.remaining()) {
-    return Status::Corruption("snapshot entity table truncated");
-  }
-  for (uint64_t i = 0; i < num_files; ++i) {
-    uint64_t agent = cur.U64();
-    const std::string* path = dict_string(paths, cur.U64());
-    if (!cur.ok() || path == nullptr || agent > UINT32_MAX) {
-      return Status::Corruption("snapshot file table corrupt");
-    }
-    store->InternFile(FileRef{static_cast<AgentId>(agent), *path});
-  }
-  if (store->files().size() != num_files) {
-    return Status::Corruption("snapshot file table has duplicates");
-  }
-
-  uint64_t num_nets = cur.U64();
-  if (!cur.ok() || num_nets > cur.remaining()) {
-    return Status::Corruption("snapshot entity table truncated");
-  }
-  for (uint64_t i = 0; i < num_nets; ++i) {
-    NetworkRef ref;
-    uint64_t agent = cur.U64();
-    const std::string* src = dict_string(ips, cur.U64());
-    const std::string* dst = dict_string(ips, cur.U64());
-    uint64_t src_port = cur.U64();
-    uint64_t dst_port = cur.U64();
-    const std::string* proto = dict_string(protocols, cur.U64());
-    if (!cur.ok() || src == nullptr || dst == nullptr || proto == nullptr ||
-        agent > UINT32_MAX || src_port > UINT16_MAX ||
-        dst_port > UINT16_MAX) {
-      return Status::Corruption("snapshot network table corrupt");
-    }
-    ref.agent_id = static_cast<AgentId>(agent);
-    ref.src_ip = *src;
-    ref.dst_ip = *dst;
-    ref.src_port = static_cast<uint16_t>(src_port);
-    ref.dst_port = static_cast<uint16_t>(dst_port);
-    ref.protocol = *proto;
-    store->InternNetwork(ref);
-  }
-  if (store->networks().size() != num_nets) {
-    return Status::Corruption("snapshot network table has duplicates");
-  }
-  if (!cur.AtEnd()) {
-    return Status::Corruption("snapshot META segment has trailing bytes");
-  }
-  return Status::OK();
-}
-
-/// Decodes one reverse entity index and revalidates its invariants against
-/// the already-decoded events: keys strictly ascending, every group
-/// non-empty with strictly ascending event indexes, every event covered
-/// exactly once, and every listed event actually carrying the group's key.
-/// `key_of` maps an event to its expected key (subject or object form).
-template <typename KeyOf>
-Status DecodeEntityIndex(Cursor* cur, const std::vector<Event>& events,
-                         const KeyOf& key_of, const char* what,
-                         EntityPostingIndex* index) {
-  const size_t n = events.size();
-  auto corrupt = [&] {
-    return Status::Corruption(std::string("partition ") + what +
-                              " index corrupt");
-  };
-  uint64_t num_keys = cur->U64();
-  if (!cur->ok() || num_keys > n) return corrupt();
-  index->keys.reserve(static_cast<size_t>(num_keys));
-  index->offsets.reserve(static_cast<size_t>(num_keys) + 1);
-  index->indexes.reserve(n);
-  std::vector<uint8_t> seen(n, 0);
-  uint64_t key = 0;
-  uint64_t total = 0;
-  for (uint64_t k = 0; k < num_keys; ++k) {
-    uint64_t delta = cur->U64();
-    if (!cur->ok() || (k > 0 && delta == 0)) return corrupt();
-    key = k == 0 ? delta : key + delta;
-    uint64_t count = cur->U64();
-    if (!cur->ok() || count == 0 || count > n - total) return corrupt();
-    index->keys.push_back(key);
-    index->offsets.push_back(static_cast<uint32_t>(total));
-    uint64_t event_index = 0;
-    for (uint64_t i = 0; i < count; ++i) {
-      uint64_t d = cur->U64();
-      if (!cur->ok() || (i > 0 && d == 0)) return corrupt();
-      event_index = i == 0 ? d : event_index + d;
-      if (event_index >= n || seen[event_index] != 0 ||
-          key_of(events[event_index]) != key) {
-        return corrupt();
-      }
-      seen[event_index] = 1;
-      index->indexes.push_back(static_cast<uint32_t>(event_index));
-    }
-    total += count;
-  }
-  index->offsets.push_back(static_cast<uint32_t>(total));
-  if (total != n) {
-    return Status::Corruption(std::string("partition ") + what +
-                              " index does not cover every event");
-  }
-  return Status::OK();
-}
-
-/// Decodes one partition segment and installs it as a sealed partition.
-/// Every structural invariant is revalidated (not just checksummed):
-/// posting coverage, entity-id bounds, statistic agreement with the footer
-/// directory — so a decoder bug or an improbable checksum collision cannot
-/// smuggle malformed state into the engine.
-Status DecodePartitionSegment(std::string_view bytes,
-                              const PartitionDirEntry& entry,
-                              const EntityStore& store,
-                              EventPartition* partition) {
-  Cursor cur(bytes);
-  uint64_t n64 = cur.U64();
-  if (!cur.ok() || n64 != entry.events || n64 > bytes.size()) {
-    return Status::Corruption("partition segment event count mismatch");
-  }
-  const size_t n = static_cast<size_t>(n64);
-
-  std::vector<Event> events(n);
-  uint64_t prev_start = 0;
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t start =
-        i == 0 ? static_cast<uint64_t>(cur.I64()) : prev_start + cur.U64();
-    events[i].start_ts = static_cast<Timestamp>(start);
-    prev_start = start;
-  }
-  for (size_t i = 0; i < n; ++i) {
-    events[i].end_ts = static_cast<Timestamp>(
-        static_cast<uint64_t>(events[i].start_ts) + cur.U64());
-  }
-  for (size_t i = 0; i < n; ++i) {
-    events[i].subject = static_cast<EntityId>(cur.U64());
-  }
-  for (size_t i = 0; i < n; ++i) {
-    events[i].object = static_cast<EntityId>(cur.U64());
-  }
-  for (size_t covered = 0; covered < n;) {
-    uint64_t agent = cur.U64();
-    uint64_t run = cur.U64();
-    if (!cur.ok() || agent > UINT32_MAX || run == 0 || run > n - covered) {
-      return Status::Corruption("partition agent column corrupt");
-    }
-    for (uint64_t i = 0; i < run; ++i) {
-      events[covered + i].agent_id = static_cast<AgentId>(agent);
-    }
-    covered += static_cast<size_t>(run);
-  }
-  for (size_t i = 0; i < n; ++i) events[i].amount = cur.U64();
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t merge_count = cur.U64();
-    if (!cur.ok() || merge_count == 0 || merge_count > UINT32_MAX) {
-      return Status::Corruption("partition merge counts corrupt");
-    }
-    events[i].merge_count = static_cast<uint32_t>(merge_count);
-  }
-  for (size_t covered = 0; covered < n;) {
-    uint8_t type = cur.Byte();
-    uint64_t run = cur.U64();
-    if (!cur.ok() || type >= kNumEntityTypes || run == 0 ||
-        run > n - covered) {
-      return Status::Corruption("partition object-type column corrupt");
-    }
-    for (uint64_t i = 0; i < run; ++i) {
-      events[covered + i].object_type = static_cast<EntityType>(type);
-    }
-    covered += static_cast<size_t>(run);
-  }
-  if (!cur.ok()) return Status::Corruption("partition segment truncated");
-
-  // Posting lists: must jointly cover every event index exactly once; they
-  // also reconstruct the op column.
-  std::array<OpPostingList, kNumOpTypes> postings;
-  std::vector<uint8_t> op_of(n, 0xFF);
-  uint64_t total_postings = 0;
-  for (int op = 0; op < kNumOpTypes; ++op) {
-    uint64_t count = cur.U64();
-    if (!cur.ok() || count != entry.op_counts[op] ||
-        count > n - total_postings) {
-      return Status::Corruption("partition posting lists corrupt");
-    }
-    OpPostingList& list = postings[op];
-    list.indexes.reserve(static_cast<size_t>(count));
-    uint64_t index = 0;
-    for (uint64_t i = 0; i < count; ++i) {
-      index = i == 0 ? cur.U64() : index + cur.U64();
-      if (!cur.ok() || index >= n || op_of[index] != 0xFF) {
-        return Status::Corruption("partition posting lists corrupt");
-      }
-      op_of[index] = static_cast<uint8_t>(op);
-      list.indexes.push_back(static_cast<uint32_t>(index));
-    }
-    total_postings += count;
-  }
-  if (total_postings != n) {
-    return Status::Corruption("partition posting lists do not cover events");
-  }
-  for (size_t i = 0; i < n; ++i) {
-    events[i].op = static_cast<OpType>(op_of[i]);
-  }
-
-  std::unordered_map<StringId, uint64_t> exe_counts;
-  uint64_t num_exe = cur.U64();
-  if (!cur.ok() || num_exe > cur.remaining()) {
-    return Status::Corruption("partition statistics truncated");
-  }
-  for (uint64_t i = 0; i < num_exe; ++i) {
-    uint64_t exe = cur.U64();
-    uint64_t count = cur.U64();
-    if (!cur.ok() || exe >= store.exe_names().size()) {
-      return Status::Corruption("partition statistics corrupt");
-    }
-    exe_counts[static_cast<StringId>(exe)] = count;
-  }
-
-  EntityPostingIndex subject_index;
-  EntityPostingIndex object_index;
-  AIQL_RETURN_IF_ERROR(DecodeEntityIndex(
-      &cur, events,
-      [](const Event& e) { return static_cast<uint64_t>(e.subject); },
-      "subject", &subject_index));
-  AIQL_RETURN_IF_ERROR(DecodeEntityIndex(
-      &cur, events,
-      [](const Event& e) {
-        return EventPartition::ObjectKey(e.object_type, e.object);
-      },
-      "object", &object_index));
-  if (!cur.AtEnd()) {
-    return Status::Corruption("partition segment has trailing bytes");
-  }
-
-  // Cross-validate decoded events against the footer directory and the
-  // engine's seal invariants.
-  Timestamp min_ts = INT64_MAX;
-  Timestamp max_ts = INT64_MIN;
-  uint64_t raw = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const Event& e = events[i];
-    if (e.end_ts < e.start_ts) {
-      return Status::Corruption("partition event interval corrupt");
-    }
-    if (i > 0 && (e.start_ts < events[i - 1].start_ts ||
-                  (e.start_ts == events[i - 1].start_ts &&
-                   e.end_ts < events[i - 1].end_ts))) {
-      return Status::Corruption("partition events out of order");
-    }
-    if (e.subject >= store.processes().size() ||
-        e.object >= store.NumEntities(e.object_type)) {
-      return Status::Corruption("partition references unknown entities");
-    }
-    min_ts = std::min(min_ts, e.start_ts);
-    max_ts = std::max(max_ts, e.end_ts);
-    raw += e.merge_count;
-  }
-  if (n > 0 && (min_ts != entry.min_ts || max_ts != entry.max_ts)) {
-    return Status::Corruption("partition time bounds disagree with footer");
-  }
-  if (raw != entry.raw_events) {
-    return Status::Corruption("partition raw-event count disagrees with "
-                              "footer");
-  }
-
-  partition->RestoreSealed(std::move(events), std::move(postings),
-                           std::move(subject_index), std::move(object_index),
-                           std::move(exe_counts), entry.raw_events);
-  return Status::OK();
-}
 
 // =============================================================================
 // v1 format (legacy, single eager blob)
@@ -976,49 +300,36 @@ Status SaveSnapshotToSink(const AuditDatabase& db, SnapshotSink* sink) {
   }
 
   std::string header;
-  PutFixed64(&header, kV2Magic);
-  PutFixed32(&header, kV2Version);
+  EncodeHeader(&header);
   AIQL_RETURN_IF_ERROR(sink->Append(header.data(), header.size()));
   uint64_t offset = header.size();
 
-  std::string footer;
-  EncodeOptions(&footer, db.options());
-  EncodeStats(&footer, db.stats());
+  FooterData dir;
+  dir.options = db.options();
+  dir.stats = db.stats();
 
   std::string segment;
-  EncodeMetaSegment(db, &segment);
-  PutVarint64(&footer, offset);
-  PutVarint64(&footer, segment.size());
-  PutVarint64(&footer, Checksum64(segment));
+  EncodeMetaSegment(db.entities(), &segment);
+  dir.meta = SegmentRef{offset, segment.size(), Checksum64(segment)};
   AIQL_RETURN_IF_ERROR(sink->Append(segment.data(), segment.size()));
   offset += segment.size();
 
-  PutVarint64(&footer, db.partitions().size());
+  dir.partitions.reserve(db.partitions().size());
   for (const auto& [key, partition] : db.partitions()) {
     segment.clear();
     EncodePartitionSegment(*partition, &segment);
-    PutVarintSigned(&footer, std::get<0>(key));
-    PutVarint64(&footer, std::get<1>(key));
-    PutVarint64(&footer, std::get<2>(key));
-    PutVarint64(&footer, offset);
-    PutVarint64(&footer, segment.size());
-    PutVarint64(&footer, Checksum64(segment));
-    PutVarint64(&footer, partition->size());
-    PutVarint64(&footer, partition->raw_event_count());
-    PutVarintSigned(&footer, partition->min_ts());
-    PutVarintSigned(&footer, partition->max_ts());
-    for (int op = 0; op < kNumOpTypes; ++op) {
-      PutVarint64(&footer, partition->OpCount(static_cast<OpType>(op)));
-    }
+    SegmentRef ref{offset, segment.size(), Checksum64(segment)};
+    dir.partitions.push_back(MakeDirEntry(std::get<0>(key), std::get<1>(key),
+                                          std::get<2>(key), ref, *partition));
     AIQL_RETURN_IF_ERROR(sink->Append(segment.data(), segment.size()));
     offset += segment.size();
   }
 
+  std::string footer;
+  EncodeFooter(dir, &footer);
   AIQL_RETURN_IF_ERROR(sink->Append(footer.data(), footer.size()));
   std::string trailer;
-  PutFixed64(&trailer, offset);
-  PutFixed64(&trailer, Checksum64(footer));
-  PutFixed64(&trailer, kV2Magic);
+  EncodeTrailer(offset, Checksum64(footer), &trailer);
   AIQL_RETURN_IF_ERROR(sink->Append(trailer.data(), trailer.size()));
 
   AIQL_RETURN_IF_ERROR(sink->Sync());
@@ -1131,13 +442,24 @@ Status SaveSnapshotV1(const AuditDatabase& db, const std::string& path) {
 
 struct SnapshotStore::PartitionHandle {
   PartitionDirEntry entry;
+  // Keep-forever mode (no cache): `storage` owns the partition, `loaded`
+  // publishes it for the lock-free fast path.
   std::atomic<const EventPartition*> loaded{nullptr};
   std::unique_ptr<EventPartition> storage;  // guarded by load_mu_
+  // Cache mode: ownership lives in the cache + query pins; `weak` revives
+  // a partition that was evicted while a query still pins it, `bytes`
+  // remembers the footprint charged per residence. Guarded by load_mu_.
+  std::weak_ptr<const EventPartition> weak;
+  std::shared_ptr<const EventPartition> strong;  // pinless-select fallback
+  size_t bytes = 0;
 };
 
 SnapshotStore::~SnapshotStore() {
+  if (cache_ != nullptr) cache_->EraseOwner(this);
   if (file_ != nullptr) std::fclose(file_);
 }
+
+void SnapshotStore::AttachCache(PartitionCache* cache) { cache_ = cache; }
 
 Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
     const std::string& path) {
@@ -1243,19 +565,9 @@ Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
   return store;
 }
 
-Result<const EventPartition*> SnapshotStore::Partition(size_t index) const {
-  PartitionHandle& handle = *handles_[index];
-  if (const EventPartition* loaded =
-          handle.loaded.load(std::memory_order_acquire)) {
-    return loaded;
-  }
-  std::lock_guard<std::mutex> lock(load_mu_);
-  if (const EventPartition* loaded =
-          handle.loaded.load(std::memory_order_relaxed)) {
-    return loaded;
-  }
-
-  const PartitionDirEntry& entry = handle.entry;
+Result<std::unique_ptr<EventPartition>> SnapshotStore::DecodeHandleLocked(
+    size_t index) const {
+  const PartitionDirEntry& entry = handles_[index]->entry;
   std::string bytes(static_cast<size_t>(entry.segment.length), '\0');
   if (Seek64(file_, static_cast<int64_t>(entry.segment.offset), SEEK_SET) !=
           0 ||
@@ -1274,16 +586,75 @@ Result<const EventPartition*> SnapshotStore::Partition(size_t index) const {
   auto partition = std::make_unique<EventPartition>();
   AIQL_RETURN_IF_ERROR(
       DecodePartitionSegment(bytes, entry, entities_, partition.get()));
+  return partition;
+}
+
+Result<const EventPartition*> SnapshotStore::Partition(size_t index) const {
+  PartitionHandle& handle = *handles_[index];
+  if (const EventPartition* loaded =
+          handle.loaded.load(std::memory_order_acquire)) {
+    return loaded;
+  }
+  std::lock_guard<std::mutex> lock(load_mu_);
+  if (const EventPartition* loaded =
+          handle.loaded.load(std::memory_order_relaxed)) {
+    return loaded;
+  }
+  AIQL_ASSIGN_OR_RETURN(std::unique_ptr<EventPartition> partition,
+                        DecodeHandleLocked(index));
   handle.storage = std::move(partition);
   handle.loaded.store(handle.storage.get(), std::memory_order_release);
   loaded_count_.fetch_add(1, std::memory_order_relaxed);
   return handle.storage.get();
 }
 
+Result<std::shared_ptr<const EventPartition>>
+SnapshotStore::MaterializePartition(size_t index) const {
+  if (cache_ == nullptr) {
+    // Keep-forever mode: the store owns the partition for its lifetime, so
+    // the pin is a non-owning alias.
+    AIQL_ASSIGN_OR_RETURN(const EventPartition* partition, Partition(index));
+    return std::shared_ptr<const EventPartition>(partition,
+                                                 [](const EventPartition*) {});
+  }
+  PartitionHandle& handle = *handles_[index];
+  if (auto pin = cache_->Lookup(this, index)) return pin;
+  std::lock_guard<std::mutex> lock(load_mu_);
+  // Another thread may have materialized it between the cache miss and the
+  // lock; a query pin may also still hold a copy the cache already evicted.
+  // Either way `weak` revives it without touching disk.
+  if (auto pin = handle.weak.lock()) {
+    cache_->Insert(this, index, pin, handle.bytes);
+    return pin;
+  }
+  // Real reopen from disk. `retention.reopen` lets chaos tests fail or delay
+  // exactly this path (first decode of a partition also passes through it).
+  AIQL_RETURN_IF_ERROR(
+      Failpoint::Hit("retention.reopen", static_cast<int64_t>(index)));
+  AIQL_ASSIGN_OR_RETURN(std::unique_ptr<EventPartition> partition,
+                        DecodeHandleLocked(index));
+  if (handle.bytes == 0) {
+    handle.bytes = partition->MemoryFootprint();
+  } else {
+    // bytes was set by an earlier residence, so this decode is a reopen of
+    // an evicted partition.
+    reopens_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::shared_ptr<const EventPartition> pin(std::move(partition));
+  handle.weak = pin;
+  loaded_count_.fetch_add(1, std::memory_order_relaxed);
+  if (QueryContext* ctx = ScopedQueryContext::Current()) {
+    AIQL_RETURN_IF_ERROR(ctx->ChargeMemory(handle.bytes));
+  }
+  cache_->Insert(this, index, pin, handle.bytes);
+  return pin;
+}
+
 Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
 SnapshotStore::SelectPartitions(
     const TimeRange& range,
-    const std::optional<std::vector<AgentId>>& agents) const {
+    const std::optional<std::vector<AgentId>>& agents,
+    PartitionPinSet* pins) const {
   std::vector<std::pair<PartitionKey, const EventPartition*>> out;
   for (size_t i = 0; i < handles_.size(); ++i) {
     const PartitionDirEntry& entry = handles_[i]->entry;
@@ -1292,8 +663,17 @@ SnapshotStore::SelectPartitions(
                                 entry.events)) {
       continue;
     }
-    AIQL_ASSIGN_OR_RETURN(const EventPartition* partition, Partition(i));
-    out.emplace_back(PartitionKey{entry.bucket, entry.agent}, partition);
+    AIQL_ASSIGN_OR_RETURN(std::shared_ptr<const EventPartition> pin,
+                          MaterializePartition(i));
+    out.emplace_back(PartitionKey{entry.bucket, entry.agent}, pin.get());
+    if (pins != nullptr) {
+      pins->Add(std::move(pin));
+    } else if (cache_ != nullptr) {
+      // No pin set to carry ownership (direct store use in tests/tools):
+      // park the pin in the handle so the raw pointer stays valid.
+      std::lock_guard<std::mutex> lock(load_mu_);
+      handles_[i]->strong = std::move(pin);
+    }
   }
   return out;
 }
@@ -1305,6 +685,7 @@ ReadView SnapshotStore::OpenReadView() const {
   view.stats_ = stats_;
   view.visible_events_ = stats_.total_events;
   view.store_ = this;
+  view.pins_ = std::make_shared<PartitionPinSet>();
   return view;
 }
 

@@ -43,6 +43,8 @@
 
 namespace aiql {
 
+class PartitionCache;
+
 /// Byte sink for snapshot serialization. The production implementation
 /// writes a file; tests inject failing sinks to prove that short writes,
 /// sync failures, and close failures are reported instead of swallowed.
@@ -112,10 +114,32 @@ class SnapshotStore {
 
   uint64_t total_partitions() const { return handles_.size(); }
 
-  /// Partitions materialized so far (monotone; for tests and metrics).
+  /// Partition materializations so far (monotone; for tests and metrics).
+  /// With a cache attached this counts every decode, including reopens of
+  /// previously evicted partitions.
   uint64_t loaded_partitions() const {
     return loaded_count_.load(std::memory_order_relaxed);
   }
+
+  /// Attaches a memory-budgeted LRU cache (borrowed; must outlive the
+  /// store). Materialized partitions are then owned by the cache plus any
+  /// query pins instead of being held forever: when the cache evicts one
+  /// under budget pressure, the next selection reopens it from disk (the
+  /// `retention.reopen` failpoint covers that path). Call before the store
+  /// is shared across threads.
+  void AttachCache(PartitionCache* cache);
+  PartitionCache* cache() const { return cache_; }
+
+  /// Cache-mode reopen decodes (a reopen is any decode after the first).
+  uint64_t reopens() const {
+    return reopens_.load(std::memory_order_relaxed);
+  }
+
+  /// Materializes partition `index`, returning a pin that keeps it alive
+  /// independent of cache eviction. Without a cache the pin aliases the
+  /// store-owned partition.
+  Result<std::shared_ptr<const EventPartition>> MaterializePartition(
+      size_t index) const;
 
   /// Opens a snapshot-backed read view over this store. The view's
   /// SelectPartitions materializes exactly the partitions it selects. The
@@ -124,9 +148,19 @@ class SnapshotStore {
 
   /// Sealed partitions overlapping `range` / `agents`, materializing (and
   /// caching) each selected partition. Ordered by (bucket, agent, seq).
+  /// With a cache attached, each materialized partition is pinned into
+  /// `pins` so eviction cannot invalidate the returned pointers; passing
+  /// no pin set falls back to pinning inside the store (never reclaimed).
   Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
   SelectPartitions(const TimeRange& range,
-                   const std::optional<std::vector<AgentId>>& agents) const;
+                   const std::optional<std::vector<AgentId>>& agents,
+                   PartitionPinSet* pins) const;
+
+  Result<std::vector<std::pair<PartitionKey, const EventPartition*>>>
+  SelectPartitions(const TimeRange& range,
+                   const std::optional<std::vector<AgentId>>& agents) const {
+    return SelectPartitions(range, agents, nullptr);
+  }
 
   /// Materializes every partition (full-load compat path).
   Status MaterializeAll() const;
@@ -143,6 +177,10 @@ class SnapshotStore {
   /// Materializes handle `index` if needed; returns the sealed partition.
   Result<const EventPartition*> Partition(size_t index) const;
 
+  /// Reads + checksum-verifies + decodes segment `index` (load_mu_ held).
+  Result<std::unique_ptr<EventPartition>> DecodeHandleLocked(
+      size_t index) const;
+
   std::string path_;
   FILE* file_ = nullptr;
   StorageOptions options_;
@@ -152,7 +190,9 @@ class SnapshotStore {
   // makes the fast path lock-free.
   mutable std::mutex load_mu_;
   mutable std::atomic<uint64_t> loaded_count_{0};
+  mutable std::atomic<uint64_t> reopens_{0};
   mutable std::vector<std::unique_ptr<PartitionHandle>> handles_;
+  PartitionCache* cache_ = nullptr;  // borrowed; null = keep-forever mode
 };
 
 }  // namespace aiql

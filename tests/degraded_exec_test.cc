@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -22,6 +24,7 @@
 #include "storage/database.h"
 #include "storage/shard_map.h"
 #include "storage/snapshot.h"
+#include "storage/tiered.h"
 
 namespace aiql {
 namespace {
@@ -359,6 +362,156 @@ TEST_F(DegradedExecTest, TrackRetryRecordsAttempts) {
     if (s.shard == 2 && s.attempts > 1 && !s.dropped) recorded = true;
   }
   EXPECT_TRUE(recorded) << "recovered retry not annotated in stats";
+}
+
+// ---------------------------------------------------------------------------
+// Tiered shards: one shard's partitions all live cold in a retention
+// directory, so the `retention.reopen` failpoint makes that shard's lazy
+// materialization fail — the degraded machinery must treat it exactly like
+// any other storage fault.
+// ---------------------------------------------------------------------------
+
+/// Like FaultWorld, but shard 2 (agent 3) is a fully demoted TieredStore.
+struct TieredFaultWorld {
+  std::vector<std::unique_ptr<AuditDatabase>> dbs;
+  std::unique_ptr<TieredStore> tiered;
+  std::string dir;
+  ShardMap map;
+
+  ~TieredFaultWorld() {
+    tiered.reset();
+    std::remove((dir + "/DATA").c_str());
+    for (uint64_t seq = 0; seq <= 64; ++seq) {
+      std::remove((dir + "/FOOTER." + std::to_string(seq)).c_str());
+    }
+    std::remove((dir + "/FOOTER.tmp").c_str());
+    rmdir(dir.c_str());
+  }
+};
+
+std::unique_ptr<TieredFaultWorld> BuildTieredFaultWorld(int events_per_shard) {
+  auto world = std::make_unique<TieredFaultWorld>();
+  world->dir = "/tmp/aiql_degraded_tiered_" +
+               std::to_string(reinterpret_cast<uintptr_t>(world.get()));
+  auto ranges = EvenAgentRanges(4, 1, 4);
+  for (size_t s = 0; s < 4; ++s) {
+    AgentId agent = static_cast<AgentId>(s + 1);
+    std::string exe = "p" + std::to_string(agent) + ".exe";
+    std::vector<EventRecord> records;
+    for (int i = 0; i < events_per_shard; ++i) {
+      records.push_back(Rec(agent, T0() + i * kSecond, exe,
+                            "/data/a" + std::to_string(agent) + "_" +
+                                std::to_string(i)));
+    }
+    Status added;
+    if (s == 2) {
+      RetentionOptions retention;
+      retention.dir = world->dir;
+      retention.hot_buckets = -1;  // demote every sealed partition
+      retention.compact_min_partitions = 0;
+      // Nothing stays resident between queries, so every execution takes
+      // the lazy-reopen path where `retention.reopen` is injected.
+      retention.memory_budget_bytes = 1;
+      auto store = TieredStore::Create(StorageOptions{}, retention);
+      if (!store.ok()) {
+        ADD_FAILURE() << store.status().ToString();
+        return nullptr;
+      }
+      world->tiered = std::move(*store);
+      EXPECT_TRUE(world->tiered->AppendBatch(std::move(records)).ok());
+      EXPECT_TRUE(world->tiered->Seal().ok());
+      EXPECT_TRUE(world->tiered->CompactOnce().ok());
+      EXPECT_EQ(world->tiered->stats().hot_partitions, 0u);
+      added = world->map.AddShard(world->tiered.get(), ranges[s]);
+    } else {
+      auto db = std::make_unique<AuditDatabase>(StorageOptions{});
+      EXPECT_TRUE(db->AppendBatch(std::move(records)).ok());
+      EXPECT_TRUE(db->Seal().ok());
+      world->dbs.push_back(std::move(db));
+      added = world->map.AddShard(world->dbs.back().get(), ranges[s]);
+    }
+    if (!added.ok()) {
+      ADD_FAILURE() << added.ToString();
+      return nullptr;
+    }
+  }
+  return world;
+}
+
+TEST_F(DegradedExecTest, TieredShardReopenFaultDroppedUnderPartialPolicy) {
+  auto world = BuildTieredFaultWorld(40);
+  ASSERT_NE(world, nullptr);
+  EXPECT_TRUE(world->map.shard_is_tiered(2));
+  AiqlEngine engine(&world->map, FastRetryOptions(ShardPolicy::kPartial));
+  auto clean = engine.Execute(kScanQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  // Drop the partition the clean query left resident, so the next query
+  // must take the disk-reopen path where the fault is injected.
+  world->tiered->cache()->EraseOwner(world->tiered.get());
+
+  ASSERT_TRUE(
+      Failpoint::Configure("retention.reopen=error(IOError)").ok());
+  auto result = engine.Execute(kScanQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded.partial);
+  ASSERT_EQ(result->degraded.shard_status.size(), 4u);
+  EXPECT_TRUE(result->degraded.shard_status[2].dropped);
+  EXPECT_TRUE(IsSubset(RowSet(result->table), RowSet(clean->table)));
+  EXPECT_LT(result->table.rows.size(), clean->table.rows.size());
+  // No row from the dropped shard's agent leaked through.
+  for (const auto& row : result->table.rows) {
+    for (const auto& cell : row) {
+      EXPECT_EQ(ValueToString(cell).find("p3.exe"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(DegradedExecTest, TieredShardReopenFaultFailsStrictPolicy) {
+  auto world = BuildTieredFaultWorld(40);
+  ASSERT_NE(world, nullptr);
+  AiqlEngine engine(&world->map, FastRetryOptions(ShardPolicy::kStrict));
+  ASSERT_TRUE(
+      Failpoint::Configure("retention.reopen=error(IOError)").ok());
+  auto result = engine.Execute(kScanQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("shard 2"), std::string::npos);
+}
+
+TEST_F(DegradedExecTest, TieredShardReopenTransientRetryRecovers) {
+  auto world = BuildTieredFaultWorld(40);
+  ASSERT_NE(world, nullptr);
+  AiqlEngine engine(&world->map, FastRetryOptions(ShardPolicy::kStrict));
+  auto clean = engine.Execute(kScanQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  world->tiered->cache()->EraseOwner(world->tiered.get());
+
+  // Only the first materialization attempt fails; the shard-level retry
+  // re-runs the scan and finds the fault gone.
+  ASSERT_TRUE(
+      Failpoint::Configure("retention.reopen=error(IOError)@nth1").ok());
+  auto result = engine.Execute(kScanQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RowSet(result->table), RowSet(clean->table));
+  EXPECT_FALSE(result->degraded.partial);
+  ASSERT_EQ(result->degraded.shard_status.size(), 4u);
+  EXPECT_EQ(result->degraded.shard_status[2].attempts, 2);
+  EXPECT_FALSE(result->degraded.shard_status[2].dropped);
+}
+
+TEST_F(DegradedExecTest, TieredShardMemoryBudgetSplit) {
+  auto world = BuildTieredFaultWorld(40);
+  ASSERT_NE(world, nullptr);
+  // One tiered shard in the map: it receives the whole budget.
+  EXPECT_EQ(world->map.SetMemoryBudget(8192), 1u);
+  EXPECT_EQ(world->tiered->cache()->stats().budget_bytes, 8192u);
+
+  AiqlEngine engine(&world->map, FastRetryOptions(ShardPolicy::kStrict));
+  auto result = engine.Execute(kScanQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Lifting the budget (0) keeps queries working too.
+  EXPECT_EQ(world->map.SetMemoryBudget(0), 1u);
+  EXPECT_EQ(world->tiered->cache()->stats().budget_bytes, 0u);
 }
 
 }  // namespace

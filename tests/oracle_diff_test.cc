@@ -35,6 +35,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -54,6 +56,7 @@
 #include "storage/database.h"
 #include "storage/shard_map.h"
 #include "storage/snapshot.h"
+#include "storage/tiered.h"
 
 namespace aiql {
 namespace {
@@ -1185,6 +1188,46 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
     }
   }
 
+  // Tiered axis: the same records fully demoted into retention directories.
+  // One store keeps an unlimited cold cache and runs merge compaction (so
+  // merged partitions face the oracle); the other gets a deliberately tiny
+  // byte budget, so every query evicts and re-materializes cold partitions.
+  // Tiny-budget and unlimited must both match the oracle on every query.
+  auto build_tiered = [&](const std::string& dir, size_t budget,
+                          size_t min_merge) -> std::unique_ptr<TieredStore> {
+    RetentionOptions retention;
+    retention.dir = dir;
+    retention.hot_buckets = -1;  // demote everything
+    retention.memory_budget_bytes = budget;
+    retention.compact_min_partitions = min_merge;
+    auto store = TieredStore::Create(OracleStorage(), retention);
+    if (!store.ok()) {
+      ADD_FAILURE() << store.status().ToString();
+      return nullptr;
+    }
+    EXPECT_TRUE((*store)->AppendBatch(records).ok());
+    EXPECT_TRUE((*store)->Seal().ok());
+    EXPECT_TRUE((*store)->CompactOnce().ok());
+    EXPECT_EQ((*store)->stats().hot_partitions, 0u);
+    return std::move(*store);
+  };
+  std::string tiered_dirs[] = {"/tmp/aiql_oracle_tiered_unlimited_" +
+                                   std::to_string(getpid()),
+                               "/tmp/aiql_oracle_tiered_tiny_" +
+                                   std::to_string(getpid())};
+  auto tiered_unlimited =
+      build_tiered(tiered_dirs[0], /*budget=*/0, /*min_merge=*/2);
+  auto tiered_tiny =
+      build_tiered(tiered_dirs[1], /*budget=*/4096, /*min_merge=*/0);
+  ASSERT_NE(tiered_unlimited, nullptr);
+  ASSERT_NE(tiered_tiny, nullptr);
+  EXPECT_GT(tiered_unlimited->stats().merges, 0u);
+  std::vector<std::unique_ptr<AiqlEngine>> tiered_engines;
+  tiered_engines.push_back(
+      std::make_unique<AiqlEngine>(tiered_unlimited.get()));
+  tiered_engines.push_back(std::make_unique<AiqlEngine>(tiered_tiny.get()));
+  const char* tiered_names[] = {"tiered unlimited", "tiered tiny-budget"};
+
   int target = 200;
   if (const char* env = std::getenv("AIQL_ORACLE_QUERIES")) {
     target = std::max(1, std::atoi(env));
@@ -1254,6 +1297,20 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
       }
       ++sharded_executions;
     }
+
+    // Tiered axis: the same query against the all-cold stores.
+    for (size_t t = 0; t < tiered_engines.size(); ++t) {
+      auto result = tiered_engines[t]->Execute(gen.text);
+      ASSERT_TRUE(result.ok())
+          << "[" << tiered_names[t] << "] failed on: " << gen.text << "\n  "
+          << result.status().ToString();
+      std::string failure = CompareResult(result->table, expected, q);
+      if (!failure.empty()) {
+        ++mismatches;
+        ADD_FAILURE() << "[" << tiered_names[t] << "] MISMATCH on: "
+                      << gen.text << "\n  " << failure;
+      }
+    }
     ++executed;
   }
   // The widened generator must actually exercise the new surfaces.
@@ -1271,6 +1328,22 @@ TEST(OracleDiffTest, EngineMatchesBruteForceOracle) {
   // Every query ran against the lazy store as well; by now it should have
   // materialized partitions on demand.
   EXPECT_GT((*store)->loaded_partitions(), 0u);
+
+  // The tiny-budget tiered store must have been under real cache pressure —
+  // identical results above were produced through eviction + re-reads.
+  RetentionStats tiny_stats = tiered_tiny->stats();
+  EXPECT_GT(tiny_stats.cache.evictions, 0u);
+  EXPECT_GT(tiny_stats.reopens, 0u);
+  tiered_engines.clear();
+  tiered_unlimited.reset();
+  tiered_tiny.reset();
+  for (const std::string& dir : tiered_dirs) {
+    std::remove((dir + "/DATA").c_str());
+    for (uint64_t seq = 0; seq <= 64; ++seq) {
+      std::remove((dir + "/FOOTER." + std::to_string(seq)).c_str());
+    }
+    rmdir(dir.c_str());
+  }
 }
 
 // A handcrafted cross-shard join: the two patterns' events live on

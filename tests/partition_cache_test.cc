@@ -1,0 +1,170 @@
+// PartitionCache unit tests: LRU eviction under a byte budget, pins that
+// outlive eviction (the no-invalidation contract scans rely on), budget
+// shrink/lift via SetBudget, owner teardown, and stats counters — plus a
+// multi-threaded hammering test for the tsan suite.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "storage/partition.h"
+#include "storage/partition_cache.h"
+
+namespace aiql {
+namespace {
+
+std::shared_ptr<const EventPartition> MakePartition() {
+  return std::make_shared<const EventPartition>();
+}
+
+TEST(PartitionCacheTest, LookupMissThenHit) {
+  PartitionCache cache;
+  int owner = 0;
+  EXPECT_EQ(cache.Lookup(&owner, 0), nullptr);
+  auto p = MakePartition();
+  cache.Insert(&owner, 0, p, 100);
+  EXPECT_EQ(cache.Lookup(&owner, 0), p);
+  EXPECT_EQ(cache.Lookup(&owner, 1), nullptr);
+
+  PartitionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.charged_bytes, 100u);
+  EXPECT_EQ(stats.budget_bytes, 0u);
+}
+
+TEST(PartitionCacheTest, BudgetEvictsLeastRecentlyUsed) {
+  PartitionCache cache(250);
+  int owner = 0;
+  cache.Insert(&owner, 0, MakePartition(), 100);
+  cache.Insert(&owner, 1, MakePartition(), 100);
+  // Touch 0 so 1 becomes the LRU entry.
+  EXPECT_NE(cache.Lookup(&owner, 0), nullptr);
+  cache.Insert(&owner, 2, MakePartition(), 100);
+
+  EXPECT_NE(cache.Lookup(&owner, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(&owner, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(&owner, 2), nullptr);
+  PartitionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident, 2u);
+  EXPECT_EQ(stats.charged_bytes, 200u);
+}
+
+TEST(PartitionCacheTest, OversizedEntryIsStillAdmitted) {
+  // The caller already materialized the partition; refusing it would only
+  // force an immediate re-read. It evicts everything else instead.
+  PartitionCache cache(100);
+  int owner = 0;
+  cache.Insert(&owner, 0, MakePartition(), 50);
+  cache.Insert(&owner, 1, MakePartition(), 500);
+  EXPECT_EQ(cache.Lookup(&owner, 0), nullptr);
+  EXPECT_NE(cache.Lookup(&owner, 1), nullptr);
+  EXPECT_EQ(cache.stats().charged_bytes, 500u);
+}
+
+TEST(PartitionCacheTest, PinSurvivesEviction) {
+  PartitionCache cache(100);
+  int owner = 0;
+  auto p = MakePartition();
+  std::weak_ptr<const EventPartition> weak = p;
+  cache.Insert(&owner, 0, p, 100);
+  std::shared_ptr<const EventPartition> pin = cache.Lookup(&owner, 0);
+  ASSERT_NE(pin, nullptr);
+  p.reset();
+
+  // A larger insert evicts entry 0; the pin must keep it alive.
+  cache.Insert(&owner, 1, MakePartition(), 100);
+  EXPECT_EQ(cache.Lookup(&owner, 0), nullptr);
+  EXPECT_FALSE(weak.expired());
+  EXPECT_EQ(cache.stats().charged_bytes, 100u);  // evicted bytes uncharged
+  pin.reset();
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(PartitionCacheTest, InsertReplacesExistingKey) {
+  PartitionCache cache(1000);
+  int owner = 0;
+  cache.Insert(&owner, 0, MakePartition(), 100);
+  auto replacement = MakePartition();
+  cache.Insert(&owner, 0, replacement, 300);
+  EXPECT_EQ(cache.Lookup(&owner, 0), replacement);
+  PartitionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.charged_bytes, 300u);
+}
+
+TEST(PartitionCacheTest, SetBudgetShrinkEvictsImmediately) {
+  PartitionCache cache;
+  int owner = 0;
+  for (size_t i = 0; i < 4; ++i) cache.Insert(&owner, i, MakePartition(), 100);
+  EXPECT_EQ(cache.stats().charged_bytes, 400u);
+
+  cache.SetBudget(150);
+  PartitionCacheStats stats = cache.stats();
+  EXPECT_LE(stats.charged_bytes, 150u);
+  EXPECT_EQ(stats.budget_bytes, 150u);
+  // 0 lifts the budget again: new inserts are never evicted.
+  cache.SetBudget(0);
+  for (size_t i = 10; i < 14; ++i) {
+    cache.Insert(&owner, i, MakePartition(), 100);
+  }
+  EXPECT_GE(cache.stats().charged_bytes, 400u);
+}
+
+TEST(PartitionCacheTest, EraseAndEraseOwner) {
+  PartitionCache cache;
+  int owner_a = 0, owner_b = 0;
+  cache.Insert(&owner_a, 0, MakePartition(), 10);
+  cache.Insert(&owner_a, 1, MakePartition(), 10);
+  cache.Insert(&owner_b, 0, MakePartition(), 10);
+
+  cache.Erase(&owner_a, 0);
+  cache.Erase(&owner_a, 99);  // absent: no-op
+  EXPECT_EQ(cache.Lookup(&owner_a, 0), nullptr);
+  EXPECT_NE(cache.Lookup(&owner_a, 1), nullptr);
+
+  cache.EraseOwner(&owner_a);
+  EXPECT_EQ(cache.Lookup(&owner_a, 1), nullptr);
+  EXPECT_NE(cache.Lookup(&owner_b, 0), nullptr);
+  EXPECT_EQ(cache.stats().charged_bytes, 10u);
+}
+
+TEST(PartitionCacheTest, ConcurrentInsertLookupEvict) {
+  // Many threads share a tiny budget, so every operation races against
+  // concurrent eviction. Correctness here is "no crash, no lost pins":
+  // every pin obtained remains dereferenceable, asserted by use_count.
+  PartitionCache cache(300);
+  int owner = 0;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &owner, t] {
+      for (int i = 0; i < kOps; ++i) {
+        size_t index = static_cast<size_t>((t * 7 + i) % 16);
+        std::shared_ptr<const EventPartition> pin =
+            cache.Lookup(&owner, index);
+        if (pin == nullptr) {
+          pin = MakePartition();
+          cache.Insert(&owner, index, pin, 100);
+        }
+        ASSERT_GE(pin.use_count(), 1);
+        if (i % 64 == 0) cache.SetBudget(200 + (i % 3) * 100);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  PartitionCacheStats stats = cache.stats();
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.charged_bytes, 400u + 100u);  // budget + one oversized slop
+}
+
+}  // namespace
+}  // namespace aiql
